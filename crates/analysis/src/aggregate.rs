@@ -1,0 +1,144 @@
+//! Corpus-level aggregation helpers used by the experiment drivers.
+
+/// Fraction (0..=1) of items satisfying a predicate.
+pub fn fraction<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items.iter().filter(|x| pred(x)).count() as f64 / items.len() as f64
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// A cumulative histogram over fixed bucket upper bounds (e.g. the queue budgets
+/// 4/8/16/32 of Fig. 3): `cdf[i]` is the fraction of samples `<= bounds[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeHistogram {
+    /// Bucket upper bounds, in increasing order.
+    pub bounds: Vec<usize>,
+    /// Fraction of samples at or below each bound.
+    pub cdf: Vec<f64>,
+    /// Fraction of samples above the last bound.
+    pub overflow: f64,
+    /// Total number of samples.
+    pub samples: usize,
+}
+
+impl CumulativeHistogram {
+    /// Builds the cumulative histogram of `samples` over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(samples: &[usize], bounds: &[usize]) -> Self {
+        assert!(!bounds.is_empty(), "at least one bucket bound is required");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        let n = samples.len();
+        let cdf = bounds
+            .iter()
+            .map(|&b| {
+                if n == 0 {
+                    0.0
+                } else {
+                    samples.iter().filter(|&&s| s <= b).count() as f64 / n as f64
+                }
+            })
+            .collect::<Vec<_>>();
+        let overflow = if n == 0 {
+            0.0
+        } else {
+            samples.iter().filter(|&&s| s > *bounds.last().unwrap()).count() as f64 / n as f64
+        };
+        CumulativeHistogram { bounds: bounds.to_vec(), cdf, overflow, samples: n }
+    }
+
+    /// The fraction of samples at or below `bound` (which must be one of the bucket
+    /// bounds).
+    pub fn fraction_within(&self, bound: usize) -> f64 {
+        self.bounds
+            .iter()
+            .position(|&b| b == bound)
+            .map(|i| self.cdf[i])
+            .unwrap_or_else(|| panic!("{bound} is not a bucket bound of this histogram"))
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `"94.7%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_counts_matching_items() {
+        let xs = [1, 2, 3, 4, 5];
+        assert!((fraction(&xs, |&x| x % 2 == 0) - 0.4).abs() < 1e-12);
+        assert_eq!(fraction::<i32>(&[], |_| true), 0.0);
+        assert!((fraction(&xs, |_| true) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_histogram_matches_fig3_buckets() {
+        // Queue requirements of 10 loops against the 4/8/16/32 budgets.
+        let samples = [2, 3, 5, 7, 9, 12, 17, 20, 33, 40];
+        let h = CumulativeHistogram::new(&samples, &[4, 8, 16, 32]);
+        assert!((h.fraction_within(4) - 0.2).abs() < 1e-12);
+        assert!((h.fraction_within(8) - 0.4).abs() < 1e-12);
+        assert!((h.fraction_within(16) - 0.6).abs() < 1e-12);
+        assert!((h.fraction_within(32) - 0.8).abs() < 1e-12);
+        assert!((h.overflow - 0.2).abs() < 1e-12);
+        assert_eq!(h.samples, 10);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let samples = [1, 5, 9, 9, 9, 31, 64, 2, 4, 8];
+        let h = CumulativeHistogram::new(&samples, &[4, 8, 16, 32]);
+        for w in h.cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = CumulativeHistogram::new(&[], &[4, 8]);
+        assert_eq!(h.cdf, vec![0.0, 0.0]);
+        assert_eq!(h.overflow, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = CumulativeHistogram::new(&[1], &[8, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bucket bound")]
+    fn unknown_bound_rejected() {
+        let h = CumulativeHistogram::new(&[1], &[4, 8]);
+        let _ = h.fraction_within(5);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.947), "94.7%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+}

@@ -1,0 +1,71 @@
+//! Loop classification.
+//!
+//! Figure 9 of the paper restricts the IPC analysis to *resource-constrained* loops:
+//! loops whose II is limited by the available functional units rather than by a
+//! recurrence circuit.  Recurrence-bound loops cannot benefit from a wider machine,
+//! so including them (Fig. 8) dilutes the scaling curves.
+
+use vliw_ddg::Ddg;
+use vliw_machine::Machine;
+use vliw_sched::{rec_mii, res_mii, SchedError};
+
+/// How a loop's minimum II is determined on a given machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// `ResMII >= RecMII`: the functional units are the bottleneck; a wider machine
+    /// (or unrolling) can speed this loop up.
+    Resource,
+    /// `RecMII > ResMII`: a dependence circuit is the bottleneck; extra functional
+    /// units cannot help.
+    Recurrence,
+}
+
+/// Classifies a loop on a machine.
+pub fn classify(ddg: &Ddg, machine: &Machine) -> Result<Constraint, SchedError> {
+    let res = res_mii(ddg, machine)?;
+    let rec = rec_mii(ddg);
+    Ok(if res >= rec { Constraint::Resource } else { Constraint::Recurrence })
+}
+
+/// Convenience predicate: true when the loop is resource constrained on `machine`.
+pub fn is_resource_constrained(ddg: &Ddg, machine: &Machine) -> bool {
+    matches!(classify(ddg, machine), Ok(Constraint::Resource))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{kernels, DdgBuilder, LatencyModel, OpKind};
+    use vliw_machine::LatencyModel as MachineLatency;
+
+    fn machine(fus: usize) -> Machine {
+        Machine::single_cluster(fus, 2, 32, MachineLatency::default())
+    }
+
+    #[test]
+    fn parallel_loop_is_resource_constrained_everywhere() {
+        let l = kernels::wide_parallel(LatencyModel::default(), 100);
+        for fus in [3, 6, 12] {
+            assert!(is_resource_constrained(&l.ddg, &machine(fus)));
+        }
+    }
+
+    #[test]
+    fn recurrence_loop_becomes_recurrence_bound_on_wide_machines() {
+        let l = kernels::first_order_recurrence(LatencyModel::default(), 100);
+        // On a very narrow machine resources dominate...
+        assert_eq!(classify(&l.ddg, &machine(3)).unwrap(), Constraint::Resource);
+        // ...but on a wide one the mul+add circuit is the bottleneck.
+        assert_eq!(classify(&l.ddg, &machine(18)).unwrap(), Constraint::Recurrence);
+    }
+
+    #[test]
+    fn classification_errors_propagate() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        b.op(OpKind::Copy);
+        let g = b.finish();
+        let m = Machine::single_cluster(3, 0, 32, MachineLatency::default());
+        assert!(classify(&g, &m).is_err());
+        assert!(!is_resource_constrained(&g, &m));
+    }
+}

@@ -1,0 +1,138 @@
+//! Instructions-per-cycle (IPC) metrics.
+//!
+//! The paper reports two issue-rate metrics (Figs. 8 and 9):
+//!
+//! * **static IPC** — operations issued per cycle in the kernel (steady state):
+//!   `ops_per_iteration / II`;
+//! * **dynamic IPC** — operations issued per cycle over the whole execution of the
+//!   loop, including the less efficient prologue and epilogue phases:
+//!   `ops_per_iteration · N / ((SC − 1 + N) · II)` for trip count `N` and stage
+//!   count `SC`.
+//!
+//! Dynamic IPC approaches static IPC as the trip count grows, which is why the
+//! paper's dynamic numbers are dominated by a few long-running loops.
+
+use vliw_ddg::Loop;
+use vliw_sched::Schedule;
+
+/// Static (kernel) issue rate of a schedule: operations per cycle at steady state.
+pub fn static_ipc(ops_per_iteration: usize, schedule: &Schedule) -> f64 {
+    ops_per_iteration as f64 / schedule.ii as f64
+}
+
+/// Dynamic issue rate over `trip_count` iterations, including prologue and epilogue.
+pub fn dynamic_ipc(ops_per_iteration: usize, schedule: &Schedule, trip_count: u64) -> f64 {
+    if trip_count == 0 {
+        return 0.0;
+    }
+    let total_ops = ops_per_iteration as u64 * trip_count;
+    let total_cycles = schedule.total_cycles(trip_count);
+    total_ops as f64 / total_cycles as f64
+}
+
+/// Static and dynamic IPC of a scheduled loop.
+///
+/// `ops_per_original_iteration` and `iterations_per_body` let callers account for
+/// unrolling: when a loop is unrolled by `U`, the scheduled body contains
+/// `U · ops_per_original_iteration` operations and executes `trip_count / U` body
+/// iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpcReport {
+    /// Operations issued per cycle at steady state.
+    pub static_ipc: f64,
+    /// Operations issued per cycle over the full execution.
+    pub dynamic_ipc: f64,
+}
+
+/// Computes the IPC report for a loop scheduled as-is (no unrolling).
+pub fn ipc_of(lp: &Loop, schedule: &Schedule) -> IpcReport {
+    ipc_of_unrolled(lp, schedule, 1)
+}
+
+/// Computes the IPC report for a loop whose body was unrolled by `factor` before
+/// scheduling.
+///
+/// The body executes `ceil(trip_count / factor)` times; the operation count per body
+/// iteration is `factor · ops_per_original_iteration` (taken from the schedule's
+/// length indirectly through the loop's own op count).
+pub fn ipc_of_unrolled(lp: &Loop, schedule: &Schedule, factor: u32) -> IpcReport {
+    let factor = factor.max(1) as u64;
+    let body_ops = lp.ops_per_iteration() * factor as usize;
+    let body_iterations = lp.trip_count.div_ceil(factor).max(1);
+    IpcReport {
+        static_ipc: static_ipc(body_ops, schedule),
+        dynamic_ipc: dynamic_ipc(body_ops, schedule, body_iterations),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{kernels, LatencyModel};
+    use vliw_machine::Machine;
+    use vliw_sched::{modulo_schedule, ImsOptions, Schedule};
+    use vliw_machine::FuId;
+
+    fn fake_schedule(ii: u32, starts: Vec<u32>) -> Schedule {
+        let n = starts.len();
+        Schedule::new(ii, starts, vec![FuId(0); n])
+    }
+
+    #[test]
+    fn static_ipc_is_ops_over_ii() {
+        let s = fake_schedule(4, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!((static_ipc(8, &s) - 2.0).abs() < 1e-12);
+        assert!((static_ipc(2, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_ipc_approaches_static_with_large_trip_counts() {
+        let s = fake_schedule(2, vec![0, 1, 2, 5]); // SC = 3
+        let ops = 4;
+        let small = dynamic_ipc(ops, &s, 2);
+        let large = dynamic_ipc(ops, &s, 100_000);
+        let stat = static_ipc(ops, &s);
+        assert!(small < large);
+        assert!(large <= stat + 1e-9);
+        assert!((large - stat).abs() < 0.01);
+    }
+
+    #[test]
+    fn dynamic_ipc_formula_matches_hand_computation() {
+        // SC = 3, II = 2, N = 10: cycles = (3 - 1 + 10) * 2 = 24; ops = 4 * 10 = 40.
+        let s = fake_schedule(2, vec![0, 1, 2, 5]);
+        let got = dynamic_ipc(4, &s, 10);
+        assert!((got - 40.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_trip_count_gives_zero_dynamic_ipc() {
+        let s = fake_schedule(2, vec![0]);
+        assert_eq!(dynamic_ipc(1, &s, 0), 0.0);
+    }
+
+    #[test]
+    fn ipc_of_real_kernel_is_consistent() {
+        let lat = LatencyModel::default();
+        let m = Machine::single_cluster(6, 2, 32, lat);
+        let lp = kernels::daxpy(lat, 1000);
+        let r = modulo_schedule(&lp.ddg, &m, ImsOptions::default()).unwrap();
+        let ipc = ipc_of(&lp, &r.schedule);
+        assert!(ipc.static_ipc > 0.0);
+        assert!(ipc.dynamic_ipc > 0.0);
+        assert!(ipc.dynamic_ipc <= ipc.static_ipc + 1e-9);
+        assert!(ipc.static_ipc <= 6.0 + 2.0, "cannot exceed machine width");
+    }
+
+    #[test]
+    fn unrolled_ipc_accounts_for_factor() {
+        // An unrolled body with twice the ops at twice the II has the same static
+        // IPC per original iteration.
+        let lp = kernels::daxpy(LatencyModel::default(), 1000);
+        let s1 = fake_schedule(2, vec![0; lp.ops_per_iteration()]);
+        let s2 = fake_schedule(4, vec![0; lp.ops_per_iteration() * 2]);
+        let a = ipc_of_unrolled(&lp, &s1, 1);
+        let b = ipc_of_unrolled(&lp, &s2, 2);
+        assert!((a.static_ipc - b.static_ipc).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,22 @@
+//! Performance analysis and experiment aggregation for the IPPS 1998 reproduction.
+//!
+//! The crate provides the measurement side of the paper's evaluation:
+//!
+//! * [`ipc`] — static (kernel) and dynamic (whole-execution) issue rates used in
+//!   Figs. 8 and 9;
+//! * [`classify`] — the resource- vs recurrence-constrained loop classification that
+//!   separates Fig. 9 from Fig. 8;
+//! * [`aggregate`] — corpus-level fractions, means and the cumulative histograms
+//!   behind Fig. 3;
+//! * [`table`] — plain-text table rendering used by the `figures` binary and the
+//!   benchmark harness.
+
+pub mod aggregate;
+pub mod classify;
+pub mod ipc;
+pub mod table;
+
+pub use aggregate::{fraction, mean, pct, CumulativeHistogram};
+pub use classify::{classify, is_resource_constrained, Constraint};
+pub use ipc::{dynamic_ipc, ipc_of, ipc_of_unrolled, static_ipc, IpcReport};
+pub use table::TextTable;

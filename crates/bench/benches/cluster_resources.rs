@@ -1,0 +1,21 @@
+//! Times the cluster-resource sizing driver (Fig. 7 / Section 4).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_bench::bench_config;
+use vliw_core::experiments::cluster_resources_experiment;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("cluster_resources");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("queue_demand_4_5_6_clusters", |b| {
+        b.iter(|| cluster_resources_experiment(&cfg, &[4, 5, 6]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

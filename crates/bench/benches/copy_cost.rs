@@ -1,0 +1,21 @@
+//! Times the Section-2 copy-cost driver (II / stage-count impact of copy insertion).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_bench::bench_config;
+use vliw_core::experiments::copy_cost_experiment;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("copy_cost");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("copy_insertion_cost_4_6_12_fus", |b| {
+        b.iter(|| copy_cost_experiment(&cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

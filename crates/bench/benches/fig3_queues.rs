@@ -1,0 +1,21 @@
+//! Times the Fig. 3 driver (queue requirements across 4/6/12-FU machines).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_bench::bench_config;
+use vliw_core::experiments::fig3_experiment;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig3_queues");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("queue_requirements_4_6_12_fus", |b| {
+        b.iter(|| fig3_experiment(&cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Times the Fig. 4 driver (II speedup from loop unrolling).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_bench::bench_config;
+use vliw_core::experiments::fig4_experiment;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig4_unroll");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("unroll_speedup_4_6_12_fus", |b| b.iter(|| fig4_experiment(&cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

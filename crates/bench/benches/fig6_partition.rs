@@ -1,0 +1,24 @@
+//! Times the Fig. 6 driver (partitioned vs single-cluster II for 4/5/6 clusters).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_bench::bench_config;
+use vliw_core::experiments::fig6::fig6_experiment_for;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig6_partition");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("partition_vs_single_cluster_4_clusters", |b| {
+        b.iter(|| fig6_experiment_for(&cfg, &[4]))
+    });
+    group.bench_function("partition_vs_single_cluster_6_clusters", |b| {
+        b.iter(|| fig6_experiment_for(&cfg, &[6]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

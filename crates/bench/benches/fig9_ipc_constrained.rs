@@ -1,0 +1,21 @@
+//! Times the Fig. 9 driver (IPC curves over resource-constrained loops).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_bench::bench_config;
+use vliw_core::experiments::ipc::ipc_curves;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig9_ipc_constrained");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("ipc_resource_constrained_4_12_18_fus", |b| {
+        b.iter(|| ipc_curves(&cfg, &[4, 12, 18], true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the individual compiler passes: MII computation, iterative
+//! modulo scheduling, partitioning, queue allocation and copy insertion.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_core::qrf::{allocate_queues, insert_copies, use_lifetimes};
+use vliw_core::sched::{mii, modulo_schedule, ImsOptions};
+use vliw_core::unroll::unroll_ddg;
+use vliw_core::{kernels, partition_schedule, LatencyModel, Machine, PartitionOptions};
+
+fn bench_ims(c: &mut Criterion) {
+    let lat = LatencyModel::default();
+    let machine = Machine::single_cluster(12, 4, 32, lat);
+    let mut group = c.benchmark_group("ims");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    for lp in kernels::all_kernels(lat) {
+        let unrolled = unroll_ddg(&lp.ddg, 4).ddg;
+        group.bench_with_input(BenchmarkId::new("mii", &lp.name), &unrolled, |b, g| {
+            b.iter(|| mii(g, &machine).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("modulo_schedule_x4", &lp.name), &unrolled, |b, g| {
+            b.iter(|| modulo_schedule(g, &machine, ImsOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let lat = LatencyModel::default();
+    let machine = Machine::paper_clustered(4, lat);
+    let mut group = c.benchmark_group("partition");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    for lp in kernels::all_kernels(lat) {
+        let body = insert_copies(&unroll_ddg(&lp.ddg, 2).ddg, &lat).ddg;
+        group.bench_with_input(BenchmarkId::new("partition_schedule_x2", &lp.name), &body, |b, g| {
+            b.iter(|| partition_schedule(g, &machine, PartitionOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_qrf(c: &mut Criterion) {
+    let lat = LatencyModel::default();
+    let machine = Machine::single_cluster(12, 4, 32, lat);
+    let mut group = c.benchmark_group("qrf");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    for lp in kernels::all_kernels(lat) {
+        let body = insert_copies(&unroll_ddg(&lp.ddg, 4).ddg, &lat).ddg;
+        let sched = modulo_schedule(&body, &machine, ImsOptions::default()).unwrap().schedule;
+        let lts = use_lifetimes(&body, &sched);
+        group.bench_with_input(BenchmarkId::new("allocate_queues", &lp.name), &lts, |b, l| {
+            b.iter(|| allocate_queues(l, sched.ii))
+        });
+        group.bench_with_input(BenchmarkId::new("insert_copies", &lp.name), &lp.ddg, |b, g| {
+            b.iter(|| insert_copies(g, &lat))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ims, bench_partition, bench_qrf);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared helpers for the benchmark harness and the `figures` binary.
+//!
+//! The `vliw-bench` crate regenerates every table and figure of the paper's
+//! evaluation:
+//!
+//! * `cargo run --release -p vliw-bench --bin figures` prints the data series of
+//!   Figs. 3, 4, 6, 8 and 9 plus the Section-2 copy-cost statistics and the
+//!   Section-4 cluster-resource sizing (EXPERIMENTS.md records that output);
+//! * `cargo bench -p vliw-bench` times each experiment driver and the individual
+//!   scheduler passes with Criterion.
+
+use vliw_core::experiments::ExperimentConfig;
+
+/// Corpus size used by the Criterion benches.
+///
+/// The benches time the experiment *machinery*; a few dozen loops keep each
+/// iteration affordable while exercising every code path.  The `figures` binary uses
+/// the full 1258-loop corpus instead.
+pub const BENCH_CORPUS_LOOPS: usize = 32;
+
+/// Seed shared by the benches so their corpora are identical across runs.
+pub const BENCH_SEED: u64 = 386;
+
+/// The experiment configuration used by the Criterion benches.
+pub fn bench_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(BENCH_CORPUS_LOOPS, BENCH_SEED);
+    // Criterion already parallelises across samples poorly with nested threads;
+    // keep the sweep itself modestly parallel.
+    cfg.threads = cfg.threads.min(4);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small_and_deterministic() {
+        let a = bench_config();
+        let b = bench_config();
+        assert_eq!(a.corpus.num_loops, BENCH_CORPUS_LOOPS);
+        assert_eq!(a.corpus.seed, BENCH_SEED);
+        assert_eq!(a.corpus().len(), b.corpus().len());
+    }
+}

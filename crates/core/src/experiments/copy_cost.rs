@@ -1,0 +1,146 @@
+//! Section 2 statistics — the cost of copy insertion.
+//!
+//! The paper reports that after inserting copy operations roughly 95% of the loops
+//! keep the same II (the kernel runs at full speed), the stage count is unchanged
+//! for most loops, and the remaining loops pay a small II increase.  This driver
+//! schedules every loop twice — without copies (the "basic configuration") and with
+//! copies — on the same machine and compares II and stage count.
+
+use vliw_analysis::{fraction, pct, TextTable};
+use vliw_machine::Machine;
+
+use crate::experiments::{fig3::copy_units_for, par_map, ExperimentConfig};
+use crate::pipeline::{Compiler, CompilerConfig};
+
+/// Per-machine summary of the copy-insertion cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyCostRow {
+    /// Number of compute functional units.
+    pub fus: usize,
+    /// Fraction of loops whose II is unchanged by copy insertion.
+    pub same_ii: f64,
+    /// Fraction of loops whose II grows by exactly one cycle.
+    pub ii_plus_one: f64,
+    /// Fraction of loops whose II grows by more than one cycle.
+    pub ii_plus_more: f64,
+    /// Fraction of loops whose stage count is unchanged.
+    pub same_stage_count: f64,
+    /// Average number of copy operations inserted per loop.
+    pub avg_copies: f64,
+    /// Number of loops evaluated.
+    pub loops: usize,
+}
+
+/// Runs the copy-cost experiment on 4/6/12-FU machines.
+pub fn copy_cost_experiment(cfg: &ExperimentConfig) -> Vec<CopyCostRow> {
+    let corpus = cfg.corpus();
+    let mut rows = Vec::new();
+    for &fus in &[4usize, 6, 12] {
+        let machine = Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
+        let without = Compiler::new(CompilerConfig::without_copies(machine.clone()).no_unroll());
+        let with = Compiler::new(CompilerConfig::paper_defaults(machine).no_unroll());
+        let pairs: Vec<Option<(u32, u32, u32, u32, usize)>> = par_map(&corpus, cfg.threads, |lp| {
+            let base = without.compile(lp).ok()?;
+            let copied = with.compile(lp).ok()?;
+            Some((
+                base.ii(),
+                copied.ii(),
+                base.stage_count,
+                copied.stage_count,
+                copied.num_copies,
+            ))
+        });
+        let ok: Vec<(u32, u32, u32, u32, usize)> = pairs.into_iter().flatten().collect();
+        let loops = ok.len();
+        rows.push(CopyCostRow {
+            fus,
+            same_ii: fraction(&ok, |&(a, b, _, _, _)| b == a),
+            ii_plus_one: fraction(&ok, |&(a, b, _, _, _)| b == a + 1),
+            ii_plus_more: fraction(&ok, |&(a, b, _, _, _)| b > a + 1),
+            same_stage_count: fraction(&ok, |&(_, _, sa, sb, _)| sa == sb),
+            avg_copies: if loops == 0 {
+                0.0
+            } else {
+                ok.iter().map(|&(_, _, _, _, c)| c as f64).sum::<f64>() / loops as f64
+            },
+            loops,
+        });
+    }
+    rows
+}
+
+/// Renders the copy-cost rows as a text table.
+pub fn render(rows: &[CopyCostRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "FUs",
+        "same II",
+        "II +1",
+        "II +>1",
+        "same stage count",
+        "avg copies",
+        "loops",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.fus.to_string(),
+            pct(r.same_ii),
+            pct(r.ii_plus_one),
+            pct(r.ii_plus_more),
+            pct(r.same_stage_count),
+            format!("{:.2}", r.avg_copies),
+            r.loops.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_insertion_rarely_degrades_the_ii() {
+        let cfg = ExperimentConfig::quick(120, 11);
+        let rows = copy_cost_experiment(&cfg);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.loops > 0);
+            // The fractions partition the corpus (up to loops where the II shrinks,
+            // which cannot happen since copies only add work).
+            let total = r.same_ii + r.ii_plus_one + r.ii_plus_more;
+            assert!((total - 1.0).abs() < 1e-9, "{} FUs: fractions sum to {total}", r.fus);
+            // Paper shape: most loops keep their II (the paper reports ~95%; our
+            // synthetic corpus carries more recurrence-critical multi-use values,
+            // see EXPERIMENTS.md, so the reproduced fraction is lower but still a
+            // clear majority).
+            assert!(
+                r.same_ii >= 0.50,
+                "{} FUs: only {} of loops keep the same II after copy insertion",
+                r.fus,
+                pct(r.same_ii)
+            );
+            assert!(r.avg_copies > 0.0, "the corpus contains multi-consumer values");
+        }
+    }
+
+    #[test]
+    fn wider_machines_absorb_copies_better() {
+        let cfg = ExperimentConfig::quick(100, 23);
+        let rows = copy_cost_experiment(&cfg);
+        let narrow = rows.iter().find(|r| r.fus == 4).unwrap();
+        let wide = rows.iter().find(|r| r.fus == 12).unwrap();
+        // More copy units and more slack per II row: the wide machine should keep at
+        // least as many loops at the same II as the narrow one (allow a small
+        // tolerance for heuristic noise).
+        assert!(wide.same_ii + 0.05 >= narrow.same_ii);
+    }
+
+    #[test]
+    fn render_contains_percentages() {
+        let cfg = ExperimentConfig::quick(30, 2);
+        let rows = copy_cost_experiment(&cfg);
+        let s = render(&rows).render();
+        assert!(s.contains('%'));
+        assert_eq!(s.lines().count(), 2 + rows.len());
+    }
+}

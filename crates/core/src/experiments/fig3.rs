@@ -1,0 +1,148 @@
+//! Fig. 3 — *Number of Queues*: cumulative fraction of loops schedulable within a
+//! queue budget of 4/8/16/32 queues, for 4-, 6- and 12-FU machines, with copy
+//! operations enabled.
+//!
+//! For every loop the driver inserts copies, modulo-schedules the body and allocates
+//! its per-use lifetimes to queues with the Q-compatibility test; the reported
+//! quantity is the number of queues the allocation uses.  The paper's headline
+//! observations are that 32 queues cover the overwhelming majority of loops on every
+//! machine width and that copy insertion does not significantly increase queue
+//! demand; the driver therefore also produces the copies-off series for comparison.
+
+use vliw_analysis::{pct, CumulativeHistogram, TextTable};
+use vliw_machine::Machine;
+
+use crate::experiments::{par_map, ExperimentConfig};
+use crate::pipeline::{Compiler, CompilerConfig};
+
+/// The queue budgets of Fig. 3's x-axis.
+pub const QUEUE_BUDGETS: [usize; 4] = [4, 8, 16, 32];
+
+/// One row of the Fig. 3 data: a machine width and the cumulative fractions of loops
+/// whose queue requirement fits each budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Number of compute functional units of the machine.
+    pub fus: usize,
+    /// Whether copy operations were used.
+    pub with_copies: bool,
+    /// Cumulative histogram over [`QUEUE_BUDGETS`].
+    pub histogram: CumulativeHistogram,
+    /// Number of loops that failed to schedule (should be zero).
+    pub unschedulable: usize,
+}
+
+/// Runs the Fig. 3 experiment: queue requirements on 4/6/12-FU machines, with and
+/// without copy operations.
+pub fn fig3_experiment(cfg: &ExperimentConfig) -> Vec<Fig3Row> {
+    let corpus = cfg.corpus();
+    let mut rows = Vec::new();
+    for &fus in &[4usize, 6, 12] {
+        for &with_copies in &[true, false] {
+            let machine = Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
+            let compiler = if with_copies {
+                Compiler::new(CompilerConfig::paper_defaults(machine).no_unroll())
+            } else {
+                Compiler::new(CompilerConfig::without_copies(machine).no_unroll())
+            };
+            let samples: Vec<Option<usize>> = par_map(&corpus, cfg.threads, |lp| {
+                compiler.compile(lp).ok().map(|c| c.queues_required())
+            });
+            let ok: Vec<usize> = samples.iter().flatten().copied().collect();
+            let unschedulable = samples.len() - ok.len();
+            rows.push(Fig3Row {
+                fus,
+                with_copies,
+                histogram: CumulativeHistogram::new(&ok, &QUEUE_BUDGETS),
+                unschedulable,
+            });
+        }
+    }
+    rows
+}
+
+/// Number of copy units paired with a machine of `fus` compute units: one per three
+/// compute units (one per paper cluster), at least one.
+pub fn copy_units_for(fus: usize) -> usize {
+    (fus / 3).max(1)
+}
+
+/// Renders the Fig. 3 rows as the table recorded in EXPERIMENTS.md.
+pub fn render(rows: &[Fig3Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "FUs", "copies", "<=4 queues", "<=8", "<=16", "<=32", ">32", "unschedulable",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.fus.to_string(),
+            if r.with_copies { "yes".into() } else { "no".to_string() },
+            pct(r.histogram.fraction_within(4)),
+            pct(r.histogram.fraction_within(8)),
+            pct(r.histogram.fraction_within(16)),
+            pct(r.histogram.fraction_within(32)),
+            pct(r.histogram.overflow),
+            r.unschedulable.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_on_a_small_corpus_matches_paper_shape() {
+        let cfg = ExperimentConfig::quick(120, 42);
+        let rows = fig3_experiment(&cfg);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.unschedulable, 0, "every loop must schedule ({} FUs)", r.fus);
+            // The cumulative fractions are monotone and 32 queues cover most loops —
+            // the paper's central observation.
+            assert!(
+                r.histogram.fraction_within(32) >= 0.85,
+                "{} FUs (copies={}): only {} of loops fit 32 queues",
+                r.fus,
+                r.with_copies,
+                pct(r.histogram.fraction_within(32))
+            );
+            assert!(r.histogram.fraction_within(4) <= r.histogram.fraction_within(32));
+        }
+    }
+
+    #[test]
+    fn copies_do_not_blow_up_queue_demand() {
+        // The paper: "using copy operations does not increase significantly the
+        // number of queues required", especially at 16-32 queues.
+        let cfg = ExperimentConfig::quick(120, 7);
+        let rows = fig3_experiment(&cfg);
+        for fus in [4usize, 6, 12] {
+            let with = rows.iter().find(|r| r.fus == fus && r.with_copies).unwrap();
+            let without = rows.iter().find(|r| r.fus == fus && !r.with_copies).unwrap();
+            let delta =
+                without.histogram.fraction_within(32) - with.histogram.fraction_within(32);
+            assert!(
+                delta <= 0.10,
+                "{fus} FUs: copies cost {delta:.2} of loops at the 32-queue budget"
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_configuration() {
+        let cfg = ExperimentConfig::quick(40, 1);
+        let rows = fig3_experiment(&cfg);
+        let table = render(&rows);
+        assert_eq!(table.num_rows(), rows.len());
+        assert!(table.render().contains("FUs"));
+    }
+
+    #[test]
+    fn copy_units_scale_with_width() {
+        assert_eq!(copy_units_for(4), 1);
+        assert_eq!(copy_units_for(6), 2);
+        assert_eq!(copy_units_for(12), 4);
+        assert_eq!(copy_units_for(2), 1);
+    }
+}

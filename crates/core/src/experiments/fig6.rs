@@ -1,0 +1,151 @@
+//! Fig. 6 — *Initiation Interval Variation* of the partitioned schedules.
+//!
+//! For 4, 5 and 6 clusters (12, 15 and 18 compute FUs) the driver schedules every
+//! loop on the clustered machine with the partitioning scheduler and on the
+//! equivalent single-cluster machine with plain IMS, and reports the fraction of
+//! loops whose clustered II equals the single-cluster II.  The paper's numbers are
+//! ≈95% for 4 clusters, ≈84% for 5 and ≈52% for 6, the degradation being caused by
+//! the inability to move values between non-adjacent clusters.
+//!
+//! As in the paper, loop unrolling and copy insertion are applied in all
+//! configurations.
+
+use vliw_analysis::{fraction, mean, pct, TextTable};
+use vliw_machine::Machine;
+
+use crate::experiments::{par_map, ExperimentConfig};
+use crate::pipeline::{Compiler, CompilerConfig};
+
+/// Per-cluster-count summary of the partitioning experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Number of clusters of the machine (3 compute FUs each).
+    pub clusters: usize,
+    /// Total compute FUs (`3 · clusters`).
+    pub fus: usize,
+    /// Fraction of loops whose partitioned II equals the single-cluster II.
+    pub same_ii: f64,
+    /// Fraction of loops whose partitioned II is exactly one cycle larger.
+    pub ii_plus_one: f64,
+    /// Fraction of loops whose partitioned II is more than one cycle larger.
+    pub ii_plus_more: f64,
+    /// Mean relative II increase (`II_clustered / II_single`).
+    pub mean_ii_ratio: f64,
+    /// Fraction of loops whose stage count is unchanged.
+    pub same_stage_count: f64,
+    /// Number of loops evaluated.
+    pub loops: usize,
+}
+
+/// Runs the Fig. 6 experiment for 4, 5 and 6 clusters.
+pub fn fig6_experiment(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
+    fig6_experiment_for(cfg, &[4, 5, 6])
+}
+
+/// Runs the Fig. 6 experiment for an arbitrary set of cluster counts.
+pub fn fig6_experiment_for(cfg: &ExperimentConfig, cluster_counts: &[usize]) -> Vec<Fig6Row> {
+    let corpus = cfg.corpus();
+    let mut rows = Vec::new();
+    for &clusters in cluster_counts {
+        let clustered = Machine::paper_clustered(clusters, Default::default());
+        let single = Machine::paper_single_cluster_equivalent(clusters, Default::default());
+        let single_compiler = Compiler::new(CompilerConfig::paper_defaults(single));
+        let clustered_compiler = Compiler::new(CompilerConfig::paper_defaults(clustered));
+        let samples: Vec<Option<(u32, u32, u32, u32)>> = par_map(&corpus, cfg.threads, |lp| {
+            let s = single_compiler.compile(lp).ok()?;
+            let c = clustered_compiler.compile(lp).ok()?;
+            Some((s.ii(), c.ii(), s.stage_count, c.stage_count))
+        });
+        let ok: Vec<(u32, u32, u32, u32)> = samples.into_iter().flatten().collect();
+        rows.push(Fig6Row {
+            clusters,
+            fus: 3 * clusters,
+            same_ii: fraction(&ok, |&(s, c, _, _)| c == s),
+            ii_plus_one: fraction(&ok, |&(s, c, _, _)| c == s + 1),
+            ii_plus_more: fraction(&ok, |&(s, c, _, _)| c > s + 1),
+            mean_ii_ratio: mean(&ok.iter().map(|&(s, c, _, _)| c as f64 / s as f64).collect::<Vec<_>>()),
+            same_stage_count: fraction(&ok, |&(_, _, ss, cs)| ss == cs),
+            loops: ok.len(),
+        });
+    }
+    rows
+}
+
+/// Renders the Fig. 6 rows as a text table.
+pub fn render(rows: &[Fig6Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "clusters",
+        "FUs",
+        "same II",
+        "II +1",
+        "II +>1",
+        "mean II ratio",
+        "same stage count",
+        "loops",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.clusters.to_string(),
+            r.fus.to_string(),
+            pct(r.same_ii),
+            pct(r.ii_plus_one),
+            pct(r.ii_plus_more),
+            format!("{:.3}", r.mean_ii_ratio),
+            pct(r.same_stage_count),
+            r.loops.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_keeps_most_loops_at_the_single_cluster_ii() {
+        let cfg = ExperimentConfig::quick(60, 17);
+        let rows = fig6_experiment_for(&cfg, &[4, 6]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.loops > 0);
+            let total = r.same_ii + r.ii_plus_one + r.ii_plus_more;
+            assert!(total <= 1.0 + 1e-9);
+            assert!(r.mean_ii_ratio >= 0.999, "clustering cannot speed a loop up");
+            // Paper shape: a clear majority of loops keeps the single-cluster II on
+            // a 4-cluster machine.
+            if r.clusters == 4 {
+                assert!(
+                    r.same_ii >= 0.60,
+                    "4 clusters: only {} of loops keep the II",
+                    pct(r.same_ii)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_clusters_degrade_the_partitioning() {
+        // The paper's central Fig. 6 trend: the same-II fraction decreases as the
+        // cluster count grows (95% -> 84% -> 52%).
+        let cfg = ExperimentConfig::quick(60, 29);
+        let rows = fig6_experiment_for(&cfg, &[4, 6]);
+        let four = rows.iter().find(|r| r.clusters == 4).unwrap();
+        let six = rows.iter().find(|r| r.clusters == 6).unwrap();
+        assert!(
+            four.same_ii + 1e-9 >= six.same_ii,
+            "4 clusters ({}) should retain at least as many loops as 6 clusters ({})",
+            pct(four.same_ii),
+            pct(six.same_ii)
+        );
+    }
+
+    #[test]
+    fn render_shape() {
+        let cfg = ExperimentConfig::quick(20, 3);
+        let rows = fig6_experiment_for(&cfg, &[4]);
+        let t = render(&rows);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.render().contains("clusters"));
+    }
+}

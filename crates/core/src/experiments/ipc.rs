@@ -1,0 +1,203 @@
+//! Figs. 8 and 9 — *Operations Issued per Cycle* (static and dynamic), for all loops
+//! (Fig. 8) and for the resource-constrained subset (Fig. 9).
+//!
+//! The x-axis is the machine width in compute FUs (4–18).  Single-cluster machines
+//! exist at every width; clustered machines exist at 12, 15 and 18 FUs (4, 5 and 6
+//! clusters of 3 FUs).  The paper's observations reproduced here:
+//!
+//! * static IPC exceeds dynamic IPC (the prologue/epilogue overhead);
+//! * IPC saturates on the full corpus (Fig. 8) because recurrence-bound loops cannot
+//!   use more FUs, and scales much better on the resource-constrained subset
+//!   (Fig. 9);
+//! * clustered machines track their single-cluster equivalents closely at 12 FUs and
+//!   fall behind slightly at 15 and 18 FUs (the partitioning penalty).
+
+use vliw_analysis::{is_resource_constrained, mean, TextTable};
+use vliw_ddg::Loop;
+use vliw_machine::Machine;
+
+use crate::experiments::{fig3::copy_units_for, par_map, ExperimentConfig};
+use crate::pipeline::{Compiler, CompilerConfig};
+
+/// One point of the IPC curves: a machine width with the four IPC series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpcCurvePoint {
+    /// Machine width in compute FUs.
+    pub fus: usize,
+    /// Mean static IPC on the single-cluster machine.
+    pub static_single: f64,
+    /// Mean dynamic IPC on the single-cluster machine.
+    pub dynamic_single: f64,
+    /// Mean static IPC on the clustered machine (only at 12/15/18 FUs).
+    pub static_clustered: Option<f64>,
+    /// Mean dynamic IPC on the clustered machine (only at 12/15/18 FUs).
+    pub dynamic_clustered: Option<f64>,
+    /// Number of loops contributing to the point.
+    pub loops: usize,
+}
+
+/// Machine widths evaluated by default: every even width from 4 to 18 plus 15, which
+/// covers the paper's x-axis while keeping the sweep affordable.
+pub const DEFAULT_WIDTHS: [usize; 9] = [4, 6, 8, 10, 12, 14, 15, 16, 18];
+
+/// Fig. 8: IPC over **all** loops of the corpus.
+pub fn fig8_experiment(cfg: &ExperimentConfig) -> Vec<IpcCurvePoint> {
+    ipc_curves(cfg, &DEFAULT_WIDTHS, false)
+}
+
+/// Fig. 9: IPC over the **resource-constrained** loops only.
+pub fn fig9_experiment(cfg: &ExperimentConfig) -> Vec<IpcCurvePoint> {
+    ipc_curves(cfg, &DEFAULT_WIDTHS, true)
+}
+
+/// Shared implementation of Figs. 8 and 9.
+pub fn ipc_curves(
+    cfg: &ExperimentConfig,
+    widths: &[usize],
+    resource_constrained_only: bool,
+) -> Vec<IpcCurvePoint> {
+    let corpus = cfg.corpus();
+    let mut points = Vec::new();
+    for &fus in widths {
+        let single = Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
+        // Fig. 9 filters loops that are resource constrained *on this machine* (the
+        // reference machine for the classification is the single-cluster one).
+        let loops: Vec<&Loop> = corpus
+            .iter()
+            .filter(|lp| !resource_constrained_only || is_resource_constrained(&lp.ddg, &single))
+            .collect();
+        if loops.is_empty() {
+            points.push(IpcCurvePoint {
+                fus,
+                static_single: 0.0,
+                dynamic_single: 0.0,
+                static_clustered: None,
+                dynamic_clustered: None,
+                loops: 0,
+            });
+            continue;
+        }
+
+        let single_compiler = Compiler::new(CompilerConfig::paper_defaults(single));
+        let single_ipc: Vec<Option<(f64, f64)>> = par_map(&loops, cfg.threads, |lp| {
+            let c = single_compiler.compile(lp).ok()?;
+            Some((c.ipc.static_ipc, c.ipc.dynamic_ipc))
+        });
+        let single_ok: Vec<(f64, f64)> = single_ipc.into_iter().flatten().collect();
+
+        // Clustered machines only exist at widths that are multiples of 3 (the basic
+        // 3-FU cluster) and of at least 2 clusters.
+        let clustered_ipc = if fus % 3 == 0 && fus >= 6 {
+            let clustered = Machine::paper_clustered(fus / 3, Default::default());
+            let compiler = Compiler::new(CompilerConfig::paper_defaults(clustered));
+            let v: Vec<Option<(f64, f64)>> = par_map(&loops, cfg.threads, |lp| {
+                let c = compiler.compile(lp).ok()?;
+                Some((c.ipc.static_ipc, c.ipc.dynamic_ipc))
+            });
+            let ok: Vec<(f64, f64)> = v.into_iter().flatten().collect();
+            Some(ok)
+        } else {
+            None
+        };
+
+        points.push(IpcCurvePoint {
+            fus,
+            static_single: mean(&single_ok.iter().map(|p| p.0).collect::<Vec<_>>()),
+            dynamic_single: mean(&single_ok.iter().map(|p| p.1).collect::<Vec<_>>()),
+            static_clustered: clustered_ipc
+                .as_ref()
+                .map(|ok| mean(&ok.iter().map(|p| p.0).collect::<Vec<_>>())),
+            dynamic_clustered: clustered_ipc
+                .as_ref()
+                .map(|ok| mean(&ok.iter().map(|p| p.1).collect::<Vec<_>>())),
+            loops: single_ok.len(),
+        });
+    }
+    points
+}
+
+/// Renders the IPC curve points as a text table.
+pub fn render(points: &[IpcCurvePoint]) -> TextTable {
+    let fmt = |v: f64| format!("{v:.2}");
+    let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".to_string());
+    let mut t = TextTable::new(vec![
+        "FUs",
+        "static single",
+        "dynamic single",
+        "static clustered",
+        "dynamic clustered",
+        "loops",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.fus.to_string(),
+            fmt(p.static_single),
+            fmt(p.dynamic_single),
+            opt(p.static_clustered),
+            opt(p.dynamic_clustered),
+            p.loops.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_grows_with_machine_width_and_static_dominates_dynamic() {
+        let cfg = ExperimentConfig::quick(60, 37);
+        let points = ipc_curves(&cfg, &[4, 12], false);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.loops > 0);
+            assert!(p.static_single > 0.0);
+            assert!(
+                p.dynamic_single <= p.static_single + 1e-9,
+                "dynamic IPC cannot exceed static IPC"
+            );
+        }
+        let narrow = &points[0];
+        let wide = &points[1];
+        assert!(
+            wide.static_single >= narrow.static_single,
+            "a wider machine should not issue fewer operations per cycle"
+        );
+    }
+
+    #[test]
+    fn clustered_points_exist_only_at_multiples_of_three() {
+        let cfg = ExperimentConfig::quick(30, 41);
+        let points = ipc_curves(&cfg, &[4, 12], false);
+        assert!(points[0].static_clustered.is_none());
+        assert!(points[1].static_clustered.is_some());
+        let clustered = points[1].static_clustered.unwrap();
+        let single = points[1].static_single;
+        // The partitioning penalty can only reduce the issue rate (allow a small
+        // tolerance because the unroll-factor heuristic may differ per machine).
+        assert!(clustered <= single * 1.05 + 1e-9);
+    }
+
+    #[test]
+    fn resource_constrained_subset_scales_better() {
+        let cfg = ExperimentConfig::quick(80, 53);
+        let all = ipc_curves(&cfg, &[12], false);
+        let constrained = ipc_curves(&cfg, &[12], true);
+        assert!(constrained[0].loops <= all[0].loops);
+        if constrained[0].loops > 0 {
+            assert!(
+                constrained[0].static_single >= all[0].static_single * 0.9,
+                "the resource-constrained subset should not issue much less"
+            );
+        }
+    }
+
+    #[test]
+    fn render_uses_dash_for_missing_clustered_points() {
+        let cfg = ExperimentConfig::quick(15, 61);
+        let points = ipc_curves(&cfg, &[4], false);
+        let s = render(&points).render();
+        assert!(s.contains('-'));
+    }
+}

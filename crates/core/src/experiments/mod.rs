@@ -1,0 +1,140 @@
+//! Experiment drivers reproducing every table and figure of the paper's evaluation.
+//!
+//! Each submodule corresponds to one figure (or to the statistics quoted in the
+//! running text) and produces both a structured result type and a rendered
+//! [`vliw_analysis::TextTable`].  The `figures` binary of the `vliw-bench` crate and
+//! the Criterion benches call these drivers; EXPERIMENTS.md records their output next
+//! to the paper's numbers.
+//!
+//! | Driver | Paper artefact |
+//! |---|---|
+//! | [`fig3`] | Fig. 3 — number of queues required (4/6/12 FUs, with copies) |
+//! | [`copy_cost`] | Section 2 statistics — II / stage-count cost of copy insertion |
+//! | [`fig4`] | Fig. 4 — II speedup from loop unrolling |
+//! | [`fig6`] | Fig. 6 — II variation of the partitioned schedules (12/15/18 FUs) |
+//! | [`cluster_resources`] | Fig. 7 / Section 4 — queue demand per cluster and per ring link |
+//! | [`ipc`] | Figs. 8 and 9 — static/dynamic IPC, all loops and resource-constrained loops |
+
+pub mod copy_cost;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod ipc;
+pub mod resources;
+
+pub use copy_cost::{copy_cost_experiment, CopyCostRow};
+pub use fig3::{fig3_experiment, Fig3Row};
+pub use fig4::{fig4_experiment, Fig4Row};
+pub use fig6::{fig6_experiment, Fig6Row};
+pub use ipc::{fig8_experiment, fig9_experiment, IpcCurvePoint};
+pub use resources::{cluster_resources_experiment, ClusterResourcesRow};
+
+use vliw_ddg::Loop;
+use vliw_loopgen::{generate_corpus, CorpusConfig};
+
+/// Shared configuration of the experiment drivers.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Corpus to evaluate.
+    pub corpus: CorpusConfig,
+    /// Number of worker threads for the corpus sweeps (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { corpus: CorpusConfig::paper_default(), threads: default_threads() }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration over a reduced corpus, for tests and quick runs.
+    pub fn quick(num_loops: usize, seed: u64) -> Self {
+        ExperimentConfig { corpus: CorpusConfig::small(num_loops, seed), threads: default_threads() }
+    }
+
+    /// Generates the corpus described by this configuration.
+    pub fn corpus(&self) -> Vec<Loop> {
+        generate_corpus(&self.corpus)
+    }
+}
+
+/// A sensible default worker count: the available parallelism capped at 8 (the
+/// experiments are short; more threads only add contention on small corpora).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Applies `f` to every item of `items`, in parallel over `threads` workers, and
+/// returns the results in input order.
+///
+/// The implementation uses `crossbeam` scoped threads over disjoint chunks, so `f`
+/// only needs to be `Sync` (no `'static` bound) and no unsafe code is involved.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut remaining: &mut [Option<R>] = &mut results;
+        for (chunk_index, chunk) in items.chunks(chunk_size).enumerate() {
+            let (head, tail) = remaining.split_at_mut(chunk.len());
+            remaining = tail;
+            let f = &f;
+            let base = chunk_index * chunk_size;
+            let _ = base;
+            scope.spawn(move |_| {
+                for (slot, item) in head.iter_mut().zip(chunk.iter()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..200).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = par_map(&items, threads, |x| x * 3 + 1);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_small_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn quick_config_generates_requested_corpus() {
+        let cfg = ExperimentConfig::quick(17, 3);
+        assert_eq!(cfg.corpus().len(), 17);
+        assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn default_config_is_paper_sized() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.corpus.num_loops, 1258);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fig. 7 / Section 4 — cluster resource sizing.
+//!
+//! The paper concludes that a cluster with **8 private queues** plus **8
+//! communication queues in each direction** suffices for nearly all loops of the
+//! benchmark.  This driver partitions every loop on clustered machines and reports
+//! the fraction of loops that fit those budgets, along with the observed maxima.
+
+use vliw_analysis::{fraction, pct, TextTable};
+use vliw_machine::Machine;
+
+use crate::experiments::{par_map, ExperimentConfig};
+use crate::pipeline::{Compiler, CompilerConfig};
+
+/// Per-machine summary of the queue-demand analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterResourcesRow {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Fraction of loops that fit the paper's cluster (8 private + 8 comm queues per
+    /// direction, depth 8).
+    pub fits_paper_cluster: f64,
+    /// Fraction of loops needing at most 8 private queues in every cluster.
+    pub private_within_8: f64,
+    /// Fraction of loops needing at most 8 communication queues on every link.
+    pub comm_within_8: f64,
+    /// Largest number of private queues needed by any cluster over the corpus.
+    pub max_private_queues: usize,
+    /// Largest number of communication queues needed by any link over the corpus.
+    pub max_comm_queues: usize,
+    /// Mean fraction of values that cross clusters.
+    pub mean_cross_fraction: f64,
+    /// Number of loops evaluated.
+    pub loops: usize,
+}
+
+/// Runs the cluster-resource experiment for the given cluster counts (the paper's
+/// machines are 4, 5 and 6 clusters).
+pub fn cluster_resources_experiment(
+    cfg: &ExperimentConfig,
+    cluster_counts: &[usize],
+) -> Vec<ClusterResourcesRow> {
+    let corpus = cfg.corpus();
+    let mut rows = Vec::new();
+    for &clusters in cluster_counts {
+        let machine = Machine::paper_clustered(clusters, Default::default());
+        let compiler = Compiler::new(CompilerConfig::paper_defaults(machine));
+        let samples: Vec<Option<(usize, usize, usize, usize, f64)>> =
+            par_map(&corpus, cfg.threads, |lp| {
+                let c = compiler.compile(lp).ok()?;
+                let comm = c.comm.expect("clustered machine");
+                Some((
+                    comm.max_private_queues_per_cluster,
+                    comm.max_comm_queues_per_link,
+                    comm.max_private_queue_depth,
+                    comm.max_comm_queue_depth,
+                    comm.cross_fraction(),
+                ))
+            });
+        let ok: Vec<(usize, usize, usize, usize, f64)> = samples.into_iter().flatten().collect();
+        rows.push(ClusterResourcesRow {
+            clusters,
+            fits_paper_cluster: fraction(&ok, |&(p, c, pd, cd, _)| {
+                p <= 8 && c <= 8 && pd <= 8 && cd <= 8
+            }),
+            private_within_8: fraction(&ok, |&(p, _, _, _, _)| p <= 8),
+            comm_within_8: fraction(&ok, |&(_, c, _, _, _)| c <= 8),
+            max_private_queues: ok.iter().map(|&(p, _, _, _, _)| p).max().unwrap_or(0),
+            max_comm_queues: ok.iter().map(|&(_, c, _, _, _)| c).max().unwrap_or(0),
+            mean_cross_fraction: if ok.is_empty() {
+                0.0
+            } else {
+                ok.iter().map(|&(_, _, _, _, f)| f).sum::<f64>() / ok.len() as f64
+            },
+            loops: ok.len(),
+        });
+    }
+    rows
+}
+
+/// Renders the resource rows as a text table.
+pub fn render(rows: &[ClusterResourcesRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "clusters",
+        "fits 8+8 cluster",
+        "private <= 8",
+        "comm <= 8",
+        "max private",
+        "max comm",
+        "mean cross traffic",
+        "loops",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.clusters.to_string(),
+            pct(r.fits_paper_cluster),
+            pct(r.private_within_8),
+            pct(r.comm_within_8),
+            r.max_private_queues.to_string(),
+            r.max_comm_queues.to_string(),
+            pct(r.mean_cross_fraction),
+            r.loops.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_budget_covers_most_loops() {
+        let cfg = ExperimentConfig::quick(60, 13);
+        let rows = cluster_resources_experiment(&cfg, &[4]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.loops > 0);
+        assert!(
+            r.fits_paper_cluster >= 0.70,
+            "only {} of loops fit the 8+8 cluster",
+            pct(r.fits_paper_cluster)
+        );
+        assert!(r.private_within_8 >= r.fits_paper_cluster);
+        assert!(r.comm_within_8 >= r.fits_paper_cluster);
+        assert!((0.0..=1.0).contains(&r.mean_cross_fraction));
+    }
+
+    #[test]
+    fn render_shape() {
+        let cfg = ExperimentConfig::quick(20, 19);
+        let rows = cluster_resources_experiment(&cfg, &[4, 5]);
+        assert_eq!(render(&rows).num_rows(), 2);
+    }
+}

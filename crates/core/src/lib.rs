@@ -1,0 +1,68 @@
+//! `vliw-core` — the top-level library of the reproduction of *Partitioned Schedules
+//! for Clustered VLIW Architectures* (Fernandes, Llosa & Topham, IPPS/SPDP 1998).
+//!
+//! The crate wires the substrates together and exposes:
+//!
+//! * the [`Compiler`] pipeline (unroll → copy insertion → modulo scheduling /
+//!   partitioning → queue allocation → analysis) — see [`pipeline`];
+//! * the [`experiments`] drivers that regenerate every table and figure of the
+//!   paper's evaluation on a synthetic Perfect-Club-like corpus;
+//! * re-exports of all substrate crates under one roof, so applications only need a
+//!   single dependency.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vliw_core::pipeline::{Compiler, CompilerConfig};
+//! use vliw_core::{kernels, LatencyModel, Machine};
+//!
+//! // A 4-cluster machine (12 compute FUs) with queue register files.
+//! let machine = Machine::paper_clustered(4, LatencyModel::default());
+//! let compiler = Compiler::new(CompilerConfig::paper_defaults(machine));
+//!
+//! let lp = kernels::dot_product(LatencyModel::default(), 1000);
+//! let out = compiler.compile(&lp).unwrap();
+//! println!("II = {}, stages = {}, queues = {}",
+//!          out.ii(), out.stage_count, out.queues_required());
+//! assert!(out.ii() >= out.mii);
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use pipeline::{Compilation, Compiler, CompilerConfig};
+
+// Re-export the substrate crates so downstream users (examples, benches, tests) can
+// reach everything through `vliw_core::...`.
+pub use vliw_analysis as analysis;
+pub use vliw_ddg as ddg;
+pub use vliw_loopgen as loopgen;
+pub use vliw_machine as machine;
+pub use vliw_partition as partition;
+pub use vliw_qrf as qrf;
+pub use vliw_sched as sched;
+pub use vliw_unroll as unroll;
+
+// Frequently used items, re-exported flat for convenience.
+pub use vliw_ddg::{kernels, Ddg, DdgBuilder, LatencyModel, Loop, OpClass, OpId, OpKind};
+pub use vliw_loopgen::{generate_corpus, CorpusConfig};
+pub use vliw_machine::{ClusterConfig, ClusterId, FuId, Machine, RingConfig};
+pub use vliw_partition::{partition_schedule, CommStats, PartitionOptions, PartitionResult};
+pub use vliw_qrf::{allocate_queues, insert_copies, q_compatible, use_lifetimes, QueueAllocation};
+pub use vliw_sched::{modulo_schedule, ImsOptions, ImsResult, SchedError, Schedule};
+pub use vliw_unroll::{ii_speedup, select_unroll_factor, unroll_ddg};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_compiles_and_validates() {
+        let machine = Machine::paper_clustered(4, LatencyModel::default());
+        let compiler = Compiler::new(CompilerConfig::paper_defaults(machine.clone()));
+        let lp = kernels::dot_product(LatencyModel::default(), 1000);
+        let out = compiler.compile(&lp).unwrap();
+        assert!(out.schedule.validate(&out.transformed, &machine).is_ok());
+        assert!(out.ii() >= out.mii);
+    }
+}

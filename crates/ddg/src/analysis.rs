@@ -1,0 +1,323 @@
+//! Structural analyses over dependence graphs: strongly connected components,
+//! critical paths, depth/height of the acyclic subgraph and aggregate statistics.
+
+use crate::graph::Ddg;
+use crate::op::{OpClass, OpId};
+
+/// Tarjan's strongly-connected-components algorithm (iterative formulation).
+///
+/// Returns the SCCs in reverse topological order; every operation appears in exactly
+/// one component.  SCCs with more than one node (or single nodes with a self edge)
+/// correspond to the paper's *recurrence circuits*.
+pub fn strongly_connected_components(ddg: &Ddg) -> Vec<Vec<OpId>> {
+    let n = ddg.num_ops();
+    const UNVISITED: usize = usize::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<OpId>> = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position over its successors).
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, succ_pos)) = call_stack.last() {
+            if succ_pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            // Successor list for v.
+            let succs: Vec<usize> = ddg
+                .succ_edges(OpId(v as u32))
+                .map(|e| e.dst.index())
+                .collect();
+            if succ_pos < succs.len() {
+                call_stack.last_mut().expect("frame just observed").1 += 1;
+                let w = succs[succ_pos];
+                if index[w] == UNVISITED {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // All successors processed: maybe emit an SCC, then return to caller.
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(OpId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    sccs.push(component);
+                }
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Result of [`critical_path`]: the longest latency chain through the distance-0
+/// subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Sum of edge latencies along the longest chain, plus nothing for the final op
+    /// (issue-to-issue convention).
+    pub length: u32,
+    /// Operations on one longest chain, in dependence order.
+    pub ops: Vec<OpId>,
+}
+
+/// Computes the critical path of the intra-iteration subgraph.
+///
+/// Loop-carried edges are ignored: the critical path bounds the length of a single
+/// iteration's schedule, not the recurrence-constrained II.
+pub fn critical_path(ddg: &Ddg) -> CriticalPath {
+    let order = match ddg.topo_order_intra() {
+        Some(o) => o,
+        None => return CriticalPath { length: 0, ops: Vec::new() },
+    };
+    let n = ddg.num_ops();
+    let mut dist = vec![0u32; n];
+    let mut pred: Vec<Option<OpId>> = vec![None; n];
+    for &op in &order {
+        for e in ddg.succ_edges(op) {
+            if e.distance != 0 {
+                continue;
+            }
+            let cand = dist[op.index()] + e.latency;
+            if cand > dist[e.dst.index()] {
+                dist[e.dst.index()] = cand;
+                pred[e.dst.index()] = Some(op);
+            }
+        }
+    }
+    let (mut best_op, mut best) = (None, 0u32);
+    for op in ddg.op_ids() {
+        if dist[op.index()] >= best {
+            best = dist[op.index()];
+            best_op = Some(op);
+        }
+    }
+    let mut ops = Vec::new();
+    let mut cur = best_op;
+    while let Some(op) = cur {
+        ops.push(op);
+        cur = pred[op.index()];
+    }
+    ops.reverse();
+    CriticalPath { length: best, ops }
+}
+
+/// Per-operation *depth*: longest latency chain from any source of the distance-0
+/// subgraph to the operation (0 for sources).
+pub fn depths(ddg: &Ddg) -> Vec<u32> {
+    let order = ddg.topo_order_intra().unwrap_or_default();
+    let mut depth = vec![0u32; ddg.num_ops()];
+    for &op in &order {
+        for e in ddg.succ_edges(op) {
+            if e.distance == 0 {
+                depth[e.dst.index()] = depth[e.dst.index()].max(depth[op.index()] + e.latency);
+            }
+        }
+    }
+    depth
+}
+
+/// Per-operation *height*: longest latency chain from the operation to any sink of
+/// the distance-0 subgraph.  Height is the classic modulo-scheduling priority: an
+/// operation with a large height has a long chain of dependents and should be placed
+/// early.
+pub fn heights(ddg: &Ddg) -> Vec<u32> {
+    let order = ddg.topo_order_intra().unwrap_or_default();
+    let mut height = vec![0u32; ddg.num_ops()];
+    for &op in order.iter().rev() {
+        for e in ddg.succ_edges(op) {
+            if e.distance == 0 {
+                height[op.index()] = height[op.index()].max(height[e.dst.index()] + e.latency);
+            }
+        }
+    }
+    height
+}
+
+/// Aggregate statistics of a dependence graph, used by the corpus generator tests and
+/// by the experiment reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of operations.
+    pub ops: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Operations per functional-unit class.
+    pub class_counts: [usize; OpClass::COUNT],
+    /// Number of loop-carried edges.
+    pub carried_edges: usize,
+    /// Whether the graph has at least one recurrence circuit.
+    pub has_recurrence: bool,
+    /// Maximum value fan-out.
+    pub max_fanout: usize,
+    /// Critical-path length of the distance-0 subgraph.
+    pub critical_path: u32,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `ddg`.
+    pub fn of(ddg: &Ddg) -> Self {
+        GraphStats {
+            ops: ddg.num_ops(),
+            edges: ddg.num_edges(),
+            class_counts: ddg.class_counts(),
+            carried_edges: ddg.edges().filter(|e| e.is_loop_carried()).count(),
+            has_recurrence: ddg.has_recurrence(),
+            max_fanout: ddg.max_fanout(),
+            critical_path: critical_path(ddg).length,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::DepKind;
+    use crate::op::OpKind;
+
+    fn chain(n: usize) -> Ddg {
+        let mut g = Ddg::new();
+        let ops: Vec<OpId> = (0..n).map(|_| g.add_op(OpKind::Add)).collect();
+        for w in ops.windows(2) {
+            g.add_edge(w[0], w[1], DepKind::Flow, 1, 0);
+        }
+        g
+    }
+
+    #[test]
+    fn scc_of_a_chain_is_all_singletons() {
+        let g = chain(5);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 5);
+        assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn scc_finds_recurrence_circuit() {
+        let mut g = Ddg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Mul);
+        let c = g.add_op(OpKind::Load);
+        g.add_edge(a, b, DepKind::Flow, 1, 0);
+        g.add_edge(b, a, DepKind::Flow, 2, 1);
+        g.add_edge(c, a, DepKind::Flow, 2, 0);
+        let sccs = strongly_connected_components(&g);
+        let big: Vec<_> = sccs.iter().filter(|s| s.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0].as_slice(), &[a, b]);
+    }
+
+    #[test]
+    fn scc_handles_two_disjoint_cycles() {
+        let mut g = Ddg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        let c = g.add_op(OpKind::Mul);
+        let d = g.add_op(OpKind::Mul);
+        g.add_edge(a, b, DepKind::Flow, 1, 0);
+        g.add_edge(b, a, DepKind::Flow, 1, 1);
+        g.add_edge(c, d, DepKind::Flow, 1, 0);
+        g.add_edge(d, c, DepKind::Flow, 1, 2);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.iter().filter(|s| s.len() == 2).count(), 2);
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let g = chain(4);
+        let cp = critical_path(&g);
+        assert_eq!(cp.length, 3);
+        assert_eq!(cp.ops.len(), 4);
+    }
+
+    #[test]
+    fn critical_path_picks_longest_branch() {
+        let mut g = Ddg::new();
+        let ld = g.add_op(OpKind::Load);
+        let mul = g.add_op(OpKind::Mul);
+        let add = g.add_op(OpKind::Add);
+        let st = g.add_op(OpKind::Store);
+        g.add_edge(ld, mul, DepKind::Flow, 2, 0);
+        g.add_edge(ld, add, DepKind::Flow, 2, 0);
+        g.add_edge(mul, st, DepKind::Flow, 2, 0);
+        g.add_edge(add, st, DepKind::Flow, 1, 0);
+        let cp = critical_path(&g);
+        assert_eq!(cp.length, 4);
+        assert_eq!(cp.ops, vec![ld, mul, st]);
+    }
+
+    #[test]
+    fn depths_and_heights_are_consistent() {
+        let g = chain(5);
+        let d = depths(&g);
+        let h = heights(&g);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(h, vec![4, 3, 2, 1, 0]);
+        // depth + height == critical path for ops on the critical path of a chain.
+        let cp = critical_path(&g).length;
+        for i in 0..5 {
+            assert_eq!(d[i] + h[i], cp);
+        }
+    }
+
+    #[test]
+    fn heights_ignore_loop_carried_edges() {
+        let mut g = Ddg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Add);
+        g.add_edge(a, b, DepKind::Flow, 1, 0);
+        g.add_edge(b, a, DepKind::Flow, 1, 1); // carried back edge
+        let h = heights(&g);
+        assert_eq!(h[a.index()], 1);
+        assert_eq!(h[b.index()], 0);
+    }
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut g = Ddg::new();
+        let ld = g.add_op(OpKind::Load);
+        let mul = g.add_op(OpKind::Mul);
+        let st = g.add_op(OpKind::Store);
+        g.add_edge(ld, mul, DepKind::Flow, 2, 0);
+        g.add_edge(mul, st, DepKind::Flow, 2, 0);
+        g.add_edge(mul, mul, DepKind::Flow, 2, 1);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.ops, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.carried_edges, 1);
+        assert!(s.has_recurrence);
+        assert_eq!(s.class_counts, [2, 0, 1, 0]);
+        assert_eq!(s.critical_path, 4);
+    }
+
+    #[test]
+    fn empty_graph_analyses() {
+        let g = Ddg::new();
+        assert!(strongly_connected_components(&g).is_empty());
+        assert_eq!(critical_path(&g).length, 0);
+        assert!(depths(&g).is_empty());
+        assert!(heights(&g).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Convenience builder for dependence graphs.
+//!
+//! [`DdgBuilder`] wraps [`Ddg`] and automatically derives flow-edge latencies from a
+//! [`LatencyModel`], which is how the corpus generator, the unroller and the
+//! hand-written example kernels construct graphs.
+
+use crate::edge::{DepKind, EdgeId};
+use crate::graph::{Ddg, Loop};
+use crate::latency::LatencyModel;
+use crate::op::{OpId, OpKind};
+
+/// Incremental builder of a [`Ddg`].
+#[derive(Debug, Clone)]
+pub struct DdgBuilder {
+    ddg: Ddg,
+    latencies: LatencyModel,
+}
+
+impl DdgBuilder {
+    /// Creates a builder using `latencies` to annotate flow edges.
+    pub fn new(latencies: LatencyModel) -> Self {
+        DdgBuilder { ddg: Ddg::new(), latencies }
+    }
+
+    /// The latency model used by this builder.
+    pub fn latencies(&self) -> &LatencyModel {
+        &self.latencies
+    }
+
+    /// Adds an operation.
+    pub fn op(&mut self, kind: OpKind) -> OpId {
+        self.ddg.add_op(kind)
+    }
+
+    /// Adds several operations of the same kind, returning their ids.
+    pub fn ops(&mut self, kind: OpKind, count: usize) -> Vec<OpId> {
+        (0..count).map(|_| self.op(kind)).collect()
+    }
+
+    /// Adds an intra-iteration flow dependence; the latency is the producer's latency
+    /// under the builder's [`LatencyModel`].
+    pub fn flow(&mut self, src: OpId, dst: OpId) -> EdgeId {
+        self.flow_carried(src, dst, 0)
+    }
+
+    /// Adds a loop-carried flow dependence with the given iteration distance.
+    pub fn flow_carried(&mut self, src: OpId, dst: OpId, distance: u32) -> EdgeId {
+        let lat = self.latencies.of(self.ddg.op(src).kind);
+        self.ddg.add_edge(src, dst, DepKind::Flow, lat, distance)
+    }
+
+    /// Adds a memory-ordering dependence (latency 1).
+    pub fn memory(&mut self, src: OpId, dst: OpId, distance: u32) -> EdgeId {
+        self.ddg.add_edge(src, dst, DepKind::Memory, 1, distance)
+    }
+
+    /// Adds an anti dependence (latency 0 is illegal in a modulo reservation table,
+    /// so the conventional delay of 1 is used).
+    pub fn anti(&mut self, src: OpId, dst: OpId, distance: u32) -> EdgeId {
+        self.ddg.add_edge(src, dst, DepKind::Anti, 1, distance)
+    }
+
+    /// Adds an output dependence (delay 1).
+    pub fn output(&mut self, src: OpId, dst: OpId, distance: u32) -> EdgeId {
+        self.ddg.add_edge(src, dst, DepKind::Output, 1, distance)
+    }
+
+    /// Adds an edge with an explicit latency, bypassing the latency model.
+    pub fn edge_with_latency(
+        &mut self,
+        src: OpId,
+        dst: OpId,
+        kind: DepKind,
+        latency: u32,
+        distance: u32,
+    ) -> EdgeId {
+        self.ddg.add_edge(src, dst, kind, latency, distance)
+    }
+
+    /// Finishes construction and returns the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed graph is structurally invalid (this indicates a bug
+    /// in the caller, not a recoverable condition).
+    pub fn finish(self) -> Ddg {
+        if let Err(e) = self.ddg.validate() {
+            panic!("DdgBuilder produced an invalid graph: {e}");
+        }
+        self.ddg
+    }
+
+    /// Finishes construction and wraps the graph in a [`Loop`].
+    pub fn finish_loop(self, name: impl Into<String>, trip_count: u64) -> Loop {
+        Loop::new(name, self.finish(), trip_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_edges_use_producer_latency() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let ld = b.op(OpKind::Load);
+        let mul = b.op(OpKind::Mul);
+        let add = b.op(OpKind::Add);
+        b.flow(ld, mul);
+        b.flow(mul, add);
+        let g = b.finish();
+        let lats: Vec<u32> = g.edges().map(|e| e.latency).collect();
+        assert_eq!(lats, vec![2, 2]);
+    }
+
+    #[test]
+    fn carried_edges_have_distance() {
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let a = b.op(OpKind::Add);
+        b.flow_carried(a, a, 1);
+        let g = b.finish();
+        assert_eq!(g.edges().next().unwrap().distance, 1);
+    }
+
+    #[test]
+    fn ops_helper_creates_count() {
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let loads = b.ops(OpKind::Load, 5);
+        assert_eq!(loads.len(), 5);
+        let g = b.finish();
+        assert_eq!(g.num_ops(), 5);
+    }
+
+    #[test]
+    fn non_flow_edges_have_small_latency() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let st = b.op(OpKind::Store);
+        let ld = b.op(OpKind::Load);
+        let add = b.op(OpKind::Add);
+        b.memory(st, ld, 1);
+        b.anti(add, st, 0);
+        b.output(add, add, 2);
+        let g = b.finish();
+        assert!(g.edges().all(|e| e.latency == 1));
+    }
+
+    #[test]
+    fn finish_loop_carries_metadata() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        b.op(OpKind::Add);
+        let l = b.finish_loop("tiny", 42);
+        assert_eq!(l.name, "tiny");
+        assert_eq!(l.trip_count, 42);
+        assert_eq!(l.ops_per_iteration(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid graph")]
+    fn finish_panics_on_invalid_graph() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let a = b.op(OpKind::Add);
+        let c = b.op(OpKind::Mul);
+        b.flow(a, c);
+        b.flow(c, a); // distance-0 cycle
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn explicit_latency_edge() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let a = b.op(OpKind::Add);
+        let c = b.op(OpKind::Mul);
+        b.edge_with_latency(a, c, DepKind::Flow, 7, 0);
+        let g = b.finish();
+        assert_eq!(g.edges().next().unwrap().latency, 7);
+    }
+}

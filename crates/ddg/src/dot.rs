@@ -1,0 +1,84 @@
+//! Graphviz (DOT) export of dependence graphs, mainly for debugging and
+//! documentation.
+
+use std::fmt::Write as _;
+
+use crate::edge::DepKind;
+use crate::graph::Ddg;
+
+/// Renders `ddg` in Graphviz DOT syntax.
+///
+/// Operations are labelled with their id and mnemonic; loop-carried edges are drawn
+/// dashed and annotated with their distance.
+pub fn to_dot(ddg: &Ddg, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for op in ddg.ops() {
+        let _ = writeln!(out, "  n{} [label=\"{} {}\"];", op.id.0, op.id, op.kind);
+    }
+    for e in ddg.edges() {
+        let style = if e.is_loop_carried() { "dashed" } else { "solid" };
+        let color = match e.kind {
+            DepKind::Flow => "black",
+            DepKind::Anti => "blue",
+            DepKind::Output => "purple",
+            DepKind::Memory => "red",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style={}, color={}, label=\"{},{}\"];",
+            e.src.0, e.dst.0, style, color, e.latency, e.distance
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::latency::LatencyModel;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let ld = b.op(OpKind::Load);
+        let add = b.op(OpKind::Add);
+        b.flow(ld, add);
+        b.flow_carried(add, add, 1);
+        let g = b.finish();
+        let dot = to_dot(&g, "example");
+        assert!(dot.starts_with("digraph \"example\""));
+        assert!(dot.contains("n0 [label=\"op0 ld\"]"));
+        assert!(dot.contains("n1 [label=\"op1 add\"]"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_name_is_sanitized() {
+        let g = Ddg::new();
+        let dot = to_dot(&g, "we\"ird\\name");
+        assert!(!dot.contains('\\'));
+        assert!(dot.contains("we_ird_name"));
+    }
+
+    #[test]
+    fn edge_colors_by_kind() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let st = b.op(OpKind::Store);
+        let ld = b.op(OpKind::Load);
+        b.memory(st, ld, 0);
+        let g = b.finish();
+        let dot = to_dot(&g, "mem");
+        assert!(dot.contains("color=red"));
+    }
+}

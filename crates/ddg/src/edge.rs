@@ -1,0 +1,166 @@
+//! Dependence edges.
+//!
+//! Modulo scheduling needs two numbers per dependence: the **latency** (minimum
+//! number of cycles between the issue of the producer and the issue of the consumer)
+//! and the **distance** (how many iterations later the consumer executes, often
+//! written omega).  Loop-carried dependences have `distance > 0`; intra-iteration
+//! dependences have `distance == 0`.
+
+use std::fmt;
+
+use crate::op::OpId;
+
+/// Identifier of an edge inside a [`crate::Ddg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Kind of dependence between two operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// True (read-after-write) data dependence: the destination consumes the value
+    /// produced by the source.  Only flow dependences give rise to register (or
+    /// queue) lifetimes.
+    Flow,
+    /// Anti (write-after-read) dependence.
+    Anti,
+    /// Output (write-after-write) dependence.
+    Output,
+    /// Memory ordering dependence between loads and stores whose addresses may alias.
+    Memory,
+}
+
+impl DepKind {
+    /// All dependence kinds.
+    pub const ALL: [DepKind; 4] = [DepKind::Flow, DepKind::Anti, DepKind::Output, DepKind::Memory];
+
+    /// True if the dependence carries a data value (and therefore needs storage).
+    #[inline]
+    pub fn carries_value(self) -> bool {
+        matches!(self, DepKind::Flow)
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+            DepKind::Memory => "mem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence edge of the data dependence graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Identifier of this edge.
+    pub id: EdgeId,
+    /// Source (producer) operation.
+    pub src: OpId,
+    /// Destination (consumer) operation.
+    pub dst: OpId,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Minimum issue-to-issue delay in cycles.
+    ///
+    /// For a flow dependence this is the latency of the producing operation; for
+    /// anti/output/memory dependences it is usually 0 or 1.
+    pub latency: u32,
+    /// Iteration distance (omega).  `0` means both ends belong to the same iteration.
+    pub distance: u32,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(id: EdgeId, src: OpId, dst: OpId, kind: DepKind, latency: u32, distance: u32) -> Self {
+        Edge { id, src, dst, kind, latency, distance }
+    }
+
+    /// True for loop-carried dependences (`distance > 0`).
+    #[inline]
+    pub fn is_loop_carried(&self) -> bool {
+        self.distance > 0
+    }
+
+    /// The scheduling constraint imposed by this edge for a candidate initiation
+    /// interval `ii`:
+    ///
+    /// `start(dst) >= start(src) + latency - ii * distance`
+    ///
+    /// Returns the signed weight `latency - ii * distance` used by RecMII
+    /// computation and by the scheduler's earliest-start calculation.
+    #[inline]
+    pub fn weight_at(&self, ii: u32) -> i64 {
+        self.latency as i64 - (ii as i64) * (self.distance as i64)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} [{} lat={} dist={}]",
+            self.src, self.dst, self.kind, self.latency, self.distance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_flow_edges_carry_values() {
+        assert!(DepKind::Flow.carries_value());
+        assert!(!DepKind::Anti.carries_value());
+        assert!(!DepKind::Output.carries_value());
+        assert!(!DepKind::Memory.carries_value());
+    }
+
+    #[test]
+    fn loop_carried_detection() {
+        let e0 = Edge::new(EdgeId(0), OpId(0), OpId(1), DepKind::Flow, 2, 0);
+        let e1 = Edge::new(EdgeId(1), OpId(1), OpId(0), DepKind::Flow, 1, 1);
+        assert!(!e0.is_loop_carried());
+        assert!(e1.is_loop_carried());
+    }
+
+    #[test]
+    fn weight_at_various_ii() {
+        let e = Edge::new(EdgeId(0), OpId(0), OpId(1), DepKind::Flow, 3, 2);
+        assert_eq!(e.weight_at(1), 1);
+        assert_eq!(e.weight_at(2), -1);
+        assert_eq!(e.weight_at(10), -17);
+        let intra = Edge::new(EdgeId(1), OpId(0), OpId(1), DepKind::Flow, 3, 0);
+        // Intra-iteration edges do not depend on the II.
+        assert_eq!(intra.weight_at(1), 3);
+        assert_eq!(intra.weight_at(100), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Edge::new(EdgeId(5), OpId(0), OpId(1), DepKind::Memory, 1, 3);
+        let s = e.to_string();
+        assert!(s.contains("op0"));
+        assert!(s.contains("op1"));
+        assert!(s.contains("mem"));
+        assert!(s.contains("dist=3"));
+        assert_eq!(EdgeId(5).to_string(), "e5");
+    }
+}

@@ -1,0 +1,414 @@
+//! The data dependence graph container and the [`Loop`] wrapper.
+
+use std::fmt;
+
+use crate::edge::{DepKind, Edge, EdgeId};
+use crate::op::{OpClass, OpId, OpKind, Operation};
+
+/// Errors reported by [`Ddg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdgError {
+    /// An edge refers to an operation id outside the graph.
+    DanglingEdge {
+        /// Offending edge.
+        edge: EdgeId,
+    },
+    /// The intra-iteration (distance-0) subgraph contains a cycle, which no schedule
+    /// could ever satisfy.
+    IntraIterationCycle,
+    /// A flow edge leaves a store, which produces no value.
+    FlowFromStore {
+        /// Offending edge.
+        edge: EdgeId,
+    },
+    /// An edge connects an operation to itself with distance 0.
+    ZeroDistanceSelfLoop {
+        /// Offending edge.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::DanglingEdge { edge } => write!(f, "edge {edge} refers to a missing operation"),
+            DdgError::IntraIterationCycle => {
+                write!(f, "the distance-0 subgraph contains a cycle; no schedule can satisfy it")
+            }
+            DdgError::FlowFromStore { edge } => {
+                write!(f, "flow edge {edge} originates at a store, which produces no value")
+            }
+            DdgError::ZeroDistanceSelfLoop { edge } => {
+                write!(f, "edge {edge} is a self-loop with distance 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DdgError {}
+
+/// A data dependence graph for one innermost-loop body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ddg {
+    ops: Vec<Operation>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per operation.
+    succs: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per operation.
+    preds: Vec<Vec<EdgeId>>,
+}
+
+impl Ddg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Ddg::default()
+    }
+
+    /// Creates an empty graph with space reserved for `ops` operations.
+    pub fn with_capacity(ops: usize) -> Self {
+        Ddg {
+            ops: Vec::with_capacity(ops),
+            edges: Vec::with_capacity(ops * 2),
+            succs: Vec::with_capacity(ops),
+            preds: Vec::with_capacity(ops),
+        }
+    }
+
+    /// Adds an operation and returns its id.
+    pub fn add_op(&mut self, kind: OpKind) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Operation::new(id, kind));
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependence edge and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not an operation of this graph.
+    pub fn add_edge(&mut self, src: OpId, dst: OpId, kind: DepKind, latency: u32, distance: u32) -> EdgeId {
+        assert!(src.index() < self.ops.len(), "edge source {src} out of range");
+        assert!(dst.index() < self.ops.len(), "edge destination {dst} out of range");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge::new(id, src, dst, kind, latency, distance));
+        self.succs[src.index()].push(id);
+        self.preds[dst.index()].push(id);
+        id
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The operation with the given id.
+    #[inline]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Iterator over all operations in id order.
+    pub fn ops(&self) -> impl Iterator<Item = &Operation> + '_ {
+        self.ops.iter()
+    }
+
+    /// Iterator over all operation ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + 'static {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Iterator over all edges in id order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter()
+    }
+
+    /// Outgoing edges of `op`.
+    pub fn succ_edges(&self, op: OpId) -> impl Iterator<Item = &Edge> + '_ {
+        self.succs[op.index()].iter().map(move |&e| &self.edges[e.index()])
+    }
+
+    /// Incoming edges of `op`.
+    pub fn pred_edges(&self, op: OpId) -> impl Iterator<Item = &Edge> + '_ {
+        self.preds[op.index()].iter().map(move |&e| &self.edges[e.index()])
+    }
+
+    /// Flow (value-carrying) out-edges of `op`, i.e. the edges whose consumers read
+    /// the value produced by `op`.
+    pub fn flow_consumers(&self, op: OpId) -> impl Iterator<Item = &Edge> + '_ {
+        self.succ_edges(op).filter(|e| e.kind == DepKind::Flow)
+    }
+
+    /// Number of distinct flow consumers of `op` (the value's fan-out).
+    pub fn fanout(&self, op: OpId) -> usize {
+        self.flow_consumers(op).count()
+    }
+
+    /// The maximum fan-out over all value-producing operations.
+    pub fn max_fanout(&self) -> usize {
+        self.op_ids().map(|op| self.fanout(op)).max().unwrap_or(0)
+    }
+
+    /// Count of operations per functional-unit class.
+    pub fn class_counts(&self) -> [usize; OpClass::COUNT] {
+        let mut counts = [0usize; OpClass::COUNT];
+        for op in &self.ops {
+            counts[op.class().index()] += 1;
+        }
+        counts
+    }
+
+    /// True if the graph contains any loop-carried dependence cycle (a recurrence
+    /// circuit in the paper's terminology).
+    pub fn has_recurrence(&self) -> bool {
+        // A recurrence exists iff some cycle of the full graph exists; because the
+        // distance-0 subgraph of a valid DDG is acyclic, any cycle must include a
+        // loop-carried edge.  Use the SCC decomposition.
+        crate::analysis::strongly_connected_components(self)
+            .iter()
+            .any(|scc| scc.len() > 1)
+            || self.edges.iter().any(|e| e.src == e.dst && e.distance > 0)
+    }
+
+    /// Topological order of the intra-iteration (distance-0) subgraph.
+    ///
+    /// Returns `None` if that subgraph has a cycle (an invalid DDG).
+    pub fn topo_order_intra(&self) -> Option<Vec<OpId>> {
+        let n = self.num_ops();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            if e.distance == 0 {
+                indeg[e.dst.index()] += 1;
+            }
+        }
+        let mut stack: Vec<OpId> = (0..n as u32).map(OpId).filter(|o| indeg[o.index()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(op) = stack.pop() {
+            order.push(op);
+            for e in self.succs[op.index()].iter().map(|&e| &self.edges[e.index()]) {
+                if e.distance == 0 {
+                    indeg[e.dst.index()] -= 1;
+                    if indeg[e.dst.index()] == 0 {
+                        stack.push(e.dst);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Checks the structural invariants of the graph.
+    pub fn validate(&self) -> Result<(), DdgError> {
+        for e in &self.edges {
+            if e.src.index() >= self.ops.len() || e.dst.index() >= self.ops.len() {
+                return Err(DdgError::DanglingEdge { edge: e.id });
+            }
+            if e.kind == DepKind::Flow && !self.ops[e.src.index()].kind.produces_value() {
+                return Err(DdgError::FlowFromStore { edge: e.id });
+            }
+            if e.src == e.dst && e.distance == 0 {
+                return Err(DdgError::ZeroDistanceSelfLoop { edge: e.id });
+            }
+        }
+        if self.topo_order_intra().is_none() {
+            return Err(DdgError::IntraIterationCycle);
+        }
+        Ok(())
+    }
+
+    /// Sum of all operation latencies along the longest latency chain in the
+    /// intra-iteration subgraph; a crude lower bound on the schedule length of one
+    /// iteration.
+    pub fn critical_path_length(&self) -> u32 {
+        crate::analysis::critical_path(self).length
+    }
+}
+
+/// A named innermost loop: its dependence graph plus the execution metadata needed by
+/// the dynamic-IPC analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Name of the loop (benchmark-style identifier such as `"synth_0042"`).
+    pub name: String,
+    /// Body of the loop.
+    pub ddg: Ddg,
+    /// Number of iterations the loop executes at run time.
+    ///
+    /// The dynamic-issue analysis of the paper (Figs. 8 and 9) weighs the prologue and
+    /// epilogue against the kernel using the trip count.
+    pub trip_count: u64,
+}
+
+impl Loop {
+    /// Creates a loop.
+    pub fn new(name: impl Into<String>, ddg: Ddg, trip_count: u64) -> Self {
+        Loop { name: name.into(), ddg, trip_count }
+    }
+
+    /// Number of operations in one iteration of the loop body.
+    pub fn ops_per_iteration(&self) -> usize {
+        self.ddg.num_ops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Ddg {
+        // ld -> add -> st, ld -> mul -> st
+        let mut g = Ddg::new();
+        let ld = g.add_op(OpKind::Load);
+        let add = g.add_op(OpKind::Add);
+        let mul = g.add_op(OpKind::Mul);
+        let st = g.add_op(OpKind::Store);
+        g.add_edge(ld, add, DepKind::Flow, 2, 0);
+        g.add_edge(ld, mul, DepKind::Flow, 2, 0);
+        g.add_edge(add, st, DepKind::Flow, 1, 0);
+        g.add_edge(mul, st, DepKind::Flow, 2, 0);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = diamond();
+        assert_eq!(g.num_ops(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.fanout(OpId(0)), 2);
+        assert_eq!(g.fanout(OpId(3)), 0);
+        assert_eq!(g.max_fanout(), 2);
+        assert_eq!(g.class_counts(), [2, 1, 1, 0]);
+        assert!(!g.has_recurrence());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn succ_and_pred_edges() {
+        let g = diamond();
+        assert_eq!(g.succ_edges(OpId(0)).count(), 2);
+        assert_eq!(g.pred_edges(OpId(3)).count(), 2);
+        assert_eq!(g.pred_edges(OpId(0)).count(), 0);
+        assert_eq!(g.succ_edges(OpId(3)).count(), 0);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order_intra().expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.num_ops()];
+            for (i, op) in order.iter().enumerate() {
+                p[op.index()] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            if e.distance == 0 {
+                assert!(pos[e.src.index()] < pos[e.dst.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_detected_via_self_loop() {
+        let mut g = Ddg::new();
+        let add = g.add_op(OpKind::Add);
+        g.add_edge(add, add, DepKind::Flow, 1, 1);
+        assert!(g.has_recurrence());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn recurrence_detected_via_cycle() {
+        let mut g = Ddg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Mul);
+        g.add_edge(a, b, DepKind::Flow, 1, 0);
+        g.add_edge(b, a, DepKind::Flow, 2, 1);
+        assert!(g.has_recurrence());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_intra_iteration_cycle() {
+        let mut g = Ddg::new();
+        let a = g.add_op(OpKind::Add);
+        let b = g.add_op(OpKind::Mul);
+        g.add_edge(a, b, DepKind::Flow, 1, 0);
+        g.add_edge(b, a, DepKind::Flow, 1, 0);
+        assert_eq!(g.validate(), Err(DdgError::IntraIterationCycle));
+    }
+
+    #[test]
+    fn validate_rejects_flow_from_store() {
+        let mut g = Ddg::new();
+        let st = g.add_op(OpKind::Store);
+        let add = g.add_op(OpKind::Add);
+        let e = g.add_edge(st, add, DepKind::Flow, 1, 0);
+        assert_eq!(g.validate(), Err(DdgError::FlowFromStore { edge: e }));
+    }
+
+    #[test]
+    fn validate_rejects_zero_distance_self_loop() {
+        let mut g = Ddg::new();
+        let add = g.add_op(OpKind::Add);
+        let e = g.add_edge(add, add, DepKind::Flow, 1, 0);
+        assert_eq!(g.validate(), Err(DdgError::ZeroDistanceSelfLoop { edge: e }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_panics_on_bad_endpoint() {
+        let mut g = Ddg::new();
+        let a = g.add_op(OpKind::Add);
+        g.add_edge(a, OpId(42), DepKind::Flow, 1, 0);
+    }
+
+    #[test]
+    fn memory_edges_allowed_from_store() {
+        let mut g = Ddg::new();
+        let st = g.add_op(OpKind::Store);
+        let ld = g.add_op(OpKind::Load);
+        g.add_edge(st, ld, DepKind::Memory, 1, 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn loop_wrapper() {
+        let l = Loop::new("dot", diamond(), 100);
+        assert_eq!(l.name, "dot");
+        assert_eq!(l.ops_per_iteration(), 4);
+        assert_eq!(l.trip_count, 100);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let msgs = [
+            DdgError::DanglingEdge { edge: EdgeId(1) }.to_string(),
+            DdgError::IntraIterationCycle.to_string(),
+            DdgError::FlowFromStore { edge: EdgeId(2) }.to_string(),
+            DdgError::ZeroDistanceSelfLoop { edge: EdgeId(3) }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

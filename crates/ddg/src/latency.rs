@@ -1,0 +1,114 @@
+//! Operation latency model.
+//!
+//! The paper's experimental framework (described in the companion technical report
+//! ECS-CSG-34-97) uses fixed per-opcode latencies typical of mid-1990s VLIW designs.
+//! The exact values are a machine parameter; the defaults below are the conventional
+//! ones used throughout the modulo-scheduling literature of the period (loads take a
+//! couple of cycles, multiplies are pipelined with a small latency, divides are
+//! long-latency).
+
+use crate::op::OpKind;
+
+/// Per-opcode issue-to-result latencies, in cycles.
+///
+/// All functional units are assumed fully pipelined (a new operation can be issued to
+/// a unit every cycle), so the latency only constrains dependent operations, not the
+/// unit's own occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Latency of a load.
+    pub load: u32,
+    /// Latency of a store (to a dependent memory operation).
+    pub store: u32,
+    /// Latency of an add/sub/compare/address computation.
+    pub add: u32,
+    /// Latency of a multiply.
+    pub mul: u32,
+    /// Latency of a divide.
+    pub div: u32,
+    /// Latency of a queue-to-queue copy executed on the copy unit.
+    pub copy: u32,
+}
+
+impl Default for LatencyModel {
+    /// Default latencies: load 2, store 1, add 1, mul 2, div 8, copy 1.
+    fn default() -> Self {
+        LatencyModel { load: 2, store: 1, add: 1, mul: 2, div: 8, copy: 1 }
+    }
+}
+
+impl LatencyModel {
+    /// A model in which every operation has unit latency; useful for tests where the
+    /// schedule arithmetic should be easy to follow by hand.
+    pub fn unit() -> Self {
+        LatencyModel { load: 1, store: 1, add: 1, mul: 1, div: 1, copy: 1 }
+    }
+
+    /// An aggressive model with longer memory and multiply latencies, used to stress
+    /// register pressure (longer lifetimes) in the experiments.
+    pub fn long_latency() -> Self {
+        LatencyModel { load: 4, store: 1, add: 1, mul: 4, div: 16, copy: 1 }
+    }
+
+    /// Latency of `kind` under this model.
+    #[inline]
+    pub fn of(&self, kind: OpKind) -> u32 {
+        match kind {
+            OpKind::Load => self.load,
+            OpKind::Store => self.store,
+            OpKind::Add | OpKind::Sub | OpKind::Compare | OpKind::AddressAdd => self.add,
+            OpKind::Mul => self.mul,
+            OpKind::Div => self.div,
+            OpKind::Copy => self.copy,
+        }
+    }
+
+    /// The largest latency of any opcode under this model.
+    pub fn max_latency(&self) -> u32 {
+        OpKind::ALL.iter().map(|&k| self.of(k)).max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_are_positive() {
+        let lat = LatencyModel::default();
+        for kind in OpKind::ALL {
+            assert!(lat.of(kind) >= 1, "latency of {kind} must be at least 1");
+        }
+    }
+
+    #[test]
+    fn unit_model_is_all_ones() {
+        let lat = LatencyModel::unit();
+        for kind in OpKind::ALL {
+            assert_eq!(lat.of(kind), 1);
+        }
+        assert_eq!(lat.max_latency(), 1);
+    }
+
+    #[test]
+    fn long_latency_dominates_default() {
+        let def = LatencyModel::default();
+        let long = LatencyModel::long_latency();
+        for kind in OpKind::ALL {
+            assert!(long.of(kind) >= def.of(kind) || kind == OpKind::Copy || kind == OpKind::Store);
+        }
+        assert_eq!(long.max_latency(), 16);
+    }
+
+    #[test]
+    fn opcode_to_latency_mapping() {
+        let lat = LatencyModel::default();
+        assert_eq!(lat.of(OpKind::Load), 2);
+        assert_eq!(lat.of(OpKind::Add), 1);
+        assert_eq!(lat.of(OpKind::AddressAdd), 1);
+        assert_eq!(lat.of(OpKind::Mul), 2);
+        assert_eq!(lat.of(OpKind::Div), 8);
+        assert_eq!(lat.of(OpKind::Copy), 1);
+        assert_eq!(lat.max_latency(), 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! Data-dependence-graph (DDG) intermediate representation for modulo-scheduled
+//! innermost loops.
+//!
+//! This crate is the IR substrate of the reproduction of *Partitioned Schedules for
+//! Clustered VLIW Architectures* (Fernandes, Llosa & Topham, IPPS 1998).  A loop body
+//! is represented as a graph of [`Operation`]s connected by dependence [`Edge`]s, each
+//! edge carrying a `latency` (the delay in cycles that must elapse between the issue
+//! of the source and the issue of the destination) and a `distance` (the number of
+//! loop iterations separating the two operations, also called *omega*).
+//!
+//! The representation is deliberately close to the one used by the modulo-scheduling
+//! literature of the 1990s: operations are typed by the functional-unit class they
+//! occupy ([`OpClass`]), arithmetic is register-to-register, and memory traffic is
+//! expressed with explicit load/store operations.
+//!
+//! # Quick example
+//!
+//! ```
+//! use vliw_ddg::{DdgBuilder, LatencyModel, OpKind};
+//!
+//! // s = s + a[i] * b[i]   (dot product step)
+//! let lat = LatencyModel::default();
+//! let mut b = DdgBuilder::new(lat);
+//! let a = b.op(OpKind::Load);
+//! let bb = b.op(OpKind::Load);
+//! let m = b.op(OpKind::Mul);
+//! let s = b.op(OpKind::Add);
+//! b.flow(a, m);
+//! b.flow(bb, m);
+//! b.flow(m, s);
+//! b.flow_carried(s, s, 1); // the accumulator recurrence
+//! let ddg = b.finish();
+//! assert_eq!(ddg.num_ops(), 4);
+//! assert!(ddg.has_recurrence());
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+pub mod edge;
+pub mod graph;
+pub mod kernels;
+pub mod latency;
+pub mod op;
+
+pub use analysis::{CriticalPath, GraphStats};
+pub use builder::DdgBuilder;
+pub use edge::{DepKind, Edge, EdgeId};
+pub use graph::{Ddg, DdgError, Loop};
+pub use latency::LatencyModel;
+pub use op::{OpClass, OpId, OpKind, Operation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_example_builds() {
+        let lat = LatencyModel::default();
+        let mut b = DdgBuilder::new(lat);
+        let a = b.op(OpKind::Load);
+        let m = b.op(OpKind::Mul);
+        b.flow(a, m);
+        let ddg = b.finish();
+        assert_eq!(ddg.num_ops(), 2);
+        assert_eq!(ddg.num_edges(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Operations and operation classes.
+//!
+//! An [`Operation`] is a single machine-level instruction of the loop body.  The
+//! paper's machine model issues operations on four classes of functional unit —
+//! load/store, adder, multiplier and the dedicated copy unit — so every [`OpKind`]
+//! maps onto an [`OpClass`] that the scheduler uses for resource accounting.
+
+use std::fmt;
+
+/// Identifier of an operation inside a [`crate::Ddg`].
+///
+/// Operation ids are dense indices assigned in insertion order; they are stable for
+/// the lifetime of a graph and are used to index per-operation side tables by the
+/// scheduler, the register allocators and the partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Returns the id as a `usize` index, for use with side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Concrete opcode of an operation.
+///
+/// The set is intentionally small: the experiments of the paper only distinguish
+/// operations by the functional unit they occupy and by their latency, so a handful
+/// of representative opcodes per class is sufficient to model the Perfect-Club-like
+/// loop bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Memory read; occupies the load/store unit.
+    Load,
+    /// Memory write; occupies the load/store unit.
+    Store,
+    /// Integer or floating-point addition/subtraction; occupies the adder.
+    Add,
+    /// Subtraction, kept distinct from [`OpKind::Add`] for corpus realism.
+    Sub,
+    /// Comparison; occupies the adder.
+    Compare,
+    /// Multiplication; occupies the multiplier.
+    Mul,
+    /// Division; occupies the multiplier (long latency).
+    Div,
+    /// Inter-queue copy, executed by the dedicated copy functional unit.
+    ///
+    /// Copies are never present in source loop bodies: they are inserted by the copy
+    /// insertion pass of `vliw-qrf` when a value is consumed more than once (a queue
+    /// read is destructive, cf. Section 2 of the paper).
+    Copy,
+    /// Address computation; occupies the adder.
+    AddressAdd,
+}
+
+impl OpKind {
+    /// All opcodes, useful for exhaustive testing.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Compare,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Copy,
+        OpKind::AddressAdd,
+    ];
+
+    /// The functional-unit class this opcode executes on.
+    #[inline]
+    pub fn class(self) -> OpClass {
+        match self {
+            OpKind::Load | OpKind::Store => OpClass::Memory,
+            OpKind::Add | OpKind::Sub | OpKind::Compare | OpKind::AddressAdd => OpClass::Adder,
+            OpKind::Mul | OpKind::Div => OpClass::Multiplier,
+            OpKind::Copy => OpClass::Copy,
+        }
+    }
+
+    /// Whether the operation produces a value that other operations may consume.
+    ///
+    /// Stores produce no register result; everything else does.
+    #[inline]
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpKind::Store)
+    }
+
+    /// Short mnemonic used in textual dumps and DOT output.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Load => "ld",
+            OpKind::Store => "st",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Compare => "cmp",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Copy => "copy",
+            OpKind::AddressAdd => "addr",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Functional-unit class an operation occupies.
+///
+/// The paper's cluster contains one unit of each of the first three classes plus a
+/// copy unit (Fig. 5a / Fig. 7).  Resource-constrained MII (ResMII) is computed per
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Load/store unit (the paper's "L/S").
+    Memory,
+    /// Adder ("ADD").
+    Adder,
+    /// Multiplier ("MUL").
+    Multiplier,
+    /// Dedicated copy unit used to replicate queue-resident values.
+    Copy,
+}
+
+impl OpClass {
+    /// All classes in a fixed order, used to index per-class tables.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Memory,
+        OpClass::Adder,
+        OpClass::Multiplier,
+        OpClass::Copy,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 4;
+
+    /// Dense index of the class, for per-class side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Memory => 0,
+            OpClass::Adder => 1,
+            OpClass::Multiplier => 2,
+            OpClass::Copy => 3,
+        }
+    }
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Memory => "L/S",
+            OpClass::Adder => "ADD",
+            OpClass::Multiplier => "MUL",
+            OpClass::Copy => "COPY",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single operation of a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Operation {
+    /// Identifier of the operation within its graph.
+    pub id: OpId,
+    /// Opcode.
+    pub kind: OpKind,
+}
+
+impl Operation {
+    /// Creates a new operation.
+    pub fn new(id: OpId, kind: OpKind) -> Self {
+        Operation { id, kind }
+    }
+
+    /// Functional-unit class of the operation.
+    #[inline]
+    pub fn class(&self) -> OpClass {
+        self.kind.class()
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_mapping_matches_paper_cluster() {
+        assert_eq!(OpKind::Load.class(), OpClass::Memory);
+        assert_eq!(OpKind::Store.class(), OpClass::Memory);
+        assert_eq!(OpKind::Add.class(), OpClass::Adder);
+        assert_eq!(OpKind::Sub.class(), OpClass::Adder);
+        assert_eq!(OpKind::Compare.class(), OpClass::Adder);
+        assert_eq!(OpKind::AddressAdd.class(), OpClass::Adder);
+        assert_eq!(OpKind::Mul.class(), OpClass::Multiplier);
+        assert_eq!(OpKind::Div.class(), OpClass::Multiplier);
+        assert_eq!(OpKind::Copy.class(), OpClass::Copy);
+    }
+
+    #[test]
+    fn stores_do_not_produce_values() {
+        assert!(!OpKind::Store.produces_value());
+        for kind in OpKind::ALL {
+            if kind != OpKind::Store {
+                assert!(kind.produces_value(), "{kind} should produce a value");
+            }
+        }
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; OpClass::COUNT];
+        for class in OpClass::ALL {
+            assert!(!seen[class.index()]);
+            seen[class.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn op_id_display_and_index() {
+        let id = OpId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "op7");
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<&str> = OpKind::ALL.iter().map(|k| k.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpKind::ALL.len());
+    }
+}

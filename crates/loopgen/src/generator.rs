@@ -1,0 +1,326 @@
+//! The synthetic loop generator.
+//!
+//! Each generated loop is a layered DAG (address arithmetic → loads → arithmetic →
+//! stores) with optional recurrence circuits and accumulators, matching the
+//! structure of numerical Fortran innermost loops.  Intra-iteration edges always go
+//! from a lower-numbered operation to a higher-numbered one, so the distance-0
+//! subgraph is acyclic by construction; recurrences are expressed as loop-carried
+//! back edges.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vliw_ddg::{DdgBuilder, Loop, OpId, OpKind};
+
+use crate::config::CorpusConfig;
+
+/// Generates the full corpus described by `cfg`.
+///
+/// Generation is deterministic: the same configuration (including seed) always
+/// produces the same corpus, loop by loop.
+pub fn generate_corpus(cfg: &CorpusConfig) -> Vec<Loop> {
+    cfg.validate().expect("invalid corpus configuration");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.num_loops)
+        .map(|i| generate_loop(cfg, &mut rng, i))
+        .collect()
+}
+
+/// Generates the paper-sized corpus (1258 loops) with the default configuration and
+/// the given seed.
+pub fn perfect_club_like(seed: u64) -> Vec<Loop> {
+    generate_corpus(&CorpusConfig::default().with_seed(seed))
+}
+
+/// Samples the number of operations of a loop body.
+///
+/// The distribution is skewed towards small bodies: roughly half the loops have
+/// fewer than ten operations, and only a few percent are very large.
+fn sample_body_size(rng: &mut SmallRng) -> usize {
+    let r: f64 = rng.gen();
+    if r < 0.45 {
+        rng.gen_range(4..=9)
+    } else if r < 0.75 {
+        rng.gen_range(10..=19)
+    } else if r < 0.92 {
+        rng.gen_range(20..=39)
+    } else {
+        rng.gen_range(40..=79)
+    }
+}
+
+/// Samples a trip count log-uniformly from the configured range.
+fn sample_trip_count(cfg: &CorpusConfig, rng: &mut SmallRng) -> u64 {
+    let (lo, hi) = cfg.trip_count_range;
+    let (ln_lo, ln_hi) = ((lo as f64).ln(), (hi as f64).ln());
+    let x: f64 = rng.gen_range(ln_lo..=ln_hi);
+    x.exp().round().clamp(lo as f64, hi as f64) as u64
+}
+
+/// Samples the opcode of an arithmetic operation.
+fn sample_arith_kind(cfg: &CorpusConfig, rng: &mut SmallRng) -> OpKind {
+    let r: f64 = rng.gen();
+    if r < cfg.divide_fraction {
+        OpKind::Div
+    } else if r < cfg.divide_fraction + cfg.multiply_fraction {
+        OpKind::Mul
+    } else {
+        // Mostly adds, with some subtracts and the occasional compare.
+        let r2: f64 = rng.gen();
+        if r2 < 0.70 {
+            OpKind::Add
+        } else if r2 < 0.95 {
+            OpKind::Sub
+        } else {
+            OpKind::Compare
+        }
+    }
+}
+
+/// Generates a single loop.
+///
+/// Address arithmetic is modelled implicitly (auto-increment addressing in the style
+/// of the Cydra 5 / Rau's framework the paper builds on), so loads are graph sources
+/// and stores are sinks; explicit address-update operations would otherwise dominate
+/// the copy-operation counts with fan-out the real benchmark loops do not have.
+pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Loop {
+    let body_size = sample_body_size(rng);
+
+    // Split the body between memory and arithmetic operations.
+    let n_mem = ((body_size as f64) * cfg.memory_fraction).round().max(1.0) as usize;
+    let n_stores = ((n_mem as f64) * cfg.store_fraction).round() as usize;
+    let n_loads = (n_mem - n_stores).max(1);
+    let n_arith = body_size.saturating_sub(n_loads + n_stores).max(1);
+
+    let mut b = DdgBuilder::new(cfg.latencies);
+
+    // Loads: graph sources (addresses are implicit auto-increments).
+    let loads: Vec<OpId> = (0..n_loads).map(|_| b.op(OpKind::Load)).collect();
+
+    // Arithmetic: expression-tree style.  Real loop bodies consume most intermediate
+    // values exactly once (each value feeds the next node of its expression tree),
+    // so operands are drawn from a pool of not-yet-consumed values; reuse of an
+    // already-consumed value (fan-out > 1) only happens with a small probability and
+    // through the explicit `extra_consumer_probability` knob below.
+    let mut values: Vec<OpId> = loads.clone();
+    let mut available: Vec<OpId> = loads.clone();
+    let mut ariths: Vec<OpId> = Vec::with_capacity(n_arith);
+    for _ in 0..n_arith {
+        let kind = sample_arith_kind(cfg, rng);
+        let op = b.op(kind);
+        let n_operands = 1 + usize::from(rng.gen_bool(0.6));
+        for _ in 0..n_operands {
+            let src = if !available.is_empty() && rng.gen_bool(0.97) {
+                let idx = rng.gen_range(0..available.len());
+                available.swap_remove(idx)
+            } else {
+                values[rng.gen_range(0..values.len())]
+            };
+            b.flow(src, op);
+        }
+        ariths.push(op);
+        values.push(op);
+        available.push(op);
+    }
+
+    // Stores: write back not-yet-consumed values where possible and order them after
+    // the loads that may alias.
+    let stores: Vec<OpId> = (0..n_stores)
+        .map(|_| {
+            let st = b.op(OpKind::Store);
+            let src = if !available.is_empty() {
+                let idx = rng.gen_range(0..available.len());
+                available.swap_remove(idx)
+            } else {
+                values[rng.gen_range(0..values.len())]
+            };
+            b.flow(src, st);
+            if !loads.is_empty() && rng.gen_bool(0.3) {
+                let ld = loads[rng.gen_range(0..loads.len())];
+                b.memory(ld, st, 0);
+            }
+            st
+        })
+        .collect();
+
+    // Extra consumers: re-use already-consumed values in later operations to create
+    // fan-out greater than one (the situation that forces copy operations on a QRF).
+    for (vi, &v) in values.iter().enumerate() {
+        if rng.gen_bool(cfg.extra_consumer_probability) {
+            // Candidate consumers are operations created after the value.
+            let later_arith: Vec<OpId> = ariths.iter().copied().filter(|op| op.0 > v.0).collect();
+            if let Some(&consumer) = pick(rng, &later_arith) {
+                b.flow(v, consumer);
+            } else if let Some(&consumer) = pick(rng, &stores) {
+                if consumer.0 > v.0 {
+                    b.flow(v, consumer);
+                }
+            }
+            let _ = vi;
+        }
+    }
+
+    // Cross-operation recurrence circuits: a late arithmetic value feeds an earlier
+    // operation in the next iteration (e.g. `x[i] = f(x[i-1])`).  Most of the time the
+    // carried value is one that has no other consumer (a pure register-carried
+    // recurrence); the rest of the time it is an arbitrary late value (e.g. a value that is
+    // also stored), which is the case that costs a copy operation on a QRF.
+    if rng.gen_bool(cfg.recurrence_probability) && !ariths.is_empty() {
+        let n_circuits = 1 + usize::from(rng.gen_bool(0.3));
+        for _ in 0..n_circuits {
+            let unconsumed_late: Vec<OpId> = ariths
+                .iter()
+                .copied()
+                .filter(|op| available.contains(op))
+                .collect();
+            let late = if !unconsumed_late.is_empty() && rng.gen_bool(0.75) {
+                unconsumed_late[rng.gen_range(0..unconsumed_late.len())]
+            } else {
+                ariths[rng.gen_range(ariths.len() / 2..ariths.len())]
+            };
+            // Feed one of its ancestors (or any earlier arithmetic op) in a later
+            // iteration, creating a circuit through the forward path if one exists.
+            let early_pool: Vec<OpId> = ariths
+                .iter()
+                .copied()
+                .chain(loads.iter().copied())
+                .filter(|op| op.0 < late.0)
+                .collect();
+            if let Some(&early) = pick(rng, &early_pool) {
+                let distance = 1 + u32::from(rng.gen_bool(0.2));
+                b.flow_carried(late, early, distance);
+            }
+        }
+    }
+
+    // Accumulators: `s = s + ...` self-recurrences.  The accumulated value is
+    // normally consumed only after the loop finishes, so the accumulator is chosen
+    // among the values without an in-loop consumer; that keeps the recurrence circuit
+    // free of copy operations, exactly like the real reduction loops of the
+    // benchmark.
+    if rng.gen_bool(cfg.accumulator_probability) {
+        let unconsumed: Vec<OpId> = ariths
+            .iter()
+            .copied()
+            .filter(|op| available.contains(op))
+            .collect();
+        if let Some(&acc) = pick(rng, &unconsumed) {
+            b.flow_carried(acc, acc, 1);
+        } else if let Some(&acc) = pick(rng, &ariths) {
+            b.flow_carried(acc, acc, 1);
+        }
+    }
+
+    let trip_count = sample_trip_count(cfg, rng);
+    b.finish_loop(format!("synth_{index:04}"), trip_count)
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, slice: &'a [T]) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.gen_range(0..slice.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::GraphStats;
+
+    #[test]
+    fn corpus_is_deterministic_for_a_seed() {
+        let a = generate_corpus(&CorpusConfig::small(25, 3));
+        let b = generate_corpus(&CorpusConfig::small(25, 3));
+        assert_eq!(a.len(), 25);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_corpus(&CorpusConfig::small(25, 3));
+        let b = generate_corpus(&CorpusConfig::small(25, 4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_generated_loops_are_valid() {
+        for l in generate_corpus(&CorpusConfig::small(200, 11)) {
+            assert!(l.ddg.validate().is_ok(), "{} is structurally invalid", l.name);
+            assert!(l.ddg.num_ops() >= 4, "{} is too small", l.name);
+            assert!(l.trip_count >= 4);
+            assert!(l.trip_count <= 1000);
+        }
+    }
+
+    #[test]
+    fn corpus_statistics_are_plausible() {
+        let corpus = generate_corpus(&CorpusConfig::small(400, 5));
+        let n = corpus.len() as f64;
+        let avg_ops: f64 = corpus.iter().map(|l| l.ddg.num_ops() as f64).sum::<f64>() / n;
+        let frac_recurrent =
+            corpus.iter().filter(|l| l.ddg.has_recurrence()).count() as f64 / n;
+        let frac_multi_consumer =
+            corpus.iter().filter(|l| l.ddg.max_fanout() > 1).count() as f64 / n;
+        assert!(avg_ops > 8.0 && avg_ops < 30.0, "avg ops {avg_ops} out of expected band");
+        // A substantial minority of loops carries a recurrence (accumulators plus
+        // cross-operation circuits), matching the Perfect-Club-style mix the paper
+        // describes; the rest are fully parallel.
+        assert!(
+            frac_recurrent > 0.30 && frac_recurrent < 0.85,
+            "recurrence fraction {frac_recurrent} implausible"
+        );
+        assert!(frac_multi_consumer > 0.5, "fan-out too rare: {frac_multi_consumer}");
+        let frac_cross_circuit = corpus
+            .iter()
+            .filter(|l| {
+                vliw_ddg::analysis::strongly_connected_components(&l.ddg)
+                    .iter()
+                    .any(|scc| scc.len() > 1)
+            })
+            .count() as f64
+            / n;
+        assert!(
+            frac_cross_circuit > 0.15 && frac_cross_circuit < 0.75,
+            "cross-op recurrence fraction {frac_cross_circuit} implausible"
+        );
+    }
+
+    #[test]
+    fn loop_names_are_unique_and_indexed() {
+        let corpus = generate_corpus(&CorpusConfig::small(50, 9));
+        let mut names: Vec<&str> = corpus.iter().map(|l| l.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+        assert_eq!(corpus[0].name, "synth_0000");
+        assert_eq!(corpus[49].name, "synth_0049");
+    }
+
+    #[test]
+    fn paper_sized_corpus_has_1258_loops() {
+        // Generating the full corpus is cheap (a few milliseconds); verify the count
+        // and spot-check validity of a sample.
+        let corpus = perfect_club_like(1);
+        assert_eq!(corpus.len(), 1258);
+        for l in corpus.iter().step_by(100) {
+            assert!(l.ddg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn stats_helper_reports_classes() {
+        let corpus = generate_corpus(&CorpusConfig::small(50, 2));
+        let mut any_mul = false;
+        let mut any_store = false;
+        for l in &corpus {
+            let s = GraphStats::of(&l.ddg);
+            any_mul |= s.class_counts[vliw_ddg::OpClass::Multiplier.index()] > 0;
+            any_store |= l.ddg.ops().any(|o| o.kind == OpKind::Store);
+        }
+        assert!(any_mul);
+        assert!(any_store);
+    }
+}

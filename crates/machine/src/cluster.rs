@@ -1,0 +1,175 @@
+//! Cluster and interconnect configuration.
+
+use vliw_ddg::OpClass;
+
+/// Configuration of one cluster of functional units with its private queue register
+/// file (QRF).
+///
+/// The paper's basic cluster (Fig. 5a / Fig. 7) contains one load/store unit, one
+/// adder, one multiplier, a copy unit, and a private QRF of 8 queues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Compute functional units of the cluster, by class (copy units are configured
+    /// separately through `copy_units`).
+    pub fu_classes: Vec<OpClass>,
+    /// Number of dedicated copy units in the cluster.
+    ///
+    /// Copy units execute the copy operations inserted by the QRF allocator when a
+    /// value is consumed more than once; the paper adds one per cluster and does not
+    /// count it towards the machine's "FUs" figure.
+    pub copy_units: usize,
+    /// Number of queues in the cluster's private QRF.
+    pub private_queues: usize,
+    /// Maximum number of values simultaneously resident in one queue.
+    pub queue_capacity: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's basic cluster: 1 L/S + 1 ADD + 1 MUL, one copy unit, 8 private
+    /// queues (Fig. 7).  Queue capacity defaults to 8 slots.
+    pub fn paper_basic() -> Self {
+        ClusterConfig {
+            fu_classes: vec![OpClass::Memory, OpClass::Adder, OpClass::Multiplier],
+            copy_units: 1,
+            private_queues: 8,
+            queue_capacity: 8,
+        }
+    }
+
+    /// A cluster holding an arbitrary mix of compute units, split as evenly as
+    /// possible between L/S, ADD and MUL (extra units go to the adder first and then
+    /// to the load/store unit), which is how the single-cluster machines of 4–18 FUs
+    /// used in Figs. 8 and 9 are constructed.
+    pub fn balanced(num_compute_fus: usize, copy_units: usize, private_queues: usize) -> Self {
+        let mut fu_classes = Vec::with_capacity(num_compute_fus);
+        let base = num_compute_fus / 3;
+        let rem = num_compute_fus % 3;
+        let mem = base + usize::from(rem >= 2);
+        let add = base + usize::from(rem >= 1);
+        let mul = num_compute_fus - mem - add;
+        fu_classes.extend(std::iter::repeat(OpClass::Memory).take(mem));
+        fu_classes.extend(std::iter::repeat(OpClass::Adder).take(add));
+        fu_classes.extend(std::iter::repeat(OpClass::Multiplier).take(mul));
+        ClusterConfig { fu_classes, copy_units, private_queues, queue_capacity: 8 }
+    }
+
+    /// Number of compute functional units (excluding copy units).
+    pub fn num_compute_fus(&self) -> usize {
+        self.fu_classes.len()
+    }
+
+    /// Number of compute units of the given class.
+    pub fn fus_of_class(&self, class: OpClass) -> usize {
+        if class == OpClass::Copy {
+            self.copy_units
+        } else {
+            self.fu_classes.iter().filter(|&&c| c == class).count()
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::paper_basic()
+    }
+}
+
+/// Configuration of the bidirectional ring of communication queues that connects
+/// adjacent clusters (Fig. 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Number of communication queues available in each direction between a pair of
+    /// adjacent clusters.  The paper's sizing experiments settle on 8 (Fig. 7).
+    pub queues_per_direction: usize,
+    /// Maximum number of values simultaneously resident in one communication queue.
+    pub queue_capacity: usize,
+}
+
+impl RingConfig {
+    /// The paper's ring: 8 queues in each direction, capacity 8.
+    pub fn paper_basic() -> Self {
+        RingConfig { queues_per_direction: 8, queue_capacity: 8 }
+    }
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig::paper_basic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_basic_cluster_matches_fig7() {
+        let c = ClusterConfig::paper_basic();
+        assert_eq!(c.num_compute_fus(), 3);
+        assert_eq!(c.fus_of_class(OpClass::Memory), 1);
+        assert_eq!(c.fus_of_class(OpClass::Adder), 1);
+        assert_eq!(c.fus_of_class(OpClass::Multiplier), 1);
+        assert_eq!(c.fus_of_class(OpClass::Copy), 1);
+        assert_eq!(c.private_queues, 8);
+    }
+
+    #[test]
+    fn balanced_split_is_stable_and_total_preserving() {
+        for n in 1..=18 {
+            let c = ClusterConfig::balanced(n, 1, 32);
+            assert_eq!(c.num_compute_fus(), n, "total FU count must be preserved for n={n}");
+            let mem = c.fus_of_class(OpClass::Memory);
+            let add = c.fus_of_class(OpClass::Adder);
+            let mul = c.fus_of_class(OpClass::Multiplier);
+            assert_eq!(mem + add + mul, n);
+            // The split never differs by more than one between classes.
+            let max = mem.max(add).max(mul);
+            let min = mem.min(add).min(mul);
+            assert!(max - min <= 1, "unbalanced split for n={n}: {mem}/{add}/{mul}");
+        }
+    }
+
+    #[test]
+    fn balanced_known_values() {
+        let c4 = ClusterConfig::balanced(4, 0, 32);
+        assert_eq!(
+            [
+                c4.fus_of_class(OpClass::Memory),
+                c4.fus_of_class(OpClass::Adder),
+                c4.fus_of_class(OpClass::Multiplier)
+            ],
+            [1, 2, 1]
+        );
+        let c6 = ClusterConfig::balanced(6, 0, 32);
+        assert_eq!(
+            [
+                c6.fus_of_class(OpClass::Memory),
+                c6.fus_of_class(OpClass::Adder),
+                c6.fus_of_class(OpClass::Multiplier)
+            ],
+            [2, 2, 2]
+        );
+        let c12 = ClusterConfig::balanced(12, 0, 32);
+        assert_eq!(
+            [
+                c12.fus_of_class(OpClass::Memory),
+                c12.fus_of_class(OpClass::Adder),
+                c12.fus_of_class(OpClass::Multiplier)
+            ],
+            [4, 4, 4]
+        );
+    }
+
+    #[test]
+    fn ring_defaults_match_paper() {
+        let r = RingConfig::paper_basic();
+        assert_eq!(r.queues_per_direction, 8);
+        assert_eq!(r.queue_capacity, 8);
+        assert_eq!(RingConfig::default(), r);
+    }
+
+    #[test]
+    fn default_cluster_is_paper_basic() {
+        assert_eq!(ClusterConfig::default(), ClusterConfig::paper_basic());
+    }
+}

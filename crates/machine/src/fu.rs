@@ -1,0 +1,109 @@
+//! Functional units and their identities.
+
+use std::fmt;
+
+use vliw_ddg::OpClass;
+
+/// Identifier of a cluster within a [`crate::Machine`].
+///
+/// Clusters are arranged on a bidirectional ring (Fig. 5b of the paper): cluster `i`
+/// can exchange values with clusters `i − 1` and `i + 1` (modulo the cluster count)
+/// through communication queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// Dense index of the cluster.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+/// Identifier of a functional unit within a [`crate::Machine`].
+///
+/// Functional-unit ids are dense across the whole machine (all clusters), in cluster
+/// order, so they can index per-FU side tables such as the modulo reservation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuId(pub u32);
+
+impl FuId {
+    /// Dense index of the unit.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu{}", self.0)
+    }
+}
+
+/// A functional unit instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fu {
+    /// Identifier of the unit.
+    pub id: FuId,
+    /// Class of operations the unit executes.
+    pub class: OpClass,
+    /// Cluster the unit belongs to.
+    pub cluster: ClusterId,
+}
+
+impl Fu {
+    /// Creates a functional unit descriptor.
+    pub fn new(id: FuId, class: OpClass, cluster: ClusterId) -> Self {
+        Fu { id, class, cluster }
+    }
+
+    /// True if this unit is a copy unit (it does not count towards the machine's
+    /// "compute FU" total in the paper's terminology).
+    #[inline]
+    pub fn is_copy_unit(&self) -> bool {
+        self.class == OpClass::Copy
+    }
+}
+
+impl fmt::Display for Fu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.id, self.class, self.cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_unit_detection() {
+        let fu = Fu::new(FuId(0), OpClass::Copy, ClusterId(0));
+        assert!(fu.is_copy_unit());
+        let fu = Fu::new(FuId(1), OpClass::Adder, ClusterId(0));
+        assert!(!fu.is_copy_unit());
+    }
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(FuId(3).to_string(), "fu3");
+        assert_eq!(FuId(3).index(), 3);
+        assert_eq!(ClusterId(2).to_string(), "cluster2");
+        assert_eq!(ClusterId(2).index(), 2);
+    }
+
+    #[test]
+    fn fu_display_mentions_class_and_cluster() {
+        let fu = Fu::new(FuId(5), OpClass::Multiplier, ClusterId(1));
+        let s = fu.to_string();
+        assert!(s.contains("fu5"));
+        assert!(s.contains("MUL"));
+        assert!(s.contains("cluster1"));
+    }
+}

@@ -1,0 +1,343 @@
+//! The machine model: a set of clusters, their functional units, their queue
+//! register files and the inter-cluster ring.
+
+use vliw_ddg::{LatencyModel, OpClass};
+
+use crate::cluster::{ClusterConfig, RingConfig};
+use crate::fu::{ClusterId, Fu, FuId};
+
+/// A complete VLIW machine configuration.
+///
+/// A machine is either *single-cluster* (one cluster holding all functional units and
+/// one register file, possibly very wide — the paper's baseline) or *clustered*
+/// (several identical clusters connected by a bidirectional ring of communication
+/// queues — the paper's proposal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    name: String,
+    clusters: Vec<ClusterConfig>,
+    ring: Option<RingConfig>,
+    fus: Vec<Fu>,
+    latencies: LatencyModel,
+}
+
+impl Machine {
+    /// Builds a machine from explicit cluster configurations.
+    ///
+    /// `ring` must be `Some` when there is more than one cluster.
+    pub fn new(
+        name: impl Into<String>,
+        clusters: Vec<ClusterConfig>,
+        ring: Option<RingConfig>,
+        latencies: LatencyModel,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "a machine needs at least one cluster");
+        assert!(
+            clusters.len() == 1 || ring.is_some(),
+            "a clustered machine needs a ring configuration"
+        );
+        let mut fus = Vec::new();
+        for (ci, cluster) in clusters.iter().enumerate() {
+            let cid = ClusterId(ci as u32);
+            for &class in &cluster.fu_classes {
+                fus.push(Fu::new(FuId(fus.len() as u32), class, cid));
+            }
+            for _ in 0..cluster.copy_units {
+                fus.push(Fu::new(FuId(fus.len() as u32), OpClass::Copy, cid));
+            }
+        }
+        Machine { name: name.into(), clusters, ring, fus, latencies }
+    }
+
+    /// A single-cluster machine with `num_compute_fus` compute units split evenly
+    /// between L/S, ADD and MUL, `copy_units` copy units and `queues` private queues.
+    ///
+    /// This is the configuration used for the 4/6/12-FU experiments of Sections 2
+    /// and 3 and for the single-cluster curves of Figs. 8 and 9.
+    pub fn single_cluster(
+        num_compute_fus: usize,
+        copy_units: usize,
+        queues: usize,
+        latencies: LatencyModel,
+    ) -> Self {
+        let cluster = ClusterConfig {
+            queue_capacity: 8,
+            ..ClusterConfig::balanced(num_compute_fus, copy_units, queues)
+        };
+        Machine::new(format!("single-{num_compute_fus}fu"), vec![cluster], None, latencies)
+    }
+
+    /// The paper's clustered machine: `n_clusters` copies of the basic cluster
+    /// (1 L/S + 1 ADD + 1 MUL + 1 copy unit, 8 private queues) connected by the
+    /// 8-queues-per-direction ring (Figs. 5 and 7).
+    pub fn paper_clustered(n_clusters: usize, latencies: LatencyModel) -> Self {
+        assert!(n_clusters >= 1);
+        let clusters = vec![ClusterConfig::paper_basic(); n_clusters];
+        let ring = if n_clusters > 1 { Some(RingConfig::paper_basic()) } else { None };
+        Machine::new(format!("clustered-{n_clusters}x3fu"), clusters, ring, latencies)
+    }
+
+    /// The single-cluster machine equivalent in total compute width to
+    /// [`Machine::paper_clustered`] with the same number of clusters: `3 · n_clusters`
+    /// compute FUs and a single large register file.  Used as the baseline of Fig. 6.
+    pub fn paper_single_cluster_equivalent(n_clusters: usize, latencies: LatencyModel) -> Self {
+        let mut m = Machine::single_cluster(3 * n_clusters, n_clusters, 32, latencies);
+        m.name = format!("single-{}fu-equiv", 3 * n_clusters);
+        m
+    }
+
+    /// Machine name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The latency model of the machine.
+    pub fn latencies(&self) -> &LatencyModel {
+        &self.latencies
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True if the machine has more than one cluster.
+    pub fn is_clustered(&self) -> bool {
+        self.clusters.len() > 1
+    }
+
+    /// The ring configuration, if the machine is clustered.
+    pub fn ring(&self) -> Option<&RingConfig> {
+        self.ring.as_ref()
+    }
+
+    /// Configuration of cluster `c`.
+    pub fn cluster(&self, c: ClusterId) -> &ClusterConfig {
+        &self.clusters[c.index()]
+    }
+
+    /// Iterator over all cluster ids.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + 'static {
+        (0..self.clusters.len() as u32).map(ClusterId)
+    }
+
+    /// All functional units of the machine, including copy units.
+    pub fn fus(&self) -> &[Fu] {
+        &self.fus
+    }
+
+    /// Total number of functional units, including copy units.
+    pub fn num_fus(&self) -> usize {
+        self.fus.len()
+    }
+
+    /// Total number of compute functional units (excluding copy units) — the number
+    /// the paper quotes as the machine's width ("12 FUs", "15 FUs", ...).
+    pub fn num_compute_fus(&self) -> usize {
+        self.fus.iter().filter(|fu| !fu.is_copy_unit()).count()
+    }
+
+    /// The functional unit with the given id.
+    pub fn fu(&self, id: FuId) -> &Fu {
+        &self.fus[id.index()]
+    }
+
+    /// Functional units of a given class across the whole machine.
+    pub fn fus_of_class(&self, class: OpClass) -> impl Iterator<Item = &Fu> + '_ {
+        self.fus.iter().filter(move |fu| fu.class == class)
+    }
+
+    /// Number of functional units of a given class across the whole machine.
+    pub fn num_fus_of_class(&self, class: OpClass) -> usize {
+        self.fus_of_class(class).count()
+    }
+
+    /// Functional units of a given class inside one cluster.
+    pub fn fus_of_class_in_cluster(
+        &self,
+        cluster: ClusterId,
+        class: OpClass,
+    ) -> impl Iterator<Item = &Fu> + '_ {
+        self.fus
+            .iter()
+            .filter(move |fu| fu.class == class && fu.cluster == cluster)
+    }
+
+    /// Per-class FU counts (machine-wide), indexed by [`OpClass::index`]; used by the
+    /// resource-constrained MII computation.
+    pub fn class_counts(&self) -> [usize; OpClass::COUNT] {
+        let mut counts = [0usize; OpClass::COUNT];
+        for fu in &self.fus {
+            counts[fu.class.index()] += 1;
+        }
+        counts
+    }
+
+    /// True if values may flow directly from `producer_cluster` to
+    /// `consumer_cluster`.
+    ///
+    /// On the ring a value can stay inside its own cluster (through the private QRF)
+    /// or move to one of the two neighbouring clusters (through a communication
+    /// queue).  The paper's partitioning algorithm does **not** insert transit moves,
+    /// so non-adjacent communication is impossible (this is exactly the limitation
+    /// discussed in Section 4).
+    pub fn clusters_communicate(&self, producer_cluster: ClusterId, consumer_cluster: ClusterId) -> bool {
+        if producer_cluster == consumer_cluster {
+            return true;
+        }
+        let n = self.clusters.len();
+        if n <= 1 {
+            return false;
+        }
+        let a = producer_cluster.index();
+        let b = consumer_cluster.index();
+        let diff = (a + n - b) % n;
+        diff == 1 || diff == n - 1
+    }
+
+    /// The ring distance (minimum number of hops) between two clusters.
+    pub fn ring_distance(&self, a: ClusterId, b: ClusterId) -> usize {
+        let n = self.clusters.len();
+        if n == 0 {
+            return 0;
+        }
+        let d = (a.index() + n - b.index()) % n;
+        d.min(n - d)
+    }
+
+    /// Total number of private queues across all clusters.
+    pub fn total_private_queues(&self) -> usize {
+        self.clusters.iter().map(|c| c.private_queues).sum()
+    }
+
+    /// Number of communication queues between one ordered pair of adjacent clusters
+    /// (i.e. per direction), or 0 for a single-cluster machine.
+    pub fn comm_queues_per_direction(&self) -> usize {
+        self.ring.map(|r| r.queues_per_direction).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cluster_machine_shape() {
+        let m = Machine::single_cluster(12, 4, 32, LatencyModel::default());
+        assert_eq!(m.num_clusters(), 1);
+        assert!(!m.is_clustered());
+        assert_eq!(m.num_compute_fus(), 12);
+        assert_eq!(m.num_fus(), 16); // 12 compute + 4 copy units
+        assert_eq!(m.num_fus_of_class(OpClass::Memory), 4);
+        assert_eq!(m.num_fus_of_class(OpClass::Adder), 4);
+        assert_eq!(m.num_fus_of_class(OpClass::Multiplier), 4);
+        assert_eq!(m.num_fus_of_class(OpClass::Copy), 4);
+        assert!(m.ring().is_none());
+        assert_eq!(m.comm_queues_per_direction(), 0);
+    }
+
+    #[test]
+    fn paper_clustered_machine_shape() {
+        let m = Machine::paper_clustered(4, LatencyModel::default());
+        assert_eq!(m.num_clusters(), 4);
+        assert!(m.is_clustered());
+        assert_eq!(m.num_compute_fus(), 12);
+        assert_eq!(m.num_fus(), 16);
+        assert_eq!(m.comm_queues_per_direction(), 8);
+        assert_eq!(m.total_private_queues(), 32);
+        for c in m.cluster_ids() {
+            assert_eq!(m.fus_of_class_in_cluster(c, OpClass::Memory).count(), 1);
+            assert_eq!(m.fus_of_class_in_cluster(c, OpClass::Adder).count(), 1);
+            assert_eq!(m.fus_of_class_in_cluster(c, OpClass::Multiplier).count(), 1);
+            assert_eq!(m.fus_of_class_in_cluster(c, OpClass::Copy).count(), 1);
+        }
+    }
+
+    #[test]
+    fn equivalent_single_cluster_has_same_width() {
+        for n in [4, 5, 6] {
+            let clustered = Machine::paper_clustered(n, LatencyModel::default());
+            let single = Machine::paper_single_cluster_equivalent(n, LatencyModel::default());
+            assert_eq!(clustered.num_compute_fus(), single.num_compute_fus());
+            assert_eq!(single.num_clusters(), 1);
+        }
+    }
+
+    #[test]
+    fn ring_adjacency_wraps_around() {
+        let m = Machine::paper_clustered(4, LatencyModel::default());
+        let c = |i| ClusterId(i);
+        assert!(m.clusters_communicate(c(0), c(0)));
+        assert!(m.clusters_communicate(c(0), c(1)));
+        assert!(m.clusters_communicate(c(1), c(0)));
+        assert!(m.clusters_communicate(c(0), c(3))); // wrap-around neighbour
+        assert!(!m.clusters_communicate(c(0), c(2))); // across the ring
+        assert!(!m.clusters_communicate(c(1), c(3)));
+    }
+
+    #[test]
+    fn ring_distance_is_symmetric_and_bounded() {
+        let m = Machine::paper_clustered(6, LatencyModel::default());
+        for a in m.cluster_ids() {
+            for b in m.cluster_ids() {
+                let d = m.ring_distance(a, b);
+                assert_eq!(d, m.ring_distance(b, a));
+                assert!(d <= 3);
+                assert_eq!(d == 0, a == b);
+                assert_eq!(d <= 1, m.clusters_communicate(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn two_cluster_ring_everything_adjacent() {
+        let m = Machine::paper_clustered(2, LatencyModel::default());
+        assert!(m.clusters_communicate(ClusterId(0), ClusterId(1)));
+        assert!(m.clusters_communicate(ClusterId(1), ClusterId(0)));
+    }
+
+    #[test]
+    fn single_cluster_cannot_communicate_externally() {
+        let m = Machine::single_cluster(4, 1, 32, LatencyModel::default());
+        assert!(m.clusters_communicate(ClusterId(0), ClusterId(0)));
+    }
+
+    #[test]
+    fn fu_ids_are_dense_and_ordered_by_cluster() {
+        let m = Machine::paper_clustered(3, LatencyModel::default());
+        for (i, fu) in m.fus().iter().enumerate() {
+            assert_eq!(fu.id.index(), i);
+        }
+        // Cluster ids are non-decreasing over the FU list.
+        let clusters: Vec<usize> = m.fus().iter().map(|fu| fu.cluster.index()).collect();
+        let mut sorted = clusters.clone();
+        sorted.sort_unstable();
+        assert_eq!(clusters, sorted);
+    }
+
+    #[test]
+    fn class_counts_sum_to_num_fus() {
+        let m = Machine::paper_clustered(5, LatencyModel::default());
+        let counts = m.class_counts();
+        assert_eq!(counts.iter().sum::<usize>(), m.num_fus());
+        assert_eq!(counts[OpClass::Memory.index()], 5);
+        assert_eq!(counts[OpClass::Copy.index()], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_machine_panics() {
+        let _ = Machine::new("bad", vec![], None, LatencyModel::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring configuration")]
+    fn clustered_machine_without_ring_panics() {
+        let _ = Machine::new(
+            "bad",
+            vec![ClusterConfig::paper_basic(), ClusterConfig::paper_basic()],
+            None,
+            LatencyModel::default(),
+        );
+    }
+}

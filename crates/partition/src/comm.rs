@@ -1,0 +1,187 @@
+//! Inter-cluster communication analysis.
+//!
+//! After partitioning, every flow dependence whose producer and consumer live in
+//! different (adjacent) clusters must travel through one of the ring's communication
+//! queues.  This module measures how many values cross clusters, how many
+//! communication queues each directed link needs (using the same Q-compatibility
+//! binning as the private QRFs), and how many private queues each cluster needs —
+//! the numbers behind the paper's Fig. 7 cluster sizing (8 private + 8 + 8
+//! communication queues).
+
+use std::collections::HashMap;
+
+use vliw_ddg::{Ddg, DepKind};
+use vliw_machine::{ClusterId, Machine};
+use vliw_qrf::{allocate_queues, Lifetime};
+use vliw_sched::Schedule;
+
+/// Communication statistics of a partitioned schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of flow dependences whose endpoints are in different clusters.
+    pub cross_cluster_values: usize,
+    /// Number of flow dependences that stay inside one cluster.
+    pub local_values: usize,
+    /// The largest number of communication queues needed on any directed link
+    /// between adjacent clusters.
+    pub max_comm_queues_per_link: usize,
+    /// The largest queue depth needed by any communication queue.
+    pub max_comm_queue_depth: usize,
+    /// The largest number of private queues needed by any cluster.
+    pub max_private_queues_per_cluster: usize,
+    /// The largest queue depth needed by any private queue.
+    pub max_private_queue_depth: usize,
+}
+
+impl CommStats {
+    /// True if the schedule fits the paper's basic cluster of Fig. 7: at most
+    /// `private` private queues per cluster and `comm` communication queues per
+    /// directed link (depths up to `depth`).
+    pub fn fits_cluster_budget(&self, private: usize, comm: usize, depth: usize) -> bool {
+        self.max_private_queues_per_cluster <= private
+            && self.max_comm_queues_per_link <= comm
+            && self.max_private_queue_depth <= depth
+            && self.max_comm_queue_depth <= depth
+    }
+
+    /// Fraction of values that cross clusters (0 when the loop has no values).
+    pub fn cross_fraction(&self) -> f64 {
+        let total = self.cross_cluster_values + self.local_values;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_cluster_values as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the communication statistics of `schedule` for `ddg` on `machine`.
+pub fn comm_stats(ddg: &Ddg, machine: &Machine, schedule: &Schedule) -> CommStats {
+    let ii = schedule.ii;
+    let mut per_link: HashMap<(ClusterId, ClusterId), Vec<Lifetime>> = HashMap::new();
+    let mut per_cluster: HashMap<ClusterId, Vec<Lifetime>> = HashMap::new();
+    let mut cross = 0usize;
+    let mut local = 0usize;
+
+    for e in ddg.edges() {
+        if e.kind != DepKind::Flow {
+            continue;
+        }
+        let lt = Lifetime {
+            producer: e.src,
+            consumer: e.dst,
+            start: schedule.start_of(e.src),
+            end: schedule.start_of(e.dst) + ii * e.distance,
+        };
+        let cs = schedule.cluster_of(machine, e.src);
+        let cd = schedule.cluster_of(machine, e.dst);
+        if cs == cd {
+            local += 1;
+            per_cluster.entry(cs).or_default().push(lt);
+        } else {
+            cross += 1;
+            per_link.entry((cs, cd)).or_default().push(lt);
+        }
+    }
+
+    let mut max_comm_queues = 0;
+    let mut max_comm_depth = 0;
+    for lts in per_link.values() {
+        let alloc = allocate_queues(lts, ii);
+        max_comm_queues = max_comm_queues.max(alloc.num_queues());
+        max_comm_depth = max_comm_depth.max(alloc.max_queue_depth());
+    }
+    let mut max_private_queues = 0;
+    let mut max_private_depth = 0;
+    for lts in per_cluster.values() {
+        let alloc = allocate_queues(lts, ii);
+        max_private_queues = max_private_queues.max(alloc.num_queues());
+        max_private_depth = max_private_depth.max(alloc.max_queue_depth());
+    }
+
+    CommStats {
+        cross_cluster_values: cross,
+        local_values: local,
+        max_comm_queues_per_link: max_comm_queues,
+        max_comm_queue_depth: max_comm_depth,
+        max_private_queues_per_cluster: max_private_queues,
+        max_private_queue_depth: max_private_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{partition_schedule, PartitionOptions};
+    use vliw_ddg::{kernels, LatencyModel};
+    use vliw_machine::LatencyModel as MachineLatency;
+    use vliw_qrf::insert_copies;
+
+    #[test]
+    fn stats_cover_every_flow_edge() {
+        let m = Machine::paper_clustered(4, MachineLatency::default());
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let r = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+            let flow_edges = l.ddg.edges().filter(|e| e.kind == DepKind::Flow).count();
+            assert_eq!(
+                r.comm.cross_cluster_values + r.comm.local_values,
+                flow_edges,
+                "{}",
+                l.name
+            );
+        }
+    }
+
+    #[test]
+    fn single_cluster_machine_has_no_cross_traffic() {
+        let m = Machine::paper_clustered(1, MachineLatency::default());
+        let l = kernels::daxpy(LatencyModel::default(), 100);
+        let r = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+        assert_eq!(r.comm.cross_cluster_values, 0);
+        assert_eq!(r.comm.max_comm_queues_per_link, 0);
+        assert!((r.comm.cross_fraction() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn kernel_fits_the_paper_cluster_budget() {
+        // The paper concludes 8 private + 8 comm queues per direction suffice; these
+        // small kernels must fit comfortably.
+        let lat = LatencyModel::default();
+        let m = Machine::paper_clustered(4, MachineLatency::default());
+        for l in kernels::all_kernels(lat) {
+            let rewritten = insert_copies(&l.ddg, &lat);
+            let r = partition_schedule(&rewritten.ddg, &m, PartitionOptions::default()).unwrap();
+            assert!(
+                r.comm.fits_cluster_budget(8, 8, 8),
+                "{} does not fit the Fig. 7 cluster: {:?}",
+                l.name,
+                r.comm
+            );
+        }
+    }
+
+    #[test]
+    fn cross_fraction_is_bounded() {
+        let m = Machine::paper_clustered(6, MachineLatency::default());
+        let l = kernels::wide_parallel(LatencyModel::default(), 100);
+        let r = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+        let f = r.comm.cross_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn fits_cluster_budget_edge_cases() {
+        let stats = CommStats {
+            cross_cluster_values: 3,
+            local_values: 5,
+            max_comm_queues_per_link: 8,
+            max_comm_queue_depth: 8,
+            max_private_queues_per_cluster: 8,
+            max_private_queue_depth: 8,
+        };
+        assert!(stats.fits_cluster_budget(8, 8, 8));
+        assert!(!stats.fits_cluster_budget(7, 8, 8));
+        assert!(!stats.fits_cluster_budget(8, 7, 8));
+        assert!(!stats.fits_cluster_budget(8, 8, 7));
+    }
+}

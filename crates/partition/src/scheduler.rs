@@ -1,0 +1,551 @@
+//! The partitioning scheduler: iterative modulo scheduling with cluster assignment.
+//!
+//! The paper extends Rau's IMS with heuristics that pick a **cluster** for every
+//! operation while it is being placed in the modulo reservation table.  The hard
+//! constraint is the ring topology: a value produced in cluster `i` can only be
+//! consumed in cluster `i`, `i − 1` or `i + 1` (there are no transit moves between
+//! non-adjacent clusters — the paper lists those as future work).  When an operation
+//! cannot be placed in any cluster compatible with its already-placed neighbours, the
+//! blocking neighbours are unscheduled (backtracking) and the search continues; when
+//! the placement budget is exhausted the II is increased.
+
+use vliw_ddg::{Ddg, DepKind, OpId};
+use vliw_machine::{ClusterId, FuId, Machine};
+use vliw_sched::{height_r, rec_mii, res_mii, Mrt, SchedError, Schedule};
+
+use crate::comm::{comm_stats, CommStats};
+
+/// Tuning knobs of the partitioning scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionOptions {
+    /// Placement budget per II attempt, as a multiple of the operation count.
+    /// The partitioner backtracks more than plain IMS, so the default is larger.
+    pub budget_ratio: u32,
+    /// Do not schedule below this II.
+    pub min_ii: u32,
+    /// Give up above this II (defaults to a generous multiple of the MII).
+    pub max_ii: Option<u32>,
+    /// Allow values to move between non-adjacent clusters (the paper's "move
+    /// operations" future-work extension).  When enabled the ring adjacency
+    /// constraint is dropped, which models a machine with a full point-to-point
+    /// interconnect.
+    pub allow_transit_moves: bool,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions { budget_ratio: 10, min_ii: 1, max_ii: None, allow_transit_moves: false }
+    }
+}
+
+impl PartitionOptions {
+    /// Sets the minimum II (used to compare against a single-cluster baseline).
+    pub fn with_min_ii(mut self, min_ii: u32) -> Self {
+        self.min_ii = min_ii;
+        self
+    }
+
+    /// Enables transit moves between non-adjacent clusters.
+    pub fn with_transit_moves(mut self) -> Self {
+        self.allow_transit_moves = true;
+        self
+    }
+}
+
+/// Outcome of a successful partitioning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionResult {
+    /// The partitioned schedule (the cluster of each operation is the cluster of its
+    /// assigned functional unit).
+    pub schedule: Schedule,
+    /// Resource-constrained lower bound on the II.
+    pub res_mii: u32,
+    /// Recurrence-constrained lower bound on the II.
+    pub rec_mii: u32,
+    /// `max(ResMII, RecMII)`.
+    pub mii: u32,
+    /// Number of II values tried.
+    pub attempts: u32,
+    /// Inter-cluster communication statistics of the final schedule.
+    pub comm: CommStats,
+}
+
+impl PartitionResult {
+    /// True if the partitioner achieved the theoretical minimum II.
+    pub fn achieved_mii(&self) -> bool {
+        self.schedule.ii == self.mii.max(1)
+    }
+}
+
+/// Schedules `ddg` on the clustered `machine`, assigning every operation to a
+/// cluster, a functional unit and a cycle.
+pub fn partition_schedule(
+    ddg: &Ddg,
+    machine: &Machine,
+    opts: PartitionOptions,
+) -> Result<PartitionResult, SchedError> {
+    if ddg.num_ops() == 0 {
+        return Err(SchedError::EmptyGraph);
+    }
+    ddg.validate().map_err(SchedError::InvalidGraph)?;
+    let res = res_mii(ddg, machine)?;
+    let rec = rec_mii(ddg);
+    let lower = res.max(rec);
+    let start_ii = lower.max(opts.min_ii).max(1);
+    let max_ii = opts.max_ii.unwrap_or(start_ii.saturating_mul(3).saturating_add(64));
+    let base_budget = (ddg.num_ops() as u32).saturating_mul(opts.budget_ratio).max(32);
+
+    let mut attempts = 0;
+    let mut ii = start_ii;
+    while ii <= max_ii {
+        attempts += 1;
+        // Later attempts get a larger backtracking budget: communication conflicts
+        // can require unscheduling the same operations several times before the
+        // placement converges.
+        let budget = base_budget.saturating_mul(attempts.min(8));
+        if let Some((start, fu)) =
+            try_partition_at(ddg, machine, ii, budget, opts.allow_transit_moves, None)
+        {
+            let schedule = Schedule::new(ii, start, fu);
+            debug_assert!(schedule.validate(ddg, machine).is_ok());
+            let comm = comm_stats(ddg, machine, &schedule);
+            return Ok(PartitionResult {
+                schedule,
+                res_mii: res,
+                rec_mii: rec,
+                mii: lower,
+                attempts,
+                comm,
+            });
+        }
+        ii += 1;
+    }
+
+    // Last-resort fallback: collapse the whole loop into a single cluster.  A
+    // one-cluster placement trivially satisfies the ring constraint (no value ever
+    // crosses a cluster boundary) and always exists for a large enough II; it is the
+    // partitioning equivalent of fully serialising the loop and corresponds to the
+    // worst case the paper's backtracking degenerates to.
+    let single_cluster = ClusterId(0);
+    let counts = ddg.class_counts();
+    let mut collapse_lower = rec.max(1);
+    for class in vliw_ddg::OpClass::ALL {
+        let ops = counts[class.index()];
+        if ops == 0 {
+            continue;
+        }
+        let units = machine.fus_of_class_in_cluster(single_cluster, class).count();
+        if units == 0 {
+            return Err(SchedError::NoFunctionalUnit { class });
+        }
+        collapse_lower = collapse_lower.max(ops.div_ceil(units) as u32);
+    }
+    let collapse_max = collapse_lower.saturating_mul(3).saturating_add(64);
+    let mut ii = collapse_lower.max(opts.min_ii);
+    while ii <= collapse_max {
+        attempts += 1;
+        let budget = base_budget.saturating_mul(8);
+        if let Some((start, fu)) =
+            try_partition_at(ddg, machine, ii, budget, opts.allow_transit_moves, Some(single_cluster))
+        {
+            let schedule = Schedule::new(ii, start, fu);
+            debug_assert!(schedule.validate(ddg, machine).is_ok());
+            let comm = comm_stats(ddg, machine, &schedule);
+            return Ok(PartitionResult {
+                schedule,
+                res_mii: res,
+                rec_mii: rec,
+                mii: lower,
+                attempts,
+                comm,
+            });
+        }
+        ii += 1;
+    }
+    Err(SchedError::IiLimitReached { limit: collapse_max })
+}
+
+/// One partitioning attempt at a fixed II.
+///
+/// When `restrict_to` is `Some(c)`, every operation is placed in cluster `c` (the
+/// single-cluster collapse fallback).
+fn try_partition_at(
+    ddg: &Ddg,
+    machine: &Machine,
+    ii: u32,
+    budget: u32,
+    allow_transit: bool,
+    restrict_to: Option<ClusterId>,
+) -> Option<(Vec<u32>, Vec<FuId>)> {
+    let n = ddg.num_ops();
+    let heights = height_r(ddg, ii);
+    let mut start: Vec<Option<u32>> = vec![None; n];
+    let mut fu_of: Vec<FuId> = vec![FuId(0); n];
+    let mut prev_start: Vec<u32> = vec![0; n];
+    let mut never_scheduled: Vec<bool> = vec![true; n];
+    let mut cluster_load: Vec<u32> = vec![0; machine.num_clusters()];
+    let mut mrt = Mrt::new(machine, ii);
+    let mut budget = budget as i64;
+
+    // Cluster of a scheduled op.
+    let cluster_of = |fu_of: &Vec<FuId>, start: &Vec<Option<u32>>, op: OpId| -> Option<ClusterId> {
+        start[op.index()].map(|_| machine.fu(fu_of[op.index()]).cluster)
+    };
+
+    loop {
+        let op = match (0..n)
+            .filter(|&i| start[i].is_none())
+            .max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
+        {
+            Some(i) => OpId(i as u32),
+            None => break,
+        };
+        budget -= 1;
+        if budget < 0 {
+            return None;
+        }
+
+        let class = ddg.op(op).class();
+
+        // Earliest start from scheduled predecessors.
+        let mut estart: i64 = 0;
+        for e in ddg.pred_edges(op) {
+            if e.src == op {
+                continue;
+            }
+            if let Some(s) = start[e.src.index()] {
+                estart = estart.max(s as i64 + e.weight_at(ii));
+            }
+        }
+        let estart = estart.max(0) as u32;
+
+        // Placed flow neighbours and the communication constraints they impose.
+        // `producers` must be able to send to op's cluster; op must be able to send
+        // to `consumers`.
+        let producers: Vec<ClusterId> = ddg
+            .pred_edges(op)
+            .filter(|e| e.kind == DepKind::Flow && e.src != op)
+            .filter_map(|e| cluster_of(&fu_of, &start, e.src))
+            .collect();
+        let consumers: Vec<ClusterId> = ddg
+            .succ_edges(op)
+            .filter(|e| e.kind == DepKind::Flow && e.dst != op)
+            .filter_map(|e| cluster_of(&fu_of, &start, e.dst))
+            .collect();
+
+        let comm_ok = |c: ClusterId| -> bool {
+            if allow_transit {
+                return true;
+            }
+            producers.iter().all(|&p| machine.clusters_communicate(p, c))
+                && consumers.iter().all(|&s| machine.clusters_communicate(c, s))
+        };
+
+        // Rank every cluster by affinity (more placed neighbours is better), then by
+        // load (less is better), then by id; keep only communication-feasible ones.
+        let mut ranked: Vec<ClusterId> = match restrict_to {
+            Some(c) => vec![c],
+            None => machine.cluster_ids().collect(),
+        };
+        ranked.sort_by_key(|&c| {
+            let affinity = producers.iter().filter(|&&p| p == c).count()
+                + consumers.iter().filter(|&&s| s == c).count();
+            (std::cmp::Reverse(affinity), cluster_load[c.index()], c.0)
+        });
+        let mut eligible: Vec<ClusterId> = ranked.iter().copied().filter(|&c| comm_ok(c)).collect();
+
+        // Communication conflict: no cluster can talk to all placed neighbours.
+        // Backtrack by unscheduling the neighbours that are incompatible with the
+        // chosen target cluster, then schedule `op` there.  The target is the
+        // cluster that sacrifices the fewest already-placed neighbours (ties broken
+        // by the affinity ranking above).
+        if eligible.is_empty() {
+            let conflicts = |c: ClusterId| -> usize {
+                producers.iter().filter(|&&p| !machine.clusters_communicate(p, c)).count()
+                    + consumers.iter().filter(|&&s| !machine.clusters_communicate(c, s)).count()
+            };
+            let target = ranked
+                .iter()
+                .copied()
+                .min_by_key(|&c| (conflicts(c), ranked.iter().position(|&r| r == c).unwrap()))
+                .expect("machines have at least one cluster");
+            let mut to_unschedule: Vec<OpId> = Vec::new();
+            for e in ddg.pred_edges(op) {
+                if e.kind == DepKind::Flow && e.src != op {
+                    if let Some(c) = cluster_of(&fu_of, &start, e.src) {
+                        if !machine.clusters_communicate(c, target) {
+                            to_unschedule.push(e.src);
+                        }
+                    }
+                }
+            }
+            for e in ddg.succ_edges(op) {
+                if e.kind == DepKind::Flow && e.dst != op {
+                    if let Some(c) = cluster_of(&fu_of, &start, e.dst) {
+                        if !machine.clusters_communicate(target, c) {
+                            to_unschedule.push(e.dst);
+                        }
+                    }
+                }
+            }
+            for victim in to_unschedule {
+                if let Some(s) = start[victim.index()] {
+                    mrt.release(s, fu_of[victim.index()]);
+                    let c = machine.fu(fu_of[victim.index()]).cluster;
+                    cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
+                    start[victim.index()] = None;
+                }
+            }
+            eligible = vec![target];
+        }
+
+        // Search the scheduling window for a free unit in an eligible cluster.
+        let mut placement: Option<(u32, FuId)> = None;
+        'outer: for t in estart..estart + ii {
+            for &c in &eligible {
+                if let Some(fu) = mrt.free_fu(machine, t, class, Some(c)) {
+                    placement = Some((t, fu));
+                    break 'outer;
+                }
+            }
+        }
+
+        let (time, fu) = match placement {
+            Some(p) => p,
+            None => {
+                let time = if never_scheduled[op.index()] || estart > prev_start[op.index()] {
+                    estart
+                } else {
+                    prev_start[op.index()] + 1
+                };
+                // Force into the best eligible cluster, evicting the lowest-priority
+                // occupant of that cluster's units.
+                let target = eligible[0];
+                let victim_fu = machine
+                    .fus_of_class_in_cluster(target, class)
+                    .map(|f| f.id)
+                    .min_by_key(|&f| {
+                        mrt.occupant(time, f)
+                            .map(|occ| heights[occ.index()])
+                            .unwrap_or(i64::MIN)
+                    });
+                match victim_fu {
+                    Some(f) => (time, f),
+                    None => {
+                        // The eligible cluster has no unit of this class at all (can
+                        // only happen for copy units on machines without them in
+                        // some clusters); fall back to any cluster that has one.
+                        let f = machine
+                            .fus_of_class(class)
+                            .map(|f| f.id)
+                            .min_by_key(|&f| {
+                                mrt.occupant(time, f)
+                                    .map(|occ| heights[occ.index()])
+                                    .unwrap_or(i64::MIN)
+                            })
+                            .expect("ResMII guarantees at least one unit of the class");
+                        (time, f)
+                    }
+                }
+            }
+        };
+
+        if let Some(victim) = mrt.release(time, fu) {
+            let c = machine.fu(fu_of[victim.index()]).cluster;
+            cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
+            start[victim.index()] = None;
+        }
+        mrt.reserve(time, fu, op);
+        start[op.index()] = Some(time);
+        fu_of[op.index()] = fu;
+        prev_start[op.index()] = time;
+        never_scheduled[op.index()] = false;
+        let placed_cluster = machine.fu(fu).cluster;
+        cluster_load[placed_cluster.index()] += 1;
+
+        // Unschedule operations whose dependences with `op` are now violated, and
+        // (when transit moves are disabled) flow neighbours that ended up in
+        // non-adjacent clusters because of the forced placement.
+        for e in ddg.succ_edges(op) {
+            if e.dst == op {
+                continue;
+            }
+            if let Some(s_dst) = start[e.dst.index()] {
+                let dep_violated = (s_dst as i64) < time as i64 + e.weight_at(ii);
+                let comm_violated = !allow_transit
+                    && e.kind == DepKind::Flow
+                    && !machine
+                        .clusters_communicate(placed_cluster, machine.fu(fu_of[e.dst.index()]).cluster);
+                if dep_violated || comm_violated {
+                    mrt.release(s_dst, fu_of[e.dst.index()]);
+                    let c = machine.fu(fu_of[e.dst.index()]).cluster;
+                    cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
+                    start[e.dst.index()] = None;
+                }
+            }
+        }
+        for e in ddg.pred_edges(op) {
+            if e.src == op {
+                continue;
+            }
+            if let Some(s_src) = start[e.src.index()] {
+                let dep_violated = (time as i64) < s_src as i64 + e.weight_at(ii);
+                let comm_violated = !allow_transit
+                    && e.kind == DepKind::Flow
+                    && !machine
+                        .clusters_communicate(machine.fu(fu_of[e.src.index()]).cluster, placed_cluster);
+                if dep_violated || comm_violated {
+                    mrt.release(s_src, fu_of[e.src.index()]);
+                    let c = machine.fu(fu_of[e.src.index()]).cluster;
+                    cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
+                    start[e.src.index()] = None;
+                }
+            }
+        }
+    }
+
+    let start: Vec<u32> = start.into_iter().map(|s| s.expect("all ops scheduled")).collect();
+    Some((start, fu_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{kernels, LatencyModel};
+    use vliw_machine::LatencyModel as MachineLatency;
+    use vliw_qrf::insert_copies;
+    use vliw_sched::{modulo_schedule, ImsOptions};
+
+    fn clustered(n: usize) -> Machine {
+        Machine::paper_clustered(n, MachineLatency::default())
+    }
+
+    #[test]
+    fn kernels_schedule_on_clustered_machines() {
+        for n in [2, 4, 5, 6] {
+            let m = clustered(n);
+            for l in kernels::all_kernels(LatencyModel::default()) {
+                let r = partition_schedule(&l.ddg, &m, PartitionOptions::default())
+                    .unwrap_or_else(|e| panic!("{} on {} clusters: {e}", l.name, n));
+                assert!(r.schedule.validate(&l.ddg, &m).is_ok(), "{}", l.name);
+                assert!(r.schedule.ii >= r.mii);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_adjacency_is_respected() {
+        let m = clustered(4);
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let r = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+            for e in l.ddg.edges() {
+                if e.kind != DepKind::Flow {
+                    continue;
+                }
+                let cs = r.schedule.cluster_of(&m, e.src);
+                let cd = r.schedule.cluster_of(&m, e.dst);
+                assert!(
+                    m.clusters_communicate(cs, cd),
+                    "{}: value flows between non-adjacent clusters {cs} -> {cd}",
+                    l.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_ii_never_beats_single_cluster_mii() {
+        let lat = LatencyModel::default();
+        for l in kernels::all_kernels(lat) {
+            let rewritten = insert_copies(&l.ddg, &lat);
+            let single = Machine::paper_single_cluster_equivalent(4, lat);
+            let clusteredm = clustered(4);
+            let s = modulo_schedule(&rewritten.ddg, &single, ImsOptions::default()).unwrap();
+            let c = partition_schedule(&rewritten.ddg, &clusteredm, PartitionOptions::default()).unwrap();
+            assert!(
+                c.schedule.ii >= s.schedule.ii,
+                "{}: clustered II {} beats single-cluster II {}",
+                l.name,
+                c.schedule.ii,
+                s.schedule.ii
+            );
+        }
+    }
+
+    #[test]
+    fn small_kernels_keep_single_cluster_ii_on_four_clusters() {
+        // The paper reports that 95% of loops keep the single-cluster II on a
+        // 4-cluster machine; these tiny kernels certainly should.
+        let lat = LatencyModel::default();
+        let single = Machine::paper_single_cluster_equivalent(4, lat);
+        let cl = clustered(4);
+        for l in kernels::all_kernels(lat) {
+            let rewritten = insert_copies(&l.ddg, &lat);
+            let s = modulo_schedule(&rewritten.ddg, &single, ImsOptions::default()).unwrap();
+            let c = partition_schedule(&rewritten.ddg, &cl, PartitionOptions::default()).unwrap();
+            assert_eq!(
+                c.schedule.ii, s.schedule.ii,
+                "{}: clustered II degraded",
+                l.name
+            );
+        }
+    }
+
+    #[test]
+    fn transit_moves_drop_the_adjacency_restriction() {
+        let m = clustered(6);
+        let l = kernels::wide_parallel(LatencyModel::default(), 100);
+        let with_moves =
+            partition_schedule(&l.ddg, &m, PartitionOptions::default().with_transit_moves()).unwrap();
+        assert!(with_moves.schedule.validate(&l.ddg, &m).is_ok());
+        let without =
+            partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+        // Removing a constraint can only help (or leave unchanged) the II.
+        assert!(with_moves.schedule.ii <= without.schedule.ii);
+    }
+
+    #[test]
+    fn min_ii_is_honoured() {
+        let m = clustered(4);
+        let l = kernels::dot_product(LatencyModel::default(), 100);
+        let base = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+        let forced = partition_schedule(
+            &l.ddg,
+            &m,
+            PartitionOptions::default().with_min_ii(base.schedule.ii + 2),
+        )
+        .unwrap();
+        assert_eq!(forced.schedule.ii, base.schedule.ii + 2);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let m = clustered(4);
+        assert!(matches!(
+            partition_schedule(&Ddg::new(), &m, PartitionOptions::default()),
+            Err(SchedError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn single_cluster_machine_degenerates_to_plain_ims_bounds() {
+        // On a machine with a single cluster the partitioner faces no communication
+        // constraints, so it matches plain IMS's II on these kernels.
+        let lat = LatencyModel::default();
+        let m = Machine::paper_clustered(1, lat);
+        for l in kernels::all_kernels(lat) {
+            let p = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+            let s = modulo_schedule(&l.ddg, &m, ImsOptions::default()).unwrap();
+            assert_eq!(p.schedule.ii, s.schedule.ii, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = clustered(5);
+        let l = kernels::wide_parallel(LatencyModel::default(), 10);
+        let a = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+        let b = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

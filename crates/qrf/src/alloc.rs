@@ -1,0 +1,192 @@
+//! Queue allocation: binning per-use lifetimes into hardware queues.
+//!
+//! Lifetimes are assigned to queues greedily (first fit, in increasing start order):
+//! a lifetime joins the first queue whose current members are all Q-compatible with
+//! it, otherwise a new queue is opened.  Q-compatibility is pairwise but not
+//! transitive, so every member must be checked.
+//!
+//! The allocator also reports the depth each queue needs (the maximum number of
+//! values simultaneously resident), which sizes the queue storage of Fig. 7.
+
+use crate::lifetime::{max_live, Lifetime};
+use crate::qcompat::compatible_with_all;
+
+/// Result of queue allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueAllocation {
+    /// Initiation interval of the schedule the lifetimes came from.
+    pub ii: u32,
+    /// Queue contents: `queues[q]` lists indices into the input lifetime slice.
+    pub queues: Vec<Vec<usize>>,
+    /// Required depth of each queue (maximum simultaneous occupancy).
+    pub queue_depths: Vec<usize>,
+}
+
+impl QueueAllocation {
+    /// Number of queues used.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The largest queue depth required by any queue.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True if the allocation fits a register file of `num_queues` queues of
+    /// `capacity` entries each.
+    pub fn fits(&self, num_queues: usize, capacity: usize) -> bool {
+        self.num_queues() <= num_queues && self.max_queue_depth() <= capacity
+    }
+}
+
+/// Allocates `lifetimes` (per-use lifetimes of one modulo-scheduled loop) to queues.
+pub fn allocate_queues(lifetimes: &[Lifetime], ii: u32) -> QueueAllocation {
+    assert!(ii >= 1);
+    // Process lifetimes by increasing start time (then end time) — the same order in
+    // which the hardware would see the writes — which keeps first-fit behaviour
+    // deterministic and tends to pack compatible chains together.
+    let mut order: Vec<usize> = (0..lifetimes.len()).collect();
+    order.sort_by_key(|&i| (lifetimes[i].start, lifetimes[i].end, i));
+
+    let mut queues: Vec<Vec<usize>> = Vec::new();
+    for &i in &order {
+        let lt = &lifetimes[i];
+        let mut placed = false;
+        for q in queues.iter_mut() {
+            let members: Vec<Lifetime> = q.iter().map(|&j| lifetimes[j].clone()).collect();
+            if compatible_with_all(lt, &members, ii) {
+                q.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            queues.push(vec![i]);
+        }
+    }
+
+    let queue_depths = queues
+        .iter()
+        .map(|q| {
+            let members: Vec<Lifetime> = q.iter().map(|&j| lifetimes[j].clone()).collect();
+            max_live(&members, ii)
+        })
+        .collect();
+
+    QueueAllocation { ii, queues, queue_depths }
+}
+
+/// Number of queues required by a loop, as reported in Fig. 3: the size of the
+/// allocation produced by [`allocate_queues`].
+pub fn queues_required(lifetimes: &[Lifetime], ii: u32) -> usize {
+    allocate_queues(lifetimes, ii).num_queues()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::use_lifetimes;
+    use crate::qcompat::q_compatible;
+    use proptest::prelude::*;
+    use vliw_ddg::{kernels, LatencyModel, OpId};
+    use vliw_machine::Machine;
+    use vliw_sched::{modulo_schedule, ImsOptions};
+
+    fn lt(start: u32, end: u32) -> Lifetime {
+        Lifetime { producer: OpId(0), consumer: OpId(1), start, end }
+    }
+
+    #[test]
+    fn disjoint_compatible_lifetimes_share_one_queue() {
+        // Same length, consecutive phases: all pairwise compatible at II 4.
+        let lts = vec![lt(0, 2), lt(1, 3), lt(2, 4), lt(3, 5)];
+        let alloc = allocate_queues(&lts, 4);
+        assert_eq!(alloc.num_queues(), 1);
+        assert_eq!(alloc.queues[0].len(), 4);
+        assert!(alloc.max_queue_depth() >= 2);
+    }
+
+    #[test]
+    fn colliding_lifetimes_need_separate_queues() {
+        // Identical phases collide pairwise: one queue each.
+        let lts = vec![lt(0, 2), lt(4, 6), lt(8, 10)];
+        let alloc = allocate_queues(&lts, 4);
+        assert_eq!(alloc.num_queues(), 3);
+        assert!(alloc.queue_depths.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn allocation_is_pairwise_compatible_within_each_queue() {
+        let l = kernels::wide_parallel(LatencyModel::default(), 100);
+        let m = Machine::single_cluster(6, 2, 32, LatencyModel::default());
+        let s = modulo_schedule(&l.ddg, &m, ImsOptions::default()).unwrap().schedule;
+        let lts = use_lifetimes(&l.ddg, &s);
+        let alloc = allocate_queues(&lts, s.ii);
+        for q in &alloc.queues {
+            for (ai, &a) in q.iter().enumerate() {
+                for &b in &q[ai + 1..] {
+                    assert!(
+                        q_compatible(&lts[a], &lts[b], s.ii),
+                        "queue contains an incompatible pair"
+                    );
+                }
+            }
+        }
+        // Every lifetime is allocated exactly once.
+        let mut seen: Vec<usize> = alloc.queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..lts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queues_required_matches_allocation() {
+        let lts = vec![lt(0, 3), lt(1, 4), lt(4, 7), lt(2, 9)];
+        assert_eq!(queues_required(&lts, 4), allocate_queues(&lts, 4).num_queues());
+    }
+
+    #[test]
+    fn fits_checks_both_dimensions() {
+        let lts = vec![lt(0, 9), lt(1, 8)];
+        let alloc = allocate_queues(&lts, 2);
+        assert!(alloc.fits(32, 8));
+        assert!(!alloc.fits(0, 8));
+        assert!(!alloc.fits(32, 1));
+    }
+
+    #[test]
+    fn empty_input_allocates_nothing() {
+        let alloc = allocate_queues(&[], 3);
+        assert_eq!(alloc.num_queues(), 0);
+        assert_eq!(alloc.max_queue_depth(), 0);
+        assert!(alloc.fits(0, 0));
+    }
+
+    proptest! {
+        /// The allocator never produces a queue containing an incompatible pair, and
+        /// never loses or duplicates a lifetime.
+        #[test]
+        fn allocation_invariants(
+            raw in proptest::collection::vec((0u32..12, 1u32..10), 1..24),
+            ii in 1u32..8,
+        ) {
+            let lts: Vec<Lifetime> = raw
+                .iter()
+                .map(|&(s, l)| lt(s, s + l))
+                .collect();
+            let alloc = allocate_queues(&lts, ii);
+            let mut seen: Vec<usize> = alloc.queues.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..lts.len()).collect::<Vec<_>>());
+            for q in &alloc.queues {
+                for (ai, &a) in q.iter().enumerate() {
+                    for &b in &q[ai + 1..] {
+                        prop_assert!(q_compatible(&lts[a], &lts[b], ii));
+                    }
+                }
+            }
+            // Queue depths are consistent with the members assigned to each queue.
+            prop_assert_eq!(alloc.queue_depths.len(), alloc.queues.len());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Copy-operation insertion (Section 2 of the paper).
+//!
+//! A queue read is destructive, so a value consumed by `k > 1` operations cannot be
+//! served by a single queue write: the paper introduces a dedicated **copy**
+//! functional unit able to read one value from a queue and write it to two other
+//! queues (Fig. 2).  This pass rewrites the dependence graph so that every produced
+//! value has at most one consumer:
+//!
+//! * a value with `k ≥ 2` consumers gets a chain of `k − 1` copy operations;
+//! * the producer feeds the first copy, each copy feeds one original consumer plus
+//!   the next copy, and the last copy feeds the final two consumers;
+//! * the original edges' iteration distances are preserved on the edge that reaches
+//!   each original consumer.
+//!
+//! The transformed graph is then scheduled again; the experiments of Section 2
+//! measure how often the extra operations force a larger II or stage count.
+
+use vliw_ddg::{Ddg, DepKind, LatencyModel, OpId, OpKind};
+
+/// Result of the copy-insertion pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyInsertion {
+    /// The rewritten graph.  Original operations keep their ids; copy operations are
+    /// appended after them.
+    pub ddg: Ddg,
+    /// Ids of the inserted copy operations.
+    pub copy_ops: Vec<OpId>,
+}
+
+impl CopyInsertion {
+    /// Number of copy operations inserted.
+    pub fn num_copies(&self) -> usize {
+        self.copy_ops.len()
+    }
+}
+
+/// Rewrites `ddg` so that no value has more than one consumer, inserting copy
+/// operations executed on the copy functional unit.
+///
+/// `latencies` provides the latency of the inserted copy operations (and of the
+/// producer edges re-routed through them).
+pub fn insert_copies(ddg: &Ddg, latencies: &LatencyModel) -> CopyInsertion {
+    let mut out = Ddg::with_capacity(ddg.num_ops());
+    // Re-create the original operations so ids are preserved.
+    for op in ddg.ops() {
+        let id = out.add_op(op.kind);
+        debug_assert_eq!(id, op.id);
+    }
+    // Non-flow edges are copied verbatim.
+    for e in ddg.edges() {
+        if e.kind != DepKind::Flow {
+            out.add_edge(e.src, e.dst, e.kind, e.latency, e.distance);
+        }
+    }
+
+    let copy_latency = latencies.of(OpKind::Copy);
+    let mut copy_ops = Vec::new();
+
+    for producer in ddg.op_ids() {
+        let mut consumers: Vec<(OpId, u32, u32)> = ddg
+            .flow_consumers(producer)
+            .map(|e| (e.dst, e.latency, e.distance))
+            .collect();
+        // Serve loop-carried consumers first so that recurrence circuits go through
+        // as few copies as possible (one), minimising the impact on RecMII; the
+        // remaining order keeps the original edge order and is therefore
+        // deterministic.
+        consumers.sort_by_key(|&(_, _, dist)| std::cmp::Reverse(dist.min(1)));
+        match consumers.len() {
+            0 => {}
+            1 => {
+                let (dst, lat, dist) = consumers[0];
+                out.add_edge(producer, dst, DepKind::Flow, lat, dist);
+            }
+            k => {
+                // Chain of k-1 copies.  The producer feeds the first copy; copy i
+                // feeds consumer i and copy i+1; the last copy feeds the last two
+                // consumers.
+                let producer_latency = consumers[0].1;
+                let mut prev = producer;
+                let mut prev_latency = producer_latency;
+                for i in 0..k - 1 {
+                    let copy = out.add_op(OpKind::Copy);
+                    copy_ops.push(copy);
+                    out.add_edge(prev, copy, DepKind::Flow, prev_latency, 0);
+                    // The copy serves original consumer i.
+                    let (dst, _lat, dist) = consumers[i];
+                    out.add_edge(copy, dst, DepKind::Flow, copy_latency, dist);
+                    prev = copy;
+                    prev_latency = copy_latency;
+                }
+                // The last copy also serves the final consumer.
+                let (dst, _lat, dist) = consumers[k - 1];
+                out.add_edge(prev, dst, DepKind::Flow, copy_latency, dist);
+            }
+        }
+    }
+
+    debug_assert!(out.validate().is_ok(), "copy insertion produced an invalid graph");
+    CopyInsertion { ddg: out, copy_ops }
+}
+
+/// Number of copy operations that `ddg` would need (without building the rewritten
+/// graph): the sum over produced values of `max(fanout − 1, 0)`.
+pub fn copies_needed(ddg: &Ddg) -> usize {
+    ddg.op_ids()
+        .map(|op| ddg.fanout(op).saturating_sub(1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{kernels, DdgBuilder};
+
+    #[test]
+    fn single_consumer_values_are_untouched() {
+        let l = kernels::dot_product(LatencyModel::default(), 100);
+        let before_fanout = l.ddg.max_fanout();
+        let ins = insert_copies(&l.ddg, &LatencyModel::default());
+        if before_fanout <= 1 {
+            assert_eq!(ins.num_copies(), 0);
+            assert_eq!(ins.ddg.num_ops(), l.ddg.num_ops());
+        }
+        assert!(ins.ddg.validate().is_ok());
+    }
+
+    #[test]
+    fn fanout_is_eliminated() {
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let ins = insert_copies(&l.ddg, &LatencyModel::default());
+            for op in ins.ddg.ops() {
+                let limit = if op.kind == OpKind::Copy { 2 } else { 1 };
+                assert!(
+                    ins.ddg.fanout(op.id) <= limit,
+                    "{}: {} exceeds its write-port budget after copy insertion",
+                    l.name,
+                    op.id
+                );
+            }
+            assert!(ins.ddg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn number_of_copies_matches_formula() {
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let ins = insert_copies(&l.ddg, &LatencyModel::default());
+            assert_eq!(ins.num_copies(), copies_needed(&l.ddg), "{}", l.name);
+            assert_eq!(ins.ddg.num_ops(), l.ddg.num_ops() + ins.num_copies());
+        }
+    }
+
+    #[test]
+    fn copy_ops_are_copy_kind_and_appended() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let p = b.op(OpKind::Load);
+        let c1 = b.op(OpKind::Add);
+        let c2 = b.op(OpKind::Mul);
+        let c3 = b.op(OpKind::Add);
+        b.flow(p, c1);
+        b.flow(p, c2);
+        b.flow(p, c3);
+        let g = b.finish();
+        let ins = insert_copies(&g, &LatencyModel::default());
+        assert_eq!(ins.num_copies(), 2);
+        for &c in &ins.copy_ops {
+            assert_eq!(ins.ddg.op(c).kind, OpKind::Copy);
+            assert!(c.index() >= g.num_ops());
+            // Each copy writes to exactly two queues (two flow consumers).
+            assert_eq!(ins.ddg.fanout(c), 2);
+        }
+        // The producer now has exactly one consumer (the first copy).
+        assert_eq!(ins.ddg.fanout(p), 1);
+        // Original consumers each still receive exactly one value.
+        for c in [c1, c2, c3] {
+            assert_eq!(
+                ins.ddg.pred_edges(c).filter(|e| e.kind == DepKind::Flow).count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn distances_are_preserved_on_consumer_edges() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let p = b.op(OpKind::Add);
+        let same_iter = b.op(OpKind::Mul);
+        let next_iter = b.op(OpKind::Sub);
+        b.flow(p, same_iter);
+        b.flow_carried(p, next_iter, 2);
+        let g = b.finish();
+        let ins = insert_copies(&g, &LatencyModel::default());
+        // Find the flow edge reaching `next_iter`; its distance must still be 2.
+        let e = ins
+            .ddg
+            .pred_edges(next_iter)
+            .find(|e| e.kind == DepKind::Flow)
+            .unwrap();
+        assert_eq!(e.distance, 2);
+        let e_same = ins
+            .ddg
+            .pred_edges(same_iter)
+            .find(|e| e.kind == DepKind::Flow)
+            .unwrap();
+        assert_eq!(e_same.distance, 0);
+    }
+
+    #[test]
+    fn duplicate_reads_by_the_same_consumer_need_a_copy() {
+        // c reads the value twice (e.g. x*x): two destructive queue reads, so a copy
+        // is required even though there is only one consuming operation.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let p = b.op(OpKind::Load);
+        let sq = b.op(OpKind::Mul);
+        b.flow(p, sq);
+        b.flow(p, sq);
+        let g = b.finish();
+        assert_eq!(copies_needed(&g), 1);
+        let ins = insert_copies(&g, &LatencyModel::default());
+        assert_eq!(ins.num_copies(), 1);
+        assert_eq!(
+            ins.ddg.pred_edges(sq).filter(|e| e.kind == DepKind::Flow).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn non_flow_edges_survive_the_rewrite() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let st = b.op(OpKind::Store);
+        let ld = b.op(OpKind::Load);
+        let a = b.op(OpKind::Add);
+        let c = b.op(OpKind::Mul);
+        b.memory(st, ld, 1);
+        b.flow(ld, a);
+        b.flow(ld, c);
+        let g = b.finish();
+        let ins = insert_copies(&g, &LatencyModel::default());
+        assert!(ins
+            .ddg
+            .edges()
+            .any(|e| e.kind == DepKind::Memory && e.src == st && e.dst == ld && e.distance == 1));
+    }
+}

@@ -1,0 +1,203 @@
+//! Value lifetimes in a modulo schedule.
+//!
+//! A *lifetime* spans from the cycle at which storage is reserved for a value (the
+//! issue cycle of its producer) to the cycle at which its last consumer reads it
+//! (`issue(consumer) + II · distance` for a loop-carried use).  Because successive
+//! iterations are initiated every II cycles, several instances of the same lifetime
+//! can be alive simultaneously; this is precisely what creates register pressure in
+//! software-pipelined loops.
+//!
+//! Two flavours of lifetime are extracted:
+//!
+//! * **per-value lifetimes** ([`value_lifetimes`]) — one per produced value, ending at
+//!   the *last* read; these drive the conventional-register-file MaxLive baseline;
+//! * **per-use lifetimes** ([`use_lifetimes`]) — one per (producer, consumer) flow
+//!   edge; these drive queue allocation, because a queue read is destructive so every
+//!   additional consumer needs its own queue-resident instance of the value
+//!   (Section 2 of the paper).
+
+use vliw_ddg::{Ddg, OpId};
+use vliw_sched::Schedule;
+
+/// A storage lifetime extracted from a modulo schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lifetime {
+    /// The operation producing the value.
+    pub producer: OpId,
+    /// The consumer this lifetime feeds (per-use lifetimes) or the last consumer
+    /// (per-value lifetimes).
+    pub consumer: OpId,
+    /// Cycle at which the storage is reserved: the producer's issue cycle.
+    pub start: u32,
+    /// Cycle at which the (last) consumer reads the value:
+    /// `issue(consumer) + II · distance`.
+    pub end: u32,
+}
+
+impl Lifetime {
+    /// Length of the lifetime in cycles (`end − start`).
+    #[inline]
+    pub fn length(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the lifetime spans more than `ii` cycles, meaning more than one
+    /// instance of it is alive at steady state.
+    pub fn overlaps_itself(&self, ii: u32) -> bool {
+        self.length() > ii
+    }
+}
+
+/// Extracts one lifetime per (producer, consumer) flow edge.
+pub fn use_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
+    let ii = schedule.ii;
+    let mut out = Vec::new();
+    for e in ddg.edges() {
+        if !e.kind.carries_value() {
+            continue;
+        }
+        let start = schedule.start_of(e.src);
+        let end = schedule.start_of(e.dst) + ii * e.distance;
+        debug_assert!(end >= start, "schedule violates dependence {e}");
+        out.push(Lifetime { producer: e.src, consumer: e.dst, start, end });
+    }
+    out
+}
+
+/// Extracts one lifetime per produced value (covering all of its consumers).
+///
+/// Values with no consumer (e.g. a compare feeding the loop branch, which is not
+/// modelled) produce no lifetime.
+pub fn value_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
+    let ii = schedule.ii;
+    let mut out = Vec::new();
+    for op in ddg.op_ids() {
+        let mut last: Option<(OpId, u32)> = None;
+        for e in ddg.flow_consumers(op) {
+            let end = schedule.start_of(e.dst) + ii * e.distance;
+            if last.map_or(true, |(_, prev)| end > prev) {
+                last = Some((e.dst, end));
+            }
+        }
+        if let Some((consumer, end)) = last {
+            out.push(Lifetime { producer: op, consumer, start: schedule.start_of(op), end });
+        }
+    }
+    out
+}
+
+/// Steady-state storage requirement of a set of lifetimes: the maximum, over the II
+/// modulo slots, of the number of live lifetime instances.
+///
+/// This is the classic *MaxLive* quantity; for a conventional register file it is the
+/// number of registers needed (ignoring allocation fragmentation), and for a single
+/// queue holding a set of lifetimes it is the queue depth required.
+pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> usize {
+    assert!(ii >= 1);
+    let mut live = vec![0usize; ii as usize];
+    for lt in lifetimes {
+        for t in lt.start..lt.end {
+            live[(t % ii) as usize] += 1;
+        }
+    }
+    live.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{kernels, DdgBuilder, LatencyModel, OpKind};
+    use vliw_machine::Machine;
+    use vliw_sched::{modulo_schedule, ImsOptions};
+
+    fn schedule_kernel(l: &vliw_ddg::Loop, fus: usize) -> Schedule {
+        let m = Machine::single_cluster(fus, 2, 32, LatencyModel::default());
+        modulo_schedule(&l.ddg, &m, ImsOptions::default()).unwrap().schedule
+    }
+
+    #[test]
+    fn use_lifetimes_one_per_flow_edge() {
+        let l = kernels::dot_product(LatencyModel::default(), 100);
+        let s = schedule_kernel(&l, 6);
+        let lts = use_lifetimes(&l.ddg, &s);
+        let flow_edges = l.ddg.edges().filter(|e| e.kind.carries_value()).count();
+        assert_eq!(lts.len(), flow_edges);
+        for lt in &lts {
+            assert!(lt.end >= lt.start);
+        }
+    }
+
+    #[test]
+    fn value_lifetimes_one_per_producing_op_with_consumers() {
+        let l = kernels::wide_parallel(LatencyModel::default(), 100);
+        let s = schedule_kernel(&l, 12);
+        let lts = value_lifetimes(&l.ddg, &s);
+        let producers_with_uses = l
+            .ddg
+            .op_ids()
+            .filter(|&op| l.ddg.fanout(op) > 0)
+            .count();
+        assert_eq!(lts.len(), producers_with_uses);
+    }
+
+    #[test]
+    fn value_lifetime_ends_at_last_consumer() {
+        // One producer read by an early and a late consumer.
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let p = b.op(OpKind::Load);
+        let early = b.op(OpKind::Add);
+        let late = b.op(OpKind::Mul);
+        b.flow(p, early);
+        b.flow(p, late);
+        let g = b.finish();
+        let m = Machine::single_cluster(6, 1, 32, LatencyModel::unit());
+        let s = modulo_schedule(&g, &m, ImsOptions::default()).unwrap().schedule;
+        let vl = value_lifetimes(&g, &s);
+        assert_eq!(vl.len(), 1);
+        let ul = use_lifetimes(&g, &s);
+        assert_eq!(ul.len(), 2);
+        let max_end = ul.iter().map(|l| l.end).max().unwrap();
+        assert_eq!(vl[0].end, max_end);
+    }
+
+    #[test]
+    fn carried_uses_extend_lifetimes_by_ii() {
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let p = b.op(OpKind::Add);
+        let c = b.op(OpKind::Mul);
+        b.flow_carried(p, c, 2);
+        let g = b.finish();
+        let m = Machine::single_cluster(6, 1, 32, LatencyModel::unit());
+        let s = modulo_schedule(&g, &m, ImsOptions::default()).unwrap().schedule;
+        let lts = use_lifetimes(&g, &s);
+        assert_eq!(lts.len(), 1);
+        assert_eq!(lts[0].end, s.start_of(c) + 2 * s.ii);
+        assert!(lts[0].overlaps_itself(s.ii));
+    }
+
+    #[test]
+    fn max_live_counts_overlap() {
+        // Two lifetimes [0, 4) and [2, 6) at II = 2: every slot holds one instance of
+        // each at steady state plus the overlap, giving MaxLive 4.
+        let lts = vec![
+            Lifetime { producer: OpId(0), consumer: OpId(1), start: 0, end: 4 },
+            Lifetime { producer: OpId(2), consumer: OpId(3), start: 2, end: 6 },
+        ];
+        assert_eq!(max_live(&lts, 2), 4);
+        assert_eq!(max_live(&lts, 4), 2);
+        assert_eq!(max_live(&lts, 8), 2);
+    }
+
+    #[test]
+    fn max_live_of_empty_set_is_zero() {
+        assert_eq!(max_live(&[], 4), 0);
+    }
+
+    #[test]
+    fn lifetime_length_and_self_overlap() {
+        let lt = Lifetime { producer: OpId(0), consumer: OpId(1), start: 3, end: 10 };
+        assert_eq!(lt.length(), 7);
+        assert!(lt.overlaps_itself(4));
+        assert!(!lt.overlaps_itself(7));
+    }
+}

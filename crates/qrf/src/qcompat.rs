@@ -1,0 +1,290 @@
+//! The Q-Compatibility test (Theorem 1.1 of the paper).
+//!
+//! In a queue register file a value is written at the tail of a queue and read,
+//! destructively, from its head.  Two lifetimes can share one queue only if, across
+//! all loop iterations, the order in which their values are written matches exactly
+//! the order in which they are read (FIFO discipline), and no two writes or two reads
+//! ever collide in the same cycle.
+//!
+//! # Closed form
+//!
+//! Consider per-use lifetimes `a` and `b` with start (write) cycles `S_a`, `S_b` and
+//! end (read) cycles `E_a`, `E_b` in the flat schedule; iteration `k` shifts both
+//! events by `k · II`.  For instance `k` of `a` and instance `m` of `b`, with
+//! `d = m − k`:
+//!
+//! * the writes are ordered `a` first iff `d·II − (S_a − S_b) > 0`;
+//! * the reads are ordered `a` first iff `d·II − (E_a − E_b) > 0`.
+//!
+//! FIFO order holds for every instance pair iff **no integer multiple of II lies in
+//! the closed interval** `[min(S_a−S_b, E_a−E_b), max(S_a−S_b, E_a−E_b)]`: a multiple
+//! strictly inside flips the order of reads relative to writes, a multiple at either
+//! endpoint makes two writes or two reads collide.  With the paper's convention
+//! (`L = E − S`, `L_a ≥ L_b`) this is exactly Theorem 1.1's condition that the
+//! difference in lifetime lengths must fit in the production-offset window
+//! `(S_b − S_a) mod II`.
+//!
+//! The closed form is verified against a brute-force FIFO simulation oracle
+//! ([`fifo_compatible`]) by unit and property tests.
+
+use crate::lifetime::Lifetime;
+
+/// True if some integer multiple of `ii` lies in the closed interval `[lo, hi]`.
+fn multiple_in_closed_range(lo: i64, hi: i64, ii: i64) -> bool {
+    debug_assert!(lo <= hi && ii >= 1);
+    // Smallest multiple >= lo is ceil(lo / ii) * ii.
+    let first = lo.div_euclid(ii) * ii + if lo.rem_euclid(ii) == 0 { 0 } else { ii };
+    first <= hi
+}
+
+/// The Q-Compatibility test: can lifetimes `a` and `b` share a queue at initiation
+/// interval `ii`?
+///
+/// This is the closed-form test of Theorem 1.1 (see the module documentation for the
+/// derivation).  The relation is symmetric but **not** transitive, so a set of
+/// lifetimes may share a queue only if every pair in the set is compatible.
+pub fn q_compatible(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
+    let ii = i64::from(ii);
+    let dw = i64::from(a.start) - i64::from(b.start);
+    let dr = i64::from(a.end) - i64::from(b.end);
+    let (lo, hi) = (dw.min(dr), dw.max(dr));
+    !multiple_in_closed_range(lo, hi, ii)
+}
+
+/// Brute-force FIFO oracle: simulates a single queue shared by `a` and `b` over
+/// enough iterations to cover every distinct interleaving and checks that every read
+/// pops the value it expects.
+///
+/// This is exponential in nothing but is much slower than [`q_compatible`]; it exists
+/// to validate the closed form (property tests) and as an executable specification.
+pub fn fifo_compatible(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Event {
+        time: i64,
+        /// 0 = read, 1 = write (reads processed first at a tie: a read always refers
+        /// to a value written at least one cycle earlier).
+        kind: u8,
+        /// Which lifetime family (0 = a, 1 = b) and which iteration instance.
+        family: u8,
+        instance: u32,
+    }
+
+    let ii_i = i64::from(ii);
+    let max_len = i64::from(a.length().max(b.length()));
+    let start_offset = (i64::from(a.start) - i64::from(b.start)).abs();
+    // Enough iterations that every relative alignment that can possibly interact is
+    // exercised at least once (the families only meet after the start offset has
+    // been crossed, and keep interacting over the longer lifetime).
+    let iterations = ((max_len + start_offset) / ii_i + 4) as u32;
+
+    let mut events = Vec::with_capacity(iterations as usize * 4);
+    for k in 0..iterations {
+        let off = i64::from(k) * ii_i;
+        events.push(Event { time: i64::from(a.start) + off, kind: 1, family: 0, instance: k });
+        events.push(Event { time: i64::from(a.end) + off, kind: 0, family: 0, instance: k });
+        events.push(Event { time: i64::from(b.start) + off, kind: 1, family: 1, instance: k });
+        events.push(Event { time: i64::from(b.end) + off, kind: 0, family: 1, instance: k });
+    }
+    events.sort_by_key(|e| (e.time, e.kind, e.family, e.instance));
+
+    // Reject simultaneous writes or simultaneous reads outright (a queue has one
+    // write port and one read port).
+    for w in events.windows(2) {
+        if w[0].time == w[1].time && w[0].kind == w[1].kind {
+            return false;
+        }
+    }
+
+    let mut queue: std::collections::VecDeque<(u8, u32)> = std::collections::VecDeque::new();
+    for e in &events {
+        if e.kind == 1 {
+            queue.push_back((e.family, e.instance));
+        } else {
+            match queue.pop_front() {
+                Some(front) if front == (e.family, e.instance) => {}
+                // Popping the wrong value (or an empty queue, which only happens for
+                // reads of instances whose writes fall outside the simulated window
+                // and is treated as benign) breaks FIFO order.
+                Some(_) => return false,
+                None => {}
+            }
+        }
+    }
+    true
+}
+
+/// Compatibility of a lifetime with a whole group: true iff it is pairwise
+/// Q-compatible with every member.
+pub fn compatible_with_all(candidate: &Lifetime, group: &[Lifetime], ii: u32) -> bool {
+    group.iter().all(|m| q_compatible(candidate, m, ii))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vliw_ddg::OpId;
+
+    fn lt(start: u32, end: u32) -> Lifetime {
+        Lifetime { producer: OpId(0), consumer: OpId(1), start, end }
+    }
+
+    #[test]
+    fn identical_phases_are_incompatible() {
+        // Same start slot -> writes collide.
+        let a = lt(0, 3);
+        let b = lt(4, 6); // start 4 ≡ 0 (mod 4)
+        assert!(!q_compatible(&a, &b, 4));
+        assert!(!fifo_compatible(&a, &b, 4));
+    }
+
+    #[test]
+    fn same_length_different_phase_is_compatible() {
+        let a = lt(0, 3);
+        let b = lt(1, 4);
+        assert!(q_compatible(&a, &b, 4));
+        assert!(fifo_compatible(&a, &b, 4));
+    }
+
+    #[test]
+    fn read_collision_is_incompatible() {
+        // Reads at 5 and 9 collide modulo 4.
+        let a = lt(0, 5);
+        let b = lt(2, 9);
+        assert!(!q_compatible(&a, &b, 4));
+        assert!(!fifo_compatible(&a, &b, 4));
+    }
+
+    #[test]
+    fn order_flip_is_incompatible() {
+        // a written first but read after b (within the same iteration window).
+        let a = lt(0, 7);
+        let b = lt(1, 3);
+        // With II = 10 there is no wrap-around to rescue the order: a write order is
+        // a, b but read order is b, a -> incompatible.
+        assert!(!q_compatible(&a, &b, 10));
+        assert!(!fifo_compatible(&a, &b, 10));
+    }
+
+    #[test]
+    fn long_lifetime_with_matching_order_is_compatible() {
+        // a: write 0 read 5; b: write 2 read 6 at II 4.
+        // Differences: dw = -2, dr = -1; no multiple of 4 in [-2, -1].
+        let a = lt(0, 5);
+        let b = lt(2, 6);
+        assert!(q_compatible(&a, &b, 4));
+        assert!(fifo_compatible(&a, &b, 4));
+    }
+
+    #[test]
+    fn theorem_condition_la_minus_lb_vs_offset() {
+        // Paper formulation: with La >= Lb, compatible iff La - Lb fits below the
+        // production offset (Sb - Sa) mod II.
+        let ii = 6;
+        let a = lt(0, 9); // La = 9
+        for sb in 1..6u32 {
+            for lb in 1..=9u32 {
+                let b = lt(sb, sb + lb);
+                let la = 9i64;
+                let offset = i64::from((sb as i64).rem_euclid(ii as i64) as u32);
+                let expected_by_theorem = if la - i64::from(lb) >= 0 {
+                    la - i64::from(lb) < offset
+                        && (i64::from(a.end) - i64::from(b.end)).rem_euclid(ii as i64) != 0
+                } else {
+                    // Lb > La: swap roles.
+                    i64::from(lb) - la < (ii as i64 - offset)
+                        && (i64::from(a.end) - i64::from(b.end)).rem_euclid(ii as i64) != 0
+                };
+                let got = q_compatible(&a, &b, ii);
+                let oracle = fifo_compatible(&a, &b, ii);
+                assert_eq!(got, oracle, "closed form vs oracle for Sb={sb} Lb={lb}");
+                assert_eq!(
+                    got, expected_by_theorem,
+                    "theorem reformulation mismatch for Sb={sb} Lb={lb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        let cases = [
+            (lt(0, 5), lt(2, 6), 4),
+            (lt(0, 7), lt(1, 3), 10),
+            (lt(3, 10), lt(5, 9), 5),
+            (lt(0, 2), lt(1, 8), 3),
+        ];
+        for (a, b, ii) in cases {
+            assert_eq!(q_compatible(&a, &b, ii), q_compatible(&b, &a, ii));
+        }
+    }
+
+    #[test]
+    fn group_compatibility_requires_all_pairs() {
+        let ii = 5;
+        let a = lt(0, 2);
+        let b = lt(1, 3);
+        let c = lt(2, 4);
+        assert!(compatible_with_all(&c, &[a.clone(), b.clone()], ii));
+        // A lifetime colliding with `a` is rejected even if compatible with `b`.
+        let d = lt(5, 7); // start ≡ 0 ≡ a.start (mod 5)
+        assert!(q_compatible(&d, &b, ii));
+        assert!(!compatible_with_all(&d, &[a, b], ii));
+    }
+
+    #[test]
+    fn multiple_in_closed_range_basics() {
+        assert!(multiple_in_closed_range(0, 0, 4)); // 0 itself
+        assert!(multiple_in_closed_range(-1, 1, 4));
+        assert!(!multiple_in_closed_range(1, 3, 4));
+        assert!(multiple_in_closed_range(1, 4, 4));
+        assert!(multiple_in_closed_range(-9, -7, 4)); // -8
+        assert!(!multiple_in_closed_range(-7, -5, 4));
+    }
+
+    proptest! {
+        /// The closed-form Theorem 1.1 test agrees with the brute-force FIFO
+        /// simulation for arbitrary lifetime pairs and IIs.
+        #[test]
+        fn closed_form_matches_fifo_oracle(
+            sa in 0u32..20,
+            la in 1u32..25,
+            sb in 0u32..20,
+            lb in 1u32..25,
+            ii in 1u32..12,
+        ) {
+            let a = lt(sa, sa + la);
+            let b = lt(sb, sb + lb);
+            prop_assert_eq!(q_compatible(&a, &b, ii), fifo_compatible(&a, &b, ii));
+        }
+
+        /// Compatibility is symmetric.
+        #[test]
+        fn closed_form_is_symmetric(
+            sa in 0u32..30,
+            la in 1u32..30,
+            sb in 0u32..30,
+            lb in 1u32..30,
+            ii in 1u32..15,
+        ) {
+            let a = lt(sa, sa + la);
+            let b = lt(sb, sb + lb);
+            prop_assert_eq!(q_compatible(&a, &b, ii), q_compatible(&b, &a, ii));
+        }
+
+        /// A lifetime can always share a queue with a copy of itself shifted by a
+        /// non-multiple of the II (classic "same shape, different phase" case).
+        #[test]
+        fn shifted_copy_is_compatible(
+            sa in 0u32..20,
+            la in 1u32..25,
+            shift in 1u32..12,
+            ii in 2u32..13,
+        ) {
+            prop_assume!(shift % ii != 0);
+            let a = lt(sa, sa + la);
+            let b = lt(sa + shift, sa + shift + la);
+            prop_assert!(q_compatible(&a, &b, ii));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Conventional (random-access) register file baseline.
+//!
+//! On a conventional register file a value is written once, read any number of
+//! times, and the register is freed after the last read.  The steady-state register
+//! requirement of a modulo-scheduled loop is the classic *MaxLive* bound: the maximum
+//! number of simultaneously live values over the II modulo slots.  The paper compares
+//! its queue organisation against this baseline (register allocators "for both
+//! conventional and queue register files").
+
+use vliw_ddg::Ddg;
+use vliw_sched::Schedule;
+
+use crate::lifetime::{max_live, value_lifetimes};
+
+/// Steady-state register requirement of `schedule` on a conventional register file.
+pub fn conventional_registers_required(ddg: &Ddg, schedule: &Schedule) -> usize {
+    let lts = value_lifetimes(ddg, schedule);
+    max_live(&lts, schedule.ii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::use_lifetimes;
+    use vliw_ddg::{kernels, DdgBuilder, LatencyModel, OpKind};
+    use vliw_machine::Machine;
+    use vliw_sched::{modulo_schedule, ImsOptions};
+
+    #[test]
+    fn register_requirement_is_positive_for_real_kernels() {
+        let m = Machine::single_cluster(6, 2, 32, LatencyModel::default());
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let s = modulo_schedule(&l.ddg, &m, ImsOptions::default()).unwrap().schedule;
+            let regs = conventional_registers_required(&l.ddg, &s);
+            assert!(regs >= 1, "{} should need at least one register", l.name);
+            assert!(regs <= 64, "{} needs an implausible number of registers", l.name);
+        }
+    }
+
+    #[test]
+    fn conventional_rf_needs_no_more_than_per_use_storage() {
+        // A value consumed k times occupies one register but k queue lifetimes, so
+        // MaxLive over value lifetimes is never larger than over use lifetimes.
+        let m = Machine::single_cluster(12, 4, 32, LatencyModel::default());
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let s = modulo_schedule(&l.ddg, &m, ImsOptions::default()).unwrap().schedule;
+            let by_value = conventional_registers_required(&l.ddg, &s);
+            let by_use = max_live(&use_lifetimes(&l.ddg, &s), s.ii);
+            assert!(by_value <= by_use, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn single_producer_single_consumer_needs_lifetime_over_ii_registers() {
+        // A load feeding an add 2 cycles later at II 1 keeps ceil(2/1)=2 values live.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let ld = b.op(OpKind::Load);
+        let add = b.op(OpKind::Add);
+        b.flow(ld, add);
+        let g = b.finish();
+        let m = Machine::single_cluster(6, 1, 32, LatencyModel::default());
+        let s = modulo_schedule(&g, &m, ImsOptions::default()).unwrap().schedule;
+        let regs = conventional_registers_required(&g, &s);
+        let expected = (s.start_of(add) - s.start_of(ld)).div_ceil(s.ii).max(1) as usize;
+        assert_eq!(regs, expected);
+    }
+}

@@ -1,0 +1,88 @@
+//! Iterative modulo scheduling for (clustered) VLIW machines.
+//!
+//! This crate implements the software-pipelining substrate of the IPPS 1998 paper:
+//! Rau's **Iterative Modulo Scheduling** (IMS) on top of a modulo reservation table,
+//! plus the MII lower bounds (ResMII/RecMII), schedule validation, and the
+//! height-based priority function.  The clustered *partitioning* extension lives in
+//! the `vliw-partition` crate, which reuses the building blocks exported here.
+//!
+//! ```
+//! use vliw_ddg::{kernels, LatencyModel};
+//! use vliw_machine::Machine;
+//! use vliw_sched::{modulo_schedule, ImsOptions};
+//!
+//! let lp = kernels::dot_product(LatencyModel::default(), 1000);
+//! let machine = Machine::single_cluster(6, 2, 32, LatencyModel::default());
+//! let result = modulo_schedule(&lp.ddg, &machine, ImsOptions::default()).unwrap();
+//! assert!(result.schedule.validate(&lp.ddg, &machine).is_ok());
+//! assert!(result.schedule.ii >= result.mii);
+//! ```
+
+pub mod ims;
+pub mod mii;
+pub mod mrt;
+pub mod priority;
+pub mod schedule;
+
+pub use ims::{modulo_schedule, ImsOptions, ImsResult};
+pub use mii::{has_positive_cycle, mii, rec_mii, res_mii};
+pub use mrt::Mrt;
+pub use priority::{height_r, priority_order};
+pub use schedule::{Schedule, ScheduleViolation};
+
+use std::fmt;
+
+use vliw_ddg::{DdgError, OpClass};
+
+/// Errors reported by the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The loop body is empty.
+    EmptyGraph,
+    /// The dependence graph is structurally invalid.
+    InvalidGraph(DdgError),
+    /// The graph contains operations of a class the machine has no unit for.
+    NoFunctionalUnit {
+        /// The missing class.
+        class: OpClass,
+    },
+    /// No schedule was found before the II search limit.
+    IiLimitReached {
+        /// The largest II tried.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::EmptyGraph => write!(f, "cannot schedule an empty loop body"),
+            SchedError::InvalidGraph(e) => write!(f, "invalid dependence graph: {e}"),
+            SchedError::NoFunctionalUnit { class } => {
+                write!(f, "the machine has no functional unit of class {class}")
+            }
+            SchedError::IiLimitReached { limit } => {
+                write!(f, "no schedule found up to II = {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_mention_the_cause() {
+        assert!(SchedError::EmptyGraph.to_string().contains("empty"));
+        assert!(SchedError::NoFunctionalUnit { class: OpClass::Copy }
+            .to_string()
+            .contains("COPY"));
+        assert!(SchedError::IiLimitReached { limit: 9 }.to_string().contains('9'));
+        assert!(SchedError::InvalidGraph(DdgError::IntraIterationCycle)
+            .to_string()
+            .contains("cycle"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimum initiation interval (MII) computation.
+//!
+//! The MII is the larger of two lower bounds:
+//!
+//! * **ResMII** — the resource-constrained bound: for each functional-unit class,
+//!   the number of operations of that class divided by the number of units of that
+//!   class, rounded up.
+//! * **RecMII** — the recurrence-constrained bound: the smallest II such that every
+//!   dependence circuit `c` satisfies `delay(c) ≤ II · distance(c)`.
+//!
+//! RecMII is computed by a binary search on II, using a Bellman–Ford positive-cycle
+//! test on edge weights `latency − II · distance` (a positive cycle at a candidate II
+//! means some recurrence circuit cannot be honoured at that II).
+
+use vliw_ddg::{Ddg, OpClass};
+use vliw_machine::Machine;
+
+use crate::SchedError;
+
+/// Resource-constrained minimum initiation interval.
+///
+/// Returns an error if the graph uses a functional-unit class of which the machine
+/// has no instance.
+pub fn res_mii(ddg: &Ddg, machine: &Machine) -> Result<u32, SchedError> {
+    let counts = ddg.class_counts();
+    let fus = machine.class_counts();
+    let mut bound = 1u32;
+    for class in OpClass::ALL {
+        let ops = counts[class.index()];
+        if ops == 0 {
+            continue;
+        }
+        let units = fus[class.index()];
+        if units == 0 {
+            return Err(SchedError::NoFunctionalUnit { class });
+        }
+        bound = bound.max(ops.div_ceil(units) as u32);
+    }
+    Ok(bound)
+}
+
+/// Recurrence-constrained minimum initiation interval.
+///
+/// Loops without any dependence circuit have `RecMII == 1`.
+pub fn rec_mii(ddg: &Ddg) -> u32 {
+    // Upper bound: the sum of all edge latencies is always a feasible II for the
+    // recurrence constraints (every circuit's delay is at most that sum and every
+    // circuit has distance >= 1).
+    let hi: i64 = ddg.edges().map(|e| e.latency as i64).sum::<i64>().max(1);
+    let mut lo = 1i64;
+    let mut hi = hi;
+    // Invariant: `hi` is always feasible, `lo - 1` is infeasible (or lo == 1).
+    if has_positive_cycle(ddg, hi as u32) {
+        // Cannot happen for a valid DDG (distance-0 subgraph acyclic), but be safe.
+        return hi as u32;
+    }
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if has_positive_cycle(ddg, mid as u32) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+/// Minimum initiation interval: `max(ResMII, RecMII)`.
+pub fn mii(ddg: &Ddg, machine: &Machine) -> Result<u32, SchedError> {
+    Ok(res_mii(ddg, machine)?.max(rec_mii(ddg)))
+}
+
+/// True if the dependence graph has a circuit whose total `latency − ii·distance`
+/// weight is positive, i.e. the candidate `ii` violates some recurrence.
+pub fn has_positive_cycle(ddg: &Ddg, ii: u32) -> bool {
+    let n = ddg.num_ops();
+    if n == 0 {
+        return false;
+    }
+    // Longest-path Bellman–Ford from a virtual source connected to every node with
+    // weight 0.  If any distance still relaxes after n iterations, a positive cycle
+    // exists.
+    let mut dist = vec![0i64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for e in ddg.edges() {
+            let cand = dist[e.src.index()] + e.weight_at(ii);
+            if cand > dist[e.dst.index()] {
+                dist[e.dst.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    // One more pass: if anything still improves, there is a positive cycle.
+    for e in ddg.edges() {
+        if dist[e.src.index()] + e.weight_at(ii) > dist[e.dst.index()] {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{kernels, DdgBuilder, DepKind, LatencyModel, OpKind};
+    use vliw_machine::LatencyModel as MachineLatency;
+
+    fn machine(fus: usize) -> Machine {
+        Machine::single_cluster(fus, 2, 32, MachineLatency::default())
+    }
+
+    #[test]
+    fn res_mii_counts_per_class() {
+        // 4 loads on a machine with 1 L/S unit -> ResMII 4.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        b.ops(OpKind::Load, 4);
+        let g = b.finish();
+        let m = Machine::single_cluster(3, 1, 32, MachineLatency::default());
+        assert_eq!(res_mii(&g, &m).unwrap(), 4);
+        // On a machine with 4 L/S units -> ResMII 1.
+        let m12 = machine(12);
+        assert_eq!(res_mii(&g, &m12).unwrap(), 1);
+    }
+
+    #[test]
+    fn res_mii_rejects_missing_class() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        b.op(OpKind::Copy);
+        let g = b.finish();
+        let m = Machine::single_cluster(6, 0, 32, MachineLatency::default());
+        assert!(matches!(
+            res_mii(&g, &m),
+            Err(SchedError::NoFunctionalUnit { class: OpClass::Copy })
+        ));
+    }
+
+    #[test]
+    fn rec_mii_of_acyclic_graph_is_one() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let ld = b.op(OpKind::Load);
+        let add = b.op(OpKind::Add);
+        b.flow(ld, add);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g), 1);
+    }
+
+    #[test]
+    fn rec_mii_of_self_accumulator_equals_latency_over_distance() {
+        // add -> add with latency 1, distance 1: RecMII = 1.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let acc = b.op(OpKind::Add);
+        b.flow_carried(acc, acc, 1);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g), 1);
+
+        // mul (latency 2) self-recurrence distance 1: RecMII = 2.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let acc = b.op(OpKind::Mul);
+        b.flow_carried(acc, acc, 1);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g), 2);
+    }
+
+    #[test]
+    fn rec_mii_of_two_op_circuit() {
+        // a --(lat 2, d 0)--> b --(lat 3, d 1)--> a : delay 5, distance 1 -> RecMII 5.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let x = b.op(OpKind::Add);
+        let y = b.op(OpKind::Add);
+        b.edge_with_latency(x, y, DepKind::Flow, 2, 0);
+        b.edge_with_latency(y, x, DepKind::Flow, 3, 1);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g), 5);
+    }
+
+    #[test]
+    fn rec_mii_divides_by_distance() {
+        // Circuit with delay 6 spread over distance 3 -> RecMII = 2.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let x = b.op(OpKind::Add);
+        let y = b.op(OpKind::Add);
+        b.edge_with_latency(x, y, DepKind::Flow, 3, 0);
+        b.edge_with_latency(y, x, DepKind::Flow, 3, 3);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g), 2);
+    }
+
+    #[test]
+    fn rec_mii_takes_worst_circuit() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let x = b.op(OpKind::Add);
+        let y = b.op(OpKind::Add);
+        let z = b.op(OpKind::Mul);
+        // Circuit 1: x <-> y, delay 2, distance 2 -> needs II >= 1.
+        b.edge_with_latency(x, y, DepKind::Flow, 1, 0);
+        b.edge_with_latency(y, x, DepKind::Flow, 1, 2);
+        // Circuit 2: z self loop delay 8 distance 2 -> needs II >= 4.
+        b.edge_with_latency(z, z, DepKind::Flow, 8, 2);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g), 4);
+    }
+
+    #[test]
+    fn mii_is_max_of_both_bounds() {
+        let lat = LatencyModel::default();
+        let dot = kernels::dot_product(lat, 100);
+        let m1 = Machine::single_cluster(3, 1, 32, lat);
+        let v = mii(&dot.ddg, &m1).unwrap();
+        let r = res_mii(&dot.ddg, &m1).unwrap();
+        let c = rec_mii(&dot.ddg);
+        assert_eq!(v, r.max(c));
+        assert!(v >= 1);
+    }
+
+    #[test]
+    fn positive_cycle_detection_matches_rec_mii() {
+        let lat = LatencyModel::default();
+        let l = kernels::first_order_recurrence(lat, 100);
+        let r = rec_mii(&l.ddg);
+        assert!(r >= 2, "mul+add recurrence should force RecMII above 1, got {r}");
+        assert!(!has_positive_cycle(&l.ddg, r));
+        if r > 1 {
+            assert!(has_positive_cycle(&l.ddg, r - 1));
+        }
+    }
+
+    #[test]
+    fn rec_mii_of_empty_graph() {
+        let g = Ddg::new();
+        assert_eq!(rec_mii(&g), 1);
+        assert!(!has_positive_cycle(&g, 1));
+    }
+}

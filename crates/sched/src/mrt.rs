@@ -1,0 +1,172 @@
+//! Modulo reservation table (MRT).
+//!
+//! The MRT records which functional unit is busy at which *modulo slot*
+//! (`cycle mod II`).  All functional units are fully pipelined and occupy their unit
+//! for a single issue slot, so the table is a simple `II × num_fus` grid of optional
+//! operation ids.
+
+use vliw_ddg::{OpClass, OpId};
+use vliw_machine::{ClusterId, FuId, Machine};
+
+/// Modulo reservation table for a machine at a fixed II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mrt {
+    ii: u32,
+    num_fus: usize,
+    /// `slots[slot * num_fus + fu]` is the operation issued on `fu` at modulo slot
+    /// `slot`, if any.
+    slots: Vec<Option<OpId>>,
+}
+
+impl Mrt {
+    /// Creates an empty table for `machine` at initiation interval `ii`.
+    pub fn new(machine: &Machine, ii: u32) -> Self {
+        assert!(ii >= 1, "II must be at least 1");
+        let num_fus = machine.num_fus();
+        Mrt { ii, num_fus, slots: vec![None; ii as usize * num_fus] }
+    }
+
+    /// The initiation interval of the table.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    #[inline]
+    fn idx(&self, slot: u32, fu: FuId) -> usize {
+        debug_assert!(slot < self.ii);
+        slot as usize * self.num_fus + fu.index()
+    }
+
+    /// The modulo slot of an absolute cycle.
+    #[inline]
+    pub fn slot_of(&self, cycle: u32) -> u32 {
+        cycle % self.ii
+    }
+
+    /// The operation currently occupying `fu` at modulo slot `cycle % II`, if any.
+    pub fn occupant(&self, cycle: u32, fu: FuId) -> Option<OpId> {
+        self.slots[self.idx(self.slot_of(cycle), fu)]
+    }
+
+    /// Finds a free functional unit of class `class` at `cycle`, optionally
+    /// restricted to one cluster.  Returns the lowest-numbered free unit.
+    pub fn free_fu(
+        &self,
+        machine: &Machine,
+        cycle: u32,
+        class: OpClass,
+        cluster: Option<ClusterId>,
+    ) -> Option<FuId> {
+        machine
+            .fus()
+            .iter()
+            .filter(|fu| fu.class == class)
+            .filter(|fu| cluster.map_or(true, |c| fu.cluster == c))
+            .map(|fu| fu.id)
+            .find(|&fu| self.occupant(cycle, fu).is_none())
+    }
+
+    /// Reserves `fu` at `cycle` for `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied (callers must evict first).
+    pub fn reserve(&mut self, cycle: u32, fu: FuId, op: OpId) {
+        let idx = self.idx(self.slot_of(cycle), fu);
+        assert!(
+            self.slots[idx].is_none(),
+            "MRT slot {} / {} already occupied by {:?}",
+            self.slot_of(cycle),
+            fu,
+            self.slots[idx]
+        );
+        self.slots[idx] = Some(op);
+    }
+
+    /// Releases the reservation of `fu` at `cycle`, returning the evicted operation.
+    pub fn release(&mut self, cycle: u32, fu: FuId) -> Option<OpId> {
+        let idx = self.idx(self.slot_of(cycle), fu);
+        self.slots[idx].take()
+    }
+
+    /// Number of occupied slots (used by utilisation statistics).
+    pub fn occupied_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total number of issue slots in the table (`II × num_fus`).
+    pub fn total_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::LatencyModel;
+
+    fn machine() -> Machine {
+        Machine::paper_clustered(2, LatencyModel::default())
+    }
+
+    #[test]
+    fn reserve_and_release() {
+        let m = machine();
+        let mut mrt = Mrt::new(&m, 3);
+        let fu = m.fus_of_class(OpClass::Adder).next().unwrap().id;
+        assert_eq!(mrt.occupant(4, fu), None);
+        mrt.reserve(4, fu, OpId(7)); // slot 1
+        assert_eq!(mrt.occupant(1, fu), Some(OpId(7)));
+        assert_eq!(mrt.occupant(4, fu), Some(OpId(7)));
+        assert_eq!(mrt.occupant(7, fu), Some(OpId(7)));
+        assert_eq!(mrt.release(7, fu), Some(OpId(7)));
+        assert_eq!(mrt.occupant(4, fu), None);
+        assert_eq!(mrt.occupied_slots(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_reserve_panics() {
+        let m = machine();
+        let mut mrt = Mrt::new(&m, 2);
+        let fu = m.fus_of_class(OpClass::Memory).next().unwrap().id;
+        mrt.reserve(0, fu, OpId(1));
+        mrt.reserve(2, fu, OpId(2)); // same modulo slot
+    }
+
+    #[test]
+    fn free_fu_respects_class_and_cluster() {
+        let m = machine();
+        let mut mrt = Mrt::new(&m, 1);
+        // With II=1, each class has exactly one slot per FU.
+        let c0 = ClusterId(0);
+        let c1 = ClusterId(1);
+        let fu0 = mrt.free_fu(&m, 0, OpClass::Multiplier, Some(c0)).unwrap();
+        assert_eq!(m.fu(fu0).cluster, c0);
+        mrt.reserve(0, fu0, OpId(0));
+        assert_eq!(mrt.free_fu(&m, 5, OpClass::Multiplier, Some(c0)), None);
+        // The other cluster still has its multiplier free.
+        let fu1 = mrt.free_fu(&m, 0, OpClass::Multiplier, Some(c1)).unwrap();
+        assert_eq!(m.fu(fu1).cluster, c1);
+        // Unrestricted search finds the remaining unit.
+        assert_eq!(mrt.free_fu(&m, 0, OpClass::Multiplier, None), Some(fu1));
+    }
+
+    #[test]
+    fn slot_wraps_modulo_ii() {
+        let m = machine();
+        let mrt = Mrt::new(&m, 4);
+        assert_eq!(mrt.slot_of(0), 0);
+        assert_eq!(mrt.slot_of(4), 0);
+        assert_eq!(mrt.slot_of(7), 3);
+        assert_eq!(mrt.total_slots(), 4 * m.num_fus());
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be at least 1")]
+    fn zero_ii_is_rejected() {
+        let m = machine();
+        let _ = Mrt::new(&m, 0);
+    }
+}

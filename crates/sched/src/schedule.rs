@@ -1,0 +1,312 @@
+//! Modulo-schedule representation and validation.
+
+use std::fmt;
+
+use vliw_ddg::{Ddg, OpId};
+use vliw_machine::{ClusterId, FuId, Machine};
+
+/// A complete modulo schedule of one loop body on one machine.
+///
+/// `start[i]` is the absolute issue cycle of operation `i` in the *flat* schedule of
+/// a single iteration (it may exceed the II); the steady-state kernel issues
+/// operation `i` at slot `start[i] mod II` of every II-cycle window, `start[i] / II`
+/// stages after the iteration entered the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Initiation interval in cycles.
+    pub ii: u32,
+    /// Per-operation issue cycle (indexed by [`OpId::index`]).
+    pub start: Vec<u32>,
+    /// Per-operation functional-unit assignment.
+    pub fu: Vec<FuId>,
+}
+
+impl Schedule {
+    /// Creates a schedule from its components.
+    pub fn new(ii: u32, start: Vec<u32>, fu: Vec<FuId>) -> Self {
+        assert_eq!(start.len(), fu.len());
+        Schedule { ii, start, fu }
+    }
+
+    /// Issue cycle of `op`.
+    #[inline]
+    pub fn start_of(&self, op: OpId) -> u32 {
+        self.start[op.index()]
+    }
+
+    /// Functional unit executing `op`.
+    #[inline]
+    pub fn fu_of(&self, op: OpId) -> FuId {
+        self.fu[op.index()]
+    }
+
+    /// Modulo slot (`cycle mod II`) of `op` in the kernel.
+    #[inline]
+    pub fn slot_of(&self, op: OpId) -> u32 {
+        self.start[op.index()] % self.ii
+    }
+
+    /// Pipeline stage (`cycle / II`) of `op`.
+    #[inline]
+    pub fn stage_of(&self, op: OpId) -> u32 {
+        self.start[op.index()] / self.ii
+    }
+
+    /// Number of operations in the schedule.
+    pub fn num_ops(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Stage count: the number of kernel stages (and hence the number of iterations
+    /// simultaneously in flight at steady state).
+    ///
+    /// Defined as `⌊max start / II⌋ + 1`.  A higher stage count means a longer
+    /// prologue and epilogue (Section 2 of the paper).
+    pub fn stage_count(&self) -> u32 {
+        match self.start.iter().max() {
+            Some(&max) => max / self.ii + 1,
+            None => 0,
+        }
+    }
+
+    /// The cluster executing `op` under `machine`.
+    pub fn cluster_of(&self, machine: &Machine, op: OpId) -> ClusterId {
+        machine.fu(self.fu_of(op)).cluster
+    }
+
+    /// Total number of cycles needed to run `trip_count` iterations of the loop:
+    /// `(SC − 1 + N) · II`, i.e. prologue + kernel + epilogue.
+    pub fn total_cycles(&self, trip_count: u64) -> u64 {
+        if self.start.is_empty() || trip_count == 0 {
+            return 0;
+        }
+        (self.stage_count() as u64 - 1 + trip_count) * self.ii as u64
+    }
+
+    /// Checks that the schedule respects every dependence of `ddg` and never
+    /// oversubscribes a functional unit of `machine`.
+    pub fn validate(&self, ddg: &Ddg, machine: &Machine) -> Result<(), ScheduleViolation> {
+        if self.start.len() != ddg.num_ops() {
+            return Err(ScheduleViolation::WrongLength {
+                expected: ddg.num_ops(),
+                actual: self.start.len(),
+            });
+        }
+        // Dependence constraints: start(dst) + II*distance >= start(src) + latency.
+        for e in ddg.edges() {
+            let lhs = self.start[e.dst.index()] as i64 + self.ii as i64 * e.distance as i64;
+            let rhs = self.start[e.src.index()] as i64 + e.latency as i64;
+            if lhs < rhs {
+                return Err(ScheduleViolation::DependenceViolated { src: e.src, dst: e.dst });
+            }
+        }
+        // Resource constraints: class match and no two ops share (fu, slot).
+        let mut used: std::collections::HashMap<(u32, FuId), OpId> = std::collections::HashMap::new();
+        for op in ddg.ops() {
+            let fu = self.fu[op.id.index()];
+            if fu.index() >= machine.num_fus() {
+                return Err(ScheduleViolation::UnknownFu { op: op.id, fu });
+            }
+            if machine.fu(fu).class != op.class() {
+                return Err(ScheduleViolation::WrongFuClass { op: op.id, fu });
+            }
+            let slot = self.start[op.id.index()] % self.ii;
+            if let Some(&other) = used.get(&(slot, fu)) {
+                return Err(ScheduleViolation::ResourceConflict { a: other, b: op.id, fu, slot });
+            }
+            used.insert((slot, fu), op.id);
+        }
+        Ok(())
+    }
+}
+
+/// A violation detected by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// The schedule does not cover every operation of the graph.
+    WrongLength {
+        /// Number of operations in the graph.
+        expected: usize,
+        /// Number of operations in the schedule.
+        actual: usize,
+    },
+    /// A dependence edge is not honoured.
+    DependenceViolated {
+        /// Producer.
+        src: OpId,
+        /// Consumer.
+        dst: OpId,
+    },
+    /// Two operations occupy the same functional unit in the same modulo slot.
+    ResourceConflict {
+        /// First operation.
+        a: OpId,
+        /// Second operation.
+        b: OpId,
+        /// Shared functional unit.
+        fu: FuId,
+        /// Shared modulo slot.
+        slot: u32,
+    },
+    /// An operation is assigned to a functional unit of the wrong class.
+    WrongFuClass {
+        /// Operation.
+        op: OpId,
+        /// Assigned unit.
+        fu: FuId,
+    },
+    /// An operation is assigned to a functional unit that does not exist.
+    UnknownFu {
+        /// Operation.
+        op: OpId,
+        /// Assigned unit.
+        fu: FuId,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::WrongLength { expected, actual } => {
+                write!(f, "schedule covers {actual} operations, graph has {expected}")
+            }
+            ScheduleViolation::DependenceViolated { src, dst } => {
+                write!(f, "dependence {src} -> {dst} violated")
+            }
+            ScheduleViolation::ResourceConflict { a, b, fu, slot } => {
+                write!(f, "operations {a} and {b} both use {fu} at modulo slot {slot}")
+            }
+            ScheduleViolation::WrongFuClass { op, fu } => {
+                write!(f, "operation {op} assigned to {fu} of the wrong class")
+            }
+            ScheduleViolation::UnknownFu { op, fu } => {
+                write!(f, "operation {op} assigned to nonexistent {fu}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{DdgBuilder, LatencyModel, OpKind};
+    use vliw_machine::Machine;
+
+    fn simple_graph() -> Ddg {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let ld = b.op(OpKind::Load);
+        let add = b.op(OpKind::Add);
+        b.flow(ld, add);
+        b.finish()
+    }
+
+    fn machine() -> Machine {
+        Machine::single_cluster(3, 1, 32, LatencyModel::default())
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let g = simple_graph();
+        let m = machine();
+        let ls = m.fus_of_class(vliw_ddg::OpClass::Memory).next().unwrap().id;
+        let add = m.fus_of_class(vliw_ddg::OpClass::Adder).next().unwrap().id;
+        let s = Schedule::new(2, vec![0, 2], vec![ls, add]);
+        assert!(s.validate(&g, &m).is_ok());
+        assert_eq!(s.stage_count(), 2);
+        assert_eq!(s.slot_of(OpId(1)), 0);
+        assert_eq!(s.stage_of(OpId(1)), 1);
+    }
+
+    #[test]
+    fn dependence_violation_detected() {
+        let g = simple_graph();
+        let m = machine();
+        let ls = m.fus_of_class(vliw_ddg::OpClass::Memory).next().unwrap().id;
+        let add = m.fus_of_class(vliw_ddg::OpClass::Adder).next().unwrap().id;
+        // Load has latency 2, so the add cannot start at cycle 1.
+        let s = Schedule::new(2, vec![0, 1], vec![ls, add]);
+        assert_eq!(
+            s.validate(&g, &m),
+            Err(ScheduleViolation::DependenceViolated { src: OpId(0), dst: OpId(1) })
+        );
+    }
+
+    #[test]
+    fn resource_conflict_detected() {
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        b.op(OpKind::Load);
+        b.op(OpKind::Load);
+        let g = b.finish();
+        let m = Machine::single_cluster(3, 1, 32, LatencyModel::default());
+        let ls = m.fus_of_class(vliw_ddg::OpClass::Memory).next().unwrap().id;
+        let s = Schedule::new(2, vec![0, 2], vec![ls, ls]);
+        assert!(matches!(
+            s.validate(&g, &m),
+            Err(ScheduleViolation::ResourceConflict { .. })
+        ));
+        // At different modulo slots the same unit is fine.
+        let s = Schedule::new(2, vec![0, 1], vec![ls, ls]);
+        assert!(s.validate(&g, &m).is_ok());
+    }
+
+    #[test]
+    fn wrong_class_detected() {
+        let g = simple_graph();
+        let m = machine();
+        let add = m.fus_of_class(vliw_ddg::OpClass::Adder).next().unwrap().id;
+        let s = Schedule::new(2, vec![0, 2], vec![add, add]);
+        assert!(matches!(s.validate(&g, &m), Err(ScheduleViolation::WrongFuClass { .. })));
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let g = simple_graph();
+        let m = machine();
+        let s = Schedule::new(2, vec![0], vec![FuId(0)]);
+        assert!(matches!(s.validate(&g, &m), Err(ScheduleViolation::WrongLength { .. })));
+    }
+
+    #[test]
+    fn unknown_fu_detected() {
+        let g = simple_graph();
+        let m = machine();
+        let s = Schedule::new(2, vec![0, 2], vec![FuId(95), FuId(96)]);
+        assert!(matches!(s.validate(&g, &m), Err(ScheduleViolation::UnknownFu { .. })));
+    }
+
+    #[test]
+    fn loop_carried_dependences_relax_with_ii() {
+        // acc -> acc latency 1 distance 1: any start works as long as II >= 1.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let acc = b.op(OpKind::Add);
+        b.flow_carried(acc, acc, 1);
+        let g = b.finish();
+        let m = machine();
+        let addfu = m.fus_of_class(vliw_ddg::OpClass::Adder).next().unwrap().id;
+        let s = Schedule::new(1, vec![0], vec![addfu]);
+        assert!(s.validate(&g, &m).is_ok());
+    }
+
+    #[test]
+    fn total_cycles_accounts_for_prologue_and_epilogue() {
+        let _g = simple_graph();
+        let m = machine();
+        let ls = m.fus_of_class(vliw_ddg::OpClass::Memory).next().unwrap().id;
+        let add = m.fus_of_class(vliw_ddg::OpClass::Adder).next().unwrap().id;
+        let s = Schedule::new(2, vec![0, 2], vec![ls, add]);
+        // SC = 2, so N iterations take (2 - 1 + N) * 2 cycles.
+        assert_eq!(s.total_cycles(1), 4);
+        assert_eq!(s.total_cycles(10), 22);
+        assert_eq!(s.total_cycles(0), 0);
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = ScheduleViolation::DependenceViolated { src: OpId(0), dst: OpId(1) };
+        assert!(v.to_string().contains("op0"));
+        let v = ScheduleViolation::ResourceConflict { a: OpId(0), b: OpId(1), fu: FuId(2), slot: 3 };
+        assert!(v.to_string().contains("slot 3"));
+    }
+}

@@ -1,0 +1,7 @@
+//! `vliw-repro` — workspace meta-crate.
+//!
+//! This package exists to host the workspace-level examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).  The library API lives in the
+//! [`vliw_core`] crate (re-exported here for convenience) and its substrates.
+
+pub use vliw_core;

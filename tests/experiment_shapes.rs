@@ -1,0 +1,101 @@
+//! Paper-shape integration tests: run the experiment drivers on a moderate corpus
+//! and assert the qualitative trends the paper reports (who wins, in which
+//! direction the curves move), without pinning exact percentages.
+
+use vliw_core::experiments::{
+    cluster_resources_experiment, fig3_experiment, fig4_experiment, fig6::fig6_experiment_for,
+    ipc::ipc_curves, ExperimentConfig,
+};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::quick(150, 19980330)
+}
+
+#[test]
+fn fig3_shape_32_queues_cover_almost_everything() {
+    let rows = fig3_experiment(&cfg());
+    for r in &rows {
+        assert_eq!(r.unschedulable, 0);
+        // Cumulative distribution is monotone over the budgets.
+        let f = [
+            r.histogram.fraction_within(4),
+            r.histogram.fraction_within(8),
+            r.histogram.fraction_within(16),
+            r.histogram.fraction_within(32),
+        ];
+        assert!(f.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(f[3] >= 0.85, "{} FUs: 32 queues cover only {:.2}", r.fus, f[3]);
+    }
+    // Wider machines overlap more lifetimes, so they need at least as many queues:
+    // the fraction of loops fitting 8 queues should not grow with machine width.
+    let within8 = |fus: usize| {
+        rows.iter()
+            .find(|r| r.fus == fus && r.with_copies)
+            .unwrap()
+            .histogram
+            .fraction_within(8)
+    };
+    assert!(within8(4) + 1e-9 >= within8(12) - 0.05);
+}
+
+#[test]
+fn fig4_shape_unrolling_never_hurts_and_often_helps() {
+    let rows = fig4_experiment(&cfg());
+    for r in &rows {
+        assert!(r.mean_speedup >= 0.99, "{} FUs: mean speedup {}", r.fus, r.mean_speedup);
+        assert!(r.speedup_gt_one <= r.unrolled + 1e-9);
+    }
+    let wide = rows.iter().find(|r| r.fus == 12).unwrap();
+    assert!(wide.speedup_gt_one > 0.10, "12 FUs should benefit from unrolling");
+}
+
+#[test]
+fn fig6_shape_partitioning_degrades_with_cluster_count() {
+    let rows = fig6_experiment_for(&cfg(), &[4, 5, 6]);
+    let same: Vec<f64> = rows.iter().map(|r| r.same_ii).collect();
+    // 4 clusters keeps at least as many loops at the single-cluster II as 6 clusters
+    // (the paper's 95% / 84% / 52% trend), and the 4-cluster machine keeps a clear
+    // majority.
+    assert!(same[0] >= same[2] - 1e-9, "same-II fractions: {same:?}");
+    assert!(same[0] >= 0.6, "4 clusters keeps only {} of loops", same[0]);
+    for r in &rows {
+        assert!(r.mean_ii_ratio >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn cluster_resources_shape_paper_budget_suffices() {
+    let rows = cluster_resources_experiment(&cfg(), &[4]);
+    let r = &rows[0];
+    assert!(
+        r.fits_paper_cluster >= 0.75,
+        "only {} of loops fit the Fig. 7 cluster",
+        r.fits_paper_cluster
+    );
+}
+
+#[test]
+fn fig8_and_fig9_shapes() {
+    let config = cfg();
+    let all = ipc_curves(&config, &[4, 12, 18], false);
+    let constrained = ipc_curves(&config, &[4, 12, 18], true);
+
+    // IPC grows with machine width on both corpora.
+    assert!(all[2].static_single + 1e-9 >= all[0].static_single);
+    assert!(constrained[2].static_single + 1e-9 >= constrained[0].static_single);
+
+    for (a, c) in all.iter().zip(&constrained) {
+        // Static IPC bounds dynamic IPC.
+        assert!(a.dynamic_single <= a.static_single + 1e-9);
+        assert!(c.dynamic_single <= c.static_single + 1e-9);
+        // Clustered machines cannot issue more than their single-cluster equivalent
+        // (small tolerance: the unroll heuristic may pick different factors).
+        if let (Some(sc), Some(_)) = (a.static_clustered, a.dynamic_clustered) {
+            assert!(sc <= a.static_single * 1.05 + 1e-9);
+        }
+    }
+
+    // The resource-constrained subset exploits the 18-FU machine at least as well as
+    // the full corpus does (that is the point of Fig. 9).
+    assert!(constrained[2].static_single + 1e-9 >= all[2].static_single * 0.95);
+}

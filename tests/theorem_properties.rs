@@ -1,0 +1,104 @@
+//! Property-based integration tests for the paper's Theorem 1.1 (Q-Compatibility)
+//! and for the structural invariants that connect the scheduler, the unroller and
+//! the queue allocator across crates.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use vliw_core::loopgen::generator::generate_loop;
+use vliw_core::loopgen::CorpusConfig;
+use vliw_core::qrf::{allocate_queues, fifo_compatible, insert_copies, q_compatible, use_lifetimes};
+use vliw_core::sched::{modulo_schedule, ImsOptions};
+use vliw_core::unroll::unroll_ddg;
+use vliw_core::{LatencyModel, Machine, OpId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1.1, end to end: for lifetimes extracted from *real schedules* of
+    /// randomly generated loops, the closed-form Q-compatibility test agrees with
+    /// the brute-force FIFO simulation.
+    #[test]
+    fn theorem_1_1_holds_on_real_schedules(seed in 0u64..3000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+        let machine = Machine::single_cluster(6, 2, 1024, LatencyModel::default());
+        let rewritten = insert_copies(&lp.ddg, &LatencyModel::default());
+        let sched = modulo_schedule(&rewritten.ddg, &machine, ImsOptions::default())
+            .expect("corpus loops are schedulable")
+            .schedule;
+        let lts = use_lifetimes(&rewritten.ddg, &sched);
+        // Compare the closed form with the oracle on a bounded number of pairs.
+        for (i, a) in lts.iter().enumerate().take(12) {
+            for b in lts.iter().skip(i + 1).take(12) {
+                prop_assert_eq!(
+                    q_compatible(a, b, sched.ii),
+                    fifo_compatible(a, b, sched.ii),
+                    "lifetime pair disagrees at II {}", sched.ii
+                );
+            }
+        }
+    }
+
+    /// Unrolling preserves the recurrence structure: the unrolled body's RecMII
+    /// never exceeds `factor` times the original RecMII (unrolling cannot make a
+    /// recurrence worse per original iteration), and the scheduler still honours the
+    /// unrolled bound.
+    #[test]
+    fn unrolled_schedules_respect_recurrence_bounds(seed in 0u64..1500, factor in 1u32..4) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+        prop_assume!(lp.ddg.num_ops() * factor as usize <= 160);
+        let machine = Machine::single_cluster(12, 4, 1024, LatencyModel::default());
+        let rec = vliw_core::sched::rec_mii(&lp.ddg);
+        let unrolled = unroll_ddg(&lp.ddg, factor);
+        let rec_unrolled = vliw_core::sched::rec_mii(&unrolled.ddg);
+        prop_assert!(rec_unrolled <= rec * factor,
+            "unrolled RecMII {} exceeds {} x {}", rec_unrolled, rec, factor);
+        let sched = modulo_schedule(&unrolled.ddg, &machine, ImsOptions::default())
+            .expect("schedulable")
+            .schedule;
+        prop_assert!(sched.ii >= rec_unrolled);
+    }
+
+    /// Queue allocation of a real schedule never loses a lifetime and never packs an
+    /// incompatible pair, regardless of the machine width.
+    #[test]
+    fn queue_allocation_invariants_on_random_loops(seed in 0u64..1500, fus in 3usize..13) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+        let machine = Machine::single_cluster(fus, 2, 1024, LatencyModel::default());
+        let rewritten = insert_copies(&lp.ddg, &LatencyModel::default());
+        let sched = modulo_schedule(&rewritten.ddg, &machine, ImsOptions::default())
+            .expect("schedulable")
+            .schedule;
+        let lts = use_lifetimes(&rewritten.ddg, &sched);
+        let alloc = allocate_queues(&lts, sched.ii);
+        let mut seen: Vec<usize> = alloc.queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..lts.len()).collect::<Vec<_>>());
+        for q in &alloc.queues {
+            for (i, &a) in q.iter().enumerate() {
+                for &b in &q[i + 1..] {
+                    prop_assert!(q_compatible(&lts[a], &lts[b], sched.ii));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn q_compatibility_is_not_claimed_transitive() {
+    // Documented behaviour: the relation is symmetric but not transitive, so the
+    // allocator must check every pair.  This is a concrete witness.
+    use vliw_core::qrf::Lifetime;
+    let ii = 6;
+    let a = Lifetime { producer: OpId(0), consumer: OpId(1), start: 0, end: 2 };
+    let b = Lifetime { producer: OpId(2), consumer: OpId(3), start: 1, end: 5 };
+    let c = Lifetime { producer: OpId(4), consumer: OpId(5), start: 4, end: 8 };
+    assert!(q_compatible(&a, &b, ii));
+    assert!(q_compatible(&b, &c, ii));
+    // a vs c: writes 0 and 4, reads 2 and 8 ≡ 2 (mod 6) -> reads collide.
+    assert!(!q_compatible(&a, &c, ii));
+}
