@@ -1,5 +1,7 @@
 //! Corpus-level aggregation helpers used by the experiment drivers.
 
+use serde::{Deserialize, Serialize};
+
 /// Fraction (0..=1) of items satisfying a predicate.
 pub fn fraction<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
     if items.is_empty() {
@@ -19,7 +21,7 @@ pub fn mean(values: &[f64]) -> f64 {
 
 /// A cumulative histogram over fixed bucket upper bounds (e.g. the queue budgets
 /// 4/8/16/32 of Fig. 3): `cdf[i]` is the fraction of samples `<= bounds[i]`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CumulativeHistogram {
     /// Bucket upper bounds, in increasing order.
     pub bounds: Vec<usize>,

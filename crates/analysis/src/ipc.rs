@@ -12,6 +12,7 @@
 //! Dynamic IPC approaches static IPC as the trip count grows, which is why the
 //! paper's dynamic numbers are dominated by a few long-running loops.
 
+use serde::{Deserialize, Serialize};
 use vliw_ddg::Loop;
 use vliw_sched::Schedule;
 
@@ -36,7 +37,7 @@ pub fn dynamic_ipc(ops_per_iteration: usize, schedule: &Schedule, trip_count: u6
 /// unrolling: when a loop is unrolled by `U`, the scheduled body contains
 /// `U · ops_per_original_iteration` operations and executes `trip_count / U` body
 /// iterations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IpcReport {
     /// Operations issued per cycle at steady state.
     pub static_ipc: f64,
@@ -69,9 +70,9 @@ pub fn ipc_of_unrolled(lp: &Loop, schedule: &Schedule, factor: u32) -> IpcReport
 mod tests {
     use super::*;
     use vliw_ddg::{kernels, LatencyModel};
+    use vliw_machine::FuId;
     use vliw_machine::Machine;
     use vliw_sched::{modulo_schedule, ImsOptions, Schedule};
-    use vliw_machine::FuId;
 
     fn fake_schedule(ii: u32, starts: Vec<u32>) -> Schedule {
         let n = starts.len();

@@ -1,7 +1,7 @@
 //! Times the cluster-resource sizing driver (Fig. 7 / Section 4).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::cluster_resources_experiment;
 

@@ -1,7 +1,7 @@
 //! Times the Section-2 copy-cost driver (II / stage-count impact of copy insertion).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::copy_cost_experiment;
 

@@ -1,7 +1,7 @@
 //! Times the Fig. 3 driver (queue requirements across 4/6/12-FU machines).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::fig3_experiment;
 
@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(3));
-    group.bench_function("queue_requirements_4_6_12_fus", |b| {
-        b.iter(|| fig3_experiment(&cfg))
-    });
+    group.bench_function("queue_requirements_4_6_12_fus", |b| b.iter(|| fig3_experiment(&cfg)));
     group.finish();
 }
 

@@ -1,7 +1,7 @@
 //! Times the Fig. 4 driver (II speedup from loop unrolling).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::fig4_experiment;
 

@@ -1,7 +1,7 @@
 //! Times the Fig. 6 driver (partitioned vs single-cluster II for 4/5/6 clusters).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::fig6::fig6_experiment_for;
 

@@ -1,7 +1,7 @@
 //! Times the Fig. 9 driver (IPC curves over resource-constrained loops).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::ipc::ipc_curves;
 

@@ -1,8 +1,8 @@
 //! Microbenchmarks of the individual compiler passes: MII computation, iterative
 //! modulo scheduling, partitioning, queue allocation and copy insertion.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use vliw_core::qrf::{allocate_queues, insert_copies, use_lifetimes};
 use vliw_core::sched::{mii, modulo_schedule, ImsOptions};
 use vliw_core::unroll::unroll_ddg;
@@ -19,9 +19,11 @@ fn bench_ims(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mii", &lp.name), &unrolled, |b, g| {
             b.iter(|| mii(g, &machine).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("modulo_schedule_x4", &lp.name), &unrolled, |b, g| {
-            b.iter(|| modulo_schedule(g, &machine, ImsOptions::default()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("modulo_schedule_x4", &lp.name),
+            &unrolled,
+            |b, g| b.iter(|| modulo_schedule(g, &machine, ImsOptions::default()).unwrap()),
+        );
     }
     group.finish();
 }
@@ -34,9 +36,11 @@ fn bench_partition(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for lp in kernels::all_kernels(lat) {
         let body = insert_copies(&unroll_ddg(&lp.ddg, 2).ddg, &lat).ddg;
-        group.bench_with_input(BenchmarkId::new("partition_schedule_x2", &lp.name), &body, |b, g| {
-            b.iter(|| partition_schedule(g, &machine, PartitionOptions::default()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("partition_schedule_x2", &lp.name),
+            &body,
+            |b, g| b.iter(|| partition_schedule(g, &machine, PartitionOptions::default()).unwrap()),
+        );
     }
     group.finish();
 }

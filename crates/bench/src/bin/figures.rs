@@ -1,142 +1,50 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates the tables and figures of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p vliw-bench --bin figures             # everything, full corpus
-//! cargo run --release -p vliw-bench --bin figures -- --fig 6  # one figure
-//! cargo run --release -p vliw-bench --bin figures -- --loops 200 --seed 7
+//! cargo run --release -p vliw-bench --bin figures                  # everything, full corpus
+//! cargo run --release -p vliw-bench --bin figures -- fig6          # one figure
+//! cargo run --release -p vliw-bench --bin figures -- \
+//!     all --format json --corpus-size 32 --seed 386                # the golden-baseline run
 //! ```
 //!
-//! The output of a full-corpus run is recorded in EXPERIMENTS.md next to the
-//! numbers reported by the paper.
+//! Subcommands: `fig3`, `copy-cost`, `fig4`, `fig6`, `resources`, `ipc`, `all`
+//! (default).  Global options: `--corpus-size`, `--seed`, `--threads`,
+//! `--format text|json`.  The output of a full-corpus text run is recorded in
+//! EXPERIMENTS.md next to the numbers reported by the paper; the JSON format is
+//! what CI's bench-smoke job archives and what `baselines/figures_small.json`
+//! pins.
 
 use std::process::ExitCode;
 
-use vliw_core::experiments::{
-    cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
-    fig6_experiment, fig8_experiment, fig9_experiment, ExperimentConfig,
-};
-use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources};
-use vliw_core::CorpusConfig;
-
-#[derive(Debug, Clone)]
-struct Args {
-    fig: Option<String>,
-    loops: usize,
-    seed: u64,
-    threads: Option<usize>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args { fig: None, loops: 1258, seed: CorpusConfig::default().seed, threads: None };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--fig" => args.fig = Some(it.next().ok_or("--fig needs a value")?),
-            "--loops" => {
-                args.loops = it
-                    .next()
-                    .ok_or("--loops needs a value")?
-                    .parse()
-                    .map_err(|e| format!("invalid --loops: {e}"))?
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("invalid --seed: {e}"))?
-            }
-            "--threads" => {
-                args.threads = Some(
-                    it.next()
-                        .ok_or("--threads needs a value")?
-                        .parse()
-                        .map_err(|e| format!("invalid --threads: {e}"))?,
-                )
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: figures [--fig 3|4|6|8|9|copy-cost|cluster-resources|all] \
-                     [--loops N] [--seed S] [--threads T]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument: {other}")),
-        }
-    }
-    Ok(args)
-}
+use vliw_bench::{cli, render_text, run_experiments, OutputFormat};
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
+    let matches = cli::command().get_matches();
+    let (selection, run) = match cli::resolve(&matches) {
+        Ok(resolved) => resolved,
+        Err(message) => {
+            eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
     };
-    let mut cfg = ExperimentConfig::quick(args.loops, args.seed);
-    if let Some(t) = args.threads {
-        cfg.threads = t.max(1);
-    }
-    let which = args.fig.as_deref().unwrap_or("all");
-    println!(
-        "# Reproduction run: {} loops, seed {}, {} threads\n",
-        args.loops, args.seed, cfg.threads
-    );
 
-    let run_fig3 = || {
-        println!("## Fig. 3 — Number of queues (cumulative % of loops)\n");
-        println!("{}", fig3::render(&fig3_experiment(&cfg)));
-    };
-    let run_copy_cost = || {
-        println!("## Section 2 — Cost of copy operations\n");
-        println!("{}", copy_cost::render(&copy_cost_experiment(&cfg)));
-    };
-    let run_fig4 = || {
-        println!("## Fig. 4 — II speedup from loop unrolling\n");
-        println!("{}", fig4::render(&fig4_experiment(&cfg)));
-    };
-    let run_fig6 = || {
-        println!("## Fig. 6 — II variation of partitioned schedules\n");
-        println!("{}", fig6::render(&fig6_experiment(&cfg)));
-    };
-    let run_resources = || {
-        println!("## Fig. 7 / Section 4 — Cluster resource sizing\n");
-        println!(
-            "{}",
-            resources::render(&cluster_resources_experiment(&cfg, &[4, 5, 6]))
-        );
-    };
-    let run_fig8 = || {
-        println!("## Fig. 8 — Operations issued per cycle (all loops)\n");
-        println!("{}", ipc::render(&fig8_experiment(&cfg)));
-    };
-    let run_fig9 = || {
-        println!("## Fig. 9 — Operations issued per cycle (resource-constrained loops)\n");
-        println!("{}", ipc::render(&fig9_experiment(&cfg)));
-    };
-
-    match which {
-        "3" => run_fig3(),
-        "copy-cost" => run_copy_cost(),
-        "4" => run_fig4(),
-        "6" => run_fig6(),
-        "cluster-resources" => run_resources(),
-        "8" => run_fig8(),
-        "9" => run_fig9(),
-        "all" => {
-            run_fig3();
-            run_copy_cost();
-            run_fig4();
-            run_fig6();
-            run_resources();
-            run_fig8();
-            run_fig9();
-        }
-        other => {
-            eprintln!("error: unknown figure '{other}'");
-            return ExitCode::FAILURE;
+    let report = run_experiments(selection, &run);
+    match run.format {
+        OutputFormat::Json => match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: failed to serialize the report: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        OutputFormat::Text => {
+            println!(
+                "# Reproduction run: {} loops, seed {}, {} threads\n",
+                run.corpus_size,
+                run.seed,
+                run.experiment_config().threads
+            );
+            print!("{}", render_text(&report));
         }
     }
     ExitCode::SUCCESS

@@ -1,0 +1,174 @@
+//! Command-line definition and parsing for the `figures` experiment CLI.
+//!
+//! Kept in the library (rather than the binary) so the argument handling is unit-
+//! and integration-testable.
+
+use clap::{Arg, ArgMatches, Command};
+use vliw_core::CorpusConfig;
+
+use crate::{OutputFormat, RunConfig, Selection, PAPER_CORPUS_LOOPS};
+
+/// Builds the `figures` command: one subcommand per paper artefact plus `all`, and
+/// global sweep options usable before or after the subcommand.
+pub fn command() -> Command {
+    let global = |arg: Arg| arg.global(true);
+    Command::new("figures")
+        .about(
+            "Regenerates the tables and figures of 'Partitioned Schedules for \
+             Clustered VLIW Architectures' (IPPS/SPDP 1998) on a synthetic corpus",
+        )
+        .arg(global(
+            Arg::new("corpus-size")
+                .long("corpus-size")
+                .value_name("N")
+                .default_value(PAPER_CORPUS_LOOPS.to_string())
+                .help("Number of loops in the synthetic corpus"),
+        ))
+        .arg(global(
+            Arg::new("seed")
+                .long("seed")
+                .value_name("S")
+                .default_value(CorpusConfig::paper_default().seed.to_string())
+                .help("Corpus generator seed"),
+        ))
+        .arg(global(
+            Arg::new("threads")
+                .long("threads")
+                .value_name("T")
+                .help("Worker threads for the corpus sweeps (default: all cores, max 8)"),
+        ))
+        .arg(global(
+            Arg::new("format")
+                .long("format")
+                .value_name("FMT")
+                .default_value("text")
+                .help("Output format: text or json"),
+        ))
+        .subcommand(Command::new("fig3").about("Fig. 3 - number of queues required"))
+        .subcommand(Command::new("copy-cost").about("Section 2 - cost of copy operations"))
+        .subcommand(Command::new("fig4").about("Fig. 4 - II speedup from loop unrolling"))
+        .subcommand(Command::new("fig6").about("Fig. 6 - II variation of partitioned schedules"))
+        .subcommand(Command::new("resources").about("Fig. 7 / Section 4 - cluster resource sizing"))
+        .subcommand(Command::new("ipc").about("Figs. 8 and 9 - operations issued per cycle"))
+        .subcommand(Command::new("all").about("Every experiment above (the default)"))
+}
+
+/// Resolves parsed matches into the run parameters and experiment selection.
+///
+/// Returns a user-facing error message for out-of-range or unparsable values (the
+/// vendored clap stores raw strings, so numeric validation happens here).
+pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
+    let selection = match matches.subcommand() {
+        None => Selection::All,
+        Some((name, _)) => Selection::from_subcommand(name)
+            .ok_or_else(|| format!("unknown subcommand `{name}`"))?,
+    };
+
+    let corpus_size: usize = parse_number(matches, "corpus-size")?;
+    if corpus_size == 0 {
+        return Err("--corpus-size must be at least 1".to_string());
+    }
+    let seed: u64 = parse_number(matches, "seed")?;
+    let threads: Option<usize> = matches
+        .get_one::<String>("threads")
+        .map(|raw| raw.parse().map_err(|e| format!("invalid --threads `{raw}`: {e}")))
+        .transpose()?;
+    let format: OutputFormat = matches
+        .get_one::<String>("format")
+        .expect("--format has a default")
+        .parse()
+        .map_err(|e: String| format!("invalid --format: {e}"))?;
+
+    Ok((selection, RunConfig { corpus_size, seed, threads, format }))
+}
+
+/// Parses option `id` as a number with a clean diagnostic.
+fn parse_number<T>(matches: &ArgMatches, id: &str) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let raw: String = matches.get_one(id).ok_or_else(|| format!("--{id} needs a value"))?;
+    raw.parse().map_err(|e| format!("invalid --{id} `{raw}`: {e}"))
+}
+
+/// Parses an argv (including the program name) into selection + run config.
+pub fn parse_from<I, S>(argv: I) -> Result<(Selection, RunConfig), String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let matches = command().try_get_matches_from(argv).map_err(|e| e.to_string())?;
+    resolve(&matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<(Selection, RunConfig), String> {
+        parse_from(std::iter::once("figures").chain(args.iter().copied()))
+    }
+
+    #[test]
+    fn no_arguments_selects_everything_with_paper_defaults() {
+        let (selection, run) = parse(&[]).unwrap();
+        assert_eq!(selection, Selection::All);
+        assert_eq!(run.corpus_size, PAPER_CORPUS_LOOPS);
+        assert_eq!(run.seed, CorpusConfig::paper_default().seed);
+        assert_eq!(run.threads, None);
+        assert_eq!(run.format, OutputFormat::Text);
+    }
+
+    #[test]
+    fn every_subcommand_maps_to_its_selection() {
+        for (name, expected) in [
+            ("fig3", Selection::Fig3),
+            ("copy-cost", Selection::CopyCost),
+            ("fig4", Selection::Fig4),
+            ("fig6", Selection::Fig6),
+            ("resources", Selection::Resources),
+            ("ipc", Selection::Ipc),
+            ("all", Selection::All),
+        ] {
+            let (selection, _) = parse(&[name]).unwrap();
+            assert_eq!(selection, expected, "subcommand {name}");
+        }
+    }
+
+    #[test]
+    fn acceptance_command_line_parses() {
+        // The exact invocation the golden baseline is generated with.
+        let (selection, run) =
+            parse(&["all", "--format", "json", "--corpus-size", "32", "--seed", "386"]).unwrap();
+        assert_eq!(selection, Selection::All);
+        assert_eq!(run.corpus_size, 32);
+        assert_eq!(run.seed, 386);
+        assert_eq!(run.format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn global_options_work_before_the_subcommand_too() {
+        let (_, run) = parse(&["--corpus-size", "7", "--threads", "2", "fig3"]).unwrap();
+        assert_eq!(run.corpus_size, 7);
+        assert_eq!(run.threads, Some(2));
+    }
+
+    #[test]
+    fn invalid_values_produce_clean_errors() {
+        assert!(parse(&["--corpus-size", "zero"]).unwrap_err().contains("--corpus-size"));
+        assert!(parse(&["--corpus-size", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--seed", "-4"]).unwrap_err().contains("--seed"));
+        assert!(parse(&["--format", "xml"]).unwrap_err().contains("format"));
+        assert!(parse(&["fig5"]).is_err());
+        assert!(parse(&["--nope"]).is_err());
+    }
+
+    #[test]
+    fn help_renders_subcommands_and_options() {
+        let err = parse(&["--help"]).unwrap_err();
+        for needle in ["fig3", "copy-cost", "ipc", "--corpus-size", "--seed", "--format"] {
+            assert!(err.contains(needle), "help is missing {needle}: {err}");
+        }
+    }
+}

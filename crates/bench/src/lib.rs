@@ -1,25 +1,42 @@
-//! Shared helpers for the benchmark harness and the `figures` binary.
+//! Shared machinery of the benchmark harness and the `figures` experiment CLI.
 //!
 //! The `vliw-bench` crate regenerates every table and figure of the paper's
 //! evaluation:
 //!
-//! * `cargo run --release -p vliw-bench --bin figures` prints the data series of
-//!   Figs. 3, 4, 6, 8 and 9 plus the Section-2 copy-cost statistics and the
-//!   Section-4 cluster-resource sizing (EXPERIMENTS.md records that output);
+//! * `cargo run --release -p vliw-bench --bin figures -- all` prints the data
+//!   series of Figs. 3, 4, 6, 8 and 9 plus the Section-2 copy-cost statistics and
+//!   the Section-4 cluster-resource sizing (EXPERIMENTS.md records that output);
+//!   `--format json` emits the same data as a machine-readable [`FiguresReport`],
+//!   which the golden-baseline regression test diffs against
+//!   `baselines/figures_small.json`;
 //! * `cargo bench -p vliw-bench` times each experiment driver and the individual
-//!   scheduler passes with Criterion.
+//!   scheduler passes.
 
-use vliw_core::experiments::ExperimentConfig;
+pub mod cli;
 
-/// Corpus size used by the Criterion benches.
+use serde::{Deserialize, Serialize};
+use vliw_core::experiments::{
+    cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
+    fig6_experiment, fig8_experiment, fig9_experiment, ClusterResourcesRow, CopyCostRow,
+    ExperimentConfig, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint,
+};
+use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources};
+
+/// Corpus size used by the Criterion benches and the CI bench-smoke run.
 ///
 /// The benches time the experiment *machinery*; a few dozen loops keep each
 /// iteration affordable while exercising every code path.  The `figures` binary uses
-/// the full 1258-loop corpus instead.
+/// the full 1258-loop corpus by default instead.
 pub const BENCH_CORPUS_LOOPS: usize = 32;
 
 /// Seed shared by the benches so their corpora are identical across runs.
 pub const BENCH_SEED: u64 = 386;
+
+/// Number of loops of the paper's benchmark suite (the default `figures` corpus).
+pub const PAPER_CORPUS_LOOPS: usize = 1258;
+
+/// Cluster counts evaluated by the cluster-resource driver (the paper's machines).
+pub const RESOURCE_CLUSTER_COUNTS: [usize; 3] = [4, 5, 6];
 
 /// The experiment configuration used by the Criterion benches.
 pub fn bench_config() -> ExperimentConfig {
@@ -28,6 +45,178 @@ pub fn bench_config() -> ExperimentConfig {
     // keep the sweep itself modestly parallel.
     cfg.threads = cfg.threads.min(4);
     cfg
+}
+
+/// Output format of the `figures` CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable aligned tables (the EXPERIMENTS.md format).
+    Text,
+    /// A machine-readable [`FiguresReport`] as pretty-printed JSON.
+    Json,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format `{other}` (expected `text` or `json`)")),
+        }
+    }
+}
+
+/// Which experiments a `figures` invocation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Fig. 3 — number of queues required.
+    Fig3,
+    /// Section 2 — II / stage-count cost of copy insertion.
+    CopyCost,
+    /// Fig. 4 — II speedup from loop unrolling.
+    Fig4,
+    /// Fig. 6 — II variation of the partitioned schedules.
+    Fig6,
+    /// Fig. 7 / Section 4 — queue demand per cluster and ring link.
+    Resources,
+    /// Figs. 8 and 9 — static/dynamic IPC curves.
+    Ipc,
+    /// Everything above.
+    All,
+}
+
+impl Selection {
+    /// Maps a `figures` subcommand name to a selection.
+    pub fn from_subcommand(name: &str) -> Option<Selection> {
+        match name {
+            "fig3" => Some(Selection::Fig3),
+            "copy-cost" => Some(Selection::CopyCost),
+            "fig4" => Some(Selection::Fig4),
+            "fig6" => Some(Selection::Fig6),
+            "resources" => Some(Selection::Resources),
+            "ipc" => Some(Selection::Ipc),
+            "all" => Some(Selection::All),
+            _ => None,
+        }
+    }
+
+    fn runs(self, which: Selection) -> bool {
+        self == Selection::All || self == which
+    }
+}
+
+/// Parameters of a `figures` run, resolved from the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Number of loops in the synthetic corpus.
+    pub corpus_size: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Worker threads for the corpus sweeps (`None` = the driver default).
+    pub threads: Option<usize>,
+    /// Output format.
+    pub format: OutputFormat,
+}
+
+impl RunConfig {
+    /// The experiment-driver configuration for this run.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(self.corpus_size, self.seed);
+        if let Some(t) = self.threads {
+            cfg.threads = t.max(1);
+        }
+        cfg
+    }
+}
+
+impl Default for RunConfig {
+    /// The default `figures` run: the paper-sized corpus with the paper seed, so a
+    /// library caller and a flagless CLI invocation produce the same report.
+    fn default() -> Self {
+        RunConfig {
+            corpus_size: PAPER_CORPUS_LOOPS,
+            seed: vliw_core::CorpusConfig::paper_default().seed,
+            threads: None,
+            format: OutputFormat::Text,
+        }
+    }
+}
+
+/// Everything one `figures` run produced.  Experiments that were not selected stay
+/// `None` and are omitted-as-null in the JSON output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiguresReport {
+    /// Number of loops in the corpus the run evaluated.
+    pub corpus_size: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Fig. 3 rows, if selected.
+    pub fig3: Option<Vec<Fig3Row>>,
+    /// Copy-cost rows, if selected.
+    pub copy_cost: Option<Vec<CopyCostRow>>,
+    /// Fig. 4 rows, if selected.
+    pub fig4: Option<Vec<Fig4Row>>,
+    /// Fig. 6 rows, if selected.
+    pub fig6: Option<Vec<Fig6Row>>,
+    /// Cluster-resource rows, if selected.
+    pub cluster_resources: Option<Vec<ClusterResourcesRow>>,
+    /// Fig. 8 IPC curve (all loops), if selected.
+    pub fig8_ipc: Option<Vec<IpcCurvePoint>>,
+    /// Fig. 9 IPC curve (resource-constrained loops), if selected.
+    pub fig9_ipc: Option<Vec<IpcCurvePoint>>,
+}
+
+/// Runs the selected experiments.
+pub fn run_experiments(selection: Selection, run: &RunConfig) -> FiguresReport {
+    let cfg = run.experiment_config();
+    FiguresReport {
+        corpus_size: run.corpus_size,
+        seed: run.seed,
+        fig3: selection.runs(Selection::Fig3).then(|| fig3_experiment(&cfg)),
+        copy_cost: selection.runs(Selection::CopyCost).then(|| copy_cost_experiment(&cfg)),
+        fig4: selection.runs(Selection::Fig4).then(|| fig4_experiment(&cfg)),
+        fig6: selection.runs(Selection::Fig6).then(|| fig6_experiment(&cfg)),
+        cluster_resources: selection
+            .runs(Selection::Resources)
+            .then(|| cluster_resources_experiment(&cfg, &RESOURCE_CLUSTER_COUNTS)),
+        fig8_ipc: selection.runs(Selection::Ipc).then(|| fig8_experiment(&cfg)),
+        fig9_ipc: selection.runs(Selection::Ipc).then(|| fig9_experiment(&cfg)),
+    }
+}
+
+/// Renders a report in the human-readable EXPERIMENTS.md format.
+pub fn render_text(report: &FiguresReport) -> String {
+    let mut out = String::new();
+    let mut section = |title: &str, table: String| {
+        out.push_str(&format!("## {title}\n\n{table}\n"));
+    };
+    if let Some(rows) = &report.fig3 {
+        section("Fig. 3 — Number of queues (cumulative % of loops)", fig3::render(rows).render());
+    }
+    if let Some(rows) = &report.copy_cost {
+        section("Section 2 — Cost of copy operations", copy_cost::render(rows).render());
+    }
+    if let Some(rows) = &report.fig4 {
+        section("Fig. 4 — II speedup from loop unrolling", fig4::render(rows).render());
+    }
+    if let Some(rows) = &report.fig6 {
+        section("Fig. 6 — II variation of partitioned schedules", fig6::render(rows).render());
+    }
+    if let Some(rows) = &report.cluster_resources {
+        section("Fig. 7 / Section 4 — Cluster resource sizing", resources::render(rows).render());
+    }
+    if let Some(points) = &report.fig8_ipc {
+        section("Fig. 8 — Operations issued per cycle (all loops)", ipc::render(points).render());
+    }
+    if let Some(points) = &report.fig9_ipc {
+        section(
+            "Fig. 9 — Operations issued per cycle (resource-constrained loops)",
+            ipc::render(points).render(),
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -41,5 +230,65 @@ mod tests {
         assert_eq!(a.corpus.num_loops, BENCH_CORPUS_LOOPS);
         assert_eq!(a.corpus.seed, BENCH_SEED);
         assert_eq!(a.corpus().len(), b.corpus().len());
+    }
+
+    #[test]
+    fn selection_covers_every_subcommand() {
+        for (name, expected) in [
+            ("fig3", Selection::Fig3),
+            ("copy-cost", Selection::CopyCost),
+            ("fig4", Selection::Fig4),
+            ("fig6", Selection::Fig6),
+            ("resources", Selection::Resources),
+            ("ipc", Selection::Ipc),
+            ("all", Selection::All),
+        ] {
+            assert_eq!(Selection::from_subcommand(name), Some(expected));
+        }
+        assert_eq!(Selection::from_subcommand("fig5"), None);
+    }
+
+    #[test]
+    fn output_format_parses() {
+        assert_eq!("text".parse(), Ok(OutputFormat::Text));
+        assert_eq!("json".parse(), Ok(OutputFormat::Json));
+        assert!("yaml".parse::<OutputFormat>().is_err());
+    }
+
+    #[test]
+    fn run_config_threads_override() {
+        let mut run = RunConfig { corpus_size: 10, seed: 3, ..RunConfig::default() };
+        assert_eq!(run.experiment_config().corpus.num_loops, 10);
+        run.threads = Some(0);
+        assert_eq!(run.experiment_config().threads, 1);
+        run.threads = Some(2);
+        assert_eq!(run.experiment_config().threads, 2);
+    }
+
+    #[test]
+    fn single_selection_runs_only_its_experiment() {
+        let run =
+            RunConfig { corpus_size: 8, seed: 5, threads: Some(1), format: OutputFormat::Json };
+        let report = run_experiments(Selection::Fig4, &run);
+        assert!(report.fig4.is_some());
+        assert!(report.fig3.is_none());
+        assert!(report.copy_cost.is_none());
+        assert!(report.fig6.is_none());
+        assert!(report.cluster_resources.is_none());
+        assert!(report.fig8_ipc.is_none());
+        assert!(report.fig9_ipc.is_none());
+        let text = render_text(&report);
+        assert!(text.contains("Fig. 4"));
+        assert!(!text.contains("Fig. 3"));
+    }
+
+    #[test]
+    fn json_report_round_trips_through_serde() {
+        let run =
+            RunConfig { corpus_size: 8, seed: 5, threads: Some(1), format: OutputFormat::Json };
+        let report = run_experiments(Selection::Fig6, &run);
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        let back: FiguresReport = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, report);
     }
 }

@@ -1,0 +1,72 @@
+//! Golden-baseline regression test: re-runs the small-corpus sweep that produced
+//! `baselines/figures_small.json` and diffs the result against the checked-in
+//! numbers, so any change to the reproduced paper figures fails CI deterministically.
+//!
+//! To regenerate the baseline after an *intentional* change to the experiment
+//! pipeline:
+//!
+//! ```text
+//! cargo run --release -p vliw-bench --bin figures -- \
+//!     all --format json --corpus-size 32 --seed 386 > baselines/figures_small.json
+//! ```
+
+use std::path::PathBuf;
+
+use vliw_bench::{run_experiments, FiguresReport, OutputFormat, RunConfig, Selection};
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines/figures_small.json")
+}
+
+fn load_baseline() -> (String, FiguresReport) {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{} is not a valid FiguresReport: {e}", path.display()));
+    (text, report)
+}
+
+#[test]
+fn baseline_deserializes_into_the_row_types() {
+    let (_, baseline) = load_baseline();
+    assert_eq!(baseline.corpus_size, 32);
+    assert_eq!(baseline.seed, 386);
+    // The `all` sweep fills every experiment.
+    assert!(baseline.fig3.is_some());
+    assert!(baseline.copy_cost.is_some());
+    assert!(baseline.fig4.is_some());
+    assert!(baseline.fig6.is_some());
+    assert!(baseline.cluster_resources.is_some());
+    assert!(baseline.fig8_ipc.is_some());
+    assert!(baseline.fig9_ipc.is_some());
+}
+
+#[test]
+fn rerun_matches_the_golden_baseline() {
+    let (text, baseline) = load_baseline();
+    let run = RunConfig {
+        corpus_size: baseline.corpus_size,
+        seed: baseline.seed,
+        threads: None, // results are thread-count independent
+        format: OutputFormat::Json,
+    };
+    let report = run_experiments(Selection::All, &run);
+
+    // Piecewise comparison first, for a readable diff when a figure regresses.
+    assert_eq!(report.fig3, baseline.fig3, "Fig. 3 rows diverged from the baseline");
+    assert_eq!(report.copy_cost, baseline.copy_cost, "copy-cost rows diverged");
+    assert_eq!(report.fig4, baseline.fig4, "Fig. 4 rows diverged");
+    assert_eq!(report.fig6, baseline.fig6, "Fig. 6 rows diverged");
+    assert_eq!(
+        report.cluster_resources, baseline.cluster_resources,
+        "cluster-resource rows diverged"
+    );
+    assert_eq!(report.fig8_ipc, baseline.fig8_ipc, "Fig. 8 IPC curve diverged");
+    assert_eq!(report.fig9_ipc, baseline.fig9_ipc, "Fig. 9 IPC curve diverged");
+
+    // And the serialized form must match byte for byte (catches format drift; see
+    // the module docs for how to regenerate intentionally).
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    assert_eq!(rendered.trim_end(), text.trim_end(), "serialized JSON drifted");
+}

@@ -9,6 +9,7 @@
 //! machine width and that copy insertion does not significantly increase queue
 //! demand; the driver therefore also produces the copies-off series for comparison.
 
+use serde::{Deserialize, Serialize};
 use vliw_analysis::{pct, CumulativeHistogram, TextTable};
 use vliw_machine::Machine;
 
@@ -20,7 +21,7 @@ pub const QUEUE_BUDGETS: [usize; 4] = [4, 8, 16, 32];
 
 /// One row of the Fig. 3 data: a machine width and the cumulative fractions of loops
 /// whose queue requirement fits each budget.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig3Row {
     /// Number of compute functional units of the machine.
     pub fus: usize,
@@ -39,7 +40,8 @@ pub fn fig3_experiment(cfg: &ExperimentConfig) -> Vec<Fig3Row> {
     let mut rows = Vec::new();
     for &fus in &[4usize, 6, 12] {
         for &with_copies in &[true, false] {
-            let machine = Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
+            let machine =
+                Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
             let compiler = if with_copies {
                 Compiler::new(CompilerConfig::paper_defaults(machine).no_unroll())
             } else {
@@ -70,7 +72,14 @@ pub fn copy_units_for(fus: usize) -> usize {
 /// Renders the Fig. 3 rows as the table recorded in EXPERIMENTS.md.
 pub fn render(rows: &[Fig3Row]) -> TextTable {
     let mut t = TextTable::new(vec![
-        "FUs", "copies", "<=4 queues", "<=8", "<=16", "<=32", ">32", "unschedulable",
+        "FUs",
+        "copies",
+        "<=4 queues",
+        "<=8",
+        "<=16",
+        "<=32",
+        ">32",
+        "unschedulable",
     ]);
     for r in rows {
         t.row(vec![
@@ -120,8 +129,7 @@ mod tests {
         for fus in [4usize, 6, 12] {
             let with = rows.iter().find(|r| r.fus == fus && r.with_copies).unwrap();
             let without = rows.iter().find(|r| r.fus == fus && !r.with_copies).unwrap();
-            let delta =
-                without.histogram.fraction_within(32) - with.histogram.fraction_within(32);
+            let delta = without.histogram.fraction_within(32) - with.histogram.fraction_within(32);
             assert!(
                 delta <= 0.10,
                 "{fus} FUs: copies cost {delta:.2} of loops at the 32-queue budget"

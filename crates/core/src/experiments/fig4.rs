@@ -6,6 +6,7 @@
 //! of loops with speedup > 1 for 4-, 6- and 12-FU machines and notes that the stage
 //! count rarely increases.
 
+use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, mean, pct, TextTable};
 use vliw_machine::Machine;
 use vliw_unroll::ii_speedup;
@@ -14,7 +15,7 @@ use crate::experiments::{fig3::copy_units_for, par_map, ExperimentConfig};
 use crate::pipeline::{Compiler, CompilerConfig};
 
 /// Per-machine summary of the unrolling experiment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig4Row {
     /// Number of compute functional units.
     pub fus: usize,

@@ -10,6 +10,7 @@
 //! As in the paper, loop unrolling and copy insertion are applied in all
 //! configurations.
 
+use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, mean, pct, TextTable};
 use vliw_machine::Machine;
 
@@ -17,7 +18,7 @@ use crate::experiments::{par_map, ExperimentConfig};
 use crate::pipeline::{Compiler, CompilerConfig};
 
 /// Per-cluster-count summary of the partitioning experiment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig6Row {
     /// Number of clusters of the machine (3 compute FUs each).
     pub clusters: usize,
@@ -63,7 +64,9 @@ pub fn fig6_experiment_for(cfg: &ExperimentConfig, cluster_counts: &[usize]) -> 
             same_ii: fraction(&ok, |&(s, c, _, _)| c == s),
             ii_plus_one: fraction(&ok, |&(s, c, _, _)| c == s + 1),
             ii_plus_more: fraction(&ok, |&(s, c, _, _)| c > s + 1),
-            mean_ii_ratio: mean(&ok.iter().map(|&(s, c, _, _)| c as f64 / s as f64).collect::<Vec<_>>()),
+            mean_ii_ratio: mean(
+                &ok.iter().map(|&(s, c, _, _)| c as f64 / s as f64).collect::<Vec<_>>(),
+            ),
             same_stage_count: fraction(&ok, |&(_, _, ss, cs)| ss == cs),
             loops: ok.len(),
         });

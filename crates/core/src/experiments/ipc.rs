@@ -12,6 +12,7 @@
 //! * clustered machines track their single-cluster equivalents closely at 12 FUs and
 //!   fall behind slightly at 15 and 18 FUs (the partitioning penalty).
 
+use serde::{Deserialize, Serialize};
 use vliw_analysis::{is_resource_constrained, mean, TextTable};
 use vliw_ddg::Loop;
 use vliw_machine::Machine;
@@ -20,7 +21,7 @@ use crate::experiments::{fig3::copy_units_for, par_map, ExperimentConfig};
 use crate::pipeline::{Compiler, CompilerConfig};
 
 /// One point of the IPC curves: a machine width with the four IPC series.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IpcCurvePoint {
     /// Machine width in compute FUs.
     pub fus: usize,

@@ -50,7 +50,10 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// A configuration over a reduced corpus, for tests and quick runs.
     pub fn quick(num_loops: usize, seed: u64) -> Self {
-        ExperimentConfig { corpus: CorpusConfig::small(num_loops, seed), threads: default_threads() }
+        ExperimentConfig {
+            corpus: CorpusConfig::small(num_loops, seed),
+            threads: default_threads(),
+        }
     }
 
     /// Generates the corpus described by this configuration.

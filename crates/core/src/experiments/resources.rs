@@ -5,6 +5,7 @@
 //! benchmark.  This driver partitions every loop on clustered machines and reports
 //! the fraction of loops that fit those budgets, along with the observed maxima.
 
+use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, pct, TextTable};
 use vliw_machine::Machine;
 
@@ -12,7 +13,7 @@ use crate::experiments::{par_map, ExperimentConfig};
 use crate::pipeline::{Compiler, CompilerConfig};
 
 /// Per-machine summary of the queue-demand analysis.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterResourcesRow {
     /// Number of clusters.
     pub clusters: usize,
@@ -33,6 +34,10 @@ pub struct ClusterResourcesRow {
     pub loops: usize,
 }
 
+/// One loop's measurements: `(private queues, comm queues, private depth, comm
+/// depth, cross fraction)`.
+type ResourceSample = (usize, usize, usize, usize, f64);
+
 /// Runs the cluster-resource experiment for the given cluster counts (the paper's
 /// machines are 4, 5 and 6 clusters).
 pub fn cluster_resources_experiment(
@@ -44,19 +49,18 @@ pub fn cluster_resources_experiment(
     for &clusters in cluster_counts {
         let machine = Machine::paper_clustered(clusters, Default::default());
         let compiler = Compiler::new(CompilerConfig::paper_defaults(machine));
-        let samples: Vec<Option<(usize, usize, usize, usize, f64)>> =
-            par_map(&corpus, cfg.threads, |lp| {
-                let c = compiler.compile(lp).ok()?;
-                let comm = c.comm.expect("clustered machine");
-                Some((
-                    comm.max_private_queues_per_cluster,
-                    comm.max_comm_queues_per_link,
-                    comm.max_private_queue_depth,
-                    comm.max_comm_queue_depth,
-                    comm.cross_fraction(),
-                ))
-            });
-        let ok: Vec<(usize, usize, usize, usize, f64)> = samples.into_iter().flatten().collect();
+        let samples: Vec<Option<ResourceSample>> = par_map(&corpus, cfg.threads, |lp| {
+            let c = compiler.compile(lp).ok()?;
+            let comm = c.comm.expect("clustered machine");
+            Some((
+                comm.max_private_queues_per_cluster,
+                comm.max_comm_queues_per_link,
+                comm.max_private_queue_depth,
+                comm.max_comm_queue_depth,
+                comm.cross_fraction(),
+            ))
+        });
+        let ok: Vec<ResourceSample> = samples.into_iter().flatten().collect();
         rows.push(ClusterResourcesRow {
             clusters,
             fits_paper_cluster: fraction(&ok, |&(p, c, pd, cd, _)| {

@@ -35,10 +35,7 @@ pub fn strongly_connected_components(ddg: &Ddg) -> Vec<Vec<OpId>> {
                 on_stack[v] = true;
             }
             // Successor list for v.
-            let succs: Vec<usize> = ddg
-                .succ_edges(OpId(v as u32))
-                .map(|e| e.dst.index())
-                .collect();
+            let succs: Vec<usize> = ddg.succ_edges(OpId(v as u32)).map(|e| e.dst.index()).collect();
             if succ_pos < succs.len() {
                 call_stack.last_mut().expect("frame just observed").1 += 1;
                 let w = succs[succ_pos];

@@ -88,7 +88,14 @@ pub struct Edge {
 
 impl Edge {
     /// Creates an edge.
-    pub fn new(id: EdgeId, src: OpId, dst: OpId, kind: DepKind, latency: u32, distance: u32) -> Self {
+    pub fn new(
+        id: EdgeId,
+        src: OpId,
+        dst: OpId,
+        kind: DepKind,
+        latency: u32,
+        distance: u32,
+    ) -> Self {
         Edge { id, src, dst, kind, latency, distance }
     }
 

@@ -31,7 +31,9 @@ pub enum DdgError {
 impl fmt::Display for DdgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DdgError::DanglingEdge { edge } => write!(f, "edge {edge} refers to a missing operation"),
+            DdgError::DanglingEdge { edge } => {
+                write!(f, "edge {edge} refers to a missing operation")
+            }
             DdgError::IntraIterationCycle => {
                 write!(f, "the distance-0 subgraph contains a cycle; no schedule can satisfy it")
             }
@@ -88,7 +90,14 @@ impl Ddg {
     /// # Panics
     ///
     /// Panics if either endpoint is not an operation of this graph.
-    pub fn add_edge(&mut self, src: OpId, dst: OpId, kind: DepKind, latency: u32, distance: u32) -> EdgeId {
+    pub fn add_edge(
+        &mut self,
+        src: OpId,
+        dst: OpId,
+        kind: DepKind,
+        latency: u32,
+        distance: u32,
+    ) -> EdgeId {
         assert!(src.index() < self.ops.len(), "edge source {src} out of range");
         assert!(dst.index() < self.ops.len(), "edge destination {dst} out of range");
         let id = EdgeId(self.edges.len() as u32);
@@ -178,9 +187,7 @@ impl Ddg {
         // A recurrence exists iff some cycle of the full graph exists; because the
         // distance-0 subgraph of a valid DDG is acyclic, any cycle must include a
         // loop-carried edge.  Use the SCC decomposition.
-        crate::analysis::strongly_connected_components(self)
-            .iter()
-            .any(|scc| scc.len() > 1)
+        crate::analysis::strongly_connected_components(self).iter().any(|scc| scc.len() > 1)
             || self.edges.iter().any(|e| e.src == e.dst && e.distance > 0)
     }
 
@@ -195,7 +202,8 @@ impl Ddg {
                 indeg[e.dst.index()] += 1;
             }
         }
-        let mut stack: Vec<OpId> = (0..n as u32).map(OpId).filter(|o| indeg[o.index()] == 0).collect();
+        let mut stack: Vec<OpId> =
+            (0..n as u32).map(OpId).filter(|o| indeg[o.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(op) = stack.pop() {
             order.push(op);

@@ -135,12 +135,8 @@ pub enum OpClass {
 
 impl OpClass {
     /// All classes in a fixed order, used to index per-class tables.
-    pub const ALL: [OpClass; 4] = [
-        OpClass::Memory,
-        OpClass::Adder,
-        OpClass::Multiplier,
-        OpClass::Copy,
-    ];
+    pub const ALL: [OpClass; 4] =
+        [OpClass::Memory, OpClass::Adder, OpClass::Multiplier, OpClass::Copy];
 
     /// Number of classes.
     pub const COUNT: usize = 4;

@@ -47,7 +47,7 @@ impl Default for CorpusConfig {
     fn default() -> Self {
         CorpusConfig {
             num_loops: 1258,
-            seed: 0x1998_06_0386,
+            seed: 0x0019_9806_0386,
             latencies: LatencyModel::default(),
             recurrence_probability: 0.40,
             accumulator_probability: 0.25,
@@ -107,10 +107,7 @@ impl CorpusConfig {
             return Err("num_loops must be positive".to_string());
         }
         if self.trip_count_range.0 == 0 || self.trip_count_range.0 > self.trip_count_range.1 {
-            return Err(format!(
-                "invalid trip count range {:?}",
-                self.trip_count_range
-            ));
+            return Err(format!("invalid trip count range {:?}", self.trip_count_range));
         }
         Ok(())
     }
@@ -137,34 +134,30 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let cfg = CorpusConfig::default()
-            .with_seed(99)
-            .with_latencies(LatencyModel::unit());
+        let cfg = CorpusConfig::default().with_seed(99).with_latencies(LatencyModel::unit());
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.latencies, LatencyModel::unit());
     }
 
     #[test]
     fn validation_rejects_bad_probabilities() {
-        let mut cfg = CorpusConfig::default();
-        cfg.recurrence_probability = 1.5;
+        let cfg = CorpusConfig { recurrence_probability: 1.5, ..CorpusConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = CorpusConfig::default();
-        cfg.multiply_fraction = 0.9;
-        cfg.divide_fraction = 0.2;
+        let cfg = CorpusConfig {
+            multiply_fraction: 0.9,
+            divide_fraction: 0.2,
+            ..CorpusConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = CorpusConfig::default();
-        cfg.num_loops = 0;
+        let cfg = CorpusConfig { num_loops: 0, ..CorpusConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = CorpusConfig::default();
-        cfg.trip_count_range = (100, 10);
+        let cfg = CorpusConfig { trip_count_range: (100, 10), ..CorpusConfig::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = CorpusConfig::default();
-        cfg.trip_count_range = (0, 10);
+        let cfg = CorpusConfig { trip_count_range: (0, 10), ..CorpusConfig::default() };
         assert!(cfg.validate().is_err());
     }
 }

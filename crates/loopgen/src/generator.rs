@@ -21,9 +21,7 @@ use crate::config::CorpusConfig;
 pub fn generate_corpus(cfg: &CorpusConfig) -> Vec<Loop> {
     cfg.validate().expect("invalid corpus configuration");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    (0..cfg.num_loops)
-        .map(|i| generate_loop(cfg, &mut rng, i))
-        .collect()
+    (0..cfg.num_loops).map(|i| generate_loop(cfg, &mut rng, i)).collect()
 }
 
 /// Generates the paper-sized corpus (1258 loops) with the default configuration and
@@ -168,11 +166,8 @@ pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Lo
     if rng.gen_bool(cfg.recurrence_probability) && !ariths.is_empty() {
         let n_circuits = 1 + usize::from(rng.gen_bool(0.3));
         for _ in 0..n_circuits {
-            let unconsumed_late: Vec<OpId> = ariths
-                .iter()
-                .copied()
-                .filter(|op| available.contains(op))
-                .collect();
+            let unconsumed_late: Vec<OpId> =
+                ariths.iter().copied().filter(|op| available.contains(op)).collect();
             let late = if !unconsumed_late.is_empty() && rng.gen_bool(0.75) {
                 unconsumed_late[rng.gen_range(0..unconsumed_late.len())]
             } else {
@@ -199,11 +194,8 @@ pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Lo
     // free of copy operations, exactly like the real reduction loops of the
     // benchmark.
     if rng.gen_bool(cfg.accumulator_probability) {
-        let unconsumed: Vec<OpId> = ariths
-            .iter()
-            .copied()
-            .filter(|op| available.contains(op))
-            .collect();
+        let unconsumed: Vec<OpId> =
+            ariths.iter().copied().filter(|op| available.contains(op)).collect();
         if let Some(&acc) = pick(rng, &unconsumed) {
             b.flow_carried(acc, acc, 1);
         } else if let Some(&acc) = pick(rng, &ariths) {
@@ -260,8 +252,7 @@ mod tests {
         let corpus = generate_corpus(&CorpusConfig::small(400, 5));
         let n = corpus.len() as f64;
         let avg_ops: f64 = corpus.iter().map(|l| l.ddg.num_ops() as f64).sum::<f64>() / n;
-        let frac_recurrent =
-            corpus.iter().filter(|l| l.ddg.has_recurrence()).count() as f64 / n;
+        let frac_recurrent = corpus.iter().filter(|l| l.ddg.has_recurrence()).count() as f64 / n;
         let frac_multi_consumer =
             corpus.iter().filter(|l| l.ddg.max_fanout() > 1).count() as f64 / n;
         assert!(avg_ops > 8.0 && avg_ops < 30.0, "avg ops {avg_ops} out of expected band");

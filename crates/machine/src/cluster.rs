@@ -47,9 +47,9 @@ impl ClusterConfig {
         let mem = base + usize::from(rem >= 2);
         let add = base + usize::from(rem >= 1);
         let mul = num_compute_fus - mem - add;
-        fu_classes.extend(std::iter::repeat(OpClass::Memory).take(mem));
-        fu_classes.extend(std::iter::repeat(OpClass::Adder).take(add));
-        fu_classes.extend(std::iter::repeat(OpClass::Multiplier).take(mul));
+        fu_classes.extend(std::iter::repeat_n(OpClass::Memory, mem));
+        fu_classes.extend(std::iter::repeat_n(OpClass::Adder, add));
+        fu_classes.extend(std::iter::repeat_n(OpClass::Multiplier, mul));
         ClusterConfig { fu_classes, copy_units, private_queues, queue_capacity: 8 }
     }
 

@@ -158,9 +158,7 @@ impl Machine {
         cluster: ClusterId,
         class: OpClass,
     ) -> impl Iterator<Item = &Fu> + '_ {
-        self.fus
-            .iter()
-            .filter(move |fu| fu.class == class && fu.cluster == cluster)
+        self.fus.iter().filter(move |fu| fu.class == class && fu.cluster == cluster)
     }
 
     /// Per-class FU counts (machine-wide), indexed by [`OpClass::index`]; used by the
@@ -181,7 +179,11 @@ impl Machine {
     /// queue).  The paper's partitioning algorithm does **not** insert transit moves,
     /// so non-adjacent communication is impossible (this is exactly the limitation
     /// discussed in Section 4).
-    pub fn clusters_communicate(&self, producer_cluster: ClusterId, consumer_cluster: ClusterId) -> bool {
+    pub fn clusters_communicate(
+        &self,
+        producer_cluster: ClusterId,
+        consumer_cluster: ClusterId,
+    ) -> bool {
         if producer_cluster == consumer_cluster {
             return true;
         }

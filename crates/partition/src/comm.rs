@@ -123,12 +123,7 @@ mod tests {
         for l in kernels::all_kernels(LatencyModel::default()) {
             let r = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
             let flow_edges = l.ddg.edges().filter(|e| e.kind == DepKind::Flow).count();
-            assert_eq!(
-                r.comm.cross_cluster_values + r.comm.local_values,
-                flow_edges,
-                "{}",
-                l.name
-            );
+            assert_eq!(r.comm.cross_cluster_values + r.comm.local_values, flow_edges, "{}", l.name);
         }
     }
 

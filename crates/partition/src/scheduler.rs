@@ -145,9 +145,14 @@ pub fn partition_schedule(
     while ii <= collapse_max {
         attempts += 1;
         let budget = base_budget.saturating_mul(8);
-        if let Some((start, fu)) =
-            try_partition_at(ddg, machine, ii, budget, opts.allow_transit_moves, Some(single_cluster))
-        {
+        if let Some((start, fu)) = try_partition_at(
+            ddg,
+            machine,
+            ii,
+            budget,
+            opts.allow_transit_moves,
+            Some(single_cluster),
+        ) {
             let schedule = Schedule::new(ii, start, fu);
             debug_assert!(schedule.validate(ddg, machine).is_ok());
             let comm = comm_stats(ddg, machine, &schedule);
@@ -192,14 +197,10 @@ fn try_partition_at(
         start[op.index()].map(|_| machine.fu(fu_of[op.index()]).cluster)
     };
 
-    loop {
-        let op = match (0..n)
-            .filter(|&i| start[i].is_none())
-            .max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
-        {
-            Some(i) => OpId(i as u32),
-            None => break,
-        };
+    while let Some(i) =
+        (0..n).filter(|&i| start[i].is_none()).max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
+    {
+        let op = OpId(i as u32);
         budget -= 1;
         if budget < 0 {
             return None;
@@ -321,13 +322,9 @@ fn try_partition_at(
                 // Force into the best eligible cluster, evicting the lowest-priority
                 // occupant of that cluster's units.
                 let target = eligible[0];
-                let victim_fu = machine
-                    .fus_of_class_in_cluster(target, class)
-                    .map(|f| f.id)
-                    .min_by_key(|&f| {
-                        mrt.occupant(time, f)
-                            .map(|occ| heights[occ.index()])
-                            .unwrap_or(i64::MIN)
+                let victim_fu =
+                    machine.fus_of_class_in_cluster(target, class).map(|f| f.id).min_by_key(|&f| {
+                        mrt.occupant(time, f).map(|occ| heights[occ.index()]).unwrap_or(i64::MIN)
                     });
                 match victim_fu {
                     Some(f) => (time, f),
@@ -374,8 +371,10 @@ fn try_partition_at(
                 let dep_violated = (s_dst as i64) < time as i64 + e.weight_at(ii);
                 let comm_violated = !allow_transit
                     && e.kind == DepKind::Flow
-                    && !machine
-                        .clusters_communicate(placed_cluster, machine.fu(fu_of[e.dst.index()]).cluster);
+                    && !machine.clusters_communicate(
+                        placed_cluster,
+                        machine.fu(fu_of[e.dst.index()]).cluster,
+                    );
                 if dep_violated || comm_violated {
                     mrt.release(s_dst, fu_of[e.dst.index()]);
                     let c = machine.fu(fu_of[e.dst.index()]).cluster;
@@ -392,8 +391,10 @@ fn try_partition_at(
                 let dep_violated = (time as i64) < s_src as i64 + e.weight_at(ii);
                 let comm_violated = !allow_transit
                     && e.kind == DepKind::Flow
-                    && !machine
-                        .clusters_communicate(machine.fu(fu_of[e.src.index()]).cluster, placed_cluster);
+                    && !machine.clusters_communicate(
+                        machine.fu(fu_of[e.src.index()]).cluster,
+                        placed_cluster,
+                    );
                 if dep_violated || comm_violated {
                     mrt.release(s_src, fu_of[e.src.index()]);
                     let c = machine.fu(fu_of[e.src.index()]).cluster;
@@ -461,7 +462,8 @@ mod tests {
             let single = Machine::paper_single_cluster_equivalent(4, lat);
             let clusteredm = clustered(4);
             let s = modulo_schedule(&rewritten.ddg, &single, ImsOptions::default()).unwrap();
-            let c = partition_schedule(&rewritten.ddg, &clusteredm, PartitionOptions::default()).unwrap();
+            let c = partition_schedule(&rewritten.ddg, &clusteredm, PartitionOptions::default())
+                .unwrap();
             assert!(
                 c.schedule.ii >= s.schedule.ii,
                 "{}: clustered II {} beats single-cluster II {}",
@@ -483,11 +485,7 @@ mod tests {
             let rewritten = insert_copies(&l.ddg, &lat);
             let s = modulo_schedule(&rewritten.ddg, &single, ImsOptions::default()).unwrap();
             let c = partition_schedule(&rewritten.ddg, &cl, PartitionOptions::default()).unwrap();
-            assert_eq!(
-                c.schedule.ii, s.schedule.ii,
-                "{}: clustered II degraded",
-                l.name
-            );
+            assert_eq!(c.schedule.ii, s.schedule.ii, "{}: clustered II degraded", l.name);
         }
     }
 
@@ -496,10 +494,10 @@ mod tests {
         let m = clustered(6);
         let l = kernels::wide_parallel(LatencyModel::default(), 100);
         let with_moves =
-            partition_schedule(&l.ddg, &m, PartitionOptions::default().with_transit_moves()).unwrap();
+            partition_schedule(&l.ddg, &m, PartitionOptions::default().with_transit_moves())
+                .unwrap();
         assert!(with_moves.schedule.validate(&l.ddg, &m).is_ok());
-        let without =
-            partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+        let without = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
         // Removing a constraint can only help (or leave unchanged) the II.
         assert!(with_moves.schedule.ii <= without.schedule.ii);
     }

@@ -57,10 +57,8 @@ pub fn insert_copies(ddg: &Ddg, latencies: &LatencyModel) -> CopyInsertion {
     let mut copy_ops = Vec::new();
 
     for producer in ddg.op_ids() {
-        let mut consumers: Vec<(OpId, u32, u32)> = ddg
-            .flow_consumers(producer)
-            .map(|e| (e.dst, e.latency, e.distance))
-            .collect();
+        let mut consumers: Vec<(OpId, u32, u32)> =
+            ddg.flow_consumers(producer).map(|e| (e.dst, e.latency, e.distance)).collect();
         // Serve loop-carried consumers first so that recurrence circuits go through
         // as few copies as possible (one), minimising the impact on RecMII; the
         // remaining order keeps the original edge order and is therefore
@@ -79,12 +77,11 @@ pub fn insert_copies(ddg: &Ddg, latencies: &LatencyModel) -> CopyInsertion {
                 let producer_latency = consumers[0].1;
                 let mut prev = producer;
                 let mut prev_latency = producer_latency;
-                for i in 0..k - 1 {
+                for &(dst, _lat, dist) in consumers.iter().take(k - 1) {
                     let copy = out.add_op(OpKind::Copy);
                     copy_ops.push(copy);
                     out.add_edge(prev, copy, DepKind::Flow, prev_latency, 0);
-                    // The copy serves original consumer i.
-                    let (dst, _lat, dist) = consumers[i];
+                    // The copy serves the consumer at this chain position.
                     out.add_edge(copy, dst, DepKind::Flow, copy_latency, dist);
                     prev = copy;
                     prev_latency = copy_latency;
@@ -103,9 +100,7 @@ pub fn insert_copies(ddg: &Ddg, latencies: &LatencyModel) -> CopyInsertion {
 /// Number of copy operations that `ddg` would need (without building the rewritten
 /// graph): the sum over produced values of `max(fanout − 1, 0)`.
 pub fn copies_needed(ddg: &Ddg) -> usize {
-    ddg.op_ids()
-        .map(|op| ddg.fanout(op).saturating_sub(1))
-        .sum()
+    ddg.op_ids().map(|op| ddg.fanout(op).saturating_sub(1)).sum()
 }
 
 #[cfg(test)]
@@ -174,10 +169,7 @@ mod tests {
         assert_eq!(ins.ddg.fanout(p), 1);
         // Original consumers each still receive exactly one value.
         for c in [c1, c2, c3] {
-            assert_eq!(
-                ins.ddg.pred_edges(c).filter(|e| e.kind == DepKind::Flow).count(),
-                1
-            );
+            assert_eq!(ins.ddg.pred_edges(c).filter(|e| e.kind == DepKind::Flow).count(), 1);
         }
     }
 
@@ -192,17 +184,9 @@ mod tests {
         let g = b.finish();
         let ins = insert_copies(&g, &LatencyModel::default());
         // Find the flow edge reaching `next_iter`; its distance must still be 2.
-        let e = ins
-            .ddg
-            .pred_edges(next_iter)
-            .find(|e| e.kind == DepKind::Flow)
-            .unwrap();
+        let e = ins.ddg.pred_edges(next_iter).find(|e| e.kind == DepKind::Flow).unwrap();
         assert_eq!(e.distance, 2);
-        let e_same = ins
-            .ddg
-            .pred_edges(same_iter)
-            .find(|e| e.kind == DepKind::Flow)
-            .unwrap();
+        let e_same = ins.ddg.pred_edges(same_iter).find(|e| e.kind == DepKind::Flow).unwrap();
         assert_eq!(e_same.distance, 0);
     }
 
@@ -219,10 +203,7 @@ mod tests {
         assert_eq!(copies_needed(&g), 1);
         let ins = insert_copies(&g, &LatencyModel::default());
         assert_eq!(ins.num_copies(), 1);
-        assert_eq!(
-            ins.ddg.pred_edges(sq).filter(|e| e.kind == DepKind::Flow).count(),
-            2
-        );
+        assert_eq!(ins.ddg.pred_edges(sq).filter(|e| e.kind == DepKind::Flow).count(), 2);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub fn value_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
         let mut last: Option<(OpId, u32)> = None;
         for e in ddg.flow_consumers(op) {
             let end = schedule.start_of(e.dst) + ii * e.distance;
-            if last.map_or(true, |(_, prev)| end > prev) {
+            if last.is_none_or(|(_, prev)| end > prev) {
                 last = Some((e.dst, end));
             }
         }
@@ -132,11 +132,7 @@ mod tests {
         let l = kernels::wide_parallel(LatencyModel::default(), 100);
         let s = schedule_kernel(&l, 12);
         let lts = value_lifetimes(&l.ddg, &s);
-        let producers_with_uses = l
-            .ddg
-            .op_ids()
-            .filter(|&op| l.ddg.fanout(op) > 0)
-            .count();
+        let producers_with_uses = l.ddg.op_ids().filter(|&op| l.ddg.fanout(op) > 0).count();
         assert_eq!(lts.len(), producers_with_uses);
     }
 

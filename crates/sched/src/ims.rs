@@ -72,7 +72,11 @@ impl ImsResult {
 }
 
 /// Runs iterative modulo scheduling of `ddg` on `machine`.
-pub fn modulo_schedule(ddg: &Ddg, machine: &Machine, opts: ImsOptions) -> Result<ImsResult, SchedError> {
+pub fn modulo_schedule(
+    ddg: &Ddg,
+    machine: &Machine,
+    opts: ImsOptions,
+) -> Result<ImsResult, SchedError> {
     if ddg.num_ops() == 0 {
         return Err(SchedError::EmptyGraph);
     }
@@ -100,7 +104,12 @@ pub fn modulo_schedule(ddg: &Ddg, machine: &Machine, opts: ImsOptions) -> Result
 
 /// One scheduling attempt at a fixed II.  Returns the per-op start times and FU
 /// assignments, or `None` if the placement budget was exhausted.
-fn try_schedule_at(ddg: &Ddg, machine: &Machine, ii: u32, budget: u32) -> Option<(Vec<u32>, Vec<FuId>)> {
+fn try_schedule_at(
+    ddg: &Ddg,
+    machine: &Machine,
+    ii: u32,
+    budget: u32,
+) -> Option<(Vec<u32>, Vec<FuId>)> {
     let n = ddg.num_ops();
     let heights = height_r(ddg, ii);
     let mut start: Vec<Option<u32>> = vec![None; n];
@@ -110,15 +119,12 @@ fn try_schedule_at(ddg: &Ddg, machine: &Machine, ii: u32, budget: u32) -> Option
     let mut mrt = Mrt::new(machine, ii);
     let mut budget = budget as i64;
 
-    loop {
-        // Highest-priority unscheduled operation (deterministic tie-break on id).
-        let op = match (0..n)
-            .filter(|&i| start[i].is_none())
-            .max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
-        {
-            Some(i) => OpId(i as u32),
-            None => break,
-        };
+    // Highest-priority unscheduled operation each round (deterministic tie-break
+    // on id).
+    while let Some(i) =
+        (0..n).filter(|&i| start[i].is_none()).max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
+    {
+        let op = OpId(i as u32);
         budget -= 1;
         if budget < 0 {
             return None;
@@ -163,9 +169,7 @@ fn try_schedule_at(ddg: &Ddg, machine: &Machine, ii: u32, budget: u32) -> Option
                     .fus_of_class(class)
                     .map(|f| f.id)
                     .min_by_key(|&f| {
-                        mrt.occupant(time, f)
-                            .map(|occ| heights[occ.index()])
-                            .unwrap_or(i64::MIN)
+                        mrt.occupant(time, f).map(|occ| heights[occ.index()]).unwrap_or(i64::MIN)
                     })
                     .expect("ResMII guarantees at least one unit of the class");
                 (time, victim_fu)
@@ -266,7 +270,9 @@ mod tests {
         let l = kernels::dot_product(LatencyModel::default(), 100);
         let m = machine(12);
         let base = modulo_schedule(&l.ddg, &m, ImsOptions::default()).unwrap();
-        let forced = modulo_schedule(&l.ddg, &m, ImsOptions::default().with_min_ii(base.schedule.ii + 3)).unwrap();
+        let forced =
+            modulo_schedule(&l.ddg, &m, ImsOptions::default().with_min_ii(base.schedule.ii + 3))
+                .unwrap();
         assert_eq!(forced.schedule.ii, base.schedule.ii + 3);
         assert!(forced.schedule.validate(&l.ddg, &m).is_ok());
     }

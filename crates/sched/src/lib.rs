@@ -77,9 +77,7 @@ mod tests {
     #[test]
     fn error_messages_mention_the_cause() {
         assert!(SchedError::EmptyGraph.to_string().contains("empty"));
-        assert!(SchedError::NoFunctionalUnit { class: OpClass::Copy }
-            .to_string()
-            .contains("COPY"));
+        assert!(SchedError::NoFunctionalUnit { class: OpClass::Copy }.to_string().contains("COPY"));
         assert!(SchedError::IiLimitReached { limit: 9 }.to_string().contains('9'));
         assert!(SchedError::InvalidGraph(DdgError::IntraIterationCycle)
             .to_string()

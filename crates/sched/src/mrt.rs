@@ -62,7 +62,7 @@ impl Mrt {
             .fus()
             .iter()
             .filter(|fu| fu.class == class)
-            .filter(|fu| cluster.map_or(true, |c| fu.cluster == c))
+            .filter(|fu| cluster.is_none_or(|c| fu.cluster == c))
             .map(|fu| fu.id)
             .find(|&fu| self.occupant(cycle, fu).is_none())
     }

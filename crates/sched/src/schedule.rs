@@ -101,7 +101,8 @@ impl Schedule {
             }
         }
         // Resource constraints: class match and no two ops share (fu, slot).
-        let mut used: std::collections::HashMap<(u32, FuId), OpId> = std::collections::HashMap::new();
+        let mut used: std::collections::HashMap<(u32, FuId), OpId> =
+            std::collections::HashMap::new();
         for op in ddg.ops() {
             let fu = self.fu[op.id.index()];
             if fu.index() >= machine.num_fus() {
@@ -242,10 +243,7 @@ mod tests {
         let m = Machine::single_cluster(3, 1, 32, LatencyModel::default());
         let ls = m.fus_of_class(vliw_ddg::OpClass::Memory).next().unwrap().id;
         let s = Schedule::new(2, vec![0, 2], vec![ls, ls]);
-        assert!(matches!(
-            s.validate(&g, &m),
-            Err(ScheduleViolation::ResourceConflict { .. })
-        ));
+        assert!(matches!(s.validate(&g, &m), Err(ScheduleViolation::ResourceConflict { .. })));
         // At different modulo slots the same unit is fine.
         let s = Schedule::new(2, vec![0, 1], vec![ls, ls]);
         assert!(s.validate(&g, &m).is_ok());
@@ -306,7 +304,8 @@ mod tests {
     fn violation_messages_are_informative() {
         let v = ScheduleViolation::DependenceViolated { src: OpId(0), dst: OpId(1) };
         assert!(v.to_string().contains("op0"));
-        let v = ScheduleViolation::ResourceConflict { a: OpId(0), b: OpId(1), fu: FuId(2), slot: 3 };
+        let v =
+            ScheduleViolation::ResourceConflict { a: OpId(0), b: OpId(1), fu: FuId(2), slot: 3 };
         assert!(v.to_string().contains("slot 3"));
     }
 }

@@ -121,14 +121,8 @@ mod tests {
         assert!(unrolled.factor > 1);
         let after = modulo_schedule(&unrolled.ddg, &m, ImsOptions::default()).unwrap();
         let speedup = ii_speedup(base.schedule.ii, after.schedule.ii, unrolled.factor);
-        assert!(
-            speedup >= 1.0,
-            "unrolling should never slow the loop down here: {speedup}"
-        );
-        assert!(
-            speedup > 1.2,
-            "daxpy on 6 FUs should gain from unrolling, got {speedup}"
-        );
+        assert!(speedup >= 1.0, "unrolling should never slow the loop down here: {speedup}");
+        assert!(speedup > 1.2, "daxpy on 6 FUs should gain from unrolling, got {speedup}");
     }
 
     #[test]

@@ -87,7 +87,10 @@ mod tests {
         assert_eq!(u.ddg.num_edges(), g.num_edges());
         assert_eq!(u.factor, 1);
         for (a, b) in g.edges().zip(u.ddg.edges()) {
-            assert_eq!((a.src, a.dst, a.latency, a.distance), (b.src, b.dst, b.latency, b.distance));
+            assert_eq!(
+                (a.src, a.dst, a.latency, a.distance),
+                (b.src, b.dst, b.latency, b.distance)
+            );
         }
     }
 
@@ -193,7 +196,13 @@ mod tests {
             b.flow(src, ops[i]);
             if rng.gen_bool(0.3) {
                 let dst = ops[rng.gen_range(0..i)];
-                b.edge_with_latency(ops[i], dst, DepKind::Flow, rng.gen_range(1..4), rng.gen_range(1..3));
+                b.edge_with_latency(
+                    ops[i],
+                    dst,
+                    DepKind::Flow,
+                    rng.gen_range(1..4),
+                    rng.gen_range(1..3),
+                );
             }
         }
         b.finish()

@@ -20,10 +20,7 @@ use vliw_core::unroll::unroll_for_machine;
 use vliw_core::{partition_schedule, LatencyModel, Machine, PartitionOptions};
 
 fn main() {
-    let loops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    let loops: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
     let cfg = ExperimentConfig::quick(loops, 77);
     let corpus = cfg.corpus();
     let lat = LatencyModel::default();
@@ -80,7 +77,12 @@ fn main() {
             pct(fraction(&samples, |s| s.transit_ii == s.single_ii)),
             format!(
                 "{:.3}",
-                mean(&samples.iter().map(|s| s.ring_ii as f64 / s.single_ii as f64).collect::<Vec<_>>())
+                mean(
+                    &samples
+                        .iter()
+                        .map(|s| s.ring_ii as f64 / s.single_ii as f64)
+                        .collect::<Vec<_>>()
+                )
             ),
             pct(mean(&samples.iter().map(|s| s.cross_fraction).collect::<Vec<_>>())),
         ]);

@@ -12,10 +12,7 @@ use vliw_core::experiments::{par_map, ExperimentConfig};
 use vliw_core::{Compiler, CompilerConfig, LatencyModel, Machine};
 
 fn main() {
-    let loops: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let loops: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
     let cfg = ExperimentConfig::quick(loops, 1998);
     let corpus = cfg.corpus();
     println!(

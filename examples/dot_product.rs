@@ -40,11 +40,7 @@ fn main() {
 
     // ---- 2. Lower bounds and a single-cluster schedule. -------------------------
     let single = Machine::single_cluster(6, 2, 32, lat);
-    println!(
-        "ResMII = {}, RecMII = {}",
-        res_mii(&lp.ddg, &single).unwrap(),
-        rec_mii(&lp.ddg)
-    );
+    println!("ResMII = {}, RecMII = {}", res_mii(&lp.ddg, &single).unwrap(), rec_mii(&lp.ddg));
     let ims = modulo_schedule(&lp.ddg, &single, ImsOptions::default()).unwrap();
     println!(
         "single cluster (6 FUs): II = {}, stage count = {}, static IPC = {:.2}, dynamic IPC = {:.2}",

@@ -10,8 +10,8 @@
 //! dot-product kernel with the full pipeline (unrolling, copy insertion, partitioned
 //! modulo scheduling, queue allocation) and prints the key schedule metrics.
 
-use vliw_core::{Compiler, CompilerConfig};
 use vliw_core::{kernels, LatencyModel, Machine};
+use vliw_core::{Compiler, CompilerConfig};
 
 fn main() {
     let latencies = LatencyModel::default();
@@ -51,10 +51,7 @@ fn main() {
             "inter-cluster values : {} ({} stay local)",
             comm.cross_cluster_values, comm.local_values
         );
-        println!(
-            "fits Fig. 7 cluster  : {}",
-            comm.fits_cluster_budget(8, 8, 8)
-        );
+        println!("fits Fig. 7 cluster  : {}", comm.fits_cluster_budget(8, 8, 8));
     }
 
     // Per-operation placement.

@@ -29,11 +29,7 @@ fn fig3_shape_32_queues_cover_almost_everything() {
     // Wider machines overlap more lifetimes, so they need at least as many queues:
     // the fraction of loops fitting 8 queues should not grow with machine width.
     let within8 = |fus: usize| {
-        rows.iter()
-            .find(|r| r.fus == fus && r.with_copies)
-            .unwrap()
-            .histogram
-            .fraction_within(8)
+        rows.iter().find(|r| r.fus == fus && r.with_copies).unwrap().histogram.fraction_within(8)
     };
     assert!(within8(4) + 1e-9 >= within8(12) - 0.05);
 }

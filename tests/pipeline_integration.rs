@@ -5,8 +5,8 @@
 
 use vliw_core::experiments::fig3::copy_units_for;
 use vliw_core::qrf::{insert_copies, q_compatible, use_lifetimes};
-use vliw_core::{Compiler, CompilerConfig};
 use vliw_core::{generate_corpus, CorpusConfig, LatencyModel, Machine};
+use vliw_core::{Compiler, CompilerConfig};
 
 fn small_corpus(n: usize, seed: u64) -> Vec<vliw_core::Loop> {
     generate_corpus(&CorpusConfig::small(n, seed))
@@ -20,9 +20,8 @@ fn every_corpus_loop_compiles_on_single_cluster_machines() {
             Machine::single_cluster(fus, copy_units_for(fus), 1024, LatencyModel::default());
         let compiler = Compiler::new(CompilerConfig::paper_defaults(machine.clone()));
         for lp in &corpus {
-            let c = compiler
-                .compile(lp)
-                .unwrap_or_else(|e| panic!("{} on {} FUs: {e}", lp.name, fus));
+            let c =
+                compiler.compile(lp).unwrap_or_else(|e| panic!("{} on {} FUs: {e}", lp.name, fus));
             // The schedule respects every dependence and every resource.
             c.schedule
                 .validate(&c.transformed, &machine)
@@ -30,11 +29,8 @@ fn every_corpus_loop_compiles_on_single_cluster_machines() {
             // The II never beats the theoretical lower bound.
             assert!(c.ii() >= c.mii, "{}", lp.name);
             // Queue allocation covers every value-carrying edge exactly once.
-            let flow_edges = c
-                .transformed
-                .edges()
-                .filter(|e| e.kind == vliw_core::ddg::DepKind::Flow)
-                .count();
+            let flow_edges =
+                c.transformed.edges().filter(|e| e.kind == vliw_core::ddg::DepKind::Flow).count();
             let allocated: usize = c.queues.queues.iter().map(|q| q.len()).sum();
             assert_eq!(allocated, flow_edges, "{}", lp.name);
         }

@@ -8,7 +8,9 @@ use rand::SeedableRng;
 
 use vliw_core::loopgen::generator::generate_loop;
 use vliw_core::loopgen::CorpusConfig;
-use vliw_core::qrf::{allocate_queues, fifo_compatible, insert_copies, q_compatible, use_lifetimes};
+use vliw_core::qrf::{
+    allocate_queues, fifo_compatible, insert_copies, q_compatible, use_lifetimes,
+};
 use vliw_core::sched::{modulo_schedule, ImsOptions};
 use vliw_core::unroll::unroll_ddg;
 use vliw_core::{LatencyModel, Machine, OpId};

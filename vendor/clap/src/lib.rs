@@ -1,0 +1,448 @@
+//! Vendored stand-in for the `clap` crate (builder-API subset).
+//!
+//! The build environment has no access to crates.io, so this crate implements the
+//! slice of clap's builder API the workspace's CLIs use: commands with subcommands,
+//! long options with values and defaults, `global` options that may appear before
+//! or after the subcommand, generated `--help`, and typed retrieval through
+//! [`ArgMatches::get_one`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An argument definition (long options only; the workspace's CLIs define no
+/// positionals or short flags).
+#[derive(Debug, Clone)]
+pub struct Arg {
+    id: String,
+    long: Option<String>,
+    help: String,
+    default_value: Option<String>,
+    value_name: Option<String>,
+    global: bool,
+}
+
+impl Arg {
+    /// Creates an argument with the given id (also the default long name).
+    pub fn new(id: impl Into<String>) -> Self {
+        Arg {
+            id: id.into(),
+            long: None,
+            help: String::new(),
+            default_value: None,
+            value_name: None,
+            global: false,
+        }
+    }
+
+    /// Sets the long option name (`--name`).
+    pub fn long(mut self, name: impl Into<String>) -> Self {
+        self.long = Some(name.into());
+        self
+    }
+
+    /// Sets the help text.
+    pub fn help(mut self, text: impl Into<String>) -> Self {
+        self.help = text.into();
+        self
+    }
+
+    /// Sets the value used when the option is absent.
+    pub fn default_value(mut self, value: impl Into<String>) -> Self {
+        self.default_value = Some(value.into());
+        self
+    }
+
+    /// Sets the placeholder shown in help (`--seed <N>`).
+    pub fn value_name(mut self, name: impl Into<String>) -> Self {
+        self.value_name = Some(name.into());
+        self
+    }
+
+    /// Makes the option recognized before and after subcommands.
+    pub fn global(mut self, yes: bool) -> Self {
+        self.global = yes;
+        self
+    }
+
+    fn long_name(&self) -> &str {
+        self.long.as_deref().unwrap_or(&self.id)
+    }
+}
+
+/// Why argument parsing stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// `--help` was requested; the message is the help text.
+    DisplayHelp,
+    /// The command line was invalid.
+    InvalidValue,
+}
+
+/// A parse error (or help request).
+#[derive(Debug, Clone)]
+pub struct Error {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl Error {
+    /// The error category.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// Prints the error and exits: code 0 for help, 2 for invalid usage.
+    pub fn exit(&self) -> ! {
+        match self.kind {
+            ErrorKind::DisplayHelp => {
+                println!("{}", self.message);
+                std::process::exit(0);
+            }
+            ErrorKind::InvalidValue => {
+                eprintln!("error: {}", self.message);
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A (sub)command definition.
+#[derive(Debug, Clone)]
+pub struct Command {
+    name: String,
+    about: String,
+    args: Vec<Arg>,
+    subcommands: Vec<Command>,
+    subcommand_required: bool,
+}
+
+impl Command {
+    /// Creates a command.
+    pub fn new(name: impl Into<String>) -> Self {
+        Command {
+            name: name.into(),
+            about: String::new(),
+            args: Vec::new(),
+            subcommands: Vec::new(),
+            subcommand_required: false,
+        }
+    }
+
+    /// Sets the one-line description shown in help.
+    pub fn about(mut self, text: impl Into<String>) -> Self {
+        self.about = text.into();
+        self
+    }
+
+    /// Adds an argument.
+    pub fn arg(mut self, arg: Arg) -> Self {
+        self.args.push(arg);
+        self
+    }
+
+    /// Adds a subcommand.
+    pub fn subcommand(mut self, cmd: Command) -> Self {
+        self.subcommands.push(cmd);
+        self
+    }
+
+    /// Requires a subcommand to be given.
+    pub fn subcommand_required(mut self, yes: bool) -> Self {
+        self.subcommand_required = yes;
+        self
+    }
+
+    /// The command's name.
+    pub fn get_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parses `std::env::args()`, printing help / errors and exiting on failure.
+    pub fn get_matches(self) -> ArgMatches {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match self.try_get_matches_from_strings(argv) {
+            Ok(m) => m,
+            Err(e) => e.exit(),
+        }
+    }
+
+    /// Parses the given argument list (the first item is the program name, as with
+    /// upstream clap).
+    pub fn try_get_matches_from<I, S>(self, argv: I) -> Result<ArgMatches, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let argv: Vec<String> = argv.into_iter().map(Into::into).skip(1).collect();
+        self.try_get_matches_from_strings(argv)
+    }
+
+    fn try_get_matches_from_strings(self, argv: Vec<String>) -> Result<ArgMatches, Error> {
+        let mut matches = ArgMatches::default();
+        self.parse_into(&argv, 0, &mut Vec::new(), &mut matches)?;
+        Ok(matches)
+    }
+
+    /// Recursive-descent parse.  `inherited` carries the global args of every
+    /// ancestor command so they are recognized after a subcommand as well; their
+    /// values are recorded in the matches level where they were defined is not
+    /// tracked — all values land in the current level and are merged upward, which
+    /// matches how the workspace reads them (global flags from the root matches).
+    fn parse_into(
+        &self,
+        argv: &[String],
+        mut i: usize,
+        inherited: &mut Vec<Arg>,
+        out: &mut ArgMatches,
+    ) -> Result<(), Error> {
+        while i < argv.len() {
+            let token = &argv[i];
+            if token == "-h" || token == "--help" {
+                return Err(Error { kind: ErrorKind::DisplayHelp, message: self.render_help() });
+            }
+            if let Some(rest) = token.strip_prefix("--") {
+                let (name, inline_value) = match rest.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (rest, None),
+                };
+                let arg = self
+                    .args
+                    .iter()
+                    .chain(inherited.iter())
+                    .find(|a| a.long_name() == name)
+                    .ok_or_else(|| Error {
+                        kind: ErrorKind::InvalidValue,
+                        message: format!(
+                            "unexpected argument '--{name}' for `{}`\n\n{}",
+                            self.name,
+                            self.render_usage()
+                        ),
+                    })?
+                    .clone();
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        argv.get(i).cloned().ok_or_else(|| Error {
+                            kind: ErrorKind::InvalidValue,
+                            message: format!("a value is required for '--{name}'"),
+                        })?
+                    }
+                };
+                out.values.insert(arg.id.clone(), value);
+                i += 1;
+                continue;
+            }
+            // Not an option: must be a subcommand.
+            if let Some(sub) = self.subcommands.iter().find(|c| c.name == *token) {
+                let mut sub_matches = ArgMatches::default();
+                let inherited_len = inherited.len();
+                inherited.extend(self.args.iter().filter(|a| a.global).cloned());
+                let result = sub.parse_into(argv, i + 1, inherited, &mut sub_matches);
+                inherited.truncate(inherited_len);
+                result?;
+                // Values of global (inherited) options set after the subcommand are
+                // visible from the parent matches too.
+                for (k, v) in &sub_matches.values {
+                    if !out.values.contains_key(k) {
+                        out.values.insert(k.clone(), v.clone());
+                    }
+                }
+                out.subcommand = Some(Box::new((sub.name.clone(), sub_matches)));
+                return self.apply_defaults(out);
+            }
+            return Err(Error {
+                kind: ErrorKind::InvalidValue,
+                message: format!(
+                    "unrecognized subcommand or argument '{token}'\n\n{}",
+                    self.render_usage()
+                ),
+            });
+        }
+        if self.subcommand_required && out.subcommand.is_none() {
+            return Err(Error {
+                kind: ErrorKind::InvalidValue,
+                message: format!("a subcommand is required\n\n{}", self.render_usage()),
+            });
+        }
+        self.apply_defaults(out)
+    }
+
+    fn apply_defaults(&self, out: &mut ArgMatches) -> Result<(), Error> {
+        for arg in &self.args {
+            if let Some(default) = &arg.default_value {
+                out.values.entry(arg.id.clone()).or_insert_with(|| default.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn render_usage(&self) -> String {
+        let mut usage = format!("Usage: {}", self.name);
+        if !self.args.is_empty() {
+            usage.push_str(" [OPTIONS]");
+        }
+        if !self.subcommands.is_empty() {
+            usage.push_str(if self.subcommand_required { " <COMMAND>" } else { " [COMMAND]" });
+        }
+        usage
+    }
+
+    /// Renders the help text.
+    pub fn render_help(&self) -> String {
+        let mut help = String::new();
+        if !self.about.is_empty() {
+            help.push_str(&self.about);
+            help.push_str("\n\n");
+        }
+        help.push_str(&self.render_usage());
+        if !self.subcommands.is_empty() {
+            help.push_str("\n\nCommands:\n");
+            for sub in &self.subcommands {
+                help.push_str(&format!("  {:<16} {}\n", sub.name, sub.about));
+            }
+        }
+        if !self.args.is_empty() {
+            help.push_str("\nOptions:\n");
+            for arg in &self.args {
+                let value_name = arg
+                    .value_name
+                    .clone()
+                    .unwrap_or_else(|| arg.id.to_uppercase().replace('-', "_"));
+                let mut line = format!("      --{} <{}>", arg.long_name(), value_name);
+                if let Some(d) = &arg.default_value {
+                    line.push_str(&format!(" (default: {d})"));
+                }
+                help.push_str(&format!("  {line:<44} {}\n", arg.help));
+            }
+        }
+        help.push_str("      -h, --help  Print help\n");
+        help
+    }
+}
+
+/// The result of parsing a command line.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMatches {
+    values: BTreeMap<String, String>,
+    subcommand: Option<Box<(String, ArgMatches)>>,
+}
+
+impl ArgMatches {
+    /// Returns the value of option `id`, parsed into `T`.  `None` when the option
+    /// was not given and has no default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw value does not parse as `T` — callers wanting a clean
+    /// diagnostic should fetch a `String` and parse it themselves.
+    pub fn get_one<T>(&self, id: &str) -> Option<T>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        self.values.get(id).map(|raw| match raw.parse() {
+            Ok(v) => v,
+            Err(e) => panic!("invalid value '{raw}' for '--{id}': {e}"),
+        })
+    }
+
+    /// The chosen subcommand, if any.
+    pub fn subcommand(&self) -> Option<(&str, &ArgMatches)> {
+        self.subcommand.as_deref().map(|(name, m)| (name.as_str(), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli() -> Command {
+        Command::new("app")
+            .about("test app")
+            .arg(Arg::new("size").long("size").default_value("10").global(true))
+            .arg(Arg::new("mode").long("mode").global(true))
+            .subcommand(Command::new("run").about("run it"))
+            .subcommand(Command::new("list").arg(Arg::new("filter").long("filter")))
+    }
+
+    fn parse(argv: &[&str]) -> Result<ArgMatches, Error> {
+        cli().try_get_matches_from(std::iter::once("app").chain(argv.iter().copied()))
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let m = parse(&[]).unwrap();
+        assert_eq!(m.get_one::<usize>("size"), Some(10));
+        assert_eq!(m.get_one::<String>("mode"), None);
+        assert!(m.subcommand().is_none());
+    }
+
+    #[test]
+    fn values_parse_with_space_and_equals() {
+        let m = parse(&["--size", "42"]).unwrap();
+        assert_eq!(m.get_one::<usize>("size"), Some(42));
+        let m = parse(&["--size=7"]).unwrap();
+        assert_eq!(m.get_one::<usize>("size"), Some(7));
+    }
+
+    #[test]
+    fn subcommands_are_recognized() {
+        let m = parse(&["run"]).unwrap();
+        assert_eq!(m.subcommand().map(|(n, _)| n), Some("run"));
+        let m = parse(&["list", "--filter", "x"]).unwrap();
+        let (name, sub) = m.subcommand().unwrap();
+        assert_eq!(name, "list");
+        assert_eq!(sub.get_one::<String>("filter"), Some(String::from("x")));
+    }
+
+    #[test]
+    fn global_options_work_after_the_subcommand() {
+        let m = parse(&["run", "--size", "99", "--mode", "fast"]).unwrap();
+        assert_eq!(m.get_one::<usize>("size"), Some(99));
+        assert_eq!(m.get_one::<String>("mode"), Some(String::from("fast")));
+        assert_eq!(m.subcommand().map(|(n, _)| n), Some("run"));
+    }
+
+    #[test]
+    fn pre_subcommand_value_wins_over_post() {
+        let m = parse(&["--size", "1", "run", "--size", "2"]).unwrap();
+        // The explicitly-set parent value is not overwritten by the merge-up.
+        assert_eq!(m.get_one::<usize>("size"), Some(1));
+    }
+
+    #[test]
+    fn unknown_arguments_and_subcommands_error() {
+        assert!(matches!(parse(&["--nope"]), Err(e) if e.kind() == ErrorKind::InvalidValue));
+        assert!(matches!(parse(&["zap"]), Err(e) if e.kind() == ErrorKind::InvalidValue));
+        assert!(matches!(parse(&["--size"]), Err(e) if e.kind() == ErrorKind::InvalidValue));
+        // Non-global subcommand args are not visible at the top level.
+        assert!(matches!(parse(&["--filter", "x"]), Err(e) if e.kind() == ErrorKind::InvalidValue));
+    }
+
+    #[test]
+    fn help_is_reported_as_display_help() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::DisplayHelp);
+        let text = err.to_string();
+        assert!(text.contains("test app"));
+        assert!(text.contains("--size"));
+        assert!(text.contains("run"));
+    }
+
+    #[test]
+    fn required_subcommand_is_enforced() {
+        let cmd = Command::new("app").subcommand_required(true).subcommand(Command::new("go"));
+        let err = cmd.clone().try_get_matches_from(["app"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidValue);
+        assert!(cmd.try_get_matches_from(["app", "go"]).is_ok());
+    }
+}

@@ -1,0 +1,92 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides the one
+//! API the workspace uses — [`thread::scope`] with scoped [`thread::Scope::spawn`] —
+//! implemented on top of `std::thread::scope`.  As in crossbeam, `scope` returns
+//! `Err` when any spawned thread panicked instead of unwinding through the caller.
+
+pub mod thread {
+    //! Scoped threads, crossbeam-style.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle: threads spawned through it may borrow from the enclosing
+    /// stack frame and are joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.  The closure receives the scope again so it can
+        /// spawn nested work, exactly like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed threads can be spawned; all spawned
+    /// threads are joined before this returns.  Returns `Err` with the panic payload
+    /// if `f` or any un-joined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let mut out = vec![0u64; 4];
+            scope(|s| {
+                for (slot, &x) in out.iter_mut().zip(&data) {
+                    s.spawn(move |_| *slot = x * 10);
+                }
+            })
+            .unwrap();
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+
+        #[test]
+        fn panicking_worker_surfaces_as_err() {
+            let r = scope(|s| {
+                s.spawn(|_| panic!("worker down"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_the_closure_scope() {
+            let mut a = 0;
+            let mut b = 0;
+            scope(|s| {
+                let (ra, rb) = (&mut a, &mut b);
+                s.spawn(move |inner| {
+                    *ra = 1;
+                    inner.spawn(move |_| *rb = 2);
+                });
+            })
+            .unwrap();
+            assert_eq!((a, b), (1, 2));
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides the
+//! subset of proptest the workspace's property tests use: the [`proptest!`] macro
+//! with an optional `#![proptest_config(...)]` header, range / tuple /
+//! [`collection::vec`] strategies, and the `prop_assert!`, `prop_assert_eq!` and
+//! `prop_assume!` macros.  Cases are generated from a deterministic per-test RNG;
+//! there is no shrinking — a failing case reports its inputs instead.
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform};
+
+/// Generation strategies: deterministic random value sources.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + std::fmt::Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A / 0);
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+    (A / 0, B / 1, C / 2, D / 3, E / 4);
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+}
+
+/// A strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-running machinery used by the [`crate::proptest!`] macro.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Test-run configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject(String),
+        /// `prop_assert!` failed: the property is violated.
+        Fail(String),
+    }
+
+    /// Result of one case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runs `cases` successful executions of `case`, feeding it a deterministic
+    /// RNG derived from `test_name`.  Panics (failing the `#[test]`) on the first
+    /// property violation, reporting the case number; gives up if too many cases
+    /// in a row are rejected by `prop_assume!`.
+    pub fn run(
+        test_name: &str,
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut SmallRng) -> TestCaseResult,
+    ) {
+        // Stable seed per test name, so failures reproduce across runs.
+        let seed = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut successes = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = u64::from(config.cases) * 20 + 1000;
+        while successes < config.cases {
+            attempts += 1;
+            if attempts > max_attempts {
+                panic!(
+                    "proptest `{test_name}`: too many rejected cases \
+                     ({successes}/{} succeeded after {attempts} attempts)",
+                    config.cases
+                );
+            }
+            match case(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("proptest `{test_name}` failed at case {}: {message}", successes + 1)
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test, reporting the formatted message on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{} ({:?} != {:?})", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (it does not count towards the target number of
+/// cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...) { body }`
+/// becomes a normal `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                let inputs =
+                    [$(format!("{} = {:?}", stringify!($arg), &$arg)),+].join(", ");
+                let case = || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                case().map_err(|e| match e {
+                    $crate::test_runner::TestCaseError::Fail(m) => {
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "{m}\n  inputs: {inputs}"
+                        ))
+                    }
+                    reject => reject,
+                })
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn tuples_and_vecs_generate(v in crate::collection::vec((0u32..12, 1u32..10), 1..24)) {
+            prop_assert!(!v.is_empty() && v.len() < 24);
+            for &(a, b) in &v {
+                prop_assert!(a < 12);
+                prop_assert!((1..10).contains(&b));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run("always_fails", &ProptestConfig::with_cases(5), |_rng| {
+                Err(TestCaseError::Fail(String::from("boom")))
+            });
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("always_fails"), "{message}");
+        assert!(message.contains("boom"), "{message}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let strat = (0u32..1000, 0u32..1000);
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! simplified serde: instead of upstream's visitor-based `Serializer` /
+//! `Deserializer` pair, [`Serialize`] lowers values into a self-describing
+//! [`Value`] tree and [`Deserialize`] rebuilds them from it.  Formats (here:
+//! `serde_json`) work on `Value`.  The `#[derive(Serialize, Deserialize)]` macros
+//! re-exported from `serde_derive` cover plain structs with named fields, which is
+//! all the workspace's experiment row types need.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// A self-describing data-model value — the pivot between typed Rust data and
+/// formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing `Option`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (order preserved for stable output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds a value of this type from the data model.
+    fn deserialize(v: &Value) -> Result<Self, de::Error>;
+
+    /// Called for struct fields absent from the input; overridden by `Option` to
+    /// default to `None`, every other type reports a missing field.
+    fn deserialize_missing(field: &str) -> Result<Self, de::Error> {
+        Err(de::Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for the primitives the workspace uses.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(narrow) => Value::Int(narrow),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, de::Error> {
+                let err = || de::Error::unexpected(stringify!($t), v);
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| err()),
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| err()),
+                    other => Err(de::Error::unexpected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(de::Error::unexpected("f64", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing(_field: &str) -> Result<Self, de::Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(de::Error::unexpected("array", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert_eq!(usize::deserialize(&9usize.serialize()).unwrap(), 9);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(String::deserialize(&String::from("hi").serialize()).unwrap(), "hi");
+        assert_eq!(Vec::<u64>::deserialize(&vec![1u64, 2].serialize()).unwrap(), vec![1, 2]);
+        assert_eq!(Option::<f64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<f64>::deserialize(&2.0f64.serialize()).unwrap(), Some(2.0));
+    }
+
+    #[test]
+    fn large_u64_uses_uint_and_round_trips() {
+        let big = u64::MAX - 3;
+        let v = big.serialize();
+        assert_eq!(v, Value::UInt(big));
+        assert_eq!(u64::deserialize(&v).unwrap(), big);
+        assert!(u32::deserialize(&v).is_err());
+    }
+
+    #[test]
+    fn object_lookup_and_type_errors() {
+        let v = Value::Object(vec![(String::from("a"), Value::Int(1))]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), None);
+        assert!(bool::deserialize(&v).is_err());
+        assert!(String::deserialize(&Value::Int(3)).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline).  Supports the shapes the workspace uses: non-generic
+//! structs with named fields, and C-like (unit-variant) enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The pieces of a type definition the derives need.
+enum Input {
+    /// Struct name + named field identifiers.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum name + unit variant identifiers.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses `input` far enough to find the type name and its named fields or unit
+/// variants.  Panics (compile error) on unsupported shapes.
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility to the `struct` / `enum` keyword.
+    let mut is_enum = false;
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => continue,
+            None => panic!("serde derive: expected `struct` or `enum`"),
+        }
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+
+    // The body is the next brace group; generics are not supported.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive: generic types are not supported by the vendored stub")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde derive: tuple/unit structs are not supported by the vendored stub")
+            }
+            Some(_) => continue,
+            None => panic!("serde derive: expected a braced body"),
+        }
+    };
+
+    if is_enum {
+        Input::Enum { name, variants: parse_variants(body.stream()) }
+    } else {
+        Input::Struct { name, fields: parse_fields(body.stream()) }
+    }
+}
+
+/// Extracts the field names from the brace group of a named-field struct.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Per field: attributes, optional visibility, `name : type`.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // `pub(crate)` carries a parenthesised group.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde derive: unexpected token {other:?} in struct body"),
+                None => return fields,
+            }
+        };
+        fields.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma (angle brackets are plain
+        // puncts in token streams, so track their depth explicitly).
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => continue,
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Extracts the variant names from the brace group of a C-like enum.
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // attribute group
+            }
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                // Only unit variants are supported: next must be `,` or the end.
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    None => break,
+                    Some(other) => {
+                        panic!("serde derive: only unit enum variants are supported, got {other:?}")
+                    }
+                }
+            }
+            Some(other) => panic!("serde derive: unexpected token {other:?} in enum body"),
+            None => break,
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(entries, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         let entries = v.as_object().ok_or_else(|| \
+                             ::serde::de::Error::unexpected(\"object ({name})\", v))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::de::Error::custom(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::de::Error::unexpected(\"string ({name})\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("serde derive: generated invalid Deserialize impl")
+}
