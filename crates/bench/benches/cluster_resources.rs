@@ -4,15 +4,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::cluster_resources_experiment;
+use vliw_core::Session;
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
+    // A fresh session per iteration keeps the measurement cache-cold (the session
+    // memoizes compilations, so reusing one would time pure cache hits).
     let mut group = c.benchmark_group("cluster_resources");
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(3));
     group.bench_function("queue_demand_4_5_6_clusters", |b| {
-        b.iter(|| cluster_resources_experiment(&cfg, &[4, 5, 6]))
+        b.iter(|| cluster_resources_experiment(&Session::new(cfg.clone()), &[4, 5, 6]))
     });
     group.finish();
 }

@@ -4,15 +4,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::copy_cost_experiment;
+use vliw_core::Session;
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
+    // A fresh session per iteration keeps the measurement cache-cold (the session
+    // memoizes compilations, so reusing one would time pure cache hits).
     let mut group = c.benchmark_group("copy_cost");
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(3));
     group.bench_function("copy_insertion_cost_4_6_12_fus", |b| {
-        b.iter(|| copy_cost_experiment(&cfg))
+        b.iter(|| copy_cost_experiment(&Session::new(cfg.clone())))
     });
     group.finish();
 }

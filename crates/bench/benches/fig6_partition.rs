@@ -4,18 +4,21 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::fig6::fig6_experiment_for;
+use vliw_core::Session;
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
+    // A fresh session per iteration keeps the measurement cache-cold (the session
+    // memoizes compilations, so reusing one would time pure cache hits).
     let mut group = c.benchmark_group("fig6_partition");
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(3));
     group.bench_function("partition_vs_single_cluster_4_clusters", |b| {
-        b.iter(|| fig6_experiment_for(&cfg, &[4]))
+        b.iter(|| fig6_experiment_for(&Session::new(cfg.clone()), &[4]))
     });
     group.bench_function("partition_vs_single_cluster_6_clusters", |b| {
-        b.iter(|| fig6_experiment_for(&cfg, &[6]))
+        b.iter(|| fig6_experiment_for(&Session::new(cfg.clone()), &[6]))
     });
     group.finish();
 }

@@ -4,15 +4,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use vliw_bench::bench_config;
 use vliw_core::experiments::ipc::ipc_curves;
+use vliw_core::Session;
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
+    // A fresh session per iteration keeps the measurement cache-cold (the session
+    // memoizes compilations, so reusing one would time pure cache hits).
     let mut group = c.benchmark_group("fig9_ipc_constrained");
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(3));
     group.bench_function("ipc_resource_constrained_4_12_18_fus", |b| {
-        b.iter(|| ipc_curves(&cfg, &[4, 12, 18], true))
+        b.iter(|| ipc_curves(&Session::new(cfg.clone()), &[4, 12, 18], true))
     });
     group.finish();
 }

@@ -3,10 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use vliw_bench::bench_config;
+use vliw_core::pipeline::CompilerConfig;
 use vliw_core::qrf::{allocate_queues, insert_copies, use_lifetimes};
 use vliw_core::sched::{mii, modulo_schedule, ImsOptions};
 use vliw_core::unroll::unroll_ddg;
-use vliw_core::{kernels, partition_schedule, LatencyModel, Machine, PartitionOptions};
+use vliw_core::{kernels, partition_schedule, LatencyModel, Machine, PartitionOptions, Session};
 
 fn bench_ims(c: &mut Criterion) {
     let lat = LatencyModel::default();
@@ -65,5 +67,31 @@ fn bench_qrf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ims, bench_partition, bench_qrf);
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    // Cold: one compilation per loop through the memo store (fresh session each
+    // iteration).  The delta against `modulo_schedule` above is the session's
+    // bookkeeping overhead.
+    group.bench_function("compile_corpus_cold", |b| {
+        b.iter(|| {
+            let session = Session::new(bench_config());
+            let compiler =
+                session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+            session.sweep(|i, _| compiler.compile(i).is_ok())
+        })
+    });
+    // Warm: every request is a cache hit — the per-request cost of the store's
+    // lock-free fast path.
+    let session = Session::new(bench_config());
+    let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+    session.sweep(|i, _| compiler.compile(i).is_ok());
+    group.bench_function("compile_corpus_warm", |b| {
+        b.iter(|| session.sweep(|i, _| compiler.compile(i).is_ok()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ims, bench_partition, bench_qrf, bench_session);
 criterion_main!(benches);

@@ -13,10 +13,18 @@
 //! EXPERIMENTS.md next to the numbers reported by the paper; the JSON format is
 //! what CI's bench-smoke job archives and what `baselines/figures_small.json`
 //! pins.
+//!
+//! All selected experiments run through one shared compilation session, so
+//! overlapping sweep points compile once.  The session's cache statistics
+//! (`compilations`, `hits`, `unique_keys`) are reported as a trailing section in
+//! text mode and as a one-line JSON object on **stderr** in JSON mode — stdout
+//! stays byte-identical to the baseline report, so redirecting it still produces
+//! a valid `FiguresReport` document.
 
 use std::process::ExitCode;
 
-use vliw_bench::{cli, render_text, run_experiments, OutputFormat};
+use vliw_bench::{cli, render_stats, render_text, run_experiments_in, OutputFormat};
+use vliw_core::Session;
 
 fn main() -> ExitCode {
     let matches = cli::command().get_matches();
@@ -28,23 +36,36 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = run_experiments(selection, &run);
+    let session = Session::new(run.experiment_config());
+    let report = run_experiments_in(&session, selection);
+    let stats = session.stats();
     match run.format {
-        OutputFormat::Json => match serde_json::to_string_pretty(&report) {
-            Ok(json) => println!("{json}"),
-            Err(e) => {
-                eprintln!("error: failed to serialize the report: {e}");
-                return ExitCode::FAILURE;
+        OutputFormat::Json => {
+            match serde_json::to_string_pretty(&report) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("error: failed to serialize the report: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+            match serde_json::to_string(&stats) {
+                Ok(json) => eprintln!("{json}"),
+                Err(e) => {
+                    eprintln!("error: failed to serialize the cache stats: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         OutputFormat::Text => {
             println!(
                 "# Reproduction run: {} loops, seed {}, {} threads\n",
-                run.corpus_size,
-                run.seed,
-                run.experiment_config().threads
+                report.corpus_size,
+                report.seed,
+                session.threads()
             );
             print!("{}", render_text(&report));
+            println!();
+            print!("{}", render_stats(&stats));
         }
     }
     ExitCode::SUCCESS

@@ -11,6 +11,12 @@
 //!   `baselines/figures_small.json`;
 //! * `cargo bench -p vliw-bench` times each experiment driver and the individual
 //!   scheduler passes.
+//!
+//! All experiments run through one shared [`Session`] per invocation: the corpus
+//! is generated once, overlapping sweep points across drivers compile once, and
+//! the CLI reports the session's cache statistics (stdout in text mode, a small
+//! JSON object on stderr in JSON mode — stdout stays byte-identical to the
+//! baseline format).
 
 pub mod cli;
 
@@ -21,6 +27,7 @@ use vliw_core::experiments::{
     ExperimentConfig, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint,
 };
 use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources};
+use vliw_core::session::{Session, SessionStats};
 
 /// Corpus size used by the Criterion benches and the CI bench-smoke run.
 ///
@@ -168,22 +175,41 @@ pub struct FiguresReport {
     pub fig9_ipc: Option<Vec<IpcCurvePoint>>,
 }
 
-/// Runs the selected experiments.
-pub fn run_experiments(selection: Selection, run: &RunConfig) -> FiguresReport {
-    let cfg = run.experiment_config();
+/// Runs the selected experiments over a shared compilation session.
+///
+/// The corpus is generated once (by the session), identical sweep points across
+/// drivers compile once, and `session.stats()` afterwards tells how much work the
+/// cache shared — the `figures` CLI reports those numbers.
+pub fn run_experiments_in(session: &Session, selection: Selection) -> FiguresReport {
     FiguresReport {
-        corpus_size: run.corpus_size,
-        seed: run.seed,
-        fig3: selection.runs(Selection::Fig3).then(|| fig3_experiment(&cfg)),
-        copy_cost: selection.runs(Selection::CopyCost).then(|| copy_cost_experiment(&cfg)),
-        fig4: selection.runs(Selection::Fig4).then(|| fig4_experiment(&cfg)),
-        fig6: selection.runs(Selection::Fig6).then(|| fig6_experiment(&cfg)),
+        corpus_size: session.config().corpus.num_loops,
+        seed: session.config().corpus.seed,
+        fig3: selection.runs(Selection::Fig3).then(|| fig3_experiment(session)),
+        copy_cost: selection.runs(Selection::CopyCost).then(|| copy_cost_experiment(session)),
+        fig4: selection.runs(Selection::Fig4).then(|| fig4_experiment(session)),
+        fig6: selection.runs(Selection::Fig6).then(|| fig6_experiment(session)),
         cluster_resources: selection
             .runs(Selection::Resources)
-            .then(|| cluster_resources_experiment(&cfg, &RESOURCE_CLUSTER_COUNTS)),
-        fig8_ipc: selection.runs(Selection::Ipc).then(|| fig8_experiment(&cfg)),
-        fig9_ipc: selection.runs(Selection::Ipc).then(|| fig9_experiment(&cfg)),
+            .then(|| cluster_resources_experiment(session, &RESOURCE_CLUSTER_COUNTS)),
+        fig8_ipc: selection.runs(Selection::Ipc).then(|| fig8_experiment(session)),
+        fig9_ipc: selection.runs(Selection::Ipc).then(|| fig9_experiment(session)),
     }
+}
+
+/// Runs the selected experiments in a fresh session, discarding the cache
+/// statistics.  Convenience wrapper for callers that only need the report (the
+/// golden-baseline test, library users).
+pub fn run_experiments(selection: Selection, run: &RunConfig) -> FiguresReport {
+    run_experiments_in(&Session::new(run.experiment_config()), selection)
+}
+
+/// Renders session cache statistics in the text-output format.
+pub fn render_stats(stats: &SessionStats) -> String {
+    format!(
+        "## Compilation-session cache\n\n\
+         compilations = {}\ncache hits   = {}\nunique keys  = {}\n",
+        stats.compilations, stats.hits, stats.unique_keys
+    )
 }
 
 /// Renders a report in the human-readable EXPERIMENTS.md format.
@@ -280,6 +306,71 @@ mod tests {
         let text = render_text(&report);
         assert!(text.contains("Fig. 4"));
         assert!(!text.contains("Fig. 3"));
+    }
+
+    #[test]
+    fn all_run_shares_work_across_drivers() {
+        // The acceptance bar of the session layer: `all` in one session performs
+        // strictly fewer compilations than the individual subcommands summed, the
+        // cache reports hits, and the report is identical either way.
+        let run =
+            RunConfig { corpus_size: 10, seed: 5, threads: Some(2), format: OutputFormat::Json };
+        let singles = [
+            Selection::Fig3,
+            Selection::CopyCost,
+            Selection::Fig4,
+            Selection::Fig6,
+            Selection::Resources,
+            Selection::Ipc,
+        ];
+        let mut sum_of_singles = 0;
+        let mut merged = FiguresReport {
+            corpus_size: run.corpus_size,
+            seed: run.seed,
+            fig3: None,
+            copy_cost: None,
+            fig4: None,
+            fig6: None,
+            cluster_resources: None,
+            fig8_ipc: None,
+            fig9_ipc: None,
+        };
+        for selection in singles {
+            let session = Session::new(run.experiment_config());
+            let report = run_experiments_in(&session, selection);
+            sum_of_singles += session.stats().compilations;
+            match selection {
+                Selection::Fig3 => merged.fig3 = report.fig3,
+                Selection::CopyCost => merged.copy_cost = report.copy_cost,
+                Selection::Fig4 => merged.fig4 = report.fig4,
+                Selection::Fig6 => merged.fig6 = report.fig6,
+                Selection::Resources => merged.cluster_resources = report.cluster_resources,
+                Selection::Ipc => {
+                    merged.fig8_ipc = report.fig8_ipc;
+                    merged.fig9_ipc = report.fig9_ipc;
+                }
+                Selection::All => unreachable!(),
+            }
+        }
+
+        let session = Session::new(run.experiment_config());
+        let all = run_experiments_in(&session, Selection::All);
+        let stats = session.stats();
+        assert!(
+            stats.compilations < sum_of_singles,
+            "all-run compiled {} times, the subcommands summed to {sum_of_singles}",
+            stats.compilations
+        );
+        assert!(stats.hits > 0, "the all run must share sweep points across drivers");
+        assert_eq!(all, merged, "sharing the session must not change any figure");
+    }
+
+    #[test]
+    fn render_stats_mentions_every_counter() {
+        let s =
+            render_stats(&vliw_core::SessionStats { compilations: 12, hits: 34, unique_keys: 5 });
+        assert!(s.contains("12") && s.contains("34") && s.contains('5'));
+        assert!(s.contains("Compilation-session cache"));
     }
 
     #[test]

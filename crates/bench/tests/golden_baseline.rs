@@ -12,7 +12,8 @@
 
 use std::path::PathBuf;
 
-use vliw_bench::{run_experiments, FiguresReport, OutputFormat, RunConfig, Selection};
+use vliw_bench::{run_experiments_in, FiguresReport, OutputFormat, RunConfig, Selection};
+use vliw_core::Session;
 
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines/figures_small.json")
@@ -51,7 +52,14 @@ fn rerun_matches_the_golden_baseline() {
         threads: None, // results are thread-count independent
         format: OutputFormat::Json,
     };
-    let report = run_experiments(Selection::All, &run);
+    let session = Session::new(run.experiment_config());
+    let report = run_experiments_in(&session, Selection::All);
+
+    // The shared compilation session must not change the figures — and it must
+    // actually share: every driver overlap is served from the cache.
+    let stats = session.stats();
+    assert!(stats.hits > 0, "the all-run must hit the session cache");
+    assert!(stats.unique_keys > 0);
 
     // Piecewise comparison first, for a readable diff when a figure regresses.
     assert_eq!(report.fig3, baseline.fig3, "Fig. 3 rows diverged from the baseline");

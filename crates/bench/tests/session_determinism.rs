@@ -1,0 +1,46 @@
+//! Determinism gate of the session layer: the same seed must produce the same
+//! `FiguresReport` — and the same cache statistics — regardless of the worker
+//! thread count, so the work-stealing executor and the memo store cannot leak
+//! scheduling nondeterminism into the reproduced figures.  CI enforces the same
+//! property end-to-end by diffing two `figures all --format json` runs.
+
+use vliw_bench::{run_experiments_in, OutputFormat, RunConfig, Selection};
+use vliw_core::Session;
+
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        let run = RunConfig {
+            corpus_size: 12,
+            seed: 19980330,
+            threads: Some(threads),
+            format: OutputFormat::Json,
+        };
+        let session = Session::new(run.experiment_config());
+        let report = run_experiments_in(&session, Selection::All);
+        let stats = session.stats();
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match &reference {
+            None => reference = Some((report, stats, json)),
+            Some((ref_report, ref_stats, ref_json)) => {
+                assert_eq!(&report, ref_report, "report diverged at {threads} threads");
+                assert_eq!(
+                    &stats, ref_stats,
+                    "cache statistics diverged at {threads} threads (the hit/miss \
+                     accounting must be schedule-independent)"
+                );
+                assert_eq!(&json, ref_json, "serialized JSON diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn two_sessions_over_the_same_seed_agree() {
+    let run = RunConfig { corpus_size: 10, seed: 7, threads: Some(3), format: OutputFormat::Json };
+    let a = Session::new(run.experiment_config());
+    let b = Session::new(run.experiment_config());
+    assert_eq!(run_experiments_in(&a, Selection::All), run_experiments_in(&b, Selection::All));
+    assert_eq!(a.stats(), b.stats());
+}

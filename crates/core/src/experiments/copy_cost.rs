@@ -4,14 +4,16 @@
 //! keep the same II (the kernel runs at full speed), the stage count is unchanged
 //! for most loops, and the remaining loops pay a small II increase.  This driver
 //! schedules every loop twice — without copies (the "basic configuration") and with
-//! copies — on the same machine and compares II and stage count.
+//! copies — on the same machine and compares II and stage count.  Both sweep points
+//! are shared with Fig. 3 through the session cache, so in a `figures all` run this
+//! driver compiles nothing.
 
 use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, pct, TextTable};
 use vliw_machine::Machine;
 
-use crate::experiments::{fig3::copy_units_for, par_map, ExperimentConfig};
-use crate::pipeline::{Compiler, CompilerConfig};
+use crate::pipeline::CompilerConfig;
+use crate::session::Session;
 
 /// Per-machine summary of the copy-insertion cost.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,17 +38,16 @@ pub struct CopyCostRow {
 type CopySample = (u32, u32, u32, u32, usize);
 
 /// Runs the copy-cost experiment on 4/6/12-FU machines.
-pub fn copy_cost_experiment(cfg: &ExperimentConfig) -> Vec<CopyCostRow> {
-    let corpus = cfg.corpus();
+pub fn copy_cost_experiment(session: &Session) -> Vec<CopyCostRow> {
     let mut rows = Vec::new();
     for &fus in &[4usize, 6, 12] {
-        let machine = Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
-        let without = Compiler::new(CompilerConfig::without_copies(machine.clone()).no_unroll());
-        let with = Compiler::new(CompilerConfig::paper_defaults(machine).no_unroll());
-        let pairs: Vec<Option<CopySample>> = par_map(&corpus, cfg.threads, |lp| {
-            let base = without.compile(lp).ok()?;
-            let copied = with.compile(lp).ok()?;
-            Some((base.ii(), copied.ii(), base.stage_count, copied.stage_count, copied.num_copies))
+        let machine = Machine::paper_single(fus);
+        let without = session.compiler(CompilerConfig::without_copies(machine.clone()).no_unroll());
+        let with = session.compiler(CompilerConfig::paper_defaults(machine).no_unroll());
+        let pairs: Vec<Option<CopySample>> = session.sweep(|i, _| {
+            let (base_ii, base_sc) = without.map_ok(i, |c| (c.ii(), c.stage_count))?;
+            let (ii, sc, copies) = with.map_ok(i, |c| (c.ii(), c.stage_count, c.num_copies))?;
+            Some((base_ii, ii, base_sc, sc, copies))
         });
         let ok: Vec<CopySample> = pairs.into_iter().flatten().collect();
         let loops = ok.len();
@@ -95,11 +96,12 @@ pub fn render(rows: &[CopyCostRow]) -> TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::fig3_experiment;
 
     #[test]
     fn copy_insertion_rarely_degrades_the_ii() {
-        let cfg = ExperimentConfig::quick(120, 11);
-        let rows = copy_cost_experiment(&cfg);
+        let session = Session::quick(120, 11);
+        let rows = copy_cost_experiment(&session);
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(r.loops > 0);
@@ -132,8 +134,8 @@ mod tests {
 
     #[test]
     fn wider_machines_absorb_copies_better() {
-        let cfg = ExperimentConfig::quick(100, 23);
-        let rows = copy_cost_experiment(&cfg);
+        let session = Session::quick(100, 23);
+        let rows = copy_cost_experiment(&session);
         let narrow = rows.iter().find(|r| r.fus == 4).unwrap();
         let wide = rows.iter().find(|r| r.fus == 12).unwrap();
         // More copy units and more slack per II row: the wide machine should keep at
@@ -143,9 +145,24 @@ mod tests {
     }
 
     #[test]
+    fn shares_every_sweep_point_with_fig3() {
+        let session = Session::quick(24, 2);
+        fig3_experiment(&session);
+        let before = session.stats();
+        copy_cost_experiment(&session);
+        let after = session.stats();
+        assert_eq!(
+            after.compilations, before.compilations,
+            "copy-cost after fig3 must be a pure cache aggregation"
+        );
+        assert_eq!(after.unique_keys, before.unique_keys);
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
     fn render_contains_percentages() {
-        let cfg = ExperimentConfig::quick(30, 2);
-        let rows = copy_cost_experiment(&cfg);
+        let session = Session::quick(30, 2);
+        let rows = copy_cost_experiment(&session);
         let s = render(&rows).render();
         assert!(s.contains('%'));
         assert_eq!(s.lines().count(), 2 + rows.len());

@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 use vliw_analysis::{pct, CumulativeHistogram, TextTable};
 use vliw_machine::Machine;
 
-use crate::experiments::{par_map, ExperimentConfig};
-use crate::pipeline::{Compiler, CompilerConfig};
+use crate::pipeline::CompilerConfig;
+use crate::session::Session;
 
 /// The queue budgets of Fig. 3's x-axis.
 pub const QUEUE_BUDGETS: [usize; 4] = [4, 8, 16, 32];
@@ -35,21 +35,19 @@ pub struct Fig3Row {
 
 /// Runs the Fig. 3 experiment: queue requirements on 4/6/12-FU machines, with and
 /// without copy operations.
-pub fn fig3_experiment(cfg: &ExperimentConfig) -> Vec<Fig3Row> {
-    let corpus = cfg.corpus();
+pub fn fig3_experiment(session: &Session) -> Vec<Fig3Row> {
     let mut rows = Vec::new();
     for &fus in &[4usize, 6, 12] {
         for &with_copies in &[true, false] {
-            let machine =
-                Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
-            let compiler = if with_copies {
-                Compiler::new(CompilerConfig::paper_defaults(machine).no_unroll())
+            let machine = Machine::paper_single(fus);
+            let config = if with_copies {
+                CompilerConfig::paper_defaults(machine).no_unroll()
             } else {
-                Compiler::new(CompilerConfig::without_copies(machine).no_unroll())
+                CompilerConfig::without_copies(machine).no_unroll()
             };
-            let samples: Vec<Option<usize>> = par_map(&corpus, cfg.threads, |lp| {
-                compiler.compile(lp).ok().map(|c| c.queues_required())
-            });
+            let compiler = session.compiler(config);
+            let samples: Vec<Option<usize>> =
+                session.sweep(|i, _| compiler.map_ok(i, |c| c.queues_required()));
             let ok: Vec<usize> = samples.iter().flatten().copied().collect();
             let unschedulable = samples.len() - ok.len();
             rows.push(Fig3Row {
@@ -61,12 +59,6 @@ pub fn fig3_experiment(cfg: &ExperimentConfig) -> Vec<Fig3Row> {
         }
     }
     rows
-}
-
-/// Number of copy units paired with a machine of `fus` compute units: one per three
-/// compute units (one per paper cluster), at least one.
-pub fn copy_units_for(fus: usize) -> usize {
-    (fus / 3).max(1)
 }
 
 /// Renders the Fig. 3 rows as the table recorded in EXPERIMENTS.md.
@@ -102,8 +94,8 @@ mod tests {
 
     #[test]
     fn fig3_on_a_small_corpus_matches_paper_shape() {
-        let cfg = ExperimentConfig::quick(120, 42);
-        let rows = fig3_experiment(&cfg);
+        let session = Session::quick(120, 42);
+        let rows = fig3_experiment(&session);
         assert_eq!(rows.len(), 6);
         for r in &rows {
             assert_eq!(r.unschedulable, 0, "every loop must schedule ({} FUs)", r.fus);
@@ -118,14 +110,18 @@ mod tests {
             );
             assert!(r.histogram.fraction_within(4) <= r.histogram.fraction_within(32));
         }
+        // Six distinct sweep points, each compiled exactly once per loop.
+        let stats = session.stats();
+        assert_eq!(stats.unique_keys, 6);
+        assert_eq!(stats.compilations, 6 * 120);
     }
 
     #[test]
     fn copies_do_not_blow_up_queue_demand() {
         // The paper: "using copy operations does not increase significantly the
         // number of queues required", especially at 16-32 queues.
-        let cfg = ExperimentConfig::quick(120, 7);
-        let rows = fig3_experiment(&cfg);
+        let session = Session::quick(120, 7);
+        let rows = fig3_experiment(&session);
         for fus in [4usize, 6, 12] {
             let with = rows.iter().find(|r| r.fus == fus && r.with_copies).unwrap();
             let without = rows.iter().find(|r| r.fus == fus && !r.with_copies).unwrap();
@@ -138,19 +134,26 @@ mod tests {
     }
 
     #[test]
-    fn render_has_one_row_per_configuration() {
-        let cfg = ExperimentConfig::quick(40, 1);
-        let rows = fig3_experiment(&cfg);
-        let table = render(&rows);
-        assert_eq!(table.num_rows(), rows.len());
-        assert!(table.render().contains("FUs"));
+    fn rerunning_in_one_session_is_served_from_the_cache() {
+        let session = Session::quick(20, 42);
+        let first = fig3_experiment(&session);
+        let after_first = session.stats();
+        let second = fig3_experiment(&session);
+        let after_second = session.stats();
+        assert_eq!(first, second, "cached rerun must reproduce the rows");
+        assert_eq!(
+            after_second.compilations, after_first.compilations,
+            "the second run must not compile anything new"
+        );
+        assert!(after_second.hits > after_first.hits);
     }
 
     #[test]
-    fn copy_units_scale_with_width() {
-        assert_eq!(copy_units_for(4), 1);
-        assert_eq!(copy_units_for(6), 2);
-        assert_eq!(copy_units_for(12), 4);
-        assert_eq!(copy_units_for(2), 1);
+    fn render_has_one_row_per_configuration() {
+        let session = Session::quick(40, 1);
+        let rows = fig3_experiment(&session);
+        let table = render(&rows);
+        assert_eq!(table.num_rows(), rows.len());
+        assert!(table.render().contains("FUs"));
     }
 }

@@ -4,15 +4,16 @@
 //! (unroll factor chosen per machine, at most 4) on the same machine and computes
 //! the II speedup `II_original / (II_unrolled / U)`.  The paper reports the fraction
 //! of loops with speedup > 1 for 4-, 6- and 12-FU machines and notes that the stage
-//! count rarely increases.
+//! count rarely increases.  The no-unroll baseline is the same sweep point Fig. 3's
+//! with-copies series compiles, so the session cache serves it for free.
 
 use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, mean, pct, TextTable};
 use vliw_machine::Machine;
 use vliw_unroll::ii_speedup;
 
-use crate::experiments::{fig3::copy_units_for, par_map, ExperimentConfig};
-use crate::pipeline::{Compiler, CompilerConfig};
+use crate::pipeline::CompilerConfig;
+use crate::session::Session;
 
 /// Per-machine summary of the unrolling experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,20 +45,18 @@ struct Sample {
 ///
 /// Copy operations are enabled in both configurations (the unrolling study of the
 /// paper is carried out within the QRF architecture model).
-pub fn fig4_experiment(cfg: &ExperimentConfig) -> Vec<Fig4Row> {
-    let corpus = cfg.corpus();
+pub fn fig4_experiment(session: &Session) -> Vec<Fig4Row> {
     let mut rows = Vec::new();
     for &fus in &[4usize, 6, 12] {
-        let machine = Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
-        let base = Compiler::new(CompilerConfig::paper_defaults(machine.clone()).no_unroll());
-        let unrolled = Compiler::new(CompilerConfig::paper_defaults(machine));
-        let samples: Vec<Option<Sample>> = par_map(&corpus, cfg.threads, |lp| {
-            let b = base.compile(lp).ok()?;
-            let u = unrolled.compile(lp).ok()?;
-            Some(Sample {
-                speedup: ii_speedup(b.ii(), u.ii(), u.unroll_factor),
+        let machine = Machine::paper_single(fus);
+        let base = session.compiler(CompilerConfig::paper_defaults(machine.clone()).no_unroll());
+        let unrolled = session.compiler(CompilerConfig::paper_defaults(machine));
+        let samples: Vec<Option<Sample>> = session.sweep(|i, _| {
+            let (base_ii, stage_before) = base.map_ok(i, |c| (c.ii(), c.stage_count))?;
+            unrolled.map_ok(i, |u| Sample {
+                speedup: ii_speedup(base_ii, u.ii(), u.unroll_factor),
                 factor: u.unroll_factor,
-                stage_before: b.stage_count,
+                stage_before,
                 stage_after: u.stage_count,
             })
         });
@@ -103,8 +102,8 @@ mod tests {
 
     #[test]
     fn a_meaningful_fraction_of_loops_gains_from_unrolling() {
-        let cfg = ExperimentConfig::quick(120, 31);
-        let rows = fig4_experiment(&cfg);
+        let session = Session::quick(120, 31);
+        let rows = fig4_experiment(&session);
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(r.loops > 0);
@@ -128,8 +127,8 @@ mod tests {
     fn wider_machines_benefit_at_least_as_much() {
         // The paper's Fig. 4 shows larger gains on wider machines (more slack to
         // recover).  Allow generous noise tolerance on the small test corpus.
-        let cfg = ExperimentConfig::quick(100, 5);
-        let rows = fig4_experiment(&cfg);
+        let session = Session::quick(100, 5);
+        let rows = fig4_experiment(&session);
         let narrow = rows.iter().find(|r| r.fus == 4).unwrap();
         let wide = rows.iter().find(|r| r.fus == 12).unwrap();
         assert!(wide.speedup_gt_one + 0.15 >= narrow.speedup_gt_one);
@@ -137,8 +136,8 @@ mod tests {
 
     #[test]
     fn render_shape() {
-        let cfg = ExperimentConfig::quick(30, 9);
-        let rows = fig4_experiment(&cfg);
+        let session = Session::quick(30, 9);
+        let rows = fig4_experiment(&session);
         let table = render(&rows);
         assert_eq!(table.num_rows(), 3);
     }

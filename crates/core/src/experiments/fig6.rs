@@ -8,14 +8,15 @@
 //! the inability to move values between non-adjacent clusters.
 //!
 //! As in the paper, loop unrolling and copy insertion are applied in all
-//! configurations.
+//! configurations.  The clustered sweep points are shared with the cluster-resource
+//! and IPC drivers through the session cache.
 
 use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, mean, pct, TextTable};
 use vliw_machine::Machine;
 
-use crate::experiments::{par_map, ExperimentConfig};
-use crate::pipeline::{Compiler, CompilerConfig};
+use crate::pipeline::CompilerConfig;
+use crate::session::Session;
 
 /// Per-cluster-count summary of the partitioning experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,23 +40,22 @@ pub struct Fig6Row {
 }
 
 /// Runs the Fig. 6 experiment for 4, 5 and 6 clusters.
-pub fn fig6_experiment(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
-    fig6_experiment_for(cfg, &[4, 5, 6])
+pub fn fig6_experiment(session: &Session) -> Vec<Fig6Row> {
+    fig6_experiment_for(session, &[4, 5, 6])
 }
 
 /// Runs the Fig. 6 experiment for an arbitrary set of cluster counts.
-pub fn fig6_experiment_for(cfg: &ExperimentConfig, cluster_counts: &[usize]) -> Vec<Fig6Row> {
-    let corpus = cfg.corpus();
+pub fn fig6_experiment_for(session: &Session, cluster_counts: &[usize]) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     for &clusters in cluster_counts {
         let clustered = Machine::paper_clustered(clusters, Default::default());
         let single = Machine::paper_single_cluster_equivalent(clusters, Default::default());
-        let single_compiler = Compiler::new(CompilerConfig::paper_defaults(single));
-        let clustered_compiler = Compiler::new(CompilerConfig::paper_defaults(clustered));
-        let samples: Vec<Option<(u32, u32, u32, u32)>> = par_map(&corpus, cfg.threads, |lp| {
-            let s = single_compiler.compile(lp).ok()?;
-            let c = clustered_compiler.compile(lp).ok()?;
-            Some((s.ii(), c.ii(), s.stage_count, c.stage_count))
+        let single_compiler = session.compiler(CompilerConfig::paper_defaults(single));
+        let clustered_compiler = session.compiler(CompilerConfig::paper_defaults(clustered));
+        let samples: Vec<Option<(u32, u32, u32, u32)>> = session.sweep(|i, _| {
+            let (s_ii, s_sc) = single_compiler.map_ok(i, |c| (c.ii(), c.stage_count))?;
+            let (c_ii, c_sc) = clustered_compiler.map_ok(i, |c| (c.ii(), c.stage_count))?;
+            Some((s_ii, c_ii, s_sc, c_sc))
         });
         let ok: Vec<(u32, u32, u32, u32)> = samples.into_iter().flatten().collect();
         rows.push(Fig6Row {
@@ -107,8 +107,8 @@ mod tests {
 
     #[test]
     fn partitioning_keeps_most_loops_at_the_single_cluster_ii() {
-        let cfg = ExperimentConfig::quick(60, 17);
-        let rows = fig6_experiment_for(&cfg, &[4, 6]);
+        let session = Session::quick(60, 17);
+        let rows = fig6_experiment_for(&session, &[4, 6]);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.loops > 0);
@@ -131,8 +131,8 @@ mod tests {
     fn more_clusters_degrade_the_partitioning() {
         // The paper's central Fig. 6 trend: the same-II fraction decreases as the
         // cluster count grows (95% -> 84% -> 52%).
-        let cfg = ExperimentConfig::quick(60, 29);
-        let rows = fig6_experiment_for(&cfg, &[4, 6]);
+        let session = Session::quick(60, 29);
+        let rows = fig6_experiment_for(&session, &[4, 6]);
         let four = rows.iter().find(|r| r.clusters == 4).unwrap();
         let six = rows.iter().find(|r| r.clusters == 6).unwrap();
         assert!(
@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn render_shape() {
-        let cfg = ExperimentConfig::quick(20, 3);
-        let rows = fig6_experiment_for(&cfg, &[4]);
+        let session = Session::quick(20, 3);
+        let rows = fig6_experiment_for(&session, &[4]);
         let t = render(&rows);
         assert_eq!(t.num_rows(), 1);
         assert!(t.render().contains("clusters"));

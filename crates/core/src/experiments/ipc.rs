@@ -11,14 +11,17 @@
 //!   (Fig. 9);
 //! * clustered machines track their single-cluster equivalents closely at 12 FUs and
 //!   fall behind slightly at 15 and 18 FUs (the partitioning penalty).
+//!
+//! Both figures compile the same sweep points (Fig. 9 is a subset of Fig. 8's
+//! loops), and the clustered points are Fig. 6's, so in a shared session Fig. 9 is
+//! a pure cache aggregation.
 
 use serde::{Deserialize, Serialize};
 use vliw_analysis::{is_resource_constrained, mean, TextTable};
-use vliw_ddg::Loop;
 use vliw_machine::Machine;
 
-use crate::experiments::{fig3::copy_units_for, par_map, ExperimentConfig};
-use crate::pipeline::{Compiler, CompilerConfig};
+use crate::pipeline::CompilerConfig;
+use crate::session::{Session, SessionCompiler};
 
 /// One point of the IPC curves: a machine width with the four IPC series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,32 +45,49 @@ pub struct IpcCurvePoint {
 pub const DEFAULT_WIDTHS: [usize; 9] = [4, 6, 8, 10, 12, 14, 15, 16, 18];
 
 /// Fig. 8: IPC over **all** loops of the corpus.
-pub fn fig8_experiment(cfg: &ExperimentConfig) -> Vec<IpcCurvePoint> {
-    ipc_curves(cfg, &DEFAULT_WIDTHS, false)
+pub fn fig8_experiment(session: &Session) -> Vec<IpcCurvePoint> {
+    ipc_curves(session, &DEFAULT_WIDTHS, false)
 }
 
 /// Fig. 9: IPC over the **resource-constrained** loops only.
-pub fn fig9_experiment(cfg: &ExperimentConfig) -> Vec<IpcCurvePoint> {
-    ipc_curves(cfg, &DEFAULT_WIDTHS, true)
+pub fn fig9_experiment(session: &Session) -> Vec<IpcCurvePoint> {
+    ipc_curves(session, &DEFAULT_WIDTHS, true)
+}
+
+/// Sweeps the eligible loops through `compiler` and collects the IPC pairs of the
+/// loops that scheduled.
+fn ipc_samples(
+    session: &Session,
+    compiler: &SessionCompiler<'_>,
+    indices: &[usize],
+) -> Vec<(f64, f64)> {
+    let samples: Vec<Option<(f64, f64)>> = session.sweep_indices(indices, |i, _| {
+        compiler.map_ok(i, |c| (c.ipc.static_ipc, c.ipc.dynamic_ipc))
+    });
+    samples.into_iter().flatten().collect()
 }
 
 /// Shared implementation of Figs. 8 and 9.
 pub fn ipc_curves(
-    cfg: &ExperimentConfig,
+    session: &Session,
     widths: &[usize],
     resource_constrained_only: bool,
 ) -> Vec<IpcCurvePoint> {
-    let corpus = cfg.corpus();
     let mut points = Vec::new();
     for &fus in widths {
-        let single = Machine::single_cluster(fus, copy_units_for(fus), 1024, Default::default());
+        let single = Machine::paper_single(fus);
         // Fig. 9 filters loops that are resource constrained *on this machine* (the
         // reference machine for the classification is the single-cluster one).
-        let loops: Vec<&Loop> = corpus
+        let indices: Vec<usize> = session
+            .corpus()
             .iter()
-            .filter(|lp| !resource_constrained_only || is_resource_constrained(&lp.ddg, &single))
+            .enumerate()
+            .filter(|(_, lp)| {
+                !resource_constrained_only || is_resource_constrained(&lp.ddg, &single)
+            })
+            .map(|(i, _)| i)
             .collect();
-        if loops.is_empty() {
+        if indices.is_empty() {
             points.push(IpcCurvePoint {
                 fus,
                 static_single: 0.0,
@@ -79,24 +99,15 @@ pub fn ipc_curves(
             continue;
         }
 
-        let single_compiler = Compiler::new(CompilerConfig::paper_defaults(single));
-        let single_ipc: Vec<Option<(f64, f64)>> = par_map(&loops, cfg.threads, |lp| {
-            let c = single_compiler.compile(lp).ok()?;
-            Some((c.ipc.static_ipc, c.ipc.dynamic_ipc))
-        });
-        let single_ok: Vec<(f64, f64)> = single_ipc.into_iter().flatten().collect();
+        let single_compiler = session.compiler(CompilerConfig::paper_defaults(single));
+        let single_ok = ipc_samples(session, &single_compiler, &indices);
 
         // Clustered machines only exist at widths that are multiples of 3 (the basic
         // 3-FU cluster) and of at least 2 clusters.
-        let clustered_ipc = if fus % 3 == 0 && fus >= 6 {
+        let clustered_ok = if fus % 3 == 0 && fus >= 6 {
             let clustered = Machine::paper_clustered(fus / 3, Default::default());
-            let compiler = Compiler::new(CompilerConfig::paper_defaults(clustered));
-            let v: Vec<Option<(f64, f64)>> = par_map(&loops, cfg.threads, |lp| {
-                let c = compiler.compile(lp).ok()?;
-                Some((c.ipc.static_ipc, c.ipc.dynamic_ipc))
-            });
-            let ok: Vec<(f64, f64)> = v.into_iter().flatten().collect();
-            Some(ok)
+            let compiler = session.compiler(CompilerConfig::paper_defaults(clustered));
+            Some(ipc_samples(session, &compiler, &indices))
         } else {
             None
         };
@@ -105,10 +116,10 @@ pub fn ipc_curves(
             fus,
             static_single: mean(&single_ok.iter().map(|p| p.0).collect::<Vec<_>>()),
             dynamic_single: mean(&single_ok.iter().map(|p| p.1).collect::<Vec<_>>()),
-            static_clustered: clustered_ipc
+            static_clustered: clustered_ok
                 .as_ref()
                 .map(|ok| mean(&ok.iter().map(|p| p.0).collect::<Vec<_>>())),
-            dynamic_clustered: clustered_ipc
+            dynamic_clustered: clustered_ok
                 .as_ref()
                 .map(|ok| mean(&ok.iter().map(|p| p.1).collect::<Vec<_>>())),
             loops: single_ok.len(),
@@ -148,8 +159,8 @@ mod tests {
 
     #[test]
     fn ipc_grows_with_machine_width_and_static_dominates_dynamic() {
-        let cfg = ExperimentConfig::quick(60, 37);
-        let points = ipc_curves(&cfg, &[4, 12], false);
+        let session = Session::quick(60, 37);
+        let points = ipc_curves(&session, &[4, 12], false);
         assert_eq!(points.len(), 2);
         for p in &points {
             assert!(p.loops > 0);
@@ -169,8 +180,8 @@ mod tests {
 
     #[test]
     fn clustered_points_exist_only_at_multiples_of_three() {
-        let cfg = ExperimentConfig::quick(30, 41);
-        let points = ipc_curves(&cfg, &[4, 12], false);
+        let session = Session::quick(30, 41);
+        let points = ipc_curves(&session, &[4, 12], false);
         assert!(points[0].static_clustered.is_none());
         assert!(points[1].static_clustered.is_some());
         let clustered = points[1].static_clustered.unwrap();
@@ -182,9 +193,11 @@ mod tests {
 
     #[test]
     fn resource_constrained_subset_scales_better() {
-        let cfg = ExperimentConfig::quick(80, 53);
-        let all = ipc_curves(&cfg, &[12], false);
-        let constrained = ipc_curves(&cfg, &[12], true);
+        let session = Session::quick(80, 53);
+        let all = ipc_curves(&session, &[12], false);
+        let before = session.stats();
+        let constrained = ipc_curves(&session, &[12], true);
+        let after = session.stats();
         assert!(constrained[0].loops <= all[0].loops);
         if constrained[0].loops > 0 {
             assert!(
@@ -192,12 +205,14 @@ mod tests {
                 "the resource-constrained subset should not issue much less"
             );
         }
+        // Fig. 9's loops are a subset of Fig. 8's, so nothing new compiles.
+        assert_eq!(after.compilations, before.compilations);
     }
 
     #[test]
     fn render_uses_dash_for_missing_clustered_points() {
-        let cfg = ExperimentConfig::quick(15, 61);
-        let points = ipc_curves(&cfg, &[4], false);
+        let session = Session::quick(15, 61);
+        let points = ipc_curves(&session, &[4], false);
         let s = render(&points).render();
         assert!(s.contains('-'));
     }

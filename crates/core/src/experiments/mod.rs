@@ -6,6 +6,13 @@
 //! the Criterion benches call these drivers; EXPERIMENTS.md records their output next
 //! to the paper's numbers.
 //!
+//! Every driver takes a shared [`crate::session::Session`] rather than a bare
+//! configuration: the corpus is generated once per session, identical sweep points
+//! are compiled once and served from the memo store afterwards, and sweeps run on
+//! the session's work-stealing executor.  Running several drivers over one session
+//! (as `figures all` does) therefore performs strictly fewer compilations than
+//! running each driver standalone.
+//!
 //! | Driver | Paper artefact |
 //! |---|---|
 //! | [`fig3`] | Fig. 3 — number of queues required (4/6/12 FUs, with copies) |
@@ -32,6 +39,8 @@ pub use resources::{cluster_resources_experiment, ClusterResourcesRow};
 use vliw_ddg::Loop;
 use vliw_loopgen::{generate_corpus, CorpusConfig};
 
+use crate::session::par_map_indexed;
+
 /// Shared configuration of the experiment drivers.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -57,6 +66,10 @@ impl ExperimentConfig {
     }
 
     /// Generates the corpus described by this configuration.
+    ///
+    /// The experiment drivers do **not** call this — they read the corpus a
+    /// [`crate::session::Session`] generated once.  It remains available for
+    /// callers that need a standalone corpus (tests, examples, ad-hoc analyses).
     pub fn corpus(&self) -> Vec<Loop> {
         generate_corpus(&self.corpus)
     }
@@ -71,40 +84,16 @@ pub fn default_threads() -> usize {
 /// Applies `f` to every item of `items`, in parallel over `threads` workers, and
 /// returns the results in input order.
 ///
-/// The implementation uses `crossbeam` scoped threads over disjoint chunks, so `f`
-/// only needs to be `Sync` (no `'static` bound) and no unsafe code is involved.
+/// Thin shim over the session layer's work-stealing executor
+/// ([`crate::session::par_map_indexed`]), kept so existing callers of the old
+/// statically-chunked implementation continue to work unchanged.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk_size = items.len().div_ceil(threads);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-
-    crossbeam::thread::scope(|scope| {
-        let mut remaining: &mut [Option<R>] = &mut results;
-        for (chunk_index, chunk) in items.chunks(chunk_size).enumerate() {
-            let (head, tail) = remaining.split_at_mut(chunk.len());
-            remaining = tail;
-            let f = &f;
-            let base = chunk_index * chunk_size;
-            let _ = base;
-            scope.spawn(move |_| {
-                for (slot, item) in head.iter_mut().zip(chunk.iter()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    par_map_indexed(items.len(), threads, |i| f(&items[i]))
 }
 
 #[cfg(test)]

@@ -4,13 +4,15 @@
 //! communication queues in each direction** suffices for nearly all loops of the
 //! benchmark.  This driver partitions every loop on clustered machines and reports
 //! the fraction of loops that fit those budgets, along with the observed maxima.
+//! The clustered sweep points are identical to Fig. 6's, so after that driver has
+//! run in the same session this one compiles nothing.
 
 use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, pct, TextTable};
 use vliw_machine::Machine;
 
-use crate::experiments::{par_map, ExperimentConfig};
-use crate::pipeline::{Compiler, CompilerConfig};
+use crate::pipeline::CompilerConfig;
+use crate::session::Session;
 
 /// Per-machine summary of the queue-demand analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,24 +43,24 @@ type ResourceSample = (usize, usize, usize, usize, f64);
 /// Runs the cluster-resource experiment for the given cluster counts (the paper's
 /// machines are 4, 5 and 6 clusters).
 pub fn cluster_resources_experiment(
-    cfg: &ExperimentConfig,
+    session: &Session,
     cluster_counts: &[usize],
 ) -> Vec<ClusterResourcesRow> {
-    let corpus = cfg.corpus();
     let mut rows = Vec::new();
     for &clusters in cluster_counts {
         let machine = Machine::paper_clustered(clusters, Default::default());
-        let compiler = Compiler::new(CompilerConfig::paper_defaults(machine));
-        let samples: Vec<Option<ResourceSample>> = par_map(&corpus, cfg.threads, |lp| {
-            let c = compiler.compile(lp).ok()?;
-            let comm = c.comm.expect("clustered machine");
-            Some((
-                comm.max_private_queues_per_cluster,
-                comm.max_comm_queues_per_link,
-                comm.max_private_queue_depth,
-                comm.max_comm_queue_depth,
-                comm.cross_fraction(),
-            ))
+        let compiler = session.compiler(CompilerConfig::paper_defaults(machine));
+        let samples: Vec<Option<ResourceSample>> = session.sweep(|i, _| {
+            compiler.map_ok(i, |c| {
+                let comm = c.comm.as_ref().expect("clustered machine");
+                (
+                    comm.max_private_queues_per_cluster,
+                    comm.max_comm_queues_per_link,
+                    comm.max_private_queue_depth,
+                    comm.max_comm_queue_depth,
+                    comm.cross_fraction(),
+                )
+            })
         });
         let ok: Vec<ResourceSample> = samples.into_iter().flatten().collect();
         rows.push(ClusterResourcesRow {
@@ -111,11 +113,12 @@ pub fn render(rows: &[ClusterResourcesRow]) -> TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::fig6::fig6_experiment_for;
 
     #[test]
     fn paper_cluster_budget_covers_most_loops() {
-        let cfg = ExperimentConfig::quick(60, 13);
-        let rows = cluster_resources_experiment(&cfg, &[4]);
+        let session = Session::quick(60, 13);
+        let rows = cluster_resources_experiment(&session, &[4]);
         assert_eq!(rows.len(), 1);
         let r = &rows[0];
         assert!(r.loops > 0);
@@ -130,9 +133,23 @@ mod tests {
     }
 
     #[test]
+    fn shares_the_clustered_sweep_points_with_fig6() {
+        let session = Session::quick(20, 13);
+        fig6_experiment_for(&session, &[4, 5]);
+        let before = session.stats();
+        cluster_resources_experiment(&session, &[4, 5]);
+        let after = session.stats();
+        assert_eq!(
+            after.compilations, before.compilations,
+            "the resource driver must reuse fig6's clustered compilations"
+        );
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
     fn render_shape() {
-        let cfg = ExperimentConfig::quick(20, 19);
-        let rows = cluster_resources_experiment(&cfg, &[4, 5]);
+        let session = Session::quick(20, 19);
+        let rows = cluster_resources_experiment(&session, &[4, 5]);
         assert_eq!(render(&rows).num_rows(), 2);
     }
 }

@@ -5,6 +5,9 @@
 //!
 //! * the [`Compiler`] pipeline (unroll → copy insertion → modulo scheduling /
 //!   partitioning → queue allocation → analysis) — see [`pipeline`];
+//! * the [`session`] layer — a shared, concurrency-safe compilation session
+//!   (corpus generated once, memoized per-(configuration, loop) artifacts, a
+//!   work-stealing sweep executor) that every experiment driver runs through;
 //! * the [`experiments`] drivers that regenerate every table and figure of the
 //!   paper's evaluation on a synthetic Perfect-Club-like corpus;
 //! * re-exports of all substrate crates under one roof, so applications only need a
@@ -29,8 +32,10 @@
 
 pub mod experiments;
 pub mod pipeline;
+pub mod session;
 
 pub use pipeline::{Compilation, Compiler, CompilerConfig};
+pub use session::{CompilationKey, Session, SessionCompiler, SessionStats};
 
 // Re-export the substrate crates so downstream users (examples, benches, tests) can
 // reach everything through `vliw_core::...`.
@@ -46,7 +51,7 @@ pub use vliw_unroll as unroll;
 // Frequently used items, re-exported flat for convenience.
 pub use vliw_ddg::{kernels, Ddg, DdgBuilder, LatencyModel, Loop, OpClass, OpId, OpKind};
 pub use vliw_loopgen::{generate_corpus, CorpusConfig};
-pub use vliw_machine::{ClusterConfig, ClusterId, FuId, Machine, RingConfig};
+pub use vliw_machine::{copy_units_for, ClusterConfig, ClusterId, FuId, Machine, RingConfig};
 pub use vliw_partition::{partition_schedule, CommStats, PartitionOptions, PartitionResult};
 pub use vliw_qrf::{allocate_queues, insert_copies, q_compatible, use_lifetimes, QueueAllocation};
 pub use vliw_sched::{modulo_schedule, ImsOptions, ImsResult, SchedError, Schedule};

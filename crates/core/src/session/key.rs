@@ -1,0 +1,101 @@
+//! Canonical identity of one compilation configuration.
+//!
+//! Two [`CompilerConfig`]s that cannot produce different output for any loop must
+//! map to the same [`CompilationKey`], so the memo store shares their artifacts.
+//! The key therefore *canonicalises* the configuration: options that the pipeline
+//! never reads for a given machine shape (the IMS options on a clustered machine,
+//! the partitioner options on a single-cluster machine, the unroll cap when
+//! unrolling is off) are reset to fixed values before hashing.
+
+use vliw_machine::Machine;
+use vliw_partition::PartitionOptions;
+use vliw_sched::ImsOptions;
+use vliw_unroll::DEFAULT_MAX_FACTOR;
+
+use crate::pipeline::CompilerConfig;
+
+/// The canonical, hashable identity of a compilation point: machine shape plus
+/// every pipeline option that can influence the produced [`crate::Compilation`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompilationKey {
+    /// Target machine (clusters, functional units, queues, ring, latencies).
+    pub machine: Machine,
+    /// Whether copy insertion runs (Section 2).
+    pub use_copies: bool,
+    /// Whether loop unrolling runs (Section 3).
+    pub unroll: bool,
+    /// Unroll-factor cap; canonicalised to the default when `unroll` is off.
+    pub max_unroll: u32,
+    /// IMS options; canonicalised to the default on clustered machines (the
+    /// pipeline routes those through the partitioner instead).
+    pub sched: ImsOptions,
+    /// Partitioner options; canonicalised to the default on single-cluster
+    /// machines.
+    pub partition: PartitionOptions,
+}
+
+impl CompilationKey {
+    /// Extracts the canonical key of a configuration.
+    pub fn of(config: &CompilerConfig) -> Self {
+        let clustered = config.machine.is_clustered();
+        CompilationKey {
+            machine: config.machine.clone(),
+            use_copies: config.use_copies,
+            unroll: config.unroll,
+            max_unroll: if config.unroll { config.max_unroll } else { DEFAULT_MAX_FACTOR },
+            sched: if clustered { ImsOptions::default() } else { config.sched },
+            partition: if clustered { config.partition } else { PartitionOptions::default() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identical_configs_share_a_key() {
+        let a = CompilerConfig::paper_defaults(Machine::paper_single(6)).no_unroll();
+        let b = CompilerConfig::paper_defaults(Machine::paper_single(6)).no_unroll();
+        assert_eq!(CompilationKey::of(&a), CompilationKey::of(&b));
+    }
+
+    #[test]
+    fn irrelevant_options_are_canonicalised_away() {
+        // Partitioner options cannot matter on a single-cluster machine...
+        let base = CompilerConfig::paper_defaults(Machine::paper_single(6));
+        let mut tweaked = base.clone();
+        tweaked.partition.budget_ratio += 5;
+        assert_eq!(CompilationKey::of(&base), CompilationKey::of(&tweaked));
+
+        // ...and the unroll cap cannot matter when unrolling is off.
+        let mut no_unroll_a = base.clone().no_unroll();
+        let mut no_unroll_b = base.clone().no_unroll();
+        no_unroll_a.max_unroll = 2;
+        no_unroll_b.max_unroll = 8;
+        assert_eq!(CompilationKey::of(&no_unroll_a), CompilationKey::of(&no_unroll_b));
+    }
+
+    #[test]
+    fn behaviour_changing_options_produce_distinct_keys() {
+        let machine = Machine::paper_single(6);
+        let mut keys = HashSet::new();
+        keys.insert(CompilationKey::of(&CompilerConfig::paper_defaults(machine.clone())));
+        keys.insert(CompilationKey::of(
+            &CompilerConfig::paper_defaults(machine.clone()).no_unroll(),
+        ));
+        keys.insert(CompilationKey::of(&CompilerConfig::without_copies(machine.clone())));
+        let mut capped = CompilerConfig::paper_defaults(machine);
+        capped.max_unroll = 2;
+        keys.insert(CompilationKey::of(&capped));
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn different_machines_produce_distinct_keys() {
+        let a = CompilationKey::of(&CompilerConfig::paper_defaults(Machine::paper_single(6)));
+        let b = CompilationKey::of(&CompilerConfig::paper_defaults(Machine::paper_single(12)));
+        assert_ne!(a, b);
+    }
+}

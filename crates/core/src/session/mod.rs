@@ -1,0 +1,233 @@
+//! The shared compilation session: one corpus, one memo store, one executor.
+//!
+//! The paper's evaluation sweeps the *same* corpus through overlapping
+//! (machine, compiler-configuration) points — Fig. 3's 6-FU no-unroll point is
+//! recomputed by the Section-2 copy-cost statistics, the IPC curves re-schedule
+//! Fig. 6's clustered machines, and so on.  A [`Session`] turns the experiment
+//! drivers into cheap aggregations over cached artifacts:
+//!
+//! * the corpus is generated **exactly once** per session and shared immutably;
+//! * every sweep point is interned as a canonical [`CompilationKey`], and each
+//!   (key, loop) pair compiles **at most once** per process, concurrency-safe,
+//!   in a lock-striped memo store ([`store`]);
+//! * sweeps run on a work-stealing executor ([`executor`]) that claims loops from
+//!   an atomic counter, so one pathological loop no longer idles a whole static
+//!   chunk's worth of work.
+//!
+//! ```
+//! use vliw_core::pipeline::CompilerConfig;
+//! use vliw_core::session::Session;
+//! use vliw_core::Machine;
+//!
+//! let session = Session::quick(8, 42);
+//! let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+//! let iis: Vec<Option<u32>> = session.sweep(|i, _| compiler.map_ok(i, |c| c.ii()));
+//! assert_eq!(iis.len(), 8);
+//! // A second sweep over the same point is served entirely from the cache.
+//! let again: Vec<Option<u32>> = session.sweep(|i, _| compiler.map_ok(i, |c| c.ii()));
+//! assert_eq!(iis, again);
+//! assert!(session.stats().hits >= 8);
+//! ```
+
+pub mod executor;
+pub mod key;
+pub mod store;
+
+use std::sync::Arc;
+
+use vliw_ddg::Loop;
+use vliw_loopgen::generate_corpus;
+
+pub use executor::par_map_indexed;
+pub use key::CompilationKey;
+pub use store::{CachedResult, SessionStats};
+
+use crate::experiments::ExperimentConfig;
+use crate::pipeline::{Compilation, Compiler, CompilerConfig};
+use store::{KeyEntry, MemoStore};
+
+/// A shared compilation session over one corpus.
+///
+/// Cheap to share by reference across drivers; all interior state is
+/// concurrency-safe.  See the [module docs](self) for the design.
+pub struct Session {
+    config: ExperimentConfig,
+    corpus: Arc<Vec<Loop>>,
+    store: MemoStore,
+}
+
+impl Session {
+    /// Creates a session, generating the configured corpus exactly once.
+    pub fn new(config: ExperimentConfig) -> Self {
+        let corpus = Arc::new(generate_corpus(&config.corpus));
+        Session { config, corpus, store: MemoStore::new() }
+    }
+
+    /// A session over a reduced corpus, for tests and quick runs (the session
+    /// equivalent of [`ExperimentConfig::quick`]).
+    pub fn quick(num_loops: usize, seed: u64) -> Self {
+        Session::new(ExperimentConfig::quick(num_loops, seed))
+    }
+
+    /// The experiment configuration this session was created from.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The shared corpus.
+    pub fn corpus(&self) -> &[Loop] {
+        &self.corpus
+    }
+
+    /// Number of loops in the corpus.
+    pub fn num_loops(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Worker-thread count of the session's sweeps.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Interns `config` as a sweep point and returns a handle that compiles corpus
+    /// loops through the memo store.  The canonical key is hashed once here, not
+    /// once per loop.
+    pub fn compiler(&self, config: CompilerConfig) -> SessionCompiler<'_> {
+        let key = CompilationKey::of(&config);
+        let entry = self.store.entry(key, self.corpus.len(), || Compiler::new(config));
+        SessionCompiler { session: self, entry }
+    }
+
+    /// Runs `f` over every corpus loop on the work-stealing executor and returns
+    /// the results in corpus order.
+    pub fn sweep<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &Loop) -> R + Sync,
+    {
+        par_map_indexed(self.corpus.len(), self.threads(), |i| f(i, &self.corpus[i]))
+    }
+
+    /// Runs `f` over the corpus loops at `indices` (a filtered subset, e.g. the
+    /// resource-constrained loops of Fig. 9) and returns the results in the order
+    /// of `indices`.
+    pub fn sweep_indices<R, F>(&self, indices: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &Loop) -> R + Sync,
+    {
+        par_map_indexed(indices.len(), self.threads(), |k| {
+            let i = indices[k];
+            f(i, &self.corpus[i])
+        })
+    }
+
+    /// Cache statistics accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        self.store.stats()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("corpus_size", &self.corpus.len())
+            .field("threads", &self.config.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A handle to one interned sweep point of a [`Session`].
+///
+/// Cloneable and `Sync`; compiling through it hits the memo store first.
+#[derive(Clone)]
+pub struct SessionCompiler<'s> {
+    session: &'s Session,
+    entry: Arc<KeyEntry>,
+}
+
+impl SessionCompiler<'_> {
+    /// Compiles the corpus loop at `index`, served from the cache when the
+    /// (key, loop) pair has been compiled before.
+    pub fn compile(&self, index: usize) -> CachedResult {
+        self.entry.compile(index, &self.session.corpus[index], self.session.store.counters())
+    }
+
+    /// Compiles the corpus loop at `index` and applies `f` to the compilation;
+    /// `None` if the loop failed to schedule under this configuration.  The
+    /// convenience form the drivers use to extract their per-loop metrics.
+    pub fn map_ok<R>(&self, index: usize, f: impl FnOnce(&Compilation) -> R) -> Option<R> {
+        self.compile(index).as_ref().as_ref().ok().map(f)
+    }
+
+    /// The configuration this handle compiles with.
+    pub fn config(&self) -> &CompilerConfig {
+        self.entry.compiler().config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::Machine;
+
+    #[test]
+    fn session_generates_the_configured_corpus_once() {
+        let session = Session::quick(9, 5);
+        assert_eq!(session.num_loops(), 9);
+        assert_eq!(session.corpus().len(), 9);
+        // The corpus matches what the config would generate on its own.
+        assert_eq!(session.config().corpus().len(), 9);
+        assert_eq!(session.corpus()[3].name, session.config().corpus()[3].name);
+    }
+
+    #[test]
+    fn equal_configs_share_one_sweep_point() {
+        let session = Session::quick(4, 11);
+        let a = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+        let b = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+        let ra = a.compile(0);
+        let rb = b.compile(0);
+        assert!(Arc::ptr_eq(&ra, &rb), "equal configs must share cached artifacts");
+        let stats = session.stats();
+        assert_eq!(stats.unique_keys, 1);
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn cached_results_equal_fresh_compilation() {
+        let session = Session::quick(6, 23);
+        let config = CompilerConfig::paper_defaults(Machine::paper_single(12));
+        let compiler = session.compiler(config.clone());
+        let fresh = Compiler::new(config);
+        for (i, lp) in session.corpus().iter().enumerate() {
+            let cached = compiler.compile(i);
+            let direct = fresh.compile(lp);
+            match (cached.as_ref(), &direct) {
+                (Ok(c), Ok(d)) => {
+                    assert_eq!(c.ii(), d.ii());
+                    assert_eq!(c.stage_count, d.stage_count);
+                    assert_eq!(c.queues_required(), d.queues_required());
+                }
+                (Err(c), Err(d)) => assert_eq!(c.to_string(), d.to_string()),
+                (c, d) => panic!("cached {c:?} disagrees with fresh {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_indices_respects_the_subset_order() {
+        let session = Session::quick(10, 3);
+        let indices = [7usize, 2, 9];
+        let names: Vec<String> = session.sweep_indices(&indices, |i, lp| {
+            assert_eq!(session.corpus()[i].name, lp.name);
+            lp.name.clone()
+        });
+        assert_eq!(names.len(), 3);
+        assert_eq!(names[0], session.corpus()[7].name);
+        assert_eq!(names[1], session.corpus()[2].name);
+        assert_eq!(names[2], session.corpus()[9].name);
+    }
+}

@@ -1,0 +1,204 @@
+//! The concurrency-safe memo store behind a [`crate::session::Session`].
+//!
+//! The store is two-level.  A lock-striped `CompilationKey -> KeyEntry` map interns
+//! each distinct sweep point exactly once (the stripes keep unrelated keys from
+//! contending on one mutex); each `KeyEntry` then holds one `OnceLock` slot per
+//! corpus loop, so the per-loop fast path — by far the hot one — is a single
+//! lock-free read, and a loop compiles at most once per key no matter how many
+//! drivers or worker threads race for it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+use vliw_ddg::Loop;
+use vliw_sched::SchedError;
+
+use crate::pipeline::{Compilation, Compiler};
+use crate::session::key::CompilationKey;
+
+/// A memoised per-loop outcome: the compilation or the scheduler error, shared.
+pub type CachedResult = Arc<Result<Compilation, SchedError>>;
+
+/// Number of stripes of the key-interning map.  Sweeps use a few tens of keys at
+/// most, so this is about avoiding systematic contention, not about scaling the
+/// map itself.
+const STRIPES: usize = 16;
+
+/// Cache statistics of one session, the proof that the sweep shared work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Number of actual `Compiler::compile` invocations (cache misses).
+    pub compilations: u64,
+    /// Number of requests served from an already-compiled slot.
+    pub hits: u64,
+    /// Number of distinct compilation keys interned.
+    pub unique_keys: u64,
+}
+
+/// One interned sweep point: its compiler plus a dense slot per corpus loop.
+pub(crate) struct KeyEntry {
+    compiler: Compiler,
+    slots: Vec<OnceLock<CachedResult>>,
+}
+
+impl KeyEntry {
+    fn new(compiler: Compiler, num_loops: usize) -> Self {
+        let mut slots = Vec::with_capacity(num_loops);
+        slots.resize_with(num_loops, OnceLock::new);
+        KeyEntry { compiler, slots }
+    }
+
+    /// The configuration this entry compiles with.
+    pub(crate) fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// Returns the memoised result for `lp` (the loop at `index` in the corpus),
+    /// compiling it first if this is the slot's first request.
+    pub(crate) fn compile(&self, index: usize, lp: &Loop, stats: &StatCounters) -> CachedResult {
+        let mut compiled = false;
+        let result = self.slots[index].get_or_init(|| {
+            compiled = true;
+            Arc::new(self.compiler.compile(lp))
+        });
+        // `get_or_init` runs the closure in exactly one requester; every other
+        // request (including concurrent ones that blocked on the initializer) is a
+        // hit, so the counters are deterministic for a fixed request sequence.
+        if compiled {
+            stats.compilations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(result)
+    }
+}
+
+/// Hit/miss counters, shared by every [`KeyEntry`] of a store.
+#[derive(Default)]
+pub(crate) struct StatCounters {
+    compilations: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// The lock-striped memo store: interned keys plus the shared counters.
+pub(crate) struct MemoStore {
+    stripes: Vec<Mutex<HashMap<CompilationKey, Arc<KeyEntry>>>>,
+    stats: StatCounters,
+}
+
+impl MemoStore {
+    pub(crate) fn new() -> Self {
+        let mut stripes = Vec::with_capacity(STRIPES);
+        stripes.resize_with(STRIPES, || Mutex::new(HashMap::new()));
+        MemoStore { stripes, stats: StatCounters::default() }
+    }
+
+    /// Interns `key`, creating its entry with `make_compiler` on first sight.
+    pub(crate) fn entry(
+        &self,
+        key: CompilationKey,
+        num_loops: usize,
+        make_compiler: impl FnOnce() -> Compiler,
+    ) -> Arc<KeyEntry> {
+        let stripe = &self.stripes[Self::stripe_of(&key)];
+        let mut map = stripe.lock().expect("memo store stripe poisoned");
+        Arc::clone(
+            map.entry(key).or_insert_with(|| Arc::new(KeyEntry::new(make_compiler(), num_loops))),
+        )
+    }
+
+    pub(crate) fn counters(&self) -> &StatCounters {
+        &self.stats
+    }
+
+    pub(crate) fn stats(&self) -> SessionStats {
+        let unique_keys = self
+            .stripes
+            .iter()
+            .map(|s| s.lock().expect("memo store stripe poisoned").len() as u64)
+            .sum();
+        SessionStats {
+            compilations: self.stats.compilations.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            unique_keys,
+        }
+    }
+
+    fn stripe_of(key: &CompilationKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % STRIPES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CompilerConfig;
+    use vliw_ddg::{kernels, LatencyModel};
+    use vliw_machine::Machine;
+
+    fn store_with_entry(num_loops: usize) -> (MemoStore, Arc<KeyEntry>) {
+        let store = MemoStore::new();
+        let config = CompilerConfig::paper_defaults(Machine::paper_single(6));
+        let key = CompilationKey::of(&config);
+        let entry = store.entry(key, num_loops, || Compiler::new(config.clone()));
+        (store, entry)
+    }
+
+    #[test]
+    fn repeated_requests_compile_once() {
+        let (store, entry) = store_with_entry(1);
+        let lp = kernels::dot_product(LatencyModel::default(), 100);
+        let first = entry.compile(0, &lp, store.counters());
+        let second = entry.compile(0, &lp, store.counters());
+        assert!(Arc::ptr_eq(&first, &second), "both requests must share one artifact");
+        let stats = store.stats();
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.unique_keys, 1);
+    }
+
+    #[test]
+    fn interning_the_same_key_reuses_the_entry() {
+        let store = MemoStore::new();
+        let config = CompilerConfig::paper_defaults(Machine::paper_single(6));
+        let a = store.entry(CompilationKey::of(&config), 4, || Compiler::new(config.clone()));
+        let b = store.entry(CompilationKey::of(&config), 4, || Compiler::new(config.clone()));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats().unique_keys, 1);
+    }
+
+    #[test]
+    fn distinct_keys_intern_distinct_entries() {
+        let store = MemoStore::new();
+        let with = CompilerConfig::paper_defaults(Machine::paper_single(6));
+        let without = CompilerConfig::without_copies(Machine::paper_single(6));
+        store.entry(CompilationKey::of(&with), 2, || Compiler::new(with.clone()));
+        store.entry(CompilationKey::of(&without), 2, || Compiler::new(without.clone()));
+        assert_eq!(store.stats().unique_keys, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_still_compile_each_slot_once() {
+        let (store, entry) = store_with_entry(1);
+        let lp = kernels::dot_product(LatencyModel::default(), 100);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                let entry = &entry;
+                let store = &store;
+                let lp = &lp;
+                scope.spawn(move |_| {
+                    let _ = entry.compile(0, lp, store.counters());
+                });
+            }
+        })
+        .expect("workers finish");
+        let stats = store.stats();
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property test: the session's memoized compilation layer is *transparent* — for
+//! random (machine, compiler-configuration, loop) triples, the artifact served by
+//! the session (first request cold, second request cached) is identical to what a
+//! fresh `Compiler::compile` produces on the same loop.
+
+use proptest::prelude::*;
+
+use vliw_core::pipeline::{Compiler, CompilerConfig};
+use vliw_core::session::Session;
+use vliw_core::{Compilation, LatencyModel, Machine, SchedError};
+
+/// A machine drawn from the paper's configuration space.
+fn machine_for(selector: u32, width: usize, clusters: usize) -> Machine {
+    match selector % 3 {
+        0 => Machine::paper_single(width),
+        1 => Machine::paper_clustered(clusters, LatencyModel::default()),
+        _ => Machine::paper_single_cluster_equivalent(clusters, LatencyModel::default()),
+    }
+}
+
+/// A compiler configuration drawn from the options the experiments exercise.
+fn config_for(machine: Machine, selector: u32) -> CompilerConfig {
+    match selector % 4 {
+        0 => CompilerConfig::paper_defaults(machine),
+        1 => CompilerConfig::paper_defaults(machine).no_unroll(),
+        2 => CompilerConfig::without_copies(machine),
+        _ => CompilerConfig::without_copies(machine).no_unroll(),
+    }
+}
+
+/// The observable surface of a compilation, compared field by field (the
+/// dependence graph and schedule are compared through their derived metrics; the
+/// pipeline is deterministic, so metric equality on identical inputs means the
+/// underlying artifacts are identical too).
+fn assert_same(
+    cached: &Result<Compilation, SchedError>,
+    fresh: &Result<Compilation, SchedError>,
+) -> proptest::test_runner::TestCaseResult {
+    match (cached, fresh) {
+        (Ok(c), Ok(f)) => {
+            prop_assert_eq!(&c.loop_name, &f.loop_name);
+            prop_assert_eq!(c.unroll_factor, f.unroll_factor);
+            prop_assert_eq!(c.num_copies, f.num_copies);
+            prop_assert_eq!(c.transformed.num_ops(), f.transformed.num_ops());
+            prop_assert_eq!(c.ii(), f.ii());
+            prop_assert_eq!(c.res_mii, f.res_mii);
+            prop_assert_eq!(c.rec_mii, f.rec_mii);
+            prop_assert_eq!(c.mii, f.mii);
+            prop_assert_eq!(c.stage_count, f.stage_count);
+            prop_assert_eq!(c.ipc.static_ipc, f.ipc.static_ipc);
+            prop_assert_eq!(c.ipc.dynamic_ipc, f.ipc.dynamic_ipc);
+            prop_assert_eq!(c.queues_required(), f.queues_required());
+            prop_assert_eq!(c.registers_required, f.registers_required);
+            prop_assert_eq!(c.comm.is_some(), f.comm.is_some());
+            if let (Some(cc), Some(fc)) = (&c.comm, &f.comm) {
+                prop_assert_eq!(cc.cross_cluster_values, fc.cross_cluster_values);
+                prop_assert_eq!(cc.local_values, fc.local_values);
+            }
+        }
+        (Err(c), Err(f)) => prop_assert_eq!(c.to_string(), f.to_string()),
+        (c, f) => prop_assert!(false, "cached {:?} disagrees with fresh {:?}", c, f),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cached results are identical to fresh `Compiler::compile` output across
+    /// random (machine, config, loop) triples.
+    #[test]
+    fn session_cache_is_transparent(
+        seed in 0u64..5000,
+        machine_sel in 0u32..30,
+        config_sel in 0u32..20,
+        width in 4usize..13,
+        clusters in 2usize..7,
+        loop_index in 0usize..6,
+    ) {
+        let session = Session::quick(6, seed);
+        let machine = machine_for(machine_sel, width, clusters);
+        let config = config_for(machine, config_sel);
+
+        let fresh = Compiler::new(config.clone()).compile(&session.corpus()[loop_index]);
+        let compiler = session.compiler(config);
+        let cold = compiler.compile(loop_index);
+        let warm = compiler.compile(loop_index);
+
+        prop_assert!(
+            std::sync::Arc::ptr_eq(&cold, &warm),
+            "second request must be served from the cache"
+        );
+        assert_same(&cold, &fresh)?;
+
+        let stats = session.stats();
+        prop_assert_eq!(stats.compilations, 1);
+        prop_assert_eq!(stats.hits, 1);
+    }
+}

@@ -14,7 +14,7 @@ use crate::op::OpKind;
 /// All functional units are assumed fully pipelined (a new operation can be issued to
 /// a unit every cycle), so the latency only constrains dependent operations, not the
 /// unit's own occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LatencyModel {
     /// Latency of a load.
     pub load: u32,

@@ -7,7 +7,7 @@ use vliw_ddg::OpClass;
 ///
 /// The paper's basic cluster (Fig. 5a / Fig. 7) contains one load/store unit, one
 /// adder, one multiplier, a copy unit, and a private QRF of 8 queues.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ClusterConfig {
     /// Compute functional units of the cluster, by class (copy units are configured
     /// separately through `copy_units`).
@@ -76,7 +76,7 @@ impl Default for ClusterConfig {
 
 /// Configuration of the bidirectional ring of communication queues that connects
 /// adjacent clusters (Fig. 5b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RingConfig {
     /// Number of communication queues available in each direction between a pair of
     /// adjacent clusters.  The paper's sizing experiments settle on 8 (Fig. 7).

@@ -48,7 +48,7 @@ impl fmt::Display for FuId {
 }
 
 /// A functional unit instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fu {
     /// Identifier of the unit.
     pub id: FuId,

@@ -33,7 +33,7 @@ pub mod machine;
 
 pub use cluster::{ClusterConfig, RingConfig};
 pub use fu::{ClusterId, Fu, FuId};
-pub use machine::Machine;
+pub use machine::{copy_units_for, Machine};
 
 // Re-export the latency model so downstream crates need not depend on vliw-ddg just
 // to configure a machine.

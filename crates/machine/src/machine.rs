@@ -12,7 +12,7 @@ use crate::fu::{ClusterId, Fu, FuId};
 /// one register file, possibly very wide — the paper's baseline) or *clustered*
 /// (several identical clusters connected by a bidirectional ring of communication
 /// queues — the paper's proposal).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Machine {
     name: String,
     clusters: Vec<ClusterConfig>,
@@ -65,6 +65,15 @@ impl Machine {
             ..ClusterConfig::balanced(num_compute_fus, copy_units, queues)
         };
         Machine::new(format!("single-{num_compute_fus}fu"), vec![cluster], None, latencies)
+    }
+
+    /// The single-cluster machine the paper's Sections 2 and 3 experiments run on:
+    /// `fus` compute units split evenly between L/S, ADD and MUL, one copy unit per
+    /// paper cluster (see [`copy_units_for`]), an effectively unbounded QRF (1024
+    /// queues, so queue demand can be *measured* rather than constrained) and the
+    /// default latency model.
+    pub fn paper_single(fus: usize) -> Self {
+        Machine::single_cluster(fus, copy_units_for(fus), 1024, LatencyModel::default())
     }
 
     /// The paper's clustered machine: `n_clusters` copies of the basic cluster
@@ -219,6 +228,12 @@ impl Machine {
     }
 }
 
+/// Number of copy units paired with a machine of `fus` compute units: one per three
+/// compute units (one per paper cluster), at least one.
+pub fn copy_units_for(fus: usize) -> usize {
+    (fus / 3).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +311,35 @@ mod tests {
         let m = Machine::paper_clustered(2, LatencyModel::default());
         assert!(m.clusters_communicate(ClusterId(0), ClusterId(1)));
         assert!(m.clusters_communicate(ClusterId(1), ClusterId(0)));
+    }
+
+    #[test]
+    fn paper_single_matches_the_experiment_incantation() {
+        for fus in [4usize, 6, 12] {
+            let m = Machine::paper_single(fus);
+            let explicit =
+                Machine::single_cluster(fus, copy_units_for(fus), 1024, LatencyModel::default());
+            assert_eq!(m, explicit);
+            assert_eq!(m.num_compute_fus(), fus);
+        }
+    }
+
+    #[test]
+    fn copy_units_scale_with_width() {
+        assert_eq!(copy_units_for(4), 1);
+        assert_eq!(copy_units_for(6), 2);
+        assert_eq!(copy_units_for(12), 4);
+        assert_eq!(copy_units_for(2), 1);
+    }
+
+    #[test]
+    fn equal_machines_hash_equally() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Machine::paper_single(6));
+        set.insert(Machine::paper_single(6));
+        set.insert(Machine::paper_clustered(4, LatencyModel::default()));
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use vliw_sched::{height_r, rec_mii, res_mii, Mrt, SchedError, Schedule};
 use crate::comm::{comm_stats, CommStats};
 
 /// Tuning knobs of the partitioning scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PartitionOptions {
     /// Placement budget per II attempt, as a multiple of the operation count.
     /// The partitioner backtracks more than plain IMS, so the default is larger.

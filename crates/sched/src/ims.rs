@@ -20,7 +20,7 @@ use crate::schedule::Schedule;
 use crate::SchedError;
 
 /// Tuning knobs of the iterative modulo scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ImsOptions {
     /// Scheduling budget per attempt, expressed as a multiple of the number of
     /// operations (Rau uses 3–6; larger values backtrack more before giving up on an

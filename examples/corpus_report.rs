@@ -7,8 +7,8 @@
 //! ```
 
 use vliw_core::analysis::{mean, pct, TextTable};
-use vliw_core::experiments::fig3::copy_units_for;
 use vliw_core::experiments::{par_map, ExperimentConfig};
+use vliw_core::machine::copy_units_for;
 use vliw_core::{Compiler, CompilerConfig, LatencyModel, Machine};
 
 fn main() {

@@ -4,16 +4,17 @@
 
 use vliw_core::experiments::{
     cluster_resources_experiment, fig3_experiment, fig4_experiment, fig6::fig6_experiment_for,
-    ipc::ipc_curves, ExperimentConfig,
+    ipc::ipc_curves,
 };
+use vliw_core::Session;
 
-fn cfg() -> ExperimentConfig {
-    ExperimentConfig::quick(150, 19980330)
+fn session() -> Session {
+    Session::quick(150, 19980330)
 }
 
 #[test]
 fn fig3_shape_32_queues_cover_almost_everything() {
-    let rows = fig3_experiment(&cfg());
+    let rows = fig3_experiment(&session());
     for r in &rows {
         assert_eq!(r.unschedulable, 0);
         // Cumulative distribution is monotone over the budgets.
@@ -36,7 +37,7 @@ fn fig3_shape_32_queues_cover_almost_everything() {
 
 #[test]
 fn fig4_shape_unrolling_never_hurts_and_often_helps() {
-    let rows = fig4_experiment(&cfg());
+    let rows = fig4_experiment(&session());
     for r in &rows {
         assert!(r.mean_speedup >= 0.99, "{} FUs: mean speedup {}", r.fus, r.mean_speedup);
         assert!(r.speedup_gt_one <= r.unrolled + 1e-9);
@@ -47,7 +48,7 @@ fn fig4_shape_unrolling_never_hurts_and_often_helps() {
 
 #[test]
 fn fig6_shape_partitioning_degrades_with_cluster_count() {
-    let rows = fig6_experiment_for(&cfg(), &[4, 5, 6]);
+    let rows = fig6_experiment_for(&session(), &[4, 5, 6]);
     let same: Vec<f64> = rows.iter().map(|r| r.same_ii).collect();
     // 4 clusters keeps at least as many loops at the single-cluster II as 6 clusters
     // (the paper's 95% / 84% / 52% trend), and the 4-cluster machine keeps a clear
@@ -61,7 +62,7 @@ fn fig6_shape_partitioning_degrades_with_cluster_count() {
 
 #[test]
 fn cluster_resources_shape_paper_budget_suffices() {
-    let rows = cluster_resources_experiment(&cfg(), &[4]);
+    let rows = cluster_resources_experiment(&session(), &[4]);
     let r = &rows[0];
     assert!(
         r.fits_paper_cluster >= 0.75,
@@ -72,9 +73,13 @@ fn cluster_resources_shape_paper_budget_suffices() {
 
 #[test]
 fn fig8_and_fig9_shapes() {
-    let config = cfg();
-    let all = ipc_curves(&config, &[4, 12, 18], false);
-    let constrained = ipc_curves(&config, &[4, 12, 18], true);
+    // One shared session: Fig. 9's sweep is a subset of Fig. 8's, so the second
+    // call below is served from the cache.
+    let shared = session();
+    let all = ipc_curves(&shared, &[4, 12, 18], false);
+    let before = shared.stats();
+    let constrained = ipc_curves(&shared, &[4, 12, 18], true);
+    assert_eq!(shared.stats().compilations, before.compilations);
 
     // IPC grows with machine width on both corpora.
     assert!(all[2].static_single + 1e-9 >= all[0].static_single);

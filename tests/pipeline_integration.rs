@@ -3,7 +3,7 @@
 //! corpora and machines, checking the invariants that every layer must preserve for
 //! every loop.
 
-use vliw_core::experiments::fig3::copy_units_for;
+use vliw_core::copy_units_for;
 use vliw_core::qrf::{insert_copies, q_compatible, use_lifetimes};
 use vliw_core::{generate_corpus, CorpusConfig, LatencyModel, Machine};
 use vliw_core::{Compiler, CompilerConfig};

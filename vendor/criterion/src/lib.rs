@@ -1,0 +1,234 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides the
+//! benchmarking API surface the workspace's `benches/` use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `criterion_group!` / `criterion_main!` —
+//! with a simple wall-clock measurement loop instead of criterion's statistical
+//! machinery.  Results are printed as `group/name: <mean time>/iter (<iters>)`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness handle passed to `criterion_group!` functions.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration; the stub accepts and ignores criterion's
+    /// flags (`--bench`, filters, ...), keeping `cargo bench` invocations working.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm_up, measurement, samples) =
+            (self.warm_up_time, self.measurement_time, self.sample_size);
+        run_one(name, warm_up, measurement, samples, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.warm_up_time, self.measurement_time, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.warm_up_time, self.measurement_time, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark (`function/parameter`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The measurement loop handle.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it until the sample budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F>(name: &str, warm_up: Duration, measurement: Duration, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One warm-up pass (bounded by the warm-up budget).
+    let mut warm = Bencher { iters_done: 0, elapsed: Duration::ZERO, budget: warm_up };
+    f(&mut warm);
+
+    // Measurement: the closure calls `iter`, which repeats until the budget is
+    // spent; the sample size bounds how often we re-enter the closure.
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let per_sample = measurement / sample_size.max(1) as u32;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, budget: per_sample };
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters_done;
+        if total >= measurement {
+            break;
+        }
+    }
+    let mean = if iters == 0 { Duration::ZERO } else { total / iters as u32 };
+    println!("bench {name}: {mean:?}/iter ({iters} iters in {total:?})");
+}
+
+/// Declares a group-runner function from benchmark functions, as upstream criterion
+/// does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts_iterations() {
+        let mut c = Criterion {
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            sample_size: 2,
+        };
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("test");
+        group.sample_size(2).warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("mii", "dot_product").to_string(), "mii/dot_product");
+    }
+}
