@@ -67,6 +67,44 @@ fn bench_qrf(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_placement_engine(c: &mut Criterion) {
+    // Cold scheduling of the whole 32-loop bench corpus, isolated from the rest
+    // of the pipeline — the before/after comparison point for hot-path work on
+    // the shared placement engine (ready queue, indexed MRT probes).  CI runs
+    // this bench and uploads the report so the trend is tracked per PR;
+    // EXPERIMENTS.md records the history.
+    let lat = LatencyModel::default();
+    let single = Machine::paper_single(6);
+    let clustered = Machine::paper_clustered(4, lat);
+    let bodies: Vec<_> =
+        bench_config().corpus().iter().map(|lp| insert_copies(&lp.ddg, &lat).ddg).collect();
+    let mut group = c.benchmark_group("placement");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("ims_corpus_cold", |b| {
+        b.iter(|| {
+            bodies
+                .iter()
+                .map(|g| modulo_schedule(g, &single, ImsOptions::default()).unwrap().schedule.ii)
+                .sum::<u32>()
+        })
+    });
+    group.bench_function("partition_corpus_cold", |b| {
+        b.iter(|| {
+            bodies
+                .iter()
+                .map(|g| {
+                    partition_schedule(g, &clustered, PartitionOptions::default())
+                        .unwrap()
+                        .schedule
+                        .ii
+                })
+                .sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
 fn bench_session(c: &mut Criterion) {
     let mut group = c.benchmark_group("session");
     group.warm_up_time(Duration::from_secs(1));
@@ -93,5 +131,12 @@ fn bench_session(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ims, bench_partition, bench_qrf, bench_session);
+criterion_group!(
+    benches,
+    bench_ims,
+    bench_partition,
+    bench_qrf,
+    bench_placement_engine,
+    bench_session
+);
 criterion_main!(benches);

@@ -12,13 +12,46 @@ use crate::fu::{ClusterId, Fu, FuId};
 /// one register file, possibly very wide — the paper's baseline) or *clustered*
 /// (several identical clusters connected by a bidirectional ring of communication
 /// queues — the paper's proposal).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     name: String,
     clusters: Vec<ClusterConfig>,
     ring: Option<RingConfig>,
     fus: Vec<Fu>,
     latencies: LatencyModel,
+    /// Unit ids of each class machine-wide, ascending; indexed by [`OpClass::index`].
+    /// Built once at construction so the schedulers' inner loops (MRT probes, victim
+    /// selection) touch only candidate units instead of filtering the full FU list.
+    class_index: Vec<Vec<FuId>>,
+    /// Unit ids of each (cluster, class) pair, ascending; indexed by
+    /// `cluster · OpClass::COUNT + class`.
+    cluster_class_index: Vec<Vec<FuId>>,
+}
+
+// Equality and hashing deliberately skip the two index tables: they are pure
+// functions of `fus`, and `Machine` is hashed on every compilation-session key
+// lookup — hashing the caches would triple the FuId traffic for zero added
+// discrimination.
+impl PartialEq for Machine {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.clusters == other.clusters
+            && self.ring == other.ring
+            && self.fus == other.fus
+            && self.latencies == other.latencies
+    }
+}
+
+impl Eq for Machine {}
+
+impl std::hash::Hash for Machine {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.clusters.hash(state);
+        self.ring.hash(state);
+        self.fus.hash(state);
+        self.latencies.hash(state);
+    }
 }
 
 impl Machine {
@@ -46,7 +79,21 @@ impl Machine {
                 fus.push(Fu::new(FuId(fus.len() as u32), OpClass::Copy, cid));
             }
         }
-        Machine { name: name.into(), clusters, ring, fus, latencies }
+        let mut class_index = vec![Vec::new(); OpClass::COUNT];
+        let mut cluster_class_index = vec![Vec::new(); clusters.len() * OpClass::COUNT];
+        for fu in &fus {
+            class_index[fu.class.index()].push(fu.id);
+            cluster_class_index[fu.cluster.index() * OpClass::COUNT + fu.class.index()].push(fu.id);
+        }
+        Machine {
+            name: name.into(),
+            clusters,
+            ring,
+            fus,
+            latencies,
+            class_index,
+            cluster_class_index,
+        }
     }
 
     /// A single-cluster machine with `num_compute_fus` compute units split evenly
@@ -153,12 +200,12 @@ impl Machine {
 
     /// Functional units of a given class across the whole machine.
     pub fn fus_of_class(&self, class: OpClass) -> impl Iterator<Item = &Fu> + '_ {
-        self.fus.iter().filter(move |fu| fu.class == class)
+        self.fu_ids_of_class(class).iter().map(move |&id| self.fu(id))
     }
 
     /// Number of functional units of a given class across the whole machine.
     pub fn num_fus_of_class(&self, class: OpClass) -> usize {
-        self.fus_of_class(class).count()
+        self.fu_ids_of_class(class).len()
     }
 
     /// Functional units of a given class inside one cluster.
@@ -167,7 +214,20 @@ impl Machine {
         cluster: ClusterId,
         class: OpClass,
     ) -> impl Iterator<Item = &Fu> + '_ {
-        self.fus.iter().filter(move |fu| fu.class == class && fu.cluster == cluster)
+        self.fu_ids_of_class_in_cluster(cluster, class).iter().map(move |&id| self.fu(id))
+    }
+
+    /// Unit ids of a given class across the whole machine, in ascending id order —
+    /// the pre-built index the schedulers' placement loops probe.
+    #[inline]
+    pub fn fu_ids_of_class(&self, class: OpClass) -> &[FuId] {
+        &self.class_index[class.index()]
+    }
+
+    /// Unit ids of a given class inside one cluster, in ascending id order.
+    #[inline]
+    pub fn fu_ids_of_class_in_cluster(&self, cluster: ClusterId, class: OpClass) -> &[FuId] {
+        &self.cluster_class_index[cluster.index() * OpClass::COUNT + class.index()]
     }
 
     /// Per-class FU counts (machine-wide), indexed by [`OpClass::index`]; used by the
@@ -359,6 +419,30 @@ mod tests {
         let mut sorted = clusters.clone();
         sorted.sort_unstable();
         assert_eq!(clusters, sorted);
+    }
+
+    #[test]
+    fn fu_index_tables_match_the_filtered_views() {
+        for m in [
+            Machine::paper_clustered(5, LatencyModel::default()),
+            Machine::single_cluster(7, 2, 32, LatencyModel::default()),
+        ] {
+            for class in OpClass::ALL {
+                let by_filter: Vec<FuId> =
+                    m.fus().iter().filter(|f| f.class == class).map(|f| f.id).collect();
+                assert_eq!(m.fu_ids_of_class(class), &by_filter[..]);
+                assert_eq!(m.num_fus_of_class(class), by_filter.len());
+                for c in m.cluster_ids() {
+                    let per_cluster: Vec<FuId> = m
+                        .fus()
+                        .iter()
+                        .filter(|f| f.class == class && f.cluster == c)
+                        .map(|f| f.id)
+                        .collect();
+                    assert_eq!(m.fu_ids_of_class_in_cluster(c, class), &per_cluster[..]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 
 use vliw_ddg::{Ddg, DepKind, OpId};
 use vliw_machine::{ClusterId, FuId, Machine};
-use vliw_sched::{height_r, rec_mii, res_mii, Mrt, SchedError, Schedule};
+use vliw_sched::{
+    rec_mii, res_mii, run_placement, ClusterPolicy, Eligibility, PlacementEngine, SchedError,
+    Schedule,
+};
 
 use crate::comm::{comm_stats, CommStats};
 
@@ -140,6 +143,9 @@ pub fn partition_schedule(
         }
         collapse_lower = collapse_lower.max(ops.div_ceil(units) as u32);
     }
+    // The single-cluster bound is what actually constrains the collapsed
+    // schedule, so it (not the machine-wide `lower`) is reported as the MII.
+    let collapse_bound = lower.max(collapse_lower);
     let collapse_max = collapse_lower.saturating_mul(3).saturating_add(64);
     let mut ii = collapse_lower.max(opts.min_ii);
     while ii <= collapse_max {
@@ -160,7 +166,7 @@ pub fn partition_schedule(
                 schedule,
                 res_mii: res,
                 rec_mii: rec,
-                mii: lower,
+                mii: collapse_bound,
                 attempts,
                 comm,
             });
@@ -170,10 +176,119 @@ pub fn partition_schedule(
     Err(SchedError::IiLimitReached { limit: collapse_max })
 }
 
+/// The paper's cluster-eligibility heuristics, as a policy for the shared
+/// placement engine (`vliw_sched::core`).
+///
+/// Clusters are ranked by affinity (more already-placed flow neighbours is
+/// better), then by load (fewer placed operations is better), then by id, and
+/// filtered down to those that can exchange values with every placed neighbour
+/// over the ring.  When no cluster qualifies, the policy backtracks: it picks
+/// the cluster sacrificing the fewest placed neighbours, unschedules the
+/// incompatible ones through the engine, and restricts the placement to that
+/// cluster.
+struct RingPolicy {
+    /// Drop the ring-adjacency constraint (the paper's "move operations"
+    /// future-work extension).
+    allow_transit: bool,
+    /// Place every operation in this cluster (the single-cluster collapse
+    /// fallback).
+    restrict_to: Option<ClusterId>,
+}
+
+impl ClusterPolicy for RingPolicy {
+    fn eligible(
+        &self,
+        engine: &mut PlacementEngine<'_>,
+        op: OpId,
+        ranked: &mut Vec<ClusterId>,
+    ) -> Eligibility {
+        let machine = engine.machine();
+        let ddg = engine.ddg();
+
+        // Placed flow neighbours and the communication constraints they impose:
+        // `producers` must be able to send to op's cluster; op must be able to
+        // send to `consumers`.
+        let producers: Vec<ClusterId> = ddg
+            .pred_edges(op)
+            .filter(|e| e.kind == DepKind::Flow && e.src != op)
+            .filter_map(|e| engine.cluster_of(e.src))
+            .collect();
+        let consumers: Vec<ClusterId> = ddg
+            .succ_edges(op)
+            .filter(|e| e.kind == DepKind::Flow && e.dst != op)
+            .filter_map(|e| engine.cluster_of(e.dst))
+            .collect();
+
+        let comm_ok = |c: ClusterId| -> bool {
+            if self.allow_transit {
+                return true;
+            }
+            producers.iter().all(|&p| machine.clusters_communicate(p, c))
+                && consumers.iter().all(|&s| machine.clusters_communicate(c, s))
+        };
+
+        // Rank every cluster by affinity, then load, then id; keep only the
+        // communication-feasible ones.
+        let mut all: Vec<ClusterId> = match self.restrict_to {
+            Some(c) => vec![c],
+            None => machine.cluster_ids().collect(),
+        };
+        all.sort_by_key(|&c| {
+            let affinity = producers.iter().filter(|&&p| p == c).count()
+                + consumers.iter().filter(|&&s| s == c).count();
+            (std::cmp::Reverse(affinity), engine.cluster_load(c), c.0)
+        });
+        ranked.extend(all.iter().copied().filter(|&c| comm_ok(c)));
+
+        // Communication conflict: no cluster can talk to all placed neighbours.
+        // Backtrack by unscheduling the neighbours that are incompatible with
+        // the chosen target cluster, then schedule `op` there.  The target is
+        // the cluster that sacrifices the fewest already-placed neighbours
+        // (ties broken by the affinity ranking above).
+        if ranked.is_empty() {
+            let conflicts = |c: ClusterId| -> usize {
+                producers.iter().filter(|&&p| !machine.clusters_communicate(p, c)).count()
+                    + consumers.iter().filter(|&&s| !machine.clusters_communicate(c, s)).count()
+            };
+            let target = all
+                .iter()
+                .copied()
+                .min_by_key(|&c| (conflicts(c), all.iter().position(|&r| r == c).unwrap()))
+                .expect("machines have at least one cluster");
+            for e in ddg.pred_edges(op) {
+                if e.kind == DepKind::Flow && e.src != op {
+                    if let Some(c) = engine.cluster_of(e.src) {
+                        if !machine.clusters_communicate(c, target) {
+                            engine.unschedule(e.src);
+                        }
+                    }
+                }
+            }
+            for e in ddg.succ_edges(op) {
+                if e.kind == DepKind::Flow && e.dst != op {
+                    if let Some(c) = engine.cluster_of(e.dst) {
+                        if !machine.clusters_communicate(target, c) {
+                            engine.unschedule(e.dst);
+                        }
+                    }
+                }
+            }
+            ranked.push(target);
+        }
+        Eligibility::Ranked
+    }
+
+    fn comm_violated(&self, machine: &Machine, from: ClusterId, to: ClusterId) -> bool {
+        !self.allow_transit && !machine.clusters_communicate(from, to)
+    }
+}
+
 /// One partitioning attempt at a fixed II.
 ///
 /// When `restrict_to` is `Some(c)`, every operation is placed in cluster `c` (the
-/// single-cluster collapse fallback).
+/// single-cluster collapse fallback).  If `c` lacks a unit of some required class
+/// the attempt fails — it never escapes to another cluster, which used to break
+/// the "collapsed schedules are single-cluster" invariant.
 fn try_partition_at(
     ddg: &Ddg,
     machine: &Machine,
@@ -182,243 +297,26 @@ fn try_partition_at(
     allow_transit: bool,
     restrict_to: Option<ClusterId>,
 ) -> Option<(Vec<u32>, Vec<FuId>)> {
-    let n = ddg.num_ops();
-    let heights = height_r(ddg, ii);
-    let mut start: Vec<Option<u32>> = vec![None; n];
-    let mut fu_of: Vec<FuId> = vec![FuId(0); n];
-    let mut prev_start: Vec<u32> = vec![0; n];
-    let mut never_scheduled: Vec<bool> = vec![true; n];
-    let mut cluster_load: Vec<u32> = vec![0; machine.num_clusters()];
-    let mut mrt = Mrt::new(machine, ii);
-    let mut budget = budget as i64;
-
-    // Cluster of a scheduled op.
-    let cluster_of = |fu_of: &Vec<FuId>, start: &Vec<Option<u32>>, op: OpId| -> Option<ClusterId> {
-        start[op.index()].map(|_| machine.fu(fu_of[op.index()]).cluster)
-    };
-
-    while let Some(i) =
-        (0..n).filter(|&i| start[i].is_none()).max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
-    {
-        let op = OpId(i as u32);
-        budget -= 1;
-        if budget < 0 {
-            return None;
-        }
-
-        let class = ddg.op(op).class();
-
-        // Earliest start from scheduled predecessors.
-        let mut estart: i64 = 0;
-        for e in ddg.pred_edges(op) {
-            if e.src == op {
-                continue;
-            }
-            if let Some(s) = start[e.src.index()] {
-                estart = estart.max(s as i64 + e.weight_at(ii));
-            }
-        }
-        let estart = estart.max(0) as u32;
-
-        // Placed flow neighbours and the communication constraints they impose.
-        // `producers` must be able to send to op's cluster; op must be able to send
-        // to `consumers`.
-        let producers: Vec<ClusterId> = ddg
-            .pred_edges(op)
-            .filter(|e| e.kind == DepKind::Flow && e.src != op)
-            .filter_map(|e| cluster_of(&fu_of, &start, e.src))
-            .collect();
-        let consumers: Vec<ClusterId> = ddg
-            .succ_edges(op)
-            .filter(|e| e.kind == DepKind::Flow && e.dst != op)
-            .filter_map(|e| cluster_of(&fu_of, &start, e.dst))
-            .collect();
-
-        let comm_ok = |c: ClusterId| -> bool {
-            if allow_transit {
-                return true;
-            }
-            producers.iter().all(|&p| machine.clusters_communicate(p, c))
-                && consumers.iter().all(|&s| machine.clusters_communicate(c, s))
-        };
-
-        // Rank every cluster by affinity (more placed neighbours is better), then by
-        // load (less is better), then by id; keep only communication-feasible ones.
-        let mut ranked: Vec<ClusterId> = match restrict_to {
-            Some(c) => vec![c],
-            None => machine.cluster_ids().collect(),
-        };
-        ranked.sort_by_key(|&c| {
-            let affinity = producers.iter().filter(|&&p| p == c).count()
-                + consumers.iter().filter(|&&s| s == c).count();
-            (std::cmp::Reverse(affinity), cluster_load[c.index()], c.0)
-        });
-        let mut eligible: Vec<ClusterId> = ranked.iter().copied().filter(|&c| comm_ok(c)).collect();
-
-        // Communication conflict: no cluster can talk to all placed neighbours.
-        // Backtrack by unscheduling the neighbours that are incompatible with the
-        // chosen target cluster, then schedule `op` there.  The target is the
-        // cluster that sacrifices the fewest already-placed neighbours (ties broken
-        // by the affinity ranking above).
-        if eligible.is_empty() {
-            let conflicts = |c: ClusterId| -> usize {
-                producers.iter().filter(|&&p| !machine.clusters_communicate(p, c)).count()
-                    + consumers.iter().filter(|&&s| !machine.clusters_communicate(c, s)).count()
-            };
-            let target = ranked
-                .iter()
-                .copied()
-                .min_by_key(|&c| (conflicts(c), ranked.iter().position(|&r| r == c).unwrap()))
-                .expect("machines have at least one cluster");
-            let mut to_unschedule: Vec<OpId> = Vec::new();
-            for e in ddg.pred_edges(op) {
-                if e.kind == DepKind::Flow && e.src != op {
-                    if let Some(c) = cluster_of(&fu_of, &start, e.src) {
-                        if !machine.clusters_communicate(c, target) {
-                            to_unschedule.push(e.src);
-                        }
-                    }
-                }
-            }
-            for e in ddg.succ_edges(op) {
-                if e.kind == DepKind::Flow && e.dst != op {
-                    if let Some(c) = cluster_of(&fu_of, &start, e.dst) {
-                        if !machine.clusters_communicate(target, c) {
-                            to_unschedule.push(e.dst);
-                        }
-                    }
-                }
-            }
-            for victim in to_unschedule {
-                if let Some(s) = start[victim.index()] {
-                    mrt.release(s, fu_of[victim.index()]);
-                    let c = machine.fu(fu_of[victim.index()]).cluster;
-                    cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
-                    start[victim.index()] = None;
-                }
-            }
-            eligible = vec![target];
-        }
-
-        // Search the scheduling window for a free unit in an eligible cluster.
-        let mut placement: Option<(u32, FuId)> = None;
-        'outer: for t in estart..estart + ii {
-            for &c in &eligible {
-                if let Some(fu) = mrt.free_fu(machine, t, class, Some(c)) {
-                    placement = Some((t, fu));
-                    break 'outer;
-                }
-            }
-        }
-
-        let (time, fu) = match placement {
-            Some(p) => p,
-            None => {
-                let time = if never_scheduled[op.index()] || estart > prev_start[op.index()] {
-                    estart
-                } else {
-                    prev_start[op.index()] + 1
-                };
-                // Force into the best eligible cluster, evicting the lowest-priority
-                // occupant of that cluster's units.
-                let target = eligible[0];
-                let victim_fu =
-                    machine.fus_of_class_in_cluster(target, class).map(|f| f.id).min_by_key(|&f| {
-                        mrt.occupant(time, f).map(|occ| heights[occ.index()]).unwrap_or(i64::MIN)
-                    });
-                match victim_fu {
-                    Some(f) => (time, f),
-                    None => {
-                        // The eligible cluster has no unit of this class at all (can
-                        // only happen for copy units on machines without them in
-                        // some clusters); fall back to any cluster that has one.
-                        let f = machine
-                            .fus_of_class(class)
-                            .map(|f| f.id)
-                            .min_by_key(|&f| {
-                                mrt.occupant(time, f)
-                                    .map(|occ| heights[occ.index()])
-                                    .unwrap_or(i64::MIN)
-                            })
-                            .expect("ResMII guarantees at least one unit of the class");
-                        (time, f)
-                    }
-                }
-            }
-        };
-
-        if let Some(victim) = mrt.release(time, fu) {
-            let c = machine.fu(fu_of[victim.index()]).cluster;
-            cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
-            start[victim.index()] = None;
-        }
-        mrt.reserve(time, fu, op);
-        start[op.index()] = Some(time);
-        fu_of[op.index()] = fu;
-        prev_start[op.index()] = time;
-        never_scheduled[op.index()] = false;
-        let placed_cluster = machine.fu(fu).cluster;
-        cluster_load[placed_cluster.index()] += 1;
-
-        // Unschedule operations whose dependences with `op` are now violated, and
-        // (when transit moves are disabled) flow neighbours that ended up in
-        // non-adjacent clusters because of the forced placement.
-        for e in ddg.succ_edges(op) {
-            if e.dst == op {
-                continue;
-            }
-            if let Some(s_dst) = start[e.dst.index()] {
-                let dep_violated = (s_dst as i64) < time as i64 + e.weight_at(ii);
-                let comm_violated = !allow_transit
-                    && e.kind == DepKind::Flow
-                    && !machine.clusters_communicate(
-                        placed_cluster,
-                        machine.fu(fu_of[e.dst.index()]).cluster,
-                    );
-                if dep_violated || comm_violated {
-                    mrt.release(s_dst, fu_of[e.dst.index()]);
-                    let c = machine.fu(fu_of[e.dst.index()]).cluster;
-                    cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
-                    start[e.dst.index()] = None;
-                }
-            }
-        }
-        for e in ddg.pred_edges(op) {
-            if e.src == op {
-                continue;
-            }
-            if let Some(s_src) = start[e.src.index()] {
-                let dep_violated = (time as i64) < s_src as i64 + e.weight_at(ii);
-                let comm_violated = !allow_transit
-                    && e.kind == DepKind::Flow
-                    && !machine.clusters_communicate(
-                        machine.fu(fu_of[e.src.index()]).cluster,
-                        placed_cluster,
-                    );
-                if dep_violated || comm_violated {
-                    mrt.release(s_src, fu_of[e.src.index()]);
-                    let c = machine.fu(fu_of[e.src.index()]).cluster;
-                    cluster_load[c.index()] = cluster_load[c.index()].saturating_sub(1);
-                    start[e.src.index()] = None;
-                }
-            }
-        }
-    }
-
-    let start: Vec<u32> = start.into_iter().map(|s| s.expect("all ops scheduled")).collect();
-    Some((start, fu_of))
+    run_placement(ddg, machine, ii, budget, &RingPolicy { allow_transit, restrict_to })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vliw_ddg::{kernels, LatencyModel};
+    use vliw_ddg::{kernels, DdgBuilder, LatencyModel, OpKind};
     use vliw_machine::LatencyModel as MachineLatency;
+    use vliw_machine::{ClusterConfig, RingConfig};
     use vliw_qrf::insert_copies;
     use vliw_sched::{modulo_schedule, ImsOptions};
 
     fn clustered(n: usize) -> Machine {
         Machine::paper_clustered(n, MachineLatency::default())
+    }
+
+    /// Options that skip the partitioned search entirely (`max_ii` below the
+    /// smallest II ever attempted), forcing the single-cluster collapse.
+    fn collapse_only() -> PartitionOptions {
+        PartitionOptions { max_ii: Some(0), ..PartitionOptions::default() }
     }
 
     #[test]
@@ -545,5 +443,124 @@ mod tests {
         let a = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
         let b = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
         assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn collapse_fallback_schedules_are_single_cluster() {
+        // The "single-cluster collapse" last resort must live up to its name:
+        // every operation of a collapsed schedule sits in cluster 0.  The old
+        // forced-placement fallback could grab a unit from *any* cluster.
+        let m = clustered(4);
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let rewritten = insert_copies(&l.ddg, &LatencyModel::default());
+            let r = partition_schedule(&rewritten.ddg, &m, collapse_only()).unwrap();
+            assert!(r.schedule.validate(&rewritten.ddg, &m).is_ok(), "{}", l.name);
+            for op in rewritten.ddg.op_ids() {
+                assert_eq!(
+                    r.schedule.cluster_of(&m, op),
+                    ClusterId(0),
+                    "{}: collapse-fallback schedule escaped cluster 0",
+                    l.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_reports_the_single_cluster_bound_as_mii() {
+        // Eight independent loads: ResMII over 4 clusters (4 L/S units) is 2,
+        // but the collapsed schedule is constrained by the single L/S unit of
+        // cluster 0 — the reported MII must be the bound that actually applied.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        b.ops(OpKind::Load, 8);
+        let g = b.finish();
+        let m = clustered(4);
+        let r = partition_schedule(&g, &m, collapse_only()).unwrap();
+        assert_eq!(r.res_mii, 2, "machine-wide bound is still reported as ResMII");
+        assert_eq!(r.mii, 8, "the single-cluster bound constrained the schedule");
+        assert_eq!(r.schedule.ii, 8);
+        assert!(r.achieved_mii());
+    }
+
+    #[test]
+    fn forced_placement_never_escapes_the_eligible_clusters() {
+        // A 4-cluster machine whose cluster 0 has no copy unit.  Copy-heavy
+        // bodies force placements; the old fallback escaped to any cluster with
+        // a copy unit — including non-adjacent ones, breaking the ring
+        // invariant.  The engine must stay within the eligible set.
+        let mut c0 = ClusterConfig::paper_basic();
+        c0.copy_units = 0;
+        let clusters = vec![
+            c0,
+            ClusterConfig::paper_basic(),
+            ClusterConfig::paper_basic(),
+            ClusterConfig::paper_basic(),
+        ];
+        let m = Machine::new(
+            "asym-4x",
+            clusters,
+            Some(RingConfig::paper_basic()),
+            MachineLatency::default(),
+        );
+        for l in kernels::all_kernels(LatencyModel::default()) {
+            let rewritten = insert_copies(&l.ddg, &LatencyModel::default());
+            let r = partition_schedule(&rewritten.ddg, &m, PartitionOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+            assert!(r.schedule.validate(&rewritten.ddg, &m).is_ok(), "{}", l.name);
+            for e in rewritten.ddg.edges() {
+                if e.kind != DepKind::Flow {
+                    continue;
+                }
+                let cs = r.schedule.cluster_of(&m, e.src);
+                let cd = r.schedule.cluster_of(&m, e.dst);
+                assert!(
+                    m.clusters_communicate(cs, cd),
+                    "{}: value flows between non-adjacent clusters {cs} -> {cd}",
+                    l.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_with_a_class_missing_from_cluster_zero_is_rejected() {
+        // Cluster 0 lacks a copy unit, so a single-cluster collapse of a body
+        // containing copies is impossible — the scheduler must say so rather
+        // than smuggle the copy into another cluster.
+        let mut c0 = ClusterConfig::paper_basic();
+        c0.copy_units = 0;
+        let m = Machine::new(
+            "asym-2x",
+            vec![c0, ClusterConfig::paper_basic()],
+            Some(RingConfig::paper_basic()),
+            MachineLatency::default(),
+        );
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let p = b.op(OpKind::Add);
+        let c = b.op(OpKind::Copy);
+        b.flow(p, c);
+        let g = b.finish();
+        assert!(matches!(
+            partition_schedule(&g, &m, collapse_only()),
+            Err(SchedError::NoFunctionalUnit { .. })
+        ));
+    }
+
+    #[test]
+    fn long_latency_chain_schedules_on_clusters_without_overflow() {
+        // The issue windows of this chain sit near u32::MAX; the historical
+        // u32 window scan of `try_partition_at` overflowed there.
+        let lat = LatencyModel { load: u32::MAX / 2, mul: u32::MAX / 2, ..Default::default() };
+        let mut b = DdgBuilder::new(lat);
+        let ld = b.op(OpKind::Load);
+        let mu = b.op(OpKind::Mul);
+        let tail = b.op(OpKind::Add);
+        b.flow(ld, mu);
+        b.flow(mu, tail);
+        let g = b.finish();
+        let m = clustered(2);
+        let r = partition_schedule(&g, &m, PartitionOptions::default()).unwrap();
+        assert!(r.schedule.validate(&g, &m).is_ok());
+        assert_eq!(r.schedule.start_of(tail) as u64, u32::MAX as u64 - 1);
     }
 }

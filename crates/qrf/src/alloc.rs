@@ -9,7 +9,7 @@
 //! values simultaneously resident), which sizes the queue storage of Fig. 7.
 
 use crate::lifetime::{max_live, Lifetime};
-use crate::qcompat::compatible_with_all;
+use crate::qcompat::q_compatible;
 
 /// Result of queue allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,8 +54,7 @@ pub fn allocate_queues(lifetimes: &[Lifetime], ii: u32) -> QueueAllocation {
         let lt = &lifetimes[i];
         let mut placed = false;
         for q in queues.iter_mut() {
-            let members: Vec<Lifetime> = q.iter().map(|&j| lifetimes[j].clone()).collect();
-            if compatible_with_all(lt, &members, ii) {
+            if q.iter().all(|&j| q_compatible(lt, &lifetimes[j], ii)) {
                 q.push(i);
                 placed = true;
                 break;

@@ -94,13 +94,38 @@ pub fn value_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
 /// queue holding a set of lifetimes it is the queue depth required.
 pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> usize {
     assert!(ii >= 1);
-    let mut live = vec![0usize; ii as usize];
+    let ii = ii as usize;
+    // O(II) per lifetime instead of O(length): a lifetime of length L covers
+    // every modulo slot ⌊L / II⌋ times (the whole wraps), plus the L mod II
+    // slots starting at `start mod II` once more.  The partial cover is a
+    // (possibly wrapping) interval, accumulated in a difference array.
+    let mut whole_wraps = 0usize;
+    let mut diff = vec![0i64; ii + 1];
     for lt in lifetimes {
-        for t in lt.start..lt.end {
-            live[(t % ii) as usize] += 1;
+        let len = lt.length() as usize;
+        whole_wraps += len / ii;
+        let rem = len % ii;
+        if rem == 0 {
+            continue;
+        }
+        let s = lt.start as usize % ii;
+        if s + rem <= ii {
+            diff[s] += 1;
+            diff[s + rem] -= 1;
+        } else {
+            diff[s] += 1;
+            diff[ii] -= 1;
+            diff[0] += 1;
+            diff[s + rem - ii] -= 1;
         }
     }
-    live.into_iter().max().unwrap_or(0)
+    let mut best = 0i64;
+    let mut cur = 0i64;
+    for d in &diff[..ii] {
+        cur += d;
+        best = best.max(cur);
+    }
+    whole_wraps + best as usize
 }
 
 #[cfg(test)]
@@ -195,5 +220,36 @@ mod tests {
         assert_eq!(lt.length(), 7);
         assert!(lt.overlaps_itself(4));
         assert!(!lt.overlaps_itself(7));
+    }
+
+    proptest::proptest! {
+        /// The whole-wrap + difference-array implementation agrees with the
+        /// naive per-cycle counting it replaced, including lifetimes much
+        /// longer than the II and empty (zero-length) lifetimes.
+        #[test]
+        fn max_live_matches_naive_counting(
+            raw in proptest::collection::vec((0u32..40, 0u32..90), 0..40),
+            ii in 1u32..12,
+        ) {
+            let lts: Vec<Lifetime> = raw
+                .iter()
+                .map(|&(s, l)| Lifetime {
+                    producer: OpId(0),
+                    consumer: OpId(1),
+                    start: s,
+                    end: s + l,
+                })
+                .collect();
+            let naive = {
+                let mut live = vec![0usize; ii as usize];
+                for lt in &lts {
+                    for t in lt.start..lt.end {
+                        live[(t % ii) as usize] += 1;
+                    }
+                }
+                live.into_iter().max().unwrap_or(0)
+            };
+            proptest::prop_assert_eq!(max_live(&lts, ii), naive);
+        }
     }
 }

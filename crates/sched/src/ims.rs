@@ -10,12 +10,11 @@
 //!    placed *by force*, evicting the operation(s) that conflict with it, which are
 //!    then re-scheduled later (bounded by a budget of placements).
 
-use vliw_ddg::{Ddg, OpId};
+use vliw_ddg::Ddg;
 use vliw_machine::{FuId, Machine};
 
+use crate::core::{run_placement, AnyClusterPolicy};
 use crate::mii::{rec_mii, res_mii};
-use crate::mrt::Mrt;
-use crate::priority::height_r;
 use crate::schedule::Schedule;
 use crate::SchedError;
 
@@ -104,116 +103,17 @@ pub fn modulo_schedule(
 
 /// One scheduling attempt at a fixed II.  Returns the per-op start times and FU
 /// assignments, or `None` if the placement budget was exhausted.
+///
+/// The placement loop itself (ready queue, window search, forced placement,
+/// eviction, dependence-violation unscheduling) lives in [`crate::core`]; plain
+/// IMS is the engine under the trivial any-cluster policy.
 fn try_schedule_at(
     ddg: &Ddg,
     machine: &Machine,
     ii: u32,
     budget: u32,
 ) -> Option<(Vec<u32>, Vec<FuId>)> {
-    let n = ddg.num_ops();
-    let heights = height_r(ddg, ii);
-    let mut start: Vec<Option<u32>> = vec![None; n];
-    let mut fu_of: Vec<FuId> = vec![FuId(0); n];
-    let mut prev_start: Vec<u32> = vec![0; n];
-    let mut never_scheduled: Vec<bool> = vec![true; n];
-    let mut mrt = Mrt::new(machine, ii);
-    let mut budget = budget as i64;
-
-    // Highest-priority unscheduled operation each round (deterministic tie-break
-    // on id).
-    while let Some(i) =
-        (0..n).filter(|&i| start[i].is_none()).max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
-    {
-        let op = OpId(i as u32);
-        budget -= 1;
-        if budget < 0 {
-            return None;
-        }
-
-        let class = ddg.op(op).class();
-
-        // Earliest start consistent with the currently scheduled predecessors.
-        let mut estart: i64 = 0;
-        for e in ddg.pred_edges(op) {
-            if e.src == op {
-                continue; // self recurrences are guaranteed by II >= RecMII
-            }
-            if let Some(s) = start[e.src.index()] {
-                estart = estart.max(s as i64 + e.weight_at(ii));
-            }
-        }
-        let estart = estart.max(0) as u32;
-
-        // Look for a free unit in the scheduling window [estart, estart + II - 1].
-        let mut placement: Option<(u32, FuId)> = None;
-        for t in estart..estart + ii {
-            if let Some(fu) = mrt.free_fu(machine, t, class, None) {
-                placement = Some((t, fu));
-                break;
-            }
-        }
-
-        let (time, fu) = match placement {
-            Some(p) => p,
-            None => {
-                // Forced placement (Rau): at estart if this is the first time or the
-                // window moved forward, otherwise one cycle after the previous
-                // placement so progress is made.
-                let time = if never_scheduled[op.index()] || estart > prev_start[op.index()] {
-                    estart
-                } else {
-                    prev_start[op.index()] + 1
-                };
-                // Evict from the unit whose occupant has the lowest priority.
-                let victim_fu = machine
-                    .fus_of_class(class)
-                    .map(|f| f.id)
-                    .min_by_key(|&f| {
-                        mrt.occupant(time, f).map(|occ| heights[occ.index()]).unwrap_or(i64::MIN)
-                    })
-                    .expect("ResMII guarantees at least one unit of the class");
-                (time, victim_fu)
-            }
-        };
-
-        // Evict the current occupant of the chosen slot, if any.
-        if let Some(victim) = mrt.release(time, fu) {
-            start[victim.index()] = None;
-        }
-        mrt.reserve(time, fu, op);
-        start[op.index()] = Some(time);
-        fu_of[op.index()] = fu;
-        prev_start[op.index()] = time;
-        never_scheduled[op.index()] = false;
-
-        // Unschedule already-placed operations whose dependences with `op` are now
-        // violated; they will be re-placed later (this is the "iterative" part).
-        for e in ddg.succ_edges(op) {
-            if e.dst == op {
-                continue;
-            }
-            if let Some(s_dst) = start[e.dst.index()] {
-                if (s_dst as i64) < time as i64 + e.weight_at(ii) {
-                    mrt.release(s_dst, fu_of[e.dst.index()]);
-                    start[e.dst.index()] = None;
-                }
-            }
-        }
-        for e in ddg.pred_edges(op) {
-            if e.src == op {
-                continue;
-            }
-            if let Some(s_src) = start[e.src.index()] {
-                if (time as i64) < s_src as i64 + e.weight_at(ii) {
-                    mrt.release(s_src, fu_of[e.src.index()]);
-                    start[e.src.index()] = None;
-                }
-            }
-        }
-    }
-
-    let start: Vec<u32> = start.into_iter().map(|s| s.expect("all ops scheduled")).collect();
-    Some((start, fu_of))
+    run_placement(ddg, machine, ii, budget, &AnyClusterPolicy)
 }
 
 #[cfg(test)]
@@ -329,6 +229,25 @@ mod tests {
         assert!(sc >= 1);
         let max_start = r.schedule.start.iter().max().copied().unwrap();
         assert_eq!(sc, max_start / r.schedule.ii + 1);
+    }
+
+    #[test]
+    fn long_latency_chain_near_u32_max_schedules_without_overflow() {
+        // The issue windows of the last ops of this chain sit near u32::MAX, so
+        // the historical `estart..estart + ii` u32 scan overflowed.  The engine
+        // computes the window in u64; the schedule must come out intact.
+        let lat = LatencyModel { load: u32::MAX / 2, mul: u32::MAX / 2, ..Default::default() };
+        let mut b = DdgBuilder::new(lat);
+        let ld = b.op(OpKind::Load);
+        let mul = b.op(OpKind::Mul);
+        let tail = b.op(OpKind::Add);
+        b.flow(ld, mul);
+        b.flow(mul, tail);
+        let g = b.finish();
+        let m = machine(6);
+        let r = modulo_schedule(&g, &m, ImsOptions::default()).unwrap();
+        assert!(r.schedule.validate(&g, &m).is_ok());
+        assert_eq!(r.schedule.start_of(tail) as u64, u32::MAX as u64 - 1);
     }
 
     #[test]

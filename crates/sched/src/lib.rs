@@ -3,8 +3,11 @@
 //! This crate implements the software-pipelining substrate of the IPPS 1998 paper:
 //! Rau's **Iterative Modulo Scheduling** (IMS) on top of a modulo reservation table,
 //! plus the MII lower bounds (ResMII/RecMII), schedule validation, and the
-//! height-based priority function.  The clustered *partitioning* extension lives in
-//! the `vliw-partition` crate, which reuses the building blocks exported here.
+//! height-based priority function.  The placement loop itself lives in [`core`]: a
+//! shared engine (ready queue, window search, forced placement, eviction,
+//! dependence-violation unscheduling) parameterised by a [`ClusterPolicy`].  The
+//! clustered *partitioning* extension lives in the `vliw-partition` crate, which
+//! runs the same engine under its ring/affinity policy.
 //!
 //! ```
 //! use vliw_ddg::{kernels, LatencyModel};
@@ -18,12 +21,14 @@
 //! assert!(result.schedule.ii >= result.mii);
 //! ```
 
+pub mod core;
 pub mod ims;
 pub mod mii;
 pub mod mrt;
 pub mod priority;
 pub mod schedule;
 
+pub use core::{run_placement, AnyClusterPolicy, ClusterPolicy, Eligibility, PlacementEngine};
 pub use ims::{modulo_schedule, ImsOptions, ImsResult};
 pub use mii::{has_positive_cycle, mii, rec_mii, res_mii};
 pub use mrt::Mrt;

@@ -51,6 +51,9 @@ impl Mrt {
 
     /// Finds a free functional unit of class `class` at `cycle`, optionally
     /// restricted to one cluster.  Returns the lowest-numbered free unit.
+    ///
+    /// The probe walks the machine's pre-built per-class (or per-cluster-and-class)
+    /// unit index, so it touches only candidate units rather than every FU.
     pub fn free_fu(
         &self,
         machine: &Machine,
@@ -58,13 +61,11 @@ impl Mrt {
         class: OpClass,
         cluster: Option<ClusterId>,
     ) -> Option<FuId> {
-        machine
-            .fus()
-            .iter()
-            .filter(|fu| fu.class == class)
-            .filter(|fu| cluster.is_none_or(|c| fu.cluster == c))
-            .map(|fu| fu.id)
-            .find(|&fu| self.occupant(cycle, fu).is_none())
+        let candidates = match cluster {
+            Some(c) => machine.fu_ids_of_class_in_cluster(c, class),
+            None => machine.fu_ids_of_class(class),
+        };
+        candidates.iter().copied().find(|&fu| self.occupant(cycle, fu).is_none())
     }
 
     /// Reserves `fu` at `cycle` for `op`.

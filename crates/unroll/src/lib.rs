@@ -11,9 +11,9 @@
 //! distance `d` connects copy `k` of `i` to copy `(k + d) mod U` of `j` with new
 //! distance `(k + d) / U`.
 
-use vliw_ddg::{Ddg, Loop};
+use vliw_ddg::{Ddg, Loop, OpClass};
 use vliw_machine::Machine;
-use vliw_sched::{rec_mii, res_mii};
+use vliw_sched::rec_mii;
 
 pub mod transform;
 
@@ -37,19 +37,35 @@ pub const MAX_UNROLLED_OPS: usize = 256;
 pub fn select_unroll_factor(ddg: &Ddg, machine: &Machine, max_factor: u32) -> u32 {
     let max_factor = max_factor.max(1);
     let rec = rec_mii(ddg) as f64;
+    let counts = ddg.class_counts();
+    let units = machine.class_counts();
     let mut best_factor = 1u32;
     let mut best_cost = f64::INFINITY;
     for factor in 1..=max_factor {
         if ddg.num_ops() * factor as usize > MAX_UNROLLED_OPS {
             break;
         }
-        let unrolled = unroll_ddg(ddg, factor);
-        let res = match res_mii(&unrolled.ddg, machine) {
-            Ok(r) => r as f64,
-            Err(_) => continue,
-        };
+        // ResMII of the factor-times-unrolled body, straight from the class
+        // counts: the unrolled body holds exactly `factor` copies of every
+        // operation, so there is no need to materialise the unrolled graph.
+        let mut res = 1usize;
+        let mut missing_unit = false;
+        for class in OpClass::ALL {
+            let ops = counts[class.index()] * factor as usize;
+            if ops == 0 {
+                continue;
+            }
+            if units[class.index()] == 0 {
+                missing_unit = true;
+                break;
+            }
+            res = res.max(ops.div_ceil(units[class.index()]));
+        }
+        if missing_unit {
+            continue;
+        }
         // Per-original-iteration initiation interval estimate.
-        let cost = (res / factor as f64).max(rec);
+        let cost = (res as f64 / factor as f64).max(rec);
         if cost + 1e-9 < best_cost {
             best_cost = cost;
             best_factor = factor;

@@ -1,0 +1,72 @@
+//! Property-based tests of the partitioned schedules over randomly generated
+//! loops.
+//!
+//! The hand-written kernels already pin the ring-adjacency invariant; these
+//! tests extend the check to the synthetic `loopgen` corpus, driving both
+//! schedulers through the shared placement engine (`vliw_sched::core`): every
+//! schedule must validate against the machine, and every value of a partitioned
+//! schedule must flow only between ring-adjacent clusters.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use vliw_repro::vliw_core::ddg::DepKind;
+use vliw_repro::vliw_core::loopgen::generator::generate_loop;
+use vliw_repro::vliw_core::loopgen::CorpusConfig;
+use vliw_repro::vliw_core::qrf::insert_copies;
+use vliw_repro::vliw_core::sched::{modulo_schedule, ImsOptions};
+use vliw_repro::vliw_core::{partition_schedule, LatencyModel, Machine, PartitionOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partitioned schedules of random loops respect the ring: every flow edge
+    /// connects operations in the same or in adjacent clusters, and the
+    /// schedule passes full validation (dependences and resources).
+    #[test]
+    fn partitioned_schedules_of_random_loops_respect_the_ring(
+        seed in 0u64..2000,
+        n_clusters in 2usize..7,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+        let lat = LatencyModel::default();
+        let machine = Machine::paper_clustered(n_clusters, lat);
+        let body = insert_copies(&lp.ddg, &lat).ddg;
+        let r = partition_schedule(&body, &machine, PartitionOptions::default())
+            .expect("corpus loops are schedulable on clustered machines");
+        prop_assert!(r.schedule.validate(&body, &machine).is_ok());
+        prop_assert!(r.schedule.ii >= 1);
+        for e in body.edges() {
+            if e.kind != DepKind::Flow {
+                continue;
+            }
+            let cs = r.schedule.cluster_of(&machine, e.src);
+            let cd = r.schedule.cluster_of(&machine, e.dst);
+            prop_assert!(
+                machine.clusters_communicate(cs, cd),
+                "value flows between non-adjacent clusters {} -> {} at II {}",
+                cs, cd, r.schedule.ii
+            );
+        }
+    }
+
+    /// Plain IMS through the same placement engine: schedules of random loops
+    /// validate and respect the MII lower bound on machines of varying width.
+    #[test]
+    fn ims_schedules_of_random_loops_validate(
+        seed in 0u64..2000,
+        fus in 3usize..13,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(17).wrapping_add(3));
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+        let lat = LatencyModel::default();
+        let machine = Machine::single_cluster(fus, 2, 1024, lat);
+        let body = insert_copies(&lp.ddg, &lat).ddg;
+        let r = modulo_schedule(&body, &machine, ImsOptions::default())
+            .expect("corpus loops are schedulable");
+        prop_assert!(r.schedule.validate(&body, &machine).is_ok());
+        prop_assert!(r.schedule.ii >= r.mii.max(1));
+    }
+}
