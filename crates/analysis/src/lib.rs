@@ -8,15 +8,19 @@
 //!   separates Fig. 9 from Fig. 8;
 //! * [`aggregate`] — corpus-level fractions, means and the cumulative histograms
 //!   behind Fig. 3;
+//! * [`sim`] — the corpus-level row type of the simulated-IPC figure produced by
+//!   the cycle-accurate `vliw-sim` runs;
 //! * [`table`] — plain-text table rendering used by the `figures` binary and the
 //!   benchmark harness.
 
 pub mod aggregate;
 pub mod classify;
 pub mod ipc;
+pub mod sim;
 pub mod table;
 
 pub use aggregate::{fraction, mean, pct, CumulativeHistogram};
 pub use classify::{classify, is_resource_constrained, Constraint};
 pub use ipc::{dynamic_ipc, ipc_of, ipc_of_unrolled, static_ipc, IpcReport};
+pub use sim::SimReport;
 pub use table::TextTable;

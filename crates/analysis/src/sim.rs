@@ -1,0 +1,84 @@
+//! The simulated-IPC report row: corpus-level aggregation of cycle-accurate
+//! simulation runs.
+//!
+//! The `vliw-sim` crate measures one (loop, machine, trip-count) execution at a
+//! time; the `figures simulate` experiment sweeps a corpus through a set of
+//! machines and trip counts and aggregates each sweep point into one
+//! [`SimReport`] row.  The row carries both the simulated numbers and the
+//! closed-form ones (`ops·N / ((SC−1+N)·II)`), so the figure doubles as an
+//! end-to-end check that the formula-derived Figs. 8–9 rest on executions that
+//! actually complete without a single dynamic violation.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the simulated-IPC figure: a (machine, trip count) sweep point
+/// aggregated over every loop of the corpus that scheduled on that machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Machine name (e.g. `single-6fu`, `clustered-4x3fu`).
+    pub machine: String,
+    /// Machine width in compute FUs.
+    pub fus: usize,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Trip count each loop was executed for.
+    pub trip_count: u64,
+    /// Number of loops simulated (the ones that scheduled on this machine).
+    pub loops: usize,
+    /// Total **schedule faults** observed across all simulated loops —
+    /// dependences missed at run time, double-booked or wrong-class units,
+    /// values flowing between non-adjacent clusters.  0 for a healthy pipeline:
+    /// a statically valid schedule must never produce one.
+    pub violations: u64,
+    /// Number of loops whose values overflowed the machine's queue storage
+    /// (private QRF or ring link) at some cycle.  This is machine-sizing data,
+    /// not a schedule defect: it is the execution-observed counterpart of the
+    /// Fig. 7 "does not fit the cluster budget" population.
+    pub loops_overflowing_queues: usize,
+    /// Mean simulated dynamic IPC over the simulated loops.
+    pub mean_sim_dynamic_ipc: f64,
+    /// Mean closed-form dynamic IPC over the same loops.
+    pub mean_formula_dynamic_ipc: f64,
+    /// Largest absolute per-loop difference between the simulated and the
+    /// closed-form dynamic IPC.
+    pub max_ipc_abs_error: f64,
+    /// True if every simulated loop's cycle count equals
+    /// `Schedule::total_cycles` (the `(SC − 1 + N) · II` closed form).
+    pub cycles_match_formula: bool,
+    /// Largest peak private-QRF occupancy (in values) observed in any cluster
+    /// of any simulated loop.
+    pub max_peak_private_occupancy: usize,
+    /// Largest peak communication-queue occupancy observed on any ring link of
+    /// any simulated loop (0 on single-cluster machines).
+    pub max_peak_comm_occupancy: usize,
+    /// Mean copy-bus utilisation (fraction of copy-unit issue slots used).
+    pub mean_copy_bus_utilisation: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_report_round_trips_through_display_fields() {
+        let row = SimReport {
+            machine: "single-6fu".to_string(),
+            fus: 6,
+            clusters: 1,
+            trip_count: 100,
+            loops: 32,
+            violations: 0,
+            loops_overflowing_queues: 0,
+            mean_sim_dynamic_ipc: 2.5,
+            mean_formula_dynamic_ipc: 2.5,
+            max_ipc_abs_error: 0.0,
+            cycles_match_formula: true,
+            max_peak_private_occupancy: 17,
+            max_peak_comm_occupancy: 0,
+            mean_copy_bus_utilisation: 0.25,
+        };
+        let copy = row.clone();
+        assert_eq!(row, copy);
+        assert_eq!(row.machine, "single-6fu");
+    }
+}

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the cycle-accurate kernel simulator: per-kernel runs at
+//! increasing trip counts, and a cold sweep of the whole 32-loop bench corpus —
+//! the before/after comparison point for hot-path work on the simulation
+//! engine (slot lists, issue-record ring buffer, queue accounting).  CI runs
+//! this bench and uploads the report so the trend is tracked per PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vliw_bench::bench_config;
+use vliw_core::pipeline::CompilerConfig;
+use vliw_core::sim::simulate;
+use vliw_core::{kernels, LatencyModel, Machine, Session};
+
+fn bench_sim_kernels(c: &mut Criterion) {
+    let lat = LatencyModel::default();
+    let single = Machine::paper_single(6);
+    let clustered = Machine::paper_clustered(4, lat);
+    let mut group = c.benchmark_group("sim");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    for lp in kernels::all_kernels(lat) {
+        for (machine, tag) in [(&single, "single6"), (&clustered, "clustered4")] {
+            let compiler =
+                vliw_core::Compiler::new(CompilerConfig::paper_defaults(machine.clone()));
+            let compiled = compiler.compile(&lp).expect("kernels schedule");
+            for n in [10u64, 1000] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{tag}_n{n}"), &lp.name),
+                    &compiled,
+                    |b, c| {
+                        b.iter(|| {
+                            let run = simulate(&c.transformed, machine, &c.schedule, n).unwrap();
+                            assert!(run.schedule_is_sound());
+                            run.measurement.total_cycles
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_sim_corpus(c: &mut Criterion) {
+    // The whole bench corpus, compiled once and then simulated per iteration —
+    // the simulation-only cost of one `figures simulate` sweep point.
+    let session = Session::new(bench_config());
+    let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+    let compiled: Vec<_> = (0..session.num_loops())
+        .filter_map(|i| {
+            let r = compiler.compile(i);
+            r.as_ref().as_ref().ok().cloned()
+        })
+        .collect();
+    let machine = Machine::paper_single(6);
+    let mut group = c.benchmark_group("sim");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("corpus_cold_n1000", |b| {
+        b.iter(|| {
+            compiled
+                .iter()
+                .map(|c| {
+                    simulate(&c.transformed, &machine, &c.schedule, 1000)
+                        .unwrap()
+                        .measurement
+                        .total_cycles
+                })
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_kernels, bench_sim_corpus);
+criterion_main!(benches);

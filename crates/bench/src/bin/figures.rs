@@ -7,12 +7,14 @@
 //!     all --format json --corpus-size 32 --seed 386                # the golden-baseline run
 //! ```
 //!
-//! Subcommands: `fig3`, `copy-cost`, `fig4`, `fig6`, `resources`, `ipc`, `all`
-//! (default).  Global options: `--corpus-size`, `--seed`, `--threads`,
-//! `--format text|json`.  The output of a full-corpus text run is recorded in
-//! EXPERIMENTS.md next to the numbers reported by the paper; the JSON format is
-//! what CI's bench-smoke job archives and what `baselines/figures_small.json`
-//! pins.
+//! Subcommands: `fig3`, `copy-cost`, `fig4`, `fig6`, `resources`, `ipc`,
+//! `simulate`, `all` (default; covers the figure experiments but not
+//! `simulate`, whose report is a separate document).  Global options:
+//! `--corpus-size`, `--seed`, `--threads`, `--format text|json`.  The output of
+//! a full-corpus text run is recorded in EXPERIMENTS.md next to the numbers
+//! reported by the paper; the JSON format is what CI's bench-smoke job archives
+//! and what `baselines/figures_small.json` (and, for `simulate`,
+//! `baselines/sim_small.json`) pins.
 //!
 //! All selected experiments run through one shared compilation session, so
 //! overlapping sweep points compile once.  The session's cache statistics
@@ -23,8 +25,27 @@
 
 use std::process::ExitCode;
 
-use vliw_bench::{cli, render_stats, render_text, run_experiments_in, OutputFormat};
+use vliw_bench::{
+    cli, render_simulate_text, render_stats, render_text, run_experiments_in, run_simulate_in,
+    OutputFormat, Selection,
+};
 use vliw_core::Session;
+
+/// Serializes and prints one report document on stdout (pretty) and the session
+/// cache statistics on stderr (one line), the JSON-mode contract of every
+/// subcommand.
+fn emit_json<T: serde::Serialize>(
+    report: &T,
+    stats: &vliw_core::SessionStats,
+) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| format!("failed to serialize the report: {e}"))?;
+    println!("{json}");
+    let stats_json = serde_json::to_string(stats)
+        .map_err(|e| format!("failed to serialize the cache stats: {e}"))?;
+    eprintln!("{stats_json}");
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let matches = cli::command().get_matches();
@@ -37,23 +58,38 @@ fn main() -> ExitCode {
     };
 
     let session = Session::new(run.experiment_config());
+    if selection == Selection::Simulate {
+        let report = run_simulate_in(&session);
+        let stats = session.stats();
+        match run.format {
+            OutputFormat::Json => {
+                if let Err(message) = emit_json(&report, &stats) {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            OutputFormat::Text => {
+                println!(
+                    "# Simulation run: {} loops, seed {}, {} threads\n",
+                    report.corpus_size,
+                    report.seed,
+                    session.threads()
+                );
+                print!("{}", render_simulate_text(&report));
+                println!();
+                print!("{}", render_stats(&stats));
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let report = run_experiments_in(&session, selection);
     let stats = session.stats();
     match run.format {
         OutputFormat::Json => {
-            match serde_json::to_string_pretty(&report) {
-                Ok(json) => println!("{json}"),
-                Err(e) => {
-                    eprintln!("error: failed to serialize the report: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            match serde_json::to_string(&stats) {
-                Ok(json) => eprintln!("{json}"),
-                Err(e) => {
-                    eprintln!("error: failed to serialize the cache stats: {e}");
-                    return ExitCode::FAILURE;
-                }
+            if let Err(message) = emit_json(&report, &stats) {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
             }
         }
         OutputFormat::Text => {

@@ -50,7 +50,11 @@ pub fn command() -> Command {
         .subcommand(Command::new("fig6").about("Fig. 6 - II variation of partitioned schedules"))
         .subcommand(Command::new("resources").about("Fig. 7 / Section 4 - cluster resource sizing"))
         .subcommand(Command::new("ipc").about("Figs. 8 and 9 - operations issued per cycle"))
-        .subcommand(Command::new("all").about("Every experiment above (the default)"))
+        .subcommand(Command::new("simulate").about(
+            "Cycle-accurate kernel simulation - dynamic schedule verification \
+             and simulated IPC (trip counts 10/100/1000)",
+        ))
+        .subcommand(Command::new("all").about("Every figure experiment above (the default)"))
 }
 
 /// Resolves parsed matches into the run parameters and experiment selection.
@@ -129,11 +133,24 @@ mod tests {
             ("fig6", Selection::Fig6),
             ("resources", Selection::Resources),
             ("ipc", Selection::Ipc),
+            ("simulate", Selection::Simulate),
             ("all", Selection::All),
         ] {
             let (selection, _) = parse(&[name]).unwrap();
             assert_eq!(selection, expected, "subcommand {name}");
         }
+    }
+
+    #[test]
+    fn simulate_acceptance_command_line_parses() {
+        // The exact invocation the simulated-IPC baseline is generated with.
+        let (selection, run) =
+            parse(&["simulate", "--format", "json", "--corpus-size", "32", "--seed", "386"])
+                .unwrap();
+        assert_eq!(selection, Selection::Simulate);
+        assert_eq!(run.corpus_size, 32);
+        assert_eq!(run.seed, 386);
+        assert_eq!(run.format, OutputFormat::Json);
     }
 
     #[test]

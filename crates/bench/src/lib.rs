@@ -23,10 +23,10 @@ pub mod cli;
 use serde::{Deserialize, Serialize};
 use vliw_core::experiments::{
     cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
-    fig6_experiment, fig8_experiment, fig9_experiment, ClusterResourcesRow, CopyCostRow,
-    ExperimentConfig, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint,
+    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, ClusterResourcesRow,
+    CopyCostRow, ExperimentConfig, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport,
 };
-use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources};
+use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources, simulate};
 use vliw_core::session::{Session, SessionStats};
 
 /// Corpus size used by the Criterion benches and the CI bench-smoke run.
@@ -90,7 +90,14 @@ pub enum Selection {
     Resources,
     /// Figs. 8 and 9 — static/dynamic IPC curves.
     Ipc,
-    /// Everything above.
+    /// Cycle-accurate simulation: dynamic verification plus simulated IPC.
+    ///
+    /// Deliberately **not** part of [`Selection::All`]: the simulated-IPC
+    /// report is a separate document ([`SimulateReport`]) with its own golden
+    /// baseline, and `figures all` stdout must stay byte-identical to
+    /// `baselines/figures_small.json`.
+    Simulate,
+    /// Every figure experiment (everything above except `Simulate`).
     All,
 }
 
@@ -104,13 +111,19 @@ impl Selection {
             "fig6" => Some(Selection::Fig6),
             "resources" => Some(Selection::Resources),
             "ipc" => Some(Selection::Ipc),
+            "simulate" => Some(Selection::Simulate),
             "all" => Some(Selection::All),
             _ => None,
         }
     }
 
     fn runs(self, which: Selection) -> bool {
-        self == Selection::All || self == which
+        match self {
+            // `all` is the figure sweep; the simulation report is a separate
+            // document (see [`Selection::Simulate`]).
+            Selection::All => which != Selection::Simulate,
+            s => s == which,
+        }
     }
 }
 
@@ -180,7 +193,17 @@ pub struct FiguresReport {
 /// The corpus is generated once (by the session), identical sweep points across
 /// drivers compile once, and `session.stats()` afterwards tells how much work the
 /// cache shared — the `figures` CLI reports those numbers.
+///
+/// # Panics
+///
+/// Panics on [`Selection::Simulate`]: the simulation sweep produces a
+/// [`SimulateReport`], not a [`FiguresReport`] — route it to
+/// [`run_simulate_in`] instead (as the `figures` binary does).
 pub fn run_experiments_in(session: &Session, selection: Selection) -> FiguresReport {
+    assert!(
+        selection != Selection::Simulate,
+        "Selection::Simulate produces a SimulateReport; call run_simulate_in"
+    );
     FiguresReport {
         corpus_size: session.config().corpus.num_loops,
         seed: session.config().corpus.seed,
@@ -203,13 +226,37 @@ pub fn run_experiments(selection: Selection, run: &RunConfig) -> FiguresReport {
     run_experiments_in(&Session::new(run.experiment_config()), selection)
 }
 
+/// Runs the simulated-IPC experiment (the `figures simulate` subcommand) over a
+/// shared compilation session.  The schedules are compiled through the same
+/// memo store the figure drivers use, so a session that already ran `all` only
+/// pays for the simulation itself.
+pub fn run_simulate_in(session: &Session) -> SimulateReport {
+    simulate_experiment(session)
+}
+
+/// Renders a simulated-IPC report in the human-readable EXPERIMENTS.md format.
+pub fn render_simulate_text(report: &SimulateReport) -> String {
+    format!(
+        "## Simulated IPC — cycle-accurate execution (trip counts {:?})\n\n{}\n",
+        report.trip_counts,
+        simulate::render(&report.rows).render()
+    )
+}
+
 /// Renders session cache statistics in the text-output format.
 pub fn render_stats(stats: &SessionStats) -> String {
-    format!(
+    let mut out = format!(
         "## Compilation-session cache\n\n\
          compilations = {}\ncache hits   = {}\nunique keys  = {}\n",
         stats.compilations, stats.hits, stats.unique_keys
-    )
+    );
+    if stats.sim_runs > 0 || stats.sim_hits > 0 {
+        out.push_str(&format!(
+            "simulations  = {}\nsim hits     = {}\n",
+            stats.sim_runs, stats.sim_hits
+        ));
+    }
+    out
 }
 
 /// Renders a report in the human-readable EXPERIMENTS.md format.
@@ -267,11 +314,38 @@ mod tests {
             ("fig6", Selection::Fig6),
             ("resources", Selection::Resources),
             ("ipc", Selection::Ipc),
+            ("simulate", Selection::Simulate),
             ("all", Selection::All),
         ] {
             assert_eq!(Selection::from_subcommand(name), Some(expected));
         }
         assert_eq!(Selection::from_subcommand("fig5"), None);
+    }
+
+    #[test]
+    fn all_does_not_include_the_simulation_report() {
+        // `figures all` stdout is pinned by baselines/figures_small.json; the
+        // simulated-IPC report is a separate document with its own baseline.
+        assert!(!Selection::All.runs(Selection::Simulate));
+        assert!(Selection::Simulate.runs(Selection::Simulate));
+        assert!(!Selection::Simulate.runs(Selection::Fig3));
+    }
+
+    #[test]
+    fn simulate_run_reports_cleanly_and_renders() {
+        let run =
+            RunConfig { corpus_size: 6, seed: 5, threads: Some(2), format: OutputFormat::Json };
+        let session = Session::new(run.experiment_config());
+        let report = run_simulate_in(&session);
+        assert_eq!(report.corpus_size, 6);
+        assert_eq!(report.total_violations(), 0);
+        assert!(session.stats().sim_runs > 0);
+        let text = render_simulate_text(&report);
+        assert!(text.contains("Simulated IPC"));
+        assert!(text.contains("violations"));
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        let back: SimulateReport = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, report);
     }
 
     #[test]
@@ -349,7 +423,7 @@ mod tests {
                     merged.fig8_ipc = report.fig8_ipc;
                     merged.fig9_ipc = report.fig9_ipc;
                 }
-                Selection::All => unreachable!(),
+                Selection::All | Selection::Simulate => unreachable!(),
             }
         }
 
@@ -367,10 +441,25 @@ mod tests {
 
     #[test]
     fn render_stats_mentions_every_counter() {
-        let s =
-            render_stats(&vliw_core::SessionStats { compilations: 12, hits: 34, unique_keys: 5 });
+        let s = render_stats(&vliw_core::SessionStats {
+            compilations: 12,
+            hits: 34,
+            unique_keys: 5,
+            sim_runs: 0,
+            sim_hits: 0,
+        });
         assert!(s.contains("12") && s.contains("34") && s.contains('5'));
         assert!(s.contains("Compilation-session cache"));
+        assert!(!s.contains("simulations"), "sim counters only appear when sims ran");
+        let s = render_stats(&vliw_core::SessionStats {
+            compilations: 12,
+            hits: 34,
+            unique_keys: 5,
+            sim_runs: 7,
+            sim_hits: 2,
+        });
+        assert!(s.contains("simulations  = 7"));
+        assert!(s.contains("sim hits     = 2"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`fig6`] | Fig. 6 — II variation of the partitioned schedules (12/15/18 FUs) |
 //! | [`cluster_resources`] | Fig. 7 / Section 4 — queue demand per cluster and per ring link |
 //! | [`ipc`] | Figs. 8 and 9 — static/dynamic IPC, all loops and resource-constrained loops |
+//! | [`simulate`] | Simulated IPC — cycle-accurate execution with dynamic verification |
 
 pub mod copy_cost;
 pub mod fig3;
@@ -28,6 +29,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod ipc;
 pub mod resources;
+pub mod simulate;
 
 pub use copy_cost::{copy_cost_experiment, CopyCostRow};
 pub use fig3::{fig3_experiment, Fig3Row};
@@ -35,6 +37,7 @@ pub use fig4::{fig4_experiment, Fig4Row};
 pub use fig6::{fig6_experiment, Fig6Row};
 pub use ipc::{fig8_experiment, fig9_experiment, IpcCurvePoint};
 pub use resources::{cluster_resources_experiment, ClusterResourcesRow};
+pub use simulate::{sim_machines, simulate_experiment, SimulateReport, SIM_TRIP_COUNTS};
 
 use vliw_ddg::Loop;
 use vliw_loopgen::{generate_corpus, CorpusConfig};

@@ -1,0 +1,234 @@
+//! The simulated-IPC experiment: cycle-accurate execution of every scheduled
+//! loop, as a dynamic end-to-end check of the formula-derived Figs. 8 and 9.
+//!
+//! For each machine of [`sim_machines`] and each trip count of
+//! [`SIM_TRIP_COUNTS`], every corpus loop that schedules is executed on the
+//! `vliw-sim` engine and the sweep point is aggregated into one
+//! [`SimReport`] row:
+//!
+//! * the **violations** column is the dynamic verifier's verdict on the
+//!   schedules — a healthy pipeline reports 0 everywhere (any dependence missed
+//!   at run time, FU double-booking or non-adjacent value flow would show
+//!   here); queue-capacity overflows are tallied separately
+//!   (`loops_overflowing_queues`), because they indict the machine's queue
+//!   budget rather than the schedule — the execution-observed counterpart of
+//!   Fig. 7's "fits the cluster budget" fraction;
+//! * the simulated dynamic IPC is reported next to the closed-form
+//!   `ops·N / ((SC−1+N)·II)` value, with the largest per-loop divergence;
+//! * queue peaks and copy-bus utilisation are *observed over time*, not derived
+//!   from lifetimes, giving the Fig. 7 sizing story an execution-backed
+//!   counterpart.
+
+use serde::{Deserialize, Serialize};
+use vliw_analysis::{dynamic_ipc, mean, SimReport, TextTable};
+use vliw_machine::Machine;
+
+use crate::pipeline::CompilerConfig;
+use crate::session::Session;
+
+/// Trip counts of the simulated sweep.  `10` keeps the prologue/epilogue
+/// overhead visible, `1000` is dominated by the steady-state kernel, `100` sits
+/// in between — together they trace how dynamic IPC approaches static IPC.
+pub const SIM_TRIP_COUNTS: [u64; 3] = [10, 100, 1000];
+
+/// The machines simulated: the paper's single-cluster 6- and 12-FU references
+/// plus the 4- and 6-cluster ring machines (the interesting ends of Fig. 6's
+/// clustered sweep).  All four are sweep points other drivers also compile, so
+/// in a shared session the simulation pass reuses their schedules.
+pub fn sim_machines() -> Vec<Machine> {
+    vec![
+        Machine::paper_single(6),
+        Machine::paper_single(12),
+        Machine::paper_clustered(4, Default::default()),
+        Machine::paper_clustered(6, Default::default()),
+    ]
+}
+
+/// Everything one `figures simulate` run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateReport {
+    /// Number of loops in the corpus the run evaluated.
+    pub corpus_size: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Trip counts swept.
+    pub trip_counts: Vec<u64>,
+    /// One row per (machine, trip count).
+    pub rows: Vec<SimReport>,
+}
+
+impl SimulateReport {
+    /// Total schedule faults across every row (0 for a healthy pipeline).
+    pub fn total_violations(&self) -> u64 {
+        self.rows.iter().map(|r| r.violations).sum()
+    }
+
+    /// Total loop×sweep-point pairs whose values overflowed the queue budget.
+    pub fn total_overflowing(&self) -> usize {
+        self.rows.iter().map(|r| r.loops_overflowing_queues).sum()
+    }
+}
+
+/// Per-loop sample collected by the sweep before aggregation.
+struct LoopSample {
+    sim_ipc: f64,
+    formula_ipc: f64,
+    ipc_abs_error: f64,
+    cycles_match: bool,
+    schedule_faults: u64,
+    overflowed: bool,
+    peak_private: usize,
+    peak_comm: usize,
+    copy_utilisation: f64,
+}
+
+/// Runs the simulated-IPC experiment over `session`.
+pub fn simulate_experiment(session: &Session) -> SimulateReport {
+    let mut rows = Vec::new();
+    for machine in sim_machines() {
+        let fus = machine.num_compute_fus();
+        let clusters = machine.num_clusters();
+        let name = machine.name().to_string();
+        let compiler = session.compiler(CompilerConfig::paper_defaults(machine));
+        for &trip_count in &SIM_TRIP_COUNTS {
+            let samples: Vec<Option<LoopSample>> = session.sweep(|i, _| {
+                let run = compiler.simulate(i, trip_count)?;
+                let (formula_ipc, cycles_match) = compiler
+                    .map_ok(i, |c| {
+                        let formula = dynamic_ipc(c.transformed.num_ops(), &c.schedule, trip_count);
+                        let cycles_match =
+                            run.measurement.total_cycles == c.schedule.total_cycles(trip_count);
+                        (formula, cycles_match)
+                    })
+                    .expect("simulated loops compiled");
+                let m = &run.measurement;
+                Some(LoopSample {
+                    sim_ipc: m.dynamic_ipc,
+                    formula_ipc,
+                    ipc_abs_error: (m.dynamic_ipc - formula_ipc).abs(),
+                    cycles_match,
+                    schedule_faults: run.schedule_faults,
+                    overflowed: run.capacity_faults > 0,
+                    peak_private: m.max_private_peak(),
+                    peak_comm: m.max_comm_peak(),
+                    copy_utilisation: m.copy_bus_utilisation,
+                })
+            });
+            let ok: Vec<LoopSample> = samples.into_iter().flatten().collect();
+            rows.push(SimReport {
+                machine: name.clone(),
+                fus,
+                clusters,
+                trip_count,
+                loops: ok.len(),
+                violations: ok.iter().map(|s| s.schedule_faults).sum(),
+                loops_overflowing_queues: ok.iter().filter(|s| s.overflowed).count(),
+                mean_sim_dynamic_ipc: mean(&ok.iter().map(|s| s.sim_ipc).collect::<Vec<_>>()),
+                mean_formula_dynamic_ipc: mean(
+                    &ok.iter().map(|s| s.formula_ipc).collect::<Vec<_>>(),
+                ),
+                max_ipc_abs_error: ok.iter().map(|s| s.ipc_abs_error).fold(0.0, f64::max),
+                cycles_match_formula: ok.iter().all(|s| s.cycles_match),
+                max_peak_private_occupancy: ok.iter().map(|s| s.peak_private).max().unwrap_or(0),
+                max_peak_comm_occupancy: ok.iter().map(|s| s.peak_comm).max().unwrap_or(0),
+                mean_copy_bus_utilisation: mean(
+                    &ok.iter().map(|s| s.copy_utilisation).collect::<Vec<_>>(),
+                ),
+            });
+        }
+    }
+    SimulateReport {
+        corpus_size: session.config().corpus.num_loops,
+        seed: session.config().corpus.seed,
+        trip_counts: SIM_TRIP_COUNTS.to_vec(),
+        rows,
+    }
+}
+
+/// Renders the simulated-IPC rows as a text table.
+pub fn render(rows: &[SimReport]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "machine",
+        "N",
+        "loops",
+        "violations",
+        "q-overflows",
+        "sim dyn IPC",
+        "formula IPC",
+        "cycles match",
+        "peak QRF",
+        "peak ring",
+        "copy util",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.machine.clone(),
+            r.trip_count.to_string(),
+            r.loops.to_string(),
+            r.violations.to_string(),
+            r.loops_overflowing_queues.to_string(),
+            format!("{:.3}", r.mean_sim_dynamic_ipc),
+            format!("{:.3}", r.mean_formula_dynamic_ipc),
+            if r.cycles_match_formula { "yes" } else { "NO" }.to_string(),
+            r.max_peak_private_occupancy.to_string(),
+            r.max_peak_comm_occupancy.to_string(),
+            format!("{:.3}", r.mean_copy_bus_utilisation),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_sweep_is_clean_and_matches_the_closed_forms() {
+        let session = Session::quick(12, 386);
+        let report = simulate_experiment(&session);
+        assert_eq!(report.rows.len(), sim_machines().len() * SIM_TRIP_COUNTS.len());
+        assert_eq!(report.total_violations(), 0, "scheduled loops must execute cleanly");
+        for row in &report.rows {
+            assert!(row.loops > 0, "{}: no loop simulated", row.machine);
+            assert!(row.cycles_match_formula, "{}: cycle count diverged", row.machine);
+            assert_eq!(
+                row.max_ipc_abs_error, 0.0,
+                "{} N={}: simulated IPC must equal the closed form exactly",
+                row.machine, row.trip_count
+            );
+            assert!(row.mean_sim_dynamic_ipc > 0.0);
+        }
+        // Dynamic IPC grows with the trip count (prologue/epilogue amortise).
+        let single6: Vec<&SimReport> =
+            report.rows.iter().filter(|r| r.machine == "single-6fu").collect();
+        assert!(single6[0].mean_sim_dynamic_ipc < single6[2].mean_sim_dynamic_ipc);
+        // The sweep actually simulated through the session cache.
+        let stats = session.stats();
+        assert!(stats.sim_runs > 0);
+    }
+
+    #[test]
+    fn repeated_sweeps_are_served_from_the_cache() {
+        let session = Session::quick(6, 17);
+        let first = simulate_experiment(&session);
+        let runs_after_first = session.stats().sim_runs;
+        let second = simulate_experiment(&session);
+        assert_eq!(first, second, "cached runs must not change the rows");
+        assert_eq!(
+            session.stats().sim_runs,
+            runs_after_first,
+            "the second sweep must not simulate anything new"
+        );
+        assert!(session.stats().sim_hits > 0);
+    }
+
+    #[test]
+    fn render_mentions_the_verdict_columns() {
+        let session = Session::quick(4, 5);
+        let report = simulate_experiment(&session);
+        let text = render(&report.rows).render();
+        assert!(text.contains("violations"));
+        assert!(text.contains("sim dyn IPC"));
+        assert!(text.contains("yes"));
+    }
+}

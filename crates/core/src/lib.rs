@@ -46,6 +46,7 @@ pub use vliw_machine as machine;
 pub use vliw_partition as partition;
 pub use vliw_qrf as qrf;
 pub use vliw_sched as sched;
+pub use vliw_sim as sim;
 pub use vliw_unroll as unroll;
 
 // Frequently used items, re-exported flat for convenience.
@@ -55,6 +56,7 @@ pub use vliw_machine::{copy_units_for, ClusterConfig, ClusterId, FuId, Machine, 
 pub use vliw_partition::{partition_schedule, CommStats, PartitionOptions, PartitionResult};
 pub use vliw_qrf::{allocate_queues, insert_copies, q_compatible, use_lifetimes, QueueAllocation};
 pub use vliw_sched::{modulo_schedule, ImsOptions, ImsResult, SchedError, Schedule};
+pub use vliw_sim::{simulate, SimMeasurement, SimRun, SimViolation};
 pub use vliw_unroll::{ii_speedup, select_unroll_factor, unroll_ddg};
 
 #[cfg(test)]

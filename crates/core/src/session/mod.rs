@@ -40,7 +40,7 @@ use vliw_loopgen::generate_corpus;
 
 pub use executor::par_map_indexed;
 pub use key::CompilationKey;
-pub use store::{CachedResult, SessionStats};
+pub use store::{CachedResult, CachedSim, SessionStats};
 
 use crate::experiments::ExperimentConfig;
 use crate::pipeline::{Compilation, Compiler, CompilerConfig};
@@ -161,6 +161,20 @@ impl SessionCompiler<'_> {
         self.compile(index).as_ref().as_ref().ok().map(f)
     }
 
+    /// Simulates the corpus loop at `index` over `trip_count` iterations,
+    /// compiling it first if needed; memoised per (sweep point, loop, trip
+    /// count), so repeated sweeps — and overlapping trip-count grids across
+    /// drivers — execute each run exactly once.  `None` if the loop does not
+    /// schedule under this configuration.
+    pub fn simulate(&self, index: usize, trip_count: u64) -> Option<CachedSim> {
+        self.entry.simulate(
+            index,
+            &self.session.corpus[index],
+            trip_count,
+            self.session.store.counters(),
+        )
+    }
+
     /// The configuration this handle compiles with.
     pub fn config(&self) -> &CompilerConfig {
         self.entry.compiler().config()
@@ -215,6 +229,24 @@ mod tests {
                 (c, d) => panic!("cached {c:?} disagrees with fresh {d:?}"),
             }
         }
+    }
+
+    #[test]
+    fn simulate_memoizes_per_trip_count_and_matches_the_compilation() {
+        let session = Session::quick(5, 29);
+        let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+        for i in 0..session.num_loops() {
+            let Some(run) = compiler.simulate(i, 50) else { continue };
+            let again = compiler.simulate(i, 50).expect("memoised run");
+            assert!(Arc::ptr_eq(&run, &again));
+            let c = compiler.compile(i);
+            let c = c.as_ref().as_ref().expect("simulated loops compiled");
+            assert!(run.is_clean(), "loop {i}: {:?}", run.violations);
+            assert_eq!(run.measurement.total_cycles, c.schedule.total_cycles(50));
+        }
+        let stats = session.stats();
+        assert!(stats.sim_runs > 0);
+        assert!(stats.sim_hits >= stats.sim_runs, "every run was requested twice");
     }
 
     #[test]

@@ -14,12 +14,16 @@ use std::sync::{Arc, Mutex, OnceLock};
 use serde::{Deserialize, Serialize};
 use vliw_ddg::Loop;
 use vliw_sched::SchedError;
+use vliw_sim::SimRun;
 
 use crate::pipeline::{Compilation, Compiler};
 use crate::session::key::CompilationKey;
 
 /// A memoised per-loop outcome: the compilation or the scheduler error, shared.
 pub type CachedResult = Arc<Result<Compilation, SchedError>>;
+
+/// A memoised simulation run, shared.
+pub type CachedSim = Arc<SimRun>;
 
 /// Number of stripes of the key-interning map.  Sweeps use a few tens of keys at
 /// most, so this is about avoiding systematic contention, not about scaling the
@@ -35,19 +39,29 @@ pub struct SessionStats {
     pub hits: u64,
     /// Number of distinct compilation keys interned.
     pub unique_keys: u64,
+    /// Number of actual `vliw_sim::simulate` invocations (sim cache misses).
+    pub sim_runs: u64,
+    /// Number of simulation requests served from an already-simulated slot.
+    pub sim_hits: u64,
 }
 
 /// One interned sweep point: its compiler plus a dense slot per corpus loop.
 pub(crate) struct KeyEntry {
     compiler: Compiler,
     slots: Vec<OnceLock<CachedResult>>,
+    /// Memoised simulation runs per loop, keyed by trip count.  A per-loop
+    /// mutex (not `OnceLock`): trip counts form an open set, and the per-loop
+    /// granularity keeps concurrent sweeps of different loops contention-free.
+    sim_slots: Vec<Mutex<HashMap<u64, CachedSim>>>,
 }
 
 impl KeyEntry {
     fn new(compiler: Compiler, num_loops: usize) -> Self {
         let mut slots = Vec::with_capacity(num_loops);
         slots.resize_with(num_loops, OnceLock::new);
-        KeyEntry { compiler, slots }
+        let mut sim_slots = Vec::with_capacity(num_loops);
+        sim_slots.resize_with(num_loops, || Mutex::new(HashMap::new()));
+        KeyEntry { compiler, slots, sim_slots }
     }
 
     /// The configuration this entry compiles with.
@@ -73,6 +87,41 @@ impl KeyEntry {
         }
         Arc::clone(result)
     }
+
+    /// Returns the memoised simulation of the loop at `index` over `trip_count`
+    /// iterations, compiling and simulating on first request; `None` when the
+    /// loop does not schedule under this configuration.
+    pub(crate) fn simulate(
+        &self,
+        index: usize,
+        lp: &Loop,
+        trip_count: u64,
+        stats: &StatCounters,
+    ) -> Option<CachedSim> {
+        let compiled = self.compile(index, lp, stats);
+        let compilation = compiled.as_ref().as_ref().ok()?;
+        // The per-loop lock also serialises the first simulation of each trip
+        // count, so — like `OnceLock` on the compile side — every (key, loop,
+        // N) triple simulates exactly once and the counters are deterministic.
+        let mut runs = self.sim_slots[index].lock().expect("sim slot poisoned");
+        if let Some(run) = runs.get(&trip_count) {
+            stats.sim_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(run));
+        }
+        let machine = &self.compiler.config().machine;
+        let run = Arc::new(
+            vliw_sim::simulate(
+                &compilation.transformed,
+                machine,
+                &compilation.schedule,
+                trip_count,
+            )
+            .expect("session compilations always produce structurally simulatable schedules"),
+        );
+        stats.sim_runs.fetch_add(1, Ordering::Relaxed);
+        runs.insert(trip_count, Arc::clone(&run));
+        Some(run)
+    }
 }
 
 /// Hit/miss counters, shared by every [`KeyEntry`] of a store.
@@ -80,6 +129,8 @@ impl KeyEntry {
 pub(crate) struct StatCounters {
     compilations: AtomicU64,
     hits: AtomicU64,
+    sim_runs: AtomicU64,
+    sim_hits: AtomicU64,
 }
 
 /// The lock-striped memo store: interned keys plus the shared counters.
@@ -123,6 +174,8 @@ impl MemoStore {
             compilations: self.stats.compilations.load(Ordering::Relaxed),
             hits: self.stats.hits.load(Ordering::Relaxed),
             unique_keys,
+            sim_runs: self.stats.sim_runs.load(Ordering::Relaxed),
+            sim_hits: self.stats.sim_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -180,6 +233,24 @@ mod tests {
         store.entry(CompilationKey::of(&with), 2, || Compiler::new(with.clone()));
         store.entry(CompilationKey::of(&without), 2, || Compiler::new(without.clone()));
         assert_eq!(store.stats().unique_keys, 2);
+    }
+
+    #[test]
+    fn repeated_simulations_run_once_per_trip_count() {
+        let (store, entry) = store_with_entry(1);
+        let lp = kernels::dot_product(LatencyModel::default(), 100);
+        let first = entry.simulate(0, &lp, 10, store.counters()).expect("schedulable");
+        let second = entry.simulate(0, &lp, 10, store.counters()).expect("schedulable");
+        assert!(Arc::ptr_eq(&first, &second), "both requests must share one run");
+        let other = entry.simulate(0, &lp, 100, store.counters()).expect("schedulable");
+        assert!(!Arc::ptr_eq(&first, &other), "distinct trip counts are distinct runs");
+        assert_eq!(other.measurement.trip_count, 100);
+        let stats = store.stats();
+        assert_eq!(stats.sim_runs, 2);
+        assert_eq!(stats.sim_hits, 1);
+        // Each simulate request also requested the compilation (1 miss + 2 hits).
+        assert_eq!(stats.compilations, 1);
+        assert!(first.is_clean());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Expansion of a modulo schedule into its dynamic issue slots.
+//!
+//! A modulo schedule describes one iteration; running a loop of trip count `N`
+//! overlaps `N` shifted copies of it, one initiated every II cycles.  The dynamic
+//! execution has three phases (Section 2 of the paper):
+//!
+//! * **prologue** — the pipeline fills: fewer than `SC` iterations are in flight;
+//! * **steady-state kernel** — exactly `SC` iterations are in flight and every II
+//!   window issues all `ops` operations (only exists when `N ≥ SC`);
+//! * **epilogue** — the pipeline drains after the last iteration entered.
+//!
+//! The helpers here are the pure arithmetic of that expansion; the
+//! [`crate::engine`] steps it cycle by cycle with machine state attached.
+
+use vliw_ddg::OpId;
+use vliw_sched::Schedule;
+
+/// Dynamic phase of one cycle of the expanded execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The pipeline is filling (fewer iterations in flight than stages).
+    Prologue,
+    /// Steady state: `SC` iterations in flight, full issue windows.
+    Kernel,
+    /// The pipeline is draining: every iteration has been initiated.
+    Epilogue,
+}
+
+/// Total number of cycles the expanded execution of `trip_count` iterations
+/// spans: the end of the II window containing the last issue.
+///
+/// Equal to `(SC − 1 + N) · II` — the closed form
+/// [`Schedule::total_cycles`] asserts — for every `N ≥ 1`, including `N < SC`.
+pub fn sim_total_cycles(schedule: &Schedule, trip_count: u64) -> u64 {
+    if schedule.start.is_empty() || trip_count == 0 {
+        return 0;
+    }
+    let ii = u64::from(schedule.ii);
+    let max_start = u64::from(*schedule.start.iter().max().expect("non-empty"));
+    (max_start / ii + trip_count) * ii
+}
+
+/// The phase of `cycle` in the expanded execution of `trip_count` iterations.
+pub fn phase_of(schedule: &Schedule, trip_count: u64, cycle: u64) -> Phase {
+    let ii = u64::from(schedule.ii);
+    let window = cycle / ii;
+    let sc = u64::from(schedule.stage_count());
+    if window + 1 < sc && window < trip_count {
+        Phase::Prologue
+    } else if window < trip_count {
+        Phase::Kernel
+    } else {
+        Phase::Epilogue
+    }
+}
+
+/// The operation instances `(op, iteration)` issuing at `cycle`.
+///
+/// An instance `(i, k)` issues at `start(i) + k · II`; this scans the schedule
+/// for the instances landing on `cycle`.  The engine uses per-slot index lists
+/// instead of this O(ops) scan, and its expansion is cross-checked against this
+/// reference by tests.
+pub fn issues_at(schedule: &Schedule, trip_count: u64, cycle: u64) -> Vec<(OpId, u64)> {
+    let ii = u64::from(schedule.ii);
+    let mut out = Vec::new();
+    for (i, &start) in schedule.start.iter().enumerate() {
+        let start = u64::from(start);
+        if cycle >= start && (cycle - start).is_multiple_of(ii) {
+            let k = (cycle - start) / ii;
+            if k < trip_count {
+                out.push((OpId(i as u32), k));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::FuId;
+
+    fn sched(ii: u32, starts: Vec<u32>) -> Schedule {
+        let n = starts.len();
+        Schedule::new(ii, starts, vec![FuId(0); n])
+    }
+
+    #[test]
+    fn total_cycles_matches_the_closed_form() {
+        let s = sched(2, vec![0, 1, 2, 5]); // SC = 3
+        for n in [0u64, 1, 2, 3, 10, 1000] {
+            assert_eq!(sim_total_cycles(&s, n), s.total_cycles(n), "N = {n}");
+        }
+    }
+
+    #[test]
+    fn short_trip_counts_agree_with_the_closed_form_too() {
+        // SC = 4 at II = 1: trip counts below the stage count still match.
+        let s = sched(1, vec![0, 3]);
+        for n in 1..=6u64 {
+            assert_eq!(sim_total_cycles(&s, n), s.total_cycles(n));
+        }
+    }
+
+    #[test]
+    fn every_instance_issues_exactly_once() {
+        let s = sched(2, vec![0, 1, 2, 5]);
+        let n = 7u64;
+        let mut seen = vec![0u64; 4];
+        for c in 0..sim_total_cycles(&s, n) {
+            for (op, k) in issues_at(&s, n, c) {
+                assert!(k < n);
+                assert_eq!(c, u64::from(s.start[op.index()]) + k * u64::from(s.ii));
+                seen[op.index()] += 1;
+            }
+        }
+        assert_eq!(seen, vec![n; 4], "each op issues once per iteration");
+    }
+
+    #[test]
+    fn phases_partition_the_execution() {
+        let s = sched(2, vec![0, 1, 2, 5]); // SC = 3
+        let n = 10u64;
+        let total = sim_total_cycles(&s, n);
+        // Prologue: windows 0..SC-1; kernel: SC-1..N; epilogue: N..SC-1+N.
+        for c in 0..total {
+            let w = c / 2;
+            let expected = if w < 2 {
+                Phase::Prologue
+            } else if w < 10 {
+                Phase::Kernel
+            } else {
+                Phase::Epilogue
+            };
+            assert_eq!(phase_of(&s, n, c), expected, "cycle {c}");
+        }
+    }
+
+    #[test]
+    fn trip_counts_below_the_stage_count_never_reach_steady_state() {
+        let s = sched(2, vec![0, 1, 2, 5]); // SC = 3
+        let n = 2u64; // N < SC
+        for c in 0..sim_total_cycles(&s, n) {
+            assert_ne!(phase_of(&s, n, c), Phase::Kernel, "cycle {c}");
+        }
+    }
+
+    #[test]
+    fn kernel_windows_issue_every_operation() {
+        let s = sched(3, vec![0, 2, 4, 7]); // SC = 3
+        let n = 9u64;
+        for w in 2..n {
+            let issues: usize = (w * 3..(w + 1) * 3).map(|c| issues_at(&s, n, c).len()).sum();
+            assert_eq!(issues, 4, "window {w} is a full kernel window");
+        }
+    }
+
+    #[test]
+    fn empty_or_zero_trip_executions_span_no_cycles() {
+        let s = sched(2, vec![]);
+        assert_eq!(sim_total_cycles(&s, 5), 0);
+        let s = sched(2, vec![0, 1]);
+        assert_eq!(sim_total_cycles(&s, 0), 0);
+    }
+}

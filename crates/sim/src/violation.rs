@@ -1,0 +1,205 @@
+//! Structured runtime violations reported by the simulator.
+
+use std::fmt;
+
+use vliw_ddg::OpId;
+use vliw_machine::{ClusterId, FuId};
+
+/// A violation observed while executing a schedule.
+///
+/// The static validator ([`vliw_sched::Schedule::validate`]) asserts these
+/// properties from the schedule's arithmetic; the simulator observes them at run
+/// time, so the two can be cross-checked against each other.  The queue and
+/// adjacency variants have no static counterpart — they are constraints of the
+/// machine's storage model that only an execution can check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimViolation {
+    /// A consumer issued before the producing instance's result was ready.
+    OperandNotReady {
+        /// Producing operation.
+        src: OpId,
+        /// Consuming operation.
+        dst: OpId,
+        /// Iteration (0-based) of the consumer instance.
+        iteration: u64,
+        /// Cycle at which the consumer issued.
+        cycle: u64,
+        /// Cycle at which the operand becomes ready; `None` if the producing
+        /// instance had not issued at all by `cycle`.
+        ready_at: Option<u64>,
+    },
+    /// Two operation instances issued on the same functional unit in one cycle.
+    FuConflict {
+        /// Double-booked unit.
+        fu: FuId,
+        /// Cycle of the collision.
+        cycle: u64,
+        /// Operation that issued first.
+        first: OpId,
+        /// Operation that collided with it.
+        second: OpId,
+    },
+    /// An operation executed on a functional unit of the wrong class.
+    WrongFuClass {
+        /// Operation.
+        op: OpId,
+        /// Assigned unit.
+        fu: FuId,
+    },
+    /// A cluster's private queue register file held more values than its queues
+    /// can store.
+    PrivateQueueOverflow {
+        /// Overflowing cluster.
+        cluster: ClusterId,
+        /// Cycle at which the capacity was first exceeded.
+        cycle: u64,
+        /// Number of values resident at that cycle.
+        occupancy: usize,
+        /// Capacity in values (`private_queues · queue_capacity`).
+        capacity: usize,
+    },
+    /// A ring link's communication queues held more values than they can store.
+    CommQueueOverflow {
+        /// Producing cluster of the directed link.
+        from: ClusterId,
+        /// Consuming cluster of the directed link.
+        to: ClusterId,
+        /// Cycle at which the capacity was first exceeded.
+        cycle: u64,
+        /// Number of values resident at that cycle.
+        occupancy: usize,
+        /// Capacity in values (`queues_per_direction · queue_capacity`).
+        capacity: usize,
+    },
+    /// A value flows between clusters that are not adjacent on the ring, for
+    /// which the machine has no communication path (Section 4 of the paper).
+    NonAdjacentCommunication {
+        /// Producing operation.
+        src: OpId,
+        /// Consuming operation.
+        dst: OpId,
+        /// Producer's cluster.
+        from: ClusterId,
+        /// Consumer's cluster.
+        to: ClusterId,
+    },
+}
+
+impl SimViolation {
+    /// True if the violation indicts the **schedule** — a dependence missed at
+    /// run time, a double-booked or wrong-class unit, or a value placed on
+    /// clusters with no communication path.  A statically valid schedule from
+    /// either scheduler must never produce one of these.
+    ///
+    /// The queue-overflow variants are **capacity faults** instead: the
+    /// schedule keeps every promise it made, but the loop's values exceed the
+    /// machine's queue storage — the population Fig. 7's "fits the cluster
+    /// budget" fraction measures.  The schedulers do not promise queue
+    /// feasibility, so these are machine-sizing data, not schedule bugs.
+    pub fn is_schedule_fault(&self) -> bool {
+        !matches!(
+            self,
+            SimViolation::PrivateQueueOverflow { .. } | SimViolation::CommQueueOverflow { .. }
+        )
+    }
+}
+
+impl fmt::Display for SimViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimViolation::OperandNotReady { src, dst, iteration, cycle, ready_at } => {
+                match ready_at {
+                    Some(ready) => write!(
+                        f,
+                        "{dst} (iteration {iteration}) issued at cycle {cycle} but its \
+                         operand from {src} is only ready at cycle {ready}"
+                    ),
+                    None => write!(
+                        f,
+                        "{dst} (iteration {iteration}) issued at cycle {cycle} before \
+                         its producer {src} issued at all"
+                    ),
+                }
+            }
+            SimViolation::FuConflict { fu, cycle, first, second } => {
+                write!(f, "{first} and {second} both issued on {fu} at cycle {cycle}")
+            }
+            SimViolation::WrongFuClass { op, fu } => {
+                write!(f, "{op} executed on {fu} of the wrong class")
+            }
+            SimViolation::PrivateQueueOverflow { cluster, cycle, occupancy, capacity } => {
+                write!(
+                    f,
+                    "{cluster} QRF held {occupancy} values at cycle {cycle}, \
+                     capacity is {capacity}"
+                )
+            }
+            SimViolation::CommQueueOverflow { from, to, cycle, occupancy, capacity } => {
+                write!(
+                    f,
+                    "ring link {from} -> {to} held {occupancy} values at cycle {cycle}, \
+                     capacity is {capacity}"
+                )
+            }
+            SimViolation::NonAdjacentCommunication { src, dst, from, to } => {
+                write!(
+                    f,
+                    "value {src} -> {dst} flows between non-adjacent clusters \
+                     {from} -> {to}"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_the_actors() {
+        let v = SimViolation::OperandNotReady {
+            src: OpId(0),
+            dst: OpId(1),
+            iteration: 3,
+            cycle: 7,
+            ready_at: Some(9),
+        };
+        let s = v.to_string();
+        assert!(s.contains("op0") && s.contains("op1") && s.contains('9'));
+        let v = SimViolation::OperandNotReady {
+            src: OpId(0),
+            dst: OpId(1),
+            iteration: 3,
+            cycle: 7,
+            ready_at: None,
+        };
+        assert!(v.to_string().contains("before"));
+        let v = SimViolation::FuConflict { fu: FuId(2), cycle: 4, first: OpId(0), second: OpId(1) };
+        assert!(v.to_string().contains("fu2"));
+        let v = SimViolation::WrongFuClass { op: OpId(5), fu: FuId(0) };
+        assert!(v.to_string().contains("op5"));
+        let v = SimViolation::PrivateQueueOverflow {
+            cluster: ClusterId(1),
+            cycle: 2,
+            occupancy: 65,
+            capacity: 64,
+        };
+        assert!(v.to_string().contains("cluster1") && v.to_string().contains("65"));
+        let v = SimViolation::CommQueueOverflow {
+            from: ClusterId(0),
+            to: ClusterId(1),
+            cycle: 2,
+            occupancy: 65,
+            capacity: 64,
+        };
+        assert!(v.to_string().contains("ring link"));
+        let v = SimViolation::NonAdjacentCommunication {
+            src: OpId(0),
+            dst: OpId(1),
+            from: ClusterId(0),
+            to: ClusterId(2),
+        };
+        assert!(v.to_string().contains("non-adjacent"));
+    }
+}

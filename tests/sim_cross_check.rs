@@ -1,0 +1,83 @@
+//! Cross-check of the simulator against the closed-form analysis over the
+//! 32-loop golden corpus (seed 386): for every loop that schedules on the
+//! paper's machines, the simulated total cycles must equal
+//! `Schedule::total_cycles(N) = (SC − 1 + N) · II` and the simulated dynamic
+//! IPC must equal `analysis::ipc::dynamic_ipc` — exactly, at every trip count,
+//! including short trip counts (`N < SC`) where an off-by-one in either side's
+//! prologue/epilogue accounting would show first.
+
+use vliw_repro::vliw_core::analysis::dynamic_ipc;
+use vliw_repro::vliw_core::pipeline::CompilerConfig;
+use vliw_repro::vliw_core::qrf::{max_live, use_lifetimes};
+use vliw_repro::vliw_core::{Machine, Session};
+
+/// The golden small corpus: 32 loops, seed 386 (what
+/// `baselines/figures_small.json` and `baselines/sim_small.json` pin).
+fn golden_session() -> Session {
+    Session::quick(32, 386)
+}
+
+#[test]
+fn simulated_cycles_and_ipc_match_the_closed_forms_on_the_golden_corpus() {
+    let session = golden_session();
+    let machines = [
+        Machine::paper_single(6),
+        Machine::paper_single(12),
+        Machine::paper_clustered(4, Default::default()),
+    ];
+    let mut checked = 0usize;
+    for machine in machines {
+        let compiler = session.compiler(CompilerConfig::paper_defaults(machine));
+        for i in 0..session.num_loops() {
+            // Short trip counts (N = 1, 2, 3 are below most stage counts)
+            // catch off-by-one prologue/epilogue accounting; long ones catch
+            // steady-state drift.
+            for n in [1u64, 2, 3, 10, 100, 1000] {
+                let Some(run) = compiler.simulate(i, n) else { continue };
+                let (cycles, ipc, sc) = compiler
+                    .map_ok(i, |c| {
+                        (
+                            c.schedule.total_cycles(n),
+                            dynamic_ipc(c.transformed.num_ops(), &c.schedule, n),
+                            c.schedule.stage_count(),
+                        )
+                    })
+                    .expect("simulated loops compiled");
+                assert!(run.is_clean(), "loop {i} N={n}: {:?}", run.violations);
+                assert_eq!(
+                    run.measurement.total_cycles, cycles,
+                    "loop {i} N={n} (SC={sc}): simulated cycles diverge from the formula"
+                );
+                assert_eq!(
+                    run.measurement.dynamic_ipc, ipc,
+                    "loop {i} N={n} (SC={sc}): simulated IPC diverges from the formula"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 3 * 32 * 6 - 50, "nearly every (machine, loop, N) must be checked");
+}
+
+#[test]
+fn steady_state_peak_occupancy_equals_max_live_on_the_golden_corpus() {
+    // On a single-cluster machine every per-use lifetime lives in cluster 0's
+    // QRF, so at a steady-state-reaching trip count the simulator's observed
+    // peak must equal the analytical MaxLive of the lifetime set.
+    let session = golden_session();
+    let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+    let mut checked = 0usize;
+    for i in 0..session.num_loops() {
+        let Some(run) = compiler.simulate(i, 1000) else { continue };
+        let expected = compiler
+            .map_ok(i, |c| max_live(&use_lifetimes(&c.transformed, &c.schedule), c.schedule.ii))
+            .expect("simulated loops compiled");
+        assert_eq!(
+            run.measurement.max_private_peak(),
+            expected,
+            "loop {i}: observed peak occupancy must equal analytical MaxLive"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0);
+}

@@ -1,0 +1,92 @@
+//! Property-based agreement between the static schedule validator and the
+//! dynamic simulator, over randomly generated `loopgen` loops driven through
+//! **both** schedulers (plain IMS and the clustered partitioner).
+//!
+//! The contract: every schedule accepted by `Schedule::validate` must simulate
+//! to completion with **zero schedule faults** — no dependence missed at run
+//! time, no double-booked or wrong-class unit, no value flowing between
+//! non-adjacent clusters — for every trip count, including trip counts below
+//! the stage count (where the pipeline never reaches steady state and the
+//! prologue and epilogue overlap).  On machines with ample queue storage the
+//! runs must be clean outright; queue-capacity faults are machine-sizing data
+//! and are exercised separately by the figure baselines.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use vliw_repro::vliw_core::loopgen::generator::generate_loop;
+use vliw_repro::vliw_core::loopgen::CorpusConfig;
+use vliw_repro::vliw_core::qrf::insert_copies;
+use vliw_repro::vliw_core::sched::{modulo_schedule, ImsOptions};
+use vliw_repro::vliw_core::sim::simulate;
+use vliw_repro::vliw_core::{partition_schedule, LatencyModel, Machine, PartitionOptions};
+
+/// Trip counts exercised per schedule: degenerate (1), below/around the stage
+/// count, and long enough to reach steady state.
+fn trip_counts(stage_count: u32) -> Vec<u64> {
+    let sc = u64::from(stage_count);
+    let mut ns = vec![1, 2, sc.saturating_sub(1).max(1), sc, sc + 1, 40];
+    ns.sort_unstable();
+    ns.dedup();
+    ns
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// IMS schedules of random loops: statically valid implies dynamically
+    /// clean, with the simulated cycle count and issue rate matching the
+    /// closed forms at every trip count.
+    #[test]
+    fn ims_schedules_simulate_cleanly(
+        seed in 0u64..2000,
+        fus in 3usize..13,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+        let lat = LatencyModel::default();
+        let machine = Machine::single_cluster(fus, 2, 1024, lat);
+        let body = insert_copies(&lp.ddg, &lat).ddg;
+        let r = modulo_schedule(&body, &machine, ImsOptions::default())
+            .expect("corpus loops are schedulable");
+        prop_assert!(r.schedule.validate(&body, &machine).is_ok());
+        for n in trip_counts(r.schedule.stage_count()) {
+            let run = simulate(&body, &machine, &r.schedule, n).expect("well-formed schedule");
+            prop_assert!(
+                run.is_clean(),
+                "N={n}: dynamic verifier disagrees with the static validator: {:?}",
+                run.violations
+            );
+            prop_assert_eq!(run.measurement.total_cycles, r.schedule.total_cycles(n));
+            prop_assert_eq!(run.measurement.issued_ops, body.num_ops() as u64 * n);
+        }
+    }
+
+    /// Partitioned schedules of random loops on ring machines: statically
+    /// valid implies zero dynamic *schedule* faults (the ring adjacency the
+    /// partitioner promises is verified by execution), at every trip count.
+    #[test]
+    fn partitioned_schedules_simulate_without_schedule_faults(
+        seed in 0u64..2000,
+        n_clusters in 2usize..7,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+        let lat = LatencyModel::default();
+        let machine = Machine::paper_clustered(n_clusters, lat);
+        let body = insert_copies(&lp.ddg, &lat).ddg;
+        let r = partition_schedule(&body, &machine, PartitionOptions::default())
+            .expect("corpus loops are schedulable on clustered machines");
+        prop_assert!(r.schedule.validate(&body, &machine).is_ok());
+        for n in trip_counts(r.schedule.stage_count()) {
+            let run = simulate(&body, &machine, &r.schedule, n).expect("well-formed schedule");
+            prop_assert!(
+                run.schedule_is_sound(),
+                "N={n}: a validated partitioned schedule produced schedule faults: {:?}",
+                run.violations
+            );
+            prop_assert_eq!(run.measurement.total_cycles, r.schedule.total_cycles(n));
+        }
+    }
+}
