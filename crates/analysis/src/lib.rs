@@ -10,6 +10,8 @@
 //!   behind Fig. 3;
 //! * [`sim`] — the corpus-level row type of the simulated-IPC figure produced by
 //!   the cycle-accurate `vliw-sim` runs;
+//! * [`sweep`] — the design-space-sweep row type and the Pareto-frontier
+//!   analysis behind the Fig. 7 sizing conclusion;
 //! * [`table`] — plain-text table rendering used by the `figures` binary and the
 //!   benchmark harness.
 
@@ -17,10 +19,12 @@ pub mod aggregate;
 pub mod classify;
 pub mod ipc;
 pub mod sim;
+pub mod sweep;
 pub mod table;
 
 pub use aggregate::{fraction, mean, pct, CumulativeHistogram};
 pub use classify::{classify, is_resource_constrained, Constraint};
 pub use ipc::{dynamic_ipc, ipc_of, ipc_of_unrolled, static_ipc, IpcReport};
 pub use sim::SimReport;
+pub use sweep::{mark_pareto, SweepRow};
 pub use table::TextTable;

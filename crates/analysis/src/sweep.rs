@@ -1,0 +1,150 @@
+//! The design-space-sweep report row and its Pareto-frontier analysis.
+//!
+//! The `figures sweep` experiment classifies every (machine configuration,
+//! loop) pair of a design-space grid as schedulable / allocation-fits /
+//! simulation-clean and aggregates each grid point into one [`SweepRow`].
+//! This module holds the row type plus the sizing analysis the paper's Fig. 7
+//! conclusion rests on: which configurations are *Pareto-efficient* — no other
+//! configuration of the same machine shape is simultaneously cheaper in queue
+//! storage and at least as good at keeping the corpus capacity-clean.
+
+use serde::{Deserialize, Serialize};
+
+/// One grid point of the design-space sweep, aggregated over the corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Number of clusters on the ring.
+    pub clusters: usize,
+    /// Cluster FU-mix tag (`basic`, `wide`).
+    pub fu_mix: String,
+    /// Total compute FUs of the machine.
+    pub fus: usize,
+    /// Queues per cluster (private QRF; also ring queues per direction).
+    pub queues_per_cluster: usize,
+    /// Entries per private queue.
+    pub queue_capacity: usize,
+    /// Entries per ring communication queue.
+    pub link_depth: usize,
+    /// Total queue storage of the configuration, in bits.
+    pub storage_bits: u64,
+    /// Loops in the corpus (the denominator of every fraction below).
+    pub loops: usize,
+    /// Fraction of the corpus that schedules on the machine shape at all.
+    pub frac_schedulable: f64,
+    /// Fraction whose per-pool queue allocation fits the configured budgets
+    /// (the corrected, pool-split Fig. 7 predicate).
+    pub frac_alloc_fits: f64,
+    /// Fraction whose cycle-accurate execution stays within the configured
+    /// storage pools at every cycle (zero capacity faults).
+    pub frac_sim_clean: f64,
+    /// Fraction that passes the whole pipeline: schedulable, pool-split
+    /// allocation fits, and execution capacity-clean.  This is the "fits the
+    /// configuration" population of Fig. 7 and the quality axis of the Pareto
+    /// analysis — a loop whose queues cannot be allocated is not served by the
+    /// aggregate pools having spare entries.
+    pub frac_clean: f64,
+    /// True if no same-shape configuration has storage ≤ and `frac_clean` ≥
+    /// with at least one strict — the sizing frontier of Fig. 7.
+    pub pareto: bool,
+    /// True for the paper's published sizing (8 queues × 8 entries, depth-8
+    /// links, basic cluster).
+    pub paper_point: bool,
+}
+
+impl SweepRow {
+    /// The machine-shape key frontier membership is computed within.
+    fn shape(&self) -> (usize, &str) {
+        (self.clusters, self.fu_mix.as_str())
+    }
+}
+
+/// Recomputes the `pareto` flag of every row.
+///
+/// Frontier membership is decided *within each machine shape* (cluster count ×
+/// FU mix): configurations of different shapes trade storage against compute
+/// performance, which the clean fraction alone cannot rank, whereas within a
+/// shape the schedules are identical and only the storage sizing varies — the
+/// exact comparison Fig. 7 makes.  A row is dominated if some same-shape row
+/// has `storage_bits ≤` and `frac_clean ≥` with at least one strict.
+pub fn mark_pareto(rows: &mut [SweepRow]) {
+    for i in 0..rows.len() {
+        let dominated = rows.iter().enumerate().any(|(j, other)| {
+            j != i
+                && other.shape() == rows[i].shape()
+                && other.storage_bits <= rows[i].storage_bits
+                && other.frac_clean >= rows[i].frac_clean
+                && (other.storage_bits < rows[i].storage_bits
+                    || other.frac_clean > rows[i].frac_clean)
+        });
+        rows[i].pareto = !dominated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bits: u64, clean: f64) -> SweepRow {
+        SweepRow {
+            clusters: 4,
+            fu_mix: "basic".to_string(),
+            fus: 12,
+            queues_per_cluster: 8,
+            queue_capacity: 8,
+            link_depth: 8,
+            storage_bits: bits,
+            loops: 32,
+            frac_schedulable: 1.0,
+            frac_alloc_fits: clean,
+            frac_sim_clean: clean,
+            frac_clean: clean,
+            pareto: false,
+            paper_point: false,
+        }
+    }
+
+    #[test]
+    fn strictly_better_rows_dominate() {
+        let mut rows = vec![row(100, 0.5), row(200, 0.5), row(200, 0.9), row(400, 0.9)];
+        mark_pareto(&mut rows);
+        assert!(rows[0].pareto, "cheapest at its level");
+        assert!(!rows[1].pareto, "same clean fraction, more storage");
+        assert!(rows[2].pareto, "cheapest at the higher level");
+        assert!(!rows[3].pareto);
+    }
+
+    #[test]
+    fn incomparable_rows_are_both_on_the_frontier() {
+        let mut rows = vec![row(100, 0.5), row(200, 0.8)];
+        mark_pareto(&mut rows);
+        assert!(rows[0].pareto && rows[1].pareto);
+    }
+
+    #[test]
+    fn equal_rows_do_not_dominate_each_other() {
+        let mut rows = vec![row(100, 0.5), row(100, 0.5)];
+        mark_pareto(&mut rows);
+        assert!(rows[0].pareto && rows[1].pareto);
+    }
+
+    #[test]
+    fn frontiers_are_computed_per_machine_shape() {
+        let mut rows = vec![row(100, 0.5), row(400, 0.4)];
+        rows[1].clusters = 6; // different shape: not comparable
+        mark_pareto(&mut rows);
+        assert!(rows[0].pareto && rows[1].pareto);
+        // The same pair within one shape: the expensive-and-worse row falls off.
+        let mut rows = vec![row(100, 0.5), row(400, 0.4)];
+        mark_pareto(&mut rows);
+        assert!(rows[0].pareto);
+        assert!(!rows[1].pareto);
+    }
+
+    #[test]
+    fn rows_round_trip_through_serde() {
+        let r = row(768 * 32, 0.875);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SweepRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

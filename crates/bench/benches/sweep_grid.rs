@@ -1,0 +1,36 @@
+//! Times the Fig. 7 design-space sweep on the 32-loop bench corpus: the cold
+//! cost (compile + simulate + classify the whole small grid in a fresh session)
+//! and the warm cost (re-classifying the grid when every compile and sim run is
+//! already memoised — the marginal price of adding grid points to a session).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use vliw_bench::bench_config;
+use vliw_core::experiments::sweep_experiment;
+use vliw_core::{Session, SweepGrid};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("sweep_grid");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    // A fresh session per iteration keeps the measurement cache-cold (the
+    // session memoizes compilations and sim runs, so reusing one would time
+    // pure cache hits).
+    group.bench_function("small_grid_cold", |b| {
+        b.iter(|| sweep_experiment(&Session::new(cfg.clone()), SweepGrid::Small))
+    });
+    // The warm half of the sweep's bargain: with one machine shape in the
+    // grid, every point after the first is classification over cached
+    // artifacts.
+    let warm = Session::new(cfg.clone());
+    sweep_experiment(&warm, SweepGrid::Small);
+    group.bench_function("small_grid_warm", |b| {
+        b.iter(|| sweep_experiment(&warm, SweepGrid::Small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

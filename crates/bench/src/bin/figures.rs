@@ -8,13 +8,14 @@
 //! ```
 //!
 //! Subcommands: `fig3`, `copy-cost`, `fig4`, `fig6`, `resources`, `ipc`,
-//! `simulate`, `all` (default; covers the figure experiments but not
-//! `simulate`, whose report is a separate document).  Global options:
-//! `--corpus-size`, `--seed`, `--threads`, `--format text|json`.  The output of
-//! a full-corpus text run is recorded in EXPERIMENTS.md next to the numbers
+//! `simulate`, `sweep`, `all` (default; covers the figure experiments but not
+//! `simulate` or `sweep`, whose reports are separate documents).  Global
+//! options: `--corpus-size`, `--seed`, `--threads`, `--format text|json`; the
+//! `sweep` subcommand additionally takes `--grid small|paper|full`.  The output
+//! of a full-corpus text run is recorded in EXPERIMENTS.md next to the numbers
 //! reported by the paper; the JSON format is what CI's bench-smoke job archives
-//! and what `baselines/figures_small.json` (and, for `simulate`,
-//! `baselines/sim_small.json`) pins.
+//! and what `baselines/figures_small.json` (and, for `simulate` / `sweep`,
+//! `baselines/sim_small.json` / `baselines/sweep_small.json`) pins.
 //!
 //! All selected experiments run through one shared compilation session, so
 //! overlapping sweep points compile once.  The session's cache statistics
@@ -26,8 +27,8 @@
 use std::process::ExitCode;
 
 use vliw_bench::{
-    cli, render_simulate_text, render_stats, render_text, run_experiments_in, run_simulate_in,
-    OutputFormat, Selection,
+    cli, render_simulate_text, render_stats, render_sweep_text, render_text, run_experiments_in,
+    run_simulate_in, run_sweep_in, OutputFormat, Selection,
 };
 use vliw_core::Session;
 
@@ -76,6 +77,31 @@ fn main() -> ExitCode {
                     session.threads()
                 );
                 print!("{}", render_simulate_text(&report));
+                println!();
+                print!("{}", render_stats(&stats));
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if selection == Selection::Sweep {
+        let report = run_sweep_in(&session, run.grid);
+        let stats = session.stats();
+        match run.format {
+            OutputFormat::Json => {
+                if let Err(message) = emit_json(&report, &stats) {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            OutputFormat::Text => {
+                println!(
+                    "# Design-space sweep: {} loops, seed {}, {} threads\n",
+                    report.corpus_size,
+                    report.seed,
+                    session.threads()
+                );
+                print!("{}", render_sweep_text(&report));
                 println!();
                 print!("{}", render_stats(&stats));
             }

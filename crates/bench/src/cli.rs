@@ -4,7 +4,7 @@
 //! and integration-testable.
 
 use clap::{Arg, ArgMatches, Command};
-use vliw_core::CorpusConfig;
+use vliw_core::{CorpusConfig, SweepGrid};
 
 use crate::{OutputFormat, RunConfig, Selection, PAPER_CORPUS_LOOPS};
 
@@ -54,6 +54,20 @@ pub fn command() -> Command {
             "Cycle-accurate kernel simulation - dynamic schedule verification \
              and simulated IPC (trip counts 10/100/1000)",
         ))
+        .subcommand(
+            Command::new("sweep")
+                .about(
+                    "Fig. 7 machine design-space sweep - sizing Pareto frontier \
+                     over cluster count, queues, depths and FU mix",
+                )
+                .arg(
+                    Arg::new("grid")
+                        .long("grid")
+                        .value_name("GRID")
+                        .default_value("small")
+                        .help("Design-space preset: small, paper or full"),
+                ),
+        )
         .subcommand(Command::new("all").about("Every figure experiment above (the default)"))
 }
 
@@ -82,8 +96,17 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
         .expect("--format has a default")
         .parse()
         .map_err(|e: String| format!("invalid --format: {e}"))?;
+    // `--grid` lives on the `sweep` subcommand (it means nothing elsewhere).
+    let grid: SweepGrid = match matches.subcommand() {
+        Some(("sweep", sub)) => sub
+            .get_one::<String>("grid")
+            .expect("--grid has a default")
+            .parse()
+            .map_err(|e: String| format!("invalid --grid: {e}"))?,
+        _ => SweepGrid::default(),
+    };
 
-    Ok((selection, RunConfig { corpus_size, seed, threads, format }))
+    Ok((selection, RunConfig { corpus_size, seed, threads, format, grid }))
 }
 
 /// Parses option `id` as a number with a clean diagnostic.
@@ -134,11 +157,50 @@ mod tests {
             ("resources", Selection::Resources),
             ("ipc", Selection::Ipc),
             ("simulate", Selection::Simulate),
+            ("sweep", Selection::Sweep),
             ("all", Selection::All),
         ] {
             let (selection, _) = parse(&[name]).unwrap();
             assert_eq!(selection, expected, "subcommand {name}");
         }
+    }
+
+    #[test]
+    fn sweep_grid_parses_with_a_small_default() {
+        let (selection, run) = parse(&["sweep"]).unwrap();
+        assert_eq!(selection, Selection::Sweep);
+        assert_eq!(run.grid, SweepGrid::Small);
+        for (raw, expected) in
+            [("small", SweepGrid::Small), ("paper", SweepGrid::Paper), ("full", SweepGrid::Full)]
+        {
+            let (_, run) = parse(&["sweep", "--grid", raw]).unwrap();
+            assert_eq!(run.grid, expected, "--grid {raw}");
+        }
+        assert!(parse(&["sweep", "--grid", "huge"]).unwrap_err().contains("--grid"));
+        // `--grid` belongs to `sweep` alone.
+        assert!(parse(&["fig3", "--grid", "small"]).is_err());
+    }
+
+    #[test]
+    fn sweep_acceptance_command_line_parses() {
+        // The exact invocation the sweep baseline is generated with.
+        let (selection, run) = parse(&[
+            "sweep",
+            "--grid",
+            "small",
+            "--format",
+            "json",
+            "--corpus-size",
+            "32",
+            "--seed",
+            "386",
+        ])
+        .unwrap();
+        assert_eq!(selection, Selection::Sweep);
+        assert_eq!(run.grid, SweepGrid::Small);
+        assert_eq!(run.corpus_size, 32);
+        assert_eq!(run.seed, 386);
+        assert_eq!(run.format, OutputFormat::Json);
     }
 
     #[test]

@@ -23,11 +23,13 @@ pub mod cli;
 use serde::{Deserialize, Serialize};
 use vliw_core::experiments::{
     cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
-    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, ClusterResourcesRow,
-    CopyCostRow, ExperimentConfig, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport,
+    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment,
+    ClusterResourcesRow, CopyCostRow, ExperimentConfig, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint,
+    SimulateReport, SweepReport,
 };
-use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources, simulate};
+use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources, simulate, sweep};
 use vliw_core::session::{Session, SessionStats};
+use vliw_core::SweepGrid;
 
 /// Corpus size used by the Criterion benches and the CI bench-smoke run.
 ///
@@ -97,7 +99,14 @@ pub enum Selection {
     /// baseline, and `figures all` stdout must stay byte-identical to
     /// `baselines/figures_small.json`.
     Simulate,
-    /// Every figure experiment (everything above except `Simulate`).
+    /// The Fig. 7 machine design-space sweep.
+    ///
+    /// Like [`Selection::Simulate`], excluded from [`Selection::All`]: its
+    /// report ([`SweepReport`]) is a separate document pinned by
+    /// `baselines/sweep_small.json`.
+    Sweep,
+    /// Every figure experiment (everything above except `Simulate` and
+    /// `Sweep`).
     All,
 }
 
@@ -112,6 +121,7 @@ impl Selection {
             "resources" => Some(Selection::Resources),
             "ipc" => Some(Selection::Ipc),
             "simulate" => Some(Selection::Simulate),
+            "sweep" => Some(Selection::Sweep),
             "all" => Some(Selection::All),
             _ => None,
         }
@@ -119,9 +129,10 @@ impl Selection {
 
     fn runs(self, which: Selection) -> bool {
         match self {
-            // `all` is the figure sweep; the simulation report is a separate
-            // document (see [`Selection::Simulate`]).
-            Selection::All => which != Selection::Simulate,
+            // `all` is the figure sweep; the simulation and design-space
+            // reports are separate documents (see [`Selection::Simulate`] and
+            // [`Selection::Sweep`]).
+            Selection::All => which != Selection::Simulate && which != Selection::Sweep,
             s => s == which,
         }
     }
@@ -138,6 +149,9 @@ pub struct RunConfig {
     pub threads: Option<usize>,
     /// Output format.
     pub format: OutputFormat,
+    /// Design-space grid preset of the `sweep` subcommand (ignored by every
+    /// other selection).
+    pub grid: SweepGrid,
 }
 
 impl RunConfig {
@@ -160,6 +174,7 @@ impl Default for RunConfig {
             seed: vliw_core::CorpusConfig::paper_default().seed,
             threads: None,
             format: OutputFormat::Text,
+            grid: SweepGrid::Small,
         }
     }
 }
@@ -196,13 +211,18 @@ pub struct FiguresReport {
 ///
 /// # Panics
 ///
-/// Panics on [`Selection::Simulate`]: the simulation sweep produces a
-/// [`SimulateReport`], not a [`FiguresReport`] — route it to
-/// [`run_simulate_in`] instead (as the `figures` binary does).
+/// Panics on [`Selection::Simulate`] and [`Selection::Sweep`]: those produce
+/// their own report documents ([`SimulateReport`] / [`SweepReport`]), not a
+/// [`FiguresReport`] — route them to [`run_simulate_in`] / [`run_sweep_in`]
+/// instead (as the `figures` binary does).
 pub fn run_experiments_in(session: &Session, selection: Selection) -> FiguresReport {
     assert!(
         selection != Selection::Simulate,
         "Selection::Simulate produces a SimulateReport; call run_simulate_in"
+    );
+    assert!(
+        selection != Selection::Sweep,
+        "Selection::Sweep produces a SweepReport; call run_sweep_in"
     );
     FiguresReport {
         corpus_size: session.config().corpus.num_loops,
@@ -232,6 +252,26 @@ pub fn run_experiments(selection: Selection, run: &RunConfig) -> FiguresReport {
 /// pays for the simulation itself.
 pub fn run_simulate_in(session: &Session) -> SimulateReport {
     simulate_experiment(session)
+}
+
+/// Runs the Fig. 7 design-space sweep (the `figures sweep` subcommand) over a
+/// shared compilation session.  Grid points sharing a machine shape compile and
+/// simulate once; the session's cache statistics afterwards show the hit rate.
+pub fn run_sweep_in(session: &Session, grid: SweepGrid) -> SweepReport {
+    sweep_experiment(session, grid)
+}
+
+/// Renders a design-space-sweep report in the human-readable EXPERIMENTS.md
+/// format.
+pub fn render_sweep_text(report: &SweepReport) -> String {
+    format!(
+        "## Fig. 7 design-space sweep — grid `{}` ({} configs, {} machine shapes, N = {})\n\n{}\n",
+        report.grid,
+        report.configs,
+        report.shapes,
+        report.trip_count,
+        sweep::render(&report.rows).render()
+    )
 }
 
 /// Renders a simulated-IPC report in the human-readable EXPERIMENTS.md format.
@@ -315,6 +355,7 @@ mod tests {
             ("resources", Selection::Resources),
             ("ipc", Selection::Ipc),
             ("simulate", Selection::Simulate),
+            ("sweep", Selection::Sweep),
             ("all", Selection::All),
         ] {
             assert_eq!(Selection::from_subcommand(name), Some(expected));
@@ -327,14 +368,16 @@ mod tests {
         // `figures all` stdout is pinned by baselines/figures_small.json; the
         // simulated-IPC report is a separate document with its own baseline.
         assert!(!Selection::All.runs(Selection::Simulate));
+        assert!(!Selection::All.runs(Selection::Sweep));
         assert!(Selection::Simulate.runs(Selection::Simulate));
+        assert!(Selection::Sweep.runs(Selection::Sweep));
         assert!(!Selection::Simulate.runs(Selection::Fig3));
+        assert!(!Selection::Sweep.runs(Selection::Fig3));
     }
 
     #[test]
     fn simulate_run_reports_cleanly_and_renders() {
-        let run =
-            RunConfig { corpus_size: 6, seed: 5, threads: Some(2), format: OutputFormat::Json };
+        let run = RunConfig { corpus_size: 6, seed: 5, threads: Some(2), ..RunConfig::default() };
         let session = Session::new(run.experiment_config());
         let report = run_simulate_in(&session);
         assert_eq!(report.corpus_size, 6);
@@ -345,6 +388,24 @@ mod tests {
         assert!(text.contains("violations"));
         let json = serde_json::to_string_pretty(&report).expect("serializable");
         let back: SimulateReport = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sweep_run_reuses_the_session_and_renders() {
+        let run = RunConfig { corpus_size: 8, seed: 386, threads: Some(2), ..RunConfig::default() };
+        let session = Session::new(run.experiment_config());
+        let report = run_sweep_in(&session, run.grid);
+        assert_eq!(report.grid, "small");
+        assert_eq!(report.rows.len(), 8);
+        let stats = session.stats();
+        assert!(stats.hits > 0, "grid points sharing a machine shape must hit the cache");
+        assert!(stats.sim_hits > 0, "grid points sharing a machine shape must reuse sim runs");
+        let text = render_sweep_text(&report);
+        assert!(text.contains("design-space sweep"));
+        assert!(text.contains("storage bits"));
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        let back: SweepReport = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, report);
     }
 
@@ -367,8 +428,7 @@ mod tests {
 
     #[test]
     fn single_selection_runs_only_its_experiment() {
-        let run =
-            RunConfig { corpus_size: 8, seed: 5, threads: Some(1), format: OutputFormat::Json };
+        let run = RunConfig { corpus_size: 8, seed: 5, threads: Some(1), ..RunConfig::default() };
         let report = run_experiments(Selection::Fig4, &run);
         assert!(report.fig4.is_some());
         assert!(report.fig3.is_none());
@@ -387,8 +447,7 @@ mod tests {
         // The acceptance bar of the session layer: `all` in one session performs
         // strictly fewer compilations than the individual subcommands summed, the
         // cache reports hits, and the report is identical either way.
-        let run =
-            RunConfig { corpus_size: 10, seed: 5, threads: Some(2), format: OutputFormat::Json };
+        let run = RunConfig { corpus_size: 10, seed: 5, threads: Some(2), ..RunConfig::default() };
         let singles = [
             Selection::Fig3,
             Selection::CopyCost,
@@ -423,7 +482,7 @@ mod tests {
                     merged.fig8_ipc = report.fig8_ipc;
                     merged.fig9_ipc = report.fig9_ipc;
                 }
-                Selection::All | Selection::Simulate => unreachable!(),
+                Selection::All | Selection::Simulate | Selection::Sweep => unreachable!(),
             }
         }
 
@@ -464,8 +523,7 @@ mod tests {
 
     #[test]
     fn json_report_round_trips_through_serde() {
-        let run =
-            RunConfig { corpus_size: 8, seed: 5, threads: Some(1), format: OutputFormat::Json };
+        let run = RunConfig { corpus_size: 8, seed: 5, threads: Some(1), ..RunConfig::default() };
         let report = run_experiments(Selection::Fig6, &run);
         let json = serde_json::to_string_pretty(&report).expect("serializable");
         let back: FiguresReport = serde_json::from_str(&json).expect("deserializable");

@@ -51,6 +51,7 @@ fn rerun_matches_the_golden_baseline() {
         seed: baseline.seed,
         threads: None, // results are thread-count independent
         format: OutputFormat::Json,
+        ..RunConfig::default()
     };
     let session = Session::new(run.experiment_config());
     let report = run_experiments_in(&session, Selection::All);

@@ -16,6 +16,7 @@ fn reports_are_identical_across_thread_counts() {
             seed: 19980330,
             threads: Some(threads),
             format: OutputFormat::Json,
+            ..RunConfig::default()
         };
         let session = Session::new(run.experiment_config());
         let report = run_experiments_in(&session, Selection::All);
@@ -38,7 +39,7 @@ fn reports_are_identical_across_thread_counts() {
 
 #[test]
 fn two_sessions_over_the_same_seed_agree() {
-    let run = RunConfig { corpus_size: 10, seed: 7, threads: Some(3), format: OutputFormat::Json };
+    let run = RunConfig { corpus_size: 10, seed: 7, threads: Some(3), ..RunConfig::default() };
     let a = Session::new(run.experiment_config());
     let b = Session::new(run.experiment_config());
     assert_eq!(run_experiments_in(&a, Selection::All), run_experiments_in(&b, Selection::All));

@@ -56,6 +56,7 @@ fn rerun_matches_the_sim_baseline() {
         seed: baseline.seed,
         threads: None, // results are thread-count independent
         format: OutputFormat::Json,
+        ..RunConfig::default()
     };
     let session = Session::new(run.experiment_config());
     let report = run_simulate_in(&session);

@@ -1,0 +1,94 @@
+//! Golden-baseline regression test of the Fig. 7 design-space sweep: re-runs
+//! the small-grid `figures sweep` that produced `baselines/sweep_small.json`
+//! and diffs the result against the checked-in rows, so any drift in the
+//! classification fractions, the storage accounting or the Pareto frontier
+//! fails CI deterministically.
+//!
+//! To regenerate the baseline after an *intentional* change:
+//!
+//! ```text
+//! cargo run --release -p vliw-bench --bin figures -- \
+//!     sweep --grid small --format json --corpus-size 32 --seed 386 \
+//!     > baselines/sweep_small.json
+//! ```
+
+use std::path::PathBuf;
+
+use vliw_bench::{run_sweep_in, RunConfig};
+use vliw_core::experiments::SweepReport;
+use vliw_core::{Session, SweepGrid};
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines/sweep_small.json")
+}
+
+fn load_baseline() -> (String, SweepReport) {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{} is not a valid SweepReport: {e}", path.display()));
+    (text, report)
+}
+
+#[test]
+fn baseline_reproduces_the_fig7_conclusion() {
+    let (_, baseline) = load_baseline();
+    assert_eq!(baseline.corpus_size, 32);
+    assert_eq!(baseline.seed, 386);
+    assert_eq!(baseline.grid, "small");
+    assert_eq!(baseline.rows.len(), 8);
+    // The acceptance bar of the sweep: the paper's published sizing — the
+    // 8-queue × 8-entry, depth-8-link basic cluster — lies on the reported
+    // Pareto frontier of its machine shape.
+    assert_eq!(baseline.paper_points().count(), 1);
+    assert!(
+        baseline.paper_point_is_pareto(),
+        "Fig. 7's 8x8 + depth-8 cluster must be Pareto-efficient"
+    );
+    // And it is not trivially so: the frontier is a strict subset of the grid.
+    let frontier = baseline.frontier().count();
+    assert!(frontier >= 2, "a one-point frontier would make the claim vacuous");
+    assert!(frontier < baseline.rows.len(), "a full-grid frontier would make the claim vacuous");
+    for row in &baseline.rows {
+        assert_eq!(row.loops, 32);
+        assert!(row.frac_clean <= row.frac_alloc_fits.min(row.frac_sim_clean) + 1e-12);
+    }
+}
+
+#[test]
+fn rerun_matches_the_sweep_baseline() {
+    let (text, baseline) = load_baseline();
+    let run = RunConfig {
+        corpus_size: baseline.corpus_size,
+        seed: baseline.seed,
+        threads: None, // results are thread-count independent
+        ..RunConfig::default()
+    };
+    let session = Session::new(run.experiment_config());
+    let report = run_sweep_in(&session, SweepGrid::Small);
+
+    // The memoisation contract: one machine shape in the grid means one key,
+    // and the seven other grid points are served from the store — the
+    // compile/sim hit rate must be positive.
+    let stats = session.stats();
+    assert_eq!(stats.unique_keys, 1);
+    assert!(stats.hits > 0, "storage sub-grid must share compilations: {stats:?}");
+    assert!(stats.sim_hits > 0, "storage sub-grid must share sim runs: {stats:?}");
+
+    // Row-by-row first, for a readable diff when a fraction regresses.
+    assert_eq!(report.rows.len(), baseline.rows.len());
+    for (got, want) in report.rows.iter().zip(&baseline.rows) {
+        assert_eq!(
+            got, want,
+            "sweep row diverged: {}q x {}c x {}d",
+            want.queues_per_cluster, want.queue_capacity, want.link_depth
+        );
+    }
+    assert_eq!(report, baseline);
+
+    // And the serialized form must match byte for byte (catches format drift;
+    // see the module docs for how to regenerate intentionally).
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    assert_eq!(rendered.trim_end(), text.trim_end(), "serialized JSON drifted");
+}

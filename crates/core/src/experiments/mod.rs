@@ -22,6 +22,7 @@
 //! | [`cluster_resources`] | Fig. 7 / Section 4 — queue demand per cluster and per ring link |
 //! | [`ipc`] | Figs. 8 and 9 — static/dynamic IPC, all loops and resource-constrained loops |
 //! | [`simulate`] | Simulated IPC — cycle-accurate execution with dynamic verification |
+//! | [`sweep`] | Fig. 7 design-space sweep — machine sizing Pareto frontier |
 
 pub mod copy_cost;
 pub mod fig3;
@@ -30,6 +31,7 @@ pub mod fig6;
 pub mod ipc;
 pub mod resources;
 pub mod simulate;
+pub mod sweep;
 
 pub use copy_cost::{copy_cost_experiment, CopyCostRow};
 pub use fig3::{fig3_experiment, Fig3Row};
@@ -38,6 +40,7 @@ pub use fig6::{fig6_experiment, Fig6Row};
 pub use ipc::{fig8_experiment, fig9_experiment, IpcCurvePoint};
 pub use resources::{cluster_resources_experiment, ClusterResourcesRow};
 pub use simulate::{sim_machines, simulate_experiment, SimulateReport, SIM_TRIP_COUNTS};
+pub use sweep::{classify_loop, sweep_experiment, LoopVerdict, SweepReport, SWEEP_TRIP_COUNT};
 
 use vliw_ddg::Loop;
 use vliw_loopgen::{generate_corpus, CorpusConfig};

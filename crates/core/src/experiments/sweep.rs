@@ -1,0 +1,307 @@
+//! The machine design-space sweep behind the paper's Fig. 7 sizing conclusion.
+//!
+//! Fig. 7 claims a *sizing*: the basic cluster with 8 private queues of 8
+//! entries and depth-8 ring links is the smallest clustered configuration that
+//! still fits nearly all loops of the workload.  This driver searches the
+//! neighbourhood of that claim.  For every grid point of a
+//! [`vliw_machine::MachineSpace`] it runs the full pipeline — copy insertion,
+//! partition/IMS scheduling, queue allocation, cycle-accurate simulation — and
+//! classifies each corpus loop three ways:
+//!
+//! * **schedulable** — the loop compiles on the machine shape at all;
+//! * **allocation-fits** — the per-pool queue allocation (private GPQs per
+//!   cluster, communication queues per directed ring link — the corrected,
+//!   pool-split [`CommStats::fits_pools`] predicate) fits the configured
+//!   budgets;
+//! * **simulation-clean** — the executed kernel's observed queue occupancy
+//!   stays within every storage pool at every cycle (zero capacity faults).
+//!
+//! The sweep compiles and simulates on the shape's *probe* machine (unbounded
+//! storage, identical FU structure), because queue budgets constrain what fits
+//! but never where the scheduler places operations and never how occupancy
+//! evolves — the simulator accumulates occupancy regardless of capacity.  Every
+//! grid point sharing a shape therefore shares one `CompilationKey`, and the
+//! whole storage sub-grid is served from the session memo store after the first
+//! point: on the small grid, 8 configurations cost 1 compile + 1 simulation per
+//! loop.
+//!
+//! [`CommStats::fits_pools`]: vliw_partition::CommStats::fits_pools
+
+use serde::{Deserialize, Serialize};
+use vliw_analysis::{mark_pareto, SweepRow, TextTable};
+use vliw_machine::{Machine, MachineConfig, SweepGrid};
+use vliw_sim::SimRun;
+
+use crate::pipeline::{Compilation, CompilerConfig};
+use crate::session::Session;
+
+/// Trip count of the sweep's simulation runs: long enough that every queue
+/// reaches its steady-state peak occupancy, short enough to keep the full grid
+/// affordable.
+pub const SWEEP_TRIP_COUNT: u64 = 100;
+
+/// Everything one `figures sweep` run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Number of loops in the corpus the run evaluated.
+    pub corpus_size: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Name of the swept grid preset (`small`, `paper`, `full`).
+    pub grid: String,
+    /// Trip count of the simulation runs.
+    pub trip_count: u64,
+    /// Number of grid points evaluated.
+    pub configs: usize,
+    /// Number of distinct machine shapes (paid compiles) in the grid.
+    pub shapes: usize,
+    /// One row per grid point, in grid order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// The rows on the Pareto frontier of their machine shape.
+    pub fn frontier(&self) -> impl Iterator<Item = &SweepRow> {
+        self.rows.iter().filter(|r| r.pareto)
+    }
+
+    /// The paper's published sizing points (8×8 queues, depth-8 links, basic
+    /// cluster — one per swept cluster count).
+    pub fn paper_points(&self) -> impl Iterator<Item = &SweepRow> {
+        self.rows.iter().filter(|r| r.paper_point)
+    }
+
+    /// The Fig. 7 conclusion, as a checkable predicate: every paper point in
+    /// the grid lies on its shape's Pareto frontier.
+    pub fn paper_point_is_pareto(&self) -> bool {
+        let mut any = false;
+        for p in self.paper_points() {
+            any = true;
+            if !p.pareto {
+                return false;
+            }
+        }
+        any
+    }
+}
+
+/// Per-loop verdict of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopVerdict {
+    /// The loop compiles on the machine shape.
+    pub schedulable: bool,
+    /// The pool-split queue allocation fits the configured budgets.
+    pub alloc_fits: bool,
+    /// The executed kernel stays within every storage pool at every cycle.
+    pub sim_clean: bool,
+}
+
+/// Classifies one compiled-and-simulated loop against one grid point's storage
+/// budgets.
+///
+/// `machine` must be `config.machine(..)` (the *real* budgets; the compilation
+/// itself came from the shape's probe machine).  The simulation verdict mirrors
+/// the engine's pool model: a cluster's private QRF overflows when more than
+/// `queues × capacity` values are resident, a directed link when more than
+/// `queues × link_depth` are — evaluated here against the probe run's observed
+/// peaks, which is exactly what simulating on the real machine would have
+/// capacity-checked cycle by cycle.
+pub fn classify_loop(
+    compilation: &Compilation,
+    run: &SimRun,
+    machine: &Machine,
+    config: &MachineConfig,
+) -> LoopVerdict {
+    debug_assert_eq!(run.capacity_faults, 0, "probe machines must never clip occupancy");
+    let m = &run.measurement;
+    let private_budget = config.queues_per_cluster * config.queue_capacity;
+    let link_budget = config.queues_per_cluster * config.link_depth;
+    LoopVerdict {
+        schedulable: true,
+        alloc_fits: compilation.fits_machine(machine),
+        sim_clean: run.schedule_faults == 0
+            && m.max_private_peak() <= private_budget
+            && m.max_comm_peak() <= link_budget,
+    }
+}
+
+/// Runs the design-space sweep over `session` for the given grid preset.
+pub fn sweep_experiment(session: &Session, grid: SweepGrid) -> SweepReport {
+    let space = grid.space();
+    let mut rows = Vec::with_capacity(space.num_configs());
+    for config in space.configs() {
+        let probe = config.probe_machine(Default::default());
+        let machine = config.machine(Default::default());
+        let compiler = session.compiler(CompilerConfig::paper_defaults(probe));
+        let verdicts: Vec<LoopVerdict> = session.sweep(|i, _| {
+            let Some(run) = compiler.simulate(i, SWEEP_TRIP_COUNT) else {
+                return LoopVerdict::default();
+            };
+            compiler
+                .map_ok(i, |c| classify_loop(c, &run, &machine, &config))
+                .expect("simulated loops compiled")
+        });
+        let loops = verdicts.len();
+        let frac = |f: &dyn Fn(&LoopVerdict) -> bool| {
+            if loops == 0 {
+                0.0
+            } else {
+                verdicts.iter().filter(|v| f(v)).count() as f64 / loops as f64
+            }
+        };
+        rows.push(SweepRow {
+            clusters: config.clusters,
+            fu_mix: config.fu_mix.tag().to_string(),
+            fus: config.clusters * config.fu_mix.compute_fus(),
+            queues_per_cluster: config.queues_per_cluster,
+            queue_capacity: config.queue_capacity,
+            link_depth: config.link_depth,
+            storage_bits: config.storage_bits(),
+            loops,
+            frac_schedulable: frac(&|v| v.schedulable),
+            frac_alloc_fits: frac(&|v| v.alloc_fits),
+            frac_sim_clean: frac(&|v| v.sim_clean),
+            frac_clean: frac(&|v| v.alloc_fits && v.sim_clean),
+            pareto: false,
+            paper_point: config.is_paper_point(),
+        });
+    }
+    mark_pareto(&mut rows);
+    SweepReport {
+        corpus_size: session.config().corpus.num_loops,
+        seed: session.config().corpus.seed,
+        grid: grid.name().to_string(),
+        trip_count: SWEEP_TRIP_COUNT,
+        configs: space.num_configs(),
+        shapes: space.num_shapes(),
+        rows,
+    }
+}
+
+/// Renders the sweep rows as a text table.
+pub fn render(rows: &[SweepRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "clusters",
+        "mix",
+        "queues",
+        "capacity",
+        "link depth",
+        "storage bits",
+        "schedulable",
+        "alloc fits",
+        "sim clean",
+        "clean",
+        "pareto",
+        "paper",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.clusters.to_string(),
+            r.fu_mix.clone(),
+            r.queues_per_cluster.to_string(),
+            r.queue_capacity.to_string(),
+            r.link_depth.to_string(),
+            r.storage_bits.to_string(),
+            vliw_analysis::pct(r.frac_schedulable),
+            vliw_analysis::pct(r.frac_alloc_fits),
+            vliw_analysis::pct(r.frac_sim_clean),
+            vliw_analysis::pct(r.frac_clean),
+            if r.pareto { "*" } else { "" }.to_string(),
+            if r.paper_point { "<- Fig. 7" } else { "" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_reuses_one_compile_per_shape() {
+        let session = Session::quick(10, 386);
+        let report = sweep_experiment(&session, SweepGrid::Small);
+        assert_eq!(report.rows.len(), 8);
+        assert_eq!(report.shapes, 1);
+        let stats = session.stats();
+        // One shape: every loop compiled and simulated exactly once, the seven
+        // other grid points were served from the memo store.
+        assert_eq!(stats.unique_keys, 1);
+        assert!(stats.compilations <= 10);
+        assert!(stats.hits > 0, "storage sub-grid must hit the cache");
+        assert!(stats.sim_hits > 0, "storage sub-grid must reuse sim runs");
+        assert!(stats.sim_runs <= stats.compilations);
+    }
+
+    #[test]
+    fn fractions_are_ordered_and_bounded() {
+        let session = Session::quick(12, 7);
+        let report = sweep_experiment(&session, SweepGrid::Small);
+        for r in &report.rows {
+            assert_eq!(r.loops, 12);
+            for f in [r.frac_schedulable, r.frac_alloc_fits, r.frac_sim_clean, r.frac_clean] {
+                assert!((0.0..=1.0).contains(&f));
+            }
+            assert!(r.frac_alloc_fits <= r.frac_schedulable, "fitting implies scheduling");
+            assert!(r.frac_sim_clean <= r.frac_schedulable, "clean implies scheduling");
+            assert!(r.frac_clean <= r.frac_alloc_fits.min(r.frac_sim_clean));
+        }
+    }
+
+    #[test]
+    fn growing_a_storage_dimension_never_loses_loops() {
+        // The monotonicity the proptest checks per loop, at the corpus level:
+        // within one shape, a configuration that dominates another dimension-
+        // wise classifies at least as many loops clean.
+        let session = Session::quick(16, 23);
+        let report = sweep_experiment(&session, SweepGrid::Small);
+        for a in &report.rows {
+            for b in &report.rows {
+                if a.clusters == b.clusters
+                    && a.fu_mix == b.fu_mix
+                    && a.queues_per_cluster <= b.queues_per_cluster
+                    && a.queue_capacity <= b.queue_capacity
+                    && a.link_depth <= b.link_depth
+                {
+                    assert!(a.frac_alloc_fits <= b.frac_alloc_fits + 1e-12);
+                    assert!(a.frac_sim_clean <= b.frac_sim_clean + 1e-12);
+                    assert!(a.frac_clean <= b.frac_clean + 1e-12);
+                    assert_eq!(a.frac_schedulable, b.frac_schedulable);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_point_is_flagged_and_frontier_is_nonempty() {
+        let session = Session::quick(16, 386);
+        let report = sweep_experiment(&session, SweepGrid::Small);
+        assert_eq!(report.paper_points().count(), 1);
+        assert!(report.frontier().count() >= 1);
+        let paper = report.paper_points().next().unwrap();
+        assert_eq!(paper.queues_per_cluster, 8);
+        assert_eq!(paper.queue_capacity, 8);
+        assert_eq!(paper.link_depth, 8);
+        assert_eq!(paper.fus, 12);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let session = Session::quick(6, 5);
+        let report = sweep_experiment(&session, SweepGrid::Small);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn render_shape() {
+        let session = Session::quick(6, 5);
+        let report = sweep_experiment(&session, SweepGrid::Small);
+        let t = render(&report.rows);
+        assert_eq!(t.num_rows(), report.rows.len());
+        let text = t.render();
+        assert!(text.contains("storage bits"));
+        assert!(text.contains("Fig. 7"));
+    }
+}

@@ -52,7 +52,10 @@ pub use vliw_unroll as unroll;
 // Frequently used items, re-exported flat for convenience.
 pub use vliw_ddg::{kernels, Ddg, DdgBuilder, LatencyModel, Loop, OpClass, OpId, OpKind};
 pub use vliw_loopgen::{generate_corpus, CorpusConfig};
-pub use vliw_machine::{copy_units_for, ClusterConfig, ClusterId, FuId, Machine, RingConfig};
+pub use vliw_machine::{
+    copy_units_for, ClusterConfig, ClusterId, FuId, FuMix, Machine, MachineConfig, MachineSpace,
+    RingConfig, SweepGrid,
+};
 pub use vliw_partition::{partition_schedule, CommStats, PartitionOptions, PartitionResult};
 pub use vliw_qrf::{allocate_queues, insert_copies, q_compatible, use_lifetimes, QueueAllocation};
 pub use vliw_sched::{modulo_schedule, ImsOptions, ImsResult, SchedError, Schedule};

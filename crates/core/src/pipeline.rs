@@ -118,6 +118,25 @@ impl Compilation {
     pub fn achieved_mii(&self) -> bool {
         self.schedule.ii == self.mii.max(1)
     }
+
+    /// Pool-split storage feasibility of this compilation on `machine` — the
+    /// corrected Fig. 7 sizing predicate the design-space sweep consumes.
+    ///
+    /// On a single-cluster machine the machine-wide allocation *is* the private
+    /// pool, so the flat [`QueueAllocation::fits`] check applies.  On a
+    /// clustered machine local and cross-cluster lifetimes live in different
+    /// hardware pools (private GPQs vs ring queues), so feasibility comes from
+    /// the per-pool allocations of [`CommStats::fits_pools`] instead; the flat
+    /// allocation would charge communication values against the private budget.
+    pub fn fits_machine(&self, machine: &Machine) -> bool {
+        match &self.comm {
+            Some(comm) => comm.fits_pools(machine),
+            None => {
+                let cfg = machine.cluster(vliw_machine::ClusterId(0));
+                self.queues.fits(cfg.private_queues, cfg.queue_capacity)
+            }
+        }
+    }
 }
 
 /// The compilation pipeline for one machine configuration.
@@ -238,6 +257,28 @@ mod tests {
                 comm.cross_cluster_values + comm.local_values,
                 c.transformed.edges().filter(|e| e.kind == vliw_ddg::DepKind::Flow).count()
             );
+        }
+    }
+
+    #[test]
+    fn fits_machine_dispatches_per_pool() {
+        let lp = kernels::wide_parallel(lat(), 100);
+        // Single cluster: the flat allocation is the private pool; one queue of
+        // storage cannot hold a wide kernel, ample storage can.
+        let tight = Machine::single_cluster(6, 2, 1, lat());
+        let c = Compiler::new(CompilerConfig::paper_defaults(tight.clone())).compile(&lp).unwrap();
+        assert!(c.queues_required() > 1);
+        assert!(!c.fits_machine(&tight));
+        let ample = Machine::single_cluster(6, 2, 1024, lat());
+        let c = Compiler::new(CompilerConfig::paper_defaults(ample.clone())).compile(&lp).unwrap();
+        assert!(c.fits_machine(&ample));
+        // Clustered: the verdict is the pool-split one, never the flat check.
+        let clustered = Machine::paper_clustered(4, lat());
+        let compiler = Compiler::new(CompilerConfig::paper_defaults(clustered.clone()));
+        for lp in kernels::all_kernels(lat()) {
+            let c = compiler.compile(&lp).unwrap();
+            let comm = c.comm.as_ref().expect("clustered");
+            assert_eq!(c.fits_machine(&clustered), comm.fits_pools(&clustered), "{}", lp.name);
         }
     }
 

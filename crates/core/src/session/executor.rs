@@ -10,6 +10,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// What one worker produced: its `(index, result)` buffer, or the diagnosis of
+/// the first item that panicked on it (`(index, payload message)`).
+type WorkerOutcome<R> = Result<Vec<(usize, R)>, (usize, String)>;
+
 /// Applies `f` to every index in `0..n`, in parallel over `threads` workers, and
 /// returns the results in index order.
 ///
@@ -18,23 +22,39 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// merges the buffers once, so no result slot is ever shared between workers and
 /// `f` only needs to be `Sync` — no `'static` bound, no unsafe code.
 ///
-/// Panics in `f` are propagated after all workers stop.
+/// A panic in `f` is caught per item and re-raised on the caller's thread after
+/// all workers stop, with the panicking *index* and the original payload message
+/// in the new payload — on a full-corpus sweep, "loop index 731" is the
+/// difference between a diagnosable failure and a shrug.  When several items
+/// panic concurrently, the lowest index is reported.
 pub fn par_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     let threads = threads.max(1).min(n.max(1));
+
+    let run_item = |index: usize| -> Result<R, (usize, String)> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)))
+            .map_err(|payload| (index, panic_message(payload.as_ref())))
+    };
+
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                run_item(i).unwrap_or_else(|(index, message)| {
+                    panic!("experiment worker panicked at loop index {index}: {message}")
+                })
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+    let outcomes: Vec<WorkerOutcome<R>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
-                let f = &f;
+                let run_item = &run_item;
                 scope.spawn(move |_| {
                     let mut local = Vec::with_capacity(n / threads + 1);
                     loop {
@@ -42,25 +62,47 @@ where
                         if index >= n {
                             break;
                         }
-                        local.push((index, f(index)));
+                        match run_item(index) {
+                            Ok(result) => local.push((index, result)),
+                            Err(diagnosis) => return Err(diagnosis),
+                        }
                     }
-                    local
+                    Ok(local)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("experiment worker panicked"))
+            .map(|h| h.join().expect("worker panics are caught per item"))
             .collect::<Vec<_>>()
     })
-    .expect("experiment worker panicked");
+    .expect("worker panics are caught per item");
+
+    if let Some((index, message)) =
+        outcomes.iter().filter_map(|o| o.as_ref().err()).min_by_key(|&&(index, _)| index)
+    {
+        panic!("experiment worker panicked at loop index {index}: {message}");
+    }
 
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
-    for (index, result) in buckets.into_iter().flatten() {
+    for (index, result) in outcomes.into_iter().flatten().flatten() {
         results[index] = Some(result);
     }
     results.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect()
+}
+
+/// Renders a caught panic payload for the re-raised diagnostic: the `&str` /
+/// `String` payloads `panic!` produces are passed through verbatim, anything
+/// else (a `panic_any` value) is labelled by what it is not.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +160,45 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn worker_panics_resurface_the_index_and_payload() {
+        // The re-raised panic must say *which* loop index died and carry the
+        // original payload text — the difference between a diagnosable
+        // full-corpus sweep failure and an anonymous `expect` message.
+        for threads in [1, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                par_map_indexed(32, threads, |i| {
+                    if i == 19 {
+                        panic!("loop exploded: II search diverged");
+                    }
+                    i
+                })
+            })
+            .expect_err("the sweep must panic");
+            let message =
+                caught.downcast_ref::<String>().expect("re-raised payload is a String").clone();
+            assert!(message.contains("loop index 19"), "threads={threads}: {message}");
+            assert!(
+                message.contains("loop exploded: II search diverged"),
+                "threads={threads}: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_panicking_index_wins() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_indexed(64, 8, |i| {
+                if i % 16 == 3 {
+                    panic!("bad item {i}");
+                }
+                i
+            })
+        })
+        .expect_err("the sweep must panic");
+        let message = caught.downcast_ref::<String>().unwrap().clone();
+        assert!(message.contains("loop index 3"), "{message}");
     }
 }

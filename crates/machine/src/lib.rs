@@ -30,10 +30,12 @@ pub mod cluster;
 pub mod fu;
 #[allow(clippy::module_inception)]
 pub mod machine;
+pub mod space;
 
 pub use cluster::{ClusterConfig, RingConfig};
 pub use fu::{ClusterId, Fu, FuId};
 pub use machine::{copy_units_for, Machine};
+pub use space::{FuMix, MachineConfig, MachineSpace, SweepGrid, VALUE_BITS};
 
 // Re-export the latency model so downstream crates need not depend on vliw-ddg just
 // to configure a machine.

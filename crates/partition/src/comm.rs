@@ -44,6 +44,45 @@ impl CommStats {
             && self.max_comm_queue_depth <= depth
     }
 
+    /// Pool-split feasibility of the schedule on `machine` — the corrected
+    /// Fig. 7 sizing predicate.
+    ///
+    /// Fig. 7's cluster owns three distinct storage pools: the private GPQs
+    /// (sized by [`vliw_machine::ClusterConfig`]'s `private_queues` ×
+    /// `queue_capacity`) and the ring-input / ring-output communication queues.
+    /// In the link-based model the ring-output queues of a cluster *are* the
+    /// ring-input queues of its neighbour — one directed link, sized by
+    /// [`vliw_machine::RingConfig`]'s `queues_per_direction` ×
+    /// `queue_capacity` — so the check is per cluster for the private pool and
+    /// per directed link for the communication pools, each against its own
+    /// depth budget.  A flat `(num_queues, capacity)` check over the
+    /// machine-wide allocation gets both directions wrong: it charges
+    /// communication lifetimes against the private budget (spuriously
+    /// infeasible loops) and lets local pressure in one cluster borrow another
+    /// cluster's queues (spuriously feasible loops).
+    ///
+    /// `CommStats` records machine-wide *maxima* per pool kind, so the check
+    /// compares the worst cluster's demand against every cluster's budget —
+    /// exact for the homogeneous machines every constructor in this workspace
+    /// builds, conservative (never spuriously feasible, possibly spuriously
+    /// infeasible) for a hand-built machine with differently-sized clusters.
+    pub fn fits_pools(&self, machine: &Machine) -> bool {
+        let private_ok = machine.cluster_ids().all(|c| {
+            let cfg = machine.cluster(c);
+            self.max_private_queues_per_cluster <= cfg.private_queues
+                && self.max_private_queue_depth <= cfg.queue_capacity
+        });
+        let comm_ok = match machine.ring() {
+            Some(r) => {
+                self.max_comm_queues_per_link <= r.queues_per_direction
+                    && self.max_comm_queue_depth <= r.queue_capacity
+            }
+            // A machine without a ring can route no cross-cluster value at all.
+            None => self.cross_cluster_values == 0,
+        };
+        private_ok && comm_ok
+    }
+
     /// Fraction of values that cross clusters (0 when the loop has no values).
     pub fn cross_fraction(&self) -> f64 {
         let total = self.cross_cluster_values + self.local_values;
@@ -70,8 +109,8 @@ pub fn comm_stats(ddg: &Ddg, machine: &Machine, schedule: &Schedule) -> CommStat
         let lt = Lifetime {
             producer: e.src,
             consumer: e.dst,
-            start: schedule.start_of(e.src),
-            end: schedule.start_of(e.dst) + ii * e.distance,
+            start: u64::from(schedule.start_of(e.src)),
+            end: u64::from(schedule.start_of(e.dst)) + u64::from(ii) * u64::from(e.distance),
         };
         let cs = schedule.cluster_of(machine, e.src);
         let cd = schedule.cluster_of(machine, e.dst);
@@ -162,6 +201,86 @@ mod tests {
         let r = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
         let f = r.comm.cross_fraction();
         assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn pool_split_fixes_the_flat_fits_verdict() {
+        use vliw_ddg::{DdgBuilder, OpKind};
+        use vliw_machine::{ClusterConfig, ClusterId, RingConfig};
+        use vliw_qrf::{allocate_queues, use_lifetimes};
+        use vliw_sched::Schedule;
+
+        // Two independent producer/consumer pairs whose lifetimes are mutually
+        // Q-incompatible (same write slot mod II), so a flat machine-wide
+        // allocation needs two queues no matter where the values live.
+        let mut b = DdgBuilder::new(vliw_ddg::LatencyModel::unit());
+        let l1 = b.op(OpKind::Load);
+        let a1 = b.op(OpKind::Add);
+        let l2 = b.op(OpKind::Load);
+        let a2 = b.op(OpKind::Add);
+        b.flow(l1, a1);
+        b.flow(l2, a2);
+        let g = b.finish();
+
+        let cluster = |queues: usize| ClusterConfig {
+            fu_classes: vec![vliw_ddg::OpClass::Memory, vliw_ddg::OpClass::Adder],
+            copy_units: 0,
+            private_queues: queues,
+            queue_capacity: 8,
+        };
+
+        // Flip 1 — flat says "does not fit", pools say "fits": one value stays
+        // in cluster 0, the other crosses to cluster 1.  Each pool holds one
+        // lifetime, but the flat allocation charges both against the single
+        // private queue.
+        let m = Machine::new(
+            "tight-private",
+            vec![cluster(1), cluster(1)],
+            Some(RingConfig { queues_per_direction: 8, queue_capacity: 8 }),
+            MachineLatency::unit(),
+        );
+        let mem0 = m.fu_ids_of_class_in_cluster(ClusterId(0), vliw_ddg::OpClass::Memory)[0];
+        let add0 = m.fu_ids_of_class_in_cluster(ClusterId(0), vliw_ddg::OpClass::Adder)[0];
+        let add1 = m.fu_ids_of_class_in_cluster(ClusterId(1), vliw_ddg::OpClass::Adder)[0];
+        let s = Schedule::new(4, vec![0, 2, 4, 6], vec![mem0, add1, mem0, add0]);
+        let flat = allocate_queues(&use_lifetimes(&g, &s), s.ii);
+        assert_eq!(flat.num_queues(), 2, "the lifetimes collide in a flat pool");
+        let cfg = m.cluster(ClusterId(0));
+        assert!(!flat.fits(cfg.private_queues, cfg.queue_capacity), "flat verdict: infeasible");
+        let stats = comm_stats(&g, &m, &s);
+        assert!(stats.fits_pools(&m), "pool-split verdict: each pool holds one lifetime");
+
+        // Flip 2 — flat says "fits", pools say "does not fit": both values
+        // cross the same directed link, which owns a single communication
+        // queue; the flat check happily bins them into the ample private pool.
+        let m = Machine::new(
+            "tight-ring",
+            vec![cluster(8), cluster(8)],
+            Some(RingConfig { queues_per_direction: 1, queue_capacity: 8 }),
+            MachineLatency::unit(),
+        );
+        let mem0 = m.fu_ids_of_class_in_cluster(ClusterId(0), vliw_ddg::OpClass::Memory)[0];
+        let add1 = m.fu_ids_of_class_in_cluster(ClusterId(1), vliw_ddg::OpClass::Adder)[0];
+        let s = Schedule::new(4, vec![0, 2, 4, 6], vec![mem0, add1, mem0, add1]);
+        let flat = allocate_queues(&use_lifetimes(&g, &s), s.ii);
+        let cfg = m.cluster(ClusterId(0));
+        assert!(flat.fits(cfg.private_queues, cfg.queue_capacity), "flat verdict: feasible");
+        let stats = comm_stats(&g, &m, &s);
+        assert_eq!(stats.max_comm_queues_per_link, 2);
+        assert!(!stats.fits_pools(&m), "pool-split verdict: the link is oversubscribed");
+    }
+
+    #[test]
+    fn fits_pools_matches_the_paper_budget_on_the_paper_machine() {
+        let lat = LatencyModel::default();
+        let m = Machine::paper_clustered(4, MachineLatency::default());
+        for l in kernels::all_kernels(lat) {
+            let rewritten = insert_copies(&l.ddg, &lat);
+            let r = partition_schedule(&rewritten.ddg, &m, PartitionOptions::default()).unwrap();
+            // On the paper machine both budgets and both depths are 8, so the
+            // pool-split predicate coincides with the legacy budget check.
+            assert_eq!(r.comm.fits_pools(&m), r.comm.fits_cluster_budget(8, 8, 8), "{}", l.name);
+        }
     }
 
     #[test]

@@ -33,8 +33,17 @@ impl QueueAllocation {
         self.queue_depths.iter().copied().max().unwrap_or(0)
     }
 
-    /// True if the allocation fits a register file of `num_queues` queues of
+    /// True if the allocation fits **one** storage pool of `num_queues` queues of
     /// `capacity` entries each.
+    ///
+    /// This is a single-pool predicate: it is only meaningful when every
+    /// lifetime behind the allocation lives in the same physical pool (a
+    /// single-cluster QRF, one cluster's private queues, or one directed ring
+    /// link).  A clustered machine owns several distinct pools per cluster
+    /// (private GPQs plus ring-input and ring-output queues — Fig. 7's 8+8+8),
+    /// so feasibility there must be decided per pool from per-pool allocations
+    /// (`vliw_partition::CommStats::fits_pools`), never by applying this check
+    /// to a machine-wide allocation.
     pub fn fits(&self, num_queues: usize, capacity: usize) -> bool {
         self.num_queues() <= num_queues && self.max_queue_depth() <= capacity
     }
@@ -93,7 +102,7 @@ mod tests {
     use vliw_sched::{modulo_schedule, ImsOptions};
 
     fn lt(start: u32, end: u32) -> Lifetime {
-        Lifetime { producer: OpId(0), consumer: OpId(1), start, end }
+        Lifetime { producer: OpId(0), consumer: OpId(1), start: start.into(), end: end.into() }
     }
 
     #[test]

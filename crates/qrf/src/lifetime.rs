@@ -20,6 +20,12 @@ use vliw_ddg::{Ddg, OpId};
 use vliw_sched::Schedule;
 
 /// A storage lifetime extracted from a modulo schedule.
+///
+/// Endpoints are `u64`: schedule issue cycles are `u32`, but a loop-carried use
+/// ends at `issue(consumer) + II · distance`, and for long-latency chains (large
+/// II) combined with large dependence distances that product overflows `u32`.
+/// The scheduler's window scans were widened the same way; the lifetime side
+/// (extraction, MaxLive, Q-compatibility) works in `u64` throughout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lifetime {
     /// The operation producing the value.
@@ -28,36 +34,36 @@ pub struct Lifetime {
     /// (per-value lifetimes).
     pub consumer: OpId,
     /// Cycle at which the storage is reserved: the producer's issue cycle.
-    pub start: u32,
+    pub start: u64,
     /// Cycle at which the (last) consumer reads the value:
     /// `issue(consumer) + II · distance`.
-    pub end: u32,
+    pub end: u64,
 }
 
 impl Lifetime {
     /// Length of the lifetime in cycles (`end − start`).
     #[inline]
-    pub fn length(&self) -> u32 {
+    pub fn length(&self) -> u64 {
         self.end - self.start
     }
 
     /// True if the lifetime spans more than `ii` cycles, meaning more than one
     /// instance of it is alive at steady state.
     pub fn overlaps_itself(&self, ii: u32) -> bool {
-        self.length() > ii
+        self.length() > u64::from(ii)
     }
 }
 
 /// Extracts one lifetime per (producer, consumer) flow edge.
 pub fn use_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
-    let ii = schedule.ii;
+    let ii = u64::from(schedule.ii);
     let mut out = Vec::new();
     for e in ddg.edges() {
         if !e.kind.carries_value() {
             continue;
         }
-        let start = schedule.start_of(e.src);
-        let end = schedule.start_of(e.dst) + ii * e.distance;
+        let start = u64::from(schedule.start_of(e.src));
+        let end = u64::from(schedule.start_of(e.dst)) + ii * u64::from(e.distance);
         debug_assert!(end >= start, "schedule violates dependence {e}");
         out.push(Lifetime { producer: e.src, consumer: e.dst, start, end });
     }
@@ -69,18 +75,23 @@ pub fn use_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
 /// Values with no consumer (e.g. a compare feeding the loop branch, which is not
 /// modelled) produce no lifetime.
 pub fn value_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
-    let ii = schedule.ii;
+    let ii = u64::from(schedule.ii);
     let mut out = Vec::new();
     for op in ddg.op_ids() {
-        let mut last: Option<(OpId, u32)> = None;
+        let mut last: Option<(OpId, u64)> = None;
         for e in ddg.flow_consumers(op) {
-            let end = schedule.start_of(e.dst) + ii * e.distance;
+            let end = u64::from(schedule.start_of(e.dst)) + ii * u64::from(e.distance);
             if last.is_none_or(|(_, prev)| end > prev) {
                 last = Some((e.dst, end));
             }
         }
         if let Some((consumer, end)) = last {
-            out.push(Lifetime { producer: op, consumer, start: schedule.start_of(op), end });
+            out.push(Lifetime {
+                producer: op,
+                consumer,
+                start: u64::from(schedule.start_of(op)),
+                end,
+            });
         }
     }
     out
@@ -102,13 +113,13 @@ pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> usize {
     let mut whole_wraps = 0usize;
     let mut diff = vec![0i64; ii + 1];
     for lt in lifetimes {
-        let len = lt.length() as usize;
-        whole_wraps += len / ii;
-        let rem = len % ii;
+        let len = lt.length();
+        whole_wraps += (len / ii as u64) as usize;
+        let rem = (len % ii as u64) as usize;
         if rem == 0 {
             continue;
         }
-        let s = lt.start as usize % ii;
+        let s = (lt.start % ii as u64) as usize;
         if s + rem <= ii {
             diff[s] += 1;
             diff[s + rem] -= 1;
@@ -192,8 +203,35 @@ mod tests {
         let s = modulo_schedule(&g, &m, ImsOptions::default()).unwrap().schedule;
         let lts = use_lifetimes(&g, &s);
         assert_eq!(lts.len(), 1);
-        assert_eq!(lts[0].end, s.start_of(c) + 2 * s.ii);
+        assert_eq!(lts[0].end, u64::from(s.start_of(c)) + 2 * u64::from(s.ii));
         assert!(lts[0].overlaps_itself(s.ii));
+    }
+
+    #[test]
+    fn long_latency_chain_lifetimes_do_not_overflow_u32() {
+        // A loop-carried use at a large II and a large distance: the end cycle
+        // `issue(consumer) + II · distance` exceeds u32::MAX.  The scheduler's
+        // window scans were widened to u64 earlier; the lifetime extraction must
+        // survive the same regime instead of wrapping (or panicking in debug).
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let p = b.op(OpKind::Add);
+        let c = b.op(OpKind::Mul);
+        b.flow_carried(p, c, 70_000);
+        let g = b.finish();
+        let ii = 70_000u32; // ii · distance = 4.9e9 > u32::MAX
+        let s = Schedule::new(ii, vec![0, 1], vec![vliw_machine::FuId(0), vliw_machine::FuId(1)]);
+        let lts = use_lifetimes(&g, &s);
+        assert_eq!(lts.len(), 1);
+        assert_eq!(lts[0].end, 1 + u64::from(ii) * 70_000);
+        assert!(lts[0].end > u64::from(u32::MAX));
+        // The derived quantities stay exact in the widened domain.
+        assert_eq!(lts[0].length(), lts[0].end - lts[0].start);
+        assert!(lts[0].overlaps_itself(ii));
+        let vls = value_lifetimes(&g, &s);
+        assert_eq!(vls[0].end, lts[0].end);
+        // MaxLive of a single lifetime of length L at initiation interval II is
+        // ceil(L / II); the whole-wrap accounting must not truncate.
+        assert_eq!(max_live(&lts, ii), lts[0].length().div_ceil(u64::from(ii)) as usize);
     }
 
     #[test]
@@ -236,15 +274,15 @@ mod tests {
                 .map(|&(s, l)| Lifetime {
                     producer: OpId(0),
                     consumer: OpId(1),
-                    start: s,
-                    end: s + l,
+                    start: u64::from(s),
+                    end: u64::from(s + l),
                 })
                 .collect();
             let naive = {
                 let mut live = vec![0usize; ii as usize];
                 for lt in &lts {
                     for t in lt.start..lt.end {
-                        live[(t % ii) as usize] += 1;
+                        live[(t % u64::from(ii)) as usize] += 1;
                     }
                 }
                 live.into_iter().max().unwrap_or(0)

@@ -30,7 +30,10 @@
 use crate::lifetime::Lifetime;
 
 /// True if some integer multiple of `ii` lies in the closed interval `[lo, hi]`.
-fn multiple_in_closed_range(lo: i64, hi: i64, ii: i64) -> bool {
+///
+/// `i128` because lifetime endpoints are `u64` (loop-carried ends can exceed
+/// `u32`), so their differences do not fit `i64` in the extreme.
+fn multiple_in_closed_range(lo: i128, hi: i128, ii: i128) -> bool {
     debug_assert!(lo <= hi && ii >= 1);
     // Smallest multiple >= lo is ceil(lo / ii) * ii.
     let first = lo.div_euclid(ii) * ii + if lo.rem_euclid(ii) == 0 { 0 } else { ii };
@@ -44,9 +47,9 @@ fn multiple_in_closed_range(lo: i64, hi: i64, ii: i64) -> bool {
 /// derivation).  The relation is symmetric but **not** transitive, so a set of
 /// lifetimes may share a queue only if every pair in the set is compatible.
 pub fn q_compatible(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
-    let ii = i64::from(ii);
-    let dw = i64::from(a.start) - i64::from(b.start);
-    let dr = i64::from(a.end) - i64::from(b.end);
+    let ii = i128::from(ii);
+    let dw = i128::from(a.start) - i128::from(b.start);
+    let dr = i128::from(a.end) - i128::from(b.end);
     let (lo, hi) = (dw.min(dr), dw.max(dr));
     !multiple_in_closed_range(lo, hi, ii)
 }
@@ -60,7 +63,7 @@ pub fn q_compatible(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
 pub fn fifo_compatible(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     struct Event {
-        time: i64,
+        time: u64,
         /// 0 = read, 1 = write (reads processed first at a tie: a read always refers
         /// to a value written at least one cycle earlier).
         kind: u8,
@@ -69,21 +72,31 @@ pub fn fifo_compatible(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
         instance: u32,
     }
 
-    let ii_i = i64::from(ii);
-    let max_len = i64::from(a.length().max(b.length()));
-    let start_offset = (i64::from(a.start) - i64::from(b.start)).abs();
+    let ii_i = u64::from(ii);
+    let max_len = a.length().max(b.length());
+    let start_offset = a.start.abs_diff(b.start);
     // Enough iterations that every relative alignment that can possibly interact is
     // exercised at least once (the families only meet after the start offset has
-    // been crossed, and keep interacting over the longer lifetime).
-    let iterations = ((max_len + start_offset) / ii_i + 4) as u32;
+    // been crossed, and keep interacting over the longer lifetime).  The oracle
+    // materialises four events per iteration, so it is only tractable — and its
+    // iteration count only representable — for lifetimes spanning a modest number
+    // of IIs; refuse loudly rather than wrap the count and return a wrong verdict
+    // (the widened closed form handles the extreme regime, see `q_compatible`).
+    let iterations = (max_len + start_offset) / ii_i + 4;
+    assert!(
+        iterations <= 1 << 24,
+        "fifo_compatible is a brute-force oracle for lifetimes spanning few IIs \
+         ({iterations} iterations would be needed); use q_compatible instead"
+    );
+    let iterations = iterations as u32;
 
     let mut events = Vec::with_capacity(iterations as usize * 4);
     for k in 0..iterations {
-        let off = i64::from(k) * ii_i;
-        events.push(Event { time: i64::from(a.start) + off, kind: 1, family: 0, instance: k });
-        events.push(Event { time: i64::from(a.end) + off, kind: 0, family: 0, instance: k });
-        events.push(Event { time: i64::from(b.start) + off, kind: 1, family: 1, instance: k });
-        events.push(Event { time: i64::from(b.end) + off, kind: 0, family: 1, instance: k });
+        let off = u64::from(k) * ii_i;
+        events.push(Event { time: a.start + off, kind: 1, family: 0, instance: k });
+        events.push(Event { time: a.end + off, kind: 0, family: 0, instance: k });
+        events.push(Event { time: b.start + off, kind: 1, family: 1, instance: k });
+        events.push(Event { time: b.end + off, kind: 0, family: 1, instance: k });
     }
     events.sort_by_key(|e| (e.time, e.kind, e.family, e.instance));
 
@@ -126,7 +139,7 @@ mod tests {
     use vliw_ddg::OpId;
 
     fn lt(start: u32, end: u32) -> Lifetime {
-        Lifetime { producer: OpId(0), consumer: OpId(1), start, end }
+        Lifetime { producer: OpId(0), consumer: OpId(1), start: start.into(), end: end.into() }
     }
 
     #[test]
@@ -187,13 +200,12 @@ mod tests {
                 let b = lt(sb, sb + lb);
                 let la = 9i64;
                 let offset = i64::from((sb as i64).rem_euclid(ii as i64) as u32);
+                let dr = a.end as i64 - b.end as i64;
                 let expected_by_theorem = if la - i64::from(lb) >= 0 {
-                    la - i64::from(lb) < offset
-                        && (i64::from(a.end) - i64::from(b.end)).rem_euclid(ii as i64) != 0
+                    la - i64::from(lb) < offset && dr.rem_euclid(ii as i64) != 0
                 } else {
                     // Lb > La: swap roles.
-                    i64::from(lb) - la < (ii as i64 - offset)
-                        && (i64::from(a.end) - i64::from(b.end)).rem_euclid(ii as i64) != 0
+                    i64::from(lb) - la < (ii as i64 - offset) && dr.rem_euclid(ii as i64) != 0
                 };
                 let got = q_compatible(&a, &b, ii);
                 let oracle = fifo_compatible(&a, &b, ii);

@@ -33,6 +33,14 @@ pub enum SimSetupError {
         /// Assigned unit.
         fu: FuId,
     },
+    /// A queue map does not describe this graph: wrong number of entries for the
+    /// graph's value-carrying flow edges, or a queue id out of range.
+    BadQueueMap {
+        /// Value-carrying flow edges in the graph.
+        expected_edges: usize,
+        /// Entries in the map.
+        actual_edges: usize,
+    },
 }
 
 impl fmt::Display for SimSetupError {
@@ -44,6 +52,13 @@ impl fmt::Display for SimSetupError {
             SimSetupError::ZeroIi => write!(f, "cannot simulate a schedule with II = 0"),
             SimSetupError::UnknownFu { op, fu } => {
                 write!(f, "{op} assigned to nonexistent {fu}")
+            }
+            SimSetupError::BadQueueMap { expected_edges, actual_edges } => {
+                write!(
+                    f,
+                    "queue map covers {actual_edges} flow edges, graph has {expected_edges} \
+                     (or a queue id is out of range)"
+                )
             }
         }
     }
@@ -62,6 +77,9 @@ enum Domain {
     Unroutable,
 }
 
+/// Sentinel queue id for flow uses not tracked per queue.
+const NO_QUEUE: u32 = u32::MAX;
+
 /// One side of a flow edge as seen from an issuing instance.
 #[derive(Debug, Clone, Copy)]
 struct FlowUse {
@@ -72,6 +90,27 @@ struct FlowUse {
     distance: u64,
     /// Where the instance is stored.
     domain: Domain,
+    /// Physical queue this flow was allocated to ([`NO_QUEUE`] when the run has
+    /// no queue map or the edge is unmapped).
+    queue: u32,
+}
+
+/// An assignment of value-carrying flow edges to physical queues, used to track
+/// per-queue occupancy over time (the execution-observed counterpart of the
+/// allocator's reported `queue_depths`).
+///
+/// `queue_of[k]` is the queue holding the `k`-th value-carrying flow edge of the
+/// graph, in `ddg.edges()` order — the same order `vliw_qrf::use_lifetimes`
+/// extracts per-use lifetimes, so indices into a
+/// `vliw_qrf::QueueAllocation::queues` member list translate directly.  Queue
+/// ids are dense in `0..num_queues`; `None` leaves an edge untracked (useful
+/// when only one pool of a clustered machine is being cross-checked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueMap {
+    /// Queue id per value-carrying flow edge.
+    pub queue_of: Vec<Option<u32>>,
+    /// Total number of queues (length of the reported peak table).
+    pub num_queues: usize,
 }
 
 /// A dependence to check at issue time: the consumer side of any edge kind.
@@ -94,6 +133,33 @@ pub fn simulate(
     schedule: &Schedule,
     trip_count: u64,
 ) -> Result<SimRun, SimSetupError> {
+    simulate_inner(ddg, machine, schedule, trip_count, None)
+}
+
+/// Like [`simulate`], but additionally tracks the occupancy of each physical
+/// queue of `queue_map` over time; the observed per-queue peaks are reported in
+/// [`crate::SimMeasurement::peak_queue_occupancy`].
+///
+/// This is the dynamic side of the allocator-vs-simulator depth cross-check: at
+/// steady state the peak of each queue must equal the `queue_depths` entry the
+/// allocator derived for it from whole-wrap MaxLive counting.
+pub fn simulate_with_queue_map(
+    ddg: &Ddg,
+    machine: &Machine,
+    schedule: &Schedule,
+    trip_count: u64,
+    queue_map: &QueueMap,
+) -> Result<SimRun, SimSetupError> {
+    simulate_inner(ddg, machine, schedule, trip_count, Some(queue_map))
+}
+
+fn simulate_inner(
+    ddg: &Ddg,
+    machine: &Machine,
+    schedule: &Schedule,
+    trip_count: u64,
+    queue_map: Option<&QueueMap>,
+) -> Result<SimRun, SimSetupError> {
     let n = ddg.num_ops();
     if schedule.start.len() != n {
         return Err(SimSetupError::WrongLength { expected: n, actual: schedule.start.len() });
@@ -107,7 +173,18 @@ pub fn simulate(
             return Err(SimSetupError::UnknownFu { op: op.id, fu });
         }
     }
-    Engine::new(ddg, machine, schedule, trip_count).run()
+    if let Some(map) = queue_map {
+        let flow_edges = ddg.edges().filter(|e| e.kind.carries_value()).count();
+        let ids_in_range =
+            map.queue_of.iter().flatten().all(|&q| (q as usize) < map.num_queues && q != NO_QUEUE);
+        if map.queue_of.len() != flow_edges || !ids_in_range {
+            return Err(SimSetupError::BadQueueMap {
+                expected_edges: flow_edges,
+                actual_edges: map.queue_of.len(),
+            });
+        }
+    }
+    Engine::new(ddg, machine, schedule, trip_count, queue_map).run()
 }
 
 /// The directed ring links of `machine`, in deterministic order (producing
@@ -163,6 +240,10 @@ struct Engine<'a> {
     link_occ: Vec<i64>,
     private_peak: Vec<usize>,
     link_peak: Vec<usize>,
+    /// Per-physical-queue occupancy and peaks, tracked only when a
+    /// [`QueueMap`] was supplied (both empty otherwise).
+    queue_occ: Vec<i64>,
+    queue_peak: Vec<usize>,
     private_capacity: Vec<usize>,
     link_capacity: usize,
     private_overflowed: Vec<bool>,
@@ -174,7 +255,13 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(ddg: &'a Ddg, machine: &'a Machine, schedule: &'a Schedule, trip_count: u64) -> Self {
+    fn new(
+        ddg: &'a Ddg,
+        machine: &'a Machine,
+        schedule: &'a Schedule,
+        trip_count: u64,
+        queue_map: Option<&QueueMap>,
+    ) -> Self {
         let n = ddg.num_ops();
         let ii = u64::from(schedule.ii);
         let links = link_table(machine);
@@ -197,6 +284,9 @@ impl<'a> Engine<'a> {
         let mut flow_in = vec![Vec::new(); n];
         let mut flow_out = vec![Vec::new(); n];
         let mut max_dist = 0u64;
+        // Index over value-carrying flow edges, in `ddg.edges()` order — the
+        // ordering contract of [`QueueMap`] (and of `vliw_qrf::use_lifetimes`).
+        let mut flow_idx = 0usize;
         for e in ddg.edges() {
             let dist = u64::from(e.distance);
             max_dist = max_dist.max(dist);
@@ -205,9 +295,16 @@ impl<'a> Engine<'a> {
                 latency: u64::from(e.latency),
                 distance: dist,
             });
-            if e.kind != DepKind::Flow {
+            // `carries_value()` (== Flow today) keeps the `flow_idx` ordering
+            // aligned with `vliw_qrf::use_lifetimes` by construction.
+            if !e.kind.carries_value() {
                 continue;
             }
+            let queue = match queue_map {
+                Some(map) => map.queue_of[flow_idx].unwrap_or(NO_QUEUE),
+                None => NO_QUEUE,
+            };
+            flow_idx += 1;
             let from = ClusterId(cluster_of[e.src.index()]);
             let to = ClusterId(cluster_of[e.dst.index()]);
             let domain = if from == to { Domain::Private(from.0) } else { link_index(from, to) };
@@ -215,11 +312,13 @@ impl<'a> Engine<'a> {
                 other_start: starts[e.src.index()],
                 distance: dist,
                 domain,
+                queue,
             });
             flow_out[e.src.index()].push(FlowUse {
                 other_start: starts[e.dst.index()],
                 distance: dist,
                 domain,
+                queue,
             });
         }
 
@@ -252,6 +351,8 @@ impl<'a> Engine<'a> {
             link_peak: vec![0; links.len()],
             link_occ: vec![0; links.len()],
             link_overflowed: vec![false; links.len()],
+            queue_occ: vec![0; queue_map.map_or(0, |m| m.num_queues)],
+            queue_peak: vec![0; queue_map.map_or(0, |m| m.num_queues)],
             links,
             window,
             rec_stamp: vec![0; window * n.max(1)],
@@ -404,6 +505,9 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                     self.adjust_occupancy(usage.domain, -1);
+                    if usage.queue != NO_QUEUE {
+                        self.queue_occ[usage.queue as usize] -= 1;
+                    }
                 }
             }
             for &(i, k) in &issuing {
@@ -420,6 +524,15 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                     self.adjust_occupancy(usage.domain, 1);
+                    if usage.queue != NO_QUEUE {
+                        // Per-queue occupancy only ever rises at an enqueue (the
+                        // cycle's dequeues ran first), so sampling the peak here
+                        // is exact — no per-cycle scan of the queue table.
+                        let q = usage.queue as usize;
+                        self.queue_occ[q] += 1;
+                        let occ = self.queue_occ[q].max(0) as usize;
+                        self.queue_peak[q] = self.queue_peak[q].max(occ);
+                    }
                 }
             }
             self.sample_occupancy(cycle);
@@ -490,6 +603,7 @@ impl<'a> Engine<'a> {
             dynamic_ipc: if total_cycles == 0 { 0.0 } else { issued as f64 / total_cycles as f64 },
             peak_private_occupancy: self.private_peak,
             peak_comm_occupancy: self.link_peak,
+            peak_queue_occupancy: self.queue_peak,
             copy_bus_utilisation: if copy_slots == 0 {
                 0.0
             } else {
@@ -795,6 +909,65 @@ mod tests {
                 lp.name
             );
         }
+    }
+
+    #[test]
+    fn per_queue_peaks_match_the_allocators_depths() {
+        // The allocator-vs-simulator depth cross-check: the allocator derives
+        // each queue's depth from whole-wrap MaxLive counting over its members;
+        // the simulator observes enqueue-on-write / destructive-dequeue-on-read
+        // occupancy over time.  At steady state they must agree per queue,
+        // including lifetimes that wrap the II several times.
+        use vliw_qrf::{allocate_queues, use_lifetimes};
+        let lat = LatencyModel::default();
+        let m = Machine::single_cluster(6, 2, 1024, lat);
+        for lp in kernels::all_kernels(lat) {
+            let r = modulo_schedule(&lp.ddg, &m, ImsOptions::default()).unwrap();
+            let lts = use_lifetimes(&lp.ddg, &r.schedule);
+            let alloc = allocate_queues(&lts, r.schedule.ii);
+            let mut queue_of = vec![None; lts.len()];
+            for (q, members) in alloc.queues.iter().enumerate() {
+                for &k in members {
+                    queue_of[k] = Some(q as u32);
+                }
+            }
+            let map = QueueMap { queue_of, num_queues: alloc.num_queues() };
+            let run = simulate_with_queue_map(&lp.ddg, &m, &r.schedule, 1000, &map).unwrap();
+            assert!(run.is_clean(), "{}: {:?}", lp.name, run.violations);
+            assert_eq!(
+                run.measurement.peak_queue_occupancy, alloc.queue_depths,
+                "{}: observed per-queue peaks diverge from the allocator's depths",
+                lp.name
+            );
+        }
+    }
+
+    #[test]
+    fn queue_map_must_cover_every_flow_edge() {
+        let g = simple_graph();
+        let m = machine();
+        let ls = fu_of(&m, OpClass::Memory, 0);
+        let add = fu_of(&m, OpClass::Adder, 0);
+        let s = Schedule::new(2, vec![0, 2], vec![ls, add]);
+        // One flow edge, but an empty map.
+        let map = QueueMap { queue_of: vec![], num_queues: 0 };
+        assert!(matches!(
+            simulate_with_queue_map(&g, &m, &s, 5, &map),
+            Err(SimSetupError::BadQueueMap { expected_edges: 1, actual_edges: 0 })
+        ));
+        // Right length, out-of-range id.
+        let map = QueueMap { queue_of: vec![Some(3)], num_queues: 1 };
+        assert!(matches!(
+            simulate_with_queue_map(&g, &m, &s, 5, &map),
+            Err(SimSetupError::BadQueueMap { .. })
+        ));
+        // Unmapped edges are allowed and leave the peak table untouched.
+        let map = QueueMap { queue_of: vec![None], num_queues: 2 };
+        let run = simulate_with_queue_map(&g, &m, &s, 5, &map).unwrap();
+        assert_eq!(run.measurement.peak_queue_occupancy, vec![0, 0]);
+        // A plain run reports no per-queue table at all.
+        let run = simulate(&g, &m, &s, 5).unwrap();
+        assert!(run.measurement.peak_queue_occupancy.is_empty());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod expand;
 pub mod report;
 pub mod violation;
 
-pub use engine::{simulate, SimSetupError};
+pub use engine::{simulate, simulate_with_queue_map, QueueMap, SimSetupError};
 pub use expand::{issues_at, phase_of, sim_total_cycles, Phase};
 pub use report::{SimMeasurement, SimRun, MAX_RECORDED_VIOLATIONS};
 pub use violation::SimViolation;

@@ -35,6 +35,11 @@ pub struct SimMeasurement {
     /// link, indexed like the engine's link table (empty for single-cluster
     /// machines).
     pub peak_comm_occupancy: Vec<usize>,
+    /// Peak number of values simultaneously resident in each *physical* queue,
+    /// indexed by the queue ids of the [`crate::engine::QueueMap`] the run was
+    /// given; empty when the run had no queue map.  The execution-observed
+    /// counterpart of the allocator's reported `queue_depths`.
+    pub peak_queue_occupancy: Vec<usize>,
     /// Fraction of copy-unit issue slots actually used
     /// (`copy_ops_issued / (copy_units · total_cycles)`); 0 when the machine
     /// has no copy units or the execution spans no cycles.
@@ -109,6 +114,7 @@ mod tests {
             dynamic_ipc: 0.0,
             peak_private_occupancy: vec![],
             peak_comm_occupancy: vec![],
+            peak_queue_occupancy: vec![],
             copy_bus_utilisation: 0.0,
         };
         assert_eq!(m.max_private_peak(), 0);

@@ -8,7 +8,8 @@
 
 use vliw_repro::vliw_core::analysis::dynamic_ipc;
 use vliw_repro::vliw_core::pipeline::CompilerConfig;
-use vliw_repro::vliw_core::qrf::{max_live, use_lifetimes};
+use vliw_repro::vliw_core::qrf::{allocate_queues, max_live, use_lifetimes, Lifetime};
+use vliw_repro::vliw_core::sim::{simulate_with_queue_map, QueueMap};
 use vliw_repro::vliw_core::{Machine, Session};
 
 /// The golden small corpus: 32 loops, seed 386 (what
@@ -80,4 +81,74 @@ fn steady_state_peak_occupancy_equals_max_live_on_the_golden_corpus() {
         checked += 1;
     }
     assert!(checked > 0);
+}
+
+#[test]
+fn allocator_queue_depths_match_observed_per_queue_peaks_corpus_wide() {
+    // The permanent allocator-vs-simulator depth cross-check: for every loop of
+    // the golden corpus, on a single-cluster and a clustered paper machine,
+    // allocate queues *per storage pool* (each cluster's private QRF, each
+    // directed ring link — the same pool split `CommStats::fits_pools` checks),
+    // hand the simulator the resulting flow-edge → queue assignment, and demand
+    // that the steady-state peak occupancy the execution observes in every
+    // physical queue equals the depth the allocator derived from whole-wrap
+    // MaxLive counting.  Any II-wrap off-by-one on either side — the
+    // difference-array accounting or the enqueue-on-write/dequeue-on-read
+    // timing — breaks the equality.
+    let session = golden_session();
+    let mut checked = 0usize;
+    for machine in [Machine::paper_single(6), Machine::paper_clustered(4, Default::default())] {
+        let compiler = session.compiler(CompilerConfig::paper_defaults(machine.clone()));
+        for i in 0..session.num_loops() {
+            let cached = compiler.compile(i);
+            let Ok(c) = cached.as_ref().as_ref() else { continue };
+            let lts = use_lifetimes(&c.transformed, &c.schedule);
+            let flow_edges: Vec<_> =
+                c.transformed.edges().filter(|e| e.kind.carries_value()).collect();
+            assert_eq!(flow_edges.len(), lts.len());
+
+            // Group flow edges by storage pool: (cluster, cluster) for local
+            // values, (from, to) for each directed ring link.
+            let mut pools: Vec<((u32, u32), Vec<usize>)> = Vec::new();
+            for (k, e) in flow_edges.iter().enumerate() {
+                let key = (
+                    c.schedule.cluster_of(&machine, e.src).0,
+                    c.schedule.cluster_of(&machine, e.dst).0,
+                );
+                match pools.iter_mut().find(|(existing, _)| *existing == key) {
+                    Some((_, members)) => members.push(k),
+                    None => pools.push((key, vec![k])),
+                }
+            }
+
+            // Allocate each pool independently and stitch the per-pool queues
+            // into one dense global id space.
+            let mut queue_of = vec![None; lts.len()];
+            let mut depths: Vec<usize> = Vec::new();
+            for (_, members) in &pools {
+                let pool_lts: Vec<Lifetime> = members.iter().map(|&k| lts[k].clone()).collect();
+                let alloc = allocate_queues(&pool_lts, c.schedule.ii);
+                let base = depths.len();
+                for (q, queue_members) in alloc.queues.iter().enumerate() {
+                    for &mk in queue_members {
+                        queue_of[members[mk]] = Some((base + q) as u32);
+                    }
+                }
+                depths.extend(alloc.queue_depths.iter().copied());
+            }
+
+            let map = QueueMap { queue_of, num_queues: depths.len() };
+            let run = simulate_with_queue_map(&c.transformed, &machine, &c.schedule, 1000, &map)
+                .expect("well-formed schedule");
+            assert!(run.schedule_is_sound(), "loop {i} on {}", machine.name());
+            assert_eq!(
+                run.measurement.peak_queue_occupancy,
+                depths,
+                "loop {i} on {}: observed per-queue peaks diverge from the allocator's depths",
+                machine.name()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 60, "nearly every (machine, loop) pair must be cross-checked: {checked}");
 }

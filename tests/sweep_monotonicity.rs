@@ -1,0 +1,79 @@
+//! Property-based monotonicity of the design-space sweep's classification:
+//! for random `loopgen` loops, growing any single *storage* dimension of a grid
+//! point (queues per cluster, entries per queue, ring-link depth) never turns a
+//! clean verdict unclean — more storage can only admit more loops.
+//!
+//! The machine-*shape* dimensions (cluster count, FU mix) are deliberately not
+//! part of the property: they change the schedule itself, and Fig. 6 shows that
+//! more clusters can *degrade* a loop (the ring's adjacency limit), so no such
+//! monotonicity holds or is claimed for them.  Within a shape the schedule and
+//! the simulated occupancy are fixed, which is also why one compilation and one
+//! probe simulation serve both sides of each comparison below — exactly the
+//! sharing the sweep driver relies on.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use vliw_repro::vliw_core::experiments::classify_loop;
+use vliw_repro::vliw_core::loopgen::generator::generate_loop;
+use vliw_repro::vliw_core::loopgen::CorpusConfig;
+use vliw_repro::vliw_core::pipeline::{Compiler, CompilerConfig};
+use vliw_repro::vliw_core::sim::simulate;
+use vliw_repro::vliw_core::{FuMix, LatencyModel, MachineConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn growing_a_storage_dimension_never_turns_a_clean_config_unclean(
+        seed in 0u64..3000,
+        clusters in 2usize..6,
+        queues in 1usize..10,
+        capacity in 1usize..10,
+        link_depth in 1usize..10,
+        dimension in 0usize..3,
+        growth in 1usize..9,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(13));
+        let lp = generate_loop(&CorpusConfig::small(1, seed), &mut rng, 0);
+
+        let base = MachineConfig {
+            clusters,
+            queues_per_cluster: queues,
+            queue_capacity: capacity,
+            link_depth,
+            fu_mix: FuMix::Basic,
+        };
+        let mut grown = base;
+        match dimension {
+            0 => grown.queues_per_cluster += growth,
+            1 => grown.queue_capacity += growth,
+            _ => grown.link_depth += growth,
+        }
+
+        let lat = LatencyModel::default();
+        let probe = base.probe_machine(lat);
+        prop_assert_eq!(&probe, &grown.probe_machine(lat), "same shape, same probe");
+
+        let compiler = Compiler::new(CompilerConfig::paper_defaults(probe.clone()));
+        let Ok(c) = compiler.compile(&lp) else {
+            // Unschedulable on the shape: both verdicts are all-false.
+            return Ok(());
+        };
+        let run = simulate(&c.transformed, &probe, &c.schedule, 100)
+            .expect("session-style compilations are structurally simulatable");
+
+        let before = classify_loop(&c, &run, &base.machine(lat), &base);
+        let after = classify_loop(&c, &run, &grown.machine(lat), &grown);
+
+        prop_assert_eq!(before.schedulable, after.schedulable,
+            "storage cannot affect schedulability");
+        prop_assert!(!before.alloc_fits || after.alloc_fits,
+            "allocation fit lost by growing dimension {} by {}: {:?} -> {:?}",
+            dimension, growth, base, grown);
+        prop_assert!(!before.sim_clean || after.sim_clean,
+            "simulation cleanliness lost by growing dimension {} by {}: {:?} -> {:?}",
+            dimension, growth, base, grown);
+    }
+}
