@@ -48,7 +48,7 @@ fn bench_sim_corpus(c: &mut Criterion) {
     let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
     let compiled: Vec<_> = (0..session.num_loops())
         .filter_map(|i| {
-            let r = compiler.compile(i);
+            let r = compiler.compile_full(i);
             r.as_ref().as_ref().ok().cloned()
         })
         .collect();

@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
     // grid, every point after the first is classification over cached
     // artifacts.
     let warm = Session::new(cfg.clone());
-    sweep_experiment(&warm, SweepGrid::Small);
+    sweep_experiment(&warm, SweepGrid::Small).expect("warm-up sweep runs");
     group.bench_function("small_grid_warm", |b| {
         b.iter(|| sweep_experiment(&warm, SweepGrid::Small))
     });

@@ -5,46 +5,224 @@
 //! cargo run --release -p vliw-bench --bin figures -- fig6          # one figure
 //! cargo run --release -p vliw-bench --bin figures -- \
 //!     all --format json --corpus-size 32 --seed 386                # the golden-baseline run
+//! cargo run --release -p vliw-bench --bin figures -- \
+//!     all --format json --corpus-size 32 --seed 386 \
+//!     --server 127.0.0.1:7421                                      # same, via vliw-serve
 //! ```
 //!
 //! Subcommands: `fig3`, `copy-cost`, `fig4`, `fig6`, `resources`, `ipc`,
 //! `simulate`, `sweep`, `all` (default; covers the figure experiments but not
 //! `simulate` or `sweep`, whose reports are separate documents).  Global
-//! options: `--corpus-size`, `--seed`, `--threads`, `--format text|json`; the
-//! `sweep` subcommand additionally takes `--grid small|paper|full`.  The output
-//! of a full-corpus text run is recorded in EXPERIMENTS.md next to the numbers
-//! reported by the paper; the JSON format is what CI's bench-smoke job archives
-//! and what `baselines/figures_small.json` (and, for `simulate` / `sweep`,
-//! `baselines/sim_small.json` / `baselines/sweep_small.json`) pins.
+//! options: `--corpus-size`, `--seed`, `--threads`, `--format text|json`,
+//! `--cache-dir DIR` (persist artifacts across in-process runs) and
+//! `--server ADDR` (run the experiments on a `vliw-serve` daemon instead of
+//! compiling in-process); the `sweep` subcommand additionally takes
+//! `--grid small|paper|full`.  The output of a full-corpus text run is
+//! recorded in EXPERIMENTS.md next to the numbers reported by the paper; the
+//! JSON format is what CI's bench-smoke job archives and what
+//! `baselines/figures_small.json` (and, for `simulate` / `sweep`,
+//! `baselines/sim_small.json` / `baselines/sweep_small.json`) pins.  A
+//! `--server` run produces byte-identical stdout to the in-process run: the
+//! daemon answers with the same typed rows, re-serialized through the same
+//! report structs.
 //!
-//! All selected experiments run through one shared compilation session, so
-//! overlapping sweep points compile once.  The session's cache statistics
-//! (`compilations`, `hits`, `unique_keys`) are reported as a trailing section in
-//! text mode and as a one-line JSON object on **stderr** in JSON mode — stdout
-//! stays byte-identical to the baseline report, so redirecting it still produces
-//! a valid `FiguresReport` document.
+//! All selected experiments run through one shared compilation session — in
+//! this process or in the daemon's — so overlapping sweep points compile once.
+//! The session's cache statistics (`compilations`, `hits`, `disk hits`,
+//! `unique_keys`) are reported as a trailing section in text mode and as a
+//! one-line JSON object on **stderr** in JSON mode — stdout stays
+//! byte-identical to the baseline report, so redirecting it still produces a
+//! valid `FiguresReport` document.
 
 use std::process::ExitCode;
 
 use vliw_bench::{
-    cli, render_simulate_text, render_stats, render_sweep_text, render_text, run_experiments_in,
-    run_simulate_in, run_sweep_in, OutputFormat, Selection,
+    assemble_report, cli, render_simulate_text, render_stats, render_sweep_text, render_text,
+    requests_for, run_experiments_in, run_simulate_in, run_sweep_in, validate_server,
+    FiguresReport, OutputFormat, RunConfig, Selection, ServeClient,
 };
-use vliw_core::Session;
+use vliw_core::experiments::{ExperimentResponse, SimulateReport, SweepReport};
+use vliw_core::{Session, SessionStats, VliwError};
+
+/// Where this run's experiments execute: an in-process session, or a
+/// `vliw-serve` daemon reached over a socket.
+enum Backend {
+    Local(Session),
+    /// Connected client plus the daemon's worker-thread count (reported in
+    /// text-mode headers in place of the local session's).
+    Remote(ServeClient, usize),
+}
+
+impl Backend {
+    /// Opens the backend the run configuration asks for.  A `--server` run
+    /// validates the daemon's protocol version, corpus size and seed up front
+    /// so a mismatched daemon fails with a clear message, not a wrong report.
+    fn open(run: &RunConfig) -> Result<Backend, String> {
+        let Some(addr) = &run.server else {
+            let session = Session::try_new(run.experiment_config()).map_err(|e| e.to_string())?;
+            return Ok(Backend::Local(session));
+        };
+        if run.cache_dir.is_some() {
+            return Err(
+                "--cache-dir configures the in-process store; the daemon owns its own cache \
+                 (pass --cache-dir to vliw-serve instead)"
+                    .to_string(),
+            );
+        }
+        let mut client =
+            ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let info = client.info().map_err(|e| e.to_string())?;
+        validate_server(&info, run.corpus_size, run.seed)?;
+        Ok(Backend::Remote(client, info.threads))
+    }
+
+    /// Worker threads of whichever session runs the experiments.
+    fn threads(&self) -> usize {
+        match self {
+            Backend::Local(session) => session.threads(),
+            Backend::Remote(_, threads) => *threads,
+        }
+    }
+
+    /// Cache statistics of whichever session ran the experiments.  Queried
+    /// after the reports so the numbers cover this run's work.
+    fn stats(&mut self) -> Result<SessionStats, String> {
+        match self {
+            Backend::Local(session) => Ok(session.stats()),
+            Backend::Remote(client, _) => client.stats().map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Runs the figure experiments of `selection` into one report.
+    fn figures(&mut self, selection: Selection, run: &RunConfig) -> Result<FiguresReport, String> {
+        match self {
+            Backend::Local(session) => {
+                run_experiments_in(session, selection).map_err(|e| e.to_string())
+            }
+            Backend::Remote(client, _) => {
+                let responses =
+                    client.run(requests_for(selection, run.grid)).map_err(|e| e.to_string())?;
+                assemble_report(run.corpus_size, run.seed, responses).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// Runs the cycle-accurate simulation experiment.
+    fn simulate(&mut self, run: &RunConfig) -> Result<SimulateReport, String> {
+        match self {
+            Backend::Local(session) => run_simulate_in(session).map_err(|e| e.to_string()),
+            Backend::Remote(client, _) => match one_response(client, Selection::Simulate, run)? {
+                ExperimentResponse::Simulate(report) => Ok(report),
+                other => Err(wrong_document("simulate", &other)),
+            },
+        }
+    }
+
+    /// Runs the Fig. 7 design-space sweep.
+    fn sweep(&mut self, run: &RunConfig) -> Result<SweepReport, String> {
+        match self {
+            Backend::Local(session) => run_sweep_in(session, run.grid).map_err(|e| e.to_string()),
+            Backend::Remote(client, _) => match one_response(client, Selection::Sweep, run)? {
+                ExperimentResponse::Sweep(report) => Ok(report),
+                other => Err(wrong_document("sweep", &other)),
+            },
+        }
+    }
+}
+
+/// Runs a single-document selection on the daemon and returns its one response.
+fn one_response(
+    client: &mut ServeClient,
+    selection: Selection,
+    run: &RunConfig,
+) -> Result<ExperimentResponse, String> {
+    let mut responses = client.run(requests_for(selection, run.grid)).map_err(|e| e.to_string())?;
+    match responses.len() {
+        1 => Ok(responses.remove(0)),
+        n => {
+            Err(VliwError::Protocol(format!("expected one response document, got {n}")).to_string())
+        }
+    }
+}
+
+/// Diagnoses a daemon answering a single-document request with the wrong kind.
+fn wrong_document(asked: &str, got: &ExperimentResponse) -> String {
+    format!("asked the server for `{asked}`, it answered `{}`", got.name())
+}
 
 /// Serializes and prints one report document on stdout (pretty) and the session
 /// cache statistics on stderr (one line), the JSON-mode contract of every
 /// subcommand.
-fn emit_json<T: serde::Serialize>(
-    report: &T,
-    stats: &vliw_core::SessionStats,
-) -> Result<(), String> {
+fn emit_json<T: serde::Serialize>(report: &T, stats: &SessionStats) -> Result<(), String> {
     let json = serde_json::to_string_pretty(report)
         .map_err(|e| format!("failed to serialize the report: {e}"))?;
     println!("{json}");
     let stats_json = serde_json::to_string(stats)
         .map_err(|e| format!("failed to serialize the cache stats: {e}"))?;
     eprintln!("{stats_json}");
+    Ok(())
+}
+
+/// Runs the resolved selection end to end; returns a user-facing error message.
+fn run_selection(selection: Selection, run: &RunConfig) -> Result<(), String> {
+    let mut backend = Backend::open(run)?;
+
+    if selection == Selection::Simulate {
+        let report = backend.simulate(run)?;
+        let stats = backend.stats()?;
+        match run.format {
+            OutputFormat::Json => emit_json(&report, &stats)?,
+            OutputFormat::Text => {
+                println!(
+                    "# Simulation run: {} loops, seed {}, {} threads\n",
+                    report.corpus_size,
+                    report.seed,
+                    backend.threads()
+                );
+                print!("{}", render_simulate_text(&report));
+                println!();
+                print!("{}", render_stats(&stats));
+            }
+        }
+        return Ok(());
+    }
+
+    if selection == Selection::Sweep {
+        let report = backend.sweep(run)?;
+        let stats = backend.stats()?;
+        match run.format {
+            OutputFormat::Json => emit_json(&report, &stats)?,
+            OutputFormat::Text => {
+                println!(
+                    "# Design-space sweep: {} loops, seed {}, {} threads\n",
+                    report.corpus_size,
+                    report.seed,
+                    backend.threads()
+                );
+                print!("{}", render_sweep_text(&report));
+                println!();
+                print!("{}", render_stats(&stats));
+            }
+        }
+        return Ok(());
+    }
+
+    let report = backend.figures(selection, run)?;
+    let stats = backend.stats()?;
+    match run.format {
+        OutputFormat::Json => emit_json(&report, &stats)?,
+        OutputFormat::Text => {
+            println!(
+                "# Reproduction run: {} loops, seed {}, {} threads\n",
+                report.corpus_size,
+                report.seed,
+                backend.threads()
+            );
+            print!("{}", render_text(&report));
+            println!();
+            print!("{}", render_stats(&stats));
+        }
+    }
     Ok(())
 }
 
@@ -57,78 +235,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-
-    let session = Session::new(run.experiment_config());
-    if selection == Selection::Simulate {
-        let report = run_simulate_in(&session);
-        let stats = session.stats();
-        match run.format {
-            OutputFormat::Json => {
-                if let Err(message) = emit_json(&report, &stats) {
-                    eprintln!("error: {message}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            OutputFormat::Text => {
-                println!(
-                    "# Simulation run: {} loops, seed {}, {} threads\n",
-                    report.corpus_size,
-                    report.seed,
-                    session.threads()
-                );
-                print!("{}", render_simulate_text(&report));
-                println!();
-                print!("{}", render_stats(&stats));
-            }
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    if selection == Selection::Sweep {
-        let report = run_sweep_in(&session, run.grid);
-        let stats = session.stats();
-        match run.format {
-            OutputFormat::Json => {
-                if let Err(message) = emit_json(&report, &stats) {
-                    eprintln!("error: {message}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            OutputFormat::Text => {
-                println!(
-                    "# Design-space sweep: {} loops, seed {}, {} threads\n",
-                    report.corpus_size,
-                    report.seed,
-                    session.threads()
-                );
-                print!("{}", render_sweep_text(&report));
-                println!();
-                print!("{}", render_stats(&stats));
-            }
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    let report = run_experiments_in(&session, selection);
-    let stats = session.stats();
-    match run.format {
-        OutputFormat::Json => {
-            if let Err(message) = emit_json(&report, &stats) {
-                eprintln!("error: {message}");
-                return ExitCode::FAILURE;
-            }
-        }
-        OutputFormat::Text => {
-            println!(
-                "# Reproduction run: {} loops, seed {}, {} threads\n",
-                report.corpus_size,
-                report.seed,
-                session.threads()
-            );
-            print!("{}", render_text(&report));
-            println!();
-            print!("{}", render_stats(&stats));
+    match run_selection(selection, &run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }

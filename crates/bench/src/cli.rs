@@ -44,6 +44,16 @@ pub fn command() -> Command {
                 .default_value("text")
                 .help("Output format: text or json"),
         ))
+        .arg(global(Arg::new("server").long("server").value_name("ADDR").help(
+            "Run against a vliw-serve daemon (host:port or unix:/path.sock) \
+                     instead of compiling in-process",
+        )))
+        .arg(global(
+            Arg::new("cache-dir")
+                .long("cache-dir")
+                .value_name("DIR")
+                .help("Persist compile/simulate artifacts under DIR (in-process runs only)"),
+        ))
         .subcommand(Command::new("fig3").about("Fig. 3 - number of queues required"))
         .subcommand(Command::new("copy-cost").about("Section 2 - cost of copy operations"))
         .subcommand(Command::new("fig4").about("Fig. 4 - II speedup from loop unrolling"))
@@ -106,7 +116,10 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
         _ => SweepGrid::default(),
     };
 
-    Ok((selection, RunConfig { corpus_size, seed, threads, format, grid }))
+    let server = matches.get_one::<String>("server");
+    let cache_dir = matches.get_one::<String>("cache-dir").map(std::path::PathBuf::from);
+
+    Ok((selection, RunConfig { corpus_size, seed, threads, format, grid, server, cache_dir }))
 }
 
 /// Parses option `id` as a number with a clean diagnostic.

@@ -1,0 +1,171 @@
+//! Client for the `vliw-serve` daemon.
+//!
+//! [`ServeClient`] speaks the length-prefixed JSON frame protocol of
+//! [`vliw_core::protocol`] over a TCP or Unix socket and exposes the four
+//! request kinds as typed methods.  Each method performs one id-matched
+//! round trip; server-side failures come back as [`VliwError::Remote`]
+//! values carrying the daemon's error kind and message.
+//!
+//! The `figures` CLI builds one client per `--server` invocation; tests drive
+//! the same type against an in-process daemon.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use vliw_core::experiments::{ExperimentRequest, ExperimentResponse};
+use vliw_core::protocol::{
+    read_message, write_message, RequestEnvelope, ResponseEnvelope, ServerInfo, WireRequest,
+    WireResponse, PROTOCOL_VERSION,
+};
+use vliw_core::{SessionStats, VliwError};
+
+/// Byte streams the client can run on.
+trait Transport: Read + Write {}
+impl<T: Read + Write> Transport for T {}
+
+/// A connection to a `vliw-serve` daemon.
+pub struct ServeClient {
+    stream: Box<dyn Transport>,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to `addr`: `unix:/path/to.sock` for a Unix socket, anything
+    /// else as a TCP `host:port`.
+    pub fn connect(addr: &str) -> Result<ServeClient, VliwError> {
+        let stream: Box<dyn Transport> = if let Some(path) = addr.strip_prefix("unix:") {
+            Box::new(UnixStream::connect(path)?)
+        } else {
+            Box::new(TcpStream::connect(addr)?)
+        };
+        Ok(ServeClient { stream, next_id: 1 })
+    }
+
+    /// One id-matched request/response round trip; unwraps error responses.
+    fn round_trip(&mut self, body: WireRequest) -> Result<WireResponse, VliwError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_message(&mut self.stream, &RequestEnvelope { id, body })?;
+        let response: ResponseEnvelope = read_message(&mut self.stream)?.ok_or_else(|| {
+            VliwError::Protocol("server closed the connection before answering".to_string())
+        })?;
+        if response.id != id {
+            return Err(VliwError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        match response.body {
+            WireResponse::Error(e) => Err(e),
+            body => Ok(body),
+        }
+    }
+
+    /// Asks the daemon what it serves.
+    pub fn info(&mut self) -> Result<ServerInfo, VliwError> {
+        match self.round_trip(WireRequest::Info)? {
+            WireResponse::Info(info) => Ok(info),
+            other => Err(unexpected("info", &other)),
+        }
+    }
+
+    /// Runs experiments over the daemon's session, in order.
+    pub fn run(
+        &mut self,
+        requests: Vec<ExperimentRequest>,
+    ) -> Result<Vec<ExperimentResponse>, VliwError> {
+        let expected = requests.len();
+        match self.round_trip(WireRequest::Run(requests))? {
+            WireResponse::Run(responses) if responses.len() == expected => Ok(responses),
+            WireResponse::Run(responses) => Err(VliwError::Protocol(format!(
+                "server answered {} experiments, expected {expected}",
+                responses.len()
+            ))),
+            other => Err(unexpected("run", &other)),
+        }
+    }
+
+    /// Fetches the daemon session's cache statistics.
+    pub fn stats(&mut self) -> Result<SessionStats, VliwError> {
+        match self.round_trip(WireRequest::Stats)? {
+            WireResponse::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to stop accepting connections and exit.
+    pub fn shutdown(&mut self) -> Result<(), VliwError> {
+        match self.round_trip(WireRequest::Shutdown)? {
+            WireResponse::Shutdown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+/// Diagnoses a response body of the wrong kind.
+fn unexpected(asked: &str, got: &WireResponse) -> VliwError {
+    let kind = match got {
+        WireResponse::Info(_) => "info",
+        WireResponse::Run(_) => "run",
+        WireResponse::Stats(_) => "stats",
+        WireResponse::Shutdown => "shutdown",
+        WireResponse::Error(_) => "error",
+    };
+    VliwError::Protocol(format!("asked for `{asked}`, server answered `{kind}`"))
+}
+
+/// Checks that a daemon serves the session this run expects: same corpus,
+/// same seed, same protocol version.  Returns a user-facing message naming
+/// each mismatch.
+pub fn validate_server(info: &ServerInfo, corpus_size: usize, seed: u64) -> Result<(), String> {
+    if info.protocol_version != PROTOCOL_VERSION {
+        return Err(format!(
+            "server speaks protocol version {}, this client speaks {PROTOCOL_VERSION}",
+            info.protocol_version
+        ));
+    }
+    if info.corpus_size != corpus_size || info.seed != seed {
+        return Err(format!(
+            "server session is {} loops seed {}, this run wants {} loops seed {} \
+             (pass --corpus-size/--seed matching the daemon, or restart it)",
+            info.corpus_size, info.seed, corpus_size, seed
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_a_matching_server_and_names_mismatches() {
+        let info = ServerInfo {
+            corpus_size: 32,
+            seed: 386,
+            threads: 4,
+            protocol_version: PROTOCOL_VERSION,
+            store_version: vliw_core::session::STORE_VERSION,
+            persistent: false,
+        };
+        assert_eq!(validate_server(&info, 32, 386), Ok(()));
+        assert!(validate_server(&info, 64, 386).unwrap_err().contains("64"));
+        assert!(validate_server(&info, 32, 1).unwrap_err().contains("seed 1"));
+        let old = ServerInfo { protocol_version: PROTOCOL_VERSION + 1, ..info };
+        assert!(validate_server(&old, 32, 386).unwrap_err().contains("protocol"));
+    }
+
+    #[test]
+    fn connecting_to_a_dead_address_is_an_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        let Err(err) = ServeClient::connect("127.0.0.1:1") else {
+            panic!("connected to a dead port")
+        };
+        assert_eq!(err.kind(), "io");
+        let Err(err) = ServeClient::connect("unix:/nonexistent/vliw.sock") else {
+            panic!("connected to a dead socket")
+        };
+        assert_eq!(err.kind(), "io");
+    }
+}

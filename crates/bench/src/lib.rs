@@ -19,17 +19,20 @@
 //! baseline format).
 
 pub mod cli;
+pub mod client;
 
 use serde::{Deserialize, Serialize};
 use vliw_core::experiments::{
     cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
     fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment,
-    ClusterResourcesRow, CopyCostRow, ExperimentConfig, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint,
-    SimulateReport, SweepReport,
+    ClusterResourcesRow, CopyCostRow, ExperimentConfig, ExperimentRequest, ExperimentResponse,
+    Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport, SweepReport,
 };
 use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources, simulate, sweep};
 use vliw_core::session::{Session, SessionStats};
-use vliw_core::SweepGrid;
+use vliw_core::{SweepGrid, VliwError};
+
+pub use client::{validate_server, ServeClient};
 
 /// Corpus size used by the Criterion benches and the CI bench-smoke run.
 ///
@@ -152,6 +155,12 @@ pub struct RunConfig {
     /// Design-space grid preset of the `sweep` subcommand (ignored by every
     /// other selection).
     pub grid: SweepGrid,
+    /// Address of a `vliw-serve` daemon to run against (`None` = in-process).
+    pub server: Option<String>,
+    /// Directory of the persistent artifact cache for in-process runs
+    /// (`None` = in-memory only; ignored with `--server` — the daemon owns
+    /// its own cache).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -161,6 +170,7 @@ impl RunConfig {
         if let Some(t) = self.threads {
             cfg.threads = t.max(1);
         }
+        cfg.cache_dir = self.cache_dir.clone();
         cfg
     }
 }
@@ -175,6 +185,8 @@ impl Default for RunConfig {
             threads: None,
             format: OutputFormat::Text,
             grid: SweepGrid::Small,
+            server: None,
+            cache_dir: None,
         }
     }
 }
@@ -215,7 +227,10 @@ pub struct FiguresReport {
 /// their own report documents ([`SimulateReport`] / [`SweepReport`]), not a
 /// [`FiguresReport`] — route them to [`run_simulate_in`] / [`run_sweep_in`]
 /// instead (as the `figures` binary does).
-pub fn run_experiments_in(session: &Session, selection: Selection) -> FiguresReport {
+pub fn run_experiments_in(
+    session: &Session,
+    selection: Selection,
+) -> Result<FiguresReport, VliwError> {
     assert!(
         selection != Selection::Simulate,
         "Selection::Simulate produces a SimulateReport; call run_simulate_in"
@@ -224,25 +239,37 @@ pub fn run_experiments_in(session: &Session, selection: Selection) -> FiguresRep
         selection != Selection::Sweep,
         "Selection::Sweep produces a SweepReport; call run_sweep_in"
     );
-    FiguresReport {
+    Ok(FiguresReport {
         corpus_size: session.config().corpus.num_loops,
         seed: session.config().corpus.seed,
-        fig3: selection.runs(Selection::Fig3).then(|| fig3_experiment(session)),
-        copy_cost: selection.runs(Selection::CopyCost).then(|| copy_cost_experiment(session)),
-        fig4: selection.runs(Selection::Fig4).then(|| fig4_experiment(session)),
-        fig6: selection.runs(Selection::Fig6).then(|| fig6_experiment(session)),
-        cluster_resources: selection
-            .runs(Selection::Resources)
-            .then(|| cluster_resources_experiment(session, &RESOURCE_CLUSTER_COUNTS)),
-        fig8_ipc: selection.runs(Selection::Ipc).then(|| fig8_experiment(session)),
-        fig9_ipc: selection.runs(Selection::Ipc).then(|| fig9_experiment(session)),
+        fig3: run_if(selection.runs(Selection::Fig3), || fig3_experiment(session))?,
+        copy_cost: run_if(selection.runs(Selection::CopyCost), || copy_cost_experiment(session))?,
+        fig4: run_if(selection.runs(Selection::Fig4), || fig4_experiment(session))?,
+        fig6: run_if(selection.runs(Selection::Fig6), || fig6_experiment(session))?,
+        cluster_resources: run_if(selection.runs(Selection::Resources), || {
+            cluster_resources_experiment(session, &RESOURCE_CLUSTER_COUNTS)
+        })?,
+        fig8_ipc: run_if(selection.runs(Selection::Ipc), || fig8_experiment(session))?,
+        fig9_ipc: run_if(selection.runs(Selection::Ipc), || fig9_experiment(session))?,
+    })
+}
+
+/// Runs `f` when `wanted`, lifting the driver's `Result` over the `Option`.
+fn run_if<T>(
+    wanted: bool,
+    f: impl FnOnce() -> Result<T, VliwError>,
+) -> Result<Option<T>, VliwError> {
+    if wanted {
+        f().map(Some)
+    } else {
+        Ok(None)
     }
 }
 
 /// Runs the selected experiments in a fresh session, discarding the cache
 /// statistics.  Convenience wrapper for callers that only need the report (the
 /// golden-baseline test, library users).
-pub fn run_experiments(selection: Selection, run: &RunConfig) -> FiguresReport {
+pub fn run_experiments(selection: Selection, run: &RunConfig) -> Result<FiguresReport, VliwError> {
     run_experiments_in(&Session::new(run.experiment_config()), selection)
 }
 
@@ -250,15 +277,93 @@ pub fn run_experiments(selection: Selection, run: &RunConfig) -> FiguresReport {
 /// shared compilation session.  The schedules are compiled through the same
 /// memo store the figure drivers use, so a session that already ran `all` only
 /// pays for the simulation itself.
-pub fn run_simulate_in(session: &Session) -> SimulateReport {
+pub fn run_simulate_in(session: &Session) -> Result<SimulateReport, VliwError> {
     simulate_experiment(session)
 }
 
 /// Runs the Fig. 7 design-space sweep (the `figures sweep` subcommand) over a
 /// shared compilation session.  Grid points sharing a machine shape compile and
 /// simulate once; the session's cache statistics afterwards show the hit rate.
-pub fn run_sweep_in(session: &Session, grid: SweepGrid) -> SweepReport {
+pub fn run_sweep_in(session: &Session, grid: SweepGrid) -> Result<SweepReport, VliwError> {
     sweep_experiment(session, grid)
+}
+
+/// The wire requests a `figures` selection translates to, in report order.
+///
+/// [`Selection::Ipc`] expands to both IPC curves; [`Selection::All`] to the
+/// full figure sweep (everything a [`FiguresReport`] holds).  `grid` only
+/// matters for [`Selection::Sweep`].
+pub fn requests_for(selection: Selection, grid: SweepGrid) -> Vec<ExperimentRequest> {
+    match selection {
+        Selection::Simulate => vec![ExperimentRequest::Simulate],
+        Selection::Sweep => vec![ExperimentRequest::Sweep { grid }],
+        _ => {
+            let mut requests = Vec::new();
+            if selection.runs(Selection::Fig3) {
+                requests.push(ExperimentRequest::Fig3);
+            }
+            if selection.runs(Selection::CopyCost) {
+                requests.push(ExperimentRequest::CopyCost);
+            }
+            if selection.runs(Selection::Fig4) {
+                requests.push(ExperimentRequest::Fig4);
+            }
+            if selection.runs(Selection::Fig6) {
+                requests.push(ExperimentRequest::Fig6);
+            }
+            if selection.runs(Selection::Resources) {
+                requests.push(ExperimentRequest::Resources {
+                    cluster_counts: RESOURCE_CLUSTER_COUNTS.to_vec(),
+                });
+            }
+            if selection.runs(Selection::Ipc) {
+                requests.push(ExperimentRequest::Fig8);
+                requests.push(ExperimentRequest::Fig9);
+            }
+            requests
+        }
+    }
+}
+
+/// Assembles a [`FiguresReport`] from daemon responses.
+///
+/// The responses self-identify, so order does not matter; a `simulate` or
+/// `sweep` document in the batch is a protocol error (those are separate
+/// reports, never part of a figure run).
+pub fn assemble_report(
+    corpus_size: usize,
+    seed: u64,
+    responses: Vec<ExperimentResponse>,
+) -> Result<FiguresReport, VliwError> {
+    let mut report = FiguresReport {
+        corpus_size,
+        seed,
+        fig3: None,
+        copy_cost: None,
+        fig4: None,
+        fig6: None,
+        cluster_resources: None,
+        fig8_ipc: None,
+        fig9_ipc: None,
+    };
+    for response in responses {
+        match response {
+            ExperimentResponse::Fig3(rows) => report.fig3 = Some(rows),
+            ExperimentResponse::CopyCost(rows) => report.copy_cost = Some(rows),
+            ExperimentResponse::Fig4(rows) => report.fig4 = Some(rows),
+            ExperimentResponse::Fig6(rows) => report.fig6 = Some(rows),
+            ExperimentResponse::Resources(rows) => report.cluster_resources = Some(rows),
+            ExperimentResponse::Fig8(points) => report.fig8_ipc = Some(points),
+            ExperimentResponse::Fig9(points) => report.fig9_ipc = Some(points),
+            other @ (ExperimentResponse::Simulate(_) | ExperimentResponse::Sweep(_)) => {
+                return Err(VliwError::Protocol(format!(
+                    "a figure report cannot hold a `{}` document",
+                    other.name()
+                )))
+            }
+        }
+    }
+    Ok(report)
 }
 
 /// Renders a design-space-sweep report in the human-readable EXPERIMENTS.md
@@ -294,6 +399,12 @@ pub fn render_stats(stats: &SessionStats) -> String {
         out.push_str(&format!(
             "simulations  = {}\nsim hits     = {}\n",
             stats.sim_runs, stats.sim_hits
+        ));
+    }
+    if stats.disk_hits > 0 || stats.sim_disk_hits > 0 {
+        out.push_str(&format!(
+            "disk hits    = {} compile, {} sim\n",
+            stats.disk_hits, stats.sim_disk_hits
         ));
     }
     out
@@ -379,7 +490,7 @@ mod tests {
     fn simulate_run_reports_cleanly_and_renders() {
         let run = RunConfig { corpus_size: 6, seed: 5, threads: Some(2), ..RunConfig::default() };
         let session = Session::new(run.experiment_config());
-        let report = run_simulate_in(&session);
+        let report = run_simulate_in(&session).unwrap();
         assert_eq!(report.corpus_size, 6);
         assert_eq!(report.total_violations(), 0);
         assert!(session.stats().sim_runs > 0);
@@ -395,7 +506,7 @@ mod tests {
     fn sweep_run_reuses_the_session_and_renders() {
         let run = RunConfig { corpus_size: 8, seed: 386, threads: Some(2), ..RunConfig::default() };
         let session = Session::new(run.experiment_config());
-        let report = run_sweep_in(&session, run.grid);
+        let report = run_sweep_in(&session, run.grid).unwrap();
         assert_eq!(report.grid, "small");
         assert_eq!(report.rows.len(), 8);
         let stats = session.stats();
@@ -429,7 +540,7 @@ mod tests {
     #[test]
     fn single_selection_runs_only_its_experiment() {
         let run = RunConfig { corpus_size: 8, seed: 5, threads: Some(1), ..RunConfig::default() };
-        let report = run_experiments(Selection::Fig4, &run);
+        let report = run_experiments(Selection::Fig4, &run).unwrap();
         assert!(report.fig4.is_some());
         assert!(report.fig3.is_none());
         assert!(report.copy_cost.is_none());
@@ -470,7 +581,7 @@ mod tests {
         };
         for selection in singles {
             let session = Session::new(run.experiment_config());
-            let report = run_experiments_in(&session, selection);
+            let report = run_experiments_in(&session, selection).unwrap();
             sum_of_singles += session.stats().compilations;
             match selection {
                 Selection::Fig3 => merged.fig3 = report.fig3,
@@ -487,7 +598,7 @@ mod tests {
         }
 
         let session = Session::new(run.experiment_config());
-        let all = run_experiments_in(&session, Selection::All);
+        let all = run_experiments_in(&session, Selection::All).unwrap();
         let stats = session.stats();
         assert!(
             stats.compilations < sum_of_singles,
@@ -503,9 +614,11 @@ mod tests {
         let s = render_stats(&vliw_core::SessionStats {
             compilations: 12,
             hits: 34,
+            disk_hits: 0,
             unique_keys: 5,
             sim_runs: 0,
             sim_hits: 0,
+            sim_disk_hits: 0,
         });
         assert!(s.contains("12") && s.contains("34") && s.contains('5'));
         assert!(s.contains("Compilation-session cache"));
@@ -513,9 +626,11 @@ mod tests {
         let s = render_stats(&vliw_core::SessionStats {
             compilations: 12,
             hits: 34,
+            disk_hits: 0,
             unique_keys: 5,
             sim_runs: 7,
             sim_hits: 2,
+            sim_disk_hits: 0,
         });
         assert!(s.contains("simulations  = 7"));
         assert!(s.contains("sim hits     = 2"));
@@ -524,7 +639,7 @@ mod tests {
     #[test]
     fn json_report_round_trips_through_serde() {
         let run = RunConfig { corpus_size: 8, seed: 5, threads: Some(1), ..RunConfig::default() };
-        let report = run_experiments(Selection::Fig6, &run);
+        let report = run_experiments(Selection::Fig6, &run).unwrap();
         let json = serde_json::to_string_pretty(&report).expect("serializable");
         let back: FiguresReport = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, report);

@@ -54,7 +54,7 @@ fn rerun_matches_the_golden_baseline() {
         ..RunConfig::default()
     };
     let session = Session::new(run.experiment_config());
-    let report = run_experiments_in(&session, Selection::All);
+    let report = run_experiments_in(&session, Selection::All).expect("experiments run");
 
     // The shared compilation session must not change the figures — and it must
     // actually share: every driver overlap is served from the cache.

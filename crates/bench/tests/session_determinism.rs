@@ -19,7 +19,7 @@ fn reports_are_identical_across_thread_counts() {
             ..RunConfig::default()
         };
         let session = Session::new(run.experiment_config());
-        let report = run_experiments_in(&session, Selection::All);
+        let report = run_experiments_in(&session, Selection::All).expect("experiments run");
         let stats = session.stats();
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         match &reference {
@@ -42,6 +42,9 @@ fn two_sessions_over_the_same_seed_agree() {
     let run = RunConfig { corpus_size: 10, seed: 7, threads: Some(3), ..RunConfig::default() };
     let a = Session::new(run.experiment_config());
     let b = Session::new(run.experiment_config());
-    assert_eq!(run_experiments_in(&a, Selection::All), run_experiments_in(&b, Selection::All));
+    assert_eq!(
+        run_experiments_in(&a, Selection::All).unwrap(),
+        run_experiments_in(&b, Selection::All).unwrap()
+    );
     assert_eq!(a.stats(), b.stats());
 }

@@ -59,7 +59,7 @@ fn rerun_matches_the_sim_baseline() {
         ..RunConfig::default()
     };
     let session = Session::new(run.experiment_config());
-    let report = run_simulate_in(&session);
+    let report = run_simulate_in(&session).expect("simulation runs");
 
     // The memoised simulate path must actually have simulated.
     let stats = session.stats();

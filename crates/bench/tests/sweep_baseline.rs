@@ -66,7 +66,7 @@ fn rerun_matches_the_sweep_baseline() {
         ..RunConfig::default()
     };
     let session = Session::new(run.experiment_config());
-    let report = run_sweep_in(&session, SweepGrid::Small);
+    let report = run_sweep_in(&session, SweepGrid::Small).expect("sweep runs");
 
     // The memoisation contract: one machine shape in the grid means one key,
     // and the seven other grid points are served from the store — the

@@ -1,0 +1,516 @@
+//! The unified Experiment API: one typed request/response pair per driver.
+//!
+//! Every experiment driver in this module's siblings is a free function with its
+//! own signature.  That is fine for in-process callers, but anything that has to
+//! route experiments dynamically — the `figures` CLI choosing a subcommand, the
+//! `vliw-serve` daemon decoding requests off a socket — needs a single closed
+//! vocabulary.  This module provides it:
+//!
+//! * [`ExperimentRequest`] — a serializable description of *which* experiment to
+//!   run, including its parameters (cluster counts for the resource sizing, the
+//!   grid preset for the design-space sweep);
+//! * [`ExperimentResponse`] — the matching result document, wrapping the
+//!   driver's row type;
+//! * [`Experiment`] — the trait each driver implements once, tying a typed
+//!   output to a session run;
+//! * [`run_request`] / [`ExperimentRequest::run`] — the dispatch that turns a
+//!   request into a response over a shared [`Session`].
+//!
+//! Both enums serialize through the vendored serde `Value` model with an
+//! `"experiment"` tag, so a request written by the CLI client is readable by the
+//! daemon and vice versa.  The response payloads reuse the drivers' own row
+//! serialization: a client that deserializes a response and re-serializes the
+//! rows reproduces the in-process JSON byte for byte (the vendored
+//! `serde_json` prints floats in shortest-round-trip form, so nothing is lost
+//! in transit).
+
+use serde::{de, Deserialize, Serialize, Value};
+use vliw_machine::SweepGrid;
+
+use crate::error::VliwError;
+use crate::session::Session;
+
+use super::{
+    cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
+    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment,
+    ClusterResourcesRow, CopyCostRow, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport,
+    SweepReport,
+};
+
+/// A typed experiment, tying a result document to a session run.
+///
+/// Implemented once per driver by a small request struct (e.g. [`Fig3`],
+/// [`Resources`]); [`ExperimentRequest`] is the closed serializable union of all
+/// of them, which is what dynamic callers (the CLI, the daemon) route on.
+pub trait Experiment {
+    /// The driver's result document.
+    type Output;
+
+    /// Stable name of the experiment (the CLI subcommand / wire tag).
+    fn name(&self) -> &'static str;
+
+    /// Runs the experiment over a shared session.
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError>;
+}
+
+/// Fig. 3 — number of queues required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fig3;
+
+/// Section 2 — II / stage-count cost of copy insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CopyCost;
+
+/// Fig. 4 — II speedup from loop unrolling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fig4;
+
+/// Fig. 6 — II variation of the partitioned schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fig6;
+
+/// Fig. 7 / Section 4 — cluster resource sizing over the given cluster counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resources {
+    /// Cluster counts to evaluate (the paper's machines are 4/5/6).
+    pub cluster_counts: Vec<usize>,
+}
+
+/// Fig. 8 — operations issued per cycle, all loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fig8;
+
+/// Fig. 9 — operations issued per cycle, resource-constrained loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fig9;
+
+/// Cycle-accurate simulation — dynamic verification plus simulated IPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Simulate;
+
+/// The Fig. 7 machine design-space sweep over a grid preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sweep {
+    /// Design-space preset to sweep.
+    pub grid: SweepGrid,
+}
+
+impl Experiment for Fig3 {
+    type Output = Vec<Fig3Row>;
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        fig3_experiment(session)
+    }
+}
+
+impl Experiment for CopyCost {
+    type Output = Vec<CopyCostRow>;
+    fn name(&self) -> &'static str {
+        "copy_cost"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        copy_cost_experiment(session)
+    }
+}
+
+impl Experiment for Fig4 {
+    type Output = Vec<Fig4Row>;
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        fig4_experiment(session)
+    }
+}
+
+impl Experiment for Fig6 {
+    type Output = Vec<Fig6Row>;
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        fig6_experiment(session)
+    }
+}
+
+impl Experiment for Resources {
+    type Output = Vec<ClusterResourcesRow>;
+    fn name(&self) -> &'static str {
+        "resources"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        cluster_resources_experiment(session, &self.cluster_counts)
+    }
+}
+
+impl Experiment for Fig8 {
+    type Output = Vec<IpcCurvePoint>;
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        fig8_experiment(session)
+    }
+}
+
+impl Experiment for Fig9 {
+    type Output = Vec<IpcCurvePoint>;
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        fig9_experiment(session)
+    }
+}
+
+impl Experiment for Simulate {
+    type Output = SimulateReport;
+    fn name(&self) -> &'static str {
+        "simulate"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        simulate_experiment(session)
+    }
+}
+
+impl Experiment for Sweep {
+    type Output = SweepReport;
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        sweep_experiment(session, self.grid)
+    }
+}
+
+/// A serializable request for one experiment run — the closed union of every
+/// [`Experiment`] impl, including its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentRequest {
+    /// Fig. 3 — number of queues required.
+    Fig3,
+    /// Section 2 — cost of copy insertion.
+    CopyCost,
+    /// Fig. 4 — II speedup from loop unrolling.
+    Fig4,
+    /// Fig. 6 — II variation of partitioned schedules.
+    Fig6,
+    /// Fig. 7 / Section 4 — cluster resource sizing.
+    Resources {
+        /// Cluster counts to evaluate.
+        cluster_counts: Vec<usize>,
+    },
+    /// Fig. 8 — IPC curve over all loops.
+    Fig8,
+    /// Fig. 9 — IPC curve over resource-constrained loops.
+    Fig9,
+    /// Cycle-accurate simulation report.
+    Simulate,
+    /// Machine design-space sweep.
+    Sweep {
+        /// Design-space preset to sweep.
+        grid: SweepGrid,
+    },
+}
+
+/// The result document matching one [`ExperimentRequest`] variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentResponse {
+    /// Fig. 3 rows.
+    Fig3(Vec<Fig3Row>),
+    /// Copy-cost rows.
+    CopyCost(Vec<CopyCostRow>),
+    /// Fig. 4 rows.
+    Fig4(Vec<Fig4Row>),
+    /// Fig. 6 rows.
+    Fig6(Vec<Fig6Row>),
+    /// Cluster-resource rows.
+    Resources(Vec<ClusterResourcesRow>),
+    /// Fig. 8 IPC curve.
+    Fig8(Vec<IpcCurvePoint>),
+    /// Fig. 9 IPC curve.
+    Fig9(Vec<IpcCurvePoint>),
+    /// Simulated-IPC report.
+    Simulate(SimulateReport),
+    /// Design-space sweep report.
+    Sweep(SweepReport),
+}
+
+impl ExperimentRequest {
+    /// Stable name of the requested experiment (the wire tag).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentRequest::Fig3 => "fig3",
+            ExperimentRequest::CopyCost => "copy_cost",
+            ExperimentRequest::Fig4 => "fig4",
+            ExperimentRequest::Fig6 => "fig6",
+            ExperimentRequest::Resources { .. } => "resources",
+            ExperimentRequest::Fig8 => "fig8",
+            ExperimentRequest::Fig9 => "fig9",
+            ExperimentRequest::Simulate => "simulate",
+            ExperimentRequest::Sweep { .. } => "sweep",
+        }
+    }
+
+    /// Runs the requested experiment over `session` and wraps its rows.
+    pub fn run(&self, session: &Session) -> Result<ExperimentResponse, VliwError> {
+        match self {
+            ExperimentRequest::Fig3 => Fig3.run(session).map(ExperimentResponse::Fig3),
+            ExperimentRequest::CopyCost => CopyCost.run(session).map(ExperimentResponse::CopyCost),
+            ExperimentRequest::Fig4 => Fig4.run(session).map(ExperimentResponse::Fig4),
+            ExperimentRequest::Fig6 => Fig6.run(session).map(ExperimentResponse::Fig6),
+            ExperimentRequest::Resources { cluster_counts } => {
+                Resources { cluster_counts: cluster_counts.clone() }
+                    .run(session)
+                    .map(ExperimentResponse::Resources)
+            }
+            ExperimentRequest::Fig8 => Fig8.run(session).map(ExperimentResponse::Fig8),
+            ExperimentRequest::Fig9 => Fig9.run(session).map(ExperimentResponse::Fig9),
+            ExperimentRequest::Simulate => Simulate.run(session).map(ExperimentResponse::Simulate),
+            ExperimentRequest::Sweep { grid } => {
+                Sweep { grid: *grid }.run(session).map(ExperimentResponse::Sweep)
+            }
+        }
+    }
+}
+
+/// Runs one request over a shared session — free-function spelling of
+/// [`ExperimentRequest::run`] for callers that prefer dispatch at arm's length.
+pub fn run_request(
+    session: &Session,
+    request: &ExperimentRequest,
+) -> Result<ExperimentResponse, VliwError> {
+    request.run(session)
+}
+
+impl ExperimentResponse {
+    /// Stable name of the experiment that produced this response.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentResponse::Fig3(_) => "fig3",
+            ExperimentResponse::CopyCost(_) => "copy_cost",
+            ExperimentResponse::Fig4(_) => "fig4",
+            ExperimentResponse::Fig6(_) => "fig6",
+            ExperimentResponse::Resources(_) => "resources",
+            ExperimentResponse::Fig8(_) => "fig8",
+            ExperimentResponse::Fig9(_) => "fig9",
+            ExperimentResponse::Simulate(_) => "simulate",
+            ExperimentResponse::Sweep(_) => "sweep",
+        }
+    }
+
+    /// Renders this response's rows as the driver's text table — the shared
+    /// render dispatch behind the CLI's text mode.
+    pub fn render_table(&self) -> String {
+        match self {
+            ExperimentResponse::Fig3(rows) => super::fig3::render(rows).render(),
+            ExperimentResponse::CopyCost(rows) => super::copy_cost::render(rows).render(),
+            ExperimentResponse::Fig4(rows) => super::fig4::render(rows).render(),
+            ExperimentResponse::Fig6(rows) => super::fig6::render(rows).render(),
+            ExperimentResponse::Resources(rows) => super::resources::render(rows).render(),
+            ExperimentResponse::Fig8(points) | ExperimentResponse::Fig9(points) => {
+                super::ipc::render(points).render()
+            }
+            ExperimentResponse::Simulate(report) => super::simulate::render(&report.rows).render(),
+            ExperimentResponse::Sweep(report) => super::sweep::render(&report.rows).render(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire form.  The vendored serde derive only covers named-field structs and
+// C-like enums, so the two tagged unions are serialized by hand:
+// `{"experiment": "<name>", ...params-or-rows}`.
+// ---------------------------------------------------------------------------
+
+/// Builds the `{"experiment": name, ...}` envelope shared by both enums.
+fn tagged(name: &str, extra: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![("experiment".to_string(), Value::String(name.to_string()))];
+    entries.extend(extra);
+    Value::Object(entries)
+}
+
+/// An `"experiment"` tag plus the object's entries, as read off the wire.
+type TaggedEntries<'a> = (&'a str, &'a [(String, Value)]);
+
+/// Reads the `"experiment"` tag off a wire object.
+fn tag_of(v: &Value) -> Result<TaggedEntries<'_>, de::Error> {
+    let entries = v.as_object().ok_or_else(|| de::Error::unexpected("object", v))?;
+    match v.get("experiment") {
+        Some(Value::String(name)) => Ok((name, entries)),
+        Some(other) => Err(de::Error::unexpected("experiment tag", other)),
+        None => Err(de::Error::custom("missing field `experiment`")),
+    }
+}
+
+impl Serialize for ExperimentRequest {
+    fn serialize(&self) -> Value {
+        match self {
+            ExperimentRequest::Resources { cluster_counts } => tagged(
+                self.name(),
+                vec![("cluster_counts".to_string(), cluster_counts.serialize())],
+            ),
+            ExperimentRequest::Sweep { grid } => tagged(
+                self.name(),
+                vec![("grid".to_string(), Value::String(grid.name().to_string()))],
+            ),
+            other => tagged(other.name(), Vec::new()),
+        }
+    }
+}
+
+impl Deserialize for ExperimentRequest {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        let (name, entries) = tag_of(v)?;
+        match name {
+            "fig3" => Ok(ExperimentRequest::Fig3),
+            "copy_cost" => Ok(ExperimentRequest::CopyCost),
+            "fig4" => Ok(ExperimentRequest::Fig4),
+            "fig6" => Ok(ExperimentRequest::Fig6),
+            "resources" => Ok(ExperimentRequest::Resources {
+                cluster_counts: de::field(entries, "cluster_counts")?,
+            }),
+            "fig8" => Ok(ExperimentRequest::Fig8),
+            "fig9" => Ok(ExperimentRequest::Fig9),
+            "simulate" => Ok(ExperimentRequest::Simulate),
+            "sweep" => {
+                let raw: String = de::field(entries, "grid")?;
+                let grid = raw
+                    .parse::<SweepGrid>()
+                    .map_err(|e| de::Error::custom(format!("field `grid`: {e}")))?;
+                Ok(ExperimentRequest::Sweep { grid })
+            }
+            other => Err(de::Error::custom(format!("unknown experiment `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for ExperimentResponse {
+    fn serialize(&self) -> Value {
+        let rows = match self {
+            ExperimentResponse::Fig3(rows) => rows.serialize(),
+            ExperimentResponse::CopyCost(rows) => rows.serialize(),
+            ExperimentResponse::Fig4(rows) => rows.serialize(),
+            ExperimentResponse::Fig6(rows) => rows.serialize(),
+            ExperimentResponse::Resources(rows) => rows.serialize(),
+            ExperimentResponse::Fig8(points) => points.serialize(),
+            ExperimentResponse::Fig9(points) => points.serialize(),
+            ExperimentResponse::Simulate(report) => report.serialize(),
+            ExperimentResponse::Sweep(report) => report.serialize(),
+        };
+        tagged(self.name(), vec![("rows".to_string(), rows)])
+    }
+}
+
+impl Deserialize for ExperimentResponse {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        let (name, entries) = tag_of(v)?;
+        match name {
+            "fig3" => Ok(ExperimentResponse::Fig3(de::field(entries, "rows")?)),
+            "copy_cost" => Ok(ExperimentResponse::CopyCost(de::field(entries, "rows")?)),
+            "fig4" => Ok(ExperimentResponse::Fig4(de::field(entries, "rows")?)),
+            "fig6" => Ok(ExperimentResponse::Fig6(de::field(entries, "rows")?)),
+            "resources" => Ok(ExperimentResponse::Resources(de::field(entries, "rows")?)),
+            "fig8" => Ok(ExperimentResponse::Fig8(de::field(entries, "rows")?)),
+            "fig9" => Ok(ExperimentResponse::Fig9(de::field(entries, "rows")?)),
+            "simulate" => Ok(ExperimentResponse::Simulate(de::field(entries, "rows")?)),
+            "sweep" => Ok(ExperimentResponse::Sweep(de::field(entries, "rows")?)),
+            other => Err(de::Error::custom(format!("unknown experiment `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_request() -> Vec<ExperimentRequest> {
+        vec![
+            ExperimentRequest::Fig3,
+            ExperimentRequest::CopyCost,
+            ExperimentRequest::Fig4,
+            ExperimentRequest::Fig6,
+            ExperimentRequest::Resources { cluster_counts: vec![4, 5, 6] },
+            ExperimentRequest::Fig8,
+            ExperimentRequest::Fig9,
+            ExperimentRequest::Simulate,
+            ExperimentRequest::Sweep { grid: SweepGrid::Small },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        for request in every_request() {
+            let json = serde_json::to_string(&request).unwrap();
+            let back: ExperimentRequest = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, request, "{json}");
+            assert!(json.contains(&format!("\"experiment\":\"{}\"", request.name())), "{json}");
+        }
+    }
+
+    #[test]
+    fn unknown_or_malformed_requests_are_rejected() {
+        assert!(serde_json::from_str::<ExperimentRequest>("{\"experiment\": \"fig5\"}").is_err());
+        assert!(serde_json::from_str::<ExperimentRequest>("{\"id\": 3}").is_err());
+        assert!(serde_json::from_str::<ExperimentRequest>("[1, 2]").is_err());
+        assert!(serde_json::from_str::<ExperimentRequest>(
+            "{\"experiment\": \"sweep\", \"grid\": \"huge\"}"
+        )
+        .is_err());
+        assert!(
+            serde_json::from_str::<ExperimentRequest>("{\"experiment\": \"resources\"}").is_err()
+        );
+    }
+
+    #[test]
+    fn dispatch_matches_the_direct_driver_call() {
+        let session = Session::quick(8, 5);
+        let response = ExperimentRequest::Fig3.run(&session).unwrap();
+        let direct = fig3_experiment(&session).unwrap();
+        assert_eq!(response, ExperimentResponse::Fig3(direct.clone()));
+        assert_eq!(response.name(), "fig3");
+        // The wrapped rows re-serialize exactly as the driver's own rows do.
+        let via_response = match &response {
+            ExperimentResponse::Fig3(rows) => serde_json::to_string_pretty(rows).unwrap(),
+            _ => unreachable!(),
+        };
+        assert_eq!(via_response, serde_json::to_string_pretty(&direct).unwrap());
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_form() {
+        let session = Session::quick(6, 7);
+        for request in [
+            ExperimentRequest::Fig4,
+            ExperimentRequest::Resources { cluster_counts: vec![4] },
+            ExperimentRequest::Sweep { grid: SweepGrid::Small },
+        ] {
+            let response = request.run(&session).unwrap();
+            let json = serde_json::to_string(&response).unwrap();
+            let back: ExperimentResponse = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, response, "{}", request.name());
+        }
+    }
+
+    #[test]
+    fn render_dispatch_produces_the_driver_tables() {
+        let session = Session::quick(6, 7);
+        let response = ExperimentRequest::Fig3.run(&session).unwrap();
+        let table = response.render_table();
+        assert!(table.contains("FUs"));
+        let rows = match &response {
+            ExperimentResponse::Fig3(rows) => rows,
+            _ => unreachable!(),
+        };
+        assert_eq!(table, super::super::fig3::render(rows).render());
+    }
+
+    #[test]
+    fn typed_experiments_report_their_names() {
+        assert_eq!(Fig3.name(), "fig3");
+        assert_eq!(Resources { cluster_counts: vec![4] }.name(), "resources");
+        assert_eq!(Sweep { grid: SweepGrid::Small }.name(), "sweep");
+    }
+}

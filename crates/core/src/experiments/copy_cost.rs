@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, pct, TextTable};
 use vliw_machine::Machine;
 
+use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::Session;
 
@@ -38,17 +39,22 @@ pub struct CopyCostRow {
 type CopySample = (u32, u32, u32, u32, usize);
 
 /// Runs the copy-cost experiment on 4/6/12-FU machines.
-pub fn copy_cost_experiment(session: &Session) -> Vec<CopyCostRow> {
+pub fn copy_cost_experiment(session: &Session) -> Result<Vec<CopyCostRow>, VliwError> {
     let mut rows = Vec::new();
     for &fus in &[4usize, 6, 12] {
         let machine = Machine::paper_single(fus);
         let without = session.compiler(CompilerConfig::without_copies(machine.clone()).no_unroll());
         let with = session.compiler(CompilerConfig::paper_defaults(machine).no_unroll());
-        let pairs: Vec<Option<CopySample>> = session.sweep(|i, _| {
-            let (base_ii, base_sc) = without.map_ok(i, |c| (c.ii(), c.stage_count))?;
-            let (ii, sc, copies) = with.map_ok(i, |c| (c.ii(), c.stage_count, c.num_copies))?;
-            Some((base_ii, ii, base_sc, sc, copies))
-        });
+        let pairs: Vec<Option<CopySample>> = session.try_sweep(|i, _| {
+            let Some((base_ii, base_sc)) = without.map_ok(i, |c| (c.ii(), c.stage_count)) else {
+                return Ok(None);
+            };
+            let Some((ii, sc, copies)) = with.map_ok(i, |c| (c.ii(), c.stage_count, c.num_copies))
+            else {
+                return Ok(None);
+            };
+            Ok(Some((base_ii, ii, base_sc, sc, copies)))
+        })?;
         let ok: Vec<CopySample> = pairs.into_iter().flatten().collect();
         let loops = ok.len();
         rows.push(CopyCostRow {
@@ -65,7 +71,7 @@ pub fn copy_cost_experiment(session: &Session) -> Vec<CopyCostRow> {
             loops,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the copy-cost rows as a text table.
@@ -101,7 +107,7 @@ mod tests {
     #[test]
     fn copy_insertion_rarely_degrades_the_ii() {
         let session = Session::quick(120, 11);
-        let rows = copy_cost_experiment(&session);
+        let rows = copy_cost_experiment(&session).unwrap();
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(r.loops > 0);
@@ -135,7 +141,7 @@ mod tests {
     #[test]
     fn wider_machines_absorb_copies_better() {
         let session = Session::quick(100, 23);
-        let rows = copy_cost_experiment(&session);
+        let rows = copy_cost_experiment(&session).unwrap();
         let narrow = rows.iter().find(|r| r.fus == 4).unwrap();
         let wide = rows.iter().find(|r| r.fus == 12).unwrap();
         // More copy units and more slack per II row: the wide machine should keep at
@@ -147,9 +153,9 @@ mod tests {
     #[test]
     fn shares_every_sweep_point_with_fig3() {
         let session = Session::quick(24, 2);
-        fig3_experiment(&session);
+        fig3_experiment(&session).unwrap();
         let before = session.stats();
-        copy_cost_experiment(&session);
+        copy_cost_experiment(&session).unwrap();
         let after = session.stats();
         assert_eq!(
             after.compilations, before.compilations,
@@ -162,7 +168,7 @@ mod tests {
     #[test]
     fn render_contains_percentages() {
         let session = Session::quick(30, 2);
-        let rows = copy_cost_experiment(&session);
+        let rows = copy_cost_experiment(&session).unwrap();
         let s = render(&rows).render();
         assert!(s.contains('%'));
         assert_eq!(s.lines().count(), 2 + rows.len());

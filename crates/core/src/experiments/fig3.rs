@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use vliw_analysis::{pct, CumulativeHistogram, TextTable};
 use vliw_machine::Machine;
 
+use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::Session;
 
@@ -35,7 +36,7 @@ pub struct Fig3Row {
 
 /// Runs the Fig. 3 experiment: queue requirements on 4/6/12-FU machines, with and
 /// without copy operations.
-pub fn fig3_experiment(session: &Session) -> Vec<Fig3Row> {
+pub fn fig3_experiment(session: &Session) -> Result<Vec<Fig3Row>, VliwError> {
     let mut rows = Vec::new();
     for &fus in &[4usize, 6, 12] {
         for &with_copies in &[true, false] {
@@ -47,7 +48,7 @@ pub fn fig3_experiment(session: &Session) -> Vec<Fig3Row> {
             };
             let compiler = session.compiler(config);
             let samples: Vec<Option<usize>> =
-                session.sweep(|i, _| compiler.map_ok(i, |c| c.queues_required()));
+                session.try_sweep(|i, _| Ok(compiler.map_ok(i, |c| c.queues_required())))?;
             let ok: Vec<usize> = samples.iter().flatten().copied().collect();
             let unschedulable = samples.len() - ok.len();
             rows.push(Fig3Row {
@@ -58,7 +59,7 @@ pub fn fig3_experiment(session: &Session) -> Vec<Fig3Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the Fig. 3 rows as the table recorded in EXPERIMENTS.md.
@@ -95,7 +96,7 @@ mod tests {
     #[test]
     fn fig3_on_a_small_corpus_matches_paper_shape() {
         let session = Session::quick(120, 42);
-        let rows = fig3_experiment(&session);
+        let rows = fig3_experiment(&session).unwrap();
         assert_eq!(rows.len(), 6);
         for r in &rows {
             assert_eq!(r.unschedulable, 0, "every loop must schedule ({} FUs)", r.fus);
@@ -121,7 +122,7 @@ mod tests {
         // The paper: "using copy operations does not increase significantly the
         // number of queues required", especially at 16-32 queues.
         let session = Session::quick(120, 7);
-        let rows = fig3_experiment(&session);
+        let rows = fig3_experiment(&session).unwrap();
         for fus in [4usize, 6, 12] {
             let with = rows.iter().find(|r| r.fus == fus && r.with_copies).unwrap();
             let without = rows.iter().find(|r| r.fus == fus && !r.with_copies).unwrap();
@@ -136,9 +137,9 @@ mod tests {
     #[test]
     fn rerunning_in_one_session_is_served_from_the_cache() {
         let session = Session::quick(20, 42);
-        let first = fig3_experiment(&session);
+        let first = fig3_experiment(&session).unwrap();
         let after_first = session.stats();
-        let second = fig3_experiment(&session);
+        let second = fig3_experiment(&session).unwrap();
         let after_second = session.stats();
         assert_eq!(first, second, "cached rerun must reproduce the rows");
         assert_eq!(
@@ -151,7 +152,7 @@ mod tests {
     #[test]
     fn render_has_one_row_per_configuration() {
         let session = Session::quick(40, 1);
-        let rows = fig3_experiment(&session);
+        let rows = fig3_experiment(&session).unwrap();
         let table = render(&rows);
         assert_eq!(table.num_rows(), rows.len());
         assert!(table.render().contains("FUs"));

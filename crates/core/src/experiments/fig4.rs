@@ -12,6 +12,7 @@ use vliw_analysis::{fraction, mean, pct, TextTable};
 use vliw_machine::Machine;
 use vliw_unroll::ii_speedup;
 
+use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::Session;
 
@@ -45,21 +46,23 @@ struct Sample {
 ///
 /// Copy operations are enabled in both configurations (the unrolling study of the
 /// paper is carried out within the QRF architecture model).
-pub fn fig4_experiment(session: &Session) -> Vec<Fig4Row> {
+pub fn fig4_experiment(session: &Session) -> Result<Vec<Fig4Row>, VliwError> {
     let mut rows = Vec::new();
     for &fus in &[4usize, 6, 12] {
         let machine = Machine::paper_single(fus);
         let base = session.compiler(CompilerConfig::paper_defaults(machine.clone()).no_unroll());
         let unrolled = session.compiler(CompilerConfig::paper_defaults(machine));
-        let samples: Vec<Option<Sample>> = session.sweep(|i, _| {
-            let (base_ii, stage_before) = base.map_ok(i, |c| (c.ii(), c.stage_count))?;
-            unrolled.map_ok(i, |u| Sample {
+        let samples: Vec<Option<Sample>> = session.try_sweep(|i, _| {
+            let Some((base_ii, stage_before)) = base.map_ok(i, |c| (c.ii(), c.stage_count)) else {
+                return Ok(None);
+            };
+            Ok(unrolled.map_ok(i, |u| Sample {
                 speedup: ii_speedup(base_ii, u.ii(), u.unroll_factor),
                 factor: u.unroll_factor,
                 stage_before,
                 stage_after: u.stage_count,
-            })
-        });
+            }))
+        })?;
         let ok: Vec<Sample> = samples.into_iter().flatten().collect();
         rows.push(Fig4Row {
             fus,
@@ -70,7 +73,7 @@ pub fn fig4_experiment(session: &Session) -> Vec<Fig4Row> {
             loops: ok.len(),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the Fig. 4 rows as a text table.
@@ -103,7 +106,7 @@ mod tests {
     #[test]
     fn a_meaningful_fraction_of_loops_gains_from_unrolling() {
         let session = Session::quick(120, 31);
-        let rows = fig4_experiment(&session);
+        let rows = fig4_experiment(&session).unwrap();
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(r.loops > 0);
@@ -128,7 +131,7 @@ mod tests {
         // The paper's Fig. 4 shows larger gains on wider machines (more slack to
         // recover).  Allow generous noise tolerance on the small test corpus.
         let session = Session::quick(100, 5);
-        let rows = fig4_experiment(&session);
+        let rows = fig4_experiment(&session).unwrap();
         let narrow = rows.iter().find(|r| r.fus == 4).unwrap();
         let wide = rows.iter().find(|r| r.fus == 12).unwrap();
         assert!(wide.speedup_gt_one + 0.15 >= narrow.speedup_gt_one);
@@ -137,7 +140,7 @@ mod tests {
     #[test]
     fn render_shape() {
         let session = Session::quick(30, 9);
-        let rows = fig4_experiment(&session);
+        let rows = fig4_experiment(&session).unwrap();
         let table = render(&rows);
         assert_eq!(table.num_rows(), 3);
     }

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, mean, pct, TextTable};
 use vliw_machine::Machine;
 
+use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::Session;
 
@@ -40,23 +41,31 @@ pub struct Fig6Row {
 }
 
 /// Runs the Fig. 6 experiment for 4, 5 and 6 clusters.
-pub fn fig6_experiment(session: &Session) -> Vec<Fig6Row> {
+pub fn fig6_experiment(session: &Session) -> Result<Vec<Fig6Row>, VliwError> {
     fig6_experiment_for(session, &[4, 5, 6])
 }
 
 /// Runs the Fig. 6 experiment for an arbitrary set of cluster counts.
-pub fn fig6_experiment_for(session: &Session, cluster_counts: &[usize]) -> Vec<Fig6Row> {
+pub fn fig6_experiment_for(
+    session: &Session,
+    cluster_counts: &[usize],
+) -> Result<Vec<Fig6Row>, VliwError> {
     let mut rows = Vec::new();
     for &clusters in cluster_counts {
         let clustered = Machine::paper_clustered(clusters, Default::default());
         let single = Machine::paper_single_cluster_equivalent(clusters, Default::default());
         let single_compiler = session.compiler(CompilerConfig::paper_defaults(single));
         let clustered_compiler = session.compiler(CompilerConfig::paper_defaults(clustered));
-        let samples: Vec<Option<(u32, u32, u32, u32)>> = session.sweep(|i, _| {
-            let (s_ii, s_sc) = single_compiler.map_ok(i, |c| (c.ii(), c.stage_count))?;
-            let (c_ii, c_sc) = clustered_compiler.map_ok(i, |c| (c.ii(), c.stage_count))?;
-            Some((s_ii, c_ii, s_sc, c_sc))
-        });
+        let samples: Vec<Option<(u32, u32, u32, u32)>> = session.try_sweep(|i, _| {
+            let Some((s_ii, s_sc)) = single_compiler.map_ok(i, |c| (c.ii(), c.stage_count)) else {
+                return Ok(None);
+            };
+            let Some((c_ii, c_sc)) = clustered_compiler.map_ok(i, |c| (c.ii(), c.stage_count))
+            else {
+                return Ok(None);
+            };
+            Ok(Some((s_ii, c_ii, s_sc, c_sc)))
+        })?;
         let ok: Vec<(u32, u32, u32, u32)> = samples.into_iter().flatten().collect();
         rows.push(Fig6Row {
             clusters,
@@ -71,7 +80,7 @@ pub fn fig6_experiment_for(session: &Session, cluster_counts: &[usize]) -> Vec<F
             loops: ok.len(),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the Fig. 6 rows as a text table.
@@ -108,7 +117,7 @@ mod tests {
     #[test]
     fn partitioning_keeps_most_loops_at_the_single_cluster_ii() {
         let session = Session::quick(60, 17);
-        let rows = fig6_experiment_for(&session, &[4, 6]);
+        let rows = fig6_experiment_for(&session, &[4, 6]).unwrap();
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.loops > 0);
@@ -132,7 +141,7 @@ mod tests {
         // The paper's central Fig. 6 trend: the same-II fraction decreases as the
         // cluster count grows (95% -> 84% -> 52%).
         let session = Session::quick(60, 29);
-        let rows = fig6_experiment_for(&session, &[4, 6]);
+        let rows = fig6_experiment_for(&session, &[4, 6]).unwrap();
         let four = rows.iter().find(|r| r.clusters == 4).unwrap();
         let six = rows.iter().find(|r| r.clusters == 6).unwrap();
         assert!(
@@ -146,7 +155,7 @@ mod tests {
     #[test]
     fn render_shape() {
         let session = Session::quick(20, 3);
-        let rows = fig6_experiment_for(&session, &[4]);
+        let rows = fig6_experiment_for(&session, &[4]).unwrap();
         let t = render(&rows);
         assert_eq!(t.num_rows(), 1);
         assert!(t.render().contains("clusters"));

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use vliw_analysis::{is_resource_constrained, mean, TextTable};
 use vliw_machine::Machine;
 
+use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::{Session, SessionCompiler};
 
@@ -45,12 +46,12 @@ pub struct IpcCurvePoint {
 pub const DEFAULT_WIDTHS: [usize; 9] = [4, 6, 8, 10, 12, 14, 15, 16, 18];
 
 /// Fig. 8: IPC over **all** loops of the corpus.
-pub fn fig8_experiment(session: &Session) -> Vec<IpcCurvePoint> {
+pub fn fig8_experiment(session: &Session) -> Result<Vec<IpcCurvePoint>, VliwError> {
     ipc_curves(session, &DEFAULT_WIDTHS, false)
 }
 
 /// Fig. 9: IPC over the **resource-constrained** loops only.
-pub fn fig9_experiment(session: &Session) -> Vec<IpcCurvePoint> {
+pub fn fig9_experiment(session: &Session) -> Result<Vec<IpcCurvePoint>, VliwError> {
     ipc_curves(session, &DEFAULT_WIDTHS, true)
 }
 
@@ -60,11 +61,11 @@ fn ipc_samples(
     session: &Session,
     compiler: &SessionCompiler<'_>,
     indices: &[usize],
-) -> Vec<(f64, f64)> {
-    let samples: Vec<Option<(f64, f64)>> = session.sweep_indices(indices, |i, _| {
-        compiler.map_ok(i, |c| (c.ipc.static_ipc, c.ipc.dynamic_ipc))
-    });
-    samples.into_iter().flatten().collect()
+) -> Result<Vec<(f64, f64)>, VliwError> {
+    let samples: Vec<Option<(f64, f64)>> = session.try_sweep_indices(indices, |i, _| {
+        Ok(compiler.map_ok(i, |c| (c.ipc.static_ipc, c.ipc.dynamic_ipc)))
+    })?;
+    Ok(samples.into_iter().flatten().collect())
 }
 
 /// Shared implementation of Figs. 8 and 9.
@@ -72,7 +73,7 @@ pub fn ipc_curves(
     session: &Session,
     widths: &[usize],
     resource_constrained_only: bool,
-) -> Vec<IpcCurvePoint> {
+) -> Result<Vec<IpcCurvePoint>, VliwError> {
     let mut points = Vec::new();
     for &fus in widths {
         let single = Machine::paper_single(fus);
@@ -100,14 +101,14 @@ pub fn ipc_curves(
         }
 
         let single_compiler = session.compiler(CompilerConfig::paper_defaults(single));
-        let single_ok = ipc_samples(session, &single_compiler, &indices);
+        let single_ok = ipc_samples(session, &single_compiler, &indices)?;
 
         // Clustered machines only exist at widths that are multiples of 3 (the basic
         // 3-FU cluster) and of at least 2 clusters.
         let clustered_ok = if fus % 3 == 0 && fus >= 6 {
             let clustered = Machine::paper_clustered(fus / 3, Default::default());
             let compiler = session.compiler(CompilerConfig::paper_defaults(clustered));
-            Some(ipc_samples(session, &compiler, &indices))
+            Some(ipc_samples(session, &compiler, &indices)?)
         } else {
             None
         };
@@ -125,7 +126,7 @@ pub fn ipc_curves(
             loops: single_ok.len(),
         });
     }
-    points
+    Ok(points)
 }
 
 /// Renders the IPC curve points as a text table.
@@ -160,7 +161,7 @@ mod tests {
     #[test]
     fn ipc_grows_with_machine_width_and_static_dominates_dynamic() {
         let session = Session::quick(60, 37);
-        let points = ipc_curves(&session, &[4, 12], false);
+        let points = ipc_curves(&session, &[4, 12], false).unwrap();
         assert_eq!(points.len(), 2);
         for p in &points {
             assert!(p.loops > 0);
@@ -181,7 +182,7 @@ mod tests {
     #[test]
     fn clustered_points_exist_only_at_multiples_of_three() {
         let session = Session::quick(30, 41);
-        let points = ipc_curves(&session, &[4, 12], false);
+        let points = ipc_curves(&session, &[4, 12], false).unwrap();
         assert!(points[0].static_clustered.is_none());
         assert!(points[1].static_clustered.is_some());
         let clustered = points[1].static_clustered.unwrap();
@@ -194,9 +195,9 @@ mod tests {
     #[test]
     fn resource_constrained_subset_scales_better() {
         let session = Session::quick(80, 53);
-        let all = ipc_curves(&session, &[12], false);
+        let all = ipc_curves(&session, &[12], false).unwrap();
         let before = session.stats();
-        let constrained = ipc_curves(&session, &[12], true);
+        let constrained = ipc_curves(&session, &[12], true).unwrap();
         let after = session.stats();
         assert!(constrained[0].loops <= all[0].loops);
         if constrained[0].loops > 0 {
@@ -212,7 +213,7 @@ mod tests {
     #[test]
     fn render_uses_dash_for_missing_clustered_points() {
         let session = Session::quick(15, 61);
-        let points = ipc_curves(&session, &[4], false);
+        let points = ipc_curves(&session, &[4], false).unwrap();
         let s = render(&points).render();
         assert!(s.contains('-'));
     }

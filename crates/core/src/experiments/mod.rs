@@ -24,6 +24,7 @@
 //! | [`simulate`] | Simulated IPC — cycle-accurate execution with dynamic verification |
 //! | [`sweep`] | Fig. 7 design-space sweep — machine sizing Pareto frontier |
 
+pub mod api;
 pub mod copy_cost;
 pub mod fig3;
 pub mod fig4;
@@ -33,6 +34,7 @@ pub mod resources;
 pub mod simulate;
 pub mod sweep;
 
+pub use api::{run_request, Experiment, ExperimentRequest, ExperimentResponse};
 pub use copy_cost::{copy_cost_experiment, CopyCostRow};
 pub use fig3::{fig3_experiment, Fig3Row};
 pub use fig4::{fig4_experiment, Fig4Row};
@@ -54,11 +56,18 @@ pub struct ExperimentConfig {
     pub corpus: CorpusConfig,
     /// Number of worker threads for the corpus sweeps (1 = sequential).
     pub threads: usize,
+    /// Directory of the persistent artifact cache; `None` disables persistence
+    /// (results are still memoised in process).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { corpus: CorpusConfig::paper_default(), threads: default_threads() }
+        ExperimentConfig {
+            corpus: CorpusConfig::paper_default(),
+            threads: default_threads(),
+            cache_dir: None,
+        }
     }
 }
 
@@ -68,6 +77,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             corpus: CorpusConfig::small(num_loops, seed),
             threads: default_threads(),
+            cache_dir: None,
         }
     }
 

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use vliw_analysis::{fraction, pct, TextTable};
 use vliw_machine::Machine;
 
+use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::Session;
 
@@ -45,23 +46,27 @@ type ResourceSample = (usize, usize, usize, usize, f64);
 pub fn cluster_resources_experiment(
     session: &Session,
     cluster_counts: &[usize],
-) -> Vec<ClusterResourcesRow> {
+) -> Result<Vec<ClusterResourcesRow>, VliwError> {
     let mut rows = Vec::new();
     for &clusters in cluster_counts {
         let machine = Machine::paper_clustered(clusters, Default::default());
         let compiler = session.compiler(CompilerConfig::paper_defaults(machine));
-        let samples: Vec<Option<ResourceSample>> = session.sweep(|i, _| {
-            compiler.map_ok(i, |c| {
-                let comm = c.comm.as_ref().expect("clustered machine");
-                (
-                    comm.max_private_queues_per_cluster,
-                    comm.max_comm_queues_per_link,
-                    comm.max_private_queue_depth,
-                    comm.max_comm_queue_depth,
-                    comm.cross_fraction(),
-                )
-            })
-        });
+        let samples: Vec<Option<ResourceSample>> = session.try_sweep(|i, _| {
+            compiler
+                .map_ok(i, |c| {
+                    let comm = c.comm.as_ref().ok_or_else(|| {
+                        VliwError::internal("clustered machine without CommStats")
+                    })?;
+                    Ok((
+                        comm.max_private_queues_per_cluster,
+                        comm.max_comm_queues_per_link,
+                        comm.max_private_queue_depth,
+                        comm.max_comm_queue_depth,
+                        comm.cross_fraction(),
+                    ))
+                })
+                .transpose()
+        })?;
         let ok: Vec<ResourceSample> = samples.into_iter().flatten().collect();
         rows.push(ClusterResourcesRow {
             clusters,
@@ -80,7 +85,7 @@ pub fn cluster_resources_experiment(
             loops: ok.len(),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the resource rows as a text table.
@@ -118,7 +123,7 @@ mod tests {
     #[test]
     fn paper_cluster_budget_covers_most_loops() {
         let session = Session::quick(60, 13);
-        let rows = cluster_resources_experiment(&session, &[4]);
+        let rows = cluster_resources_experiment(&session, &[4]).unwrap();
         assert_eq!(rows.len(), 1);
         let r = &rows[0];
         assert!(r.loops > 0);
@@ -135,9 +140,9 @@ mod tests {
     #[test]
     fn shares_the_clustered_sweep_points_with_fig6() {
         let session = Session::quick(20, 13);
-        fig6_experiment_for(&session, &[4, 5]);
+        fig6_experiment_for(&session, &[4, 5]).unwrap();
         let before = session.stats();
-        cluster_resources_experiment(&session, &[4, 5]);
+        cluster_resources_experiment(&session, &[4, 5]).unwrap();
         let after = session.stats();
         assert_eq!(
             after.compilations, before.compilations,
@@ -149,7 +154,7 @@ mod tests {
     #[test]
     fn render_shape() {
         let session = Session::quick(20, 19);
-        let rows = cluster_resources_experiment(&session, &[4, 5]);
+        let rows = cluster_resources_experiment(&session, &[4, 5]).unwrap();
         assert_eq!(render(&rows).num_rows(), 2);
     }
 }

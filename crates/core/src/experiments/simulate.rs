@@ -20,9 +20,10 @@
 //!   counterpart.
 
 use serde::{Deserialize, Serialize};
-use vliw_analysis::{dynamic_ipc, mean, SimReport, TextTable};
+use vliw_analysis::{mean, SimReport, TextTable};
 use vliw_machine::Machine;
 
+use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::Session;
 
@@ -83,7 +84,7 @@ struct LoopSample {
 }
 
 /// Runs the simulated-IPC experiment over `session`.
-pub fn simulate_experiment(session: &Session) -> SimulateReport {
+pub fn simulate_experiment(session: &Session) -> Result<SimulateReport, VliwError> {
     let mut rows = Vec::new();
     for machine in sim_machines() {
         let fus = machine.num_compute_fus();
@@ -91,18 +92,20 @@ pub fn simulate_experiment(session: &Session) -> SimulateReport {
         let name = machine.name().to_string();
         let compiler = session.compiler(CompilerConfig::paper_defaults(machine));
         for &trip_count in &SIM_TRIP_COUNTS {
-            let samples: Vec<Option<LoopSample>> = session.sweep(|i, _| {
-                let run = compiler.simulate(i, trip_count)?;
+            let samples: Vec<Option<LoopSample>> = session.try_sweep(|i, _| {
+                let Some(run) = compiler.simulate(i, trip_count) else {
+                    return Ok(None);
+                };
                 let (formula_ipc, cycles_match) = compiler
                     .map_ok(i, |c| {
-                        let formula = dynamic_ipc(c.transformed.num_ops(), &c.schedule, trip_count);
+                        let formula = c.dynamic_ipc_at(trip_count);
                         let cycles_match =
-                            run.measurement.total_cycles == c.schedule.total_cycles(trip_count);
+                            run.measurement.total_cycles == c.total_cycles(trip_count);
                         (formula, cycles_match)
                     })
-                    .expect("simulated loops compiled");
+                    .ok_or_else(|| VliwError::internal("simulated loops compiled"))?;
                 let m = &run.measurement;
-                Some(LoopSample {
+                Ok(Some(LoopSample {
                     sim_ipc: m.dynamic_ipc,
                     formula_ipc,
                     ipc_abs_error: (m.dynamic_ipc - formula_ipc).abs(),
@@ -112,8 +115,8 @@ pub fn simulate_experiment(session: &Session) -> SimulateReport {
                     peak_private: m.max_private_peak(),
                     peak_comm: m.max_comm_peak(),
                     copy_utilisation: m.copy_bus_utilisation,
-                })
-            });
+                }))
+            })?;
             let ok: Vec<LoopSample> = samples.into_iter().flatten().collect();
             rows.push(SimReport {
                 machine: name.clone(),
@@ -137,12 +140,12 @@ pub fn simulate_experiment(session: &Session) -> SimulateReport {
             });
         }
     }
-    SimulateReport {
+    Ok(SimulateReport {
         corpus_size: session.config().corpus.num_loops,
         seed: session.config().corpus.seed,
         trip_counts: SIM_TRIP_COUNTS.to_vec(),
         rows,
-    }
+    })
 }
 
 /// Renders the simulated-IPC rows as a text table.
@@ -185,7 +188,7 @@ mod tests {
     #[test]
     fn simulated_sweep_is_clean_and_matches_the_closed_forms() {
         let session = Session::quick(12, 386);
-        let report = simulate_experiment(&session);
+        let report = simulate_experiment(&session).unwrap();
         assert_eq!(report.rows.len(), sim_machines().len() * SIM_TRIP_COUNTS.len());
         assert_eq!(report.total_violations(), 0, "scheduled loops must execute cleanly");
         for row in &report.rows {
@@ -210,9 +213,9 @@ mod tests {
     #[test]
     fn repeated_sweeps_are_served_from_the_cache() {
         let session = Session::quick(6, 17);
-        let first = simulate_experiment(&session);
+        let first = simulate_experiment(&session).unwrap();
         let runs_after_first = session.stats().sim_runs;
-        let second = simulate_experiment(&session);
+        let second = simulate_experiment(&session).unwrap();
         assert_eq!(first, second, "cached runs must not change the rows");
         assert_eq!(
             session.stats().sim_runs,
@@ -225,7 +228,7 @@ mod tests {
     #[test]
     fn render_mentions_the_verdict_columns() {
         let session = Session::quick(4, 5);
-        let report = simulate_experiment(&session);
+        let report = simulate_experiment(&session).unwrap();
         let text = render(&report.rows).render();
         assert!(text.contains("violations"));
         assert!(text.contains("sim dyn IPC"));

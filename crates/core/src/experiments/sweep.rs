@@ -30,10 +30,10 @@
 use serde::{Deserialize, Serialize};
 use vliw_analysis::{mark_pareto, SweepRow, TextTable};
 use vliw_machine::{Machine, MachineConfig, SweepGrid};
-use vliw_sim::SimRun;
 
-use crate::pipeline::{Compilation, CompilerConfig};
-use crate::session::Session;
+use crate::error::VliwError;
+use crate::pipeline::CompilerConfig;
+use crate::session::{LoopSummary, Session, SimSummary};
 
 /// Trip count of the sweep's simulation runs: long enough that every queue
 /// reaches its steady-state peak occupancy, short enough to keep the full grid
@@ -107,8 +107,8 @@ pub struct LoopVerdict {
 /// peaks, which is exactly what simulating on the real machine would have
 /// capacity-checked cycle by cycle.
 pub fn classify_loop(
-    compilation: &Compilation,
-    run: &SimRun,
+    summary: &LoopSummary,
+    run: &SimSummary,
     machine: &Machine,
     config: &MachineConfig,
 ) -> LoopVerdict {
@@ -118,7 +118,7 @@ pub fn classify_loop(
     let link_budget = config.queues_per_cluster * config.link_depth;
     LoopVerdict {
         schedulable: true,
-        alloc_fits: compilation.fits_machine(machine),
+        alloc_fits: summary.fits_machine(machine),
         sim_clean: run.schedule_faults == 0
             && m.max_private_peak() <= private_budget
             && m.max_comm_peak() <= link_budget,
@@ -126,21 +126,21 @@ pub fn classify_loop(
 }
 
 /// Runs the design-space sweep over `session` for the given grid preset.
-pub fn sweep_experiment(session: &Session, grid: SweepGrid) -> SweepReport {
+pub fn sweep_experiment(session: &Session, grid: SweepGrid) -> Result<SweepReport, VliwError> {
     let space = grid.space();
     let mut rows = Vec::with_capacity(space.num_configs());
     for config in space.configs() {
         let probe = config.probe_machine(Default::default());
         let machine = config.machine(Default::default());
         let compiler = session.compiler(CompilerConfig::paper_defaults(probe));
-        let verdicts: Vec<LoopVerdict> = session.sweep(|i, _| {
+        let verdicts: Vec<LoopVerdict> = session.try_sweep(|i, _| {
             let Some(run) = compiler.simulate(i, SWEEP_TRIP_COUNT) else {
-                return LoopVerdict::default();
+                return Ok(LoopVerdict::default());
             };
             compiler
                 .map_ok(i, |c| classify_loop(c, &run, &machine, &config))
-                .expect("simulated loops compiled")
-        });
+                .ok_or_else(|| VliwError::internal("simulated loops compiled"))
+        })?;
         let loops = verdicts.len();
         let frac = |f: &dyn Fn(&LoopVerdict) -> bool| {
             if loops == 0 {
@@ -167,7 +167,7 @@ pub fn sweep_experiment(session: &Session, grid: SweepGrid) -> SweepReport {
         });
     }
     mark_pareto(&mut rows);
-    SweepReport {
+    Ok(SweepReport {
         corpus_size: session.config().corpus.num_loops,
         seed: session.config().corpus.seed,
         grid: grid.name().to_string(),
@@ -175,7 +175,7 @@ pub fn sweep_experiment(session: &Session, grid: SweepGrid) -> SweepReport {
         configs: space.num_configs(),
         shapes: space.num_shapes(),
         rows,
-    }
+    })
 }
 
 /// Renders the sweep rows as a text table.
@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn small_grid_reuses_one_compile_per_shape() {
         let session = Session::quick(10, 386);
-        let report = sweep_experiment(&session, SweepGrid::Small);
+        let report = sweep_experiment(&session, SweepGrid::Small).unwrap();
         assert_eq!(report.rows.len(), 8);
         assert_eq!(report.shapes, 1);
         let stats = session.stats();
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn fractions_are_ordered_and_bounded() {
         let session = Session::quick(12, 7);
-        let report = sweep_experiment(&session, SweepGrid::Small);
+        let report = sweep_experiment(&session, SweepGrid::Small).unwrap();
         for r in &report.rows {
             assert_eq!(r.loops, 12);
             for f in [r.frac_schedulable, r.frac_alloc_fits, r.frac_sim_clean, r.frac_clean] {
@@ -254,7 +254,7 @@ mod tests {
         // within one shape, a configuration that dominates another dimension-
         // wise classifies at least as many loops clean.
         let session = Session::quick(16, 23);
-        let report = sweep_experiment(&session, SweepGrid::Small);
+        let report = sweep_experiment(&session, SweepGrid::Small).unwrap();
         for a in &report.rows {
             for b in &report.rows {
                 if a.clusters == b.clusters
@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn paper_point_is_flagged_and_frontier_is_nonempty() {
         let session = Session::quick(16, 386);
-        let report = sweep_experiment(&session, SweepGrid::Small);
+        let report = sweep_experiment(&session, SweepGrid::Small).unwrap();
         assert_eq!(report.paper_points().count(), 1);
         assert!(report.frontier().count() >= 1);
         let paper = report.paper_points().next().unwrap();
@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn report_round_trips_through_serde() {
         let session = Session::quick(6, 5);
-        let report = sweep_experiment(&session, SweepGrid::Small);
+        let report = sweep_experiment(&session, SweepGrid::Small).unwrap();
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: SweepReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
@@ -297,7 +297,7 @@ mod tests {
     #[test]
     fn render_shape() {
         let session = Session::quick(6, 5);
-        let report = sweep_experiment(&session, SweepGrid::Small);
+        let report = sweep_experiment(&session, SweepGrid::Small).unwrap();
         let t = render(&report.rows);
         assert_eq!(t.num_rows(), report.rows.len());
         let text = t.render();

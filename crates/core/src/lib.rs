@@ -30,12 +30,17 @@
 //! assert!(out.ii() >= out.mii);
 //! ```
 
+pub mod error;
 pub mod experiments;
 pub mod pipeline;
+pub mod protocol;
 pub mod session;
 
+pub use error::VliwError;
 pub use pipeline::{Compilation, Compiler, CompilerConfig};
-pub use session::{CompilationKey, Session, SessionCompiler, SessionStats};
+pub use session::{
+    CompilationKey, LoopSummary, Session, SessionBuilder, SessionCompiler, SessionStats, SimSummary,
+};
 
 // Re-export the substrate crates so downstream users (examples, benches, tests) can
 // reach everything through `vliw_core::...`.

@@ -1,0 +1,420 @@
+//! The `vliw-serve` wire protocol: length-prefixed JSON frames over any byte
+//! stream.
+//!
+//! A connection is a sequence of *frames* in each direction.  Every frame is a
+//! 4-byte big-endian length followed by exactly that many bytes of UTF-8 JSON
+//! (compact form — the frame boundary, not whitespace, delimits documents).
+//! Clients send [`RequestEnvelope`]s and receive [`ResponseEnvelope`]s; the
+//! `id` field pairs them up, so a client may pipeline several requests on one
+//! connection and match answers as they arrive.  The daemon answers every
+//! request — failures travel as [`WireResponse::Error`] carrying a
+//! [`VliwError`] (which deserializes client-side as [`VliwError::Remote`],
+//! keeping the server's error kind and message while staying honest about
+//! where the failure happened).
+//!
+//! The protocol is versioned ([`PROTOCOL_VERSION`]); the version travels in
+//! [`ServerInfo`] so a client can refuse to talk to a daemon it does not
+//! understand before submitting work.  Frames are capped at
+//! [`MAX_FRAME_BYTES`] in both directions: a corrupt or malicious length
+//! prefix must not make either side allocate gigabytes.
+//!
+//! Everything here is transport-agnostic (`Read`/`Write`), so the same code
+//! serves Unix sockets, TCP sockets and the in-process `Vec<u8>` pipes the
+//! tests use.
+
+use std::io::{ErrorKind, Read, Write};
+
+use serde::{de, Deserialize, Serialize, Value};
+
+use crate::error::VliwError;
+use crate::experiments::{ExperimentRequest, ExperimentResponse};
+use crate::session::SessionStats;
+
+/// Version of the wire protocol; bumped on any incompatible change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame's payload, in bytes.  Large enough for any
+/// full-corpus report, small enough that a corrupt length prefix cannot drive
+/// either side out of memory.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+/// Writes one frame: 4-byte big-endian length, then the compact JSON of
+/// `value`.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, value: &Value) -> Result<(), VliwError> {
+    let text = serde_json::to_string(value).map_err(|e| VliwError::Protocol(e.to_string()))?;
+    let bytes = text.as_bytes();
+    let len =
+        u32::try_from(bytes.len()).ok().filter(|len| *len <= MAX_FRAME_BYTES).ok_or_else(|| {
+            VliwError::Protocol(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                bytes.len()
+            ))
+        })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, or `None` on a clean end-of-stream (the peer closed the
+/// connection *between* frames).  A stream that ends mid-frame is a protocol
+/// error, as is a frame above [`MAX_FRAME_BYTES`] or one that is not valid
+/// JSON.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<Value>, VliwError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(VliwError::Protocol("connection closed mid-frame header".to_string()))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(VliwError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            VliwError::Protocol("connection closed mid-frame".to_string())
+        } else {
+            VliwError::from(e)
+        }
+    })?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| VliwError::Protocol(format!("frame is not UTF-8: {e}")))?;
+    serde_json::from_str::<Value>(text)
+        .map(Some)
+        .map_err(|e| VliwError::Protocol(format!("frame is not valid JSON: {e}")))
+}
+
+/// Serializes `message` and writes it as one frame.
+pub fn write_message<W: Write + ?Sized, T: Serialize>(
+    w: &mut W,
+    message: &T,
+) -> Result<(), VliwError> {
+    write_frame(w, &message.serialize())
+}
+
+/// Reads one frame and deserializes it, or `None` on a clean end-of-stream.
+pub fn read_message<R: Read + ?Sized, T: Deserialize>(r: &mut R) -> Result<Option<T>, VliwError> {
+    match read_frame(r)? {
+        Some(value) => T::deserialize(&value)
+            .map(Some)
+            .map_err(|e| VliwError::Protocol(format!("malformed message: {e}"))),
+        None => Ok(None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages.
+// ---------------------------------------------------------------------------
+
+/// What a daemon is serving: the session parameters a client must agree with
+/// before submitting work, plus the protocol and store versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// Number of loops in the daemon's corpus.
+    pub corpus_size: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Worker threads of the daemon's session executor.
+    pub threads: usize,
+    /// Wire protocol version ([`PROTOCOL_VERSION`]).
+    pub protocol_version: u32,
+    /// On-disk artifact store format version
+    /// ([`crate::session::STORE_VERSION`]).
+    pub store_version: u32,
+    /// Whether the daemon's session persists artifacts to disk.
+    pub persistent: bool,
+}
+
+/// A client request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Describe the daemon's session ([`ServerInfo`]).
+    Info,
+    /// Run experiments over the daemon's session, in order.
+    Run(Vec<ExperimentRequest>),
+    /// Report the session's cache statistics.
+    Stats,
+    /// Stop accepting connections and exit after the in-flight ones drain.
+    Shutdown,
+}
+
+/// A daemon response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// Answer to [`WireRequest::Info`].
+    Info(ServerInfo),
+    /// Answer to [`WireRequest::Run`]: one response per request, in order.
+    Run(Vec<ExperimentResponse>),
+    /// Answer to [`WireRequest::Stats`].
+    Stats(SessionStats),
+    /// Acknowledges [`WireRequest::Shutdown`].
+    Shutdown,
+    /// The request failed; deserializes as [`VliwError::Remote`].
+    Error(VliwError),
+}
+
+/// One client request: a connection-local `id` and the body.  The daemon
+/// echoes the `id` in its [`ResponseEnvelope`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Connection-local request id, echoed in the response.
+    pub id: u64,
+    /// The request body.
+    pub body: WireRequest,
+}
+
+/// One daemon response, paired to its request by `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseEnvelope {
+    /// The `id` of the request this answers.
+    pub id: u64,
+    /// The response body.
+    pub body: WireResponse,
+}
+
+// The vendored serde derive covers named-field structs of primitives
+// (`ServerInfo` above) but not data-carrying enums, so the envelopes and
+// their bodies are serialized by hand as one flat tagged object:
+// `{"id": N, "type": "<tag>", ...body}`.
+
+/// Builds the flat `{"id", "type", ...}` envelope object.
+fn envelope(id: u64, tag: &str, extra: Option<(&str, Value)>) -> Value {
+    let mut entries = vec![
+        ("id".to_string(), id.serialize()),
+        ("type".to_string(), Value::String(tag.to_string())),
+    ];
+    if let Some((key, value)) = extra {
+        entries.push((key.to_string(), value));
+    }
+    Value::Object(entries)
+}
+
+/// An envelope's `id`, `type` tag and remaining entries, as read off the wire.
+type EnvelopeParts<'a> = (u64, &'a str, &'a [(String, Value)]);
+
+/// Reads the `id` and `type` fields off an envelope object.
+fn envelope_parts(v: &Value) -> Result<EnvelopeParts<'_>, de::Error> {
+    let entries = v.as_object().ok_or_else(|| de::Error::unexpected("object", v))?;
+    let id: u64 = de::field(entries, "id")?;
+    match v.get("type") {
+        Some(Value::String(tag)) => Ok((id, tag, entries)),
+        Some(other) => Err(de::Error::unexpected("type tag", other)),
+        None => Err(de::Error::custom("missing field `type`")),
+    }
+}
+
+impl Serialize for RequestEnvelope {
+    fn serialize(&self) -> Value {
+        match &self.body {
+            WireRequest::Info => envelope(self.id, "info", None),
+            WireRequest::Run(requests) => {
+                envelope(self.id, "run", Some(("requests", requests.serialize())))
+            }
+            WireRequest::Stats => envelope(self.id, "stats", None),
+            WireRequest::Shutdown => envelope(self.id, "shutdown", None),
+        }
+    }
+}
+
+impl Deserialize for RequestEnvelope {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        let (id, tag, entries) = envelope_parts(v)?;
+        let body = match tag {
+            "info" => WireRequest::Info,
+            "run" => WireRequest::Run(de::field(entries, "requests")?),
+            "stats" => WireRequest::Stats,
+            "shutdown" => WireRequest::Shutdown,
+            other => return Err(de::Error::custom(format!("unknown request type `{other}`"))),
+        };
+        Ok(RequestEnvelope { id, body })
+    }
+}
+
+impl Serialize for ResponseEnvelope {
+    fn serialize(&self) -> Value {
+        match &self.body {
+            WireResponse::Info(info) => envelope(self.id, "info", Some(("info", info.serialize()))),
+            WireResponse::Run(responses) => {
+                envelope(self.id, "run", Some(("responses", responses.serialize())))
+            }
+            WireResponse::Stats(stats) => {
+                envelope(self.id, "stats", Some(("stats", stats.serialize())))
+            }
+            WireResponse::Shutdown => envelope(self.id, "shutdown", None),
+            WireResponse::Error(error) => {
+                envelope(self.id, "error", Some(("error", error.serialize())))
+            }
+        }
+    }
+}
+
+impl Deserialize for ResponseEnvelope {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        let (id, tag, entries) = envelope_parts(v)?;
+        let body = match tag {
+            "info" => WireResponse::Info(de::field(entries, "info")?),
+            "run" => WireResponse::Run(de::field(entries, "responses")?),
+            "stats" => WireResponse::Stats(de::field(entries, "stats")?),
+            "shutdown" => WireResponse::Shutdown,
+            "error" => WireResponse::Error(de::field(entries, "error")?),
+            other => return Err(de::Error::custom(format!("unknown response type `{other}`"))),
+        };
+        Ok(ResponseEnvelope { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_round_trip(value: Value) -> Value {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &value).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let back = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "stream ends cleanly");
+        back
+    }
+
+    #[test]
+    fn frames_round_trip_and_the_stream_ends_cleanly() {
+        let value = Value::Object(vec![
+            ("id".to_string(), Value::Int(7)),
+            ("type".to_string(), Value::String("info".to_string())),
+        ]);
+        assert_eq!(frame_round_trip(value.clone()), value);
+    }
+
+    #[test]
+    fn several_frames_on_one_stream_arrive_in_order() {
+        let mut buf = Vec::new();
+        for i in 0..3i64 {
+            write_frame(&mut buf, &Value::Int(i)).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for i in 0..3i64 {
+            assert_eq!(read_frame(&mut cursor).unwrap(), Some(Value::Int(i)));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frames_are_protocol_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Value::String("hello, world".to_string())).unwrap();
+        for cut in [1, 3, 5, buf.len() - 1] {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert_eq!(err.kind(), "protocol", "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocating() {
+        let mut buf = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xxxx");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn non_json_frames_are_protocol_errors() {
+        let payload = b"not json";
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+    }
+
+    #[test]
+    fn request_envelopes_round_trip() {
+        let requests = vec![
+            RequestEnvelope { id: 1, body: WireRequest::Info },
+            RequestEnvelope {
+                id: 2,
+                body: WireRequest::Run(vec![
+                    ExperimentRequest::Fig3,
+                    ExperimentRequest::Resources { cluster_counts: vec![4, 5, 6] },
+                ]),
+            },
+            RequestEnvelope { id: 3, body: WireRequest::Stats },
+            RequestEnvelope { id: u64::MAX, body: WireRequest::Shutdown },
+        ];
+        for request in requests {
+            let mut buf = Vec::new();
+            write_message(&mut buf, &request).unwrap();
+            let back: RequestEnvelope =
+                read_message(&mut Cursor::new(buf)).unwrap().expect("one message");
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn response_envelopes_round_trip() {
+        let responses = vec![
+            ResponseEnvelope {
+                id: 1,
+                body: WireResponse::Info(ServerInfo {
+                    corpus_size: 32,
+                    seed: 386,
+                    threads: 4,
+                    protocol_version: PROTOCOL_VERSION,
+                    store_version: crate::session::STORE_VERSION,
+                    persistent: true,
+                }),
+            },
+            ResponseEnvelope { id: 2, body: WireResponse::Run(Vec::new()) },
+            ResponseEnvelope { id: 3, body: WireResponse::Stats(SessionStats::default()) },
+            ResponseEnvelope { id: 4, body: WireResponse::Shutdown },
+            ResponseEnvelope {
+                id: 5,
+                body: WireResponse::Error(VliwError::InvalidRequest("bad grid".to_string())),
+            },
+        ];
+        for response in responses {
+            let mut buf = Vec::new();
+            write_message(&mut buf, &response).unwrap();
+            let back: ResponseEnvelope =
+                read_message(&mut Cursor::new(buf)).unwrap().expect("one message");
+            match (&back.body, &response.body) {
+                // Errors deserialize as `Remote`, preserving kind and message.
+                (WireResponse::Error(got), WireResponse::Error(sent)) => {
+                    assert_eq!(back.id, response.id);
+                    match got {
+                        VliwError::Remote { kind, message } => {
+                            assert_eq!(kind, sent.kind());
+                            assert_eq!(message, &sent.to_string());
+                        }
+                        other => panic!("expected Remote, got {other:?}"),
+                    }
+                }
+                _ => assert_eq!(back, response),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_envelope_types_are_rejected() {
+        let value = Value::Object(vec![
+            ("id".to_string(), Value::Int(1)),
+            ("type".to_string(), Value::String("dance".to_string())),
+        ]);
+        assert!(RequestEnvelope::deserialize(&value).is_err());
+        assert!(ResponseEnvelope::deserialize(&value).is_err());
+    }
+}

@@ -10,43 +10,47 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// What one worker produced: its `(index, result)` buffer, or the diagnosis of
-/// the first item that panicked on it (`(index, payload message)`).
-type WorkerOutcome<R> = Result<Vec<(usize, R)>, (usize, String)>;
+use crate::error::VliwError;
 
-/// Applies `f` to every index in `0..n`, in parallel over `threads` workers, and
-/// returns the results in index order.
+/// What one worker produced: its `(index, result)` buffer, or the diagnosis of
+/// the first item that failed on it.
+type WorkerOutcome<R> = Result<Vec<(usize, R)>, (usize, VliwError)>;
+
+/// Applies the fallible `f` to every index in `0..n`, in parallel over
+/// `threads` workers, and returns the results in index order — or the error of
+/// the lowest-indexed item that failed.
 ///
 /// Workers claim indices from a shared atomic counter (work stealing at item
 /// granularity) and buffer `(index, result)` pairs locally; the caller's thread
 /// merges the buffers once, so no result slot is ever shared between workers and
 /// `f` only needs to be `Sync` — no `'static` bound, no unsafe code.
 ///
-/// A panic in `f` is caught per item and re-raised on the caller's thread after
-/// all workers stop, with the panicking *index* and the original payload message
-/// in the new payload — on a full-corpus sweep, "loop index 731" is the
-/// difference between a diagnosable failure and a shrug.  When several items
-/// panic concurrently, the lowest index is reported.
-pub fn par_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+/// A panic in `f` is still caught per item (third-party code inside a sweep can
+/// always panic) and surfaces as [`VliwError::WorkerPanic`] carrying the
+/// panicking *index* and the original payload message — on a full-corpus
+/// sweep, "loop index 731" is the difference between a diagnosable failure and
+/// a shrug.  When several items fail concurrently, the lowest index is
+/// reported; a worker stops claiming new indices after its first failure.
+pub fn try_par_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Result<Vec<R>, VliwError>
 where
     R: Send,
-    F: Fn(usize) -> R + Sync,
+    F: Fn(usize) -> Result<R, VliwError> + Sync,
 {
     let threads = threads.max(1).min(n.max(1));
 
-    let run_item = |index: usize| -> Result<R, (usize, String)> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)))
-            .map_err(|payload| (index, panic_message(payload.as_ref())))
+    let run_item = |index: usize| -> Result<R, (usize, VliwError)> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index))) {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(e)) => Err((index, e)),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                Err((index, VliwError::WorkerPanic { index, message }))
+            }
+        }
     };
 
     if threads <= 1 || n <= 1 {
-        return (0..n)
-            .map(|i| {
-                run_item(i).unwrap_or_else(|(index, message)| {
-                    panic!("experiment worker panicked at loop index {index}: {message}")
-                })
-            })
-            .collect();
+        return (0..n).map(|i| run_item(i).map_err(|(_, e)| e)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -78,18 +82,43 @@ where
     })
     .expect("worker panics are caught per item");
 
-    if let Some((index, message)) =
-        outcomes.iter().filter_map(|o| o.as_ref().err()).min_by_key(|&&(index, _)| index)
-    {
-        panic!("experiment worker panicked at loop index {index}: {message}");
-    }
-
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
-    for (index, result) in outcomes.into_iter().flatten().flatten() {
-        results[index] = Some(result);
+    let mut failure: Option<(usize, VliwError)> = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(local) => {
+                for (index, result) in local {
+                    results[index] = Some(result);
+                }
+            }
+            Err((index, e)) => {
+                if failure.as_ref().is_none_or(|(lowest, _)| index < *lowest) {
+                    failure = Some((index, e));
+                }
+            }
+        }
     }
-    results.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect()
+    if let Some((_, e)) = failure {
+        return Err(e);
+    }
+    Ok(results.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect())
+}
+
+/// Infallible wrapper over [`try_par_map_indexed`]: applies `f` to every index
+/// in `0..n` and returns the results in index order.  A failure (necessarily a
+/// caught worker panic, since `f` is infallible) is re-raised on the caller's
+/// thread; the payload is the rendered [`VliwError::WorkerPanic`], so the
+/// diagnostic format is identical to the error path.
+pub fn par_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match try_par_map_indexed(n, threads, |i| Ok(f(i))) {
+        Ok(results) => results,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Renders a caught panic payload for the re-raised diagnostic: the `&str` /
@@ -185,6 +214,48 @@ mod tests {
                 "threads={threads}: {message}"
             );
         }
+    }
+
+    #[test]
+    fn try_map_surfaces_closure_errors_with_the_lowest_index() {
+        for threads in [1, 8] {
+            let err = try_par_map_indexed(64, threads, |i| {
+                if i % 16 == 5 {
+                    return Err(VliwError::internal(format!("bad item {i}")));
+                }
+                Ok(i)
+            })
+            .expect_err("the sweep must fail");
+            assert_eq!(err.to_string(), "internal error: bad item 5", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_turns_panics_into_worker_panic_errors() {
+        let err = try_par_map_indexed(32, 4, |i| {
+            if i == 19 {
+                panic!("II search diverged");
+            }
+            Ok(i)
+        })
+        .expect_err("the sweep must fail");
+        match &err {
+            VliwError::WorkerPanic { index, message } => {
+                assert_eq!(*index, 19);
+                assert_eq!(message, "II search diverged");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert_eq!(
+            err.to_string(),
+            "experiment worker panicked at loop index 19: II search diverged"
+        );
+    }
+
+    #[test]
+    fn try_map_succeeds_in_index_order() {
+        let out = try_par_map_indexed(100, 4, |i| Ok(i * 3)).expect("no failures");
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

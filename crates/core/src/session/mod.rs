@@ -10,16 +10,22 @@
 //! * every sweep point is interned as a canonical [`CompilationKey`], and each
 //!   (key, loop) pair compiles **at most once** per process, concurrency-safe,
 //!   in a lock-striped memo store ([`store`]);
+//! * with a cache directory configured, results additionally persist to a
+//!   disk-backed content-addressed store ([`persist`]), so a fresh process —
+//!   most importantly the `vliw-serve` daemon across restarts — answers warm
+//!   requests with **zero** cold compiles;
 //! * sweeps run on a work-stealing executor ([`executor`]) that claims loops from
 //!   an atomic counter, so one pathological loop no longer idles a whole static
 //!   chunk's worth of work.
 //!
+//! [`SessionBuilder`] is the one documented way to construct a session:
+//!
 //! ```
 //! use vliw_core::pipeline::CompilerConfig;
-//! use vliw_core::session::Session;
+//! use vliw_core::session::SessionBuilder;
 //! use vliw_core::Machine;
 //!
-//! let session = Session::quick(8, 42);
+//! let session = SessionBuilder::quick(8, 42).build();
 //! let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
 //! let iis: Vec<Option<u32>> = session.sweep(|i, _| compiler.map_ok(i, |c| c.ii()));
 //! assert_eq!(iis.len(), 8);
@@ -29,20 +35,26 @@
 //! assert!(session.stats().hits >= 8);
 //! ```
 
+pub mod artifact;
 pub mod executor;
 pub mod key;
+pub mod persist;
 pub mod store;
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use vliw_ddg::Loop;
 use vliw_loopgen::generate_corpus;
 
-pub use executor::par_map_indexed;
+pub use artifact::{LoopSummary, SimSummary};
+pub use executor::{par_map_indexed, try_par_map_indexed};
 pub use key::CompilationKey;
-pub use store::{CachedResult, CachedSim, SessionStats};
+pub use persist::{PersistStore, STORE_VERSION};
+pub use store::{CachedCompilation, CachedResult, CachedRun, CachedSim, SessionStats};
 
-use crate::experiments::ExperimentConfig;
+use crate::error::VliwError;
+use crate::experiments::{default_threads, ExperimentConfig};
 use crate::pipeline::{Compilation, Compiler, CompilerConfig};
 use store::{KeyEntry, MemoStore};
 
@@ -58,15 +70,35 @@ pub struct Session {
 
 impl Session {
     /// Creates a session, generating the configured corpus exactly once.
+    ///
+    /// Persistence is best-effort here: an unusable `cache_dir` silently
+    /// degrades to an in-memory-only session.  Use [`Session::try_new`] (or
+    /// [`SessionBuilder::try_build`]) to fail loudly instead.
     pub fn new(config: ExperimentConfig) -> Self {
+        let persist =
+            config.cache_dir.as_deref().and_then(|dir| PersistStore::open(dir).ok()).map(Arc::new);
+        Self::with_persist(config, persist)
+    }
+
+    /// Creates a session like [`Session::new`] but reports a configured cache
+    /// directory that cannot be opened as an error.
+    pub fn try_new(config: ExperimentConfig) -> Result<Self, VliwError> {
+        let persist = match config.cache_dir.as_deref() {
+            Some(dir) => Some(Arc::new(PersistStore::open(dir)?)),
+            None => None,
+        };
+        Ok(Self::with_persist(config, persist))
+    }
+
+    fn with_persist(config: ExperimentConfig, persist: Option<Arc<PersistStore>>) -> Self {
         let corpus = Arc::new(generate_corpus(&config.corpus));
-        Session { config, corpus, store: MemoStore::new() }
+        Session { config, corpus, store: MemoStore::new(persist) }
     }
 
     /// A session over a reduced corpus, for tests and quick runs (the session
     /// equivalent of [`ExperimentConfig::quick`]).
     pub fn quick(num_loops: usize, seed: u64) -> Self {
-        Session::new(ExperimentConfig::quick(num_loops, seed))
+        SessionBuilder::quick(num_loops, seed).build()
     }
 
     /// The experiment configuration this session was created from.
@@ -89,6 +121,11 @@ impl Session {
         self.config.threads
     }
 
+    /// True when the session has a persistent (disk) artifact store.
+    pub fn is_persistent(&self) -> bool {
+        self.store.persist().is_some()
+    }
+
     /// Interns `config` as a sweep point and returns a handle that compiles corpus
     /// loops through the memo store.  The canonical key is hashed once here, not
     /// once per loop.
@@ -108,6 +145,17 @@ impl Session {
         par_map_indexed(self.corpus.len(), self.threads(), |i| f(i, &self.corpus[i]))
     }
 
+    /// Fallible form of [`Session::sweep`]: the first error (lowest corpus
+    /// index) aborts the sweep and is returned; worker panics surface as
+    /// [`VliwError::WorkerPanic`] instead of unwinding.
+    pub fn try_sweep<R, F>(&self, f: F) -> Result<Vec<R>, VliwError>
+    where
+        R: Send,
+        F: Fn(usize, &Loop) -> Result<R, VliwError> + Sync,
+    {
+        try_par_map_indexed(self.corpus.len(), self.threads(), |i| f(i, &self.corpus[i]))
+    }
+
     /// Runs `f` over the corpus loops at `indices` (a filtered subset, e.g. the
     /// resource-constrained loops of Fig. 9) and returns the results in the order
     /// of `indices`.
@@ -117,6 +165,18 @@ impl Session {
         F: Fn(usize, &Loop) -> R + Sync,
     {
         par_map_indexed(indices.len(), self.threads(), |k| {
+            let i = indices[k];
+            f(i, &self.corpus[i])
+        })
+    }
+
+    /// Fallible form of [`Session::sweep_indices`].
+    pub fn try_sweep_indices<R, F>(&self, indices: &[usize], f: F) -> Result<Vec<R>, VliwError>
+    where
+        R: Send,
+        F: Fn(usize, &Loop) -> Result<R, VliwError> + Sync,
+    {
+        try_par_map_indexed(indices.len(), self.threads(), |k| {
             let i = indices[k];
             f(i, &self.corpus[i])
         })
@@ -133,14 +193,98 @@ impl std::fmt::Debug for Session {
         f.debug_struct("Session")
             .field("corpus_size", &self.corpus.len())
             .field("threads", &self.config.threads)
+            .field("persistent", &self.is_persistent())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
+/// The one documented way to construct a [`Session`]: corpus size, seed,
+/// thread count and cache directory in one place, with the paper's defaults
+/// for everything unset.
+///
+/// `Session::quick(n, seed)` and `Session::new(config)` remain as thin
+/// wrappers; both delegate here or to the same constructor internals.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    corpus_size: Option<usize>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    cache_dir: Option<PathBuf>,
+}
+
+impl SessionBuilder {
+    /// A builder at the paper's defaults (1258-loop corpus, paper seed,
+    /// [`default_threads`] workers, no persistence).
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// A builder for a reduced corpus — the [`Session::quick`] shape.
+    pub fn quick(corpus_size: usize, seed: u64) -> Self {
+        SessionBuilder::new().corpus_size(corpus_size).seed(seed)
+    }
+
+    /// Sets the number of corpus loops.
+    pub fn corpus_size(mut self, corpus_size: usize) -> Self {
+        self.corpus_size = Some(corpus_size);
+        self
+    }
+
+    /// Sets the corpus generator seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the sweep worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enables the persistent artifact store under `dir`.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The [`ExperimentConfig`] this builder resolves to.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut corpus = vliw_loopgen::CorpusConfig::paper_default();
+        if let Some(n) = self.corpus_size {
+            corpus.num_loops = n;
+        }
+        if let Some(seed) = self.seed {
+            corpus.seed = seed;
+        }
+        ExperimentConfig {
+            corpus,
+            threads: self.threads.unwrap_or_else(default_threads),
+            cache_dir: self.cache_dir.clone(),
+        }
+    }
+
+    /// Builds the session; an unusable cache directory silently disables
+    /// persistence (see [`Session::new`]).
+    pub fn build(&self) -> Session {
+        Session::new(self.config())
+    }
+
+    /// Builds the session, failing loudly if the cache directory cannot be
+    /// opened.
+    pub fn try_build(&self) -> Result<Session, VliwError> {
+        Session::try_new(self.config())
+    }
+}
+
 /// A handle to one interned sweep point of a [`Session`].
 ///
-/// Cloneable and `Sync`; compiling through it hits the memo store first.
+/// Cloneable and `Sync`; compiling through it hits the memo store first.  The
+/// default methods traffic in serializable summaries ([`LoopSummary`] /
+/// [`SimSummary`]) — the drivers' currency and what the persistent store can
+/// serve without compiling.  The `*_full` variants return the unserialized
+/// artifacts for consumers that replay schedules.
 #[derive(Clone)]
 pub struct SessionCompiler<'s> {
     session: &'s Session,
@@ -148,17 +292,28 @@ pub struct SessionCompiler<'s> {
 }
 
 impl SessionCompiler<'_> {
-    /// Compiles the corpus loop at `index`, served from the cache when the
-    /// (key, loop) pair has been compiled before.
+    /// Compiles (or recalls) the summary of the corpus loop at `index`.
     pub fn compile(&self, index: usize) -> CachedResult {
         self.entry.compile(index, &self.session.corpus[index], self.session.store.counters())
     }
 
-    /// Compiles the corpus loop at `index` and applies `f` to the compilation;
+    /// Compiles the corpus loop at `index` and applies `f` to its summary;
     /// `None` if the loop failed to schedule under this configuration.  The
     /// convenience form the drivers use to extract their per-loop metrics.
-    pub fn map_ok<R>(&self, index: usize, f: impl FnOnce(&Compilation) -> R) -> Option<R> {
+    pub fn map_ok<R>(&self, index: usize, f: impl FnOnce(&LoopSummary) -> R) -> Option<R> {
         self.compile(index).as_ref().as_ref().ok().map(f)
+    }
+
+    /// Compiles (or recalls) the *full* compilation of the loop at `index` —
+    /// schedule, transformed DDG and queue allocation included.
+    pub fn compile_full(&self, index: usize) -> CachedCompilation {
+        self.entry.compile_full(index, &self.session.corpus[index], self.session.store.counters())
+    }
+
+    /// Applies `f` to the full compilation of the loop at `index`; `None` if
+    /// the loop failed to schedule under this configuration.
+    pub fn map_full<R>(&self, index: usize, f: impl FnOnce(&Compilation) -> R) -> Option<R> {
+        self.compile_full(index).as_ref().as_ref().ok().map(f)
     }
 
     /// Simulates the corpus loop at `index` over `trip_count` iterations,
@@ -168,6 +323,18 @@ impl SessionCompiler<'_> {
     /// schedule under this configuration.
     pub fn simulate(&self, index: usize, trip_count: u64) -> Option<CachedSim> {
         self.entry.simulate(
+            index,
+            &self.session.corpus[index],
+            trip_count,
+            self.session.store.counters(),
+        )
+    }
+
+    /// Like [`SessionCompiler::simulate`] but returns the full [`vliw_sim::SimRun`]
+    /// with its recorded violations, executing the simulator in-process if the
+    /// memoised entry came from disk.
+    pub fn simulate_full(&self, index: usize, trip_count: u64) -> Option<CachedRun> {
+        self.entry.simulate_full(
             index,
             &self.session.corpus[index],
             trip_count,
@@ -194,6 +361,34 @@ mod tests {
         // The corpus matches what the config would generate on its own.
         assert_eq!(session.config().corpus().len(), 9);
         assert_eq!(session.corpus()[3].name, session.config().corpus()[3].name);
+    }
+
+    #[test]
+    fn builder_matches_the_quick_constructor() {
+        let built = SessionBuilder::quick(9, 5).threads(2).build();
+        let quick = Session::quick(9, 5);
+        assert_eq!(built.num_loops(), quick.num_loops());
+        assert_eq!(built.corpus()[4].name, quick.corpus()[4].name);
+        assert_eq!(built.threads(), 2);
+        assert!(!built.is_persistent());
+        // The default builder resolves to the paper-sized corpus.
+        assert_eq!(SessionBuilder::new().config().corpus.num_loops, 1258);
+    }
+
+    #[test]
+    fn try_build_rejects_an_unusable_cache_dir() {
+        // A path *under an existing file* cannot be created as a directory.
+        let file = std::env::temp_dir().join(format!("vliw-not-a-dir-{}", std::process::id()));
+        std::fs::write(&file, b"occupied").unwrap();
+        let err = SessionBuilder::quick(2, 1)
+            .cache_dir(file.join("cache"))
+            .try_build()
+            .expect_err("a file in the way must fail loudly");
+        assert_eq!(err.kind(), "io");
+        // `build` degrades to an in-memory session instead.
+        let session = SessionBuilder::quick(2, 1).cache_dir(file.join("cache")).build();
+        assert!(!session.is_persistent());
+        std::fs::remove_file(&file).unwrap();
     }
 
     #[test]
@@ -241,12 +436,30 @@ mod tests {
             assert!(Arc::ptr_eq(&run, &again));
             let c = compiler.compile(i);
             let c = c.as_ref().as_ref().expect("simulated loops compiled");
-            assert!(run.is_clean(), "loop {i}: {:?}", run.violations);
-            assert_eq!(run.measurement.total_cycles, c.schedule.total_cycles(50));
+            assert!(run.is_clean(), "loop {i}: {} violations", run.total_violations());
+            assert_eq!(run.measurement.total_cycles, c.total_cycles(50));
         }
         let stats = session.stats();
         assert!(stats.sim_runs > 0);
         assert!(stats.sim_hits >= stats.sim_runs, "every run was requested twice");
+    }
+
+    #[test]
+    fn try_sweep_collects_errors_from_the_closure() {
+        let session = Session::quick(6, 7);
+        let ok: Vec<usize> = session.try_sweep(|i, _| Ok(i)).expect("no failures");
+        assert_eq!(ok, (0..6).collect::<Vec<_>>());
+        let err =
+            session
+                .try_sweep(|i, _| {
+                    if i >= 3 {
+                        Err(VliwError::internal(format!("loop {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                })
+                .expect_err("sweep must fail");
+        assert_eq!(err.to_string(), "internal error: loop 3");
     }
 
     #[test]

@@ -6,6 +6,21 @@
 //! corpus loop, so the per-loop fast path — by far the hot one — is a single
 //! lock-free read, and a loop compiles at most once per key no matter how many
 //! drivers or worker threads race for it.
+//!
+//! Each loop slot is dual-path:
+//!
+//! * the **summary** path ([`CachedResult`], a [`LoopSummary`] or a
+//!   [`VliwError`]) is what the experiment drivers consume.  It is
+//!   serializable, so it can be filled from the disk-backed
+//!   [`PersistStore`](crate::session::persist::PersistStore) without compiling
+//!   anything — that is how a warm daemon run performs zero cold compiles;
+//! * the **full** path ([`CachedCompilation`], the unserialized
+//!   [`Compilation`]) backs the summary on a cold compile and serves consumers
+//!   that replay schedules (the simulator cross-checks, the kernel benches).
+//!
+//! The `OnceLock` per slot doubles as in-flight coalescing: when many daemon
+//! clients race on the same (key, loop) pair, exactly one performs the work and
+//! the rest block on the initializer and count as hits.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,14 +31,25 @@ use vliw_ddg::Loop;
 use vliw_sched::SchedError;
 use vliw_sim::SimRun;
 
+use crate::error::VliwError;
 use crate::pipeline::{Compilation, Compiler};
+use crate::session::artifact::{LoopSummary, SimSummary};
 use crate::session::key::CompilationKey;
+use crate::session::persist::{key_digest, loop_digest, PersistStore};
 
-/// A memoised per-loop outcome: the compilation or the scheduler error, shared.
-pub type CachedResult = Arc<Result<Compilation, SchedError>>;
+/// A memoised per-loop outcome on the summary path: the serializable metrics or
+/// the error, shared.
+pub type CachedResult = Arc<Result<LoopSummary, VliwError>>;
 
-/// A memoised simulation run, shared.
-pub type CachedSim = Arc<SimRun>;
+/// A memoised per-loop outcome on the full path: the complete compilation or
+/// the scheduler error, shared.
+pub type CachedCompilation = Arc<Result<Compilation, SchedError>>;
+
+/// A memoised simulation summary, shared.
+pub type CachedSim = Arc<SimSummary>;
+
+/// A memoised full simulation run (with recorded violations), shared.
+pub type CachedRun = Arc<SimRun>;
 
 /// Number of stripes of the key-interning map.  Sweeps use a few tens of keys at
 /// most, so this is about avoiding systematic contention, not about scaling the
@@ -37,31 +63,69 @@ pub struct SessionStats {
     pub compilations: u64,
     /// Number of requests served from an already-compiled slot.
     pub hits: u64,
+    /// Number of requests served from the persistent (disk) store without
+    /// compiling.  Zero unless the session has a cache directory.
+    pub disk_hits: u64,
     /// Number of distinct compilation keys interned.
     pub unique_keys: u64,
     /// Number of actual `vliw_sim::simulate` invocations (sim cache misses).
     pub sim_runs: u64,
     /// Number of simulation requests served from an already-simulated slot.
     pub sim_hits: u64,
+    /// Number of simulation requests served from the persistent (disk) store
+    /// without simulating.
+    pub sim_disk_hits: u64,
+}
+
+/// How a compile request was satisfied; drives exactly one counter bump.
+enum Outcome {
+    Compiled,
+    Hit,
+    DiskHit,
+}
+
+/// One loop's simulation cache for one trip count.
+struct SimEntry {
+    summary: CachedSim,
+    /// Present when the run executed in this process; absent when the summary
+    /// was loaded from disk (the violation details are not persisted).
+    full: Option<CachedRun>,
 }
 
 /// One interned sweep point: its compiler plus a dense slot per corpus loop.
 pub(crate) struct KeyEntry {
     compiler: Compiler,
-    slots: Vec<OnceLock<CachedResult>>,
+    key_digest: u64,
+    persist: Option<Arc<PersistStore>>,
+    /// The serializable summary per loop — the drivers' path.
+    summaries: Vec<OnceLock<CachedResult>>,
+    /// The full compilation per loop — the replay path, also the backing of a
+    /// cold summary.
+    fulls: Vec<OnceLock<CachedCompilation>>,
+    /// The loop's structural digest, computed at most once per (key, loop).
+    digests: Vec<OnceLock<u64>>,
     /// Memoised simulation runs per loop, keyed by trip count.  A per-loop
     /// mutex (not `OnceLock`): trip counts form an open set, and the per-loop
     /// granularity keeps concurrent sweeps of different loops contention-free.
-    sim_slots: Vec<Mutex<HashMap<u64, CachedSim>>>,
+    sim_slots: Vec<Mutex<HashMap<u64, SimEntry>>>,
 }
 
 impl KeyEntry {
-    fn new(compiler: Compiler, num_loops: usize) -> Self {
-        let mut slots = Vec::with_capacity(num_loops);
-        slots.resize_with(num_loops, OnceLock::new);
+    fn new(
+        compiler: Compiler,
+        num_loops: usize,
+        key_digest: u64,
+        persist: Option<Arc<PersistStore>>,
+    ) -> Self {
+        let mut summaries = Vec::with_capacity(num_loops);
+        summaries.resize_with(num_loops, OnceLock::new);
+        let mut fulls = Vec::with_capacity(num_loops);
+        fulls.resize_with(num_loops, OnceLock::new);
+        let mut digests = Vec::with_capacity(num_loops);
+        digests.resize_with(num_loops, OnceLock::new);
         let mut sim_slots = Vec::with_capacity(num_loops);
         sim_slots.resize_with(num_loops, || Mutex::new(HashMap::new()));
-        KeyEntry { compiler, slots, sim_slots }
+        KeyEntry { compiler, key_digest, persist, summaries, fulls, digests, sim_slots }
     }
 
     /// The configuration this entry compiles with.
@@ -69,28 +133,90 @@ impl KeyEntry {
         &self.compiler
     }
 
-    /// Returns the memoised result for `lp` (the loop at `index` in the corpus),
-    /// compiling it first if this is the slot's first request.
-    pub(crate) fn compile(&self, index: usize, lp: &Loop, stats: &StatCounters) -> CachedResult {
+    fn digest(&self, index: usize, lp: &Loop) -> u64 {
+        *self.digests[index].get_or_init(|| loop_digest(lp))
+    }
+
+    /// Fills (if needed) and returns the full-compilation slot.  Counts only a
+    /// `compilations` miss; a present slot counts nothing — callers decide
+    /// whether their request is a hit.  The flag says whether *this* call ran
+    /// the compiler.
+    fn materialize_full(
+        &self,
+        index: usize,
+        lp: &Loop,
+        stats: &StatCounters,
+    ) -> (CachedCompilation, bool) {
         let mut compiled = false;
-        let result = self.slots[index].get_or_init(|| {
+        let result = self.fulls[index].get_or_init(|| {
             compiled = true;
             Arc::new(self.compiler.compile(lp))
         });
-        // `get_or_init` runs the closure in exactly one requester; every other
-        // request (including concurrent ones that blocked on the initializer) is a
-        // hit, so the counters are deterministic for a fixed request sequence.
         if compiled {
             stats.compilations.fetch_add(1, Ordering::Relaxed);
-        } else {
-            stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (Arc::clone(result), compiled)
+    }
+
+    /// Returns the memoised summary for `lp` (the loop at `index` in the
+    /// corpus): from the slot, else from disk, else by compiling.
+    pub(crate) fn compile(&self, index: usize, lp: &Loop, stats: &StatCounters) -> CachedResult {
+        let mut outcome = Outcome::Hit;
+        let result = self.summaries[index].get_or_init(|| {
+            if let Some(persist) = &self.persist {
+                if let Some(loaded) = persist.load_compile(self.key_digest, self.digest(index, lp))
+                {
+                    outcome = Outcome::DiskHit;
+                    return Arc::new(loaded);
+                }
+            }
+            let (full, compiled_here) = self.materialize_full(index, lp, stats);
+            // `materialize_full` counted the compile if it happened here; a
+            // pre-existing full slot (filled by `compile_full`) makes this
+            // request a plain hit.
+            outcome = if compiled_here { Outcome::Compiled } else { Outcome::Hit };
+            let summary = match full.as_ref() {
+                Ok(c) => Ok(c.summarize()),
+                Err(e) => Err(VliwError::Sched(e.clone())),
+            };
+            if let Some(persist) = &self.persist {
+                persist.store_compile(self.key_digest, self.digest(index, lp), &summary);
+            }
+            Arc::new(summary)
+        });
+        // `get_or_init` runs the closure in exactly one requester; every other
+        // request (including concurrent ones that blocked on the initializer)
+        // is a hit, so the counters are deterministic for a fixed request
+        // sequence.
+        match outcome {
+            Outcome::Compiled => {}
+            Outcome::Hit => {
+                stats.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::DiskHit => {
+                stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            }
         }
         Arc::clone(result)
     }
 
-    /// Returns the memoised simulation of the loop at `index` over `trip_count`
-    /// iterations, compiling and simulating on first request; `None` when the
-    /// loop does not schedule under this configuration.
+    /// Returns the memoised full compilation, compiling on first request.
+    pub(crate) fn compile_full(
+        &self,
+        index: usize,
+        lp: &Loop,
+        stats: &StatCounters,
+    ) -> CachedCompilation {
+        let (result, compiled) = self.materialize_full(index, lp, stats);
+        if !compiled {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Returns the memoised simulation summary of the loop at `index` over
+    /// `trip_count` iterations, compiling and simulating on first request;
+    /// `None` when the loop does not schedule under this configuration.
     pub(crate) fn simulate(
         &self,
         index: usize,
@@ -99,15 +225,78 @@ impl KeyEntry {
         stats: &StatCounters,
     ) -> Option<CachedSim> {
         let compiled = self.compile(index, lp, stats);
-        let compilation = compiled.as_ref().as_ref().ok()?;
+        if compiled.as_ref().is_err() {
+            return None;
+        }
         // The per-loop lock also serialises the first simulation of each trip
         // count, so — like `OnceLock` on the compile side — every (key, loop,
         // N) triple simulates exactly once and the counters are deterministic.
         let mut runs = self.sim_slots[index].lock().expect("sim slot poisoned");
-        if let Some(run) = runs.get(&trip_count) {
+        if let Some(entry) = runs.get(&trip_count) {
             stats.sim_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(Arc::clone(run));
+            return Some(Arc::clone(&entry.summary));
         }
+        if let Some(persist) = &self.persist {
+            if let Some(loaded) =
+                persist.load_sim(self.key_digest, self.digest(index, lp), trip_count)
+            {
+                stats.sim_disk_hits.fetch_add(1, Ordering::Relaxed);
+                let summary = Arc::new(loaded);
+                runs.insert(trip_count, SimEntry { summary: Arc::clone(&summary), full: None });
+                return Some(summary);
+            }
+        }
+        let run = self.run_simulation(index, lp, trip_count, stats);
+        let summary = Arc::new(SimSummary::from(run.as_ref()));
+        if let Some(persist) = &self.persist {
+            persist.store_sim(self.key_digest, self.digest(index, lp), trip_count, &summary);
+        }
+        runs.insert(trip_count, SimEntry { summary: Arc::clone(&summary), full: Some(run) });
+        Some(summary)
+    }
+
+    /// Returns the memoised *full* simulation run (with recorded violations),
+    /// executing it in-process if the cached entry came from disk.
+    pub(crate) fn simulate_full(
+        &self,
+        index: usize,
+        lp: &Loop,
+        trip_count: u64,
+        stats: &StatCounters,
+    ) -> Option<CachedRun> {
+        let compiled = self.compile(index, lp, stats);
+        if compiled.as_ref().is_err() {
+            return None;
+        }
+        let mut runs = self.sim_slots[index].lock().expect("sim slot poisoned");
+        if let Some(entry) = runs.get(&trip_count) {
+            if let Some(full) = &entry.full {
+                stats.sim_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(full));
+            }
+        }
+        let run = self.run_simulation(index, lp, trip_count, stats);
+        let summary = Arc::new(SimSummary::from(run.as_ref()));
+        if let Some(persist) = &self.persist {
+            persist.store_sim(self.key_digest, self.digest(index, lp), trip_count, &summary);
+        }
+        runs.insert(trip_count, SimEntry { summary, full: Some(Arc::clone(&run)) });
+        Some(run)
+    }
+
+    /// Actually executes the simulator; requires the loop to have a full
+    /// compilation (materializing one if the summary came from disk) and
+    /// counts a `sim_runs` miss.  Caller holds the sim-slot lock.
+    fn run_simulation(
+        &self,
+        index: usize,
+        lp: &Loop,
+        trip_count: u64,
+        stats: &StatCounters,
+    ) -> CachedRun {
+        let (full, _) = self.materialize_full(index, lp, stats);
+        let compilation =
+            full.as_ref().as_ref().expect("summary path reported Ok, full compilation must agree");
         let machine = &self.compiler.config().machine;
         let run = Arc::new(
             vliw_sim::simulate(
@@ -119,8 +308,7 @@ impl KeyEntry {
             .expect("session compilations always produce structurally simulatable schedules"),
         );
         stats.sim_runs.fetch_add(1, Ordering::Relaxed);
-        runs.insert(trip_count, Arc::clone(&run));
-        Some(run)
+        run
     }
 }
 
@@ -129,21 +317,29 @@ impl KeyEntry {
 pub(crate) struct StatCounters {
     compilations: AtomicU64,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     sim_runs: AtomicU64,
     sim_hits: AtomicU64,
+    sim_disk_hits: AtomicU64,
 }
 
 /// The lock-striped memo store: interned keys plus the shared counters.
 pub(crate) struct MemoStore {
     stripes: Vec<Mutex<HashMap<CompilationKey, Arc<KeyEntry>>>>,
+    persist: Option<Arc<PersistStore>>,
     stats: StatCounters,
 }
 
 impl MemoStore {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(persist: Option<Arc<PersistStore>>) -> Self {
         let mut stripes = Vec::with_capacity(STRIPES);
         stripes.resize_with(STRIPES, || Mutex::new(HashMap::new()));
-        MemoStore { stripes, stats: StatCounters::default() }
+        MemoStore { stripes, persist, stats: StatCounters::default() }
+    }
+
+    /// The persistent layer, if the session has one.
+    pub(crate) fn persist(&self) -> Option<&Arc<PersistStore>> {
+        self.persist.as_ref()
     }
 
     /// Interns `key`, creating its entry with `make_compiler` on first sight.
@@ -155,9 +351,14 @@ impl MemoStore {
     ) -> Arc<KeyEntry> {
         let stripe = &self.stripes[Self::stripe_of(&key)];
         let mut map = stripe.lock().expect("memo store stripe poisoned");
-        Arc::clone(
-            map.entry(key).or_insert_with(|| Arc::new(KeyEntry::new(make_compiler(), num_loops))),
-        )
+        if let Some(entry) = map.get(&key) {
+            return Arc::clone(entry);
+        }
+        let digest = key_digest(&key);
+        let entry =
+            Arc::new(KeyEntry::new(make_compiler(), num_loops, digest, self.persist.clone()));
+        map.insert(key, Arc::clone(&entry));
+        entry
     }
 
     pub(crate) fn counters(&self) -> &StatCounters {
@@ -173,9 +374,11 @@ impl MemoStore {
         SessionStats {
             compilations: self.stats.compilations.load(Ordering::Relaxed),
             hits: self.stats.hits.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
             unique_keys,
             sim_runs: self.stats.sim_runs.load(Ordering::Relaxed),
             sim_hits: self.stats.sim_hits.load(Ordering::Relaxed),
+            sim_disk_hits: self.stats.sim_disk_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -195,7 +398,7 @@ mod tests {
     use vliw_machine::Machine;
 
     fn store_with_entry(num_loops: usize) -> (MemoStore, Arc<KeyEntry>) {
-        let store = MemoStore::new();
+        let store = MemoStore::new(None);
         let config = CompilerConfig::paper_defaults(Machine::paper_single(6));
         let key = CompilationKey::of(&config);
         let entry = store.entry(key, num_loops, || Compiler::new(config.clone()));
@@ -216,8 +419,20 @@ mod tests {
     }
 
     #[test]
+    fn summary_and_full_paths_share_one_compilation() {
+        let (store, entry) = store_with_entry(1);
+        let lp = kernels::dot_product(LatencyModel::default(), 100);
+        let summary = entry.compile(0, &lp, store.counters());
+        let full = entry.compile_full(0, &lp, store.counters());
+        let s = summary.as_ref().as_ref().expect("schedulable");
+        let c = full.as_ref().as_ref().expect("schedulable");
+        assert_eq!(s, &c.summarize());
+        assert_eq!(store.stats().compilations, 1, "the full slot backs the summary");
+    }
+
+    #[test]
     fn interning_the_same_key_reuses_the_entry() {
-        let store = MemoStore::new();
+        let store = MemoStore::new(None);
         let config = CompilerConfig::paper_defaults(Machine::paper_single(6));
         let a = store.entry(CompilationKey::of(&config), 4, || Compiler::new(config.clone()));
         let b = store.entry(CompilationKey::of(&config), 4, || Compiler::new(config.clone()));
@@ -227,7 +442,7 @@ mod tests {
 
     #[test]
     fn distinct_keys_intern_distinct_entries() {
-        let store = MemoStore::new();
+        let store = MemoStore::new(None);
         let with = CompilerConfig::paper_defaults(Machine::paper_single(6));
         let without = CompilerConfig::without_copies(Machine::paper_single(6));
         store.entry(CompilationKey::of(&with), 2, || Compiler::new(with.clone()));
@@ -251,6 +466,16 @@ mod tests {
         // Each simulate request also requested the compilation (1 miss + 2 hits).
         assert_eq!(stats.compilations, 1);
         assert!(first.is_clean());
+    }
+
+    #[test]
+    fn full_runs_match_their_summaries() {
+        let (store, entry) = store_with_entry(1);
+        let lp = kernels::dot_product(LatencyModel::default(), 100);
+        let summary = entry.simulate(0, &lp, 25, store.counters()).expect("schedulable");
+        let run = entry.simulate_full(0, &lp, 25, store.counters()).expect("schedulable");
+        assert_eq!(*summary, SimSummary::from(run.as_ref()));
+        assert_eq!(store.stats().sim_runs, 1, "summary and full share one execution");
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Persistent-store integration tests: a session with a `cache_dir` must serve
+//! a warm reopen entirely from disk, degrade corrupt entries to recomputes
+//! (never wrong answers), and retire every prior entry on a store-version
+//! bump.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vliw_core::pipeline::CompilerConfig;
+use vliw_core::session::persist::{key_digest, loop_digest, PersistStore};
+use vliw_core::session::STORE_VERSION;
+use vliw_core::{kernels, LatencyModel, Machine, Session, SessionBuilder, VliwError};
+
+/// A fresh scratch directory under the system temp dir, unique per test.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> ScratchDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("vliw_persist_{label}_{}_{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("scratch dir is creatable");
+        ScratchDir(path)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn builder(dir: &ScratchDir) -> SessionBuilder {
+    SessionBuilder::quick(10, 8644).threads(2).cache_dir(&dir.0)
+}
+
+/// Compiles and simulates the whole corpus once, returning the observable
+/// results (so two sessions can be compared entry by entry).
+fn run_corpus(session: &Session) -> Vec<(Result<u32, String>, Option<u64>)> {
+    let compiler = session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+    (0..session.num_loops())
+        .map(|i| {
+            let ii = match compiler.compile(i).as_ref() {
+                Ok(summary) => Ok(summary.ii),
+                Err(e) => Err(e.to_string()),
+            };
+            let cycles = compiler.simulate(i, 100).map(|run| run.measurement.total_cycles);
+            (ii, cycles)
+        })
+        .collect()
+}
+
+#[test]
+fn a_warm_reopen_serves_everything_from_disk() {
+    let dir = ScratchDir::new("warm");
+
+    let cold = builder(&dir).try_build().expect("cache dir opens");
+    let cold_results = run_corpus(&cold);
+    let cold_stats = cold.stats();
+    assert!(cold_stats.compilations > 0, "the cold run must compile");
+    assert_eq!(cold_stats.disk_hits, 0, "an empty store cannot hit");
+    assert!(cold_stats.sim_runs > 0);
+    assert_eq!(cold_stats.sim_disk_hits, 0);
+    drop(cold);
+
+    // Same corpus, same cache dir, fresh process state: every first-touch
+    // request is a disk hit and nothing compiles or simulates again.
+    let warm = builder(&dir).try_build().expect("cache dir reopens");
+    assert!(warm.is_persistent());
+    let warm_results = run_corpus(&warm);
+    let warm_stats = warm.stats();
+    assert_eq!(warm_results, cold_results, "disk round-trip must be lossless");
+    assert_eq!(warm_stats.compilations, 0, "a warm reopen must not compile: {warm_stats:?}");
+    assert_eq!(warm_stats.disk_hits, cold_stats.compilations);
+    assert_eq!(warm_stats.sim_runs, 0, "a warm reopen must not simulate: {warm_stats:?}");
+    assert_eq!(warm_stats.sim_disk_hits, cold_stats.sim_runs);
+}
+
+#[test]
+fn corrupt_entries_degrade_to_recomputes() {
+    let dir = ScratchDir::new("corrupt");
+
+    let cold = builder(&dir).try_build().expect("cache dir opens");
+    let cold_results = run_corpus(&cold);
+    let cold_stats = cold.stats();
+    drop(cold);
+
+    // Vandalise every compile entry three different ways: non-JSON garbage,
+    // truncation, and an empty file.
+    let store_root = dir.0.join(format!("v{STORE_VERSION}"));
+    let mut vandalised = 0usize;
+    for (i, entry) in fs::read_dir(&store_root).expect("store dir exists").enumerate() {
+        let path = entry.expect("dir entry").path();
+        if !path.file_name().is_some_and(|n| n.to_string_lossy().starts_with("c_")) {
+            continue;
+        }
+        match i % 3 {
+            0 => fs::write(&path, b"{ this is not json").unwrap(),
+            1 => {
+                let text = fs::read(&path).unwrap();
+                fs::write(&path, &text[..text.len() / 2]).unwrap();
+            }
+            _ => fs::write(&path, b"").unwrap(),
+        }
+        vandalised += 1;
+    }
+    assert!(vandalised > 0, "the cold run must have persisted compile entries");
+
+    // The reopened session silently recompiles everything the vandalism hit —
+    // and reaches the same answers.
+    let warm = builder(&dir).try_build().expect("cache dir reopens");
+    let warm_results = run_corpus(&warm);
+    let warm_stats = warm.stats();
+    assert_eq!(warm_results, cold_results, "recomputed answers must match");
+    assert_eq!(
+        warm_stats.compilations, cold_stats.compilations,
+        "every corrupt entry must recompute: {warm_stats:?}"
+    );
+    assert_eq!(warm_stats.disk_hits, 0);
+    // The sim entries were left intact and still serve from disk.
+    assert_eq!(warm_stats.sim_runs, 0);
+    assert_eq!(warm_stats.sim_disk_hits, cold_stats.sim_runs);
+}
+
+#[test]
+fn a_store_version_bump_retires_prior_entries() {
+    let dir = ScratchDir::new("version");
+
+    let cold = builder(&dir).try_build().expect("cache dir opens");
+    let cold_results = run_corpus(&cold);
+    let cold_stats = cold.stats();
+    drop(cold);
+
+    // Simulate a schema bump: the entries now live under a version directory
+    // the current code never opens.
+    let current = dir.0.join(format!("v{STORE_VERSION}"));
+    let retired = dir.0.join(format!("v{}", STORE_VERSION + 1));
+    fs::rename(&current, &retired).expect("version dir renames");
+
+    let fresh = builder(&dir).try_build().expect("cache dir reopens");
+    let fresh_results = run_corpus(&fresh);
+    let fresh_stats = fresh.stats();
+    assert_eq!(fresh_results, cold_results);
+    assert_eq!(
+        fresh_stats.compilations, cold_stats.compilations,
+        "a bumped store must start cold: {fresh_stats:?}"
+    );
+    assert_eq!(fresh_stats.disk_hits, 0);
+    assert_eq!(fresh_stats.sim_disk_hits, 0);
+}
+
+#[test]
+fn the_raw_store_round_trips_and_rejects_foreign_versions() {
+    let dir = ScratchDir::new("raw");
+    let store = PersistStore::open(&dir.0).expect("store opens");
+
+    let lp = kernels::dot_product(LatencyModel::default(), 100);
+    let key =
+        vliw_core::CompilationKey::of(&CompilerConfig::paper_defaults(Machine::paper_single(6)));
+    let (k, l) = (key_digest(&key), loop_digest(&lp));
+
+    // Both arms of a compile result survive the disk.
+    let message = VliwError::internal("no schedule under II cap").to_string();
+    let failure: Result<_, VliwError> = Err(VliwError::internal("no schedule under II cap"));
+    store.store_compile(k, l, &failure);
+    let loaded = store.load_compile(k, l).expect("entry exists");
+    assert_eq!(loaded.unwrap_err().to_string(), message);
+
+    // An unwritten address is a plain miss, not a reject.
+    let (loads, writes, rejects) = store.counter_values();
+    assert_eq!((loads, writes, rejects), (1, 1, 0));
+    assert!(store.load_compile(k.wrapping_add(1), l).is_none());
+    assert_eq!(store.counter_values().2, 0, "a miss is not a reject");
+
+    // An entry stamped with a different store version is rejected on load even
+    // though the file parses — the per-file stamp backs up the directory split.
+    let path = dir.0.join(format!("v{STORE_VERSION}")).join(format!("c_{k:016x}_{l:016x}.json"));
+    let text = fs::read_to_string(&path).unwrap();
+    let stamped = text.replace(
+        &format!("\"store_version\":{STORE_VERSION}"),
+        &format!("\"store_version\":{}", STORE_VERSION + 1),
+    );
+    assert_ne!(text, stamped, "the envelope must carry the version stamp");
+    fs::write(&path, stamped).unwrap();
+    assert!(store.load_compile(k, l).is_none());
+    assert_eq!(store.counter_values().2, 1, "a version mismatch counts a reject");
+}

@@ -83,8 +83,8 @@ proptest! {
 
         let fresh = Compiler::new(config.clone()).compile(&session.corpus()[loop_index]);
         let compiler = session.compiler(config);
-        let cold = compiler.compile(loop_index);
-        let warm = compiler.compile(loop_index);
+        let cold = compiler.compile_full(loop_index);
+        let warm = compiler.compile_full(loop_index);
 
         prop_assert!(
             std::sync::Arc::ptr_eq(&cold, &warm),

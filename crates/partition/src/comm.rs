@@ -10,13 +10,14 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use vliw_ddg::{Ddg, DepKind};
 use vliw_machine::{ClusterId, Machine};
 use vliw_qrf::{allocate_queues, Lifetime};
 use vliw_sched::Schedule;
 
 /// Communication statistics of a partitioned schedule.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommStats {
     /// Number of flow dependences whose endpoints are in different clusters.
     pub cross_cluster_values: usize,

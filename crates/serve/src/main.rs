@@ -1,0 +1,124 @@
+//! The `vliw-serve` daemon binary.
+//!
+//! ```text
+//! vliw-serve                                        # TCP 127.0.0.1:7421, paper corpus
+//! vliw-serve --listen unix:/tmp/vliw.sock \
+//!     --corpus-size 32 --seed 386 --cache-dir .vliw-cache
+//! ```
+//!
+//! The daemon builds one compilation session (corpus generated once, optional
+//! persistent artifact cache) and serves the Experiment API over the socket
+//! until a client sends a shutdown request.  Pair it with the `figures` CLI:
+//! `figures all --format json --server 127.0.0.1:7421`.
+
+use std::process::ExitCode;
+
+use clap::{Arg, ArgMatches, Command};
+use vliw_serve::{Listen, ServeConfig, Server, DEFAULT_ADDR};
+
+/// Builds the `vliw-serve` command line.
+fn command() -> Command {
+    let defaults = ServeConfig::default();
+    Command::new("vliw-serve")
+        .about(
+            "Persistent compile/simulate daemon: one shared session behind the \
+             Experiment API, over a Unix or TCP socket",
+        )
+        .arg(
+            Arg::new("listen")
+                .long("listen")
+                .value_name("ADDR")
+                .default_value(DEFAULT_ADDR)
+                .help("Listen address: host:port, or unix:/path/to.sock"),
+        )
+        .arg(
+            Arg::new("corpus-size")
+                .long("corpus-size")
+                .value_name("N")
+                .default_value(defaults.corpus_size.to_string())
+                .help("Number of loops in the session corpus"),
+        )
+        .arg(
+            Arg::new("seed")
+                .long("seed")
+                .value_name("S")
+                .default_value(defaults.seed.to_string())
+                .help("Corpus generator seed"),
+        )
+        .arg(
+            Arg::new("threads")
+                .long("threads")
+                .value_name("T")
+                .help("Worker threads for the corpus sweeps (default: all cores, max 8)"),
+        )
+        .arg(
+            Arg::new("cache-dir")
+                .long("cache-dir")
+                .value_name("DIR")
+                .help("Persist compile/simulate artifacts under DIR across restarts"),
+        )
+}
+
+/// Resolves parsed matches into a daemon configuration.
+fn resolve(matches: &ArgMatches) -> Result<ServeConfig, String> {
+    let listen: Listen = matches
+        .get_one::<String>("listen")
+        .expect("--listen has a default")
+        .parse()
+        .map_err(|e| format!("invalid --listen: {e}"))?;
+    let corpus_size: usize = parse_number(matches, "corpus-size")?;
+    if corpus_size == 0 {
+        return Err("--corpus-size must be at least 1".to_string());
+    }
+    let seed: u64 = parse_number(matches, "seed")?;
+    let threads: Option<usize> = matches
+        .get_one::<String>("threads")
+        .map(|raw| raw.parse().map_err(|e| format!("invalid --threads `{raw}`: {e}")))
+        .transpose()?;
+    let cache_dir = matches.get_one::<String>("cache-dir").map(std::path::PathBuf::from);
+    Ok(ServeConfig { listen, corpus_size, seed, threads, cache_dir })
+}
+
+/// Parses option `id` as a number with a clean diagnostic.
+fn parse_number<T>(matches: &ArgMatches, id: &str) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let raw: String = matches.get_one(id).ok_or_else(|| format!("--{id} needs a value"))?;
+    raw.parse().map_err(|e| format!("invalid --{id} `{raw}`: {e}"))
+}
+
+fn main() -> ExitCode {
+    let matches = command().get_matches();
+    let config = match resolve(&matches) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let info = server.info();
+    eprintln!(
+        "vliw-serve: listening on {} ({} loops, seed {}, {} threads, cache {})",
+        server.local_addr(),
+        info.corpus_size,
+        info.seed,
+        info.threads,
+        if info.persistent { "persistent" } else { "in-memory" },
+    );
+
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

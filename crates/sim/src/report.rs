@@ -1,5 +1,7 @@
 //! Measurements and the overall result of one simulation run.
 
+use serde::{Deserialize, Serialize};
+
 use crate::violation::SimViolation;
 
 /// Cap on the number of [`SimViolation`]s recorded in detail per run; the total
@@ -9,7 +11,7 @@ use crate::violation::SimViolation;
 pub const MAX_RECORDED_VIOLATIONS: usize = 64;
 
 /// What one simulation run measured.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimMeasurement {
     /// Number of iterations executed.
     pub trip_count: u64,

@@ -14,7 +14,7 @@ fn session() -> Session {
 
 #[test]
 fn fig3_shape_32_queues_cover_almost_everything() {
-    let rows = fig3_experiment(&session());
+    let rows = fig3_experiment(&session()).unwrap();
     for r in &rows {
         assert_eq!(r.unschedulable, 0);
         // Cumulative distribution is monotone over the budgets.
@@ -37,7 +37,7 @@ fn fig3_shape_32_queues_cover_almost_everything() {
 
 #[test]
 fn fig4_shape_unrolling_never_hurts_and_often_helps() {
-    let rows = fig4_experiment(&session());
+    let rows = fig4_experiment(&session()).unwrap();
     for r in &rows {
         assert!(r.mean_speedup >= 0.99, "{} FUs: mean speedup {}", r.fus, r.mean_speedup);
         assert!(r.speedup_gt_one <= r.unrolled + 1e-9);
@@ -48,7 +48,7 @@ fn fig4_shape_unrolling_never_hurts_and_often_helps() {
 
 #[test]
 fn fig6_shape_partitioning_degrades_with_cluster_count() {
-    let rows = fig6_experiment_for(&session(), &[4, 5, 6]);
+    let rows = fig6_experiment_for(&session(), &[4, 5, 6]).unwrap();
     let same: Vec<f64> = rows.iter().map(|r| r.same_ii).collect();
     // 4 clusters keeps at least as many loops at the single-cluster II as 6 clusters
     // (the paper's 95% / 84% / 52% trend), and the 4-cluster machine keeps a clear
@@ -62,7 +62,7 @@ fn fig6_shape_partitioning_degrades_with_cluster_count() {
 
 #[test]
 fn cluster_resources_shape_paper_budget_suffices() {
-    let rows = cluster_resources_experiment(&session(), &[4]);
+    let rows = cluster_resources_experiment(&session(), &[4]).unwrap();
     let r = &rows[0];
     assert!(
         r.fits_paper_cluster >= 0.75,
@@ -76,9 +76,9 @@ fn fig8_and_fig9_shapes() {
     // One shared session: Fig. 9's sweep is a subset of Fig. 8's, so the second
     // call below is served from the cache.
     let shared = session();
-    let all = ipc_curves(&shared, &[4, 12, 18], false);
+    let all = ipc_curves(&shared, &[4, 12, 18], false).unwrap();
     let before = shared.stats();
-    let constrained = ipc_curves(&shared, &[4, 12, 18], true);
+    let constrained = ipc_curves(&shared, &[4, 12, 18], true).unwrap();
     assert_eq!(shared.stats().compilations, before.compilations);
 
     // IPC grows with machine width on both corpora.

@@ -34,9 +34,9 @@ fn simulated_cycles_and_ipc_match_the_closed_forms_on_the_golden_corpus() {
             // catch off-by-one prologue/epilogue accounting; long ones catch
             // steady-state drift.
             for n in [1u64, 2, 3, 10, 100, 1000] {
-                let Some(run) = compiler.simulate(i, n) else { continue };
+                let Some(run) = compiler.simulate_full(i, n) else { continue };
                 let (cycles, ipc, sc) = compiler
-                    .map_ok(i, |c| {
+                    .map_full(i, |c| {
                         (
                             c.schedule.total_cycles(n),
                             dynamic_ipc(c.transformed.num_ops(), &c.schedule, n),
@@ -71,7 +71,7 @@ fn steady_state_peak_occupancy_equals_max_live_on_the_golden_corpus() {
     for i in 0..session.num_loops() {
         let Some(run) = compiler.simulate(i, 1000) else { continue };
         let expected = compiler
-            .map_ok(i, |c| max_live(&use_lifetimes(&c.transformed, &c.schedule), c.schedule.ii))
+            .map_full(i, |c| max_live(&use_lifetimes(&c.transformed, &c.schedule), c.schedule.ii))
             .expect("simulated loops compiled");
         assert_eq!(
             run.measurement.max_private_peak(),
@@ -100,7 +100,7 @@ fn allocator_queue_depths_match_observed_per_queue_peaks_corpus_wide() {
     for machine in [Machine::paper_single(6), Machine::paper_clustered(4, Default::default())] {
         let compiler = session.compiler(CompilerConfig::paper_defaults(machine.clone()));
         for i in 0..session.num_loops() {
-            let cached = compiler.compile(i);
+            let cached = compiler.compile_full(i);
             let Ok(c) = cached.as_ref().as_ref() else { continue };
             let lts = use_lifetimes(&c.transformed, &c.schedule);
             let flow_edges: Vec<_> =

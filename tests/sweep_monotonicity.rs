@@ -20,6 +20,7 @@ use vliw_repro::vliw_core::loopgen::generator::generate_loop;
 use vliw_repro::vliw_core::loopgen::CorpusConfig;
 use vliw_repro::vliw_core::pipeline::{Compiler, CompilerConfig};
 use vliw_repro::vliw_core::sim::simulate;
+use vliw_repro::vliw_core::SimSummary;
 use vliw_repro::vliw_core::{FuMix, LatencyModel, MachineConfig};
 
 proptest! {
@@ -64,8 +65,12 @@ proptest! {
         let run = simulate(&c.transformed, &probe, &c.schedule, 100)
             .expect("session-style compilations are structurally simulatable");
 
-        let before = classify_loop(&c, &run, &base.machine(lat), &base);
-        let after = classify_loop(&c, &run, &grown.machine(lat), &grown);
+        // The classifier consumes the session-layer summaries (what the sweep
+        // driver feeds it), not the full in-process artifacts.
+        let summary = c.summarize();
+        let run = SimSummary::from(&run);
+        let before = classify_loop(&summary, &run, &base.machine(lat), &base);
+        let after = classify_loop(&summary, &run, &grown.machine(lat), &grown);
 
         prop_assert_eq!(before.schedulable, after.schedulable,
             "storage cannot affect schedulability");
