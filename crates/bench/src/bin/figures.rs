@@ -11,8 +11,11 @@
 //! ```
 //!
 //! Subcommands: `fig3`, `copy-cost`, `fig4`, `fig6`, `resources`, `ipc`,
-//! `simulate`, `sweep`, `all` (default; covers the figure experiments but not
-//! `simulate` or `sweep`, whose reports are separate documents).  Global
+//! `simulate`, `sweep`, `stream`, `all` (default; covers the figure
+//! experiments but not `simulate`, `sweep` or `stream`, whose reports are
+//! separate documents).  `stream` compiles the corpus in bounded shards
+//! without ever materialising it (flat memory at 100k+ loops, reporting peak
+//! RSS) and is strictly in-process.  Global
 //! options: `--corpus-size`, `--seed`, `--threads`, `--format text|json`,
 //! `--cache-dir DIR` (persist artifacts across in-process runs) and
 //! `--server ADDR` (run the experiments on a `vliw-serve` daemon instead of
@@ -37,9 +40,9 @@
 use std::process::ExitCode;
 
 use vliw_bench::{
-    assemble_report, cli, render_simulate_text, render_stats, render_sweep_text, render_text,
-    requests_for, run_experiments_in, run_simulate_in, run_sweep_in, validate_server,
-    FiguresReport, OutputFormat, RunConfig, Selection, ServeClient,
+    assemble_report, cli, render_simulate_text, render_stats, render_stream_text,
+    render_sweep_text, render_text, requests_for, run_experiments_in, run_simulate_in, run_stream,
+    run_sweep_in, validate_server, FiguresReport, OutputFormat, RunConfig, Selection, ServeClient,
 };
 use vliw_core::experiments::{ExperimentResponse, SimulateReport, SweepReport};
 use vliw_core::{Session, SessionStats, VliwError};
@@ -165,6 +168,34 @@ fn emit_json<T: serde::Serialize>(report: &T, stats: &SessionStats) -> Result<()
 
 /// Runs the resolved selection end to end; returns a user-facing error message.
 fn run_selection(selection: Selection, run: &RunConfig) -> Result<(), String> {
+    if selection == Selection::Stream {
+        // Streamed runs measure *this* process's memory, so there is no
+        // backend to open: no session, no memo store, and no daemon.
+        if run.server.is_some() {
+            return Err("`stream` runs in-process only (it measures this process's memory); \
+                 drop --server"
+                .to_string());
+        }
+        let report = run_stream(run).map_err(|e| e.to_string())?;
+        match run.format {
+            OutputFormat::Json => {
+                let json = serde_json::to_string_pretty(&report)
+                    .map_err(|e| format!("failed to serialize the report: {e}"))?;
+                println!("{json}");
+            }
+            OutputFormat::Text => {
+                println!(
+                    "# Streamed run: {} loops, seed {}, {} threads\n",
+                    report.corpus_size,
+                    report.seed,
+                    run.stream_config().threads
+                );
+                print!("{}", render_stream_text(&report));
+            }
+        }
+        return Ok(());
+    }
+
     let mut backend = Backend::open(run)?;
 
     if selection == Selection::Simulate {

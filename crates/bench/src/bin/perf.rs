@@ -1,0 +1,70 @@
+//! Emits the `BENCH_session.json` perf-trend document.
+//!
+//! ```text
+//! cargo run --release -p vliw-bench --bin perf                         # JSON on stdout
+//! cargo run --release -p vliw-bench --bin perf -- --out BENCH_new.json
+//! cargo run --release -p vliw-bench --bin perf -- \
+//!     --out BENCH_new.json --compare BENCH_session.json               # + delta table on stderr
+//! ```
+//!
+//! `--compare` prints the per-probe delta against a previous document on
+//! stderr and never fails the run: shared CI runners are noisy, so the trend
+//! file is a warn-only instrument.  Regenerate the committed baseline with
+//! `--out BENCH_session.json` when a PR deliberately moves the numbers.
+
+use std::process::ExitCode;
+
+use vliw_bench::perf::{collect, render_delta, PerfReport};
+
+struct Args {
+    out: Option<String>,
+    compare: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { out: None, compare: None };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let slot = match flag.as_str() {
+            "--out" => &mut args.out,
+            "--compare" => &mut args.compare,
+            other => return Err(format!("unknown argument `{other}` (expected --out/--compare)")),
+        };
+        *slot = Some(argv.next().ok_or_else(|| format!("{flag} needs a path"))?);
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let report = collect();
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("failed to serialize the report: {e}"))?;
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => println!("{json}"),
+    }
+    if let Some(path) = &args.compare {
+        // Warn-only by design: a missing or unreadable baseline is reported,
+        // not fatal, so the first run of a new probe set still succeeds.
+        match std::fs::read_to_string(path) {
+            Ok(raw) => match serde_json::from_str::<PerfReport>(&raw) {
+                Ok(baseline) => eprint!("{}", render_delta(&report, &baseline)),
+                Err(e) => eprintln!("warning: cannot parse baseline {path}: {e}"),
+            },
+            Err(e) => eprintln!("warning: cannot read baseline {path}: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -78,6 +78,20 @@ pub fn command() -> Command {
                         .help("Design-space preset: small, paper or full"),
                 ),
         )
+        .subcommand(
+            Command::new("stream")
+                .about(
+                    "Streamed corpus compile - bounded shards, flat memory; \
+                     reports aggregate metrics and peak RSS",
+                )
+                .arg(
+                    Arg::new("shard-size")
+                        .long("shard-size")
+                        .value_name("N")
+                        .default_value(vliw_core::session::DEFAULT_SHARD_SIZE.to_string())
+                        .help("Loops generated and compiled per shard"),
+                ),
+        )
         .subcommand(Command::new("all").about("Every figure experiment above (the default)"))
 }
 
@@ -115,11 +129,26 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
             .map_err(|e: String| format!("invalid --grid: {e}"))?,
         _ => SweepGrid::default(),
     };
+    // Likewise `--shard-size` belongs to `stream` alone.
+    let shard_size: usize = match matches.subcommand() {
+        Some(("stream", sub)) => {
+            let raw: String = sub.get_one("shard-size").expect("--shard-size has a default");
+            let n: usize = raw.parse().map_err(|e| format!("invalid --shard-size `{raw}`: {e}"))?;
+            if n == 0 {
+                return Err("--shard-size must be at least 1".to_string());
+            }
+            n
+        }
+        _ => vliw_core::session::DEFAULT_SHARD_SIZE,
+    };
 
     let server = matches.get_one::<String>("server");
     let cache_dir = matches.get_one::<String>("cache-dir").map(std::path::PathBuf::from);
 
-    Ok((selection, RunConfig { corpus_size, seed, threads, format, grid, server, cache_dir }))
+    Ok((
+        selection,
+        RunConfig { corpus_size, seed, threads, format, grid, shard_size, server, cache_dir },
+    ))
 }
 
 /// Parses option `id` as a number with a clean diagnostic.
@@ -171,11 +200,27 @@ mod tests {
             ("ipc", Selection::Ipc),
             ("simulate", Selection::Simulate),
             ("sweep", Selection::Sweep),
+            ("stream", Selection::Stream),
             ("all", Selection::All),
         ] {
             let (selection, _) = parse(&[name]).unwrap();
             assert_eq!(selection, expected, "subcommand {name}");
         }
+    }
+
+    #[test]
+    fn stream_shard_size_parses_with_a_bounded_default() {
+        let (selection, run) = parse(&["stream"]).unwrap();
+        assert_eq!(selection, Selection::Stream);
+        assert_eq!(run.shard_size, vliw_core::session::DEFAULT_SHARD_SIZE);
+        let (_, run) =
+            parse(&["stream", "--shard-size", "256", "--corpus-size", "100000"]).unwrap();
+        assert_eq!(run.shard_size, 256);
+        assert_eq!(run.corpus_size, 100000);
+        assert!(parse(&["stream", "--shard-size", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["stream", "--shard-size", "many"]).unwrap_err().contains("--shard-size"));
+        // `--shard-size` belongs to `stream` alone.
+        assert!(parse(&["fig3", "--shard-size", "64"]).is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod cli;
 pub mod client;
+pub mod perf;
 
 use serde::{Deserialize, Serialize};
 use vliw_core::experiments::{
@@ -29,8 +30,9 @@ use vliw_core::experiments::{
     Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport, SweepReport,
 };
 use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources, simulate, sweep};
-use vliw_core::session::{Session, SessionStats};
-use vliw_core::{SweepGrid, VliwError};
+use vliw_core::pipeline::CompilerConfig;
+use vliw_core::session::{compile_stream, Session, SessionStats, StreamConfig, StreamReport};
+use vliw_core::{Machine, SweepGrid, VliwError};
 
 pub use client::{validate_server, ServeClient};
 
@@ -108,8 +110,15 @@ pub enum Selection {
     /// report ([`SweepReport`]) is a separate document pinned by
     /// `baselines/sweep_small.json`.
     Sweep,
-    /// Every figure experiment (everything above except `Simulate` and
-    /// `Sweep`).
+    /// Streamed corpus compilation: bounded shards, flat memory, aggregate
+    /// metrics only ([`StreamReport`]).
+    ///
+    /// Excluded from [`Selection::All`] like the other separate documents,
+    /// and strictly in-process: the run exists to measure *this* process's
+    /// memory behaviour, so `--server` is rejected.
+    Stream,
+    /// Every figure experiment (everything above except `Simulate`, `Sweep`
+    /// and `Stream`).
     All,
 }
 
@@ -125,6 +134,7 @@ impl Selection {
             "ipc" => Some(Selection::Ipc),
             "simulate" => Some(Selection::Simulate),
             "sweep" => Some(Selection::Sweep),
+            "stream" => Some(Selection::Stream),
             "all" => Some(Selection::All),
             _ => None,
         }
@@ -132,10 +142,15 @@ impl Selection {
 
     fn runs(self, which: Selection) -> bool {
         match self {
-            // `all` is the figure sweep; the simulation and design-space
-            // reports are separate documents (see [`Selection::Simulate`] and
-            // [`Selection::Sweep`]).
-            Selection::All => which != Selection::Simulate && which != Selection::Sweep,
+            // `all` is the figure sweep; the simulation, design-space and
+            // streamed-compile reports are separate documents (see
+            // [`Selection::Simulate`], [`Selection::Sweep`] and
+            // [`Selection::Stream`]).
+            Selection::All => {
+                which != Selection::Simulate
+                    && which != Selection::Sweep
+                    && which != Selection::Stream
+            }
             s => s == which,
         }
     }
@@ -155,6 +170,9 @@ pub struct RunConfig {
     /// Design-space grid preset of the `sweep` subcommand (ignored by every
     /// other selection).
     pub grid: SweepGrid,
+    /// Shard size of the `stream` subcommand (ignored by every other
+    /// selection).
+    pub shard_size: usize,
     /// Address of a `vliw-serve` daemon to run against (`None` = in-process).
     pub server: Option<String>,
     /// Directory of the persistent artifact cache for in-process runs
@@ -173,6 +191,17 @@ impl RunConfig {
         cfg.cache_dir = self.cache_dir.clone();
         cfg
     }
+
+    /// The streamed-compile configuration for this run (the `stream`
+    /// subcommand).
+    pub fn stream_config(&self) -> StreamConfig {
+        let mut cfg = StreamConfig::new(self.corpus_size, self.seed);
+        cfg.shard_size = self.shard_size;
+        if let Some(t) = self.threads {
+            cfg.threads = t.max(1);
+        }
+        cfg
+    }
 }
 
 impl Default for RunConfig {
@@ -185,6 +214,7 @@ impl Default for RunConfig {
             threads: None,
             format: OutputFormat::Text,
             grid: SweepGrid::Small,
+            shard_size: vliw_core::session::DEFAULT_SHARD_SIZE,
             server: None,
             cache_dir: None,
         }
@@ -239,6 +269,10 @@ pub fn run_experiments_in(
         selection != Selection::Sweep,
         "Selection::Sweep produces a SweepReport; call run_sweep_in"
     );
+    assert!(
+        selection != Selection::Stream,
+        "Selection::Stream produces a StreamReport; call run_stream"
+    );
     Ok(FiguresReport {
         corpus_size: session.config().corpus.num_loops,
         seed: session.config().corpus.seed,
@@ -288,6 +322,44 @@ pub fn run_sweep_in(session: &Session, grid: SweepGrid) -> Result<SweepReport, V
     sweep_experiment(session, grid)
 }
 
+/// Runs the streamed-compile experiment (the `figures stream` subcommand):
+/// the configured corpus flows through the paper's 6-FU single-cluster
+/// compile pipeline in bounded shards, never materialised whole, and only the
+/// aggregate [`StreamReport`] survives.  Strictly in-process — no session, no
+/// memo store, no daemon — because the report's `peak_rss_kb` is the
+/// flat-memory evidence the 100k-loop CI smoke asserts on.
+pub fn run_stream(run: &RunConfig) -> Result<StreamReport, VliwError> {
+    compile_stream(&run.stream_config(), CompilerConfig::paper_defaults(Machine::paper_single(6)))
+}
+
+/// Renders a streamed-compile report in the human-readable EXPERIMENTS.md
+/// format.
+pub fn render_stream_text(report: &StreamReport) -> String {
+    let mut out = format!(
+        "## Streamed corpus compile — {} loops in {} shards of {}\n\n\
+         compiled        = {} ({} failed)\n\
+         mean II         = {:.3}\n\
+         mean MII        = {:.3}\n\
+         II == MII       = {:.1}% of compiled loops\n\
+         mean queues     = {:.3}\n\
+         max queue depth = {}\n",
+        report.corpus_size,
+        report.shards,
+        report.shard_size,
+        report.compiled,
+        report.failed,
+        report.mean_ii,
+        report.mean_mii,
+        100.0 * report.mii_achieved_fraction,
+        report.mean_queues,
+        report.max_queue_depth,
+    );
+    if let Some(kb) = report.peak_rss_kb {
+        out.push_str(&format!("peak RSS        = {kb} kB\n"));
+    }
+    out
+}
+
 /// The wire requests a `figures` selection translates to, in report order.
 ///
 /// [`Selection::Ipc`] expands to both IPC curves; [`Selection::All`] to the
@@ -297,6 +369,9 @@ pub fn requests_for(selection: Selection, grid: SweepGrid) -> Vec<ExperimentRequ
     match selection {
         Selection::Simulate => vec![ExperimentRequest::Simulate],
         Selection::Sweep => vec![ExperimentRequest::Sweep { grid }],
+        // A streamed run has no wire form: it measures this process's memory,
+        // so the `figures` binary rejects `--server` before asking.
+        Selection::Stream => Vec::new(),
         _ => {
             let mut requests = Vec::new();
             if selection.runs(Selection::Fig3) {
@@ -467,6 +542,7 @@ mod tests {
             ("ipc", Selection::Ipc),
             ("simulate", Selection::Simulate),
             ("sweep", Selection::Sweep),
+            ("stream", Selection::Stream),
             ("all", Selection::All),
         ] {
             assert_eq!(Selection::from_subcommand(name), Some(expected));
@@ -480,10 +556,14 @@ mod tests {
         // simulated-IPC report is a separate document with its own baseline.
         assert!(!Selection::All.runs(Selection::Simulate));
         assert!(!Selection::All.runs(Selection::Sweep));
+        assert!(!Selection::All.runs(Selection::Stream));
         assert!(Selection::Simulate.runs(Selection::Simulate));
         assert!(Selection::Sweep.runs(Selection::Sweep));
+        assert!(Selection::Stream.runs(Selection::Stream));
         assert!(!Selection::Simulate.runs(Selection::Fig3));
         assert!(!Selection::Sweep.runs(Selection::Fig3));
+        assert!(!Selection::Stream.runs(Selection::Fig3));
+        assert!(requests_for(Selection::Stream, SweepGrid::Small).is_empty());
     }
 
     #[test]
@@ -517,6 +597,28 @@ mod tests {
         assert!(text.contains("storage bits"));
         let json = serde_json::to_string_pretty(&report).expect("serializable");
         let back: SweepReport = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn stream_run_aggregates_and_renders() {
+        let run = RunConfig {
+            corpus_size: 12,
+            seed: 386,
+            threads: Some(2),
+            shard_size: 5,
+            ..RunConfig::default()
+        };
+        let report = run_stream(&run).unwrap();
+        assert_eq!(report.corpus_size, 12);
+        assert_eq!(report.shards, 3, "12 loops in shards of 5 is 3 shards");
+        assert_eq!(report.compiled + report.failed, 12);
+        assert!(report.mean_ii >= report.mean_mii, "II is bounded below by MII");
+        let text = render_stream_text(&report);
+        assert!(text.contains("Streamed corpus compile"));
+        assert!(text.contains("max queue depth"));
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        let back: StreamReport = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, report);
     }
 
@@ -593,7 +695,9 @@ mod tests {
                     merged.fig8_ipc = report.fig8_ipc;
                     merged.fig9_ipc = report.fig9_ipc;
                 }
-                Selection::All | Selection::Simulate | Selection::Sweep => unreachable!(),
+                Selection::All | Selection::Simulate | Selection::Sweep | Selection::Stream => {
+                    unreachable!()
+                }
             }
         }
 

@@ -1,0 +1,262 @@
+//! The self-timed probe suite behind the `BENCH_session.json` perf-trend file.
+//!
+//! The Criterion benches (`cargo bench -p vliw-bench`) are the statistically
+//! careful instrument; this module is the *trend* instrument: a fixed set of
+//! named probes, each timed with a plain warm-up + repeat loop, serialized to
+//! one small JSON document.  CI's bench-smoke job runs the `perf` binary on
+//! every push, compares the result against the committed `BENCH_session.json`
+//! and prints the per-probe delta — warn-only, no hard gate, because shared
+//! runners are noisy.  The committed file is regenerated (same binary, `--out`)
+//! whenever a PR deliberately moves the numbers, so the file's history *is*
+//! the perf trajectory of the repo.
+//!
+//! Probe names mirror the Criterion groups they shadow
+//! (`scheduler_micro/...`, `placement/...`, `session/...`, `sweep_grid/...`),
+//! so EXPERIMENTS.md tables and the trend file speak the same language.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use vliw_core::experiments::sweep_experiment;
+use vliw_core::pipeline::CompilerConfig;
+use vliw_core::qrf::{allocate_queues, insert_copies, use_lifetimes};
+use vliw_core::sched::{modulo_schedule, ImsOptions};
+use vliw_core::unroll::unroll_ddg;
+use vliw_core::{
+    kernels, partition_schedule, LatencyModel, Machine, PartitionOptions, Session, SweepGrid,
+};
+
+use crate::{bench_config, BENCH_CORPUS_LOOPS, BENCH_SEED};
+
+/// Format version of the trend file; bump when probes change incompatibly.
+pub const PERF_SCHEMA: u32 = 1;
+
+/// One timed probe of the suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfProbe {
+    /// Stable probe name (`group/benchmark`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations the mean was taken over.
+    pub iters: u64,
+}
+
+/// The whole trend document — what `BENCH_session.json` holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Format version ([`PERF_SCHEMA`]).
+    pub schema: u32,
+    /// Corpus size of the corpus-level probes.
+    pub corpus_loops: usize,
+    /// Corpus seed of the corpus-level probes.
+    pub seed: u64,
+    /// The probes, in suite order.
+    pub probes: Vec<PerfProbe>,
+}
+
+impl PerfReport {
+    /// Looks a probe up by name.
+    pub fn probe(&self, name: &str) -> Option<&PerfProbe> {
+        self.probes.iter().find(|p| p.name == name)
+    }
+}
+
+/// Times `f`: one untimed warm-up call, then repeats until the probe has both
+/// `min_iters` iterations and `min_millis` of accumulated wall clock (capped
+/// at 100k iterations), reporting the mean.
+pub fn time_probe<R>(
+    name: &str,
+    min_iters: u64,
+    min_millis: u64,
+    mut f: impl FnMut() -> R,
+) -> PerfProbe {
+    std::hint::black_box(f());
+    let budget = std::time::Duration::from_millis(min_millis);
+    let mut iters = 0u64;
+    let mut elapsed = std::time::Duration::ZERO;
+    while iters < min_iters || elapsed < budget {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        elapsed += start.elapsed();
+        iters += 1;
+        if iters >= 100_000 {
+            break;
+        }
+    }
+    PerfProbe {
+        name: name.to_string(),
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        iters,
+    }
+}
+
+/// Runs the standard suite and returns the trend document.
+///
+/// Kept deliberately small (seconds, not minutes): the corpus-level probes use
+/// the 32-loop bench corpus ([`BENCH_CORPUS_LOOPS`]), the kernel-level probes
+/// the shared kernel set.
+pub fn collect() -> PerfReport {
+    let lat = LatencyModel::default();
+    let kernel_set = kernels::all_kernels(lat);
+    let single12 = Machine::single_cluster(12, 4, 32, lat);
+    let clustered = Machine::paper_clustered(4, lat);
+    let paper6 = Machine::paper_single(6);
+    let cfg = bench_config();
+
+    let mut probes = Vec::new();
+
+    // scheduler_micro — one iteration schedules the whole kernel set.
+    let unrolled4: Vec<_> = kernel_set.iter().map(|lp| unroll_ddg(&lp.ddg, 4).ddg).collect();
+    probes.push(time_probe("scheduler_micro/modulo_schedule_x4", 5, 250, || {
+        unrolled4
+            .iter()
+            .map(|g| modulo_schedule(g, &single12, ImsOptions::default()).unwrap().schedule.ii)
+            .sum::<u32>()
+    }));
+    let bodies2: Vec<_> =
+        kernel_set.iter().map(|lp| insert_copies(&unroll_ddg(&lp.ddg, 2).ddg, &lat).ddg).collect();
+    probes.push(time_probe("scheduler_micro/partition_schedule_x2", 5, 250, || {
+        bodies2
+            .iter()
+            .map(|g| {
+                partition_schedule(g, &clustered, PartitionOptions::default()).unwrap().schedule.ii
+            })
+            .sum::<u32>()
+    }));
+    // allocator micro — queue allocation over precomputed lifetimes.
+    let lifetime_sets: Vec<_> = kernel_set
+        .iter()
+        .map(|lp| {
+            let body = insert_copies(&unroll_ddg(&lp.ddg, 4).ddg, &lat).ddg;
+            let sched = modulo_schedule(&body, &single12, ImsOptions::default()).unwrap().schedule;
+            let lts = use_lifetimes(&body, &sched);
+            (lts, sched.ii)
+        })
+        .collect();
+    probes.push(time_probe("scheduler_micro/allocate_queues", 5, 250, || {
+        lifetime_sets.iter().map(|(lts, ii)| allocate_queues(lts, *ii).num_queues()).sum::<usize>()
+    }));
+
+    // placement — cold scheduling of the whole bench corpus.
+    let corpus_bodies: Vec<_> =
+        cfg.corpus().iter().map(|lp| insert_copies(&lp.ddg, &lat).ddg).collect();
+    probes.push(time_probe("placement/ims_corpus_cold", 5, 250, || {
+        corpus_bodies
+            .iter()
+            .map(|g| modulo_schedule(g, &paper6, ImsOptions::default()).unwrap().schedule.ii)
+            .sum::<u32>()
+    }));
+
+    // session — the cold/warm compile path through the memo store.
+    probes.push(time_probe("session/compile_corpus_cold", 5, 250, || {
+        let session = Session::new(cfg.clone());
+        let compiler = session.compiler(CompilerConfig::paper_defaults(paper6.clone()));
+        session.sweep(|i, _| compiler.compile(i).is_ok())
+    }));
+    let warm = Session::new(cfg.clone());
+    let warm_compiler = warm.compiler(CompilerConfig::paper_defaults(paper6.clone()));
+    warm.sweep(|i, _| warm_compiler.compile(i).is_ok());
+    probes.push(time_probe("session/compile_corpus_warm", 5, 250, || {
+        warm.sweep(|i, _| warm_compiler.compile(i).is_ok())
+    }));
+
+    // sweep_grid — the small design-space grid, cold.
+    probes.push(time_probe("sweep_grid/small_grid_cold", 2, 500, || {
+        sweep_experiment(&Session::new(cfg.clone()), SweepGrid::Small).unwrap()
+    }));
+
+    PerfReport { schema: PERF_SCHEMA, corpus_loops: BENCH_CORPUS_LOOPS, seed: BENCH_SEED, probes }
+}
+
+/// Renders the per-probe delta of `current` against `baseline` as an aligned
+/// table.  Informational only — the caller decides nothing on it (CI prints it
+/// warn-only).
+pub fn render_delta(current: &PerfReport, baseline: &PerfReport) -> String {
+    let mut out =
+        String::from("probe                                  baseline      current        delta\n");
+    if baseline.schema != current.schema {
+        out.push_str(&format!(
+            "(schema changed {} -> {}; deltas may not be comparable)\n",
+            baseline.schema, current.schema
+        ));
+    }
+    for probe in &current.probes {
+        let line = match baseline.probe(&probe.name) {
+            Some(base) if base.ns_per_iter > 0.0 => {
+                let delta = 100.0 * (probe.ns_per_iter - base.ns_per_iter) / base.ns_per_iter;
+                format!(
+                    "{:<38} {:>10.1}us {:>10.1}us {:>+10.1}%\n",
+                    probe.name,
+                    base.ns_per_iter / 1e3,
+                    probe.ns_per_iter / 1e3,
+                    delta
+                )
+            }
+            _ => format!(
+                "{:<38} {:>12} {:>10.1}us {:>11}\n",
+                probe.name,
+                "-",
+                probe.ns_per_iter / 1e3,
+                "new"
+            ),
+        };
+        out.push_str(&line);
+    }
+    for base in &baseline.probes {
+        if current.probe(&base.name).is_none() {
+            out.push_str(&format!("{:<38} (probe removed)\n", base.name));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(probes: &[(&str, f64)]) -> PerfReport {
+        PerfReport {
+            schema: PERF_SCHEMA,
+            corpus_loops: BENCH_CORPUS_LOOPS,
+            seed: BENCH_SEED,
+            probes: probes
+                .iter()
+                .map(|(name, ns)| PerfProbe { name: name.to_string(), ns_per_iter: *ns, iters: 10 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn time_probe_counts_its_iterations() {
+        let mut calls = 0u64;
+        let probe = time_probe("test/probe", 7, 0, || calls += 1);
+        assert_eq!(probe.name, "test/probe");
+        assert_eq!(probe.iters, 7);
+        // One warm-up call on top of the timed iterations.
+        assert_eq!(calls, 8);
+        assert!(probe.ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn delta_table_covers_changed_new_and_removed_probes() {
+        let baseline = report(&[("a/one", 1000.0), ("a/gone", 500.0)]);
+        let current = report(&[("a/one", 1500.0), ("a/new", 2000.0)]);
+        let table = render_delta(&current, &baseline);
+        assert!(table.contains("a/one"));
+        assert!(table.contains("+50.0%"));
+        assert!(table.contains("a/new"));
+        assert!(table.contains("new"));
+        assert!(table.contains("a/gone"));
+        assert!(table.contains("removed"));
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let report = report(&[("a/one", 123.4)]);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

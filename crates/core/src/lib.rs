@@ -37,9 +37,10 @@ pub mod protocol;
 pub mod session;
 
 pub use error::VliwError;
-pub use pipeline::{Compilation, Compiler, CompilerConfig};
+pub use pipeline::{Compilation, Compiler, CompilerConfig, ScratchArena};
 pub use session::{
-    CompilationKey, LoopSummary, Session, SessionBuilder, SessionCompiler, SessionStats, SimSummary,
+    compile_stream, CompilationKey, LoopSummary, Session, SessionBuilder, SessionCompiler,
+    SessionStats, SimSummary, StreamConfig, StreamReport,
 };
 
 // Re-export the substrate crates so downstream users (examples, benches, tests) can

@@ -12,15 +12,48 @@
 //! 5. **analysis** — II, stage count, static/dynamic IPC and communication
 //!    statistics.
 
+use std::cell::RefCell;
+
 use vliw_analysis::IpcReport;
 use vliw_ddg::{Ddg, Loop};
 use vliw_machine::Machine;
-use vliw_partition::{partition_schedule, CommStats, PartitionOptions};
+use vliw_partition::{partition_schedule_with, CommStats, PartitionOptions, PartitionScratch};
 use vliw_qrf::{
-    allocate_queues, conventional_registers_required, insert_copies, use_lifetimes, QueueAllocation,
+    allocate_queues_with, conventional_registers_required, insert_copies, use_lifetimes_into,
+    AllocScratch, Lifetime, QueueAllocation,
 };
-use vliw_sched::{modulo_schedule, ImsOptions, SchedError, Schedule};
-use vliw_unroll::{select_unroll_factor, unroll_ddg, DEFAULT_MAX_FACTOR};
+use vliw_sched::{modulo_schedule_with, ImsOptions, SchedError, SchedScratch, Schedule};
+use vliw_unroll::{select_unroll_factor, unroll_ddg, unroll_ddg_into, DEFAULT_MAX_FACTOR};
+
+/// Reusable temporaries of the whole compilation pipeline: the placement
+/// engine's buffers (shared between plain IMS and the partitioner through
+/// [`PartitionScratch`]), the queue allocator's interference rows and the
+/// extracted-lifetime vector.
+///
+/// One arena per worker makes a corpus compile allocation-free in its hot loop:
+/// [`Compiler::compile`] uses a thread-local arena (the session executor's
+/// workers are OS threads, so each worker amortises one arena across every loop
+/// it claims), and [`Compiler::compile_with`] threads an explicit arena for
+/// callers that manage their own workers.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Placement buffers of plain IMS (single-cluster machines).
+    pub sched: SchedScratch,
+    /// Placement buffers + ring work-lists of the partitioner (clustered
+    /// machines).
+    pub partition: PartitionScratch,
+    /// Interference signatures, rows and depth buffers of the queue allocator.
+    pub alloc: AllocScratch,
+    /// Extracted per-use lifetimes of the loop being compiled.
+    pub lifetimes: Vec<Lifetime>,
+    /// Scratch graph holding the unrolled body between unrolling and copy
+    /// insertion (rebuilt in place per loop, never escapes the pipeline).
+    pub unrolled: vliw_ddg::Ddg,
+}
+
+thread_local! {
+    static COMPILE_ARENA: RefCell<ScratchArena> = RefCell::new(ScratchArena::default());
+}
 
 /// Configuration of the compilation pipeline.
 #[derive(Debug, Clone)]
@@ -158,38 +191,60 @@ impl Compiler {
 
     /// Compiles one loop end to end.
     pub fn compile(&self, lp: &Loop) -> Result<Compilation, SchedError> {
+        COMPILE_ARENA.with(|a| self.compile_with(lp, &mut a.borrow_mut()))
+    }
+
+    /// [`Compiler::compile`] backed by a caller-owned [`ScratchArena`]; the
+    /// scheduler and allocator temporaries live in `arena` instead of being
+    /// reallocated per loop.
+    pub fn compile_with(
+        &self,
+        lp: &Loop,
+        arena: &mut ScratchArena,
+    ) -> Result<Compilation, SchedError> {
         let machine = &self.config.machine;
         let latencies = *machine.latencies();
 
-        // 1. Unrolling.
-        let (body, unroll_factor) = if self.config.unroll {
-            let factor = select_unroll_factor(&lp.ddg, machine, self.config.max_unroll);
-            (unroll_ddg(&lp.ddg, factor).ddg, factor)
-        } else {
-            (lp.ddg.clone(), 1)
-        };
-
-        // 2. Copy insertion.
-        let (body, num_copies) = if self.config.use_copies {
-            let ins = insert_copies(&body, &latencies);
-            let n = ins.num_copies();
-            (ins.ddg, n)
-        } else {
-            (body, 0)
+        // 1 + 2. Unrolling and copy insertion.  When both run, the unrolled
+        // intermediate is consumed by copy insertion and never escapes, so it
+        // lives in an arena graph that is rebuilt in place loop after loop.
+        let (body, unroll_factor, num_copies) = match (self.config.unroll, self.config.use_copies) {
+            (true, true) => {
+                let factor = select_unroll_factor(&lp.ddg, machine, self.config.max_unroll);
+                unroll_ddg_into(&lp.ddg, factor, &mut arena.unrolled);
+                let ins = insert_copies(&arena.unrolled, &latencies);
+                let n = ins.num_copies();
+                (ins.ddg, factor, n)
+            }
+            (true, false) => {
+                let factor = select_unroll_factor(&lp.ddg, machine, self.config.max_unroll);
+                (unroll_ddg(&lp.ddg, factor).ddg, factor, 0)
+            }
+            (false, true) => {
+                let ins = insert_copies(&lp.ddg, &latencies);
+                let n = ins.num_copies();
+                (ins.ddg, 1, n)
+            }
+            (false, false) => (lp.ddg.clone(), 1, 0),
         };
 
         // 3. Scheduling.
         let (schedule, res_mii, rec_mii, mii, comm) = if machine.is_clustered() {
-            let r = partition_schedule(&body, machine, self.config.partition)?;
+            let r = partition_schedule_with(
+                &body,
+                machine,
+                self.config.partition,
+                &mut arena.partition,
+            )?;
             (r.schedule, r.res_mii, r.rec_mii, r.mii, Some(r.comm))
         } else {
-            let r = modulo_schedule(&body, machine, self.config.sched)?;
+            let r = modulo_schedule_with(&body, machine, self.config.sched, &mut arena.sched)?;
             (r.schedule, r.res_mii, r.rec_mii, r.mii, None)
         };
 
         // 4. Storage allocation.
-        let lifetimes = use_lifetimes(&body, &schedule);
-        let queues = allocate_queues(&lifetimes, schedule.ii);
+        use_lifetimes_into(&body, &schedule, &mut arena.lifetimes);
+        let queues = allocate_queues_with(&arena.lifetimes, schedule.ii, &mut arena.alloc);
         let registers_required = conventional_registers_required(&body, &schedule);
 
         // 5. Analysis.
@@ -279,6 +334,25 @@ mod tests {
             let c = compiler.compile(&lp).unwrap();
             let comm = c.comm.as_ref().expect("clustered");
             assert_eq!(c.fits_machine(&clustered), comm.fits_pools(&clustered), "{}", lp.name);
+        }
+    }
+
+    #[test]
+    fn explicit_arena_matches_the_thread_local_path() {
+        // One arena carried across machines of both shapes (so the scratch is
+        // re-shaped repeatedly) must reproduce the thread-local compiles.
+        let mut arena = ScratchArena::default();
+        for machine in
+            [Machine::single_cluster(6, 2, 32, lat()), Machine::paper_clustered(4, lat())]
+        {
+            let compiler = Compiler::new(CompilerConfig::paper_defaults(machine));
+            for lp in kernels::all_kernels(lat()) {
+                let tls = compiler.compile(&lp).unwrap();
+                let explicit = compiler.compile_with(&lp, &mut arena).unwrap();
+                assert_eq!(tls.schedule, explicit.schedule, "{}", lp.name);
+                assert_eq!(tls.queues, explicit.queues, "{}", lp.name);
+                assert_eq!(tls.registers_required, explicit.registers_required, "{}", lp.name);
+            }
         }
     }
 

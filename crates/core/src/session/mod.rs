@@ -40,6 +40,7 @@ pub mod executor;
 pub mod key;
 pub mod persist;
 pub mod store;
+pub mod stream;
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -52,6 +53,7 @@ pub use executor::{par_map_indexed, try_par_map_indexed};
 pub use key::CompilationKey;
 pub use persist::{PersistStore, STORE_VERSION};
 pub use store::{CachedCompilation, CachedResult, CachedRun, CachedSim, SessionStats};
+pub use stream::{compile_stream, peak_rss_kb, StreamConfig, StreamReport, DEFAULT_SHARD_SIZE};
 
 use crate::error::VliwError;
 use crate::experiments::{default_threads, ExperimentConfig};

@@ -22,6 +22,12 @@ impl DdgBuilder {
         DdgBuilder { ddg: Ddg::new(), latencies }
     }
 
+    /// [`DdgBuilder::new`] with space reserved for roughly `ops` operations,
+    /// for callers that know the body size up front.
+    pub fn with_capacity(latencies: LatencyModel, ops: usize) -> Self {
+        DdgBuilder { ddg: Ddg::with_capacity(ops), latencies }
+    }
+
     /// The latency model used by this builder.
     pub fn latencies(&self) -> &LatencyModel {
         &self.latencies

@@ -49,15 +49,39 @@ impl fmt::Display for DdgError {
 
 impl std::error::Error for DdgError {}
 
+/// Reusable work buffers for [`Ddg::validate_with`].
+#[derive(Debug, Default)]
+pub struct ValidateScratch {
+    indeg: Vec<usize>,
+    stack: Vec<OpId>,
+}
+
+/// Sentinel for "no edge" in the intrusive adjacency lists below.
+const NO_EDGE: u32 = u32::MAX;
+
 /// A data dependence graph for one innermost-loop body.
+///
+/// Adjacency is stored as intrusive singly linked lists threaded through the
+/// edge array (`*_head`/`*_tail` per operation, `*_next` per edge) instead of a
+/// `Vec<EdgeId>` per operation: building, cloning, and dropping a graph then
+/// costs a handful of flat allocations rather than two per operation, which is
+/// what the compile pipeline spends most of its allocator traffic on.  Edges are
+/// appended at the tail, so iteration still yields edges in insertion (id)
+/// order, exactly as the per-operation vectors did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Ddg {
     ops: Vec<Operation>,
     edges: Vec<Edge>,
-    /// Outgoing edge ids per operation.
-    succs: Vec<Vec<EdgeId>>,
-    /// Incoming edge ids per operation.
-    preds: Vec<Vec<EdgeId>>,
+    /// First/last outgoing edge per operation (`NO_EDGE` if none).
+    succ_head: Vec<u32>,
+    succ_tail: Vec<u32>,
+    /// First/last incoming edge per operation (`NO_EDGE` if none).
+    pred_head: Vec<u32>,
+    pred_tail: Vec<u32>,
+    /// Next outgoing edge of the same source, per edge (`NO_EDGE` terminates).
+    succ_next: Vec<u32>,
+    /// Next incoming edge of the same destination, per edge.
+    pred_next: Vec<u32>,
 }
 
 impl Ddg {
@@ -71,8 +95,12 @@ impl Ddg {
         Ddg {
             ops: Vec::with_capacity(ops),
             edges: Vec::with_capacity(ops * 2),
-            succs: Vec::with_capacity(ops),
-            preds: Vec::with_capacity(ops),
+            succ_head: Vec::with_capacity(ops),
+            succ_tail: Vec::with_capacity(ops),
+            pred_head: Vec::with_capacity(ops),
+            pred_tail: Vec::with_capacity(ops),
+            succ_next: Vec::with_capacity(ops * 2),
+            pred_next: Vec::with_capacity(ops * 2),
         }
     }
 
@@ -80,8 +108,10 @@ impl Ddg {
     pub fn add_op(&mut self, kind: OpKind) -> OpId {
         let id = OpId(self.ops.len() as u32);
         self.ops.push(Operation::new(id, kind));
-        self.succs.push(Vec::new());
-        self.preds.push(Vec::new());
+        self.succ_head.push(NO_EDGE);
+        self.succ_tail.push(NO_EDGE);
+        self.pred_head.push(NO_EDGE);
+        self.pred_tail.push(NO_EDGE);
         id
     }
 
@@ -102,8 +132,19 @@ impl Ddg {
         assert!(dst.index() < self.ops.len(), "edge destination {dst} out of range");
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge::new(id, src, dst, kind, latency, distance));
-        self.succs[src.index()].push(id);
-        self.preds[dst.index()].push(id);
+        self.succ_next.push(NO_EDGE);
+        self.pred_next.push(NO_EDGE);
+        // Append at the tail so list order stays insertion (edge-id) order.
+        match self.succ_tail[src.index()] {
+            NO_EDGE => self.succ_head[src.index()] = id.0,
+            tail => self.succ_next[tail as usize] = id.0,
+        }
+        self.succ_tail[src.index()] = id.0;
+        match self.pred_tail[dst.index()] {
+            NO_EDGE => self.pred_head[dst.index()] = id.0,
+            tail => self.pred_next[tail as usize] = id.0,
+        }
+        self.pred_tail[dst.index()] = id.0;
         id
     }
 
@@ -146,14 +187,29 @@ impl Ddg {
         self.edges.iter()
     }
 
+    /// Walks one intrusive adjacency list from `head`, yielding edges in
+    /// insertion order.
+    fn adjacency<'a>(&'a self, head: u32, next: &'a [u32]) -> impl Iterator<Item = &'a Edge> + 'a {
+        let edges = &self.edges;
+        let mut cur = head;
+        std::iter::from_fn(move || {
+            if cur == NO_EDGE {
+                return None;
+            }
+            let e = &edges[cur as usize];
+            cur = next[cur as usize];
+            Some(e)
+        })
+    }
+
     /// Outgoing edges of `op`.
     pub fn succ_edges(&self, op: OpId) -> impl Iterator<Item = &Edge> + '_ {
-        self.succs[op.index()].iter().map(move |&e| &self.edges[e.index()])
+        self.adjacency(self.succ_head[op.index()], &self.succ_next)
     }
 
     /// Incoming edges of `op`.
     pub fn pred_edges(&self, op: OpId) -> impl Iterator<Item = &Edge> + '_ {
-        self.preds[op.index()].iter().map(move |&e| &self.edges[e.index()])
+        self.adjacency(self.pred_head[op.index()], &self.pred_next)
     }
 
     /// Flow (value-carrying) out-edges of `op`, i.e. the edges whose consumers read
@@ -191,6 +247,28 @@ impl Ddg {
             || self.edges.iter().any(|e| e.src == e.dst && e.distance > 0)
     }
 
+    /// Empties the graph while keeping (and growing to `ops`) the capacity of
+    /// every backing vector, so a long-lived scratch graph can be rebuilt
+    /// without reallocating.
+    pub fn clear_and_reserve(&mut self, ops: usize) {
+        self.ops.clear();
+        self.edges.clear();
+        self.succ_head.clear();
+        self.succ_tail.clear();
+        self.pred_head.clear();
+        self.pred_tail.clear();
+        self.succ_next.clear();
+        self.pred_next.clear();
+        self.ops.reserve(ops);
+        self.succ_head.reserve(ops);
+        self.succ_tail.reserve(ops);
+        self.pred_head.reserve(ops);
+        self.pred_tail.reserve(ops);
+        self.edges.reserve(ops * 2);
+        self.succ_next.reserve(ops * 2);
+        self.pred_next.reserve(ops * 2);
+    }
+
     /// Topological order of the intra-iteration (distance-0) subgraph.
     ///
     /// Returns `None` if that subgraph has a cycle (an invalid DDG).
@@ -207,7 +285,7 @@ impl Ddg {
         let mut order = Vec::with_capacity(n);
         while let Some(op) = stack.pop() {
             order.push(op);
-            for e in self.succs[op.index()].iter().map(|&e| &self.edges[e.index()]) {
+            for e in self.succ_edges(op) {
                 if e.distance == 0 {
                     indeg[e.dst.index()] -= 1;
                     if indeg[e.dst.index()] == 0 {
@@ -225,6 +303,13 @@ impl Ddg {
 
     /// Checks the structural invariants of the graph.
     pub fn validate(&self) -> Result<(), DdgError> {
+        let mut scratch = ValidateScratch::default();
+        self.validate_with(&mut scratch)
+    }
+
+    /// [`Ddg::validate`] with caller-owned work buffers, so hot callers (the
+    /// schedulers validate every body they are handed) do not allocate.
+    pub fn validate_with(&self, scratch: &mut ValidateScratch) -> Result<(), DdgError> {
         for e in &self.edges {
             if e.src.index() >= self.ops.len() || e.dst.index() >= self.ops.len() {
                 return Err(DdgError::DanglingEdge { edge: e.id });
@@ -236,7 +321,32 @@ impl Ddg {
                 return Err(DdgError::ZeroDistanceSelfLoop { edge: e.id });
             }
         }
-        if self.topo_order_intra().is_none() {
+        // Kahn's algorithm over the distance-0 subgraph, counting processed
+        // operations instead of materialising the order (the count alone decides
+        // acyclicity, and it does not depend on the visit order).
+        let n = self.num_ops();
+        scratch.indeg.clear();
+        scratch.indeg.resize(n, 0);
+        for e in &self.edges {
+            if e.distance == 0 {
+                scratch.indeg[e.dst.index()] += 1;
+            }
+        }
+        scratch.stack.clear();
+        scratch.stack.extend((0..n as u32).map(OpId).filter(|o| scratch.indeg[o.index()] == 0));
+        let mut processed = 0usize;
+        while let Some(op) = scratch.stack.pop() {
+            processed += 1;
+            for e in self.succ_edges(op) {
+                if e.distance == 0 {
+                    scratch.indeg[e.dst.index()] -= 1;
+                    if scratch.indeg[e.dst.index()] == 0 {
+                        scratch.stack.push(e.dst);
+                    }
+                }
+            }
+        }
+        if processed != n {
             return Err(DdgError::IntraIterationCycle);
         }
         Ok(())

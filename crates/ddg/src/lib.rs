@@ -46,7 +46,7 @@ pub mod op;
 pub use analysis::{CriticalPath, GraphStats};
 pub use builder::DdgBuilder;
 pub use edge::{DepKind, Edge, EdgeId};
-pub use graph::{Ddg, DdgError, Loop};
+pub use graph::{Ddg, DdgError, Loop, ValidateScratch};
 pub use latency::LatencyModel;
 pub use op::{OpClass, OpId, OpKind, Operation};
 

@@ -30,6 +30,50 @@ pub fn perfect_club_like(seed: u64) -> Vec<Loop> {
     generate_corpus(&CorpusConfig::default().with_seed(seed))
 }
 
+/// A lazily generated corpus: loop-by-loop identical to [`generate_corpus`]
+/// with the same configuration (one RNG seeded once, consumed sequentially),
+/// but yielding one [`Loop`] at a time so corpora of any size stream through
+/// bounded memory.
+#[derive(Debug, Clone)]
+pub struct CorpusStream {
+    cfg: CorpusConfig,
+    rng: SmallRng,
+    next: usize,
+}
+
+impl CorpusStream {
+    /// Starts a stream over the corpus described by `cfg`.
+    pub fn new(cfg: CorpusConfig) -> Self {
+        cfg.validate().expect("invalid corpus configuration");
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        CorpusStream { cfg, rng, next: 0 }
+    }
+
+    /// Number of loops not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.cfg.num_loops - self.next
+    }
+}
+
+impl Iterator for CorpusStream {
+    type Item = Loop;
+
+    fn next(&mut self) -> Option<Loop> {
+        if self.next >= self.cfg.num_loops {
+            return None;
+        }
+        let lp = generate_loop(&self.cfg, &mut self.rng, self.next);
+        self.next += 1;
+        Some(lp)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for CorpusStream {}
+
 /// Samples the number of operations of a loop body.
 ///
 /// The distribution is skewed towards small bodies: roughly half the loops have
@@ -90,7 +134,7 @@ pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Lo
     let n_loads = (n_mem - n_stores).max(1);
     let n_arith = body_size.saturating_sub(n_loads + n_stores).max(1);
 
-    let mut b = DdgBuilder::new(cfg.latencies);
+    let mut b = DdgBuilder::with_capacity(cfg.latencies, body_size);
 
     // Loads: graph sources (addresses are implicit auto-increments).
     let loads: Vec<OpId> = (0..n_loads).map(|_| b.op(OpKind::Load)).collect();
@@ -100,8 +144,10 @@ pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Lo
     // so operands are drawn from a pool of not-yet-consumed values; reuse of an
     // already-consumed value (fan-out > 1) only happens with a small probability and
     // through the explicit `extra_consumer_probability` knob below.
-    let mut values: Vec<OpId> = loads.clone();
-    let mut available: Vec<OpId> = loads.clone();
+    let mut values: Vec<OpId> = Vec::with_capacity(n_loads + n_arith);
+    values.extend_from_slice(&loads);
+    let mut available: Vec<OpId> = Vec::with_capacity(n_loads + n_arith);
+    available.extend_from_slice(&loads);
     let mut ariths: Vec<OpId> = Vec::with_capacity(n_arith);
     for _ in 0..n_arith {
         let kind = sample_arith_kind(cfg, rng);
@@ -145,9 +191,11 @@ pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Lo
     // fan-out greater than one (the situation that forces copy operations on a QRF).
     for (vi, &v) in values.iter().enumerate() {
         if rng.gen_bool(cfg.extra_consumer_probability) {
-            // Candidate consumers are operations created after the value.
-            let later_arith: Vec<OpId> = ariths.iter().copied().filter(|op| op.0 > v.0).collect();
-            if let Some(&consumer) = pick(rng, &later_arith) {
+            // Candidate consumers are operations created after the value.  Ops are
+            // created in ascending id order, so the later arithmetic ops are
+            // exactly a suffix of `ariths` — index it instead of collecting.
+            let later_arith = &ariths[ariths.partition_point(|op| op.0 <= v.0)..];
+            if let Some(&consumer) = pick(rng, later_arith) {
                 b.flow(v, consumer);
             } else if let Some(&consumer) = pick(rng, &stores) {
                 if consumer.0 > v.0 {
@@ -165,9 +213,11 @@ pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Lo
     // also stored), which is the case that costs a copy operation on a QRF.
     if rng.gen_bool(cfg.recurrence_probability) && !ariths.is_empty() {
         let n_circuits = 1 + usize::from(rng.gen_bool(0.3));
+        // `available` does not change while circuits are added, so the set of
+        // unconsumed arithmetic values is the same for every circuit.
+        let unconsumed_late: Vec<OpId> =
+            ariths.iter().copied().filter(|op| available.contains(op)).collect();
         for _ in 0..n_circuits {
-            let unconsumed_late: Vec<OpId> =
-                ariths.iter().copied().filter(|op| available.contains(op)).collect();
             let late = if !unconsumed_late.is_empty() && rng.gen_bool(0.75) {
                 unconsumed_late[rng.gen_range(0..unconsumed_late.len())]
             } else {
@@ -175,13 +225,16 @@ pub fn generate_loop(cfg: &CorpusConfig, rng: &mut SmallRng, index: usize) -> Lo
             };
             // Feed one of its ancestors (or any earlier arithmetic op) in a later
             // iteration, creating a circuit through the forward path if one exists.
-            let early_pool: Vec<OpId> = ariths
-                .iter()
-                .copied()
-                .chain(loads.iter().copied())
-                .filter(|op| op.0 < late.0)
-                .collect();
-            if let Some(&early) = pick(rng, &early_pool) {
+            // The candidate pool is every arith with a smaller id (a prefix of
+            // `ariths`, which is in ascending id order) plus every load (loads are
+            // created first, so all of them precede `late`); draw the pool index
+            // directly instead of materialising the concatenation.
+            let n_early_ariths = ariths.partition_point(|op| op.0 < late.0);
+            let pool_len = n_early_ariths + loads.len();
+            if pool_len > 0 {
+                let idx = rng.gen_range(0..pool_len);
+                let early =
+                    if idx < n_early_ariths { ariths[idx] } else { loads[idx - n_early_ariths] };
                 let distance = 1 + u32::from(rng.gen_bool(0.2));
                 b.flow_carried(late, early, distance);
             }
@@ -228,6 +281,16 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn stream_matches_the_eager_corpus_loop_by_loop() {
+        let cfg = CorpusConfig::small(60, 7);
+        let eager = generate_corpus(&cfg);
+        let stream = CorpusStream::new(cfg);
+        assert_eq!(stream.len(), 60);
+        let streamed: Vec<Loop> = stream.collect();
+        assert_eq!(eager, streamed);
     }
 
     #[test]

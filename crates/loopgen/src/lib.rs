@@ -25,7 +25,7 @@ pub mod config;
 pub mod generator;
 
 pub use config::CorpusConfig;
-pub use generator::{generate_corpus, generate_loop, perfect_club_like};
+pub use generator::{generate_corpus, generate_loop, perfect_club_like, CorpusStream};
 
 #[cfg(test)]
 mod tests {

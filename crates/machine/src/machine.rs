@@ -26,11 +26,20 @@ pub struct Machine {
     /// Unit ids of each (cluster, class) pair, ascending; indexed by
     /// `cluster · OpClass::COUNT + class`.
     cluster_class_index: Vec<Vec<FuId>>,
+    /// `u64` words per FU bitmask (`⌈num_fus / 64⌉`).
+    fu_mask_words: usize,
+    /// Bitmask form of [`Machine::fu_ids_of_class`]: bit `fu.index()` of word
+    /// `fu.index() / 64`, one `fu_mask_words`-wide row per class.  The MRT's
+    /// word-parallel `free_fu` ANDs these against its per-slot busy words.
+    class_mask: Vec<u64>,
+    /// Bitmask form of [`Machine::fu_ids_of_class_in_cluster`], one row per
+    /// `cluster · OpClass::COUNT + class`.
+    cluster_class_mask: Vec<u64>,
 }
 
-// Equality and hashing deliberately skip the two index tables: they are pure
-// functions of `fus`, and `Machine` is hashed on every compilation-session key
-// lookup — hashing the caches would triple the FuId traffic for zero added
+// Equality and hashing deliberately skip the index and mask tables: they are
+// pure functions of `fus`, and `Machine` is hashed on every compilation-session
+// key lookup — hashing the caches would triple the FuId traffic for zero added
 // discrimination.
 impl PartialEq for Machine {
     fn eq(&self, other: &Self) -> bool {
@@ -81,9 +90,16 @@ impl Machine {
         }
         let mut class_index = vec![Vec::new(); OpClass::COUNT];
         let mut cluster_class_index = vec![Vec::new(); clusters.len() * OpClass::COUNT];
+        let fu_mask_words = fus.len().div_ceil(64);
+        let mut class_mask = vec![0u64; OpClass::COUNT * fu_mask_words];
+        let mut cluster_class_mask = vec![0u64; clusters.len() * OpClass::COUNT * fu_mask_words];
         for fu in &fus {
+            let cc = fu.cluster.index() * OpClass::COUNT + fu.class.index();
             class_index[fu.class.index()].push(fu.id);
-            cluster_class_index[fu.cluster.index() * OpClass::COUNT + fu.class.index()].push(fu.id);
+            cluster_class_index[cc].push(fu.id);
+            let (w, b) = (fu.id.index() / 64, fu.id.index() % 64);
+            class_mask[fu.class.index() * fu_mask_words + w] |= 1 << b;
+            cluster_class_mask[cc * fu_mask_words + w] |= 1 << b;
         }
         Machine {
             name: name.into(),
@@ -93,6 +109,9 @@ impl Machine {
             latencies,
             class_index,
             cluster_class_index,
+            fu_mask_words,
+            class_mask,
+            cluster_class_mask,
         }
     }
 
@@ -228,6 +247,31 @@ impl Machine {
     #[inline]
     pub fn fu_ids_of_class_in_cluster(&self, cluster: ClusterId, class: OpClass) -> &[FuId] {
         &self.cluster_class_index[cluster.index() * OpClass::COUNT + class.index()]
+    }
+
+    /// `u64` words per FU bitmask row (`⌈num_fus / 64⌉`).
+    #[inline]
+    pub fn fu_mask_words(&self) -> usize {
+        self.fu_mask_words
+    }
+
+    /// Bitmask of the units of `class` machine-wide: bit `id` of word `id / 64`
+    /// is set iff unit `id` has that class.  The word-parallel MRT probe ANDs
+    /// this row against its busy words so one `trailing_zeros` replaces a
+    /// per-unit occupancy scan.
+    #[inline]
+    pub fn fu_mask_of_class(&self, class: OpClass) -> &[u64] {
+        let w = self.fu_mask_words;
+        &self.class_mask[class.index() * w..(class.index() + 1) * w]
+    }
+
+    /// Bitmask of the units of `class` inside `cluster` (same layout as
+    /// [`Machine::fu_mask_of_class`]).
+    #[inline]
+    pub fn fu_mask_of_class_in_cluster(&self, cluster: ClusterId, class: OpClass) -> &[u64] {
+        let w = self.fu_mask_words;
+        let cc = cluster.index() * OpClass::COUNT + class.index();
+        &self.cluster_class_mask[cc * w..(cc + 1) * w]
     }
 
     /// Per-class FU counts (machine-wide), indexed by [`OpClass::index`]; used by the
@@ -440,6 +484,31 @@ mod tests {
                         .map(|f| f.id)
                         .collect();
                     assert_eq!(m.fu_ids_of_class_in_cluster(c, class), &per_cluster[..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fu_mask_tables_match_the_index_tables() {
+        for m in [
+            Machine::paper_clustered(5, LatencyModel::default()),
+            Machine::single_cluster(7, 2, 32, LatencyModel::default()),
+        ] {
+            assert_eq!(m.fu_mask_words(), m.num_fus().div_ceil(64));
+            let bits = |mask: &[u64]| -> Vec<FuId> {
+                (0..m.num_fus())
+                    .filter(|&i| mask[i / 64] >> (i % 64) & 1 == 1)
+                    .map(|i| FuId(i as u32))
+                    .collect()
+            };
+            for class in OpClass::ALL {
+                assert_eq!(bits(m.fu_mask_of_class(class)), m.fu_ids_of_class(class));
+                for c in m.cluster_ids() {
+                    assert_eq!(
+                        bits(m.fu_mask_of_class_in_cluster(c, class)),
+                        m.fu_ids_of_class_in_cluster(c, class)
+                    );
                 }
             }
         }

@@ -25,7 +25,10 @@ pub mod comm;
 pub mod scheduler;
 
 pub use comm::{comm_stats, CommStats};
-pub use scheduler::{partition_schedule, PartitionOptions, PartitionResult};
+pub use scheduler::{
+    partition_schedule, partition_schedule_with, PartitionOptions, PartitionResult,
+    PartitionScratch,
+};
 
 // Re-export the shared error type so downstream users need a single import.
 pub use vliw_sched::SchedError;

@@ -9,14 +9,36 @@
 //! blocking neighbours are unscheduled (backtracking) and the search continues; when
 //! the placement budget is exhausted the II is increased.
 
+use std::cell::RefCell;
+use std::mem;
+
 use vliw_ddg::{Ddg, DepKind, OpId};
 use vliw_machine::{ClusterId, FuId, Machine};
 use vliw_sched::{
-    rec_mii, res_mii, run_placement, ClusterPolicy, Eligibility, PlacementEngine, SchedError,
-    Schedule,
+    rec_mii, res_mii, run_placement_with, ClusterPolicy, Eligibility, PlacementEngine, SchedError,
+    SchedScratch, Schedule,
 };
 
 use crate::comm::{comm_stats, CommStats};
+
+/// Reusable work-lists of the ring policy: the placed producer/consumer
+/// clusters of the operation being ranked and the affinity-sorted cluster
+/// ranking.  One triple is rebuilt for **every** placement, so reusing the
+/// buffers removes three allocations per placed operation.
+#[derive(Debug, Default)]
+struct RingLists {
+    producers: Vec<ClusterId>,
+    consumers: Vec<ClusterId>,
+    all: Vec<ClusterId>,
+}
+
+/// Reusable backing storage of a partitioning run: the shared placement
+/// engine's [`SchedScratch`] plus the ring policy's work-lists.
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    sched: SchedScratch,
+    ring: RingLists,
+}
 
 /// Tuning knobs of the partitioning scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +102,12 @@ impl PartitionResult {
     }
 }
 
+thread_local! {
+    /// Per-thread scratch of the plain entry point (session executor workers
+    /// are OS threads); explicit `_with` callers never touch this.
+    static PARTITION_SCRATCH: RefCell<PartitionScratch> = RefCell::new(PartitionScratch::default());
+}
+
 /// Schedules `ddg` on the clustered `machine`, assigning every operation to a
 /// cluster, a functional unit and a cycle.
 pub fn partition_schedule(
@@ -87,10 +115,22 @@ pub fn partition_schedule(
     machine: &Machine,
     opts: PartitionOptions,
 ) -> Result<PartitionResult, SchedError> {
+    PARTITION_SCRATCH.with(|s| partition_schedule_with(ddg, machine, opts, &mut s.borrow_mut()))
+}
+
+/// [`partition_schedule`] backed by a caller-owned [`PartitionScratch`], so
+/// every II attempt after the first reuses the same placement buffers and ring
+/// work-lists.
+pub fn partition_schedule_with(
+    ddg: &Ddg,
+    machine: &Machine,
+    opts: PartitionOptions,
+    scratch: &mut PartitionScratch,
+) -> Result<PartitionResult, SchedError> {
     if ddg.num_ops() == 0 {
         return Err(SchedError::EmptyGraph);
     }
-    ddg.validate().map_err(SchedError::InvalidGraph)?;
+    ddg.validate_with(scratch.sched.validate_scratch()).map_err(SchedError::InvalidGraph)?;
     let res = res_mii(ddg, machine)?;
     let rec = rec_mii(ddg);
     let lower = res.max(rec);
@@ -107,7 +147,7 @@ pub fn partition_schedule(
         // placement converges.
         let budget = base_budget.saturating_mul(attempts.min(8));
         if let Some((start, fu)) =
-            try_partition_at(ddg, machine, ii, budget, opts.allow_transit_moves, None)
+            try_partition_at(ddg, machine, ii, budget, opts.allow_transit_moves, None, scratch)
         {
             let schedule = Schedule::new(ii, start, fu);
             debug_assert!(schedule.validate(ddg, machine).is_ok());
@@ -158,6 +198,7 @@ pub fn partition_schedule(
             budget,
             opts.allow_transit_moves,
             Some(single_cluster),
+            scratch,
         ) {
             let schedule = Schedule::new(ii, start, fu);
             debug_assert!(schedule.validate(ddg, machine).is_ok());
@@ -193,6 +234,10 @@ struct RingPolicy {
     /// Place every operation in this cluster (the single-cluster collapse
     /// fallback).
     restrict_to: Option<ClusterId>,
+    /// Reused work-lists, borrowed per `eligible` call.  `eligible` takes
+    /// `&self` and is never re-entered (the engine calls it once per placement
+    /// round), so the `RefCell` borrow cannot conflict.
+    lists: RefCell<RingLists>,
 }
 
 impl ClusterPolicy for RingPolicy {
@@ -204,20 +249,24 @@ impl ClusterPolicy for RingPolicy {
     ) -> Eligibility {
         let machine = engine.machine();
         let ddg = engine.ddg();
+        let mut lists = self.lists.borrow_mut();
+        let RingLists { producers, consumers, all } = &mut *lists;
 
         // Placed flow neighbours and the communication constraints they impose:
         // `producers` must be able to send to op's cluster; op must be able to
         // send to `consumers`.
-        let producers: Vec<ClusterId> = ddg
-            .pred_edges(op)
-            .filter(|e| e.kind == DepKind::Flow && e.src != op)
-            .filter_map(|e| engine.cluster_of(e.src))
-            .collect();
-        let consumers: Vec<ClusterId> = ddg
-            .succ_edges(op)
-            .filter(|e| e.kind == DepKind::Flow && e.dst != op)
-            .filter_map(|e| engine.cluster_of(e.dst))
-            .collect();
+        producers.clear();
+        producers.extend(
+            ddg.pred_edges(op)
+                .filter(|e| e.kind == DepKind::Flow && e.src != op)
+                .filter_map(|e| engine.cluster_of(e.src)),
+        );
+        consumers.clear();
+        consumers.extend(
+            ddg.succ_edges(op)
+                .filter(|e| e.kind == DepKind::Flow && e.dst != op)
+                .filter_map(|e| engine.cluster_of(e.dst)),
+        );
 
         let comm_ok = |c: ClusterId| -> bool {
             if self.allow_transit {
@@ -229,10 +278,11 @@ impl ClusterPolicy for RingPolicy {
 
         // Rank every cluster by affinity, then load, then id; keep only the
         // communication-feasible ones.
-        let mut all: Vec<ClusterId> = match self.restrict_to {
-            Some(c) => vec![c],
-            None => machine.cluster_ids().collect(),
-        };
+        all.clear();
+        match self.restrict_to {
+            Some(c) => all.push(c),
+            None => all.extend(machine.cluster_ids()),
+        }
         all.sort_by_key(|&c| {
             let affinity = producers.iter().filter(|&&p| p == c).count()
                 + consumers.iter().filter(|&&s| s == c).count();
@@ -296,8 +346,18 @@ fn try_partition_at(
     budget: u32,
     allow_transit: bool,
     restrict_to: Option<ClusterId>,
+    scratch: &mut PartitionScratch,
 ) -> Option<(Vec<u32>, Vec<FuId>)> {
-    run_placement(ddg, machine, ii, budget, &RingPolicy { allow_transit, restrict_to })
+    // The policy borrows the ring work-lists for the attempt and hands them
+    // back afterwards (the engine's own buffers travel through `scratch.sched`).
+    let policy = RingPolicy {
+        allow_transit,
+        restrict_to,
+        lists: RefCell::new(mem::take(&mut scratch.ring)),
+    };
+    let result = run_placement_with(ddg, machine, ii, budget, &policy, &mut scratch.sched);
+    scratch.ring = policy.lists.into_inner();
+    result
 }
 
 #[cfg(test)]
@@ -443,6 +503,23 @@ mod tests {
         let a = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
         let b = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
         assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One scratch carried across kernels and cluster counts must reproduce
+        // the schedules of fresh (thread-local-backed) runs exactly.
+        let mut scratch = PartitionScratch::default();
+        for n in [2, 4, 5] {
+            let m = clustered(n);
+            for l in kernels::all_kernels(LatencyModel::default()) {
+                let fresh = partition_schedule(&l.ddg, &m, PartitionOptions::default()).unwrap();
+                let reused =
+                    partition_schedule_with(&l.ddg, &m, PartitionOptions::default(), &mut scratch)
+                        .unwrap();
+                assert_eq!(fresh.schedule, reused.schedule, "{} on {n} clusters", l.name);
+            }
+        }
     }
 
     #[test]

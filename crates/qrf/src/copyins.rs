@@ -55,10 +55,11 @@ pub fn insert_copies(ddg: &Ddg, latencies: &LatencyModel) -> CopyInsertion {
 
     let copy_latency = latencies.of(OpKind::Copy);
     let mut copy_ops = Vec::new();
+    let mut consumers: Vec<(OpId, u32, u32)> = Vec::new();
 
     for producer in ddg.op_ids() {
-        let mut consumers: Vec<(OpId, u32, u32)> =
-            ddg.flow_consumers(producer).map(|e| (e.dst, e.latency, e.distance)).collect();
+        consumers.clear();
+        consumers.extend(ddg.flow_consumers(producer).map(|e| (e.dst, e.latency, e.distance)));
         // Serve loop-carried consumers first so that recurrence circuits go through
         // as few copies as possible (one), minimising the impact on RecMII; the
         // remaining order keeps the original edge order and is therefore

@@ -1,0 +1,243 @@
+//! Bitset interference signatures for queue allocation.
+//!
+//! The first-fit allocator tests a candidate lifetime against every member of
+//! every open queue.  Most of those tests fail or succeed for a coarse reason:
+//! the two lifetimes never touch the same modulo slot at all.  This module
+//! precomputes, per lifetime, a `u64`-word **occupancy mask** over the II ring —
+//! bit `r` is set iff some steady-state instance of the lifetime is resident
+//! during modulo slot `r` — plus the reduced phase/length signature the
+//! division-free Q-compatibility test consumes.
+//!
+//! Two facts make the masks sound as a filter:
+//!
+//! * **Disjoint occupancy ⟹ Q-compatible.**  An incompatibility is always
+//!   witnessed by a write/read collision or an order flip between two instances,
+//!   and either witness requires the two lifetimes to be simultaneously resident
+//!   in some modulo slot.  So a queue can keep one running interference *row*
+//!   (the OR of its members' masks): a candidate whose mask is disjoint from the
+//!   row is compatible with **every** member — one word-AND per word instead of
+//!   a pairwise scan.
+//! * The converse does **not** hold (overlapping lifetimes are often still
+//!   compatible — that is the whole point of a queue), so on overlap the
+//!   allocator falls back to the exact reduced test per member, skipping members
+//!   whose individual masks are disjoint from the candidate's.
+//!
+//! The result is exactly the same allocation as the pairwise path — the masks
+//! only ever *skip* tests whose outcome is forced — at O(n·queues·words) for the
+//! common case.
+
+use crate::lifetime::Lifetime;
+
+/// Number of `u64` words needed for one occupancy mask at initiation interval `ii`.
+#[inline]
+pub fn words_for(ii: u32) -> usize {
+    (ii as usize).div_ceil(64)
+}
+
+/// Sets bits `[lo, hi)` of a little-endian multi-word mask.
+#[inline]
+fn set_bit_range(mask: &mut [u64], lo: usize, hi: usize) {
+    debug_assert!(lo <= hi && hi <= mask.len() * 64);
+    if lo == hi {
+        return;
+    }
+    let (lw, lb) = (lo / 64, lo % 64);
+    let (hw, hb) = ((hi - 1) / 64, (hi - 1) % 64);
+    // All-ones from bit `lb` upward, and from bit `hb` downward.
+    let head = !0u64 << lb;
+    let tail = !0u64 >> (63 - hb);
+    if lw == hw {
+        mask[lw] |= head & tail;
+    } else {
+        mask[lw] |= head;
+        for w in &mut mask[lw + 1..hw] {
+            *w = !0;
+        }
+        mask[hw] |= tail;
+    }
+}
+
+/// Writes the occupancy mask of a lifetime with phase `phase = start mod ii` and
+/// length `len = end − start` into `mask` (which must be zeroed, `words_for(ii)`
+/// long): the residues of the closed interval `[start, end]`, i.e. `len + 1`
+/// consecutive ring slots starting at `phase`, saturating at the full ring.
+pub fn fill_occupancy(mask: &mut [u64], phase: u32, len: u64, ii: u32) {
+    debug_assert!(phase < ii);
+    debug_assert!(mask.iter().all(|&w| w == 0));
+    let slots = (len + 1).min(u64::from(ii)) as usize;
+    let (phase, ii) = (phase as usize, ii as usize);
+    if phase + slots <= ii {
+        set_bit_range(mask, phase, phase + slots);
+    } else {
+        set_bit_range(mask, phase, ii);
+        set_bit_range(mask, 0, phase + slots - ii);
+    }
+}
+
+/// True if two masks of equal width share no set bit.
+#[inline]
+pub fn masks_disjoint(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(&x, &y)| x & y == 0)
+}
+
+/// The precomputed interference signatures of one lifetime set at one II:
+/// per-lifetime phase, length and occupancy mask, in input order.
+///
+/// The buffers are reusable: [`InterferenceSigs::build_into`] clears and refills
+/// them, so a per-worker instance makes signature extraction allocation-free
+/// after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct InterferenceSigs {
+    words: usize,
+    phases: Vec<u32>,
+    lens: Vec<u64>,
+    masks: Vec<u64>,
+}
+
+impl InterferenceSigs {
+    /// Builds the signatures of `lifetimes` at `ii` into a fresh instance.
+    pub fn build(lifetimes: &[Lifetime], ii: u32) -> Self {
+        let mut sigs = InterferenceSigs::default();
+        sigs.build_into(lifetimes, ii);
+        sigs
+    }
+
+    /// Clears the buffers and refills them with the signatures of `lifetimes`.
+    pub fn build_into(&mut self, lifetimes: &[Lifetime], ii: u32) {
+        assert!(ii >= 1);
+        let words = words_for(ii);
+        self.words = words;
+        self.phases.clear();
+        self.lens.clear();
+        self.masks.clear();
+        self.masks.resize(lifetimes.len() * words, 0);
+        for (i, lt) in lifetimes.iter().enumerate() {
+            let phase = (lt.start % u64::from(ii)) as u32;
+            let len = lt.length();
+            self.phases.push(phase);
+            self.lens.push(len);
+            fill_occupancy(&mut self.masks[i * words..(i + 1) * words], phase, len, ii);
+        }
+    }
+
+    /// Words per mask at the II the signatures were built for.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// `start mod ii` of lifetime `i`.
+    #[inline]
+    pub fn phase(&self, i: usize) -> u32 {
+        self.phases[i]
+    }
+
+    /// `end − start` of lifetime `i`.
+    #[inline]
+    pub fn len(&self, i: usize) -> u64 {
+        self.lens[i]
+    }
+
+    /// Number of signatures held.
+    #[inline]
+    pub fn num_lifetimes(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True if no signatures are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The occupancy mask of lifetime `i`.
+    #[inline]
+    pub fn mask(&self, i: usize) -> &[u64] {
+        &self.masks[i * self.words..(i + 1) * self.words]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qcompat::q_compatible;
+    use proptest::prelude::*;
+    use vliw_ddg::OpId;
+
+    fn lt(start: u64, end: u64) -> Lifetime {
+        Lifetime { producer: OpId(0), consumer: OpId(1), start, end }
+    }
+
+    fn naive_occupancy(lt: &Lifetime, ii: u32) -> Vec<bool> {
+        let mut occ = vec![false; ii as usize];
+        // A lifetime is resident during every cycle of [start, end]; project the
+        // closed interval onto the ring (saturating at the full ring).
+        for t in lt.start..=lt.end.min(lt.start + u64::from(ii)) {
+            occ[(t % u64::from(ii)) as usize] = true;
+        }
+        occ
+    }
+
+    #[test]
+    fn occupancy_covers_the_closed_interval() {
+        let sigs = InterferenceSigs::build(&[lt(1, 3)], 6);
+        assert_eq!(sigs.mask(0), &[0b001110]);
+        // Wrapping interval: [5, 8] at II 6 covers residues {5, 0, 1, 2}.
+        let sigs = InterferenceSigs::build(&[lt(5, 8)], 6);
+        assert_eq!(sigs.mask(0), &[0b100111]);
+        // A lifetime spanning >= II occupies the whole ring.
+        let sigs = InterferenceSigs::build(&[lt(2, 100)], 6);
+        assert_eq!(sigs.mask(0), &[0b111111]);
+    }
+
+    #[test]
+    fn multi_word_masks_wrap_across_word_boundaries() {
+        // II = 130 needs three words; an interval straddling bit 64 and the
+        // ring boundary must set bits in all the right words.
+        let ii = 130u32;
+        let sigs = InterferenceSigs::build(&[lt(60, 70), lt(125, 135)], ii);
+        for (i, l) in [lt(60, 70), lt(125, 135)].iter().enumerate() {
+            let naive = naive_occupancy(l, ii);
+            for (r, &expected) in naive.iter().enumerate() {
+                let got = sigs.mask(i)[r / 64] >> (r % 64) & 1 == 1;
+                assert_eq!(got, expected, "lifetime {i} residue {r}");
+            }
+        }
+    }
+
+    proptest! {
+        /// The range-filling mask matches per-cycle naive occupancy, including
+        /// multi-word IIs and lifetimes longer than the ring.
+        #[test]
+        fn mask_matches_naive_occupancy(
+            s in 0u64..500,
+            l in 0u64..400,
+            ii in 1u32..200,
+        ) {
+            let lifetime = lt(s, s + l);
+            let sigs = InterferenceSigs::build(std::slice::from_ref(&lifetime), ii);
+            let naive = naive_occupancy(&lifetime, ii);
+            for (r, &expected) in naive.iter().enumerate() {
+                let got = sigs.mask(0)[r / 64] >> (r % 64) & 1 == 1;
+                prop_assert_eq!(got, expected, "residue {}", r);
+            }
+        }
+
+        /// Soundness of the filter: disjoint occupancy implies Q-compatibility,
+        /// so the row-AND fast path can never accept an incompatible pair.
+        #[test]
+        fn disjoint_masks_imply_compatibility(
+            sa in 0u64..300, la in 0u64..250,
+            sb in 0u64..300, lb in 0u64..250,
+            ii in 1u32..150,
+        ) {
+            let a = lt(sa, sa + la);
+            let b = lt(sb, sb + lb);
+            let sigs = InterferenceSigs::build(&[a.clone(), b.clone()], ii);
+            if masks_disjoint(sigs.mask(0), sigs.mask(1)) {
+                prop_assert!(q_compatible(&a, &b, ii));
+            }
+        }
+    }
+}

@@ -56,8 +56,16 @@ impl Lifetime {
 
 /// Extracts one lifetime per (producer, consumer) flow edge.
 pub fn use_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
-    let ii = u64::from(schedule.ii);
     let mut out = Vec::new();
+    use_lifetimes_into(ddg, schedule, &mut out);
+    out
+}
+
+/// [`use_lifetimes`] into a caller-owned buffer (cleared and refilled), so a
+/// corpus compile reuses one lifetime vector.
+pub fn use_lifetimes_into(ddg: &Ddg, schedule: &Schedule, out: &mut Vec<Lifetime>) {
+    let ii = u64::from(schedule.ii);
+    out.clear();
     for e in ddg.edges() {
         if !e.kind.carries_value() {
             continue;
@@ -67,7 +75,6 @@ pub fn use_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
         debug_assert!(end >= start, "schedule violates dependence {e}");
         out.push(Lifetime { producer: e.src, consumer: e.dst, start, end });
     }
-    out
 }
 
 /// Extracts one lifetime per produced value (covering all of its consumers).
@@ -104,6 +111,32 @@ pub fn value_lifetimes(ddg: &Ddg, schedule: &Schedule) -> Vec<Lifetime> {
 /// number of registers needed (ignoring allocation fragmentation), and for a single
 /// queue holding a set of lifetimes it is the queue depth required.
 pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> usize {
+    let mut diff = Vec::new();
+    max_live_iter(lifetimes.iter(), ii, &mut diff)
+}
+
+/// [`max_live`] of the subset `members` (indices into `lifetimes`), reusing a
+/// caller-provided difference-array buffer.
+///
+/// This is the queue-depth computation of the allocator: one call per queue,
+/// over the member indices, with a single scratch buffer for the whole
+/// allocation — no member `Lifetime` is ever cloned.
+pub fn max_live_indexed(
+    lifetimes: &[Lifetime],
+    members: &[u32],
+    ii: u32,
+    diff: &mut Vec<i64>,
+) -> usize {
+    max_live_iter(members.iter().map(|&j| &lifetimes[j as usize]), ii, diff)
+}
+
+/// The shared MaxLive core: whole-wrap counting plus a difference array over the
+/// II ring, `O(II + n)` per call.  `diff` is cleared and reused.
+fn max_live_iter<'a>(
+    lifetimes: impl Iterator<Item = &'a Lifetime>,
+    ii: u32,
+    diff: &mut Vec<i64>,
+) -> usize {
     assert!(ii >= 1);
     let ii = ii as usize;
     // O(II) per lifetime instead of O(length): a lifetime of length L covers
@@ -111,7 +144,8 @@ pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> usize {
     // slots starting at `start mod II` once more.  The partial cover is a
     // (possibly wrapping) interval, accumulated in a difference array.
     let mut whole_wraps = 0usize;
-    let mut diff = vec![0i64; ii + 1];
+    diff.clear();
+    diff.resize(ii + 1, 0);
     for lt in lifetimes {
         let len = lt.length();
         whole_wraps += (len / ii as u64) as usize;
@@ -250,6 +284,26 @@ mod tests {
     #[test]
     fn max_live_of_empty_set_is_zero() {
         assert_eq!(max_live(&[], 4), 0);
+    }
+
+    #[test]
+    fn max_live_indexed_matches_cloning_the_subset() {
+        let lts: Vec<Lifetime> = [(0u64, 4u64), (2, 6), (1, 9), (3, 3), (5, 17)]
+            .iter()
+            .map(|&(s, e)| Lifetime { producer: OpId(0), consumer: OpId(1), start: s, end: e })
+            .collect();
+        let mut diff = Vec::new();
+        for members in [vec![], vec![0u32], vec![1, 3], vec![0, 2, 4], vec![4, 2, 0]] {
+            for ii in 1..=8 {
+                let cloned: Vec<Lifetime> =
+                    members.iter().map(|&j| lts[j as usize].clone()).collect();
+                assert_eq!(
+                    max_live_indexed(&lts, &members, ii, &mut diff),
+                    max_live(&cloned, ii),
+                    "members {members:?} at II {ii}"
+                );
+            }
+        }
     }
 
     #[test]

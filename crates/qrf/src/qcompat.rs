@@ -24,6 +24,24 @@
 //! difference in lifetime lengths must fit in the production-offset window
 //! `(S_b − S_a) mod II`.
 //!
+//! # Division-free form
+//!
+//! The interval test above costs two `i128` euclidean divisions per pair, and the
+//! queue allocator calls it O(n²) times per loop.  Reducing both endpoints modulo
+//! II turns it into two comparisons: with `d = (S_b − S_a) mod II` (the phase
+//! distance from `a`'s write to `b`'s write) and the lengths `L = E − S`,
+//!
+//! * `L_a ≥ L_b`: a multiple of II lies in the closed interval iff `d ≤ L_a − L_b`;
+//! * `L_b > L_a`: iff `d = 0` or `II − d ≤ L_b − L_a`.
+//!
+//! (Shifting the interval `[min(dw,dr), max(dw,dr)]` by `a`'s phase shows its
+//! width is exactly `|L_a − L_b|` and its position modulo II is `d`-determined;
+//! both branches are the two directions the interval can straddle a multiple.)
+//! [`q_compatible`] uses this form; the original interval test is kept as
+//! [`q_compatible_interval`] and the two are property-tested against each other
+//! and against the FIFO oracle, including `u64` endpoints near `start + II·distance`
+//! overflow of `u32`.
+//!
 //! The closed form is verified against a brute-force FIFO simulation oracle
 //! ([`fifo_compatible`]) by unit and property tests.
 
@@ -40,6 +58,23 @@ fn multiple_in_closed_range(lo: i128, hi: i128, ii: i128) -> bool {
     first <= hi
 }
 
+/// The Q-Compatibility test on the reduced coordinates the allocator caches:
+/// phases `p = start mod II` and lengths `l = end − start`.
+///
+/// This is the division-free form of Theorem 1.1 (see the module docs); it is
+/// the hot path of [`crate::alloc::allocate_queues`], which precomputes the
+/// phase and length of every lifetime once instead of re-dividing per pair.
+#[inline]
+pub fn q_compatible_reduced(pa: u32, la: u64, pb: u32, lb: u64, ii: u32) -> bool {
+    debug_assert!(ii >= 1 && pa < ii && pb < ii);
+    let d = if pb >= pa { pb - pa } else { pb + ii - pa };
+    if la >= lb {
+        u64::from(d) > la - lb
+    } else {
+        d != 0 && u64::from(ii - d) > lb - la
+    }
+}
+
 /// The Q-Compatibility test: can lifetimes `a` and `b` share a queue at initiation
 /// interval `ii`?
 ///
@@ -47,6 +82,17 @@ fn multiple_in_closed_range(lo: i128, hi: i128, ii: i128) -> bool {
 /// derivation).  The relation is symmetric but **not** transitive, so a set of
 /// lifetimes may share a queue only if every pair in the set is compatible.
 pub fn q_compatible(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
+    let pa = (a.start % u64::from(ii)) as u32;
+    let pb = (b.start % u64::from(ii)) as u32;
+    q_compatible_reduced(pa, a.length(), pb, b.length(), ii)
+}
+
+/// The original interval formulation of Theorem 1.1: no integer multiple of `ii`
+/// in the closed interval `[min(dw, dr), max(dw, dr)]`.
+///
+/// Kept as the executable reference the division-free [`q_compatible`] is
+/// property-tested against.
+pub fn q_compatible_interval(a: &Lifetime, b: &Lifetime, ii: u32) -> bool {
     let ii = i128::from(ii);
     let dw = i128::from(a.start) - i128::from(b.start);
     let dr = i128::from(a.end) - i128::from(b.end);
@@ -254,7 +300,46 @@ mod tests {
         assert!(!multiple_in_closed_range(-7, -5, 4));
     }
 
+    #[test]
+    fn division_free_form_matches_interval_form_exhaustively() {
+        // Small exhaustive sweep: every (phase, length) pair against every other
+        // at every II up to 9 — the full behaviour space of the reduced form.
+        for ii in 1u32..=9 {
+            for sa in 0..ii {
+                for la in 0..3 * ii {
+                    for sb in 0..2 * ii {
+                        for lb in 0..3 * ii {
+                            let a = lt(sa, sa + la);
+                            let b = lt(sb, sb + lb);
+                            assert_eq!(
+                                q_compatible(&a, &b, ii),
+                                q_compatible_interval(&a, &b, ii),
+                                "ii={ii} a=({sa},{la}) b=({sb},{lb})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     proptest! {
+        /// The division-free reduced form agrees with the interval formulation
+        /// on `u64` endpoints, including lifetimes whose ends come from
+        /// `start + II·distance` and exceed `u32` (the widened domain).
+        #[test]
+        fn division_free_form_matches_interval_form_on_u64_endpoints(
+            sa in 0u64..u64::from(u32::MAX),
+            la in 0u64..(1u64 << 40),
+            sb in 0u64..u64::from(u32::MAX),
+            lb in 0u64..(1u64 << 40),
+            ii in 1u32..100_000,
+        ) {
+            let a = Lifetime { producer: OpId(0), consumer: OpId(1), start: sa, end: sa + la };
+            let b = Lifetime { producer: OpId(2), consumer: OpId(3), start: sb, end: sb + lb };
+            prop_assert_eq!(q_compatible(&a, &b, ii), q_compatible_interval(&a, &b, ii));
+        }
+
         /// The closed-form Theorem 1.1 test agrees with the brute-force FIFO
         /// simulation for arbitrary lifetime pairs and IIs.
         #[test]

@@ -28,12 +28,47 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::mem;
 
 use vliw_ddg::{Ddg, DepKind, OpId};
 use vliw_machine::{ClusterId, FuId, Machine};
 
 use crate::mrt::Mrt;
-use crate::priority::height_r;
+use crate::priority::height_r_into;
+
+/// Reusable backing storage of one scheduling attempt: the placement arrays,
+/// the ready heap, the MRT grids and the cluster ranking buffer.
+///
+/// One engine attempt performs a dozen allocations; an II search multiplies
+/// that by the number of attempts, and a corpus compile by the number of loops.
+/// A per-worker `SchedScratch` threaded through [`run_placement_with`] (or the
+/// schedulers' `_with` entry points) makes every attempt after the first
+/// allocation-free: buffers are taken out of the scratch, cleared, resized and
+/// returned by [`PlacementEngine::recycle`], growing monotonically to the
+/// high-water mark of the workload.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    heights: Vec<i64>,
+    start: Vec<Option<u32>>,
+    fu_of: Vec<FuId>,
+    prev_start: Vec<u64>,
+    never_scheduled: Vec<bool>,
+    cluster_load: Vec<u32>,
+    mrt: Mrt,
+    /// Backing vector of the ready heap (kept as a `Vec` between attempts so
+    /// refills use `BinaryHeap::from`'s O(n) heapify).
+    ready: Vec<(i64, Reverse<u32>)>,
+    ranked: Vec<ClusterId>,
+    validate: vliw_ddg::ValidateScratch,
+}
+
+impl SchedScratch {
+    /// The graph-validation buffers, shared with the schedulers' pre-flight
+    /// [`Ddg::validate_with`] check.
+    pub fn validate_scratch(&mut self) -> &mut vliw_ddg::ValidateScratch {
+        &mut self.validate
+    }
+}
 
 /// Cluster restriction of one placement round, as decided by a
 /// [`ClusterPolicy`].
@@ -102,31 +137,72 @@ pub struct PlacementEngine<'a> {
     cluster_load: Vec<u32>,
     mrt: Mrt,
     ready: BinaryHeap<(i64, Reverse<u32>)>,
+    ranked_buf: Vec<ClusterId>,
 }
 
 impl<'a> PlacementEngine<'a> {
     /// Prepares an attempt: computes the II-adjusted heights and fills the
     /// ready queue with every operation.
     pub fn new(ddg: &'a Ddg, machine: &'a Machine, ii: u32) -> Self {
+        Self::new_in(ddg, machine, ii, &mut SchedScratch::default())
+    }
+
+    /// [`PlacementEngine::new`] backed by `scratch`'s buffers: the attempt
+    /// allocates nothing the scratch already holds.  Pair with
+    /// [`PlacementEngine::recycle`] to return the buffers after the run.
+    pub fn new_in(ddg: &'a Ddg, machine: &'a Machine, ii: u32, scratch: &mut SchedScratch) -> Self {
         let n = ddg.num_ops();
-        let heights = height_r(ddg, ii);
-        let mut ready = BinaryHeap::with_capacity(n);
-        for (i, &h) in heights.iter().enumerate() {
-            ready.push((h, Reverse(i as u32)));
-        }
+        let mut heights = mem::take(&mut scratch.heights);
+        height_r_into(ddg, ii, &mut heights);
+        let mut ready = mem::take(&mut scratch.ready);
+        ready.clear();
+        ready.extend(heights.iter().enumerate().map(|(i, &h)| (h, Reverse(i as u32))));
+        let mut start = mem::take(&mut scratch.start);
+        start.clear();
+        start.resize(n, None);
+        let mut fu_of = mem::take(&mut scratch.fu_of);
+        fu_of.clear();
+        fu_of.resize(n, FuId(0));
+        let mut prev_start = mem::take(&mut scratch.prev_start);
+        prev_start.clear();
+        prev_start.resize(n, 0);
+        let mut never_scheduled = mem::take(&mut scratch.never_scheduled);
+        never_scheduled.clear();
+        never_scheduled.resize(n, true);
+        let mut cluster_load = mem::take(&mut scratch.cluster_load);
+        cluster_load.clear();
+        cluster_load.resize(machine.num_clusters(), 0);
+        let mut mrt = mem::take(&mut scratch.mrt);
+        mrt.reset(machine, ii);
+        let mut ranked_buf = mem::take(&mut scratch.ranked);
+        ranked_buf.clear();
         PlacementEngine {
             ddg,
             machine,
             ii,
             heights,
-            start: vec![None; n],
-            fu_of: vec![FuId(0); n],
-            prev_start: vec![0; n],
-            never_scheduled: vec![true; n],
-            cluster_load: vec![0; machine.num_clusters()],
-            mrt: Mrt::new(machine, ii),
-            ready,
+            start,
+            fu_of,
+            prev_start,
+            never_scheduled,
+            cluster_load,
+            mrt,
+            ready: BinaryHeap::from(ready),
+            ranked_buf,
         }
+    }
+
+    /// Returns the engine's buffers to `scratch` for the next attempt.
+    pub fn recycle(self, scratch: &mut SchedScratch) {
+        scratch.heights = self.heights;
+        scratch.start = self.start;
+        scratch.fu_of = self.fu_of;
+        scratch.prev_start = self.prev_start;
+        scratch.never_scheduled = self.never_scheduled;
+        scratch.cluster_load = self.cluster_load;
+        scratch.mrt = self.mrt;
+        scratch.ready = self.ready.into_vec();
+        scratch.ranked = self.ranked_buf;
     }
 
     /// The dependence graph being scheduled.
@@ -215,15 +291,31 @@ impl<'a> PlacementEngine<'a> {
 
     /// Runs the placement loop until every operation is scheduled or the budget
     /// is exhausted.  Returns the per-op start times and unit assignments.
+    ///
+    /// The engine survives the run (`&mut self`) so its buffers can be
+    /// [recycled](PlacementEngine::recycle) into a [`SchedScratch`].
     pub fn run<P: ClusterPolicy>(
-        mut self,
+        &mut self,
         budget: u32,
         policy: &P,
+    ) -> Option<(Vec<u32>, Vec<FuId>)> {
+        // The ranking buffer is lent to the loop (the policy callback already
+        // borrows the whole engine mutably) and restored on every exit path.
+        let mut ranked = mem::take(&mut self.ranked_buf);
+        let result = self.run_inner(budget, policy, &mut ranked);
+        self.ranked_buf = ranked;
+        result
+    }
+
+    fn run_inner<P: ClusterPolicy>(
+        &mut self,
+        budget: u32,
+        policy: &P,
+        ranked: &mut Vec<ClusterId>,
     ) -> Option<(Vec<u32>, Vec<FuId>)> {
         let ddg = self.ddg;
         let ii = self.ii;
         let mut budget = budget as i64;
-        let mut ranked: Vec<ClusterId> = Vec::with_capacity(self.machine.num_clusters());
 
         while let Some(op) = self.pop_ready() {
             budget -= 1;
@@ -237,7 +329,7 @@ impl<'a> PlacementEngine<'a> {
             // keeps the bound they implied (matching the original schedulers).
             let estart = self.estart(op);
             ranked.clear();
-            let eligibility = policy.eligible(&mut self, op, &mut ranked);
+            let eligibility = policy.eligible(self, op, ranked);
 
             // Look for a free unit in the scheduling window
             // [estart, estart + II - 1], best cluster first.
@@ -255,7 +347,7 @@ impl<'a> PlacementEngine<'a> {
                         }
                     }
                     Eligibility::Ranked => {
-                        for &c in &ranked {
+                        for &c in ranked.iter() {
                             if let Some(fu) = self.mrt.free_fu(self.machine, cycle, class, Some(c))
                             {
                                 placement = Some((t, fu));
@@ -355,9 +447,11 @@ impl<'a> PlacementEngine<'a> {
             }
         }
 
-        let start: Vec<u32> =
-            self.start.into_iter().map(|s| s.expect("all ops scheduled")).collect();
-        Some((start, self.fu_of))
+        // The result vectors escape into the schedule, so they are the one
+        // fresh allocation of a successful attempt; the working buffers stay
+        // with the engine for recycling.
+        let start: Vec<u32> = self.start.iter().map(|s| s.expect("all ops scheduled")).collect();
+        Some((start, self.fu_of.clone()))
     }
 }
 
@@ -373,9 +467,26 @@ pub fn run_placement<P: ClusterPolicy>(
     PlacementEngine::new(ddg, machine, ii).run(budget, policy)
 }
 
+/// [`run_placement`] backed by a caller-owned [`SchedScratch`]: repeated
+/// attempts (the II search, a corpus compile) reuse one set of buffers.
+pub fn run_placement_with<P: ClusterPolicy>(
+    ddg: &Ddg,
+    machine: &Machine,
+    ii: u32,
+    budget: u32,
+    policy: &P,
+    scratch: &mut SchedScratch,
+) -> Option<(Vec<u32>, Vec<FuId>)> {
+    let mut engine = PlacementEngine::new_in(ddg, machine, ii, scratch);
+    let result = engine.run(budget, policy);
+    engine.recycle(scratch);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::priority::height_r;
     use vliw_ddg::{DdgBuilder, LatencyModel, OpKind};
 
     fn machine(fus: usize) -> Machine {
@@ -527,6 +638,26 @@ mod tests {
                         naive_schedule_at(g, &m, ii, budget),
                         "engine diverges from the naive scan at II {ii} on {fus} FUs"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_engines() {
+        // One scratch carried across kernels, machine widths and IIs (so every
+        // buffer is resized up and down and the MRT is re-shaped) must yield
+        // exactly the placements of a fresh engine every time.
+        use vliw_ddg::kernels;
+        let mut scratch = SchedScratch::default();
+        for lp in kernels::all_kernels(LatencyModel::default()) {
+            for fus in [3, 6] {
+                let m = machine(fus);
+                for ii in 1..=5 {
+                    let fresh = run_placement(&lp.ddg, &m, ii, 256, &AnyClusterPolicy);
+                    let reused =
+                        run_placement_with(&lp.ddg, &m, ii, 256, &AnyClusterPolicy, &mut scratch);
+                    assert_eq!(fresh, reused, "II {ii} on {fus} FUs");
                 }
             }
         }

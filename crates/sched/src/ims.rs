@@ -10,10 +10,12 @@
 //!    placed *by force*, evicting the operation(s) that conflict with it, which are
 //!    then re-scheduled later (bounded by a budget of placements).
 
+use std::cell::RefCell;
+
 use vliw_ddg::Ddg;
 use vliw_machine::{FuId, Machine};
 
-use crate::core::{run_placement, AnyClusterPolicy};
+use crate::core::{run_placement_with, AnyClusterPolicy, SchedScratch};
 use crate::mii::{rec_mii, res_mii};
 use crate::schedule::Schedule;
 use crate::SchedError;
@@ -70,16 +72,34 @@ impl ImsResult {
     }
 }
 
+thread_local! {
+    /// Per-thread scratch of the plain entry point.  Session executor workers
+    /// are OS threads, so each worker amortises its own buffers across every
+    /// loop it compiles; explicit `_with` callers never touch this.
+    static IMS_SCRATCH: RefCell<SchedScratch> = RefCell::new(SchedScratch::default());
+}
+
 /// Runs iterative modulo scheduling of `ddg` on `machine`.
 pub fn modulo_schedule(
     ddg: &Ddg,
     machine: &Machine,
     opts: ImsOptions,
 ) -> Result<ImsResult, SchedError> {
+    IMS_SCRATCH.with(|s| modulo_schedule_with(ddg, machine, opts, &mut s.borrow_mut()))
+}
+
+/// [`modulo_schedule`] backed by a caller-owned [`SchedScratch`], so every II
+/// attempt after the first reuses the same placement buffers.
+pub fn modulo_schedule_with(
+    ddg: &Ddg,
+    machine: &Machine,
+    opts: ImsOptions,
+    scratch: &mut SchedScratch,
+) -> Result<ImsResult, SchedError> {
     if ddg.num_ops() == 0 {
         return Err(SchedError::EmptyGraph);
     }
-    ddg.validate().map_err(SchedError::InvalidGraph)?;
+    ddg.validate_with(scratch.validate_scratch()).map_err(SchedError::InvalidGraph)?;
     let res = res_mii(ddg, machine)?;
     let rec = rec_mii(ddg);
     let lower = res.max(rec);
@@ -91,7 +111,7 @@ pub fn modulo_schedule(
     let mut ii = start_ii;
     while ii <= max_ii {
         attempts += 1;
-        if let Some((start, fu)) = try_schedule_at(ddg, machine, ii, budget) {
+        if let Some((start, fu)) = try_schedule_at(ddg, machine, ii, budget, scratch) {
             let schedule = Schedule::new(ii, start, fu);
             debug_assert!(schedule.validate(ddg, machine).is_ok());
             return Ok(ImsResult { schedule, res_mii: res, rec_mii: rec, mii: lower, attempts });
@@ -112,8 +132,9 @@ fn try_schedule_at(
     machine: &Machine,
     ii: u32,
     budget: u32,
+    scratch: &mut SchedScratch,
 ) -> Option<(Vec<u32>, Vec<FuId>)> {
-    run_placement(ddg, machine, ii, budget, &AnyClusterPolicy)
+    run_placement_with(ddg, machine, ii, budget, &AnyClusterPolicy, scratch)
 }
 
 #[cfg(test)]

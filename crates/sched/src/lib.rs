@@ -28,11 +28,14 @@ pub mod mrt;
 pub mod priority;
 pub mod schedule;
 
-pub use core::{run_placement, AnyClusterPolicy, ClusterPolicy, Eligibility, PlacementEngine};
-pub use ims::{modulo_schedule, ImsOptions, ImsResult};
+pub use core::{
+    run_placement, run_placement_with, AnyClusterPolicy, ClusterPolicy, Eligibility,
+    PlacementEngine, SchedScratch,
+};
+pub use ims::{modulo_schedule, modulo_schedule_with, ImsOptions, ImsResult};
 pub use mii::{has_positive_cycle, mii, rec_mii, res_mii};
 pub use mrt::Mrt;
-pub use priority::{height_r, priority_order};
+pub use priority::{height_r, height_r_into, priority_order};
 pub use schedule::{Schedule, ScheduleViolation};
 
 use std::fmt;

@@ -12,6 +12,8 @@
 //! test on edge weights `latency − II · distance` (a positive cycle at a candidate II
 //! means some recurrence circuit cannot be honoured at that II).
 
+use std::cell::RefCell;
+
 use vliw_ddg::{Ddg, OpClass};
 use vliw_machine::Machine;
 
@@ -42,27 +44,244 @@ pub fn res_mii(ddg: &Ddg, machine: &Machine) -> Result<u32, SchedError> {
 /// Recurrence-constrained minimum initiation interval.
 ///
 /// Loops without any dependence circuit have `RecMII == 1`.
+///
+/// Every dependence circuit lies entirely inside one strongly connected
+/// component of the (carried-edge-inclusive) graph, so the binary search and
+/// its Bellman–Ford probes run per component over its internal edges only.
+/// Typical loop bodies are chains with a few small recurrences, which turns
+/// the whole-graph `O(log(Σlat) · V · E)` search into near-linear work.
 pub fn rec_mii(ddg: &Ddg) -> u32 {
-    // Upper bound: the sum of all edge latencies is always a feasible II for the
-    // recurrence constraints (every circuit's delay is at most that sum and every
-    // circuit has distance >= 1).
-    let hi: i64 = ddg.edges().map(|e| e.latency as i64).sum::<i64>().max(1);
+    MII_SCRATCH.with(|s| rec_mii_in(ddg, &mut s.borrow_mut()))
+}
+
+/// Reusable buffers of [`rec_mii`]: the SCC decomposition and the per-component
+/// search are allocation-free across calls on the same thread.
+#[derive(Default)]
+struct MiiScratch {
+    start: Vec<u32>,
+    adj: Vec<u32>,
+    fill: Vec<u32>,
+    index: Vec<u32>,
+    low: Vec<u32>,
+    on_stack: Vec<bool>,
+    comp: Vec<u32>,
+    stack: Vec<u32>,
+    frames: Vec<(u32, u32)>,
+    internal: Vec<(u32, u32, u32, i64, i64)>,
+    dist: Vec<i64>,
+    in_comp: Vec<bool>,
+    nodes: Vec<u32>,
+}
+
+thread_local! {
+    static MII_SCRATCH: RefCell<MiiScratch> = RefCell::new(MiiScratch::default());
+}
+
+fn rec_mii_in(ddg: &Ddg, scratch: &mut MiiScratch) -> u32 {
+    let n = ddg.num_ops();
+    if n == 0 {
+        return 1;
+    }
+    scc_ids_into(ddg, scratch);
+    // An edge can participate in a circuit iff both endpoints share an SCC
+    // (a self-edge trivially does).  Everything else cannot constrain RecMII.
+    let comp = &scratch.comp;
+    let internal = &mut scratch.internal;
+    internal.clear();
+    for e in ddg.edges() {
+        let (s, d) = (e.src.index(), e.dst.index());
+        if comp[s] == comp[d] {
+            internal.push((comp[s], s as u32, d as u32, e.latency as i64, e.distance as i64));
+        }
+    }
+    if internal.is_empty() {
+        return 1;
+    }
+    internal.sort_unstable_by_key(|t| t.0);
+
+    let dist = &mut scratch.dist;
+    dist.clear();
+    dist.resize(n, 0);
+    let in_comp = &mut scratch.in_comp;
+    in_comp.clear();
+    in_comp.resize(n, false);
+    let nodes = &mut scratch.nodes;
+    let mut best = 1u32;
+    let mut at = 0;
+    while at < internal.len() {
+        let comp_id = internal[at].0;
+        let mut end = at;
+        while end < internal.len() && internal[end].0 == comp_id {
+            end += 1;
+        }
+        let edges = &internal[at..end];
+        at = end;
+
+        nodes.clear();
+        for &(_, s, d, _, _) in edges {
+            for v in [s, d] {
+                if !in_comp[v as usize] {
+                    in_comp[v as usize] = true;
+                    nodes.push(v);
+                }
+            }
+        }
+        best = best.max(component_rec_mii(edges, nodes, dist));
+        for &v in nodes.iter() {
+            in_comp[v as usize] = false;
+        }
+    }
+    best
+}
+
+/// Smallest II at which one SCC's circuits are all honoured — the same binary
+/// search as the pre-SCC whole-graph version, restricted to `edges`.
+fn component_rec_mii(edges: &[(u32, u32, u32, i64, i64)], nodes: &[u32], dist: &mut [i64]) -> u32 {
+    // Upper bound: the component's latency sum is always feasible (every
+    // circuit's delay is at most that sum and every circuit has distance >= 1).
     let mut lo = 1i64;
-    let mut hi = hi;
+    let mut hi = edges.iter().map(|e| e.3).sum::<i64>().max(1);
     // Invariant: `hi` is always feasible, `lo - 1` is infeasible (or lo == 1).
-    if has_positive_cycle(ddg, hi as u32) {
+    if positive_cycle_in(edges, nodes, hi as u32, dist) {
         // Cannot happen for a valid DDG (distance-0 subgraph acyclic), but be safe.
         return hi as u32;
     }
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if has_positive_cycle(ddg, mid as u32) {
+        if positive_cycle_in(edges, nodes, mid as u32, dist) {
             lo = mid + 1;
         } else {
             hi = mid;
         }
     }
     lo as u32
+}
+
+/// Bellman–Ford positive-cycle probe over one component's edge list.  `dist`
+/// is caller-provided scratch of whole-graph size; only `nodes` are touched.
+fn positive_cycle_in(
+    edges: &[(u32, u32, u32, i64, i64)],
+    nodes: &[u32],
+    ii: u32,
+    dist: &mut [i64],
+) -> bool {
+    for &v in nodes {
+        dist[v as usize] = 0;
+    }
+    for _ in 0..nodes.len() {
+        let mut changed = false;
+        for &(_, s, d, lat, dd) in edges {
+            let cand = dist[s as usize] + lat - (ii as i64) * dd;
+            if cand > dist[d as usize] {
+                dist[d as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    for &(_, s, d, lat, dd) in edges {
+        if dist[s as usize] + lat - (ii as i64) * dd > dist[d as usize] {
+            return true;
+        }
+    }
+    false
+}
+
+/// Strongly connected component id per operation (Tarjan, iterative), written
+/// to `scratch.comp`.  Ids carry no ordering guarantee; only equality is
+/// meaningful.
+fn scc_ids_into(ddg: &Ddg, scratch: &mut MiiScratch) {
+    let n = ddg.num_ops();
+    const UNVISITED: u32 = u32::MAX;
+
+    // CSR successor adjacency.
+    let start = &mut scratch.start;
+    start.clear();
+    start.resize(n + 1, 0);
+    for e in ddg.edges() {
+        start[e.src.index() + 1] += 1;
+    }
+    for i in 0..n {
+        start[i + 1] += start[i];
+    }
+    let adj = &mut scratch.adj;
+    adj.clear();
+    adj.resize(ddg.num_edges(), 0);
+    let fill = &mut scratch.fill;
+    fill.clear();
+    fill.extend_from_slice(start);
+    for e in ddg.edges() {
+        adj[fill[e.src.index()] as usize] = e.dst.index() as u32;
+        fill[e.src.index()] += 1;
+    }
+
+    let index = &mut scratch.index;
+    index.clear();
+    index.resize(n, UNVISITED);
+    let low = &mut scratch.low;
+    low.clear();
+    low.resize(n, 0);
+    let on_stack = &mut scratch.on_stack;
+    on_stack.clear();
+    on_stack.resize(n, false);
+    let comp = &mut scratch.comp;
+    comp.clear();
+    comp.resize(n, 0);
+    let stack = &mut scratch.stack;
+    stack.clear();
+    // DFS frames: (node, next unexplored successor offset into `adj`).
+    let frames = &mut scratch.frames;
+    frames.clear();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        frames.push((root, start[root as usize]));
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0 as usize;
+            if frame.1 < start[v + 1] {
+                let w = adj[frame.1 as usize] as usize;
+                frame.1 += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, start[w]));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last_mut() {
+                    let p = parent.0 as usize;
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow") as usize;
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Minimum initiation interval: `max(ResMII, RecMII)`.
@@ -226,6 +445,49 @@ mod tests {
         if r > 1 {
             assert!(has_positive_cycle(&l.ddg, r - 1));
         }
+    }
+
+    /// The pre-SCC implementation, kept as an executable oracle: whole-graph
+    /// binary search over [1, Σ latency] with `has_positive_cycle` probes.
+    fn rec_mii_whole_graph(ddg: &Ddg) -> u32 {
+        let mut lo = 1i64;
+        let mut hi = ddg.edges().map(|e| e.latency as i64).sum::<i64>().max(1);
+        if has_positive_cycle(ddg, hi as u32) {
+            return hi as u32;
+        }
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if has_positive_cycle(ddg, mid as u32) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u32
+    }
+
+    #[test]
+    fn scc_rec_mii_matches_the_whole_graph_search_on_all_kernels() {
+        for lp in kernels::all_kernels(LatencyModel::default()) {
+            assert_eq!(rec_mii(&lp.ddg), rec_mii_whole_graph(&lp.ddg), "{}", lp.name);
+        }
+    }
+
+    #[test]
+    fn scc_rec_mii_matches_the_whole_graph_search_on_multi_circuit_graphs() {
+        // Two disjoint circuits of different severity plus an acyclic tail.
+        let mut b = DdgBuilder::new(LatencyModel::default());
+        let a = b.op(OpKind::Mul);
+        let c = b.op(OpKind::Add);
+        let d = b.op(OpKind::Add);
+        let e = b.op(OpKind::Load);
+        b.edge_with_latency(a, c, DepKind::Flow, 2, 0);
+        b.edge_with_latency(c, a, DepKind::Flow, 4, 1);
+        b.edge_with_latency(d, d, DepKind::Flow, 3, 2);
+        b.flow(c, e);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g), 6);
+        assert_eq!(rec_mii(&g), rec_mii_whole_graph(&g));
     }
 
     #[test]

@@ -4,6 +4,15 @@
 //! (`cycle mod II`).  All functional units are fully pipelined and occupy their unit
 //! for a single issue slot, so the table is a simple `II × num_fus` grid of optional
 //! operation ids.
+//!
+//! The grid is mirrored by per-slot `u64` **busy words** (bit `fu` of word
+//! `fu / 64`).  The hot `free_fu` probe ANDs the machine's per-class (or
+//! per-cluster-and-class) candidate bitmask against the slot's busy words and takes
+//! `trailing_zeros`, which returns the lowest-numbered free candidate in a handful
+//! of word operations instead of a per-unit occupancy scan.  Both FU index tables
+//! are in ascending id order, so the bit-scan answer is identical to the old
+//! first-free-in-index-order walk.  The `Option<OpId>` grid stays as the occupant
+//! record the eviction path reads.
 
 use vliw_ddg::{OpClass, OpId};
 use vliw_machine::{ClusterId, FuId, Machine};
@@ -13,17 +22,48 @@ use vliw_machine::{ClusterId, FuId, Machine};
 pub struct Mrt {
     ii: u32,
     num_fus: usize,
+    /// `u64` words per slot in `busy` (`⌈num_fus / 64⌉`, matching
+    /// [`Machine::fu_mask_words`]).
+    words: usize,
     /// `slots[slot * num_fus + fu]` is the operation issued on `fu` at modulo slot
     /// `slot`, if any.
     slots: Vec<Option<OpId>>,
+    /// `busy[slot * words + fu / 64]` bit `fu % 64` is set iff `slots[slot][fu]`
+    /// is occupied.
+    busy: Vec<u64>,
+    /// Running count of occupied slots, kept in sync by `reserve`/`release` so
+    /// utilisation statistics never rescan the grid.
+    occupied: usize,
+}
+
+/// An empty zero-unit table at II 1; only useful as a placeholder to
+/// [`Mrt::reset`] (scratch reuse takes the table out of the arena by value).
+impl Default for Mrt {
+    fn default() -> Self {
+        Mrt { ii: 1, num_fus: 0, words: 0, slots: Vec::new(), busy: Vec::new(), occupied: 0 }
+    }
 }
 
 impl Mrt {
     /// Creates an empty table for `machine` at initiation interval `ii`.
     pub fn new(machine: &Machine, ii: u32) -> Self {
+        let mut mrt = Mrt::default();
+        mrt.reset(machine, ii);
+        mrt
+    }
+
+    /// Re-shapes the table for `machine` at `ii` and clears every reservation,
+    /// keeping the backing allocations (grown monotonically across attempts).
+    pub fn reset(&mut self, machine: &Machine, ii: u32) {
         assert!(ii >= 1, "II must be at least 1");
-        let num_fus = machine.num_fus();
-        Mrt { ii, num_fus, slots: vec![None; ii as usize * num_fus] }
+        self.ii = ii;
+        self.num_fus = machine.num_fus();
+        self.words = machine.fu_mask_words();
+        self.slots.clear();
+        self.slots.resize(ii as usize * self.num_fus, None);
+        self.busy.clear();
+        self.busy.resize(ii as usize * self.words, 0);
+        self.occupied = 0;
     }
 
     /// The initiation interval of the table.
@@ -49,11 +89,18 @@ impl Mrt {
         self.slots[self.idx(self.slot_of(cycle), fu)]
     }
 
+    /// The busy words of one modulo slot.
+    #[inline]
+    fn busy_words(&self, slot: u32) -> &[u64] {
+        let base = slot as usize * self.words;
+        &self.busy[base..base + self.words]
+    }
+
     /// Finds a free functional unit of class `class` at `cycle`, optionally
     /// restricted to one cluster.  Returns the lowest-numbered free unit.
     ///
-    /// The probe walks the machine's pre-built per-class (or per-cluster-and-class)
-    /// unit index, so it touches only candidate units rather than every FU.
+    /// Word-parallel: each 64-unit word is candidate-mask AND NOT busy-word; the
+    /// first non-zero word's `trailing_zeros` is the answer.
     pub fn free_fu(
         &self,
         machine: &Machine,
@@ -62,10 +109,17 @@ impl Mrt {
         cluster: Option<ClusterId>,
     ) -> Option<FuId> {
         let candidates = match cluster {
-            Some(c) => machine.fu_ids_of_class_in_cluster(c, class),
-            None => machine.fu_ids_of_class(class),
+            Some(c) => machine.fu_mask_of_class_in_cluster(c, class),
+            None => machine.fu_mask_of_class(class),
         };
-        candidates.iter().copied().find(|&fu| self.occupant(cycle, fu).is_none())
+        let busy = self.busy_words(self.slot_of(cycle));
+        for (w, (&cand, &b)) in candidates.iter().zip(busy).enumerate() {
+            let free = cand & !b;
+            if free != 0 {
+                return Some(FuId((w * 64) as u32 + free.trailing_zeros()));
+            }
+        }
+        None
     }
 
     /// Reserves `fu` at `cycle` for `op`.
@@ -74,26 +128,36 @@ impl Mrt {
     ///
     /// Panics if the slot is already occupied (callers must evict first).
     pub fn reserve(&mut self, cycle: u32, fu: FuId, op: OpId) {
-        let idx = self.idx(self.slot_of(cycle), fu);
+        let slot = self.slot_of(cycle);
+        let idx = self.idx(slot, fu);
         assert!(
             self.slots[idx].is_none(),
             "MRT slot {} / {} already occupied by {:?}",
-            self.slot_of(cycle),
+            slot,
             fu,
             self.slots[idx]
         );
         self.slots[idx] = Some(op);
+        self.busy[slot as usize * self.words + fu.index() / 64] |= 1 << (fu.index() % 64);
+        self.occupied += 1;
     }
 
     /// Releases the reservation of `fu` at `cycle`, returning the evicted operation.
     pub fn release(&mut self, cycle: u32, fu: FuId) -> Option<OpId> {
-        let idx = self.idx(self.slot_of(cycle), fu);
-        self.slots[idx].take()
+        let slot = self.slot_of(cycle);
+        let idx = self.idx(slot, fu);
+        let op = self.slots[idx].take();
+        if op.is_some() {
+            self.busy[slot as usize * self.words + fu.index() / 64] &= !(1 << (fu.index() % 64));
+            self.occupied -= 1;
+        }
+        op
     }
 
-    /// Number of occupied slots (used by utilisation statistics).
+    /// Number of occupied slots (used by utilisation statistics).  O(1): a running
+    /// count maintained by `reserve`/`release`.
     pub fn occupied_slots(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.occupied
     }
 
     /// Total number of issue slots in the table (`II × num_fus`).
@@ -105,6 +169,7 @@ impl Mrt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use vliw_machine::LatencyModel;
 
     fn machine() -> Machine {
@@ -121,6 +186,7 @@ mod tests {
         assert_eq!(mrt.occupant(1, fu), Some(OpId(7)));
         assert_eq!(mrt.occupant(4, fu), Some(OpId(7)));
         assert_eq!(mrt.occupant(7, fu), Some(OpId(7)));
+        assert_eq!(mrt.occupied_slots(), 1);
         assert_eq!(mrt.release(7, fu), Some(OpId(7)));
         assert_eq!(mrt.occupant(4, fu), None);
         assert_eq!(mrt.occupied_slots(), 0);
@@ -169,5 +235,79 @@ mod tests {
     fn zero_ii_is_rejected() {
         let m = machine();
         let _ = Mrt::new(&m, 0);
+    }
+
+    #[test]
+    fn released_empty_slot_keeps_the_count() {
+        let m = machine();
+        let mut mrt = Mrt::new(&m, 2);
+        let fu = m.fus_of_class(OpClass::Adder).next().unwrap().id;
+        assert_eq!(mrt.release(0, fu), None);
+        assert_eq!(mrt.occupied_slots(), 0);
+        mrt.reserve(0, fu, OpId(3));
+        assert_eq!(mrt.release(1, fu), None); // other slot: still empty
+        assert_eq!(mrt.occupied_slots(), 1);
+    }
+
+    /// The verbatim pre-bitmask probe: walk the per-class index and return the
+    /// first unit whose occupant cell is empty.  Kept as the executable spec the
+    /// word-parallel path must match bit for bit.
+    fn free_fu_by_scan(
+        mrt: &Mrt,
+        machine: &Machine,
+        cycle: u32,
+        class: OpClass,
+        cluster: Option<ClusterId>,
+    ) -> Option<FuId> {
+        let candidates = match cluster {
+            Some(c) => machine.fu_ids_of_class_in_cluster(c, class),
+            None => machine.fu_ids_of_class(class),
+        };
+        candidates.iter().copied().find(|&fu| mrt.occupant(cycle, fu).is_none())
+    }
+
+    fn occupied_by_scan(mrt: &Mrt, machine: &Machine, ii: u32) -> usize {
+        (0..ii)
+            .flat_map(|s| (0..machine.num_fus() as u32).map(move |f| (s, FuId(f))))
+            .filter(|&(s, f)| mrt.occupant(s, f).is_some())
+            .count()
+    }
+
+    proptest! {
+        /// Equivalence of the word-parallel probe with the per-unit scan (and of
+        /// the running occupancy count with a full-grid recount) over random
+        /// reserve/release traffic on machines wide and narrow.
+        #[test]
+        fn mask_probe_matches_the_per_unit_scan(
+            clusters in 1usize..20, // up to 76 FUs: exercises two-word busy rows
+            ii in 1u32..8,
+            ops in proptest::collection::vec(
+                (0u32..32, 0usize..200, 0usize..4, 0u8..2),
+                0..60,
+            ),
+        ) {
+            let m = Machine::paper_clustered(clusters, LatencyModel::default());
+            let mut mrt = Mrt::new(&m, ii);
+            for (i, (cycle, fu_pick, class_pick, do_release)) in ops.into_iter().enumerate() {
+                let fu = FuId((fu_pick % m.num_fus()) as u32);
+                if do_release == 1 {
+                    mrt.release(cycle, fu);
+                } else if mrt.occupant(cycle, fu).is_none() {
+                    mrt.reserve(cycle, fu, OpId(i as u32));
+                }
+                let class = OpClass::ALL[class_pick % OpClass::ALL.len()];
+                prop_assert_eq!(
+                    mrt.free_fu(&m, cycle, class, None),
+                    free_fu_by_scan(&mrt, &m, cycle, class, None)
+                );
+                for c in m.cluster_ids() {
+                    prop_assert_eq!(
+                        mrt.free_fu(&m, cycle, class, Some(c)),
+                        free_fu_by_scan(&mrt, &m, cycle, class, Some(c))
+                    );
+                }
+                prop_assert_eq!(mrt.occupied_slots(), occupied_by_scan(&mrt, &m, ii));
+            }
+        }
     }
 }

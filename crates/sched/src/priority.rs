@@ -16,11 +16,27 @@ use vliw_ddg::Ddg;
 /// below RecMII) the values are still well-defined but meaningless, and the scheduler
 /// never asks for them in that situation.
 pub fn height_r(ddg: &Ddg, ii: u32) -> Vec<i64> {
+    let mut h = Vec::new();
+    height_r_into(ddg, ii, &mut h);
+    h
+}
+
+/// [`height_r`] into a caller-owned buffer (cleared and refilled), so repeated
+/// scheduling attempts reuse one allocation.
+pub fn height_r_into(ddg: &Ddg, ii: u32, h: &mut Vec<i64>) {
     let n = ddg.num_ops();
-    let mut h = vec![0i64; n];
+    h.clear();
+    h.resize(n, 0);
+    // Heights flow from consumers back to producers.  Intra-iteration edges
+    // always point from a lower to a higher operation id, so scanning edges in
+    // decreasing id order relaxes whole chains in a single round; only carried
+    // back edges (few, and non-positive around any circuit once II >= RecMII)
+    // need extra rounds.  The fixpoint is unique for graphs without positive
+    // cycles, so the scan direction changes the round count, never the values.
     for _ in 0..=n {
         let mut changed = false;
-        for e in ddg.edges() {
+        for idx in (0..ddg.num_edges()).rev() {
+            let e = ddg.edge(vliw_ddg::EdgeId(idx as u32));
             let cand = h[e.dst.index()] + e.weight_at(ii);
             if cand > h[e.src.index()] {
                 h[e.src.index()] = cand;
@@ -31,7 +47,6 @@ pub fn height_r(ddg: &Ddg, ii: u32) -> Vec<i64> {
             break;
         }
     }
-    h
 }
 
 /// A fixed scheduling order: operations sorted by decreasing height, ties broken by

@@ -926,9 +926,9 @@ mod tests {
             let lts = use_lifetimes(&lp.ddg, &r.schedule);
             let alloc = allocate_queues(&lts, r.schedule.ii);
             let mut queue_of = vec![None; lts.len()];
-            for (q, members) in alloc.queues.iter().enumerate() {
+            for (q, members) in alloc.queues().enumerate() {
                 for &k in members {
-                    queue_of[k] = Some(q as u32);
+                    queue_of[k as usize] = Some(q as u32);
                 }
             }
             let map = QueueMap { queue_of, num_queues: alloc.num_queues() };

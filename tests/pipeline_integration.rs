@@ -31,7 +31,7 @@ fn every_corpus_loop_compiles_on_single_cluster_machines() {
             // Queue allocation covers every value-carrying edge exactly once.
             let flow_edges =
                 c.transformed.edges().filter(|e| e.kind == vliw_core::ddg::DepKind::Flow).count();
-            let allocated: usize = c.queues.queues.iter().map(|q| q.len()).sum();
+            let allocated: usize = c.queues.queues().map(|q| q.len()).sum();
             assert_eq!(allocated, flow_edges, "{}", lp.name);
         }
     }
@@ -90,11 +90,11 @@ fn queue_allocations_are_pairwise_q_compatible() {
             .schedule;
         let lts = use_lifetimes(&rewritten.ddg, &sched);
         let alloc = vliw_core::allocate_queues(&lts, sched.ii);
-        for q in &alloc.queues {
+        for q in alloc.queues() {
             for (i, &a) in q.iter().enumerate() {
                 for &b in &q[i + 1..] {
                     assert!(
-                        q_compatible(&lts[a], &lts[b], sched.ii),
+                        q_compatible(&lts[a as usize], &lts[b as usize], sched.ii),
                         "{}: incompatible lifetimes share a queue",
                         lp.name
                     );

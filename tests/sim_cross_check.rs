@@ -129,9 +129,9 @@ fn allocator_queue_depths_match_observed_per_queue_peaks_corpus_wide() {
                 let pool_lts: Vec<Lifetime> = members.iter().map(|&k| lts[k].clone()).collect();
                 let alloc = allocate_queues(&pool_lts, c.schedule.ii);
                 let base = depths.len();
-                for (q, queue_members) in alloc.queues.iter().enumerate() {
+                for (q, queue_members) in alloc.queues().enumerate() {
                     for &mk in queue_members {
-                        queue_of[members[mk]] = Some((base + q) as u32);
+                        queue_of[members[mk as usize]] = Some((base + q) as u32);
                     }
                 }
                 depths.extend(alloc.queue_depths.iter().copied());

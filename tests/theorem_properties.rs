@@ -77,13 +77,13 @@ proptest! {
             .schedule;
         let lts = use_lifetimes(&rewritten.ddg, &sched);
         let alloc = allocate_queues(&lts, sched.ii);
-        let mut seen: Vec<usize> = alloc.queues.iter().flatten().copied().collect();
+        let mut seen: Vec<usize> = alloc.queues().flatten().map(|&i| i as usize).collect();
         seen.sort_unstable();
         prop_assert_eq!(seen, (0..lts.len()).collect::<Vec<_>>());
-        for q in &alloc.queues {
+        for q in alloc.queues() {
             for (i, &a) in q.iter().enumerate() {
                 for &b in &q[i + 1..] {
-                    prop_assert!(q_compatible(&lts[a], &lts[b], sched.ii));
+                    prop_assert!(q_compatible(&lts[a as usize], &lts[b as usize], sched.ii));
                 }
             }
         }
