@@ -11,20 +11,23 @@
 //! ```
 //!
 //! Subcommands: `fig3`, `copy-cost`, `fig4`, `fig6`, `resources`, `ipc`,
-//! `simulate`, `sweep`, `stream`, `all` (default; covers the figure
-//! experiments but not `simulate`, `sweep` or `stream`, whose reports are
-//! separate documents).  `stream` compiles the corpus in bounded shards
-//! without ever materialising it (flat memory at 100k+ loops, reporting peak
-//! RSS) and is strictly in-process.  Global
-//! options: `--corpus-size`, `--seed`, `--threads`, `--format text|json`,
-//! `--cache-dir DIR` (persist artifacts across in-process runs) and
-//! `--server ADDR` (run the experiments on a `vliw-serve` daemon instead of
-//! compiling in-process); the `sweep` subcommand additionally takes
-//! `--grid small|paper|full`.  The output of a full-corpus text run is
+//! `simulate`, `sweep`, `stream`, `verify`, `all` (default; covers the figure
+//! experiments but not `simulate`, `sweep`, `stream` or `verify`, whose
+//! reports are separate documents).  `stream` compiles the corpus in bounded
+//! shards without ever materialising it (flat memory at 100k+ loops, reporting
+//! peak RSS) and is strictly in-process.  `verify` proves every schedule sound
+//! statically — the same verdicts `simulate` observes, with no execution.
+//! Global options: `--corpus-size`, `--seed`, `--threads`,
+//! `--format text|json`, `--cache-dir DIR` (persist artifacts across
+//! in-process runs) and `--server ADDR` (run the experiments on a `vliw-serve`
+//! daemon instead of compiling in-process); the `sweep` subcommand
+//! additionally takes `--grid small|paper|full` and
+//! `--classify dynamic|static`.  The output of a full-corpus text run is
 //! recorded in EXPERIMENTS.md next to the numbers reported by the paper; the
 //! JSON format is what CI's bench-smoke job archives and what
-//! `baselines/figures_small.json` (and, for `simulate` / `sweep`,
-//! `baselines/sim_small.json` / `baselines/sweep_small.json`) pins.  A
+//! `baselines/figures_small.json` (and, for `simulate` / `sweep` / `verify`,
+//! `baselines/sim_small.json` / `baselines/sweep_small.json` /
+//! `baselines/verify_small.json`) pins.  A
 //! `--server` run produces byte-identical stdout to the in-process run: the
 //! daemon answers with the same typed rows, re-serialized through the same
 //! report structs.
@@ -41,16 +44,17 @@ use std::process::ExitCode;
 
 use vliw_bench::{
     assemble_report, cli, render_simulate_text, render_stats, render_stream_text,
-    render_sweep_text, render_text, requests_for, run_experiments_in, run_simulate_in, run_stream,
-    run_sweep_in, validate_server, FiguresReport, OutputFormat, RunConfig, Selection, ServeClient,
+    render_sweep_text, render_text, render_verify_text, requests_for, run_experiments_in,
+    run_simulate_in, run_stream, run_sweep_in, run_verify_in, validate_server, FiguresReport,
+    OutputFormat, RunConfig, Selection, ServeClient,
 };
-use vliw_core::experiments::{ExperimentResponse, SimulateReport, SweepReport};
+use vliw_core::experiments::{ExperimentResponse, SimulateReport, SweepReport, VerifyReport};
 use vliw_core::{Session, SessionStats, VliwError};
 
 /// Where this run's experiments execute: an in-process session, or a
 /// `vliw-serve` daemon reached over a socket.
 enum Backend {
-    Local(Session),
+    Local(Box<Session>),
     /// Connected client plus the daemon's worker-thread count (reported in
     /// text-mode headers in place of the local session's).
     Remote(ServeClient, usize),
@@ -63,7 +67,7 @@ impl Backend {
     fn open(run: &RunConfig) -> Result<Backend, String> {
         let Some(addr) = &run.server else {
             let session = Session::try_new(run.experiment_config()).map_err(|e| e.to_string())?;
-            return Ok(Backend::Local(session));
+            return Ok(Backend::Local(Box::new(session)));
         };
         if run.cache_dir.is_some() {
             return Err(
@@ -103,8 +107,9 @@ impl Backend {
                 run_experiments_in(session, selection).map_err(|e| e.to_string())
             }
             Backend::Remote(client, _) => {
-                let responses =
-                    client.run(requests_for(selection, run.grid)).map_err(|e| e.to_string())?;
+                let responses = client
+                    .run(requests_for(selection, run.grid, run.classify))
+                    .map_err(|e| e.to_string())?;
                 assemble_report(run.corpus_size, run.seed, responses).map_err(|e| e.to_string())
             }
         }
@@ -124,10 +129,23 @@ impl Backend {
     /// Runs the Fig. 7 design-space sweep.
     fn sweep(&mut self, run: &RunConfig) -> Result<SweepReport, String> {
         match self {
-            Backend::Local(session) => run_sweep_in(session, run.grid).map_err(|e| e.to_string()),
+            Backend::Local(session) => {
+                run_sweep_in(session, run.grid, run.classify).map_err(|e| e.to_string())
+            }
             Backend::Remote(client, _) => match one_response(client, Selection::Sweep, run)? {
                 ExperimentResponse::Sweep(report) => Ok(report),
                 other => Err(wrong_document("sweep", &other)),
+            },
+        }
+    }
+
+    /// Runs the static-verification experiment.
+    fn verify(&mut self, run: &RunConfig) -> Result<VerifyReport, String> {
+        match self {
+            Backend::Local(session) => run_verify_in(session).map_err(|e| e.to_string()),
+            Backend::Remote(client, _) => match one_response(client, Selection::Verify, run)? {
+                ExperimentResponse::Verify(report) => Ok(report),
+                other => Err(wrong_document("verify", &other)),
             },
         }
     }
@@ -139,7 +157,8 @@ fn one_response(
     selection: Selection,
     run: &RunConfig,
 ) -> Result<ExperimentResponse, String> {
-    let mut responses = client.run(requests_for(selection, run.grid)).map_err(|e| e.to_string())?;
+    let mut responses =
+        client.run(requests_for(selection, run.grid, run.classify)).map_err(|e| e.to_string())?;
     match responses.len() {
         1 => Ok(responses.remove(0)),
         n => {
@@ -211,6 +230,26 @@ fn run_selection(selection: Selection, run: &RunConfig) -> Result<(), String> {
                     backend.threads()
                 );
                 print!("{}", render_simulate_text(&report));
+                println!();
+                print!("{}", render_stats(&stats));
+            }
+        }
+        return Ok(());
+    }
+
+    if selection == Selection::Verify {
+        let report = backend.verify(run)?;
+        let stats = backend.stats()?;
+        match run.format {
+            OutputFormat::Json => emit_json(&report, &stats)?,
+            OutputFormat::Text => {
+                println!(
+                    "# Verification run: {} loops, seed {}, {} threads\n",
+                    report.corpus_size,
+                    report.seed,
+                    backend.threads()
+                );
+                print!("{}", render_verify_text(&report));
                 println!();
                 print!("{}", render_stats(&stats));
             }

@@ -4,6 +4,7 @@
 //! and integration-testable.
 
 use clap::{Arg, ArgMatches, Command};
+use vliw_core::experiments::Classify;
 use vliw_core::{CorpusConfig, SweepGrid};
 
 use crate::{OutputFormat, RunConfig, Selection, PAPER_CORPUS_LOOPS};
@@ -76,6 +77,16 @@ pub fn command() -> Command {
                         .value_name("GRID")
                         .default_value("small")
                         .help("Design-space preset: small, paper or full"),
+                )
+                .arg(
+                    Arg::new("classify")
+                        .long("classify")
+                        .value_name("MODE")
+                        .default_value("dynamic")
+                        .help(
+                            "Loop classification: dynamic (simulate) or static \
+                             (prove with the verifier; same verdicts, no execution)",
+                        ),
                 ),
         )
         .subcommand(
@@ -92,6 +103,10 @@ pub fn command() -> Command {
                         .help("Loops generated and compiled per shard"),
                 ),
         )
+        .subcommand(Command::new("verify").about(
+            "Static schedule/allocation verification - proves the simulate \
+             invariants without executing a cycle",
+        ))
         .subcommand(Command::new("all").about("Every figure experiment above (the default)"))
 }
 
@@ -120,14 +135,20 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
         .expect("--format has a default")
         .parse()
         .map_err(|e: String| format!("invalid --format: {e}"))?;
-    // `--grid` lives on the `sweep` subcommand (it means nothing elsewhere).
-    let grid: SweepGrid = match matches.subcommand() {
-        Some(("sweep", sub)) => sub
-            .get_one::<String>("grid")
-            .expect("--grid has a default")
-            .parse()
-            .map_err(|e: String| format!("invalid --grid: {e}"))?,
-        _ => SweepGrid::default(),
+    // `--grid` and `--classify` live on the `sweep` subcommand (they mean
+    // nothing elsewhere).
+    let (grid, classify): (SweepGrid, Classify) = match matches.subcommand() {
+        Some(("sweep", sub)) => (
+            sub.get_one::<String>("grid")
+                .expect("--grid has a default")
+                .parse()
+                .map_err(|e: String| format!("invalid --grid: {e}"))?,
+            sub.get_one::<String>("classify")
+                .expect("--classify has a default")
+                .parse()
+                .map_err(|e: String| format!("invalid --classify: {e}"))?,
+        ),
+        _ => (SweepGrid::default(), Classify::default()),
     };
     // Likewise `--shard-size` belongs to `stream` alone.
     let shard_size: usize = match matches.subcommand() {
@@ -147,7 +168,17 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
 
     Ok((
         selection,
-        RunConfig { corpus_size, seed, threads, format, grid, shard_size, server, cache_dir },
+        RunConfig {
+            corpus_size,
+            seed,
+            threads,
+            format,
+            grid,
+            classify,
+            shard_size,
+            server,
+            cache_dir,
+        },
     ))
 }
 
@@ -201,6 +232,7 @@ mod tests {
             ("simulate", Selection::Simulate),
             ("sweep", Selection::Sweep),
             ("stream", Selection::Stream),
+            ("verify", Selection::Verify),
             ("all", Selection::All),
         ] {
             let (selection, _) = parse(&[name]).unwrap();
@@ -237,6 +269,30 @@ mod tests {
         assert!(parse(&["sweep", "--grid", "huge"]).unwrap_err().contains("--grid"));
         // `--grid` belongs to `sweep` alone.
         assert!(parse(&["fig3", "--grid", "small"]).is_err());
+    }
+
+    #[test]
+    fn sweep_classify_parses_with_a_dynamic_default() {
+        let (_, run) = parse(&["sweep"]).unwrap();
+        assert_eq!(run.classify, Classify::Dynamic);
+        let (_, run) = parse(&["sweep", "--classify", "static"]).unwrap();
+        assert_eq!(run.classify, Classify::Static);
+        let (_, run) = parse(&["sweep", "--classify", "dynamic"]).unwrap();
+        assert_eq!(run.classify, Classify::Dynamic);
+        assert!(parse(&["sweep", "--classify", "cycle"]).unwrap_err().contains("--classify"));
+        // `--classify` belongs to `sweep` alone.
+        assert!(parse(&["verify", "--classify", "static"]).is_err());
+    }
+
+    #[test]
+    fn verify_acceptance_command_line_parses() {
+        // The exact invocation the verification baseline is generated with.
+        let (selection, run) =
+            parse(&["verify", "--format", "json", "--corpus-size", "32", "--seed", "386"]).unwrap();
+        assert_eq!(selection, Selection::Verify);
+        assert_eq!(run.corpus_size, 32);
+        assert_eq!(run.seed, 386);
+        assert_eq!(run.format, OutputFormat::Json);
     }
 
     #[test]

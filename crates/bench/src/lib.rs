@@ -25,11 +25,14 @@ pub mod perf;
 use serde::{Deserialize, Serialize};
 use vliw_core::experiments::{
     cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
-    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment,
-    ClusterResourcesRow, CopyCostRow, ExperimentConfig, ExperimentRequest, ExperimentResponse,
-    Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport, SweepReport,
+    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment_with,
+    verify_experiment, Classify, ClusterResourcesRow, CopyCostRow, ExperimentConfig,
+    ExperimentRequest, ExperimentResponse, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint,
+    SimulateReport, SweepReport, VerifyReport,
 };
-use vliw_core::experiments::{copy_cost, fig3, fig4, fig6, ipc, resources, simulate, sweep};
+use vliw_core::experiments::{
+    copy_cost, fig3, fig4, fig6, ipc, resources, simulate, sweep, verify,
+};
 use vliw_core::pipeline::CompilerConfig;
 use vliw_core::session::{compile_stream, Session, SessionStats, StreamConfig, StreamReport};
 use vliw_core::{Machine, SweepGrid, VliwError};
@@ -117,8 +120,15 @@ pub enum Selection {
     /// and strictly in-process: the run exists to measure *this* process's
     /// memory behaviour, so `--server` is rejected.
     Stream,
-    /// Every figure experiment (everything above except `Simulate`, `Sweep`
-    /// and `Stream`).
+    /// Static verification: the execution-free soundness proof of every
+    /// schedule ([`VerifyReport`]), the fast counterpart of
+    /// [`Selection::Simulate`].
+    ///
+    /// Excluded from [`Selection::All`] like the other separate documents;
+    /// its report is pinned by `baselines/verify_small.json`.
+    Verify,
+    /// Every figure experiment (everything above except `Simulate`, `Sweep`,
+    /// `Stream` and `Verify`).
     All,
 }
 
@@ -135,6 +145,7 @@ impl Selection {
             "simulate" => Some(Selection::Simulate),
             "sweep" => Some(Selection::Sweep),
             "stream" => Some(Selection::Stream),
+            "verify" => Some(Selection::Verify),
             "all" => Some(Selection::All),
             _ => None,
         }
@@ -142,14 +153,15 @@ impl Selection {
 
     fn runs(self, which: Selection) -> bool {
         match self {
-            // `all` is the figure sweep; the simulation, design-space and
-            // streamed-compile reports are separate documents (see
-            // [`Selection::Simulate`], [`Selection::Sweep`] and
-            // [`Selection::Stream`]).
+            // `all` is the figure sweep; the simulation, design-space,
+            // streamed-compile and verification reports are separate documents
+            // (see [`Selection::Simulate`], [`Selection::Sweep`],
+            // [`Selection::Stream`] and [`Selection::Verify`]).
             Selection::All => {
                 which != Selection::Simulate
                     && which != Selection::Sweep
                     && which != Selection::Stream
+                    && which != Selection::Verify
             }
             s => s == which,
         }
@@ -170,6 +182,10 @@ pub struct RunConfig {
     /// Design-space grid preset of the `sweep` subcommand (ignored by every
     /// other selection).
     pub grid: SweepGrid,
+    /// Classification mode of the `sweep` subcommand: dynamic (simulate each
+    /// loop) or static (prove the peaks with the verifier).  Ignored by every
+    /// other selection.
+    pub classify: Classify,
     /// Shard size of the `stream` subcommand (ignored by every other
     /// selection).
     pub shard_size: usize,
@@ -214,6 +230,7 @@ impl Default for RunConfig {
             threads: None,
             format: OutputFormat::Text,
             grid: SweepGrid::Small,
+            classify: Classify::default(),
             shard_size: vliw_core::session::DEFAULT_SHARD_SIZE,
             server: None,
             cache_dir: None,
@@ -273,6 +290,10 @@ pub fn run_experiments_in(
         selection != Selection::Stream,
         "Selection::Stream produces a StreamReport; call run_stream"
     );
+    assert!(
+        selection != Selection::Verify,
+        "Selection::Verify produces a VerifyReport; call run_verify_in"
+    );
     Ok(FiguresReport {
         corpus_size: session.config().corpus.num_loops,
         seed: session.config().corpus.seed,
@@ -317,9 +338,22 @@ pub fn run_simulate_in(session: &Session) -> Result<SimulateReport, VliwError> {
 
 /// Runs the Fig. 7 design-space sweep (the `figures sweep` subcommand) over a
 /// shared compilation session.  Grid points sharing a machine shape compile and
-/// simulate once; the session's cache statistics afterwards show the hit rate.
-pub fn run_sweep_in(session: &Session, grid: SweepGrid) -> Result<SweepReport, VliwError> {
-    sweep_experiment(session, grid)
+/// simulate (or verify) once; the session's cache statistics afterwards show
+/// the hit rate.
+pub fn run_sweep_in(
+    session: &Session,
+    grid: SweepGrid,
+    classify: Classify,
+) -> Result<SweepReport, VliwError> {
+    sweep_experiment_with(session, grid, classify)
+}
+
+/// Runs the static-verification experiment (the `figures verify` subcommand)
+/// over a shared compilation session.  Every verdict is memoised next to the
+/// compilation that produced it, so a session that already ran `all` pays only
+/// for the verification itself — and a repeat run pays nothing.
+pub fn run_verify_in(session: &Session) -> Result<VerifyReport, VliwError> {
+    verify_experiment(session)
 }
 
 /// Runs the streamed-compile experiment (the `figures stream` subcommand):
@@ -363,12 +397,17 @@ pub fn render_stream_text(report: &StreamReport) -> String {
 /// The wire requests a `figures` selection translates to, in report order.
 ///
 /// [`Selection::Ipc`] expands to both IPC curves; [`Selection::All`] to the
-/// full figure sweep (everything a [`FiguresReport`] holds).  `grid` only
-/// matters for [`Selection::Sweep`].
-pub fn requests_for(selection: Selection, grid: SweepGrid) -> Vec<ExperimentRequest> {
+/// full figure sweep (everything a [`FiguresReport`] holds).  `grid` and
+/// `classify` only matter for [`Selection::Sweep`].
+pub fn requests_for(
+    selection: Selection,
+    grid: SweepGrid,
+    classify: Classify,
+) -> Vec<ExperimentRequest> {
     match selection {
         Selection::Simulate => vec![ExperimentRequest::Simulate],
-        Selection::Sweep => vec![ExperimentRequest::Sweep { grid }],
+        Selection::Sweep => vec![ExperimentRequest::Sweep { grid, classify }],
+        Selection::Verify => vec![ExperimentRequest::Verify],
         // A streamed run has no wire form: it measures this process's memory,
         // so the `figures` binary rejects `--server` before asking.
         Selection::Stream => Vec::new(),
@@ -430,7 +469,9 @@ pub fn assemble_report(
             ExperimentResponse::Resources(rows) => report.cluster_resources = Some(rows),
             ExperimentResponse::Fig8(points) => report.fig8_ipc = Some(points),
             ExperimentResponse::Fig9(points) => report.fig9_ipc = Some(points),
-            other @ (ExperimentResponse::Simulate(_) | ExperimentResponse::Sweep(_)) => {
+            other @ (ExperimentResponse::Simulate(_)
+            | ExperimentResponse::Sweep(_)
+            | ExperimentResponse::Verify(_)) => {
                 return Err(VliwError::Protocol(format!(
                     "a figure report cannot hold a `{}` document",
                     other.name()
@@ -463,6 +504,16 @@ pub fn render_simulate_text(report: &SimulateReport) -> String {
     )
 }
 
+/// Renders a static-verification report in the human-readable EXPERIMENTS.md
+/// format.
+pub fn render_verify_text(report: &VerifyReport) -> String {
+    format!(
+        "## Static verification — execution-free soundness proof ({} loops)\n\n{}\n",
+        report.corpus_size,
+        verify::render(&report.rows).render()
+    )
+}
+
 /// Renders session cache statistics in the text-output format.
 pub fn render_stats(stats: &SessionStats) -> String {
     let mut out = format!(
@@ -474,6 +525,12 @@ pub fn render_stats(stats: &SessionStats) -> String {
         out.push_str(&format!(
             "simulations  = {}\nsim hits     = {}\n",
             stats.sim_runs, stats.sim_hits
+        ));
+    }
+    if stats.verifications > 0 || stats.verify_hits > 0 {
+        out.push_str(&format!(
+            "verifications= {}\nverify hits  = {}\n",
+            stats.verifications, stats.verify_hits
         ));
     }
     if stats.disk_hits > 0 || stats.sim_disk_hits > 0 {
@@ -543,6 +600,7 @@ mod tests {
             ("simulate", Selection::Simulate),
             ("sweep", Selection::Sweep),
             ("stream", Selection::Stream),
+            ("verify", Selection::Verify),
             ("all", Selection::All),
         ] {
             assert_eq!(Selection::from_subcommand(name), Some(expected));
@@ -557,13 +615,24 @@ mod tests {
         assert!(!Selection::All.runs(Selection::Simulate));
         assert!(!Selection::All.runs(Selection::Sweep));
         assert!(!Selection::All.runs(Selection::Stream));
+        assert!(!Selection::All.runs(Selection::Verify));
         assert!(Selection::Simulate.runs(Selection::Simulate));
         assert!(Selection::Sweep.runs(Selection::Sweep));
         assert!(Selection::Stream.runs(Selection::Stream));
+        assert!(Selection::Verify.runs(Selection::Verify));
         assert!(!Selection::Simulate.runs(Selection::Fig3));
         assert!(!Selection::Sweep.runs(Selection::Fig3));
         assert!(!Selection::Stream.runs(Selection::Fig3));
-        assert!(requests_for(Selection::Stream, SweepGrid::Small).is_empty());
+        assert!(!Selection::Verify.runs(Selection::Fig3));
+        assert!(requests_for(Selection::Stream, SweepGrid::Small, Classify::Dynamic).is_empty());
+        assert_eq!(
+            requests_for(Selection::Verify, SweepGrid::Small, Classify::Dynamic),
+            vec![ExperimentRequest::Verify]
+        );
+        assert_eq!(
+            requests_for(Selection::Sweep, SweepGrid::Small, Classify::Static),
+            vec![ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static }]
+        );
     }
 
     #[test]
@@ -583,10 +652,41 @@ mod tests {
     }
 
     #[test]
+    fn verify_run_reports_cleanly_and_renders() {
+        let run = RunConfig { corpus_size: 6, seed: 5, threads: Some(2), ..RunConfig::default() };
+        let session = Session::new(run.experiment_config());
+        let report = run_verify_in(&session).unwrap();
+        assert_eq!(report.corpus_size, 6);
+        // Schedule faults indict the pipeline and must be zero; capacity
+        // faults are a machine-sizing verdict and may legitimately fire
+        // (the simulate driver files those under `loops_overflowing_queues`).
+        for row in &report.rows {
+            assert_eq!(row.schedule_faults, 0, "{}: unsound schedule", row.machine);
+        }
+        assert!(session.stats().verifications > 0);
+        assert_eq!(session.stats().sim_runs, 0, "verification must not simulate");
+        let text = render_verify_text(&report);
+        assert!(text.contains("Static verification"));
+        assert!(text.contains("sched faults"));
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        let back: VerifyReport = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn static_sweep_run_matches_the_dynamic_one() {
+        let run = RunConfig { corpus_size: 8, seed: 386, threads: Some(2), ..RunConfig::default() };
+        let session = Session::new(run.experiment_config());
+        let dynamic = run_sweep_in(&session, run.grid, Classify::Dynamic).unwrap();
+        let static_ = run_sweep_in(&session, run.grid, Classify::Static).unwrap();
+        assert_eq!(static_, dynamic, "classification modes must agree row for row");
+    }
+
+    #[test]
     fn sweep_run_reuses_the_session_and_renders() {
         let run = RunConfig { corpus_size: 8, seed: 386, threads: Some(2), ..RunConfig::default() };
         let session = Session::new(run.experiment_config());
-        let report = run_sweep_in(&session, run.grid).unwrap();
+        let report = run_sweep_in(&session, run.grid, run.classify).unwrap();
         assert_eq!(report.grid, "small");
         assert_eq!(report.rows.len(), 8);
         let stats = session.stats();
@@ -695,7 +795,11 @@ mod tests {
                     merged.fig8_ipc = report.fig8_ipc;
                     merged.fig9_ipc = report.fig9_ipc;
                 }
-                Selection::All | Selection::Simulate | Selection::Sweep | Selection::Stream => {
+                Selection::All
+                | Selection::Simulate
+                | Selection::Sweep
+                | Selection::Stream
+                | Selection::Verify => {
                     unreachable!()
                 }
             }
@@ -723,10 +827,13 @@ mod tests {
             sim_runs: 0,
             sim_hits: 0,
             sim_disk_hits: 0,
+            verifications: 0,
+            verify_hits: 0,
         });
         assert!(s.contains("12") && s.contains("34") && s.contains('5'));
         assert!(s.contains("Compilation-session cache"));
         assert!(!s.contains("simulations"), "sim counters only appear when sims ran");
+        assert!(!s.contains("verifications"), "verify counters only appear when verifies ran");
         let s = render_stats(&vliw_core::SessionStats {
             compilations: 12,
             hits: 34,
@@ -735,9 +842,13 @@ mod tests {
             sim_runs: 7,
             sim_hits: 2,
             sim_disk_hits: 0,
+            verifications: 9,
+            verify_hits: 3,
         });
         assert!(s.contains("simulations  = 7"));
         assert!(s.contains("sim hits     = 2"));
+        assert!(s.contains("verifications= 9"));
+        assert!(s.contains("verify hits  = 3"));
     }
 
     #[test]

@@ -162,6 +162,38 @@ pub fn collect() -> PerfReport {
         warm.sweep(|i, _| warm_compiler.compile(i).is_ok())
     }));
 
+    // session — static verification throughput over precompiled loops (the
+    // per-loop cost `figures verify` pays once the compilations are cached).
+    let compiler6 = vliw_core::Compiler::new(CompilerConfig::paper_defaults(paper6.clone()));
+    let compiled: Vec<_> =
+        cfg.corpus().iter().filter_map(|lp| compiler6.compile(lp).ok()).collect();
+    probes.push(time_probe("session/verify_corpus", 5, 250, || {
+        compiled
+            .iter()
+            .filter(|c| {
+                vliw_core::verify::verify_with_allocation(
+                    &c.transformed,
+                    &paper6,
+                    &c.schedule,
+                    &c.queues,
+                )
+                .is_clean()
+            })
+            .count()
+    }));
+    // ...and the dynamic cost it replaces: simulating the same schedules to
+    // steady state (N = 1000, the trip count the acceptance ratio quotes).
+    probes.push(time_probe("session/sim_corpus_n1000", 2, 500, || {
+        compiled
+            .iter()
+            .filter(|c| {
+                vliw_core::sim::simulate(&c.transformed, &paper6, &c.schedule, 1000)
+                    .expect("compiled schedules simulate")
+                    .is_clean()
+            })
+            .count()
+    }));
+
     // sweep_grid — the small design-space grid, cold.
     probes.push(time_probe("sweep_grid/small_grid_cold", 2, 500, || {
         sweep_experiment(&Session::new(cfg.clone()), SweepGrid::Small).unwrap()

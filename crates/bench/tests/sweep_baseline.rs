@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 
 use vliw_bench::{run_sweep_in, RunConfig};
-use vliw_core::experiments::SweepReport;
+use vliw_core::experiments::{Classify, SweepReport};
 use vliw_core::{Session, SweepGrid};
 
 fn baseline_path() -> PathBuf {
@@ -66,7 +66,7 @@ fn rerun_matches_the_sweep_baseline() {
         ..RunConfig::default()
     };
     let session = Session::new(run.experiment_config());
-    let report = run_sweep_in(&session, SweepGrid::Small).expect("sweep runs");
+    let report = run_sweep_in(&session, SweepGrid::Small, Classify::Dynamic).expect("sweep runs");
 
     // The memoisation contract: one machine shape in the grid means one key,
     // and the seven other grid points are served from the store — the
@@ -91,4 +91,23 @@ fn rerun_matches_the_sweep_baseline() {
     // see the module docs for how to regenerate intentionally).
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     assert_eq!(rendered.trim_end(), text.trim_end(), "serialized JSON drifted");
+}
+
+#[test]
+fn static_classification_reproduces_the_sweep_baseline() {
+    // `figures sweep --classify static` must pin to the same golden file as
+    // the dynamic run: the verifier's proved peaks classify every loop exactly
+    // as the simulator's observed ones do, frontier marks included.
+    let (_, baseline) = load_baseline();
+    let run = RunConfig {
+        corpus_size: baseline.corpus_size,
+        seed: baseline.seed,
+        threads: None,
+        ..RunConfig::default()
+    };
+    let session = Session::new(run.experiment_config());
+    let report = run_sweep_in(&session, SweepGrid::Small, Classify::Static).expect("sweep runs");
+    assert_eq!(session.stats().sim_runs, 0, "the static sweep must not simulate");
+    assert!(session.stats().verifications > 0);
+    assert_eq!(report, baseline, "static classification drifted from the golden verdicts");
 }

@@ -32,9 +32,9 @@ use crate::session::Session;
 
 use super::{
     cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
-    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment,
-    ClusterResourcesRow, CopyCostRow, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport,
-    SweepReport,
+    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment_with,
+    verify_experiment, Classify, ClusterResourcesRow, CopyCostRow, Fig3Row, Fig4Row, Fig6Row,
+    IpcCurvePoint, SimulateReport, SweepReport, VerifyReport,
 };
 
 /// A typed experiment, tying a result document to a session run.
@@ -93,7 +93,13 @@ pub struct Simulate;
 pub struct Sweep {
     /// Design-space preset to sweep.
     pub grid: SweepGrid,
+    /// How each loop is classified against the storage budgets.
+    pub classify: Classify,
 }
+
+/// Static verification — execution-free soundness proof of every schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Verify;
 
 impl Experiment for Fig3 {
     type Output = Vec<Fig3Row>;
@@ -181,7 +187,17 @@ impl Experiment for Sweep {
         "sweep"
     }
     fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
-        sweep_experiment(session, self.grid)
+        sweep_experiment_with(session, self.grid, self.classify)
+    }
+}
+
+impl Experiment for Verify {
+    type Output = VerifyReport;
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+    fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
+        verify_experiment(session)
     }
 }
 
@@ -212,7 +228,11 @@ pub enum ExperimentRequest {
     Sweep {
         /// Design-space preset to sweep.
         grid: SweepGrid,
+        /// How each loop is classified against the storage budgets.
+        classify: Classify,
     },
+    /// Static verification report.
+    Verify,
 }
 
 /// The result document matching one [`ExperimentRequest`] variant.
@@ -236,6 +256,8 @@ pub enum ExperimentResponse {
     Simulate(SimulateReport),
     /// Design-space sweep report.
     Sweep(SweepReport),
+    /// Static-verification report.
+    Verify(VerifyReport),
 }
 
 impl ExperimentRequest {
@@ -251,6 +273,7 @@ impl ExperimentRequest {
             ExperimentRequest::Fig9 => "fig9",
             ExperimentRequest::Simulate => "simulate",
             ExperimentRequest::Sweep { .. } => "sweep",
+            ExperimentRequest::Verify => "verify",
         }
     }
 
@@ -269,9 +292,12 @@ impl ExperimentRequest {
             ExperimentRequest::Fig8 => Fig8.run(session).map(ExperimentResponse::Fig8),
             ExperimentRequest::Fig9 => Fig9.run(session).map(ExperimentResponse::Fig9),
             ExperimentRequest::Simulate => Simulate.run(session).map(ExperimentResponse::Simulate),
-            ExperimentRequest::Sweep { grid } => {
-                Sweep { grid: *grid }.run(session).map(ExperimentResponse::Sweep)
+            ExperimentRequest::Sweep { grid, classify } => {
+                Sweep { grid: *grid, classify: *classify }
+                    .run(session)
+                    .map(ExperimentResponse::Sweep)
             }
+            ExperimentRequest::Verify => Verify.run(session).map(ExperimentResponse::Verify),
         }
     }
 }
@@ -298,6 +324,7 @@ impl ExperimentResponse {
             ExperimentResponse::Fig9(_) => "fig9",
             ExperimentResponse::Simulate(_) => "simulate",
             ExperimentResponse::Sweep(_) => "sweep",
+            ExperimentResponse::Verify(_) => "verify",
         }
     }
 
@@ -315,6 +342,7 @@ impl ExperimentResponse {
             }
             ExperimentResponse::Simulate(report) => super::simulate::render(&report.rows).render(),
             ExperimentResponse::Sweep(report) => super::sweep::render(&report.rows).render(),
+            ExperimentResponse::Verify(report) => super::verify::render(&report.rows).render(),
         }
     }
 }
@@ -352,10 +380,16 @@ impl Serialize for ExperimentRequest {
                 self.name(),
                 vec![("cluster_counts".to_string(), cluster_counts.serialize())],
             ),
-            ExperimentRequest::Sweep { grid } => tagged(
-                self.name(),
-                vec![("grid".to_string(), Value::String(grid.name().to_string()))],
-            ),
+            ExperimentRequest::Sweep { grid, classify } => {
+                let mut extra = vec![("grid".to_string(), Value::String(grid.name().to_string()))];
+                // The default mode is omitted, so pre-classify clients and
+                // daemons keep exchanging byte-identical sweep requests.
+                if *classify != Classify::default() {
+                    extra
+                        .push(("classify".to_string(), Value::String(classify.name().to_string())));
+                }
+                tagged(self.name(), extra)
+            }
             other => tagged(other.name(), Vec::new()),
         }
     }
@@ -380,8 +414,18 @@ impl Deserialize for ExperimentRequest {
                 let grid = raw
                     .parse::<SweepGrid>()
                     .map_err(|e| de::Error::custom(format!("field `grid`: {e}")))?;
-                Ok(ExperimentRequest::Sweep { grid })
+                // `classify` is optional on the wire (absent = dynamic), so
+                // `de::field`'s missing-field error does not apply here.
+                let classify = match entries.iter().find(|(k, _)| k == "classify") {
+                    None => Classify::default(),
+                    Some((_, Value::String(raw))) => raw
+                        .parse::<Classify>()
+                        .map_err(|e| de::Error::custom(format!("field `classify`: {e}")))?,
+                    Some((_, other)) => return Err(de::Error::unexpected("classify mode", other)),
+                };
+                Ok(ExperimentRequest::Sweep { grid, classify })
             }
+            "verify" => Ok(ExperimentRequest::Verify),
             other => Err(de::Error::custom(format!("unknown experiment `{other}`"))),
         }
     }
@@ -399,6 +443,7 @@ impl Serialize for ExperimentResponse {
             ExperimentResponse::Fig9(points) => points.serialize(),
             ExperimentResponse::Simulate(report) => report.serialize(),
             ExperimentResponse::Sweep(report) => report.serialize(),
+            ExperimentResponse::Verify(report) => report.serialize(),
         };
         tagged(self.name(), vec![("rows".to_string(), rows)])
     }
@@ -417,6 +462,7 @@ impl Deserialize for ExperimentResponse {
             "fig9" => Ok(ExperimentResponse::Fig9(de::field(entries, "rows")?)),
             "simulate" => Ok(ExperimentResponse::Simulate(de::field(entries, "rows")?)),
             "sweep" => Ok(ExperimentResponse::Sweep(de::field(entries, "rows")?)),
+            "verify" => Ok(ExperimentResponse::Verify(de::field(entries, "rows")?)),
             other => Err(de::Error::custom(format!("unknown experiment `{other}`"))),
         }
     }
@@ -436,7 +482,9 @@ mod tests {
             ExperimentRequest::Fig8,
             ExperimentRequest::Fig9,
             ExperimentRequest::Simulate,
-            ExperimentRequest::Sweep { grid: SweepGrid::Small },
+            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Dynamic },
+            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static },
+            ExperimentRequest::Verify,
         ]
     }
 
@@ -462,6 +510,27 @@ mod tests {
         assert!(
             serde_json::from_str::<ExperimentRequest>("{\"experiment\": \"resources\"}").is_err()
         );
+        assert!(serde_json::from_str::<ExperimentRequest>(
+            "{\"experiment\": \"sweep\", \"grid\": \"small\", \"classify\": \"cycle\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_requests_without_a_classify_field_default_to_dynamic() {
+        // The wire form pre-dates the static mode; old clients must keep
+        // working and a default-mode request must serialize without the field.
+        let old = "{\"experiment\": \"sweep\", \"grid\": \"small\"}";
+        let back: ExperimentRequest = serde_json::from_str(old).unwrap();
+        assert_eq!(
+            back,
+            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Dynamic }
+        );
+        let json = serde_json::to_string(&back).unwrap();
+        assert!(!json.contains("classify"), "{json}");
+        let static_ =
+            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static };
+        assert!(serde_json::to_string(&static_).unwrap().contains("\"classify\":\"static\""));
     }
 
     #[test]
@@ -485,7 +554,8 @@ mod tests {
         for request in [
             ExperimentRequest::Fig4,
             ExperimentRequest::Resources { cluster_counts: vec![4] },
-            ExperimentRequest::Sweep { grid: SweepGrid::Small },
+            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static },
+            ExperimentRequest::Verify,
         ] {
             let response = request.run(&session).unwrap();
             let json = serde_json::to_string(&response).unwrap();
@@ -511,6 +581,7 @@ mod tests {
     fn typed_experiments_report_their_names() {
         assert_eq!(Fig3.name(), "fig3");
         assert_eq!(Resources { cluster_counts: vec![4] }.name(), "resources");
-        assert_eq!(Sweep { grid: SweepGrid::Small }.name(), "sweep");
+        assert_eq!(Sweep::default().name(), "sweep");
+        assert_eq!(Verify.name(), "verify");
     }
 }

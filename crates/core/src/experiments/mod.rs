@@ -23,6 +23,7 @@
 //! | [`ipc`] | Figs. 8 and 9 — static/dynamic IPC, all loops and resource-constrained loops |
 //! | [`simulate`] | Simulated IPC — cycle-accurate execution with dynamic verification |
 //! | [`sweep`] | Fig. 7 design-space sweep — machine sizing Pareto frontier |
+//! | [`verify`] | Static verification — execution-free soundness proof of every schedule |
 
 pub mod api;
 pub mod copy_cost;
@@ -33,6 +34,7 @@ pub mod ipc;
 pub mod resources;
 pub mod simulate;
 pub mod sweep;
+pub mod verify;
 
 pub use api::{run_request, Experiment, ExperimentRequest, ExperimentResponse};
 pub use copy_cost::{copy_cost_experiment, CopyCostRow};
@@ -42,7 +44,11 @@ pub use fig6::{fig6_experiment, Fig6Row};
 pub use ipc::{fig8_experiment, fig9_experiment, IpcCurvePoint};
 pub use resources::{cluster_resources_experiment, ClusterResourcesRow};
 pub use simulate::{sim_machines, simulate_experiment, SimulateReport, SIM_TRIP_COUNTS};
-pub use sweep::{classify_loop, sweep_experiment, LoopVerdict, SweepReport, SWEEP_TRIP_COUNT};
+pub use sweep::{
+    classify_loop, classify_loop_static, sweep_experiment, sweep_experiment_with, Classify,
+    LoopVerdict, SweepReport, SWEEP_TRIP_COUNT,
+};
+pub use verify::{verify_experiment, VerifyReport, VerifyRow};
 
 use vliw_ddg::Loop;
 use vliw_loopgen::{generate_corpus, CorpusConfig};

@@ -33,12 +33,47 @@ use vliw_machine::{Machine, MachineConfig, SweepGrid};
 
 use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
-use crate::session::{LoopSummary, Session, SimSummary};
+use crate::session::{LoopSummary, Session, SimSummary, VerifySummary};
 
 /// Trip count of the sweep's simulation runs: long enough that every queue
 /// reaches its steady-state peak occupancy, short enough to keep the full grid
 /// affordable.
 pub const SWEEP_TRIP_COUNT: u64 = 100;
+
+/// How the sweep classifies each loop against a grid point's storage budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Classify {
+    /// Execute each loop on the cycle-accurate simulator and read the observed
+    /// occupancy peaks (the original, slower path).
+    #[default]
+    Dynamic,
+    /// Prove the occupancy peaks statically with `vliw-verify` — no execution,
+    /// verdict-identical to `Dynamic` (asserted by tests and the differential
+    /// suite).
+    Static,
+}
+
+impl Classify {
+    /// Stable name, used on the wire and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Classify::Dynamic => "dynamic",
+            Classify::Static => "static",
+        }
+    }
+}
+
+impl std::str::FromStr for Classify {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dynamic" => Ok(Classify::Dynamic),
+            "static" => Ok(Classify::Static),
+            other => Err(format!("unknown classify mode `{other}` (dynamic|static)")),
+        }
+    }
+}
 
 /// Everything one `figures sweep` run produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -125,21 +160,64 @@ pub fn classify_loop(
     }
 }
 
-/// Runs the design-space sweep over `session` for the given grid preset.
+/// Classifies one statically verified loop against one grid point's storage
+/// budgets — the execution-free counterpart of [`classify_loop`], reading the
+/// `vliw-verify` proved peaks instead of the simulator's observed ones.  The
+/// two must agree verdict-for-verdict; the sweep tests and the differential
+/// suite assert they do.
+pub fn classify_loop_static(
+    summary: &LoopSummary,
+    verify: &VerifySummary,
+    machine: &Machine,
+    config: &MachineConfig,
+) -> LoopVerdict {
+    let private_budget = config.queues_per_cluster * config.queue_capacity;
+    let link_budget = config.queues_per_cluster * config.link_depth;
+    LoopVerdict {
+        schedulable: true,
+        alloc_fits: summary.fits_machine(machine),
+        sim_clean: verify.schedule_faults == 0
+            && verify.max_private_peak <= private_budget
+            && verify.max_comm_peak <= link_budget,
+    }
+}
+
+/// Runs the design-space sweep over `session` for the given grid preset,
+/// classifying dynamically (simulation).
 pub fn sweep_experiment(session: &Session, grid: SweepGrid) -> Result<SweepReport, VliwError> {
+    sweep_experiment_with(session, grid, Classify::Dynamic)
+}
+
+/// Runs the design-space sweep over `session` for the given grid preset and
+/// classification mode.
+pub fn sweep_experiment_with(
+    session: &Session,
+    grid: SweepGrid,
+    classify: Classify,
+) -> Result<SweepReport, VliwError> {
     let space = grid.space();
     let mut rows = Vec::with_capacity(space.num_configs());
     for config in space.configs() {
         let probe = config.probe_machine(Default::default());
         let machine = config.machine(Default::default());
         let compiler = session.compiler(CompilerConfig::paper_defaults(probe));
-        let verdicts: Vec<LoopVerdict> = session.try_sweep(|i, _| {
-            let Some(run) = compiler.simulate(i, SWEEP_TRIP_COUNT) else {
-                return Ok(LoopVerdict::default());
-            };
-            compiler
-                .map_ok(i, |c| classify_loop(c, &run, &machine, &config))
-                .ok_or_else(|| VliwError::internal("simulated loops compiled"))
+        let verdicts: Vec<LoopVerdict> = session.try_sweep(|i, _| match classify {
+            Classify::Dynamic => {
+                let Some(run) = compiler.simulate(i, SWEEP_TRIP_COUNT) else {
+                    return Ok(LoopVerdict::default());
+                };
+                compiler
+                    .map_ok(i, |c| classify_loop(c, &run, &machine, &config))
+                    .ok_or_else(|| VliwError::internal("simulated loops compiled"))
+            }
+            Classify::Static => {
+                let Some(verify) = compiler.verify(i) else {
+                    return Ok(LoopVerdict::default());
+                };
+                compiler
+                    .map_ok(i, |c| classify_loop_static(c, &verify, &machine, &config))
+                    .ok_or_else(|| VliwError::internal("verified loops compiled"))
+            }
         })?;
         let loops = verdicts.len();
         let frac = |f: &dyn Fn(&LoopVerdict) -> bool| {
@@ -283,6 +361,33 @@ mod tests {
         assert_eq!(paper.queue_capacity, 8);
         assert_eq!(paper.link_depth, 8);
         assert_eq!(paper.fus, 12);
+    }
+
+    #[test]
+    fn static_classification_reproduces_the_dynamic_verdicts_exactly() {
+        // The headline differential property at the sweep level: swapping the
+        // simulator out for the static verifier changes no row of the report
+        // (fractions, frontier marks and paper points all included).
+        let session = Session::quick(14, 386);
+        let dynamic = sweep_experiment_with(&session, SweepGrid::Small, Classify::Dynamic).unwrap();
+        let sim_runs_after_dynamic = session.stats().sim_runs;
+        let static_ = sweep_experiment_with(&session, SweepGrid::Small, Classify::Static).unwrap();
+        assert_eq!(static_, dynamic, "static and dynamic classification diverged");
+        assert_eq!(
+            session.stats().sim_runs,
+            sim_runs_after_dynamic,
+            "the static pass must not simulate anything"
+        );
+        assert!(session.stats().verifications > 0, "the static pass must verify");
+    }
+
+    #[test]
+    fn classify_mode_names_round_trip() {
+        for mode in [Classify::Dynamic, Classify::Static] {
+            assert_eq!(mode.name().parse::<Classify>().unwrap(), mode);
+        }
+        assert!("cycle".parse::<Classify>().is_err());
+        assert_eq!(Classify::default(), Classify::Dynamic);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The static-verification experiment: prove every scheduled loop sound
+//! without executing a single cycle.
+//!
+//! For each machine of [`sim_machines`] every corpus loop that schedules is
+//! passed through the `vliw-verify` flow-sensitive checker, which proves the
+//! same invariant set the simulator observes — dependence distances under
+//! modulo wraparound, FU legality per MRT row, ring adjacency of every flow
+//! edge, per-pool steady-state occupancy, declared queue depths, copy-bus
+//! bounds — in `O(ops + edges)` per loop instead of `O(cycles · N)`.  The
+//! rows therefore mirror `figures simulate`'s verdict columns (violations,
+//! peaks, copy-bus utilisation) with no trip-count axis: a verification is a
+//! steady-state proof, so one row per machine covers every `N`.
+//!
+//! The driver is the fast half of the differential pair: `tests/` assert its
+//! verdicts coincide with the simulator's on clean and fault-injected
+//! schedules alike, which is what lets `sweep --classify static` stand in for
+//! dynamic classification.
+
+use serde::{Deserialize, Serialize};
+use vliw_analysis::{mean, TextTable};
+
+use crate::error::VliwError;
+use crate::experiments::simulate::sim_machines;
+use crate::pipeline::CompilerConfig;
+use crate::session::{CachedVerify, Session};
+
+/// One aggregated verification row: a (machine) sweep point over the corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifyRow {
+    /// Machine name.
+    pub machine: String,
+    /// Compute FUs of the machine.
+    pub fus: usize,
+    /// Clusters of the machine.
+    pub clusters: usize,
+    /// Loops that scheduled and were verified.
+    pub loops: usize,
+    /// Total schedule faults proved across the point (0 when healthy).
+    pub schedule_faults: u64,
+    /// Total capacity faults proved across the point.
+    pub capacity_faults: u64,
+    /// Loops with at least one violation of any class.
+    pub loops_with_violations: usize,
+    /// Largest private-QRF steady-state peak over all loops and clusters.
+    pub max_private_peak: usize,
+    /// Largest ring-link steady-state peak over all loops and links.
+    pub max_comm_peak: usize,
+    /// Mean steady-state copy-bus utilisation over the verified loops.
+    pub mean_copy_bus_utilisation: f64,
+}
+
+/// Everything one `figures verify` run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Number of loops in the corpus the run evaluated.
+    pub corpus_size: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// One row per machine.
+    pub rows: Vec<VerifyRow>,
+}
+
+impl VerifyReport {
+    /// Total violations of both classes across every row.
+    pub fn total_violations(&self) -> u64 {
+        self.rows.iter().map(|r| r.schedule_faults + r.capacity_faults).sum()
+    }
+
+    /// True if every loop on every machine verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+}
+
+/// Runs the static-verification experiment over `session`.
+pub fn verify_experiment(session: &Session) -> Result<VerifyReport, VliwError> {
+    let mut rows = Vec::new();
+    for machine in sim_machines() {
+        let fus = machine.num_compute_fus();
+        let clusters = machine.num_clusters();
+        let name = machine.name().to_string();
+        let compiler = session.compiler(CompilerConfig::paper_defaults(machine));
+        let verdicts: Vec<Option<CachedVerify>> =
+            session.try_sweep(|i, _| Ok(compiler.verify(i)))?;
+        let ok: Vec<CachedVerify> = verdicts.into_iter().flatten().collect();
+        rows.push(VerifyRow {
+            machine: name,
+            fus,
+            clusters,
+            loops: ok.len(),
+            schedule_faults: ok.iter().map(|v| v.schedule_faults).sum(),
+            capacity_faults: ok.iter().map(|v| v.capacity_faults).sum(),
+            loops_with_violations: ok.iter().filter(|v| !v.is_clean()).count(),
+            max_private_peak: ok.iter().map(|v| v.max_private_peak).max().unwrap_or(0),
+            max_comm_peak: ok.iter().map(|v| v.max_comm_peak).max().unwrap_or(0),
+            mean_copy_bus_utilisation: mean(
+                &ok.iter().map(|v| v.copy_bus_utilisation).collect::<Vec<_>>(),
+            ),
+        });
+    }
+    Ok(VerifyReport {
+        corpus_size: session.config().corpus.num_loops,
+        seed: session.config().corpus.seed,
+        rows,
+    })
+}
+
+/// Renders the verification rows as a text table.
+pub fn render(rows: &[VerifyRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "machine",
+        "loops",
+        "sched faults",
+        "cap faults",
+        "dirty loops",
+        "peak QRF",
+        "peak ring",
+        "copy util",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.machine.clone(),
+            r.loops.to_string(),
+            r.schedule_faults.to_string(),
+            r.capacity_faults.to_string(),
+            r.loops_with_violations.to_string(),
+            r.max_private_peak.to_string(),
+            r.max_comm_peak.to_string(),
+            format!("{:.3}", r.mean_copy_bus_utilisation),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_whole_corpus_verifies_clean_on_every_machine() {
+        let session = Session::quick(12, 386);
+        let report = verify_experiment(&session).unwrap();
+        assert_eq!(report.rows.len(), sim_machines().len());
+        assert!(report.is_clean(), "scheduled loops must verify clean: {:?}", report.rows);
+        for row in &report.rows {
+            assert!(row.loops > 0, "{}: no loop verified", row.machine);
+            assert_eq!(row.loops_with_violations, 0, "{}", row.machine);
+        }
+        assert!(session.stats().verifications > 0);
+    }
+
+    #[test]
+    fn static_peaks_match_what_the_simulator_observes_in_steady_state() {
+        // The static checker derives occupancy from lifetimes; at N=1000 the
+        // simulator's observed peaks must agree on every machine row.
+        let session = Session::quick(8, 99);
+        let report = verify_experiment(&session).unwrap();
+        let sim = super::super::simulate::simulate_experiment(&session).unwrap();
+        for row in &report.rows {
+            let sim_row = sim
+                .rows
+                .iter()
+                .find(|r| r.machine == row.machine && r.trip_count == 1000)
+                .expect("simulate covers the same machines");
+            assert_eq!(
+                row.max_private_peak, sim_row.max_peak_private_occupancy,
+                "{}: private peak diverged",
+                row.machine
+            );
+            assert_eq!(
+                row.max_comm_peak, sim_row.max_peak_comm_occupancy,
+                "{}: ring peak diverged",
+                row.machine
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_verification_sweeps_are_served_from_the_cache() {
+        let session = Session::quick(6, 17);
+        let first = verify_experiment(&session).unwrap();
+        let after_first = session.stats().verifications;
+        let second = verify_experiment(&session).unwrap();
+        assert_eq!(first, second, "cached verdicts must not change the rows");
+        assert_eq!(session.stats().verifications, after_first);
+        assert!(session.stats().verify_hits > 0);
+    }
+
+    #[test]
+    fn render_mentions_the_verdict_columns() {
+        let session = Session::quick(4, 5);
+        let report = verify_experiment(&session).unwrap();
+        let text = render(&report.rows).render();
+        assert!(text.contains("sched faults"));
+        assert!(text.contains("dirty loops"));
+        assert!(text.contains("peak QRF"));
+    }
+}

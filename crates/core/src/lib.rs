@@ -40,7 +40,7 @@ pub use error::VliwError;
 pub use pipeline::{Compilation, Compiler, CompilerConfig, ScratchArena};
 pub use session::{
     compile_stream, CompilationKey, LoopSummary, Session, SessionBuilder, SessionCompiler,
-    SessionStats, SimSummary, StreamConfig, StreamReport,
+    SessionStats, SimSummary, StreamConfig, StreamReport, VerifySummary,
 };
 
 // Re-export the substrate crates so downstream users (examples, benches, tests) can
@@ -54,6 +54,7 @@ pub use vliw_qrf as qrf;
 pub use vliw_sched as sched;
 pub use vliw_sim as sim;
 pub use vliw_unroll as unroll;
+pub use vliw_verify as verify;
 
 // Frequently used items, re-exported flat for convenience.
 pub use vliw_ddg::{kernels, Ddg, DdgBuilder, LatencyModel, Loop, OpClass, OpId, OpKind};
@@ -67,6 +68,9 @@ pub use vliw_qrf::{allocate_queues, insert_copies, q_compatible, use_lifetimes, 
 pub use vliw_sched::{modulo_schedule, ImsOptions, ImsResult, SchedError, Schedule};
 pub use vliw_sim::{simulate, SimMeasurement, SimRun, SimViolation};
 pub use vliw_unroll::{ii_speedup, select_unroll_factor, unroll_ddg};
+// `vliw_verify::verify` itself stays behind the module path (`verify::verify`)
+// to avoid shadowing the module re-export above; the types come out flat.
+pub use vliw_verify::{Fault, Verification, Violation, ALL_FAULTS};
 
 #[cfg(test)]
 mod tests {

@@ -21,6 +21,7 @@ use vliw_analysis::IpcReport;
 use vliw_machine::Machine;
 use vliw_partition::CommStats;
 use vliw_sim::{SimMeasurement, SimRun};
+use vliw_verify::{Verification, Violation};
 
 use crate::pipeline::Compilation;
 
@@ -175,6 +176,57 @@ impl From<&SimRun> for SimSummary {
     }
 }
 
+/// The serializable summary of one static verification: the verdict counters,
+/// the steady-state maxima the sweep classifiers read, and the full violation
+/// list (the static checker reports each defect exactly once, so the list is
+/// bounded by the schedule's structure and cheap to keep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifySummary {
+    /// Violations indicting the schedule or allocation structure.
+    pub schedule_faults: u64,
+    /// Pool overflows and under-declared queue depths.
+    pub capacity_faults: u64,
+    /// Largest private-QRF steady-state peak over all clusters.
+    pub max_private_peak: usize,
+    /// Largest ring-link steady-state peak over all directed links.
+    pub max_comm_peak: usize,
+    /// Steady-state copy-bus utilisation.
+    pub copy_bus_utilisation: f64,
+    /// Every violation the verifier proved, in deterministic check order.
+    pub violations: Vec<Violation>,
+}
+
+impl VerifySummary {
+    /// Total violations of both classes.
+    pub fn total_violations(&self) -> u64 {
+        self.schedule_faults + self.capacity_faults
+    }
+
+    /// True if every invariant proved out.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// True if the schedule keeps every promise it made (mirrors
+    /// [`SimSummary::schedule_is_sound`]).
+    pub fn schedule_is_sound(&self) -> bool {
+        self.schedule_faults == 0
+    }
+}
+
+impl From<&Verification> for VerifySummary {
+    fn from(v: &Verification) -> Self {
+        VerifySummary {
+            schedule_faults: v.schedule_faults,
+            capacity_faults: v.capacity_faults,
+            max_private_peak: v.max_private_peak(),
+            max_comm_peak: v.max_comm_peak(),
+            copy_bus_utilisation: v.copy_bus_utilisation,
+            violations: v.violations.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +283,25 @@ mod tests {
         assert_eq!(s.total_violations(), run.total_violations());
         assert_eq!(s.measurement, run.measurement);
         let back = SimSummary::deserialize(&s.serialize()).expect("round trip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn verify_summary_mirrors_the_verification() {
+        let machine = Machine::paper_single(6);
+        let compiler = Compiler::new(CompilerConfig::paper_defaults(machine.clone()));
+        let lp = kernels::dot_product(lat(), 100);
+        let c = compiler.compile(&lp).unwrap();
+        let v =
+            vliw_verify::verify_with_allocation(&c.transformed, &machine, &c.schedule, &c.queues);
+        let s = VerifySummary::from(&v);
+        assert_eq!(s.is_clean(), v.is_clean());
+        assert_eq!(s.schedule_is_sound(), v.schedule_is_sound());
+        assert_eq!(s.total_violations(), v.total_violations());
+        assert_eq!(s.max_private_peak, v.max_private_peak());
+        assert_eq!(s.max_comm_peak, v.max_comm_peak());
+        assert!(s.is_clean(), "paper machines verify clean");
+        let back = VerifySummary::deserialize(&s.serialize()).expect("round trip");
         assert_eq!(back, s);
     }
 }

@@ -48,11 +48,13 @@ use std::sync::Arc;
 use vliw_ddg::Loop;
 use vliw_loopgen::generate_corpus;
 
-pub use artifact::{LoopSummary, SimSummary};
+pub use artifact::{LoopSummary, SimSummary, VerifySummary};
 pub use executor::{par_map_indexed, try_par_map_indexed};
 pub use key::CompilationKey;
 pub use persist::{PersistStore, STORE_VERSION};
-pub use store::{CachedCompilation, CachedResult, CachedRun, CachedSim, SessionStats};
+pub use store::{
+    CachedCompilation, CachedResult, CachedRun, CachedSim, CachedVerify, SessionStats,
+};
 pub use stream::{compile_stream, peak_rss_kb, StreamConfig, StreamReport, DEFAULT_SHARD_SIZE};
 
 use crate::error::VliwError;
@@ -342,6 +344,15 @@ impl SessionCompiler<'_> {
             trip_count,
             self.session.store.counters(),
         )
+    }
+
+    /// Statically verifies the corpus loop at `index` with `vliw-verify`,
+    /// compiling it first if needed; memoised per (sweep point, loop) like the
+    /// compile slot — a verification is a steady-state proof, so there is no
+    /// trip count to key on.  `None` if the loop does not schedule under this
+    /// configuration.
+    pub fn verify(&self, index: usize) -> Option<CachedVerify> {
+        self.entry.verify(index, &self.session.corpus[index], self.session.store.counters())
     }
 
     /// The configuration this handle compiles with.

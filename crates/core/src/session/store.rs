@@ -33,7 +33,7 @@ use vliw_sim::SimRun;
 
 use crate::error::VliwError;
 use crate::pipeline::{Compilation, Compiler};
-use crate::session::artifact::{LoopSummary, SimSummary};
+use crate::session::artifact::{LoopSummary, SimSummary, VerifySummary};
 use crate::session::key::CompilationKey;
 use crate::session::persist::{key_digest, loop_digest, PersistStore};
 
@@ -50,6 +50,9 @@ pub type CachedSim = Arc<SimSummary>;
 
 /// A memoised full simulation run (with recorded violations), shared.
 pub type CachedRun = Arc<SimRun>;
+
+/// A memoised static verification summary, shared.
+pub type CachedVerify = Arc<VerifySummary>;
 
 /// Number of stripes of the key-interning map.  Sweeps use a few tens of keys at
 /// most, so this is about avoiding systematic contention, not about scaling the
@@ -75,6 +78,10 @@ pub struct SessionStats {
     /// Number of simulation requests served from the persistent (disk) store
     /// without simulating.
     pub sim_disk_hits: u64,
+    /// Number of actual static-verifier executions (verify cache misses).
+    pub verifications: u64,
+    /// Number of verify requests served from an already-verified slot.
+    pub verify_hits: u64,
 }
 
 /// How a compile request was satisfied; drives exactly one counter bump.
@@ -108,6 +115,11 @@ pub(crate) struct KeyEntry {
     /// mutex (not `OnceLock`): trip counts form an open set, and the per-loop
     /// granularity keeps concurrent sweeps of different loops contention-free.
     sim_slots: Vec<Mutex<HashMap<u64, SimEntry>>>,
+    /// The static verification per loop (`None` for unschedulable loops).
+    /// Trip-count free — a verification is a steady-state proof — so a plain
+    /// `OnceLock` per loop suffices; in-memory only, since verifying is about
+    /// as cheap as deserializing would be.
+    verifies: Vec<OnceLock<Option<CachedVerify>>>,
 }
 
 impl KeyEntry {
@@ -125,7 +137,9 @@ impl KeyEntry {
         digests.resize_with(num_loops, OnceLock::new);
         let mut sim_slots = Vec::with_capacity(num_loops);
         sim_slots.resize_with(num_loops, || Mutex::new(HashMap::new()));
-        KeyEntry { compiler, key_digest, persist, summaries, fulls, digests, sim_slots }
+        let mut verifies = Vec::with_capacity(num_loops);
+        verifies.resize_with(num_loops, OnceLock::new);
+        KeyEntry { compiler, key_digest, persist, summaries, fulls, digests, sim_slots, verifies }
     }
 
     /// The configuration this entry compiles with.
@@ -284,6 +298,42 @@ impl KeyEntry {
         Some(run)
     }
 
+    /// Returns the memoised static verification of the loop at `index`,
+    /// compiling (if needed) and running `vliw_verify` on first request;
+    /// `None` when the loop does not schedule under this configuration.
+    /// Exactly one verifier execution per (key, loop), like the compile and
+    /// sim slots.
+    pub(crate) fn verify(
+        &self,
+        index: usize,
+        lp: &Loop,
+        stats: &StatCounters,
+    ) -> Option<CachedVerify> {
+        let mut verified = false;
+        let slot = self.verifies[index].get_or_init(|| {
+            let (full, _) = self.materialize_full(index, lp, stats);
+            let compilation = match full.as_ref() {
+                Ok(c) => c,
+                Err(_) => return None,
+            };
+            verified = true;
+            let machine = &self.compiler.config().machine;
+            let v = vliw_verify::verify_with_allocation(
+                &compilation.transformed,
+                machine,
+                &compilation.schedule,
+                &compilation.queues,
+            );
+            Some(Arc::new(VerifySummary::from(&v)))
+        });
+        if verified {
+            stats.verifications.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.verify_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.clone()
+    }
+
     /// Actually executes the simulator; requires the loop to have a full
     /// compilation (materializing one if the summary came from disk) and
     /// counts a `sim_runs` miss.  Caller holds the sim-slot lock.
@@ -321,6 +371,8 @@ pub(crate) struct StatCounters {
     sim_runs: AtomicU64,
     sim_hits: AtomicU64,
     sim_disk_hits: AtomicU64,
+    verifications: AtomicU64,
+    verify_hits: AtomicU64,
 }
 
 /// The lock-striped memo store: interned keys plus the shared counters.
@@ -379,6 +431,8 @@ impl MemoStore {
             sim_runs: self.stats.sim_runs.load(Ordering::Relaxed),
             sim_hits: self.stats.sim_hits.load(Ordering::Relaxed),
             sim_disk_hits: self.stats.sim_disk_hits.load(Ordering::Relaxed),
+            verifications: self.stats.verifications.load(Ordering::Relaxed),
+            verify_hits: self.stats.verify_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -476,6 +530,20 @@ mod tests {
         let run = entry.simulate_full(0, &lp, 25, store.counters()).expect("schedulable");
         assert_eq!(*summary, SimSummary::from(run.as_ref()));
         assert_eq!(store.stats().sim_runs, 1, "summary and full share one execution");
+    }
+
+    #[test]
+    fn repeated_verifications_run_once() {
+        let (store, entry) = store_with_entry(1);
+        let lp = kernels::dot_product(LatencyModel::default(), 100);
+        let first = entry.verify(0, &lp, store.counters()).expect("schedulable");
+        let second = entry.verify(0, &lp, store.counters()).expect("schedulable");
+        assert!(Arc::ptr_eq(&first, &second), "both requests must share one verdict");
+        assert!(first.is_clean());
+        let stats = store.stats();
+        assert_eq!(stats.verifications, 1);
+        assert_eq!(stats.verify_hits, 1);
+        assert_eq!(stats.compilations, 1, "verify compiles through the shared full slot");
     }
 
     #[test]

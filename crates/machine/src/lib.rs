@@ -28,6 +28,8 @@
 
 pub mod cluster;
 pub mod fu;
+// The module is named after the crate's central type on purpose; renaming
+// either side would only add stutter at every use site.
 #[allow(clippy::module_inception)]
 pub mod machine;
 pub mod space;

@@ -16,7 +16,7 @@ use vliw_bench::{
     assemble_report, requests_for, run_experiments_in, validate_server, RunConfig, Selection,
     ServeClient,
 };
-use vliw_core::experiments::fig3_experiment;
+use vliw_core::experiments::{fig3_experiment, Classify};
 use vliw_core::{Session, SweepGrid};
 use vliw_serve::{Listen, ServeConfig, Server};
 
@@ -74,7 +74,9 @@ fn tcp_daemon_reports_are_byte_identical_to_in_process_runs() {
     assert!(!info.persistent);
 
     let run = RunConfig { corpus_size, seed, threads: Some(2), ..RunConfig::default() };
-    let responses = client.run(requests_for(Selection::All, SweepGrid::default())).unwrap();
+    let responses = client
+        .run(requests_for(Selection::All, SweepGrid::default(), Classify::default()))
+        .unwrap();
     let remote = assemble_report(corpus_size, seed, responses).expect("responses assemble");
     let local = run_experiments_in(&Session::new(run.experiment_config()), Selection::All)
         .expect("in-process run succeeds");
@@ -85,6 +87,20 @@ fn tcp_daemon_reports_are_byte_identical_to_in_process_runs() {
         serde_json::to_string_pretty(&local).unwrap(),
         "serialized reports must be byte-identical"
     );
+
+    // The daemon also answers static-verification requests, clean on the
+    // warm session it just compiled for the figure run.
+    let verify = client
+        .run(requests_for(Selection::Verify, SweepGrid::default(), Classify::default()))
+        .unwrap();
+    assert_eq!(verify.len(), 1);
+    match &verify[0] {
+        vliw_core::experiments::ExperimentResponse::Verify(report) => {
+            assert!(report.is_clean(), "daemon-verified corpus must be clean");
+            assert_eq!(report.corpus_size, corpus_size);
+        }
+        other => panic!("asked for verify, got `{}`", other.name()),
+    }
 
     client.shutdown().expect("shutdown acknowledged");
     daemon.join().expect("accept loop thread exits after shutdown");

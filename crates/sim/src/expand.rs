@@ -36,7 +36,7 @@ pub fn sim_total_cycles(schedule: &Schedule, trip_count: u64) -> u64 {
         return 0;
     }
     let ii = u64::from(schedule.ii);
-    let max_start = u64::from(*schedule.start.iter().max().expect("non-empty"));
+    let max_start = u64::from(schedule.start.iter().copied().max().unwrap_or(0));
     (max_start / ii + trip_count) * ii
 }
 

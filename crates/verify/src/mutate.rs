@@ -1,0 +1,267 @@
+//! Fault injection for differential testing.
+//!
+//! The static verifier's claim — "I prove everything the simulator observes" —
+//! is only worth trusting if it is *tested against* the simulator, not just
+//! on clean schedules (where both trivially agree) but on broken ones.  This
+//! module injects single, surgical faults into a compiled
+//! (Ddg, Schedule, QueueAllocation) triple and names the lint code both the
+//! verifier and the simulator must raise for it.  The repo-level differential
+//! harness drives [`inject`] across the whole corpus and both schedulers and
+//! asserts the agreement; the in-crate tests below pin it per fault class.
+
+use vliw_ddg::{Ddg, DepKind};
+use vliw_machine::Machine;
+use vliw_qrf::QueueAllocation;
+use vliw_sched::Schedule;
+
+/// A single fault class the injector knows how to plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Move a consumer to its producer's issue cycle, violating the
+    /// producer's latency.
+    WrongCycle,
+    /// Reassign an operation to a same-cluster unit of the wrong class.
+    WrongFu,
+    /// Drop the last operation's schedule entry entirely.
+    DropOp,
+    /// Under-declare one queue's depth by a single slot.
+    ShrinkQueueDepth,
+    /// Shrink a loop-carried flow dependence's iteration distance by one,
+    /// making the schedule consume a value an iteration too early.
+    CorruptDistance,
+}
+
+/// Every fault class, in a fixed order for exhaustive harness sweeps.
+pub const ALL_FAULTS: [Fault; 5] = [
+    Fault::WrongCycle,
+    Fault::WrongFu,
+    Fault::DropOp,
+    Fault::ShrinkQueueDepth,
+    Fault::CorruptDistance,
+];
+
+impl Fault {
+    /// The lint code both the static verifier and the simulator must raise
+    /// when this fault is present.
+    pub fn expected_code(self) -> &'static str {
+        match self {
+            Fault::WrongCycle => "V001-DEP-DISTANCE",
+            Fault::WrongFu => "V003-FU-CLASS",
+            Fault::DropOp => "V005-WRONG-LENGTH",
+            Fault::ShrinkQueueDepth => "V009-QUEUE-DEPTH",
+            Fault::CorruptDistance => "V001-DEP-DISTANCE",
+        }
+    }
+
+    /// Short human-readable name, for harness diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::WrongCycle => "wrong-cycle",
+            Fault::WrongFu => "wrong-fu",
+            Fault::DropOp => "drop-op",
+            Fault::ShrinkQueueDepth => "shrink-queue-depth",
+            Fault::CorruptDistance => "corrupt-distance",
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A compiled loop the injector mutates in place: the graph, its schedule and
+/// the queue allocation derived from them.  Start from a *clean* compilation
+/// (both checkers agree it is clean), [`inject`] one fault, and both checkers
+/// must flag [`Fault::expected_code`].
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// The (possibly rewritten) dependence graph.
+    pub ddg: Ddg,
+    /// The schedule under test.
+    pub schedule: Schedule,
+    /// The machine-wide queue allocation for the schedule.
+    pub allocation: QueueAllocation,
+}
+
+/// Plants `fault` into `mutant`, returning `false` when the loop offers no
+/// injection site for this class (e.g. no loop-carried flow edge to corrupt).
+/// A `true` return guarantees the fault is *armed*: the mutated triple
+/// provably violates the invariant the fault class targets.
+pub fn inject(fault: Fault, machine: &Machine, mutant: &mut Mutant) -> bool {
+    let ii = mutant.schedule.ii;
+    match fault {
+        Fault::WrongCycle => {
+            // A same-iteration flow edge with real latency: issuing the
+            // consumer at the producer's cycle always misses the value.
+            let Some(e) = mutant
+                .ddg
+                .edges()
+                .find(|e| e.kind == DepKind::Flow && e.distance == 0 && e.latency >= 1)
+            else {
+                return false;
+            };
+            mutant.schedule.start[e.dst.index()] = mutant.schedule.start[e.src.index()];
+            true
+        }
+        Fault::WrongFu => {
+            // Reassign the first operation for which the same cluster offers
+            // a unit of a different class, so the fault stays a pure class
+            // violation (no routability side effects).
+            for op in mutant.ddg.ops() {
+                let current = mutant.schedule.fu[op.id.index()];
+                if current.index() >= machine.num_fus() {
+                    continue;
+                }
+                let cluster = machine.fu(current).cluster;
+                let wrong =
+                    machine.fus().iter().find(|fu| fu.cluster == cluster && fu.class != op.class());
+                if let Some(fu) = wrong {
+                    mutant.schedule.fu[op.id.index()] = fu.id;
+                    return true;
+                }
+            }
+            false
+        }
+        Fault::DropOp => {
+            if mutant.schedule.start.is_empty() {
+                return false;
+            }
+            mutant.schedule.start.pop();
+            mutant.schedule.fu.pop();
+            true
+        }
+        Fault::ShrinkQueueDepth => {
+            // Any queue that actually holds a value: the allocator declares
+            // exact MaxLive depths, so one slot less is always too few.
+            let Some(q) = mutant.allocation.queue_depths.iter().position(|&d| d >= 1) else {
+                return false;
+            };
+            mutant.allocation.queue_depths[q] -= 1;
+            true
+        }
+        Fault::CorruptDistance => {
+            // A carried flow edge with less than II of slack: removing one
+            // iteration of distance removes II cycles of slack, so the
+            // dependence constraint flips from satisfied to violated.
+            let start = &mutant.schedule.start;
+            let target = mutant.ddg.edges().find(|e| {
+                if e.kind != DepKind::Flow || e.distance == 0 {
+                    return false;
+                }
+                let lhs = i64::from(start[e.dst.index()]) + i64::from(ii) * i64::from(e.distance);
+                let rhs = i64::from(start[e.src.index()]) + i64::from(e.latency);
+                lhs >= rhs && lhs - rhs < i64::from(ii)
+            });
+            let Some(target) = target else {
+                return false;
+            };
+            let (target_id, new_distance) = (target.id, target.distance - 1);
+            let mut g = Ddg::with_capacity(mutant.ddg.num_ops());
+            for op in mutant.ddg.ops() {
+                g.add_op(op.kind);
+            }
+            for e in mutant.ddg.edges() {
+                let d = if e.id == target_id { new_distance } else { e.distance };
+                g.add_edge(e.src, e.dst, e.kind, e.latency, d);
+            }
+            mutant.ddg = g;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{dynamic_violations, verify_with_allocation};
+    use vliw_ddg::{kernels, LatencyModel};
+    use vliw_qrf::{allocate_queues, insert_copies, use_lifetimes};
+    use vliw_sched::{modulo_schedule, ImsOptions};
+
+    fn lat() -> LatencyModel {
+        LatencyModel::default()
+    }
+
+    fn compile(lp: &vliw_ddg::Loop, machine: &Machine) -> Mutant {
+        let rewritten = insert_copies(&lp.ddg, &lat()).ddg;
+        let r = modulo_schedule(&rewritten, machine, ImsOptions::default()).unwrap();
+        let lifetimes = use_lifetimes(&rewritten, &r.schedule);
+        let allocation = allocate_queues(&lifetimes, r.schedule.ii);
+        Mutant { ddg: rewritten, schedule: r.schedule, allocation }
+    }
+
+    #[test]
+    fn every_fault_class_has_an_injection_site_somewhere_in_the_kernels() {
+        let machine = Machine::single_cluster(6, 2, 32, lat());
+        for fault in ALL_FAULTS {
+            let planted = kernels::all_kernels(lat()).iter().any(|lp| {
+                let mut m = compile(lp, &machine);
+                inject(fault, &machine, &mut m)
+            });
+            assert!(planted, "no kernel offers a site for {fault}");
+        }
+    }
+
+    #[test]
+    fn both_checkers_flag_every_injected_fault_with_the_expected_code() {
+        let machine = Machine::single_cluster(6, 2, 32, lat());
+        for lp in kernels::all_kernels(lat()) {
+            for fault in ALL_FAULTS {
+                let mut m = compile(&lp, &machine);
+                if !inject(fault, &machine, &mut m) {
+                    continue;
+                }
+                let code = fault.expected_code();
+                let v = verify_with_allocation(&m.ddg, &machine, &m.schedule, &m.allocation);
+                assert!(
+                    v.violations.iter().any(|v| v.code() == code),
+                    "{}: static verifier missed {fault}: {}",
+                    lp.name,
+                    v.render_text()
+                );
+                let dynamic =
+                    dynamic_violations(&m.ddg, &machine, &m.schedule, &m.allocation, 1000);
+                assert!(
+                    dynamic.iter().any(|v| v.code() == code),
+                    "{}: simulator missed {fault}: {:?}",
+                    lp.name,
+                    dynamic
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmutated_compilations_are_clean_on_both_sides() {
+        let machine = Machine::single_cluster(6, 2, 32, lat());
+        for lp in kernels::all_kernels(lat()) {
+            let m = compile(&lp, &machine);
+            let v = verify_with_allocation(&m.ddg, &machine, &m.schedule, &m.allocation);
+            assert!(v.is_clean(), "{}: {}", lp.name, v.render_text());
+            let dynamic = dynamic_violations(&m.ddg, &machine, &m.schedule, &m.allocation, 1000);
+            assert!(dynamic.is_empty(), "{}: {:?}", lp.name, dynamic);
+        }
+    }
+
+    #[test]
+    fn injection_reports_missing_sites_honestly() {
+        // dot_product has no loop-carried flow edge with sub-II slack after
+        // scheduling on a wide machine... but some kernels do; what we pin
+        // here is the *contract*: a false return leaves the mutant untouched.
+        let machine = Machine::single_cluster(6, 2, 32, lat());
+        let lp = kernels::wide_parallel(lat(), 100);
+        let m0 = compile(&lp, &machine);
+        for fault in ALL_FAULTS {
+            let mut m = m0.clone();
+            if !inject(fault, &machine, &mut m) {
+                assert_eq!(m.schedule, m0.schedule, "{fault} mutated despite returning false");
+                assert_eq!(
+                    m.allocation.queue_depths, m0.allocation.queue_depths,
+                    "{fault} mutated despite returning false"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Repo maintenance tasks, invoked as `cargo run -p xtask -- <task>`.
+//!
+//! `lint` is the CI static gate: grep-grade policy checks that run on a
+//! stable, offline toolchain in milliseconds, covering rules `clippy` has no
+//! lints for:
+//!
+//! * `unsafe` is forbidden everywhere except the one audited module
+//!   (`crates/core/src/session/executor.rs`, the work-stealing executor).
+//! * `.unwrap()` / `.expect(` are denied in the *non-test* code of the
+//!   verification-critical hot paths (`crates/verify`, `crates/sim`,
+//!   `crates/qrf`) — a verifier that can panic mid-verdict is not a verifier.
+//! * every `#[allow(clippy::...)]` must carry a justification comment on the
+//!   same or the preceding line, so suppressions stay deliberate.
+//!
+//! The rules are textual by design (no syn, no rustc internals): they run on
+//! the exact bytes committed, cannot drift with compiler versions, and their
+//! failure messages point at file:line like any other lint.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The one module allowed to contain `unsafe` (relative to the repo root).
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/core/src/session/executor.rs"];
+
+/// Crates whose non-test code must be panic-free.
+const NO_PANIC_CRATES: &[&str] = &["crates/verify", "crates/sim", "crates/qrf"];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut findings: Vec<String> = Vec::new();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    for file in &files {
+        let Ok(text) = fs::read_to_string(file) else {
+            findings.push(format!("{}: unreadable", file.display()));
+            continue;
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        check_file(&rel_str, &text, &mut findings);
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("xtask lint: {f}");
+        }
+        eprintln!("xtask lint: {} violations", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn check_file(rel: &str, text: &str, findings: &mut Vec<String>) {
+    // The linter's own source holds the deny patterns as string literals and
+    // test fixtures; it is the policy, not a subject of it.
+    if rel.starts_with("crates/xtask/") {
+        return;
+    }
+    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel);
+    let panic_denied = NO_PANIC_CRATES.iter().any(|c| rel.starts_with(&format!("{c}/src/")));
+    let mut in_test_code = false;
+    let mut prev_line: &str = "";
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        // Everything from the first `#[cfg(test)]` down is test code; the
+        // repo convention keeps test modules at the bottom of each file.
+        if line.contains("#[cfg(test)]") {
+            in_test_code = true;
+        }
+        let code = strip_line_comment(line);
+
+        if !unsafe_allowed && has_word(code, "unsafe") {
+            findings.push(format!("{rel}:{lineno}: `unsafe` outside the executor allow-list"));
+        }
+        if panic_denied
+            && !in_test_code
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+        {
+            findings.push(format!("{rel}:{lineno}: unwrap()/expect() in non-test hot-path code"));
+        }
+        if code.contains("#[allow(clippy::")
+            && !line.contains("//")
+            && !prev_line.trim_start().starts_with("//")
+        {
+            findings.push(format!(
+                "{rel}:{lineno}: #[allow(clippy::...)] without a justification comment"
+            ));
+        }
+        prev_line = line;
+    }
+}
+
+/// The code part of a line: everything before a `//` comment (string literals
+/// containing `//` are rare enough in this repo that a textual rule is fine —
+/// a false positive just earns the line a comment explaining itself).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// True if `word` occurs in `code` delimited by non-identifier characters.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find(word) {
+        let before_ok = pos == 0
+            || !rest[..pos].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + word.len()..];
+        let after_ok = !after.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + word.len()..];
+    }
+    false
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask/ -> repo root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_is_flagged_outside_the_allowlist() {
+        let mut findings = Vec::new();
+        check_file("crates/sim/src/engine.rs", "unsafe { x() }\n", &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        findings.clear();
+        check_file("crates/core/src/session/executor.rs", "unsafe { x() }\n", &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unsafe_in_comments_or_identifiers_is_not_flagged() {
+        let mut findings = Vec::new();
+        check_file("crates/sim/src/a.rs", "// unsafe is discussed here\n", &mut findings);
+        check_file("crates/sim/src/a.rs", "let not_unsafe_here = 1;\n", &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unwrap_is_flagged_only_in_hot_path_non_test_code() {
+        let mut findings = Vec::new();
+        check_file("crates/verify/src/check.rs", "x.unwrap();\n", &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        findings.clear();
+        check_file("crates/bench/src/lib.rs", "x.unwrap();\n", &mut findings);
+        assert!(findings.is_empty(), "other crates may unwrap: {findings:?}");
+        findings.clear();
+        check_file(
+            "crates/qrf/src/alloc.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { x.unwrap(); } }\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "test code may unwrap: {findings:?}");
+        findings.clear();
+        check_file("crates/sim/src/engine.rs", "x.unwrap_or(0);\n", &mut findings);
+        assert!(findings.is_empty(), "unwrap_or is fine: {findings:?}");
+    }
+
+    #[test]
+    fn clippy_allows_need_a_justification() {
+        let mut findings = Vec::new();
+        check_file("crates/a/src/lib.rs", "#[allow(clippy::too_many_arguments)]\n", &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        findings.clear();
+        check_file(
+            "crates/a/src/lib.rs",
+            "// the signature mirrors the paper's notation\n#[allow(clippy::too_many_arguments)]\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        findings.clear();
+        check_file(
+            "crates/a/src/lib.rs",
+            "#[allow(clippy::too_many_arguments)] // paper notation\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn the_repo_is_currently_clean() {
+        // The gate must hold on the tree it ships in.
+        let root = repo_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root.join("crates"), &mut files);
+        assert!(!files.is_empty());
+        let mut findings = Vec::new();
+        for file in &files {
+            let text = std::fs::read_to_string(file).unwrap();
+            let rel = file.strip_prefix(&root).unwrap_or(file);
+            check_file(&rel.to_string_lossy().replace('\\', "/"), &text, &mut findings);
+        }
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Deterministic concurrency stress of the session memo store.
+//!
+//! N racing threads walk a K-machine × M-loop request grid, each in its own
+//! seeded shuffled order, through the lock-striped store's compile and verify
+//! slots.  The contract under any interleaving: every (key, loop) slot
+//! compiles exactly once and verifies exactly once, every other request is
+//! accounted as a hit, and all threads share pointer-identical artifacts — no
+//! lost updates, no duplicated work.  A second test races whole parallel
+//! sweeps (the session's own work-stealing executor) from several driver
+//! threads and demands the same exactly-once accounting.
+
+use std::sync::{Arc, Barrier};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vliw_repro::vliw_core::pipeline::CompilerConfig;
+use vliw_repro::vliw_core::{LatencyModel, Machine, Session, SessionBuilder};
+
+const THREADS: usize = 8;
+const LOOPS: usize = 12;
+const SEED: u64 = 2098;
+
+/// Three distinct compilation keys: two single-cluster widths plus the
+/// clustered partitioner, so the stripes of the key map see unrelated keys.
+fn machine_configs() -> Vec<CompilerConfig> {
+    vec![
+        CompilerConfig::paper_defaults(Machine::paper_single(6)),
+        CompilerConfig::paper_defaults(Machine::paper_single(12)),
+        CompilerConfig::paper_defaults(Machine::paper_clustered(4, LatencyModel::default())),
+    ]
+}
+
+/// The full (key, loop) grid in a seeded Fisher–Yates order, so every thread
+/// visits the slots in a different but reproducible sequence.
+fn shuffled_pairs(keys: usize, loops: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut pairs: Vec<(usize, usize)> =
+        (0..keys).flat_map(|k| (0..loops).map(move |i| (k, i))).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..pairs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pairs.swap(i, j);
+    }
+    pairs
+}
+
+#[test]
+fn racing_threads_compile_and_verify_every_slot_exactly_once() {
+    let session = Session::quick(LOOPS, SEED);
+    let configs = machine_configs();
+    let barrier = Barrier::new(THREADS);
+
+    // Each thread records the artifact pointer of every slot it touches.  The
+    // barrier separates the compile and verify phases so the expected counter
+    // totals below are exact, not bounds.
+    type Compiled = Vec<(usize, usize, usize)>;
+    type Verified = Vec<(usize, usize, Option<usize>)>;
+    let observations: Vec<(Compiled, Verified)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (session, configs, barrier) = (&session, &configs, &barrier);
+                scope.spawn(move || {
+                    let compilers: Vec<_> =
+                        configs.iter().map(|c| session.compiler(c.clone())).collect();
+                    let mut compiled = Vec::new();
+                    for (k, i) in shuffled_pairs(configs.len(), LOOPS, 0xC0FFEE + t as u64) {
+                        let full = compilers[k].compile_full(i);
+                        compiled.push((k, i, Arc::as_ptr(&full) as usize));
+                    }
+                    compiled.sort_unstable();
+                    barrier.wait();
+                    let mut verified = Vec::new();
+                    for (k, i) in shuffled_pairs(configs.len(), LOOPS, 0xBADC0DE + t as u64) {
+                        let v = compilers[k].verify(i);
+                        verified.push((k, i, v.map(|a| Arc::as_ptr(&a) as usize)));
+                    }
+                    verified.sort_unstable();
+                    (compiled, verified)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress thread panicked")).collect()
+    });
+
+    // Pointer identity across threads: one artifact per slot, ever.
+    let (first_compiled, first_verified) = &observations[0];
+    for (compiled, verified) in &observations[1..] {
+        assert_eq!(compiled, first_compiled, "a compile slot produced two artifacts");
+        assert_eq!(verified, first_verified, "a verify slot produced two verdicts");
+    }
+
+    let slots = (configs.len() * LOOPS) as u64;
+    let calls = slots * THREADS as u64;
+    let ok_slots = first_verified.iter().filter(|(_, _, ptr)| ptr.is_some()).count() as u64;
+    assert!(ok_slots > 0, "the corpus must schedule on at least one machine");
+
+    let stats = session.stats();
+    assert_eq!(stats.unique_keys, configs.len() as u64);
+    assert_eq!(stats.compilations, slots, "every slot compiles exactly once: {stats:?}");
+    assert_eq!(stats.hits, calls - slots, "every other compile request is a hit: {stats:?}");
+    assert_eq!(
+        stats.verifications, ok_slots,
+        "every schedulable slot verifies exactly once: {stats:?}"
+    );
+    assert_eq!(
+        stats.verify_hits,
+        calls - ok_slots,
+        "every other verify request is a hit: {stats:?}"
+    );
+    assert_eq!(stats.disk_hits, 0, "no persistent layer is configured");
+    assert_eq!(stats.sim_runs, 0, "nothing here simulates");
+}
+
+#[test]
+fn racing_parallel_sweeps_share_one_compilation_pass() {
+    // Four drivers race the session's own work-stealing sweep executor over
+    // the same configuration; the store must coalesce them onto one
+    // compilation pass with exact hit accounting.
+    const DRIVERS: usize = 4;
+    let session = SessionBuilder::quick(LOOPS, SEED).threads(4).build();
+    std::thread::scope(|scope| {
+        for _ in 0..DRIVERS {
+            let session = &session;
+            scope.spawn(move || {
+                let compiler =
+                    session.compiler(CompilerConfig::paper_defaults(Machine::paper_single(6)));
+                let outcomes = session.sweep(|i, _| compiler.compile(i).is_ok());
+                assert_eq!(outcomes.len(), LOOPS);
+            });
+        }
+    });
+
+    let stats = session.stats();
+    let slots = LOOPS as u64;
+    assert_eq!(stats.unique_keys, 1);
+    assert_eq!(stats.compilations, slots, "racing sweeps must not recompile: {stats:?}");
+    assert_eq!(stats.hits, (DRIVERS as u64 - 1) * slots, "late drivers are all hits: {stats:?}");
+}
