@@ -19,10 +19,13 @@
 //! statically — the same verdicts `simulate` observes, with no execution.
 //! Global options: `--corpus-size`, `--seed`, `--threads`,
 //! `--format text|json`, `--cache-dir DIR` (persist artifacts across
-//! in-process runs) and `--server ADDR` (run the experiments on a `vliw-serve`
-//! daemon instead of compiling in-process); the `sweep` subcommand
-//! additionally takes `--grid small|paper|full` and
-//! `--classify dynamic|static`.  The output of a full-corpus text run is
+//! in-process runs), `--server ADDR` (run the experiments on a `vliw-serve`
+//! daemon instead of compiling in-process) and `--trace FILE` (capture a
+//! Chrome `trace_event` JSON of the run and print a per-stage breakdown on
+//! stderr — in-process only, stdout stays byte-identical); the `sweep`
+//! subcommand additionally takes `--grid small|paper|full` and
+//! `--classify dynamic|static`.  The `metrics` subcommand scrapes a daemon's
+//! telemetry (`--server` required) as Prometheus text on stdout.  The output of a full-corpus text run is
 //! recorded in EXPERIMENTS.md next to the numbers reported by the paper; the
 //! JSON format is what CI's bench-smoke job archives and what
 //! `baselines/figures_small.json` (and, for `simulate` / `sweep` / `verify`,
@@ -187,6 +190,18 @@ fn emit_json<T: serde::Serialize>(report: &T, stats: &SessionStats) -> Result<()
 
 /// Runs the resolved selection end to end; returns a user-facing error message.
 fn run_selection(selection: Selection, run: &RunConfig) -> Result<(), String> {
+    if selection == Selection::Metrics {
+        // A metrics scrape reads the daemon's own telemetry, so it skips the
+        // corpus-size/seed validation the experiment paths perform — any
+        // healthy daemon can answer it.
+        let addr = run.server.as_ref().expect("cli::resolve rejects `metrics` without --server");
+        let mut client =
+            ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let text = client.metrics().map_err(|e| e.to_string())?;
+        print!("{text}");
+        return Ok(());
+    }
+
     if selection == Selection::Stream {
         // Streamed runs measure *this* process's memory, so there is no
         // backend to open: no session, no memo store, and no daemon.
@@ -296,6 +311,20 @@ fn run_selection(selection: Selection, run: &RunConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the accumulated span buffers as Chrome `trace_event` JSON to
+/// `path` and prints the per-stage breakdown on stderr.  Stdout is never
+/// touched: a traced run's report stays byte-identical to an untraced one.
+fn export_trace(path: &std::path::Path) -> Result<(), String> {
+    vliw_core::obs::disable();
+    let threads = vliw_core::obs::snapshot();
+    std::fs::write(path, vliw_core::obs::chrome_trace(&threads))
+        .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+    let stats = vliw_core::obs::stage_stats(&threads);
+    eprint!("{}", vliw_core::obs::render_stage_table(&stats));
+    eprintln!("trace written to {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let matches = cli::command().get_matches();
     let (selection, run) = match cli::resolve(&matches) {
@@ -305,7 +334,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_selection(selection, &run) {
+    if run.trace.is_some() {
+        vliw_core::obs::enable();
+    }
+    let mut result = run_selection(selection, &run);
+    if let Some(path) = &run.trace {
+        // Export even when the run failed: a partial trace is exactly what a
+        // debugging session wants.
+        let exported = export_trace(path);
+        result = result.and(exported);
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");

@@ -55,6 +55,10 @@ pub fn command() -> Command {
                 .value_name("DIR")
                 .help("Persist compile/simulate artifacts under DIR (in-process runs only)"),
         ))
+        .arg(global(Arg::new("trace").long("trace").value_name("FILE").help(
+            "Capture a Chrome trace_event JSON of this run to FILE and print a \
+                     per-stage breakdown on stderr (in-process runs only)",
+        )))
         .subcommand(Command::new("fig3").about("Fig. 3 - number of queues required"))
         .subcommand(Command::new("copy-cost").about("Section 2 - cost of copy operations"))
         .subcommand(Command::new("fig4").about("Fig. 4 - II speedup from loop unrolling"))
@@ -106,6 +110,10 @@ pub fn command() -> Command {
         .subcommand(Command::new("verify").about(
             "Static schedule/allocation verification - proves the simulate \
              invariants without executing a cycle",
+        ))
+        .subcommand(Command::new("metrics").about(
+            "Scrape a vliw-serve daemon's telemetry (Prometheus text) - \
+             requires --server",
         ))
         .subcommand(Command::new("all").about("Every figure experiment above (the default)"))
 }
@@ -165,6 +173,16 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
 
     let server = matches.get_one::<String>("server");
     let cache_dir = matches.get_one::<String>("cache-dir").map(std::path::PathBuf::from);
+    let trace = matches.get_one::<String>("trace").map(std::path::PathBuf::from);
+
+    if trace.is_some() && server.is_some() {
+        return Err("--trace captures this process's spans; a --server run compiles in the \
+                    daemon, so there is nothing to trace (drop one of the two)"
+            .to_string());
+    }
+    if selection == Selection::Metrics && server.is_none() {
+        return Err("`metrics` scrapes a daemon's telemetry; pass --server ADDR".to_string());
+    }
 
     Ok((
         selection,
@@ -178,6 +196,7 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
             shard_size,
             server,
             cache_dir,
+            trace,
         },
     ))
 }
@@ -338,6 +357,25 @@ mod tests {
         assert_eq!(run.corpus_size, 32);
         assert_eq!(run.seed, 386);
         assert_eq!(run.format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn trace_parses_in_process_and_is_rejected_with_server() {
+        let (_, run) = parse(&["all", "--trace", "out.json"]).unwrap();
+        assert_eq!(run.trace, Some(std::path::PathBuf::from("out.json")));
+        let (_, run) = parse(&["fig3"]).unwrap();
+        assert_eq!(run.trace, None);
+        let err = parse(&["all", "--trace", "out.json", "--server", "127.0.0.1:7421"]).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn metrics_requires_a_server() {
+        let err = parse(&["metrics"]).unwrap_err();
+        assert!(err.contains("--server"), "{err}");
+        let (selection, run) = parse(&["metrics", "--server", "127.0.0.1:7421"]).unwrap();
+        assert_eq!(selection, Selection::Metrics);
+        assert_eq!(run.server.as_deref(), Some("127.0.0.1:7421"));
     }
 
     #[test]

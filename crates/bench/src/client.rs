@@ -50,16 +50,21 @@ impl ServeClient {
         let response: ResponseEnvelope = read_message(&mut self.stream)?.ok_or_else(|| {
             VliwError::Protocol("server closed the connection before answering".to_string())
         })?;
+        // Surface error bodies before checking ids: the daemon answers
+        // protocol-level failures (malformed frame, oversized frame) with an
+        // error envelope carrying id 0 because it never decoded a request id.
+        // Hiding that behind an id-mismatch message would lose the structured
+        // kind/message the server went to the trouble of sending.
+        if let WireResponse::Error(e) = response.body {
+            return Err(e);
+        }
         if response.id != id {
             return Err(VliwError::Protocol(format!(
                 "response id {} does not match request id {id}",
                 response.id
             )));
         }
-        match response.body {
-            WireResponse::Error(e) => Err(e),
-            body => Ok(body),
-        }
+        Ok(response.body)
     }
 
     /// Asks the daemon what it serves.
@@ -94,6 +99,14 @@ impl ServeClient {
         }
     }
 
+    /// Fetches the daemon's telemetry as Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, VliwError> {
+        match self.round_trip(WireRequest::Metrics)? {
+            WireResponse::Metrics(text) => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
     /// Asks the daemon to stop accepting connections and exit.
     pub fn shutdown(&mut self) -> Result<(), VliwError> {
         match self.round_trip(WireRequest::Shutdown)? {
@@ -109,6 +122,7 @@ fn unexpected(asked: &str, got: &WireResponse) -> VliwError {
         WireResponse::Info(_) => "info",
         WireResponse::Run(_) => "run",
         WireResponse::Stats(_) => "stats",
+        WireResponse::Metrics(_) => "metrics",
         WireResponse::Shutdown => "shutdown",
         WireResponse::Error(_) => "error",
     };
@@ -154,6 +168,33 @@ mod tests {
         assert!(validate_server(&info, 32, 1).unwrap_err().contains("seed 1"));
         let old = ServerInfo { protocol_version: PROTOCOL_VERSION + 1, ..info };
         assert!(validate_server(&old, 32, 386).unwrap_err().contains("protocol"));
+    }
+
+    #[test]
+    fn an_error_envelope_with_id_zero_surfaces_as_the_remote_error() {
+        // A daemon that cannot decode a frame answers with id 0 (the real id
+        // never arrived); the client must surface that structured error, not
+        // an id-mismatch diagnostic that hides it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("client connects");
+            // Drain the request frame, then answer with an id-0 error.
+            let _: Option<RequestEnvelope> = read_message(&mut stream).expect("request decodes");
+            write_message(
+                &mut stream,
+                &ResponseEnvelope {
+                    id: 0,
+                    body: WireResponse::Error(VliwError::Protocol("bad frame".to_string())),
+                },
+            )
+            .expect("error envelope writes");
+        });
+        let mut client = ServeClient::connect(&addr).expect("client connects");
+        let err = client.info().expect_err("the error envelope must surface");
+        assert_eq!(err.kind(), "protocol");
+        assert!(err.to_string().contains("bad frame"), "{err}");
+        server.join().unwrap();
     }
 
     #[test]

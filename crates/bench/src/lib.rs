@@ -127,8 +127,14 @@ pub enum Selection {
     /// Excluded from [`Selection::All`] like the other separate documents;
     /// its report is pinned by `baselines/verify_small.json`.
     Verify,
+    /// Scrape a `vliw-serve` daemon's telemetry (Prometheus text exposition).
+    ///
+    /// Strictly remote: the metrics live in the daemon's process, so the
+    /// `figures` CLI rejects it without `--server`.  Not part of
+    /// [`Selection::All`].
+    Metrics,
     /// Every figure experiment (everything above except `Simulate`, `Sweep`,
-    /// `Stream` and `Verify`).
+    /// `Stream`, `Verify` and `Metrics`).
     All,
 }
 
@@ -146,6 +152,7 @@ impl Selection {
             "sweep" => Some(Selection::Sweep),
             "stream" => Some(Selection::Stream),
             "verify" => Some(Selection::Verify),
+            "metrics" => Some(Selection::Metrics),
             "all" => Some(Selection::All),
             _ => None,
         }
@@ -162,6 +169,7 @@ impl Selection {
                     && which != Selection::Sweep
                     && which != Selection::Stream
                     && which != Selection::Verify
+                    && which != Selection::Metrics
             }
             s => s == which,
         }
@@ -195,6 +203,10 @@ pub struct RunConfig {
     /// (`None` = in-memory only; ignored with `--server` — the daemon owns
     /// its own cache).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// File to write a Chrome `trace_event` JSON capture of this run to
+    /// (`None` = tracing stays disabled).  In-process runs only: the spans
+    /// live in this process, so `--trace` is rejected with `--server`.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -234,6 +246,7 @@ impl Default for RunConfig {
             shard_size: vliw_core::session::DEFAULT_SHARD_SIZE,
             server: None,
             cache_dir: None,
+            trace: None,
         }
     }
 }
@@ -293,6 +306,10 @@ pub fn run_experiments_in(
     assert!(
         selection != Selection::Verify,
         "Selection::Verify produces a VerifyReport; call run_verify_in"
+    );
+    assert!(
+        selection != Selection::Metrics,
+        "Selection::Metrics scrapes a daemon; it never runs in-process"
     );
     Ok(FiguresReport {
         corpus_size: session.config().corpus.num_loops,
@@ -411,6 +428,9 @@ pub fn requests_for(
         // A streamed run has no wire form: it measures this process's memory,
         // so the `figures` binary rejects `--server` before asking.
         Selection::Stream => Vec::new(),
+        // A metrics scrape is a protocol-level frame, not an experiment; the
+        // `figures` binary sends it through `ServeClient::metrics` directly.
+        Selection::Metrics => Vec::new(),
         _ => {
             let mut requests = Vec::new();
             if selection.runs(Selection::Fig3) {
@@ -616,6 +636,8 @@ mod tests {
         assert!(!Selection::All.runs(Selection::Sweep));
         assert!(!Selection::All.runs(Selection::Stream));
         assert!(!Selection::All.runs(Selection::Verify));
+        assert!(!Selection::All.runs(Selection::Metrics));
+        assert!(requests_for(Selection::Metrics, SweepGrid::Small, Classify::Dynamic).is_empty());
         assert!(Selection::Simulate.runs(Selection::Simulate));
         assert!(Selection::Sweep.runs(Selection::Sweep));
         assert!(Selection::Stream.runs(Selection::Stream));
@@ -799,7 +821,8 @@ mod tests {
                 | Selection::Simulate
                 | Selection::Sweep
                 | Selection::Stream
-                | Selection::Verify => {
+                | Selection::Verify
+                | Selection::Metrics => {
                     unreachable!()
                 }
             }

@@ -149,12 +149,51 @@ pub fn collect() -> PerfReport {
             .sum::<u32>()
     }));
 
-    // session — the cold/warm compile path through the memo store.
-    probes.push(time_probe("session/compile_corpus_cold", 5, 250, || {
+    // session — the cold compile path through the memo store, untraced and
+    // with tracing spans recording.  The two sides are timed in *alternating*
+    // iterations of one measurement window so machine-load drift hits both
+    // equally: the traced/untraced ratio is what CI asserts (< 1.05), and on
+    // a shared runner two windows seconds apart wobble by more than the
+    // overhead being measured.
+    let run_cold = || {
         let session = Session::new(cfg.clone());
         let compiler = session.compiler(CompilerConfig::paper_defaults(paper6.clone()));
         session.sweep(|i, _| compiler.compile(i).is_ok())
-    }));
+    };
+    std::hint::black_box(run_cold());
+    let budget = std::time::Duration::from_millis(500);
+    let mut cold_elapsed = std::time::Duration::ZERO;
+    let mut traced_elapsed = std::time::Duration::ZERO;
+    let mut cold_iters = 0u64;
+    while cold_iters < 5 || cold_elapsed + traced_elapsed < budget {
+        let start = Instant::now();
+        std::hint::black_box(run_cold());
+        cold_elapsed += start.elapsed();
+        // Clear the previous iteration's events outside the timed section so
+        // the buffers stay bounded and every iteration pays the same
+        // recording cost.
+        vliw_obs::enable();
+        vliw_obs::clear();
+        let start = Instant::now();
+        std::hint::black_box(run_cold());
+        traced_elapsed += start.elapsed();
+        vliw_obs::disable();
+        cold_iters += 1;
+        if cold_iters >= 100_000 {
+            break;
+        }
+    }
+    vliw_obs::clear();
+    probes.push(PerfProbe {
+        name: "session/compile_corpus_cold".to_string(),
+        ns_per_iter: cold_elapsed.as_nanos() as f64 / cold_iters as f64,
+        iters: cold_iters,
+    });
+    probes.push(PerfProbe {
+        name: "session/compile_corpus_cold_traced".to_string(),
+        ns_per_iter: traced_elapsed.as_nanos() as f64 / cold_iters as f64,
+        iters: cold_iters,
+    });
     let warm = Session::new(cfg.clone());
     let warm_compiler = warm.compiler(CompilerConfig::paper_defaults(paper6.clone()));
     warm.sweep(|i, _| warm_compiler.compile(i).is_ok());

@@ -49,6 +49,7 @@ pub use vliw_analysis as analysis;
 pub use vliw_ddg as ddg;
 pub use vliw_loopgen as loopgen;
 pub use vliw_machine as machine;
+pub use vliw_obs as obs;
 pub use vliw_partition as partition;
 pub use vliw_qrf as qrf;
 pub use vliw_sched as sched;

@@ -210,17 +210,24 @@ impl Compiler {
         // lives in an arena graph that is rebuilt in place loop after loop.
         let (body, unroll_factor, num_copies) = match (self.config.unroll, self.config.use_copies) {
             (true, true) => {
-                let factor = select_unroll_factor(&lp.ddg, machine, self.config.max_unroll);
-                unroll_ddg_into(&lp.ddg, factor, &mut arena.unrolled);
+                let factor = {
+                    let _span = vliw_obs::span!("unroll", lp.ddg.num_ops());
+                    let factor = select_unroll_factor(&lp.ddg, machine, self.config.max_unroll);
+                    unroll_ddg_into(&lp.ddg, factor, &mut arena.unrolled);
+                    factor
+                };
+                let _span = vliw_obs::span!("ddg/copies", arena.unrolled.num_ops());
                 let ins = insert_copies(&arena.unrolled, &latencies);
                 let n = ins.num_copies();
                 (ins.ddg, factor, n)
             }
             (true, false) => {
+                let _span = vliw_obs::span!("unroll", lp.ddg.num_ops());
                 let factor = select_unroll_factor(&lp.ddg, machine, self.config.max_unroll);
                 (unroll_ddg(&lp.ddg, factor).ddg, factor, 0)
             }
             (false, true) => {
+                let _span = vliw_obs::span!("ddg/copies", lp.ddg.num_ops());
                 let ins = insert_copies(&lp.ddg, &latencies);
                 let n = ins.num_copies();
                 (ins.ddg, 1, n)

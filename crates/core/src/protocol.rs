@@ -149,6 +149,9 @@ pub enum WireRequest {
     Run(Vec<ExperimentRequest>),
     /// Report the session's cache statistics.
     Stats,
+    /// Report the daemon's telemetry as Prometheus text exposition
+    /// (per-request-type latency histograms, store counters, uptime, RSS).
+    Metrics,
     /// Stop accepting connections and exit after the in-flight ones drain.
     Shutdown,
 }
@@ -162,6 +165,8 @@ pub enum WireResponse {
     Run(Vec<ExperimentResponse>),
     /// Answer to [`WireRequest::Stats`].
     Stats(SessionStats),
+    /// Answer to [`WireRequest::Metrics`]: the Prometheus text exposition.
+    Metrics(String),
     /// Acknowledges [`WireRequest::Shutdown`].
     Shutdown,
     /// The request failed; deserializes as [`VliwError::Remote`].
@@ -226,6 +231,7 @@ impl Serialize for RequestEnvelope {
                 envelope(self.id, "run", Some(("requests", requests.serialize())))
             }
             WireRequest::Stats => envelope(self.id, "stats", None),
+            WireRequest::Metrics => envelope(self.id, "metrics", None),
             WireRequest::Shutdown => envelope(self.id, "shutdown", None),
         }
     }
@@ -238,6 +244,7 @@ impl Deserialize for RequestEnvelope {
             "info" => WireRequest::Info,
             "run" => WireRequest::Run(de::field(entries, "requests")?),
             "stats" => WireRequest::Stats,
+            "metrics" => WireRequest::Metrics,
             "shutdown" => WireRequest::Shutdown,
             other => return Err(de::Error::custom(format!("unknown request type `{other}`"))),
         };
@@ -255,6 +262,9 @@ impl Serialize for ResponseEnvelope {
             WireResponse::Stats(stats) => {
                 envelope(self.id, "stats", Some(("stats", stats.serialize())))
             }
+            WireResponse::Metrics(text) => {
+                envelope(self.id, "metrics", Some(("text", Value::String(text.clone()))))
+            }
             WireResponse::Shutdown => envelope(self.id, "shutdown", None),
             WireResponse::Error(error) => {
                 envelope(self.id, "error", Some(("error", error.serialize())))
@@ -270,6 +280,7 @@ impl Deserialize for ResponseEnvelope {
             "info" => WireResponse::Info(de::field(entries, "info")?),
             "run" => WireResponse::Run(de::field(entries, "responses")?),
             "stats" => WireResponse::Stats(de::field(entries, "stats")?),
+            "metrics" => WireResponse::Metrics(de::field(entries, "text")?),
             "shutdown" => WireResponse::Shutdown,
             "error" => WireResponse::Error(de::field(entries, "error")?),
             other => return Err(de::Error::custom(format!("unknown response type `{other}`"))),
@@ -353,6 +364,7 @@ mod tests {
                 ]),
             },
             RequestEnvelope { id: 3, body: WireRequest::Stats },
+            RequestEnvelope { id: 4, body: WireRequest::Metrics },
             RequestEnvelope { id: u64::MAX, body: WireRequest::Shutdown },
         ];
         for request in requests {
@@ -384,6 +396,12 @@ mod tests {
             ResponseEnvelope {
                 id: 5,
                 body: WireResponse::Error(VliwError::InvalidRequest("bad grid".to_string())),
+            },
+            ResponseEnvelope {
+                id: 6,
+                body: WireResponse::Metrics(
+                    "# TYPE vliw_uptime_seconds gauge\nvliw_uptime_seconds 1.5\n".to_string(),
+                ),
             },
         ];
         for response in responses {

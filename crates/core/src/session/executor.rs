@@ -56,10 +56,14 @@ where
     let next = AtomicUsize::new(0);
     let outcomes: Vec<WorkerOutcome<R>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
                 let run_item = &run_item;
                 scope.spawn(move |_| {
+                    // Registers this worker's per-thread span buffer (and its
+                    // `worker-{k}` trace label) with the recorder; a no-op
+                    // unless tracing is enabled.
+                    vliw_obs::register_worker(worker);
                     let mut local = Vec::with_capacity(n / threads + 1);
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);

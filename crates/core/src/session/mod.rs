@@ -95,7 +95,10 @@ impl Session {
     }
 
     fn with_persist(config: ExperimentConfig, persist: Option<Arc<PersistStore>>) -> Self {
-        let corpus = Arc::new(generate_corpus(&config.corpus));
+        let corpus = {
+            let _span = vliw_obs::span!("corpusgen", config.corpus.num_loops);
+            Arc::new(generate_corpus(&config.corpus))
+        };
         Session { config, corpus, store: MemoStore::new(persist) }
     }
 
@@ -128,6 +131,13 @@ impl Session {
     /// True when the session has a persistent (disk) artifact store.
     pub fn is_persistent(&self) -> bool {
         self.store.persist().is_some()
+    }
+
+    /// Disk-probe counters of the persistent store, `(loads, writes, rejects)`
+    /// — the daemon's cache hit / miss / corruption telemetry.  `None` for an
+    /// in-memory-only session.
+    pub fn persist_counters(&self) -> Option<(u64, u64, u64)> {
+        self.store.persist().map(|p| p.counter_values())
     }
 
     /// Interns `config` as a sweep point and returns a handle that compiles corpus

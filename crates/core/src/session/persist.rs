@@ -191,6 +191,7 @@ impl PersistStore {
     /// Reads `path`, parses it, and verifies the version/digest envelope.
     /// Returns the entry fields on success; counts a reject on any mismatch.
     fn load_envelope(&self, path: &Path, key: u64, lp: u64) -> Option<Vec<(String, Value)>> {
+        let _span = vliw_obs::span!("persist/io", lp);
         let text = fs::read_to_string(path).ok()?;
         let verified: Result<Vec<(String, Value)>, de::Error> = (|| {
             let value: Value =
@@ -235,6 +236,7 @@ impl PersistStore {
 
     /// Serializes the envelope and writes it via tmp-file + atomic rename.
     fn write_envelope(&self, path: &Path, key: u64, lp: u64, body: (String, Value)) {
+        let _span = vliw_obs::span!("persist/io", lp);
         let envelope = Value::Object(vec![
             ("store_version".to_string(), Value::UInt(u64::from(STORE_VERSION))),
             ("key".to_string(), Value::String(format!("{key:016x}"))),

@@ -119,7 +119,10 @@ pub fn compile_stream(
 
     loop {
         shard.clear();
-        shard.extend(stream.by_ref().take(shard_size));
+        {
+            let _span = vliw_obs::span!("corpusgen", shard_size);
+            shard.extend(stream.by_ref().take(shard_size));
+        }
         if shard.is_empty() {
             break;
         }

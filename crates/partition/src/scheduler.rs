@@ -127,6 +127,7 @@ pub fn partition_schedule_with(
     opts: PartitionOptions,
     scratch: &mut PartitionScratch,
 ) -> Result<PartitionResult, SchedError> {
+    let _span = vliw_obs::span!("sched/partition", ddg.num_ops());
     if ddg.num_ops() == 0 {
         return Err(SchedError::EmptyGraph);
     }

@@ -125,6 +125,7 @@ pub fn allocate_queues_with(
     ii: u32,
     scratch: &mut AllocScratch,
 ) -> QueueAllocation {
+    let _span = vliw_obs::span!("qrf/alloc", lifetimes.len());
     assert!(ii >= 1);
     let words = words_for(ii);
     // Process lifetimes by increasing start time (then end time) — the same order in

@@ -96,6 +96,7 @@ pub fn modulo_schedule_with(
     opts: ImsOptions,
     scratch: &mut SchedScratch,
 ) -> Result<ImsResult, SchedError> {
+    let _span = vliw_obs::span!("sched/ims", ddg.num_ops());
     if ddg.num_ops() == 0 {
         return Err(SchedError::EmptyGraph);
     }

@@ -26,16 +26,17 @@ use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vliw_core::protocol::{
     read_message, write_message, RequestEnvelope, ResponseEnvelope, ServerInfo, WireRequest,
     WireResponse, PROTOCOL_VERSION,
 };
-use vliw_core::session::STORE_VERSION;
+use vliw_core::session::{peak_rss_kb, STORE_VERSION};
 use vliw_core::{CorpusConfig, Session, SessionBuilder, VliwError};
+use vliw_obs::{fmt_duration, prom_header, prom_sample_f64, prom_sample_u64, LatencyHistogram};
 
 /// Default listen address of the daemon.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7421";
@@ -105,6 +106,175 @@ impl Default for ServeConfig {
     }
 }
 
+/// The wire request kinds the daemon tracks per-type latency for, in the
+/// order of the [`ServeMetrics::latency`] histograms.
+const REQUEST_KINDS: [&str; 5] = ["info", "run", "stats", "metrics", "shutdown"];
+
+/// Daemon-side telemetry: request latencies, connection and error counters,
+/// uptime.  One instance per [`Server`], shared with every connection thread;
+/// all updates are relaxed atomics, so a scrape never blocks a request.
+///
+/// The session's own counters (memo-store hits, persist I/O) are *not*
+/// duplicated here — [`ServeMetrics::render`] reads them live from the
+/// session when a scrape asks.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// When the daemon started serving; scrapes report the elapsed time.
+    started: Instant,
+    /// Connections accepted since startup (also the connection id source).
+    connections_total: AtomicU64,
+    /// Requests currently being executed across all connections.
+    requests_in_flight: AtomicU64,
+    /// Frames that failed to decode into a request envelope.
+    protocol_errors_total: AtomicU64,
+    /// Per-request-type latency, indexed like [`REQUEST_KINDS`].
+    latency: [LatencyHistogram; REQUEST_KINDS.len()],
+}
+
+impl ServeMetrics {
+    /// Fresh telemetry with the uptime clock starting now.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics {
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            requests_in_flight: AtomicU64::new(0),
+            protocol_errors_total: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| LatencyHistogram::new()),
+        }
+    }
+
+    /// Claims the next connection id (1-based) and counts the connection.
+    pub fn next_connection(&self) -> u64 {
+        self.connections_total.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records one served request of `REQUEST_KINDS[kind]`.
+    fn observe(&self, kind: usize, elapsed: Duration) {
+        self.latency[kind].record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Renders the full scrape: daemon telemetry plus the session's live
+    /// memo-store and persist counters, in Prometheus text exposition.
+    pub fn render(&self, session: &Session) -> String {
+        let mut out = String::new();
+
+        prom_header(&mut out, "vliw_uptime_seconds", "gauge", "Seconds since the daemon started");
+        prom_sample_f64(&mut out, "vliw_uptime_seconds", "", self.started.elapsed().as_secs_f64());
+
+        prom_header(
+            &mut out,
+            "vliw_connections_total",
+            "counter",
+            "Connections accepted since startup",
+        );
+        prom_sample_u64(
+            &mut out,
+            "vliw_connections_total",
+            "",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+
+        prom_header(
+            &mut out,
+            "vliw_requests_in_flight",
+            "gauge",
+            "Requests currently executing across all connections",
+        );
+        prom_sample_u64(
+            &mut out,
+            "vliw_requests_in_flight",
+            "",
+            self.requests_in_flight.load(Ordering::Relaxed),
+        );
+
+        prom_header(
+            &mut out,
+            "vliw_protocol_errors_total",
+            "counter",
+            "Frames that failed to decode into a request envelope",
+        );
+        prom_sample_u64(
+            &mut out,
+            "vliw_protocol_errors_total",
+            "",
+            self.protocol_errors_total.load(Ordering::Relaxed),
+        );
+
+        prom_header(
+            &mut out,
+            "vliw_request_duration_seconds",
+            "histogram",
+            "Wall-clock time serving one request, by request type",
+        );
+        for (i, kind) in REQUEST_KINDS.iter().enumerate() {
+            let labels = format!("type=\"{kind}\"");
+            self.latency[i].render_prometheus(&mut out, "vliw_request_duration_seconds", &labels);
+        }
+
+        // The session's counters, read live: misses mean real work, hits mean
+        // memoization paid off, and the gap between concurrent requests and
+        // compilations is the in-flight coalescing the once-slots bought.
+        let stats = session.stats();
+        prom_header(
+            &mut out,
+            "vliw_store_events_total",
+            "counter",
+            "Session memo-store requests by kind and how they were satisfied",
+        );
+        let store = [
+            ("compile", "compiled", stats.compilations),
+            ("compile", "hit", stats.hits),
+            ("compile", "disk_hit", stats.disk_hits),
+            ("sim", "run", stats.sim_runs),
+            ("sim", "hit", stats.sim_hits),
+            ("sim", "disk_hit", stats.sim_disk_hits),
+            ("verify", "verified", stats.verifications),
+            ("verify", "hit", stats.verify_hits),
+        ];
+        for (kind, outcome, value) in store {
+            let labels = format!("kind=\"{kind}\",outcome=\"{outcome}\"");
+            prom_sample_u64(&mut out, "vliw_store_events_total", &labels, value);
+        }
+        prom_header(
+            &mut out,
+            "vliw_store_unique_keys",
+            "gauge",
+            "Distinct compilation keys interned by the session",
+        );
+        prom_sample_u64(&mut out, "vliw_store_unique_keys", "", stats.unique_keys);
+
+        if let Some((loads, writes, rejects)) = session.persist_counters() {
+            prom_header(
+                &mut out,
+                "vliw_persist_io_total",
+                "counter",
+                "Persistent artifact store operations by kind",
+            );
+            prom_sample_u64(&mut out, "vliw_persist_io_total", "op=\"load\"", loads);
+            prom_sample_u64(&mut out, "vliw_persist_io_total", "op=\"write\"", writes);
+            prom_sample_u64(&mut out, "vliw_persist_io_total", "op=\"reject\"", rejects);
+        }
+
+        if let Some(rss) = peak_rss_kb() {
+            prom_header(
+                &mut out,
+                "vliw_peak_rss_kb",
+                "gauge",
+                "Peak resident set size of the daemon process in kB",
+            );
+            prom_sample_u64(&mut out, "vliw_peak_rss_kb", "", rss);
+        }
+
+        out
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics::new()
+    }
+}
+
 /// The bound listener, in either transport.
 enum Acceptor {
     Tcp(TcpListener),
@@ -120,6 +290,7 @@ pub struct Server {
     session: Arc<Session>,
     acceptor: Acceptor,
     shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
     local_addr: String,
 }
 
@@ -159,7 +330,13 @@ impl Server {
             Acceptor::Unix(l, _) => l.set_nonblocking(true)?,
         }
 
-        Ok(Server { session, acceptor, shutdown: Arc::new(AtomicBool::new(false)), local_addr })
+        Ok(Server {
+            session,
+            acceptor,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: Arc::new(ServeMetrics::new()),
+            local_addr,
+        })
     }
 
     /// The address the daemon actually listens on (with the real port when
@@ -179,6 +356,11 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
+    /// The daemon's telemetry (shared with every connection).
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
     /// What this daemon serves, as reported to clients.
     pub fn info(&self) -> ServerInfo {
         server_info(&self.session)
@@ -193,10 +375,18 @@ impl Server {
                 Some(stream) => {
                     let session = Arc::clone(&self.session);
                     let shutdown = Arc::clone(&self.shutdown);
+                    let metrics = Arc::clone(&self.metrics);
+                    let conn_id = metrics.next_connection();
                     workers.push(std::thread::spawn(move || {
                         let mut stream = stream;
-                        if let Err(e) = serve_connection(&session, stream.as_mut(), &shutdown) {
-                            eprintln!("vliw-serve: connection error: {e}");
+                        if let Err(e) = serve_connection(
+                            &session,
+                            stream.as_mut(),
+                            &shutdown,
+                            &metrics,
+                            conn_id,
+                        ) {
+                            eprintln!("vliw-serve: conn {conn_id}: connection error: {e}");
                         }
                     }));
                 }
@@ -246,23 +436,39 @@ fn server_info(session: &Session) -> ServerInfo {
     }
 }
 
+/// The latency-histogram index and log name of a request body.
+fn request_kind(body: &WireRequest) -> usize {
+    match body {
+        WireRequest::Info => 0,
+        WireRequest::Run(_) => 1,
+        WireRequest::Stats => 2,
+        WireRequest::Metrics => 3,
+        WireRequest::Shutdown => 4,
+    }
+}
+
 /// Serves one connection: reads request envelopes until the peer closes the
 /// stream (or asks for shutdown), answering each in arrival order.
 ///
 /// Every decodable request gets a response — failures travel as
 /// [`WireResponse::Error`].  An undecodable frame is answered with a
 /// best-effort error envelope (id 0, since the real id never arrived) before
-/// the connection is dropped.
+/// the connection is dropped.  Every served request is logged to stderr with
+/// its connection id, type, outcome and latency, and recorded in `metrics`.
 pub fn serve_connection<S: Read + Write + ?Sized>(
     session: &Session,
     stream: &mut S,
     shutdown: &AtomicBool,
+    metrics: &ServeMetrics,
+    conn_id: u64,
 ) -> Result<(), VliwError> {
     loop {
         let request = match read_message::<_, RequestEnvelope>(stream) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()),
             Err(e) => {
+                metrics.protocol_errors_total.fetch_add(1, Ordering::Relaxed);
+                eprintln!("vliw-serve: conn {conn_id} undecodable frame: {e}");
                 let _ = write_message(
                     stream,
                     &ResponseEnvelope { id: 0, body: WireResponse::Error(e.clone()) },
@@ -270,7 +476,23 @@ pub fn serve_connection<S: Read + Write + ?Sized>(
                 return Err(e);
             }
         };
-        let (body, stop) = handle_request(session, request.body, shutdown);
+        let kind = request_kind(&request.body);
+        metrics.requests_in_flight.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let (body, stop) = handle_request(session, request.body, shutdown, metrics);
+        let elapsed = start.elapsed();
+        metrics.requests_in_flight.fetch_sub(1, Ordering::Relaxed);
+        metrics.observe(kind, elapsed);
+        let outcome = match &body {
+            WireResponse::Error(e) => format!("err({})", e.kind()),
+            _ => "ok".to_string(),
+        };
+        eprintln!(
+            "vliw-serve: conn {conn_id} {} {} in {}",
+            REQUEST_KINDS[kind],
+            outcome,
+            fmt_duration(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)),
+        );
         write_message(stream, &ResponseEnvelope { id: request.id, body })?;
         if stop {
             return Ok(());
@@ -283,6 +505,7 @@ fn handle_request(
     session: &Session,
     body: WireRequest,
     shutdown: &AtomicBool,
+    metrics: &ServeMetrics,
 ) -> (WireResponse, bool) {
     match body {
         WireRequest::Info => (WireResponse::Info(server_info(session)), false),
@@ -297,6 +520,7 @@ fn handle_request(
             (WireResponse::Run(responses), false)
         }
         WireRequest::Stats => (WireResponse::Stats(session.stats()), false),
+        WireRequest::Metrics => (WireResponse::Metrics(metrics.render(session)), false),
         WireRequest::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             (WireResponse::Shutdown, true)
@@ -371,7 +595,7 @@ mod tests {
             RequestEnvelope { id: 2, body: WireRequest::Run(vec![ExperimentRequest::Fig3]) },
             RequestEnvelope { id: 3, body: WireRequest::Stats },
         ]);
-        serve_connection(&session, &mut stream, &shutdown).unwrap();
+        serve_connection(&session, &mut stream, &shutdown, &ServeMetrics::new(), 1).unwrap();
         let responses = responses_of(stream);
         assert_eq!(responses.len(), 3);
         assert_eq!(responses[0].id, 1);
@@ -407,7 +631,7 @@ mod tests {
             // Anything after shutdown on this connection is not served.
             RequestEnvelope { id: 10, body: WireRequest::Info },
         ]);
-        serve_connection(&session, &mut stream, &shutdown).unwrap();
+        serve_connection(&session, &mut stream, &shutdown, &ServeMetrics::new(), 1).unwrap();
         let responses = responses_of(stream);
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].id, 9);
@@ -423,7 +647,8 @@ mod tests {
         // A valid frame that is not a request envelope.
         vliw_core::protocol::write_frame(&mut input, &serde_json::to_value(&42u32)).unwrap();
         let mut stream = Scripted { input: Cursor::new(input), output: Vec::new() };
-        let err = serve_connection(&session, &mut stream, &shutdown).unwrap_err();
+        let err = serve_connection(&session, &mut stream, &shutdown, &ServeMetrics::new(), 1)
+            .unwrap_err();
         assert_eq!(err.kind(), "protocol");
         let responses = responses_of(stream);
         assert_eq!(responses.len(), 1);
@@ -445,7 +670,7 @@ mod tests {
                 ExperimentRequest::Resources { cluster_counts: vec![4] },
             ]),
         }]);
-        serve_connection(&session, &mut stream, &shutdown).unwrap();
+        serve_connection(&session, &mut stream, &shutdown, &ServeMetrics::new(), 1).unwrap();
         let responses = responses_of(stream);
         assert_eq!(responses.len(), 1);
         match &responses[0].body {
@@ -455,6 +680,36 @@ mod tests {
                 assert_eq!(results[1].name(), "resources");
             }
             other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_scrape_reports_histograms_and_store_counters() {
+        let session = Session::quick(4, 3);
+        let shutdown = AtomicBool::new(false);
+        let metrics = ServeMetrics::new();
+        let mut stream = script(&[
+            RequestEnvelope { id: 1, body: WireRequest::Run(vec![ExperimentRequest::Fig3]) },
+            RequestEnvelope { id: 2, body: WireRequest::Metrics },
+        ]);
+        serve_connection(&session, &mut stream, &shutdown, &metrics, 7).unwrap();
+        let responses = responses_of(stream);
+        assert_eq!(responses.len(), 2);
+        let WireResponse::Metrics(text) = &responses[1].body else {
+            panic!("expected Metrics, got {:?}", responses[1].body)
+        };
+        // The run request finished before the scrape, so its histogram holds
+        // exactly one observation; the scrape itself is the only in-flight
+        // request while rendering.
+        assert!(text.contains("vliw_request_duration_seconds_count{type=\"run\"} 1"), "{text}");
+        assert!(text.contains("vliw_request_duration_seconds_bucket{type=\"run\",le=\"+Inf\"} 1"));
+        assert!(text.contains("vliw_requests_in_flight 1"));
+        assert!(text.contains("vliw_uptime_seconds"));
+        assert!(text.contains("vliw_store_events_total{kind=\"compile\",outcome=\"compiled\"}"));
+        // The quick session has no cache dir, so persist series are absent.
+        assert!(!text.contains("vliw_persist_io_total"));
+        if cfg!(target_os = "linux") {
+            assert!(text.contains("vliw_peak_rss_kb"));
         }
     }
 

@@ -182,6 +182,91 @@ fn concurrent_clients_coalesce_onto_one_compilation_pass() {
 }
 
 #[test]
+fn malformed_and_oversized_frames_get_structured_error_frames() {
+    use std::io::Write;
+    use vliw_core::protocol::{read_message, write_frame, ResponseEnvelope, MAX_FRAME_BYTES};
+    use vliw_core::protocol::{WireResponse, PROTOCOL_VERSION};
+    use vliw_core::VliwError;
+
+    let (addr, daemon) = spawn_daemon(tcp_config(4, 1));
+
+    // Expects the daemon to answer the broken frame with an error envelope
+    // carrying id 0 (it never decoded a request id) and a structured
+    // `protocol`-kind error, then drop the connection.
+    let expect_protocol_error = |stream: &mut std::net::TcpStream| {
+        let response: ResponseEnvelope =
+            read_message(stream).expect("error envelope decodes").expect("daemon answers");
+        assert_eq!(response.id, 0, "the real request id never arrived");
+        match response.body {
+            WireResponse::Error(e) => {
+                assert_eq!(e.kind(), "protocol");
+                match e {
+                    VliwError::Remote { kind, message } => {
+                        assert_eq!(kind, "protocol");
+                        assert!(!message.is_empty());
+                    }
+                    other => panic!("wire errors deserialize as Remote, got {other:?}"),
+                }
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        let eof: Option<ResponseEnvelope> = read_message(stream).expect("clean close");
+        assert!(eof.is_none(), "the daemon drops the connection after a broken frame");
+    };
+
+    // A well-formed frame that is not a request envelope.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("raw client connects");
+    write_frame(&mut stream, &serde_json::to_value(&7u32)).unwrap();
+    expect_protocol_error(&mut stream);
+
+    // A length prefix over the frame cap; the daemon must reject it without
+    // reading (or allocating) the body.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("raw client connects");
+    stream.write_all(&(MAX_FRAME_BYTES + 1).to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    expect_protocol_error(&mut stream);
+
+    // The daemon survives both broken clients and still serves real ones.
+    let mut client = ServeClient::connect(&addr).expect("client connects");
+    assert_eq!(client.info().expect("info answers").protocol_version, PROTOCOL_VERSION);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn metrics_frame_scrapes_daemon_telemetry() {
+    let (addr, daemon) = spawn_daemon(tcp_config(8, 5));
+
+    let mut client = ServeClient::connect(&addr).expect("client connects");
+    client.run(vec![vliw_core::experiments::ExperimentRequest::Fig3]).expect("run answers");
+    let text = client.metrics().expect("metrics answers");
+
+    // Per-request-type latency histograms: the run request above must have
+    // been recorded before the scrape.
+    assert!(text.contains("# TYPE vliw_request_duration_seconds histogram"), "{text}");
+    assert!(text.contains("vliw_request_duration_seconds_count{type=\"run\"} 1"), "{text}");
+    assert!(text.contains("vliw_request_duration_seconds_bucket{type=\"run\",le=\"+Inf\"} 1"));
+    // Store counters: the fig3 sweep compiled something.
+    let compiled_line = text
+        .lines()
+        .find(|l| l.starts_with("vliw_store_events_total{kind=\"compile\",outcome=\"compiled\"}"))
+        .expect("compile counter series present");
+    let compiled: u64 = compiled_line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(compiled > 0, "the fig3 run must have compiled: {compiled_line}");
+    // Daemon gauges.
+    assert!(text.contains("vliw_uptime_seconds"), "{text}");
+    assert!(text.contains("vliw_connections_total 1"), "{text}");
+    assert!(text.contains("vliw_protocol_errors_total 0"), "{text}");
+
+    // A second scrape sees the first one in its own histogram.
+    let text = client.metrics().expect("second scrape answers");
+    assert!(text.contains("vliw_request_duration_seconds_count{type=\"metrics\"} 1"), "{text}");
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
 fn a_warm_restart_over_a_persistent_cache_compiles_nothing() {
     let dir = ScratchDir::new("warm");
     let (corpus_size, seed) = (10, 8644);

@@ -160,6 +160,7 @@ fn simulate_inner(
     trip_count: u64,
     queue_map: Option<&QueueMap>,
 ) -> Result<SimRun, SimSetupError> {
+    let _span = vliw_obs::span!("sim", trip_count);
     let n = ddg.num_ops();
     if schedule.start.len() != n {
         return Err(SimSetupError::WrongLength { expected: n, actual: schedule.start.len() });

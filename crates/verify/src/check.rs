@@ -240,6 +240,7 @@ fn verify_inner(
     schedule: &Schedule,
     allocation: Option<&QueueAllocation>,
 ) -> Verification {
+    let _span = vliw_obs::span!("verify", ddg.num_ops());
     let mut out = Verification::empty();
 
     // Structural gates: nothing else is well-defined if these fail, so bail

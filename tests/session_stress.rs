@@ -112,6 +112,98 @@ fn racing_threads_compile_and_verify_every_slot_exactly_once() {
 }
 
 #[test]
+fn racing_mixed_requests_keep_exact_counter_sums() {
+    // Every request kind bumps exactly one counter of its family, so for any
+    // interleaving the families must sum to the request totals:
+    //
+    //   compilations + hits + disk_hits   == compile-path requests
+    //   sim_runs + sim_hits + sim_disk_hits == sim requests on schedulable loops
+    //   verifications + verify_hits       == verify requests
+    //
+    // A single warm-up pass first compiles every (key, loop) slot, so the
+    // racing phase adds only hits on the compile side and the exactly-once
+    // counters stay exact rather than bounds.  No cache dir: disk summaries
+    // would satisfy sim requests without a full compilation and re-shape the
+    // compile counters when the backing compile happens later.
+    const TRIP: u64 = 100;
+    let session = Session::quick(LOOPS, SEED);
+    let configs = machine_configs();
+
+    // Warm-up: one compile-path request per slot, each a cold compilation
+    // (scheduling failures are compiled-and-cached errors, so they count too).
+    let mut ok_slots = 0u64;
+    for config in &configs {
+        let compiler = session.compiler(config.clone());
+        for i in 0..LOOPS {
+            ok_slots += u64::from(compiler.compile_full(i).is_ok());
+        }
+    }
+    let slots = (configs.len() * LOOPS) as u64;
+    assert!(ok_slots > 0, "the corpus must schedule on at least one machine");
+    assert_eq!(session.stats().compilations, slots);
+
+    // Racing phase: every thread sends a compile, a simulate and a verify
+    // request per slot in its own shuffled order, then drives a whole sweep
+    // through the session's work-stealing executor.
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (session, configs, barrier) = (&session, &configs, &barrier);
+            scope.spawn(move || {
+                let compilers: Vec<_> =
+                    configs.iter().map(|c| session.compiler(c.clone())).collect();
+                barrier.wait();
+                for (k, i) in shuffled_pairs(configs.len(), LOOPS, 0xFEED + t as u64) {
+                    let compiled = compilers[k].compile(i).is_ok();
+                    let simulated = compilers[k].simulate(i, TRIP).is_some();
+                    let verified = compilers[k].verify(i).is_some();
+                    assert_eq!(compiled, simulated, "sim must answer iff the loop schedules");
+                    assert_eq!(compiled, verified, "verify must answer iff the loop schedules");
+                }
+                let outcomes = session.sweep(|i, _| compilers[0].compile(i).is_ok());
+                assert_eq!(outcomes.len(), LOOPS);
+            });
+        }
+    });
+
+    let stats = session.stats();
+    let threads = THREADS as u64;
+    // Compile-path requests: the warm-up, plus per racing thread one direct
+    // compile and one simulate-internal compile per slot, plus its sweep over
+    // the first key's loops.
+    let compile_requests = slots + threads * (2 * slots + LOOPS as u64);
+    assert_eq!(stats.unique_keys, configs.len() as u64);
+    assert_eq!(
+        stats.compilations + stats.hits + stats.disk_hits,
+        compile_requests,
+        "every compile-path request bumps exactly one compile counter: {stats:?}"
+    );
+    assert_eq!(stats.compilations, slots, "the racing phase must never recompile: {stats:?}");
+    assert_eq!(stats.disk_hits, 0, "no persistent layer is configured");
+
+    // Sim requests on schedulable loops: one per racing thread per ok slot.
+    assert_eq!(
+        stats.sim_runs + stats.sim_hits + stats.sim_disk_hits,
+        threads * ok_slots,
+        "every schedulable sim request bumps exactly one sim counter: {stats:?}"
+    );
+    assert_eq!(stats.sim_runs, ok_slots, "each (key, loop, N) simulates exactly once: {stats:?}");
+    assert_eq!(stats.sim_disk_hits, 0, "no persistent layer is configured");
+
+    // Verify requests: one per racing thread per slot (unschedulable loops
+    // answer `None` but still count as verify hits).
+    assert_eq!(
+        stats.verifications + stats.verify_hits,
+        threads * slots,
+        "every verify request bumps exactly one verify counter: {stats:?}"
+    );
+    assert_eq!(
+        stats.verifications, ok_slots,
+        "each schedulable slot verifies exactly once: {stats:?}"
+    );
+}
+
+#[test]
 fn racing_parallel_sweeps_share_one_compilation_pass() {
     // Four drivers race the session's own work-stealing sweep executor over
     // the same configuration; the store must coalesce them onto one
