@@ -8,15 +8,18 @@
 //! configuration of the same machine shape is simultaneously cheaper in queue
 //! storage and at least as good at keeping the corpus capacity-clean.
 
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 
 /// One grid point of the design-space sweep, aggregated over the corpus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
-    /// Number of clusters on the ring.
+    /// Number of clusters on the interconnect.
     pub clusters: usize,
     /// Cluster FU-mix tag (`basic`, `wide`).
     pub fu_mix: String,
+    /// Interconnect-topology tag (`ring`, `torus`, `xbar`).  The paper's
+    /// machines are all rings; the huge grid opens this axis.
+    pub topology: String,
     /// Total compute FUs of the machine.
     pub fus: usize,
     /// Queues per cluster (private QRF; also ring queues per direction).
@@ -53,19 +56,78 @@ pub struct SweepRow {
 
 impl SweepRow {
     /// The machine-shape key frontier membership is computed within.
-    fn shape(&self) -> (usize, &str) {
-        (self.clusters, self.fu_mix.as_str())
+    fn shape(&self) -> (usize, &str, &str) {
+        (self.clusters, self.fu_mix.as_str(), self.topology.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire form, by hand so the topology axis stays backward-compatible: `topology`
+// is emitted only when it differs from the paper's ring and defaults to
+// `"ring"` on the way back in — every pre-topology baseline file parses and
+// re-serializes byte-identically.
+// ---------------------------------------------------------------------------
+
+impl Serialize for SweepRow {
+    fn serialize(&self) -> Value {
+        let mut entries = vec![
+            ("clusters".to_string(), self.clusters.serialize()),
+            ("fu_mix".to_string(), self.fu_mix.serialize()),
+        ];
+        if self.topology != "ring" {
+            entries.push(("topology".to_string(), self.topology.serialize()));
+        }
+        entries.extend([
+            ("fus".to_string(), self.fus.serialize()),
+            ("queues_per_cluster".to_string(), self.queues_per_cluster.serialize()),
+            ("queue_capacity".to_string(), self.queue_capacity.serialize()),
+            ("link_depth".to_string(), self.link_depth.serialize()),
+            ("storage_bits".to_string(), self.storage_bits.serialize()),
+            ("loops".to_string(), self.loops.serialize()),
+            ("frac_schedulable".to_string(), self.frac_schedulable.serialize()),
+            ("frac_alloc_fits".to_string(), self.frac_alloc_fits.serialize()),
+            ("frac_sim_clean".to_string(), self.frac_sim_clean.serialize()),
+            ("frac_clean".to_string(), self.frac_clean.serialize()),
+            ("pareto".to_string(), self.pareto.serialize()),
+            ("paper_point".to_string(), self.paper_point.serialize()),
+        ]);
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for SweepRow {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        let entries = v.as_object().ok_or_else(|| de::Error::unexpected("object", v))?;
+        Ok(SweepRow {
+            clusters: de::field(entries, "clusters")?,
+            fu_mix: de::field(entries, "fu_mix")?,
+            topology: de::field::<Option<String>>(entries, "topology")?
+                .unwrap_or_else(|| "ring".to_string()),
+            fus: de::field(entries, "fus")?,
+            queues_per_cluster: de::field(entries, "queues_per_cluster")?,
+            queue_capacity: de::field(entries, "queue_capacity")?,
+            link_depth: de::field(entries, "link_depth")?,
+            storage_bits: de::field(entries, "storage_bits")?,
+            loops: de::field(entries, "loops")?,
+            frac_schedulable: de::field(entries, "frac_schedulable")?,
+            frac_alloc_fits: de::field(entries, "frac_alloc_fits")?,
+            frac_sim_clean: de::field(entries, "frac_sim_clean")?,
+            frac_clean: de::field(entries, "frac_clean")?,
+            pareto: de::field(entries, "pareto")?,
+            paper_point: de::field(entries, "paper_point")?,
+        })
     }
 }
 
 /// Recomputes the `pareto` flag of every row.
 ///
 /// Frontier membership is decided *within each machine shape* (cluster count ×
-/// FU mix): configurations of different shapes trade storage against compute
-/// performance, which the clean fraction alone cannot rank, whereas within a
-/// shape the schedules are identical and only the storage sizing varies — the
-/// exact comparison Fig. 7 makes.  A row is dominated if some same-shape row
-/// has `storage_bits ≤` and `frac_clean ≥` with at least one strict.
+/// FU mix × topology): configurations of different shapes trade storage against
+/// compute performance, which the clean fraction alone cannot rank, whereas
+/// within a shape the schedules are identical and only the storage sizing
+/// varies — the exact comparison Fig. 7 makes.  A row is dominated if some
+/// same-shape row has `storage_bits ≤` and `frac_clean ≥` with at least one
+/// strict.
 pub fn mark_pareto(rows: &mut [SweepRow]) {
     for i in 0..rows.len() {
         let dominated = rows.iter().enumerate().any(|(j, other)| {
@@ -88,6 +150,7 @@ mod tests {
         SweepRow {
             clusters: 4,
             fu_mix: "basic".to_string(),
+            topology: "ring".to_string(),
             fus: 12,
             queues_per_cluster: 8,
             queue_capacity: 8,
@@ -141,9 +204,40 @@ mod tests {
     }
 
     #[test]
+    fn frontiers_split_on_the_topology_axis() {
+        // Same clusters and mix, different topology: incomparable shapes.
+        let mut rows = vec![row(100, 0.5), row(400, 0.4)];
+        rows[1].topology = "xbar".to_string();
+        mark_pareto(&mut rows);
+        assert!(rows[0].pareto && rows[1].pareto);
+    }
+
+    #[test]
     fn rows_round_trip_through_serde() {
         let r = row(768 * 32, 0.875);
         let json = serde_json::to_string(&r).unwrap();
+        let back: SweepRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn ring_rows_keep_the_pre_topology_wire_form() {
+        // The paper's ring rows must serialize without a `topology` key so
+        // committed baselines stay byte-identical, and rows written before the
+        // topology axis existed must read back as rings.
+        let r = row(100, 0.5);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("topology"), "{json}");
+        let back: SweepRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.topology, "ring");
+    }
+
+    #[test]
+    fn non_ring_rows_carry_their_topology_on_the_wire() {
+        let mut r = row(100, 0.5);
+        r.topology = "torus".to_string();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"topology\":\"torus\""), "{json}");
         let back: SweepRow = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }

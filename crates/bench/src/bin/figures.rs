@@ -23,8 +23,12 @@
 //! daemon instead of compiling in-process) and `--trace FILE` (capture a
 //! Chrome `trace_event` JSON of the run and print a per-stage breakdown on
 //! stderr — in-process only, stdout stays byte-identical); the `sweep`
-//! subcommand additionally takes `--grid small|paper|full` and
-//! `--classify dynamic|static`.  The `metrics` subcommand scrapes a daemon's
+//! subcommand additionally takes `--grid small|paper|full|huge`,
+//! `--classify dynamic|static`, `--prune true` (the certificate-pruned driver:
+//! one bounds consultation per machine shape, verdict-identical rows plus a
+//! `prune` accounting section) and `--audit N` (re-derive N seeded-random
+//! (config, loop) pairs exhaustively and assert the verdicts agree).  The
+//! `metrics` subcommand scrapes a daemon's
 //! telemetry (`--server` required) as Prometheus text on stdout.  The output of a full-corpus text run is
 //! recorded in EXPERIMENTS.md next to the numbers reported by the paper; the
 //! JSON format is what CI's bench-smoke job archives and what
@@ -48,8 +52,8 @@ use std::process::ExitCode;
 use vliw_bench::{
     assemble_report, cli, render_simulate_text, render_stats, render_stream_text,
     render_sweep_text, render_text, render_verify_text, requests_for, run_experiments_in,
-    run_simulate_in, run_stream, run_sweep_in, run_verify_in, validate_server, FiguresReport,
-    OutputFormat, RunConfig, Selection, ServeClient,
+    run_pruned_sweep_in, run_simulate_in, run_stream, run_sweep_in, run_verify_in, validate_server,
+    FiguresReport, OutputFormat, RunConfig, Selection, ServeClient,
 };
 use vliw_core::experiments::{ExperimentResponse, SimulateReport, SweepReport, VerifyReport};
 use vliw_core::{Session, SessionStats, VliwError};
@@ -111,7 +115,7 @@ impl Backend {
             }
             Backend::Remote(client, _) => {
                 let responses = client
-                    .run(requests_for(selection, run.grid, run.classify))
+                    .run(requests_for(selection, run.grid, run.classify, run.prune, run.audit))
                     .map_err(|e| e.to_string())?;
                 assemble_report(run.corpus_size, run.seed, responses).map_err(|e| e.to_string())
             }
@@ -129,12 +133,16 @@ impl Backend {
         }
     }
 
-    /// Runs the Fig. 7 design-space sweep.
+    /// Runs the Fig. 7 design-space sweep (certificate-pruned with `--prune
+    /// true`).
     fn sweep(&mut self, run: &RunConfig) -> Result<SweepReport, String> {
         match self {
-            Backend::Local(session) => {
-                run_sweep_in(session, run.grid, run.classify).map_err(|e| e.to_string())
+            Backend::Local(session) => if run.prune {
+                run_pruned_sweep_in(session, run.grid, run.classify, run.audit)
+            } else {
+                run_sweep_in(session, run.grid, run.classify)
             }
+            .map_err(|e| e.to_string()),
             Backend::Remote(client, _) => match one_response(client, Selection::Sweep, run)? {
                 ExperimentResponse::Sweep(report) => Ok(report),
                 other => Err(wrong_document("sweep", &other)),
@@ -160,8 +168,9 @@ fn one_response(
     selection: Selection,
     run: &RunConfig,
 ) -> Result<ExperimentResponse, String> {
-    let mut responses =
-        client.run(requests_for(selection, run.grid, run.classify)).map_err(|e| e.to_string())?;
+    let mut responses = client
+        .run(requests_for(selection, run.grid, run.classify, run.prune, run.audit))
+        .map_err(|e| e.to_string())?;
     match responses.len() {
         1 => Ok(responses.remove(0)),
         n => {

@@ -80,7 +80,7 @@ pub fn command() -> Command {
                         .long("grid")
                         .value_name("GRID")
                         .default_value("small")
-                        .help("Design-space preset: small, paper or full"),
+                        .help("Design-space preset: small, paper, full or huge"),
                 )
                 .arg(
                     Arg::new("classify")
@@ -91,7 +91,19 @@ pub fn command() -> Command {
                             "Loop classification: dynamic (simulate) or static \
                              (prove with the verifier; same verdicts, no execution)",
                         ),
-                ),
+                )
+                .arg(
+                    Arg::new("prune").long("prune").value_name("BOOL").default_value("false").help(
+                        "Use the certificate-pruned driver: one bounds \
+                             consultation per machine shape instead of one \
+                             classification per config (verdict-identical)",
+                    ),
+                )
+                .arg(Arg::new("audit").long("audit").value_name("N").default_value("0").help(
+                    "With --prune true: re-derive N seeded-random \
+                             (config, loop) pairs through the exhaustive path \
+                             and assert the verdicts agree",
+                )),
         )
         .subcommand(
             Command::new("stream")
@@ -143,21 +155,33 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
         .expect("--format has a default")
         .parse()
         .map_err(|e: String| format!("invalid --format: {e}"))?;
-    // `--grid` and `--classify` live on the `sweep` subcommand (they mean
-    // nothing elsewhere).
-    let (grid, classify): (SweepGrid, Classify) = match matches.subcommand() {
-        Some(("sweep", sub)) => (
-            sub.get_one::<String>("grid")
-                .expect("--grid has a default")
-                .parse()
-                .map_err(|e: String| format!("invalid --grid: {e}"))?,
-            sub.get_one::<String>("classify")
-                .expect("--classify has a default")
-                .parse()
-                .map_err(|e: String| format!("invalid --classify: {e}"))?,
-        ),
-        _ => (SweepGrid::default(), Classify::default()),
-    };
+    // `--grid`, `--classify`, `--prune` and `--audit` live on the `sweep`
+    // subcommand (they mean nothing elsewhere).
+    let (grid, classify, prune, audit): (SweepGrid, Classify, bool, usize) =
+        match matches.subcommand() {
+            Some(("sweep", sub)) => (
+                sub.get_one::<String>("grid")
+                    .expect("--grid has a default")
+                    .parse()
+                    .map_err(|e: String| format!("invalid --grid: {e}"))?,
+                sub.get_one::<String>("classify")
+                    .expect("--classify has a default")
+                    .parse()
+                    .map_err(|e: String| format!("invalid --classify: {e}"))?,
+                {
+                    let raw: String = sub.get_one("prune").expect("--prune has a default");
+                    raw.parse().map_err(|e| format!("invalid --prune `{raw}`: {e}"))?
+                },
+                {
+                    let raw: String = sub.get_one("audit").expect("--audit has a default");
+                    raw.parse().map_err(|e| format!("invalid --audit `{raw}`: {e}"))?
+                },
+            ),
+            _ => (SweepGrid::default(), Classify::default(), false, 0),
+        };
+    if audit > 0 && !prune {
+        return Err("--audit samples the pruned driver's verdicts; pass --prune true".to_string());
+    }
     // Likewise `--shard-size` belongs to `stream` alone.
     let shard_size: usize = match matches.subcommand() {
         Some(("stream", sub)) => {
@@ -193,6 +217,8 @@ pub fn resolve(matches: &ArgMatches) -> Result<(Selection, RunConfig), String> {
             format,
             grid,
             classify,
+            prune,
+            audit,
             shard_size,
             server,
             cache_dir,
@@ -279,13 +305,16 @@ mod tests {
         let (selection, run) = parse(&["sweep"]).unwrap();
         assert_eq!(selection, Selection::Sweep);
         assert_eq!(run.grid, SweepGrid::Small);
-        for (raw, expected) in
-            [("small", SweepGrid::Small), ("paper", SweepGrid::Paper), ("full", SweepGrid::Full)]
-        {
+        for (raw, expected) in [
+            ("small", SweepGrid::Small),
+            ("paper", SweepGrid::Paper),
+            ("full", SweepGrid::Full),
+            ("huge", SweepGrid::Huge),
+        ] {
             let (_, run) = parse(&["sweep", "--grid", raw]).unwrap();
             assert_eq!(run.grid, expected, "--grid {raw}");
         }
-        assert!(parse(&["sweep", "--grid", "huge"]).unwrap_err().contains("--grid"));
+        assert!(parse(&["sweep", "--grid", "tiny"]).unwrap_err().contains("--grid"));
         // `--grid` belongs to `sweep` alone.
         assert!(parse(&["fig3", "--grid", "small"]).is_err());
     }
@@ -301,6 +330,29 @@ mod tests {
         assert!(parse(&["sweep", "--classify", "cycle"]).unwrap_err().contains("--classify"));
         // `--classify` belongs to `sweep` alone.
         assert!(parse(&["verify", "--classify", "static"]).is_err());
+    }
+
+    #[test]
+    fn sweep_prune_and_audit_parse_with_safe_defaults() {
+        let (_, run) = parse(&["sweep"]).unwrap();
+        assert!(!run.prune);
+        assert_eq!(run.audit, 0);
+        let (_, run) = parse(&["sweep", "--prune", "true"]).unwrap();
+        assert!(run.prune);
+        assert_eq!(run.audit, 0);
+        let (_, run) =
+            parse(&["sweep", "--grid", "huge", "--prune", "true", "--audit", "64"]).unwrap();
+        assert!(run.prune);
+        assert_eq!(run.audit, 64);
+        assert!(parse(&["sweep", "--prune", "maybe"]).unwrap_err().contains("--prune"));
+        assert!(parse(&["sweep", "--prune", "true", "--audit", "many"])
+            .unwrap_err()
+            .contains("--audit"));
+        // Auditing without pruning has nothing to compare against.
+        assert!(parse(&["sweep", "--audit", "8"]).unwrap_err().contains("--prune"));
+        // Both belong to `sweep` alone.
+        assert!(parse(&["fig3", "--prune", "true"]).is_err());
+        assert!(parse(&["verify", "--audit", "4"]).is_err());
     }
 
     #[test]

@@ -25,10 +25,10 @@ pub mod perf;
 use serde::{Deserialize, Serialize};
 use vliw_core::experiments::{
     cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
-    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment_with,
-    verify_experiment, Classify, ClusterResourcesRow, CopyCostRow, ExperimentConfig,
-    ExperimentRequest, ExperimentResponse, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint,
-    SimulateReport, SweepReport, VerifyReport,
+    fig6_experiment, fig8_experiment, fig9_experiment, pruned_sweep_experiment_with,
+    simulate_experiment, sweep_experiment_with, verify_experiment, Classify, ClusterResourcesRow,
+    CopyCostRow, ExperimentConfig, ExperimentRequest, ExperimentResponse, Fig3Row, Fig4Row,
+    Fig6Row, IpcCurvePoint, SimulateReport, SweepReport, VerifyReport,
 };
 use vliw_core::experiments::{
     copy_cost, fig3, fig4, fig6, ipc, resources, simulate, sweep, verify,
@@ -194,6 +194,15 @@ pub struct RunConfig {
     /// loop) or static (prove the peaks with the verifier).  Ignored by every
     /// other selection.
     pub classify: Classify,
+    /// Use the certificate-pruned sweep driver (the `sweep` subcommand's
+    /// `--prune true`): one bounds consultation per machine shape instead of
+    /// one classification per config, with verdict-identical rows.  Ignored by
+    /// every other selection.
+    pub prune: bool,
+    /// Number of seeded-random (config, loop) pairs the pruned sweep re-derives
+    /// through the exhaustive path to audit verdict agreement (the `sweep`
+    /// subcommand's `--audit N`; 0 = no audit).  Ignored without `prune`.
+    pub audit: usize,
     /// Shard size of the `stream` subcommand (ignored by every other
     /// selection).
     pub shard_size: usize,
@@ -243,6 +252,8 @@ impl Default for RunConfig {
             format: OutputFormat::Text,
             grid: SweepGrid::Small,
             classify: Classify::default(),
+            prune: false,
+            audit: 0,
             shard_size: vliw_core::session::DEFAULT_SHARD_SIZE,
             server: None,
             cache_dir: None,
@@ -365,6 +376,22 @@ pub fn run_sweep_in(
     sweep_experiment_with(session, grid, classify)
 }
 
+/// Runs the certificate-pruned design-space sweep (the `figures sweep --prune
+/// true` invocation) over a shared compilation session.  The bounds analyzer
+/// is consulted once per (machine shape, loop) pair and the per-config rows
+/// are recovered by threshold transfer — verdict-identical to
+/// [`run_sweep_in`], with the [`vliw_core::experiments::PruneReport`]
+/// accounting attached to the report.  `audit` seeded-random (config, loop)
+/// pairs are re-derived through the exhaustive path and compared.
+pub fn run_pruned_sweep_in(
+    session: &Session,
+    grid: SweepGrid,
+    classify: Classify,
+    audit: usize,
+) -> Result<SweepReport, VliwError> {
+    pruned_sweep_experiment_with(session, grid, classify, audit)
+}
+
 /// Runs the static-verification experiment (the `figures verify` subcommand)
 /// over a shared compilation session.  Every verdict is memoised next to the
 /// compilation that produced it, so a session that already ran `all` pays only
@@ -414,16 +441,18 @@ pub fn render_stream_text(report: &StreamReport) -> String {
 /// The wire requests a `figures` selection translates to, in report order.
 ///
 /// [`Selection::Ipc`] expands to both IPC curves; [`Selection::All`] to the
-/// full figure sweep (everything a [`FiguresReport`] holds).  `grid` and
-/// `classify` only matter for [`Selection::Sweep`].
+/// full figure sweep (everything a [`FiguresReport`] holds).  `grid`,
+/// `classify`, `prune` and `audit` only matter for [`Selection::Sweep`].
 pub fn requests_for(
     selection: Selection,
     grid: SweepGrid,
     classify: Classify,
+    prune: bool,
+    audit: usize,
 ) -> Vec<ExperimentRequest> {
     match selection {
         Selection::Simulate => vec![ExperimentRequest::Simulate],
-        Selection::Sweep => vec![ExperimentRequest::Sweep { grid, classify }],
+        Selection::Sweep => vec![ExperimentRequest::Sweep { grid, classify, prune, audit }],
         Selection::Verify => vec![ExperimentRequest::Verify],
         // A streamed run has no wire form: it measures this process's memory,
         // so the `figures` binary rejects `--server` before asking.
@@ -505,14 +534,36 @@ pub fn assemble_report(
 /// Renders a design-space-sweep report in the human-readable EXPERIMENTS.md
 /// format.
 pub fn render_sweep_text(report: &SweepReport) -> String {
-    format!(
+    let mut out = format!(
         "## Fig. 7 design-space sweep — grid `{}` ({} configs, {} machine shapes, N = {})\n\n{}\n",
         report.grid,
         report.configs,
         report.shapes,
         report.trip_count,
         sweep::render(&report.rows).render()
-    )
+    );
+    if let Some(prune) = &report.prune {
+        out.push_str(&format!(
+            "\n## Certificate pruning\n\n\
+             (config, loop) pairs  = {}\n\
+             consultations         = {}\n\
+             pruned                = {} ({:.1}%)\n",
+            prune.pairs,
+            prune.configs_compiled,
+            prune.configs_pruned,
+            100.0 * prune.pruning_ratio,
+        ));
+        for code in &prune.codes {
+            out.push_str(&format!("{:<22}= {}\n", code.code, code.count));
+        }
+        if prune.audited > 0 {
+            out.push_str(&format!(
+                "audited               = {} ({} agreed)\n",
+                prune.audited, prune.audit_agreed
+            ));
+        }
+    }
+    out
 }
 
 /// Renders a simulated-IPC report in the human-readable EXPERIMENTS.md format.
@@ -637,7 +688,8 @@ mod tests {
         assert!(!Selection::All.runs(Selection::Stream));
         assert!(!Selection::All.runs(Selection::Verify));
         assert!(!Selection::All.runs(Selection::Metrics));
-        assert!(requests_for(Selection::Metrics, SweepGrid::Small, Classify::Dynamic).is_empty());
+        assert!(requests_for(Selection::Metrics, SweepGrid::Small, Classify::Dynamic, false, 0)
+            .is_empty());
         assert!(Selection::Simulate.runs(Selection::Simulate));
         assert!(Selection::Sweep.runs(Selection::Sweep));
         assert!(Selection::Stream.runs(Selection::Stream));
@@ -646,14 +698,29 @@ mod tests {
         assert!(!Selection::Sweep.runs(Selection::Fig3));
         assert!(!Selection::Stream.runs(Selection::Fig3));
         assert!(!Selection::Verify.runs(Selection::Fig3));
-        assert!(requests_for(Selection::Stream, SweepGrid::Small, Classify::Dynamic).is_empty());
+        assert!(requests_for(Selection::Stream, SweepGrid::Small, Classify::Dynamic, false, 0)
+            .is_empty());
         assert_eq!(
-            requests_for(Selection::Verify, SweepGrid::Small, Classify::Dynamic),
+            requests_for(Selection::Verify, SweepGrid::Small, Classify::Dynamic, false, 0),
             vec![ExperimentRequest::Verify]
         );
         assert_eq!(
-            requests_for(Selection::Sweep, SweepGrid::Small, Classify::Static),
-            vec![ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static }]
+            requests_for(Selection::Sweep, SweepGrid::Small, Classify::Static, false, 0),
+            vec![ExperimentRequest::Sweep {
+                grid: SweepGrid::Small,
+                classify: Classify::Static,
+                prune: false,
+                audit: 0
+            }]
+        );
+        assert_eq!(
+            requests_for(Selection::Sweep, SweepGrid::Huge, Classify::Static, true, 64),
+            vec![ExperimentRequest::Sweep {
+                grid: SweepGrid::Huge,
+                classify: Classify::Static,
+                prune: true,
+                audit: 64
+            }]
         );
     }
 
@@ -702,6 +769,24 @@ mod tests {
         let dynamic = run_sweep_in(&session, run.grid, Classify::Dynamic).unwrap();
         let static_ = run_sweep_in(&session, run.grid, Classify::Static).unwrap();
         assert_eq!(static_, dynamic, "classification modes must agree row for row");
+    }
+
+    #[test]
+    fn pruned_sweep_run_matches_the_exhaustive_one_and_renders_accounting() {
+        let run = RunConfig { corpus_size: 8, seed: 386, threads: Some(2), ..RunConfig::default() };
+        let session = Session::new(run.experiment_config());
+        let exhaustive = run_sweep_in(&session, run.grid, Classify::Static).unwrap();
+        let pruned = run_pruned_sweep_in(&session, run.grid, Classify::Static, 16).unwrap();
+        assert_eq!(pruned.rows, exhaustive.rows, "pruning must not change a verdict");
+        let prune = pruned.prune.as_ref().expect("a pruned run carries its accounting");
+        assert_eq!(prune.audited, 16);
+        assert!(prune.audit_clean(), "audited pairs must agree with the exhaustive path");
+        let text = render_sweep_text(&pruned);
+        assert!(text.contains("Certificate pruning"));
+        assert!(text.contains("B006-MONOTONE"));
+        assert!(text.contains("audited"));
+        // The exhaustive report renders without the accounting section.
+        assert!(!render_sweep_text(&exhaustive).contains("Certificate pruning"));
     }
 
     #[test]

@@ -12,14 +12,24 @@
 //!     > baselines/sweep_small.json
 //! ```
 
+//! The certificate-pruned driver has its own golden,
+//! `baselines/sweep_pruned_small.json`, regenerated the same way with
+//! `--prune true --audit 16` appended to the command line above.  Its rows
+//! must stay byte-identical to the exhaustive golden's — the pruning is an
+//! accounting change, never a verdict change.
+
 use std::path::PathBuf;
 
-use vliw_bench::{run_sweep_in, RunConfig};
+use vliw_bench::{run_pruned_sweep_in, run_sweep_in, RunConfig};
 use vliw_core::experiments::{Classify, SweepReport};
 use vliw_core::{Session, SweepGrid};
 
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines/sweep_small.json")
+}
+
+fn pruned_baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines/sweep_pruned_small.json")
 }
 
 fn load_baseline() -> (String, SweepReport) {
@@ -89,6 +99,47 @@ fn rerun_matches_the_sweep_baseline() {
 
     // And the serialized form must match byte for byte (catches format drift;
     // see the module docs for how to regenerate intentionally).
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    assert_eq!(rendered.trim_end(), text.trim_end(), "serialized JSON drifted");
+}
+
+#[test]
+fn pruned_rerun_matches_its_baseline_and_the_exhaustive_verdicts() {
+    let (_, exhaustive) = load_baseline();
+    let path = pruned_baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let baseline: SweepReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{} is not a valid SweepReport: {e}", path.display()));
+
+    // Verdict identity across drivers: the pruned golden differs from the
+    // exhaustive golden only by its accounting block.
+    assert_eq!(baseline.rows, exhaustive.rows, "pruning changed a verdict");
+    let prune = baseline.prune.as_ref().expect("the pruned golden carries its accounting");
+    assert_eq!(prune.pairs, prune.configs_compiled + prune.configs_pruned);
+    assert!(
+        prune.configs_compiled * 5 <= prune.pairs,
+        "the small grid must already prune >=5x: {} consultations for {} pairs",
+        prune.configs_compiled,
+        prune.pairs
+    );
+    assert!(prune.audited > 0, "the golden bakes in a non-trivial audit sample");
+    assert!(prune.audit_clean(), "an audited certificate disagreed with the compiler");
+
+    // And the rerun must reproduce the file byte for byte (the audit sample
+    // is seeded from the corpus seed, so its counts are deterministic too).
+    let run = RunConfig {
+        corpus_size: baseline.corpus_size,
+        seed: baseline.seed,
+        threads: None,
+        prune: true,
+        audit: prune.audited,
+        ..RunConfig::default()
+    };
+    let session = Session::new(run.experiment_config());
+    let report = run_pruned_sweep_in(&session, SweepGrid::Small, Classify::Dynamic, run.audit)
+        .expect("pruned sweep runs");
+    assert_eq!(report, baseline, "pruned sweep drifted from its golden");
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     assert_eq!(rendered.trim_end(), text.trim_end(), "serialized JSON drifted");
 }

@@ -1,0 +1,502 @@
+//! The static admissibility analyzer.
+//!
+//! For one (loop, machine-shape) pair, [`BoundsAnalyzer::analyze`] derives
+//! certified lower bounds **without invoking the compiler**, by reconstructing
+//! exactly the transformed body the pipeline would schedule (unroll-factor
+//! selection + unrolling + copy insertion, the `paper_defaults` configuration)
+//! and reading the bounds off its arithmetic:
+//!
+//! * **ResMII** — the per-class `ceil(ops / units)` rows against the shape's
+//!   functional-unit counts (the copy row is reported separately as the
+//!   topology-relevant copy-traffic bound);
+//! * **RecMII** — the recurrence bound of the transformed body, which depends
+//!   only on the loop and the unroll factor, so it is computed once and cached
+//!   across every shape that selects the same factor;
+//! * **min-live storage** — any modulo schedule at `II <= ii_cap` keeps at
+//!   least `ceil(sum of flow-edge latencies / ii_cap)` values live in steady
+//!   state (each flow lifetime spans at least its latency), and the scheduler
+//!   never accepts an II above `ii_cap`, so a config whose private + link
+//!   pools store fewer values than that can be ruled out by pigeonhole.
+//!
+//! The per-`(loop, factor)` body summary (class counts, RecMII, flow-latency
+//! sum) is the expensive part; it is cached behind a mutex so a sweep over 60
+//! shapes builds each loop's bodies at most once per distinct unroll factor.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+use vliw_ddg::{DepKind, LatencyModel, Loop, OpClass};
+use vliw_machine::{ClusterId, Machine, MachineConfig};
+use vliw_qrf::insert_copies;
+use vliw_sched::rec_mii;
+use vliw_unroll::{select_unroll_factor, unroll_ddg, DEFAULT_MAX_FACTOR};
+
+use crate::certificate::Certificate;
+
+/// Human name of an operation class, used in `B001-RESMII` certificates.
+pub fn class_name(class: OpClass) -> &'static str {
+    match class {
+        OpClass::Memory => "memory",
+        OpClass::Adder => "adder",
+        OpClass::Multiplier => "multiplier",
+        OpClass::Copy => "copy",
+    }
+}
+
+/// Total value slots of a config: the pigeonhole capacity every live value
+/// competes for, summed over the private pools (`clusters · q · c`) and the
+/// directed link pools (`links · q · d`).
+pub fn value_slots(cfg: &MachineConfig) -> usize {
+    cfg.clusters * cfg.queues_per_cluster * cfg.queue_capacity
+        + cfg.directed_links() * cfg.queues_per_cluster * cfg.link_depth
+}
+
+/// Certified lower bounds for one (loop, shape) pair.
+///
+/// All bounds are **sound**: the real compiler, scheduling the same loop on
+/// any config of the shape, achieves `II >= mii()` and keeps at least
+/// `min_live` values live in steady state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopBounds {
+    /// Name of the analyzed loop.
+    pub loop_name: String,
+    /// Unroll factor the compiler will select for this shape.
+    pub unroll_factor: u32,
+    /// Operations in the transformed (unrolled + copies) body.
+    pub body_ops: usize,
+    /// Copy operations the transformation inserts.
+    pub num_copies: usize,
+    /// Shape-only resource bound over every class, copy row included
+    /// (`u32::MAX` when a class has operations but no units on the shape).
+    pub res_mii: u32,
+    /// The class that binds `res_mii`.
+    pub res_class: OpClass,
+    /// Operations of the binding class.
+    pub res_ops: usize,
+    /// Units of the binding class on the shape.
+    pub res_units: usize,
+    /// Recurrence bound of the transformed body (machine-independent given
+    /// the unroll factor).
+    pub rec_mii: u32,
+    /// The copy row of the resource bound (1 when the body has no copies).
+    pub copy_mii: u32,
+    /// Copy units on the shape.
+    pub copy_units: usize,
+    /// Sum of flow-edge latencies of the transformed body, the numerator of
+    /// the min-live bound.
+    pub sum_flow_latency: u64,
+    /// Largest II the scheduler's default search would accept for this body
+    /// on this shape: `2·MII + 64` for plain IMS, and for the partitioner the
+    /// cap of its single-cluster collapse fallback (`3·collapse_MII + 64`,
+    /// which dominates the partitioned search's own `3·MII + 64`).
+    pub ii_cap: u32,
+    /// Certified lower bound on simultaneously live values at any accepted II.
+    pub min_live: usize,
+}
+
+impl LoopBounds {
+    /// The combined lower bound on the initiation interval.
+    pub fn mii(&self) -> u32 {
+        self.res_mii.max(self.rec_mii).max(1)
+    }
+
+    /// Lower bound on simultaneously live values at a specific `ii`
+    /// (decreasing in `ii`; [`LoopBounds::min_live`] evaluates it at
+    /// [`LoopBounds::ii_cap`]).
+    pub fn min_live_at(&self, ii: u32) -> usize {
+        if ii == 0 {
+            return 0;
+        }
+        self.sum_flow_latency.div_ceil(u64::from(ii)) as usize
+    }
+
+    /// The `B001-RESMII` certificate for this shape.
+    pub fn res_certificate(&self) -> Certificate {
+        Certificate::ResMii {
+            loop_name: self.loop_name.clone(),
+            class: class_name(self.res_class).to_string(),
+            ops: self.res_ops,
+            units: self.res_units,
+            bound: self.res_mii,
+        }
+    }
+
+    /// The `B002-RECMII` certificate.
+    pub fn rec_certificate(&self) -> Certificate {
+        Certificate::RecMii {
+            loop_name: self.loop_name.clone(),
+            unroll_factor: self.unroll_factor,
+            bound: self.rec_mii,
+        }
+    }
+
+    /// The `B005-COPYBUS` certificate (only meaningful when the body has
+    /// copies; the bound is trivially 1 otherwise).
+    pub fn copy_certificate(&self) -> Certificate {
+        Certificate::CopyBus {
+            loop_name: self.loop_name.clone(),
+            copies: self.num_copies,
+            copy_units: self.copy_units,
+            bound: self.copy_mii,
+        }
+    }
+
+    /// `B003-IILIMIT` when an explicit II search limit is below the certified
+    /// MII: the II search is provably skipped without the compile being
+    /// attempted.  On a single-cluster machine this predicts the scheduler's
+    /// refusal exactly; on a clustered machine the partitioner's collapse
+    /// fallback (which sets its own cap) may still produce a schedule, so the
+    /// certificate proves only that the *partitioned* search never ran.
+    pub fn ii_limit_certificate(&self, max_ii: Option<u32>) -> Option<Certificate> {
+        let limit = max_ii?;
+        if self.mii() > limit {
+            Some(Certificate::IiLimit { loop_name: self.loop_name.clone(), mii: self.mii(), limit })
+        } else {
+            None
+        }
+    }
+
+    /// `B004-STORAGE` when the config's total value slots cannot hold the
+    /// certified minimum of live values — allocation cannot fit and the
+    /// simulator must observe an overflow, by pigeonhole.
+    pub fn storage_certificate(&self, value_slots: usize) -> Option<Certificate> {
+        if self.min_live > value_slots {
+            Some(Certificate::Storage {
+                loop_name: self.loop_name.clone(),
+                min_live: self.min_live,
+                value_slots,
+                ii_cap: self.ii_cap,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything about a transformed body that the bounds need and that depends
+/// only on (loop, unroll factor) — cached across shapes.
+#[derive(Debug, Clone, Copy)]
+struct BodySummary {
+    class_counts: [usize; OpClass::COUNT],
+    body_ops: usize,
+    num_copies: usize,
+    rec_mii: u32,
+    sum_flow_latency: u64,
+}
+
+/// A poisoned cache only ever holds valid summaries, so analysis continues
+/// through it instead of panicking.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The analyzer: owns the latency model the transformation uses and the
+/// per-`(loop, factor)` body-summary cache.
+///
+/// One analyzer serves a whole sweep; `analyze` is `&self` and thread-safe,
+/// so the sweep executor's workers share the cache.
+#[derive(Debug)]
+pub struct BoundsAnalyzer {
+    latencies: LatencyModel,
+    max_unroll: u32,
+    cache: Mutex<HashMap<(usize, u32), BodySummary>>,
+}
+
+impl BoundsAnalyzer {
+    /// An analyzer mirroring the pipeline's `paper_defaults` transformation
+    /// (copies on, unrolling on with factor ≤ 4) for the given latency model.
+    pub fn new(latencies: LatencyModel) -> Self {
+        BoundsAnalyzer {
+            latencies,
+            max_unroll: DEFAULT_MAX_FACTOR,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the unroll-factor cap (must match the compiler configuration
+    /// being predicted).
+    pub fn with_max_unroll(mut self, max_unroll: u32) -> Self {
+        self.max_unroll = max_unroll;
+        self
+    }
+
+    /// Derives the certified bounds of `lp` on the shape of `machine`.
+    ///
+    /// `loop_index` keys the cross-shape cache (callers iterate a fixed
+    /// corpus, so the index is stable and cheaper than hashing the name).
+    /// Only the machine's *shape* is consulted — functional-unit counts and
+    /// whether it is clustered — never its storage budgets, so a probe
+    /// machine and every storage config of the shape yield identical bounds.
+    pub fn analyze(&self, loop_index: usize, lp: &Loop, machine: &Machine) -> LoopBounds {
+        let _span = vliw_obs::span!("bounds", loop_index);
+        let factor = select_unroll_factor(&lp.ddg, machine, self.max_unroll);
+        let summary = self.body_summary(loop_index, lp, factor);
+
+        let units = machine.class_counts();
+        let mut best: Option<(OpClass, usize, usize, u32)> = None;
+        for class in OpClass::ALL {
+            let ops = summary.class_counts[class.index()];
+            if ops == 0 {
+                continue;
+            }
+            let u = units[class.index()];
+            let row = if u == 0 { u32::MAX } else { ops.div_ceil(u).min(u32::MAX as usize) as u32 };
+            if best.is_none_or(|(_, _, _, b)| row > b) {
+                best = Some((class, ops, u, row));
+            }
+        }
+        let (res_class, res_ops, res_units, res_row) =
+            best.unwrap_or((OpClass::Memory, 0, units[OpClass::Memory.index()], 1));
+        let res_mii = res_row.max(1);
+
+        let copy_units = units[OpClass::Copy.index()];
+        let copies = summary.class_counts[OpClass::Copy.index()];
+        let copy_mii = if copies == 0 {
+            1
+        } else if copy_units == 0 {
+            u32::MAX
+        } else {
+            copies.div_ceil(copy_units).min(u32::MAX as usize) as u32
+        };
+
+        let mii = res_mii.max(summary.rec_mii).max(1);
+        // The largest II the scheduler's default search accepts, which anchors
+        // the min-live bound.  The partitioner's last-resort collapse fallback
+        // schedules the whole body on cluster 0 under its own cap, derived
+        // from the *single-cluster* resource bound — that bound dominates the
+        // machine-wide one (one cluster has fewer units), so the collapse cap
+        // is the binding limit on clustered shapes.
+        let ii_cap = if machine.is_clustered() {
+            let mut collapse_lower = summary.rec_mii.max(1);
+            for class in OpClass::ALL {
+                let ops = summary.class_counts[class.index()];
+                if ops == 0 {
+                    continue;
+                }
+                let u = machine.fus_of_class_in_cluster(ClusterId(0), class).count();
+                let row =
+                    if u == 0 { u32::MAX } else { ops.div_ceil(u).min(u32::MAX as usize) as u32 };
+                collapse_lower = collapse_lower.max(row);
+            }
+            collapse_lower.max(mii).saturating_mul(3).saturating_add(64)
+        } else {
+            mii.saturating_mul(2).saturating_add(64)
+        };
+        let min_live = summary.sum_flow_latency.div_ceil(u64::from(ii_cap)) as usize;
+
+        LoopBounds {
+            loop_name: lp.name.clone(),
+            unroll_factor: factor,
+            body_ops: summary.body_ops,
+            num_copies: summary.num_copies,
+            res_mii,
+            res_class,
+            res_ops,
+            res_units,
+            rec_mii: summary.rec_mii,
+            copy_mii,
+            copy_units,
+            sum_flow_latency: summary.sum_flow_latency,
+            ii_cap,
+            min_live,
+        }
+    }
+
+    fn body_summary(&self, loop_index: usize, lp: &Loop, factor: u32) -> BodySummary {
+        if let Some(s) = lock(&self.cache).get(&(loop_index, factor)) {
+            return *s;
+        }
+        let unrolled = unroll_ddg(&lp.ddg, factor);
+        let ins = insert_copies(&unrolled.ddg, &self.latencies);
+        let sum_flow_latency =
+            ins.ddg.edges().filter(|e| e.kind == DepKind::Flow).map(|e| u64::from(e.latency)).sum();
+        let summary = BodySummary {
+            class_counts: ins.ddg.class_counts(),
+            body_ops: ins.ddg.num_ops(),
+            num_copies: ins.num_copies(),
+            rec_mii: rec_mii(&ins.ddg),
+            sum_flow_latency,
+        };
+        lock(&self.cache).insert((loop_index, factor), summary);
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::kernels;
+    use vliw_partition::{partition_schedule_with, PartitionOptions, PartitionScratch};
+    use vliw_qrf::{allocate_queues, use_lifetimes};
+    use vliw_sched::{modulo_schedule, ImsOptions};
+
+    fn lat() -> LatencyModel {
+        LatencyModel::default()
+    }
+
+    /// The transformed body the analyzer predicts, rebuilt the compiler's way.
+    fn transformed(lp: &Loop, machine: &Machine) -> vliw_ddg::Ddg {
+        let factor = select_unroll_factor(&lp.ddg, machine, DEFAULT_MAX_FACTOR);
+        insert_copies(&unroll_ddg(&lp.ddg, factor).ddg, &lat()).ddg
+    }
+
+    #[test]
+    fn bounds_match_the_schedulers_mii_arithmetic() {
+        let analyzer = BoundsAnalyzer::new(lat());
+        let mut scratch = PartitionScratch::default();
+        let machine = Machine::paper_clustered(4, lat());
+        for (i, lp) in kernels::all_kernels(lat()).iter().enumerate() {
+            let bounds = analyzer.analyze(i, lp, &machine);
+            let body = transformed(lp, &machine);
+            let r =
+                partition_schedule_with(&body, &machine, PartitionOptions::default(), &mut scratch)
+                    .unwrap_or_else(|e| panic!("{}: {e}", lp.name));
+            assert_eq!(bounds.res_mii, r.res_mii, "{}", lp.name);
+            assert_eq!(bounds.rec_mii, r.rec_mii, "{}", lp.name);
+            assert_eq!(bounds.mii(), r.mii, "{}", lp.name);
+            assert!(r.schedule.ii >= bounds.mii(), "{}", lp.name);
+            assert_eq!(bounds.body_ops, body.num_ops(), "{}", lp.name);
+        }
+    }
+
+    #[test]
+    fn bounds_are_sound_on_single_cluster_machines_too() {
+        let analyzer = BoundsAnalyzer::new(lat());
+        let machine = Machine::single_cluster(6, 8, 32, lat());
+        for (i, lp) in kernels::all_kernels(lat()).iter().enumerate() {
+            let bounds = analyzer.analyze(i, lp, &machine);
+            let body = transformed(lp, &machine);
+            let r = modulo_schedule(&body, &machine, ImsOptions::default()).unwrap();
+            assert!(r.schedule.ii >= bounds.mii(), "{}", lp.name);
+            assert!(r.schedule.ii <= bounds.ii_cap, "{}", lp.name);
+        }
+    }
+
+    #[test]
+    fn min_live_never_exceeds_the_allocated_slots() {
+        let analyzer = BoundsAnalyzer::new(lat());
+        let mut scratch = PartitionScratch::default();
+        let machine = Machine::paper_clustered(2, lat());
+        for (i, lp) in kernels::all_kernels(lat()).iter().enumerate() {
+            let bounds = analyzer.analyze(i, lp, &machine);
+            let body = transformed(lp, &machine);
+            let r =
+                partition_schedule_with(&body, &machine, PartitionOptions::default(), &mut scratch)
+                    .unwrap();
+            let alloc = allocate_queues(&use_lifetimes(&body, &r.schedule), r.schedule.ii);
+            let slots: usize = alloc.queue_depths.iter().sum();
+            assert!(
+                bounds.min_live <= slots,
+                "{}: min_live {} > allocated slots {slots}",
+                lp.name,
+                bounds.min_live
+            );
+            // The bound tightens as the II drops, and the achieved II is
+            // inside the certified cap.
+            assert!(bounds.min_live_at(r.schedule.ii) >= bounds.min_live, "{}", lp.name);
+        }
+    }
+
+    #[test]
+    fn ii_limit_certificate_predicts_the_schedulers_refusal() {
+        let analyzer = BoundsAnalyzer::new(lat());
+        let machine = Machine::single_cluster(6, 8, 32, lat());
+        let lp = kernels::dot_product(lat(), 100);
+        let bounds = analyzer.analyze(0, &lp, &machine);
+        assert!(bounds.mii() > 1, "dot product has a recurrence");
+        let limit = bounds.mii() - 1;
+        let cert = bounds.ii_limit_certificate(Some(limit)).expect("limit below MII must certify");
+        assert_eq!(cert.code(), "B003-IILIMIT");
+        let body = transformed(&lp, &machine);
+        let opts = ImsOptions { max_ii: Some(limit), ..ImsOptions::default() };
+        assert!(
+            modulo_schedule(&body, &machine, opts).is_err(),
+            "the scheduler must refuse exactly where the certificate says"
+        );
+        assert!(bounds.ii_limit_certificate(Some(bounds.mii())).is_none());
+        assert!(bounds.ii_limit_certificate(None).is_none());
+    }
+
+    #[test]
+    fn the_ii_cap_covers_the_partitioners_collapse_fallback() {
+        // Force the collapse fallback: an explicit max_ii below the MII skips
+        // the partitioned search entirely, and the fallback's own cap takes
+        // over.  The certified ii_cap must still bound the accepted II, or
+        // the min-live pigeonhole would overstate the live floor.
+        let analyzer = BoundsAnalyzer::new(lat());
+        let machine = Machine::paper_clustered(4, lat());
+        let mut scratch = PartitionScratch::default();
+        for (i, lp) in kernels::all_kernels(lat()).iter().enumerate() {
+            let bounds = analyzer.analyze(i, lp, &machine);
+            let body = transformed(lp, &machine);
+            let opts = PartitionOptions { max_ii: Some(0), ..PartitionOptions::default() };
+            if let Ok(r) = partition_schedule_with(&body, &machine, opts, &mut scratch) {
+                assert!(
+                    r.schedule.ii <= bounds.ii_cap,
+                    "{}: collapsed II {} above cap {}",
+                    lp.name,
+                    r.schedule.ii,
+                    bounds.ii_cap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn storage_certificate_fires_by_pigeonhole() {
+        let analyzer = BoundsAnalyzer::new(lat());
+        let machine = Machine::paper_clustered(2, lat());
+        let lp = kernels::wide_parallel(lat(), 100);
+        let bounds = analyzer.analyze(0, &lp, &machine);
+        assert!(bounds.min_live >= 1);
+        let cert = bounds.storage_certificate(bounds.min_live - 1).expect("too-small pool");
+        assert_eq!(cert.code(), "B004-STORAGE");
+        assert!(bounds.storage_certificate(bounds.min_live).is_none());
+    }
+
+    #[test]
+    fn the_body_summary_is_cached_per_unroll_factor() {
+        let analyzer = BoundsAnalyzer::new(lat());
+        let lp = kernels::daxpy(lat(), 100);
+        let a = analyzer.analyze(3, &lp, &Machine::paper_clustered(4, lat()));
+        let b = analyzer.analyze(3, &lp, &Machine::paper_clustered(4, lat()));
+        assert_eq!(a, b);
+        assert_eq!(lock(&analyzer.cache).len(), 1);
+        // A different shape may pick a different factor; the cache grows by at
+        // most one entry per distinct factor.
+        let _ = analyzer.analyze(3, &lp, &Machine::paper_clustered(16, lat()));
+        assert!(lock(&analyzer.cache).len() <= 2);
+    }
+
+    #[test]
+    fn certificates_carry_the_analyzers_numbers() {
+        let analyzer = BoundsAnalyzer::new(lat());
+        let machine = Machine::paper_clustered(4, lat());
+        let lp = kernels::daxpy(lat(), 100);
+        let bounds = analyzer.analyze(0, &lp, &machine);
+        let res = bounds.res_certificate();
+        assert_eq!(res.code(), "B001-RESMII");
+        assert!(res.to_string().contains(&lp.name));
+        assert_eq!(bounds.rec_certificate().code(), "B002-RECMII");
+        let copy = bounds.copy_certificate();
+        assert_eq!(copy.code(), "B005-COPYBUS");
+        assert!(bounds.copy_mii <= bounds.res_mii, "the copy row is one of the res rows");
+    }
+
+    #[test]
+    fn value_slots_sum_private_and_link_pools() {
+        use vliw_machine::{FuMix, Topology};
+        let cfg = MachineConfig {
+            clusters: 4,
+            fu_mix: FuMix::Basic,
+            queues_per_cluster: 2,
+            queue_capacity: 3,
+            link_depth: 5,
+            topology: Topology::Ring,
+        };
+        // 4 clusters · 2 · 3 private + 8 ring links · 2 · 5 link slots.
+        assert_eq!(value_slots(&cfg), 24 + 80);
+        let xbar = MachineConfig { topology: Topology::Crossbar, ..cfg };
+        assert_eq!(value_slots(&xbar), 24 + 12 * 2 * 5);
+    }
+}

@@ -1,0 +1,383 @@
+//! Machine-checkable pruning certificates with stable reason codes.
+//!
+//! Every verdict the pruned sweep assigns without compiling carries a
+//! [`Certificate`]: a small arithmetic fact (`B001-RESMII` … `B006-MONOTONE`)
+//! that any reader can recheck from the numbers in the certificate itself.
+//! The vocabulary deliberately mirrors `vliw_verify::Violation`: one stable
+//! lint-style code per reason class, a `Display` form that leads with the
+//! code, and a hand-written wire form keyed on `"code"`.
+
+use std::fmt;
+
+use serde::{de, Deserialize, Serialize, Value};
+
+/// One certified reason a sweep verdict was assigned without compiling.
+///
+/// Each variant records exactly the numbers needed to recheck the bound, so
+/// the `--audit` mode (and any sceptical reader) can verify a prune from the
+/// certificate alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// Shape-only per-class resource bound: `ops` operations of `class` over
+    /// `units` functional units force `II >= bound` on every config of the
+    /// shape.
+    ResMii {
+        /// Loop the bound belongs to.
+        loop_name: String,
+        /// Binding operation class (`memory`, `adder`, `multiplier`, `copy`).
+        class: String,
+        /// Operations of the binding class in the transformed body.
+        ops: usize,
+        /// Functional units of that class on the shape.
+        units: usize,
+        /// The resulting lower bound on the initiation interval.
+        bound: u32,
+    },
+    /// Recurrence bound: the loop's dependence circuits force `II >= bound`
+    /// at the given unroll factor, independent of the machine.
+    RecMii {
+        /// Loop the bound belongs to.
+        loop_name: String,
+        /// Unroll factor of the transformed body the bound was computed on.
+        unroll_factor: u32,
+        /// The recurrence-constrained lower bound.
+        bound: u32,
+    },
+    /// The MII lower bound already exceeds the scheduler's II search limit:
+    /// compilation would fail with `IiLimitReached` without being attempted.
+    IiLimit {
+        /// Loop the bound belongs to.
+        loop_name: String,
+        /// Certified lower bound on the initiation interval.
+        mii: u32,
+        /// The II search limit in force.
+        limit: u32,
+    },
+    /// Lifetime storage pigeonhole: any modulo schedule keeps at least
+    /// `min_live` values live in steady state (sum of flow-edge latencies over
+    /// the largest II the scheduler would accept), but the config stores only
+    /// `value_slots` values across every private and link pool combined.
+    Storage {
+        /// Loop the bound belongs to.
+        loop_name: String,
+        /// Certified lower bound on simultaneously live values.
+        min_live: usize,
+        /// Total value slots of the config (private + link pools).
+        value_slots: usize,
+        /// The II cap the live-value bound was evaluated at.
+        ii_cap: u32,
+    },
+    /// Copy-traffic bound: the transformed body's inter-cluster copy
+    /// operations over the shape's copy units force `II >= bound` — the
+    /// topology-relevant row of the resource bound.
+    CopyBus {
+        /// Loop the bound belongs to.
+        loop_name: String,
+        /// Copy operations in the transformed body.
+        copies: usize,
+        /// Copy units on the shape.
+        copy_units: usize,
+        /// The resulting lower bound on the initiation interval.
+        bound: u32,
+    },
+    /// Threshold transfer from one witness compilation: the proven storage
+    /// monotonicity (`tests/sweep_monotonicity.rs`) lets every config of the
+    /// shape inherit its verdict by comparing axes against these thresholds.
+    Monotone {
+        /// Loop the thresholds belong to.
+        loop_name: String,
+        /// Allocation fits iff `queues_per_cluster >= queues_needed` …
+        queues_needed: usize,
+        /// … and `queue_capacity >= capacity_needed` …
+        capacity_needed: usize,
+        /// … and `link_depth >= link_depth_needed`.
+        link_depth_needed: usize,
+        /// Simulation is clean iff additionally `q·c >= private_peak` …
+        private_peak: usize,
+        /// … and `q·d >= comm_peak` (and the witness had no schedule faults).
+        comm_peak: usize,
+    },
+}
+
+impl Certificate {
+    /// The stable reason code of this certificate class — the vocabulary the
+    /// pruned sweep, the audit mode and the README code table share.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Certificate::ResMii { .. } => "B001-RESMII",
+            Certificate::RecMii { .. } => "B002-RECMII",
+            Certificate::IiLimit { .. } => "B003-IILIMIT",
+            Certificate::Storage { .. } => "B004-STORAGE",
+            Certificate::CopyBus { .. } => "B005-COPYBUS",
+            Certificate::Monotone { .. } => "B006-MONOTONE",
+        }
+    }
+
+    /// Every reason code, in numeric order (for doc-sync checks).
+    pub const ALL_CODES: [&'static str; 6] = [
+        "B001-RESMII",
+        "B002-RECMII",
+        "B003-IILIMIT",
+        "B004-STORAGE",
+        "B005-COPYBUS",
+        "B006-MONOTONE",
+    ];
+
+    /// Name of the loop the certificate is about.
+    pub fn loop_name(&self) -> &str {
+        match self {
+            Certificate::ResMii { loop_name, .. }
+            | Certificate::RecMii { loop_name, .. }
+            | Certificate::IiLimit { loop_name, .. }
+            | Certificate::Storage { loop_name, .. }
+            | Certificate::CopyBus { loop_name, .. }
+            | Certificate::Monotone { loop_name, .. } => loop_name,
+        }
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            Certificate::ResMii { loop_name, class, ops, units, bound } => write!(
+                f,
+                "loop `{loop_name}`: {ops} {class} ops over {units} units force II >= {bound} \
+                 on this shape"
+            ),
+            Certificate::RecMii { loop_name, unroll_factor, bound } => write!(
+                f,
+                "loop `{loop_name}`: recurrence circuits force II >= {bound} at unroll \
+                 factor {unroll_factor}"
+            ),
+            Certificate::IiLimit { loop_name, mii, limit } => write!(
+                f,
+                "loop `{loop_name}`: MII {mii} exceeds the II search limit {limit}; \
+                 unschedulable without compiling"
+            ),
+            Certificate::Storage { loop_name, min_live, value_slots, ii_cap } => write!(
+                f,
+                "loop `{loop_name}`: steady state keeps >= {min_live} values live at any \
+                 II <= {ii_cap}, but the config stores only {value_slots}"
+            ),
+            Certificate::CopyBus { loop_name, copies, copy_units, bound } => write!(
+                f,
+                "loop `{loop_name}`: {copies} copy ops over {copy_units} copy units force \
+                 II >= {bound}"
+            ),
+            Certificate::Monotone {
+                loop_name,
+                queues_needed,
+                capacity_needed,
+                link_depth_needed,
+                private_peak,
+                comm_peak,
+            } => write!(
+                f,
+                "loop `{loop_name}`: witness thresholds transfer — alloc fits iff \
+                 q >= {queues_needed}, c >= {capacity_needed}, d >= {link_depth_needed}; \
+                 sim clean iff q*c >= {private_peak} and q*d >= {comm_peak}"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire form.  The vendored serde derive only covers named-field structs and
+// C-like enums, so the tagged union is serialized by hand, exactly like
+// `vliw_verify::Violation`: `{"code": "B001-RESMII", ...fields}` with the
+// reason code doubling as the wire tag.
+// ---------------------------------------------------------------------------
+
+fn entry(name: &str, v: Value) -> (String, Value) {
+    (name.to_string(), v)
+}
+
+fn uint(v: u64) -> Value {
+    Value::UInt(v)
+}
+
+impl Serialize for Certificate {
+    fn serialize(&self) -> Value {
+        let mut entries = vec![
+            entry("code", Value::String(self.code().to_string())),
+            entry("loop", Value::String(self.loop_name().to_string())),
+        ];
+        match self {
+            Certificate::ResMii { class, ops, units, bound, .. } => {
+                entries.push(entry("class", Value::String(class.clone())));
+                entries.push(entry("ops", uint(*ops as u64)));
+                entries.push(entry("units", uint(*units as u64)));
+                entries.push(entry("bound", uint(u64::from(*bound))));
+            }
+            Certificate::RecMii { unroll_factor, bound, .. } => {
+                entries.push(entry("unroll_factor", uint(u64::from(*unroll_factor))));
+                entries.push(entry("bound", uint(u64::from(*bound))));
+            }
+            Certificate::IiLimit { mii, limit, .. } => {
+                entries.push(entry("mii", uint(u64::from(*mii))));
+                entries.push(entry("limit", uint(u64::from(*limit))));
+            }
+            Certificate::Storage { min_live, value_slots, ii_cap, .. } => {
+                entries.push(entry("min_live", uint(*min_live as u64)));
+                entries.push(entry("value_slots", uint(*value_slots as u64)));
+                entries.push(entry("ii_cap", uint(u64::from(*ii_cap))));
+            }
+            Certificate::CopyBus { copies, copy_units, bound, .. } => {
+                entries.push(entry("copies", uint(*copies as u64)));
+                entries.push(entry("copy_units", uint(*copy_units as u64)));
+                entries.push(entry("bound", uint(u64::from(*bound))));
+            }
+            Certificate::Monotone {
+                queues_needed,
+                capacity_needed,
+                link_depth_needed,
+                private_peak,
+                comm_peak,
+                ..
+            } => {
+                entries.push(entry("queues_needed", uint(*queues_needed as u64)));
+                entries.push(entry("capacity_needed", uint(*capacity_needed as u64)));
+                entries.push(entry("link_depth_needed", uint(*link_depth_needed as u64)));
+                entries.push(entry("private_peak", uint(*private_peak as u64)));
+                entries.push(entry("comm_peak", uint(*comm_peak as u64)));
+            }
+        }
+        Value::Object(entries)
+    }
+}
+
+fn usize_field(entries: &[(String, Value)], name: &str) -> Result<usize, de::Error> {
+    de::field::<u64>(entries, name).map(|x| x as usize)
+}
+
+fn u32_field(entries: &[(String, Value)], name: &str) -> Result<u32, de::Error> {
+    de::field::<u64>(entries, name).map(|x| x as u32)
+}
+
+impl Deserialize for Certificate {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        let entries = v.as_object().ok_or_else(|| de::Error::unexpected("object", v))?;
+        let code: String = de::field(entries, "code")?;
+        let loop_name: String = de::field(entries, "loop")?;
+        match code.as_str() {
+            "B001-RESMII" => Ok(Certificate::ResMii {
+                loop_name,
+                class: de::field(entries, "class")?,
+                ops: usize_field(entries, "ops")?,
+                units: usize_field(entries, "units")?,
+                bound: u32_field(entries, "bound")?,
+            }),
+            "B002-RECMII" => Ok(Certificate::RecMii {
+                loop_name,
+                unroll_factor: u32_field(entries, "unroll_factor")?,
+                bound: u32_field(entries, "bound")?,
+            }),
+            "B003-IILIMIT" => Ok(Certificate::IiLimit {
+                loop_name,
+                mii: u32_field(entries, "mii")?,
+                limit: u32_field(entries, "limit")?,
+            }),
+            "B004-STORAGE" => Ok(Certificate::Storage {
+                loop_name,
+                min_live: usize_field(entries, "min_live")?,
+                value_slots: usize_field(entries, "value_slots")?,
+                ii_cap: u32_field(entries, "ii_cap")?,
+            }),
+            "B005-COPYBUS" => Ok(Certificate::CopyBus {
+                loop_name,
+                copies: usize_field(entries, "copies")?,
+                copy_units: usize_field(entries, "copy_units")?,
+                bound: u32_field(entries, "bound")?,
+            }),
+            "B006-MONOTONE" => Ok(Certificate::Monotone {
+                loop_name,
+                queues_needed: usize_field(entries, "queues_needed")?,
+                capacity_needed: usize_field(entries, "capacity_needed")?,
+                link_depth_needed: usize_field(entries, "link_depth_needed")?,
+                private_peak: usize_field(entries, "private_peak")?,
+                comm_peak: usize_field(entries, "comm_peak")?,
+            }),
+            other => Err(de::Error::custom(format!("unknown reason code `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_certificate() -> Vec<Certificate> {
+        vec![
+            Certificate::ResMii {
+                loop_name: "synth_0001".into(),
+                class: "adder".into(),
+                ops: 12,
+                units: 4,
+                bound: 3,
+            },
+            Certificate::RecMii { loop_name: "synth_0001".into(), unroll_factor: 2, bound: 5 },
+            Certificate::IiLimit { loop_name: "synth_0002".into(), mii: 9, limit: 8 },
+            Certificate::Storage {
+                loop_name: "synth_0003".into(),
+                min_live: 40,
+                value_slots: 32,
+                ii_cap: 73,
+            },
+            Certificate::CopyBus {
+                loop_name: "synth_0004".into(),
+                copies: 9,
+                copy_units: 4,
+                bound: 3,
+            },
+            Certificate::Monotone {
+                loop_name: "synth_0005".into(),
+                queues_needed: 3,
+                capacity_needed: 4,
+                link_depth_needed: 2,
+                private_peak: 11,
+                comm_peak: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn codes_are_stable_unique_and_complete() {
+        let codes: Vec<&str> = every_certificate().iter().map(|c| c.code()).collect();
+        assert_eq!(codes, Certificate::ALL_CODES);
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), Certificate::ALL_CODES.len());
+        assert!(codes.iter().all(|c| c.starts_with('B')));
+    }
+
+    #[test]
+    fn display_leads_with_the_code_and_names_the_loop() {
+        for c in every_certificate() {
+            let s = c.to_string();
+            assert!(s.starts_with(&format!("[{}]", c.code())), "{s}");
+            assert!(s.contains(&format!("`{}`", c.loop_name())), "{s}");
+        }
+    }
+
+    #[test]
+    fn certificates_round_trip_through_the_wire_form() {
+        for c in every_certificate() {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: Certificate = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c, "{json}");
+            assert!(json.contains(&format!("\"code\":\"{}\"", c.code())), "{json}");
+        }
+    }
+
+    #[test]
+    fn unknown_codes_are_rejected() {
+        assert!(serde_json::from_str::<Certificate>(
+            "{\"code\": \"B099-MADE-UP\", \"loop\": \"x\"}"
+        )
+        .is_err());
+        assert!(serde_json::from_str::<Certificate>("{\"loop\": \"x\"}").is_err());
+        assert!(serde_json::from_str::<Certificate>("[3]").is_err());
+    }
+}

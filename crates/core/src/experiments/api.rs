@@ -32,9 +32,10 @@ use crate::session::Session;
 
 use super::{
     cluster_resources_experiment, copy_cost_experiment, fig3_experiment, fig4_experiment,
-    fig6_experiment, fig8_experiment, fig9_experiment, simulate_experiment, sweep_experiment_with,
-    verify_experiment, Classify, ClusterResourcesRow, CopyCostRow, Fig3Row, Fig4Row, Fig6Row,
-    IpcCurvePoint, SimulateReport, SweepReport, VerifyReport,
+    fig6_experiment, fig8_experiment, fig9_experiment, pruned_sweep_experiment_with,
+    simulate_experiment, sweep_experiment_with, verify_experiment, Classify, ClusterResourcesRow,
+    CopyCostRow, Fig3Row, Fig4Row, Fig6Row, IpcCurvePoint, SimulateReport, SweepReport,
+    VerifyReport,
 };
 
 /// A typed experiment, tying a result document to a session run.
@@ -95,6 +96,12 @@ pub struct Sweep {
     pub grid: SweepGrid,
     /// How each loop is classified against the storage budgets.
     pub classify: Classify,
+    /// Use the certificate-pruned driver (verdict-identical, one compiler
+    /// consultation per machine shape and loop).
+    pub prune: bool,
+    /// With `prune`, re-derive this many randomly sampled pairs through the
+    /// exhaustive classification path and report the agreement rate.
+    pub audit: usize,
 }
 
 /// Static verification — execution-free soundness proof of every schedule.
@@ -187,7 +194,11 @@ impl Experiment for Sweep {
         "sweep"
     }
     fn run(&self, session: &Session) -> Result<Self::Output, VliwError> {
-        sweep_experiment_with(session, self.grid, self.classify)
+        if self.prune {
+            pruned_sweep_experiment_with(session, self.grid, self.classify, self.audit)
+        } else {
+            sweep_experiment_with(session, self.grid, self.classify)
+        }
     }
 }
 
@@ -230,6 +241,10 @@ pub enum ExperimentRequest {
         grid: SweepGrid,
         /// How each loop is classified against the storage budgets.
         classify: Classify,
+        /// Use the certificate-pruned driver.
+        prune: bool,
+        /// Pruned pairs to audit through the exhaustive path (with `prune`).
+        audit: usize,
     },
     /// Static verification report.
     Verify,
@@ -292,8 +307,8 @@ impl ExperimentRequest {
             ExperimentRequest::Fig8 => Fig8.run(session).map(ExperimentResponse::Fig8),
             ExperimentRequest::Fig9 => Fig9.run(session).map(ExperimentResponse::Fig9),
             ExperimentRequest::Simulate => Simulate.run(session).map(ExperimentResponse::Simulate),
-            ExperimentRequest::Sweep { grid, classify } => {
-                Sweep { grid: *grid, classify: *classify }
+            ExperimentRequest::Sweep { grid, classify, prune, audit } => {
+                Sweep { grid: *grid, classify: *classify, prune: *prune, audit: *audit }
                     .run(session)
                     .map(ExperimentResponse::Sweep)
             }
@@ -380,13 +395,19 @@ impl Serialize for ExperimentRequest {
                 self.name(),
                 vec![("cluster_counts".to_string(), cluster_counts.serialize())],
             ),
-            ExperimentRequest::Sweep { grid, classify } => {
+            ExperimentRequest::Sweep { grid, classify, prune, audit } => {
                 let mut extra = vec![("grid".to_string(), Value::String(grid.name().to_string()))];
-                // The default mode is omitted, so pre-classify clients and
-                // daemons keep exchanging byte-identical sweep requests.
+                // Default values are omitted, so pre-classify (and pre-prune)
+                // clients and daemons keep exchanging byte-identical requests.
                 if *classify != Classify::default() {
                     extra
                         .push(("classify".to_string(), Value::String(classify.name().to_string())));
+                }
+                if *prune {
+                    extra.push(("prune".to_string(), Value::Bool(true)));
+                }
+                if *audit > 0 {
+                    extra.push(("audit".to_string(), audit.serialize()));
                 }
                 tagged(self.name(), extra)
             }
@@ -423,7 +444,9 @@ impl Deserialize for ExperimentRequest {
                         .map_err(|e| de::Error::custom(format!("field `classify`: {e}")))?,
                     Some((_, other)) => return Err(de::Error::unexpected("classify mode", other)),
                 };
-                Ok(ExperimentRequest::Sweep { grid, classify })
+                let prune = de::field::<Option<bool>>(entries, "prune")?.unwrap_or(false);
+                let audit = de::field::<Option<u64>>(entries, "audit")?.unwrap_or(0) as usize;
+                Ok(ExperimentRequest::Sweep { grid, classify, prune, audit })
             }
             "verify" => Ok(ExperimentRequest::Verify),
             other => Err(de::Error::custom(format!("unknown experiment `{other}`"))),
@@ -482,8 +505,24 @@ mod tests {
             ExperimentRequest::Fig8,
             ExperimentRequest::Fig9,
             ExperimentRequest::Simulate,
-            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Dynamic },
-            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static },
+            ExperimentRequest::Sweep {
+                grid: SweepGrid::Small,
+                classify: Classify::Dynamic,
+                prune: false,
+                audit: 0,
+            },
+            ExperimentRequest::Sweep {
+                grid: SweepGrid::Small,
+                classify: Classify::Static,
+                prune: false,
+                audit: 0,
+            },
+            ExperimentRequest::Sweep {
+                grid: SweepGrid::Huge,
+                classify: Classify::Static,
+                prune: true,
+                audit: 64,
+            },
             ExperimentRequest::Verify,
         ]
     }
@@ -504,7 +543,7 @@ mod tests {
         assert!(serde_json::from_str::<ExperimentRequest>("{\"id\": 3}").is_err());
         assert!(serde_json::from_str::<ExperimentRequest>("[1, 2]").is_err());
         assert!(serde_json::from_str::<ExperimentRequest>(
-            "{\"experiment\": \"sweep\", \"grid\": \"huge\"}"
+            "{\"experiment\": \"sweep\", \"grid\": \"tiny\"}"
         )
         .is_err());
         assert!(
@@ -524,13 +563,45 @@ mod tests {
         let back: ExperimentRequest = serde_json::from_str(old).unwrap();
         assert_eq!(
             back,
-            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Dynamic }
+            ExperimentRequest::Sweep {
+                grid: SweepGrid::Small,
+                classify: Classify::Dynamic,
+                prune: false,
+                audit: 0,
+            }
         );
         let json = serde_json::to_string(&back).unwrap();
         assert!(!json.contains("classify"), "{json}");
-        let static_ =
-            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static };
+        assert!(!json.contains("prune") && !json.contains("audit"), "{json}");
+        let static_ = ExperimentRequest::Sweep {
+            grid: SweepGrid::Small,
+            classify: Classify::Static,
+            prune: false,
+            audit: 0,
+        };
         assert!(serde_json::to_string(&static_).unwrap().contains("\"classify\":\"static\""));
+    }
+
+    #[test]
+    fn pruned_sweep_requests_carry_their_flags_and_dispatch_to_the_pruned_driver() {
+        let json = "{\"experiment\": \"sweep\", \"grid\": \"small\", \"prune\": true, \
+                    \"audit\": 8}";
+        let request: ExperimentRequest = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            request,
+            ExperimentRequest::Sweep {
+                grid: SweepGrid::Small,
+                classify: Classify::Dynamic,
+                prune: true,
+                audit: 8,
+            }
+        );
+        let session = Session::quick(6, 7);
+        let response = request.run(&session).unwrap();
+        let ExperimentResponse::Sweep(report) = &response else { unreachable!() };
+        let prune = report.prune.as_ref().expect("pruned runs must carry accounting");
+        assert_eq!(prune.audited, 8);
+        assert!(prune.audit_clean());
     }
 
     #[test]
@@ -554,7 +625,12 @@ mod tests {
         for request in [
             ExperimentRequest::Fig4,
             ExperimentRequest::Resources { cluster_counts: vec![4] },
-            ExperimentRequest::Sweep { grid: SweepGrid::Small, classify: Classify::Static },
+            ExperimentRequest::Sweep {
+                grid: SweepGrid::Small,
+                classify: Classify::Static,
+                prune: false,
+                audit: 0,
+            },
             ExperimentRequest::Verify,
         ] {
             let response = request.run(&session).unwrap();

@@ -23,6 +23,7 @@
 //! | [`ipc`] | Figs. 8 and 9 — static/dynamic IPC, all loops and resource-constrained loops |
 //! | [`simulate`] | Simulated IPC — cycle-accurate execution with dynamic verification |
 //! | [`sweep`] | Fig. 7 design-space sweep — machine sizing Pareto frontier |
+//! | [`pruned`] | Certificate-pruned sweep — verdict-identical, one consultation per shape |
 //! | [`verify`] | Static verification — execution-free soundness proof of every schedule |
 
 pub mod api;
@@ -31,6 +32,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig6;
 pub mod ipc;
+pub mod pruned;
 pub mod resources;
 pub mod simulate;
 pub mod sweep;
@@ -42,6 +44,7 @@ pub use fig3::{fig3_experiment, Fig3Row};
 pub use fig4::{fig4_experiment, Fig4Row};
 pub use fig6::{fig6_experiment, Fig6Row};
 pub use ipc::{fig8_experiment, fig9_experiment, IpcCurvePoint};
+pub use pruned::{pruned_sweep_experiment, pruned_sweep_experiment_with, CodeCount, PruneReport};
 pub use resources::{cluster_resources_experiment, ClusterResourcesRow};
 pub use simulate::{sim_machines, simulate_experiment, SimulateReport, SIM_TRIP_COUNTS};
 pub use sweep::{

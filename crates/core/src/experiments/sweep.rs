@@ -27,10 +27,11 @@
 //!
 //! [`CommStats::fits_pools`]: vliw_partition::CommStats::fits_pools
 
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 use vliw_analysis::{mark_pareto, SweepRow, TextTable};
 use vliw_machine::{Machine, MachineConfig, SweepGrid};
 
+use super::pruned::PruneReport;
 use crate::error::VliwError;
 use crate::pipeline::CompilerConfig;
 use crate::session::{LoopSummary, Session, SimSummary, VerifySummary};
@@ -76,13 +77,13 @@ impl std::str::FromStr for Classify {
 }
 
 /// Everything one `figures sweep` run produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// Number of loops in the corpus the run evaluated.
     pub corpus_size: usize,
     /// Corpus generator seed.
     pub seed: u64,
-    /// Name of the swept grid preset (`small`, `paper`, `full`).
+    /// Name of the swept grid preset (`small`, `paper`, `full`, `huge`).
     pub grid: String,
     /// Trip count of the simulation runs.
     pub trip_count: u64,
@@ -90,8 +91,49 @@ pub struct SweepReport {
     pub configs: usize,
     /// Number of distinct machine shapes (paid compiles) in the grid.
     pub shapes: usize,
+    /// Pruning accounting when the run used the certificate-pruned driver
+    /// ([`super::pruned`]); `None` for the exhaustive driver.
+    pub prune: Option<PruneReport>,
     /// One row per grid point, in grid order.
     pub rows: Vec<SweepRow>,
+}
+
+// The wire form is written by hand so `prune` is emitted only when present —
+// exhaustive reports (and every committed baseline) keep their pre-pruning
+// byte-identical JSON.
+
+impl Serialize for SweepReport {
+    fn serialize(&self) -> Value {
+        let mut entries = vec![
+            ("corpus_size".to_string(), self.corpus_size.serialize()),
+            ("seed".to_string(), self.seed.serialize()),
+            ("grid".to_string(), self.grid.serialize()),
+            ("trip_count".to_string(), self.trip_count.serialize()),
+            ("configs".to_string(), self.configs.serialize()),
+            ("shapes".to_string(), self.shapes.serialize()),
+        ];
+        if let Some(prune) = &self.prune {
+            entries.push(("prune".to_string(), prune.serialize()));
+        }
+        entries.push(("rows".to_string(), self.rows.serialize()));
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for SweepReport {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        let entries = v.as_object().ok_or_else(|| de::Error::unexpected("object", v))?;
+        Ok(SweepReport {
+            corpus_size: de::field(entries, "corpus_size")?,
+            seed: de::field(entries, "seed")?,
+            grid: de::field(entries, "grid")?,
+            trip_count: de::field(entries, "trip_count")?,
+            configs: de::field(entries, "configs")?,
+            shapes: de::field(entries, "shapes")?,
+            prune: de::field(entries, "prune")?,
+            rows: de::field(entries, "rows")?,
+        })
+    }
 }
 
 impl SweepReport {
@@ -230,6 +272,7 @@ pub fn sweep_experiment_with(
         rows.push(SweepRow {
             clusters: config.clusters,
             fu_mix: config.fu_mix.tag().to_string(),
+            topology: config.topology.tag().to_string(),
             fus: config.clusters * config.fu_mix.compute_fus(),
             queues_per_cluster: config.queues_per_cluster,
             queue_capacity: config.queue_capacity,
@@ -252,6 +295,7 @@ pub fn sweep_experiment_with(
         trip_count: SWEEP_TRIP_COUNT,
         configs: space.num_configs(),
         shapes: space.num_shapes(),
+        prune: None,
         rows,
     })
 }
@@ -261,6 +305,7 @@ pub fn render(rows: &[SweepRow]) -> TextTable {
     let mut t = TextTable::new(vec![
         "clusters",
         "mix",
+        "topo",
         "queues",
         "capacity",
         "link depth",
@@ -276,6 +321,7 @@ pub fn render(rows: &[SweepRow]) -> TextTable {
         t.row(vec![
             r.clusters.to_string(),
             r.fu_mix.clone(),
+            r.topology.clone(),
             r.queues_per_cluster.to_string(),
             r.queue_capacity.to_string(),
             r.link_depth.to_string(),

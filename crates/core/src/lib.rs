@@ -46,6 +46,7 @@ pub use session::{
 // Re-export the substrate crates so downstream users (examples, benches, tests) can
 // reach everything through `vliw_core::...`.
 pub use vliw_analysis as analysis;
+pub use vliw_bounds as bounds;
 pub use vliw_ddg as ddg;
 pub use vliw_loopgen as loopgen;
 pub use vliw_machine as machine;
@@ -62,7 +63,7 @@ pub use vliw_ddg::{kernels, Ddg, DdgBuilder, LatencyModel, Loop, OpClass, OpId, 
 pub use vliw_loopgen::{generate_corpus, CorpusConfig};
 pub use vliw_machine::{
     copy_units_for, ClusterConfig, ClusterId, FuId, FuMix, Machine, MachineConfig, MachineSpace,
-    RingConfig, SweepGrid,
+    RingConfig, SweepGrid, Topology,
 };
 pub use vliw_partition::{partition_schedule, CommStats, PartitionOptions, PartitionResult};
 pub use vliw_qrf::{allocate_queues, insert_copies, q_compatible, use_lifetimes, QueueAllocation};

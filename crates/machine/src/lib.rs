@@ -33,11 +33,13 @@ pub mod fu;
 #[allow(clippy::module_inception)]
 pub mod machine;
 pub mod space;
+pub mod topology;
 
 pub use cluster::{ClusterConfig, RingConfig};
 pub use fu::{ClusterId, Fu, FuId};
 pub use machine::{copy_units_for, Machine};
 pub use space::{FuMix, MachineConfig, MachineSpace, SweepGrid, VALUE_BITS};
+pub use topology::{torus_rows, Topology};
 
 // Re-export the latency model so downstream crates need not depend on vliw-ddg just
 // to configure a machine.

@@ -5,6 +5,7 @@ use vliw_ddg::{LatencyModel, OpClass};
 
 use crate::cluster::{ClusterConfig, RingConfig};
 use crate::fu::{ClusterId, Fu, FuId};
+use crate::topology::Topology;
 
 /// A complete VLIW machine configuration.
 ///
@@ -17,6 +18,10 @@ pub struct Machine {
     name: String,
     clusters: Vec<ClusterConfig>,
     ring: Option<RingConfig>,
+    /// Inter-cluster interconnect consulted by [`Machine::clusters_communicate`].
+    /// Every topology reuses the ring's per-link sizing (`ring`); the paper's
+    /// machines are all [`Topology::Ring`].
+    topology: Topology,
     fus: Vec<Fu>,
     latencies: LatencyModel,
     /// Unit ids of each class machine-wide, ascending; indexed by [`OpClass::index`].
@@ -46,6 +51,7 @@ impl PartialEq for Machine {
         self.name == other.name
             && self.clusters == other.clusters
             && self.ring == other.ring
+            && self.topology == other.topology
             && self.fus == other.fus
             && self.latencies == other.latencies
     }
@@ -58,6 +64,7 @@ impl std::hash::Hash for Machine {
         self.name.hash(state);
         self.clusters.hash(state);
         self.ring.hash(state);
+        self.topology.hash(state);
         self.fus.hash(state);
         self.latencies.hash(state);
     }
@@ -105,6 +112,7 @@ impl Machine {
             name: name.into(),
             clusters,
             ring,
+            topology: Topology::Ring,
             fus,
             latencies,
             class_index,
@@ -159,6 +167,20 @@ impl Machine {
         let mut m = Machine::single_cluster(3 * n_clusters, n_clusters, 32, latencies);
         m.name = format!("single-{}fu-equiv", 3 * n_clusters);
         m
+    }
+
+    /// Replaces the inter-cluster interconnect (the default is the paper's
+    /// bidirectional ring).  The per-link sizing stays whatever `ring` holds:
+    /// a torus or crossbar machine pays for more directed links of the same
+    /// width, which the design-space storage accounting charges for.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The inter-cluster interconnect.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// Machine name (used in reports).
@@ -291,7 +313,10 @@ impl Machine {
     /// or move to one of the two neighbouring clusters (through a communication
     /// queue).  The paper's partitioning algorithm does **not** insert transit moves,
     /// so non-adjacent communication is impossible (this is exactly the limitation
-    /// discussed in Section 4).
+    /// discussed in Section 4).  On a torus or crossbar machine the same rule
+    /// applies over that topology's adjacency relation — the partitioner, the
+    /// simulator and the verifier all consult this one predicate, so swapping
+    /// the interconnect needs no change anywhere else.
     pub fn clusters_communicate(
         &self,
         producer_cluster: ClusterId,
@@ -304,10 +329,7 @@ impl Machine {
         if n <= 1 {
             return false;
         }
-        let a = producer_cluster.index();
-        let b = consumer_cluster.index();
-        let diff = (a + n - b) % n;
-        diff == 1 || diff == n - 1
+        self.topology.adjacent(producer_cluster.index(), consumer_cluster.index(), n)
     }
 
     /// The ring distance (minimum number of hops) between two clusters.
@@ -521,6 +543,25 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), m.num_fus());
         assert_eq!(counts[OpClass::Memory.index()], 5);
         assert_eq!(counts[OpClass::Copy.index()], 5);
+    }
+
+    #[test]
+    fn topology_swaps_the_adjacency_relation() {
+        use crate::topology::Topology;
+        let ring = Machine::paper_clustered(4, LatencyModel::default());
+        let xbar = ring.clone().with_topology(Topology::Crossbar);
+        assert_eq!(ring.topology(), Topology::Ring);
+        assert_eq!(xbar.topology(), Topology::Crossbar);
+        // The diagonal opens up on the crossbar...
+        assert!(!ring.clusters_communicate(ClusterId(0), ClusterId(2)));
+        assert!(xbar.clusters_communicate(ClusterId(0), ClusterId(2)));
+        // ...and the two machines are distinct cache keys.
+        assert_ne!(ring, xbar);
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ring);
+        set.insert(xbar);
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

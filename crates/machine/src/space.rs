@@ -21,6 +21,7 @@ use vliw_ddg::{LatencyModel, OpClass};
 
 use crate::cluster::{ClusterConfig, RingConfig};
 use crate::machine::Machine;
+use crate::topology::Topology;
 
 /// Storage cost of one queue entry, in bits (one 32-bit value).  Used for the
 /// sweep's storage axis; only ratios matter for the Pareto analysis.
@@ -90,14 +91,30 @@ pub struct MachineConfig {
     pub link_depth: usize,
     /// Compute-unit mix of every cluster.
     pub fu_mix: FuMix,
+    /// Inter-cluster interconnect (the paper's machines are all
+    /// [`Topology::Ring`]; the huge grid opens the axis).
+    pub topology: Topology,
 }
 
 impl MachineConfig {
     /// The scheduling-relevant shape of this configuration: everything the
     /// compiler and simulator can observe.  Grid points sharing a shape share
-    /// one probe machine, hence one compilation-session key.
-    pub fn shape(&self) -> (usize, FuMix) {
-        (self.clusters, self.fu_mix)
+    /// one probe machine, hence one compilation-session key.  The topology is
+    /// part of the shape — it changes which clusters may communicate, hence
+    /// where the partitioner places operations.
+    pub fn shape(&self) -> (usize, FuMix, Topology) {
+        (self.clusters, self.fu_mix, self.topology)
+    }
+
+    /// Machine-name suffix of the topology: empty for the paper's ring (so
+    /// every pre-topology machine name — and with it every persisted
+    /// compilation key and committed baseline — stays byte-identical), the
+    /// topology tag otherwise.
+    fn topology_suffix(&self) -> String {
+        match self.topology {
+            Topology::Ring => String::new(),
+            t => format!("-{}", t.tag()),
+        }
     }
 
     /// The machine with this configuration's actual storage budgets.
@@ -114,18 +131,20 @@ impl MachineConfig {
         });
         Machine::new(
             format!(
-                "sweep-{}x{}fu-{}-q{}c{}d{}",
+                "sweep-{}x{}fu-{}-q{}c{}d{}{}",
                 self.clusters,
                 self.fu_mix.compute_fus(),
                 self.fu_mix.tag(),
                 self.queues_per_cluster,
                 self.queue_capacity,
-                self.link_depth
+                self.link_depth,
+                self.topology_suffix()
             ),
             vec![cluster; self.clusters],
             ring,
             latencies,
         )
+        .with_topology(self.topology)
     }
 
     /// The probe machine of this configuration's shape: identical FU structure,
@@ -145,26 +164,25 @@ impl MachineConfig {
         });
         Machine::new(
             format!(
-                "sweep-probe-{}x{}fu-{}",
+                "sweep-probe-{}x{}fu-{}{}",
                 self.clusters,
                 self.fu_mix.compute_fus(),
-                self.fu_mix.tag()
+                self.fu_mix.tag(),
+                self.topology_suffix()
             ),
             vec![cluster; self.clusters],
             ring,
             latencies,
         )
+        .with_topology(self.topology)
     }
 
-    /// Number of directed ring links (each sized `queues_per_cluster ×
-    /// link_depth`): two clusters share one physical pair of links, three or
-    /// more have two outgoing links per cluster.
+    /// Number of directed interconnect links (each sized `queues_per_cluster ×
+    /// link_depth`).  On the ring: two clusters share one physical pair of
+    /// links, three or more have two outgoing links per cluster; richer
+    /// topologies pay for more links (see [`Topology::directed_links`]).
     pub fn directed_links(&self) -> usize {
-        match self.clusters {
-            0 | 1 => 0,
-            2 => 2,
-            n => 2 * n,
-        }
+        self.topology.directed_links(self.clusters)
     }
 
     /// Total queue storage of the configuration in bits — the cost axis of the
@@ -182,6 +200,7 @@ impl MachineConfig {
             && self.queue_capacity == 8
             && self.link_depth == 8
             && self.fu_mix == FuMix::Basic
+            && self.topology == Topology::Ring
     }
 }
 
@@ -198,6 +217,8 @@ pub struct MachineSpace {
     pub link_depths: Vec<usize>,
     /// Cluster FU mixes.
     pub fu_mixes: Vec<FuMix>,
+    /// Interconnect topologies.
+    pub topologies: Vec<Topology>,
 }
 
 impl MachineSpace {
@@ -211,6 +232,7 @@ impl MachineSpace {
             queue_capacities: vec![4, 8],
             link_depths: vec![4, 8],
             fu_mixes: vec![FuMix::Basic],
+            topologies: vec![Topology::Ring],
         }
     }
 
@@ -224,6 +246,7 @@ impl MachineSpace {
             queue_capacities: vec![2, 4, 8, 16],
             link_depths: vec![2, 4, 8, 16],
             fu_mixes: vec![FuMix::Basic],
+            topologies: vec![Topology::Ring],
         }
     }
 
@@ -236,26 +259,49 @@ impl MachineSpace {
             queue_capacities: vec![2, 4, 8, 16, 32],
             link_depths: vec![2, 4, 8, 16],
             fu_mixes: vec![FuMix::Basic, FuMix::Wide],
+            topologies: vec![Topology::Ring],
+        }
+    }
+
+    /// The huge grid behind the bound-pruned sweep: 10 cluster counts up to 16,
+    /// both FU mixes, all three topologies, and twelve values per storage
+    /// dimension — 103 680 configurations over 60 machine shapes.  Enumerating
+    /// it is cheap; *classifying* it is what `vliw-bounds` makes affordable
+    /// (one witness compile per shape and loop, every other grid point served
+    /// by a certificate).
+    pub fn huge() -> Self {
+        let storage_axis = vec![1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32];
+        MachineSpace {
+            cluster_counts: vec![2, 3, 4, 5, 6, 8, 9, 10, 12, 16],
+            queues_per_cluster: storage_axis.clone(),
+            queue_capacities: storage_axis.clone(),
+            link_depths: storage_axis,
+            fu_mixes: vec![FuMix::Basic, FuMix::Wide],
+            topologies: vec![Topology::Ring, Topology::Torus, Topology::Crossbar],
         }
     }
 
     /// Every grid point, in deterministic order (clusters, then mix, then
-    /// queues, then capacity, then link depth) — configurations sharing a
-    /// machine shape are contiguous, so the session cache warms once per shape.
+    /// topology, then queues, then capacity, then link depth) — configurations
+    /// sharing a machine shape are contiguous, so the session cache warms once
+    /// per shape.
     pub fn configs(&self) -> Vec<MachineConfig> {
         let mut out = Vec::with_capacity(self.num_configs());
         for &clusters in &self.cluster_counts {
             for &fu_mix in &self.fu_mixes {
-                for &queues_per_cluster in &self.queues_per_cluster {
-                    for &queue_capacity in &self.queue_capacities {
-                        for &link_depth in &self.link_depths {
-                            out.push(MachineConfig {
-                                clusters,
-                                queues_per_cluster,
-                                queue_capacity,
-                                link_depth,
-                                fu_mix,
-                            });
+                for &topology in &self.topologies {
+                    for &queues_per_cluster in &self.queues_per_cluster {
+                        for &queue_capacity in &self.queue_capacities {
+                            for &link_depth in &self.link_depths {
+                                out.push(MachineConfig {
+                                    clusters,
+                                    queues_per_cluster,
+                                    queue_capacity,
+                                    link_depth,
+                                    fu_mix,
+                                    topology,
+                                });
+                            }
                         }
                     }
                 }
@@ -271,12 +317,13 @@ impl MachineSpace {
             * self.queue_capacities.len()
             * self.link_depths.len()
             * self.fu_mixes.len()
+            * self.topologies.len()
     }
 
     /// Number of distinct machine shapes (probe machines) in the grid — the
     /// number of compiles the memo store pays for, regardless of grid size.
     pub fn num_shapes(&self) -> usize {
-        self.cluster_counts.len() * self.fu_mixes.len()
+        self.cluster_counts.len() * self.fu_mixes.len() * self.topologies.len()
     }
 }
 
@@ -290,6 +337,9 @@ pub enum SweepGrid {
     Paper,
     /// [`MachineSpace::full`].
     Full,
+    /// [`MachineSpace::huge`] — the 100k-config grid the bound-pruned sweep
+    /// exists for.
+    Huge,
 }
 
 impl SweepGrid {
@@ -299,6 +349,7 @@ impl SweepGrid {
             SweepGrid::Small => "small",
             SweepGrid::Paper => "paper",
             SweepGrid::Full => "full",
+            SweepGrid::Huge => "huge",
         }
     }
 
@@ -308,6 +359,7 @@ impl SweepGrid {
             SweepGrid::Small => MachineSpace::small(),
             SweepGrid::Paper => MachineSpace::paper(),
             SweepGrid::Full => MachineSpace::full(),
+            SweepGrid::Huge => MachineSpace::huge(),
         }
     }
 }
@@ -320,7 +372,10 @@ impl std::str::FromStr for SweepGrid {
             "small" => Ok(SweepGrid::Small),
             "paper" => Ok(SweepGrid::Paper),
             "full" => Ok(SweepGrid::Full),
-            other => Err(format!("unknown grid `{other}` (expected `small`, `paper` or `full`)")),
+            "huge" => Ok(SweepGrid::Huge),
+            other => {
+                Err(format!("unknown grid `{other}` (expected `small`, `paper`, `full` or `huge`)"))
+            }
         }
     }
 }
@@ -335,22 +390,35 @@ mod tests {
 
     #[test]
     fn grid_sizes_match_the_cartesian_product() {
-        for space in [MachineSpace::small(), MachineSpace::paper(), MachineSpace::full()] {
+        for space in [
+            MachineSpace::small(),
+            MachineSpace::paper(),
+            MachineSpace::full(),
+            MachineSpace::huge(),
+        ] {
             let configs = space.configs();
             assert_eq!(configs.len(), space.num_configs());
             let mut shapes: Vec<_> = configs.iter().map(|c| c.shape()).collect();
-            shapes.sort_by_key(|&(n, m)| (n, m.tag()));
+            shapes.sort_by_key(|&(n, m, t)| (n, m.tag(), t.tag()));
             shapes.dedup();
             assert_eq!(shapes.len(), space.num_shapes());
         }
         assert_eq!(MachineSpace::small().num_configs(), 8);
         assert_eq!(MachineSpace::paper().num_configs(), 192);
         assert_eq!(MachineSpace::full().num_configs(), 1200);
+        // The huge grid is the 100k-config acceptance bar of the pruned sweep.
+        assert!(MachineSpace::huge().num_configs() >= 100_000);
+        assert_eq!(MachineSpace::huge().num_shapes(), 60);
     }
 
     #[test]
     fn every_preset_contains_the_paper_point() {
-        for space in [MachineSpace::small(), MachineSpace::paper(), MachineSpace::full()] {
+        for space in [
+            MachineSpace::small(),
+            MachineSpace::paper(),
+            MachineSpace::full(),
+            MachineSpace::huge(),
+        ] {
             let p = paper_point_in(&space).expect("paper point in grid");
             assert_eq!(
                 (p.queues_per_cluster, p.queue_capacity, p.link_depth),
@@ -368,6 +436,7 @@ mod tests {
             queue_capacity: 8,
             link_depth: 8,
             fu_mix: FuMix::Basic,
+            topology: Topology::Ring,
         };
         let m = config.machine(LatencyModel::default());
         assert_eq!(m.num_clusters(), 4);
@@ -401,6 +470,7 @@ mod tests {
             queue_capacity: 8,
             link_depth: 8,
             fu_mix: FuMix::Basic,
+            topology: Topology::Ring,
         };
         assert_ne!(other.probe_machine(LatencyModel::default()), probes[0]);
     }
@@ -413,6 +483,7 @@ mod tests {
             queue_capacity: 8,
             link_depth: 8,
             fu_mix: FuMix::Basic,
+            topology: Topology::Ring,
         };
         // 4 clusters × 8×8 private + 8 directed links × 8×8 comm = 768 values.
         assert_eq!(base.storage_bits(), 768 * VALUE_BITS);
@@ -435,6 +506,7 @@ mod tests {
             queue_capacity: 8,
             link_depth: 8,
             fu_mix: FuMix::Basic,
+            topology: Topology::Ring,
         };
         assert_eq!(c.directed_links(), 2);
         c.clusters = 6;
@@ -453,6 +525,7 @@ mod tests {
             queue_capacity: 8,
             link_depth: 8,
             fu_mix: FuMix::Wide,
+            topology: Topology::Ring,
         };
         let m = config.machine(LatencyModel::default());
         assert_eq!(m.num_compute_fus(), 18);
@@ -461,10 +534,58 @@ mod tests {
 
     #[test]
     fn sweep_grid_names_round_trip() {
-        for grid in [SweepGrid::Small, SweepGrid::Paper, SweepGrid::Full] {
+        for grid in [SweepGrid::Small, SweepGrid::Paper, SweepGrid::Full, SweepGrid::Huge] {
             assert_eq!(grid.name().parse::<SweepGrid>(), Ok(grid));
         }
         assert!("tiny".parse::<SweepGrid>().is_err());
         assert_eq!(SweepGrid::default(), SweepGrid::Small);
+    }
+
+    #[test]
+    fn topology_is_part_of_the_shape_and_the_name() {
+        let ring = MachineConfig {
+            clusters: 4,
+            queues_per_cluster: 8,
+            queue_capacity: 8,
+            link_depth: 8,
+            fu_mix: FuMix::Basic,
+            topology: Topology::Ring,
+        };
+        let torus = MachineConfig { topology: Topology::Torus, ..ring };
+        let xbar = MachineConfig { topology: Topology::Crossbar, ..ring };
+        assert_ne!(ring.shape(), torus.shape());
+        assert_ne!(torus.shape(), xbar.shape());
+        // Ring names stay byte-identical to the pre-topology scheme; the new
+        // topologies tag themselves.
+        let lat = LatencyModel::default;
+        assert_eq!(ring.machine(lat()).name(), "sweep-4x3fu-basic-q8c8d8");
+        assert_eq!(ring.probe_machine(lat()).name(), "sweep-probe-4x3fu-basic");
+        assert_eq!(torus.machine(lat()).name(), "sweep-4x3fu-basic-q8c8d8-torus");
+        assert_eq!(torus.probe_machine(lat()).name(), "sweep-probe-4x3fu-basic-torus");
+        assert_eq!(xbar.probe_machine(lat()).name(), "sweep-probe-4x3fu-basic-xbar");
+        // Distinct probe machines mean distinct compilation-session keys.
+        assert_ne!(torus.probe_machine(lat()), ring.probe_machine(lat()));
+        assert_eq!(torus.probe_machine(lat()).topology(), Topology::Torus);
+        // The paper's published point is a ring machine by definition.
+        assert!(ring.is_paper_point());
+        assert!(!torus.is_paper_point());
+        assert!(!xbar.is_paper_point());
+    }
+
+    #[test]
+    fn richer_topologies_cost_more_storage() {
+        let base = MachineConfig {
+            clusters: 6,
+            queues_per_cluster: 8,
+            queue_capacity: 8,
+            link_depth: 8,
+            fu_mix: FuMix::Basic,
+            topology: Topology::Ring,
+        };
+        let torus = MachineConfig { topology: Topology::Torus, ..base };
+        let xbar = MachineConfig { topology: Topology::Crossbar, ..base };
+        assert!(base.storage_bits() <= torus.storage_bits());
+        assert!(torus.storage_bits() < xbar.storage_bits());
+        assert_eq!(xbar.directed_links(), 30);
     }
 }

@@ -1,0 +1,241 @@
+//! Inter-cluster interconnect topologies of the design space.
+//!
+//! The paper's architecture connects its clusters with a bidirectional ring
+//! (Fig. 5b); Section 4 notes the ring is a *choice*, not a consequence of the
+//! queue model — any interconnect whose adjacency relation the partitioner can
+//! consult would do, because the partitioning algorithm only ever asks "may a
+//! value flow directly from cluster A to cluster B?".  This module is that
+//! adjacency abstraction: a [`Topology`] answers the question for the
+//! bidirectional ring, a 2-D torus and a full crossbar, which opens the
+//! topology axis of the `figures sweep --grid huge` design space.
+//!
+//! Every topology reuses the ring's link sizing (`queues_per_direction` ×
+//! `queue_capacity` per directed link): richer topologies buy reachability by
+//! paying for more directed links, which the sweep's storage-bits cost axis
+//! charges for.
+
+/// The inter-cluster interconnect of a clustered machine.
+///
+/// Adjacency is what the partitioner, the simulator and the verifier consult
+/// (all through [`crate::Machine::clusters_communicate`]); the number of
+/// directed links is what the sweep's storage accounting charges for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Topology {
+    /// The paper's bidirectional ring: each cluster talks to its two
+    /// neighbours (Fig. 5b).
+    #[default]
+    Ring,
+    /// A 2-D torus over the most square factorisation `rows × cols` of the
+    /// cluster count (wrap-around in both dimensions).  Degenerates to the
+    /// ring when the cluster count is prime (`1 × n`).
+    Torus,
+    /// A full crossbar: every cluster talks directly to every other.
+    Crossbar,
+}
+
+impl Topology {
+    /// Every topology of the design space, in sweep order.
+    pub const ALL: [Topology; 3] = [Topology::Ring, Topology::Torus, Topology::Crossbar];
+
+    /// Short name used in machine names, report rows and on the wire.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Topology::Ring => "ring",
+            Topology::Torus => "torus",
+            Topology::Crossbar => "xbar",
+        }
+    }
+
+    /// True if a value may flow directly from cluster `a` to cluster `b` on an
+    /// `n`-cluster machine of this topology (`a != b`; same-cluster flow never
+    /// consults the interconnect).
+    pub fn adjacent(self, a: usize, b: usize, n: usize) -> bool {
+        if a == b || n <= 1 {
+            return a == b;
+        }
+        match self {
+            Topology::Ring => {
+                let diff = (a + n - b) % n;
+                diff == 1 || diff == n - 1
+            }
+            Topology::Torus => {
+                let cols = n / torus_rows(n);
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                let ring1d = |x: usize, y: usize, m: usize| {
+                    let diff = (x + m - y) % m;
+                    diff == 1 || diff == m - 1
+                };
+                (ar == br && ring1d(ac, bc, cols)) || (ac == bc && ring1d(ar, br, torus_rows(n)))
+            }
+            Topology::Crossbar => true,
+        }
+    }
+
+    /// Number of directed links of an `n`-cluster machine of this topology —
+    /// the ordered adjacent pairs, each sized like one directed ring link.
+    ///
+    /// Counted by enumeration: cluster counts are tiny (≤ 16 in every grid),
+    /// and one count per [`crate::MachineConfig::storage_bits`] call is free
+    /// next to materialising the machine.
+    pub fn directed_links(self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let mut links = 0;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && self.adjacent(a, b, n) {
+                    links += 1;
+                }
+            }
+        }
+        links
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ring" => Ok(Topology::Ring),
+            "torus" => Ok(Topology::Torus),
+            "xbar" => Ok(Topology::Crossbar),
+            other => {
+                Err(format!("unknown topology `{other}` (expected `ring`, `torus` or `xbar`)"))
+            }
+        }
+    }
+}
+
+/// The row count of the most square `rows × cols` torus factorisation of `n`:
+/// the largest divisor of `n` not exceeding `√n` (so `rows <= cols`).
+pub fn torus_rows(n: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let mut rows = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            rows = d;
+        }
+        d += 1;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_matches_the_paper_adjacency() {
+        // 4 clusters: neighbours wrap, the diagonal does not communicate.
+        let t = Topology::Ring;
+        assert!(t.adjacent(0, 1, 4));
+        assert!(t.adjacent(1, 0, 4));
+        assert!(t.adjacent(0, 3, 4));
+        assert!(!t.adjacent(0, 2, 4));
+        assert_eq!(t.directed_links(4), 8);
+        assert_eq!(t.directed_links(2), 2);
+        assert_eq!(t.directed_links(1), 0);
+    }
+
+    #[test]
+    fn torus_factorisation_is_most_square() {
+        assert_eq!(torus_rows(4), 2);
+        assert_eq!(torus_rows(6), 2);
+        assert_eq!(torus_rows(8), 2);
+        assert_eq!(torus_rows(9), 3);
+        assert_eq!(torus_rows(12), 3);
+        assert_eq!(torus_rows(16), 4);
+        // Primes degenerate to a 1 × n ring.
+        assert_eq!(torus_rows(5), 1);
+        assert_eq!(torus_rows(7), 1);
+    }
+
+    #[test]
+    fn torus_on_primes_equals_the_ring() {
+        for n in [2usize, 3, 5, 7] {
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        Topology::Torus.adjacent(a, b, n),
+                        Topology::Ring.adjacent(a, b, n),
+                        "n={n} a={a} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_9_is_the_3x3_grid() {
+        // Cluster 4 is the centre of the 3×3 torus: adjacent to 1, 7 (column)
+        // and 3, 5 (row), not to the corners.
+        let t = Topology::Torus;
+        for b in [1usize, 3, 5, 7] {
+            assert!(t.adjacent(4, b, 9), "centre to {b}");
+        }
+        for b in [0usize, 2, 6, 8] {
+            assert!(!t.adjacent(4, b, 9), "centre to corner {b}");
+        }
+        // Every node of a 3×3 torus has 4 neighbours.
+        assert_eq!(t.directed_links(9), 9 * 4);
+    }
+
+    #[test]
+    fn crossbar_connects_everything() {
+        let t = Topology::Crossbar;
+        for a in 0..6 {
+            for b in 0..6 {
+                assert!(t.adjacent(a, b, 6));
+            }
+        }
+        assert_eq!(t.directed_links(6), 30);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        for t in Topology::ALL {
+            for n in 2..=16usize {
+                for a in 0..n {
+                    for b in 0..n {
+                        assert_eq!(t.adjacent(a, b, n), t.adjacent(b, a, n), "{t} n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_counts_order_by_richness() {
+        // The crossbar dominates the torus dominates (or equals) the ring.
+        for n in 2..=16usize {
+            let ring = Topology::Ring.directed_links(n);
+            let torus = Topology::Torus.directed_links(n);
+            let xbar = Topology::Crossbar.directed_links(n);
+            assert!(ring <= torus, "n={n}");
+            assert!(torus <= xbar, "n={n}");
+            assert_eq!(xbar, n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in Topology::ALL {
+            assert_eq!(t.tag().parse::<Topology>(), Ok(t));
+            assert_eq!(format!("{t}"), t.tag());
+        }
+        assert!("mesh".parse::<Topology>().is_err());
+        assert_eq!(Topology::default(), Topology::Ring);
+    }
+}

@@ -9,7 +9,7 @@
 //! A *span* brackets one unit of pipeline work — one IMS placement, one queue
 //! allocation, one persist read — and is attributed to a fixed [`Stage`]
 //! taxonomy: `corpusgen → ddg/copies → unroll → sched/ims | sched/partition →
-//! qrf/alloc → sim → verify → persist/io`.  Recording is off by default; a
+//! qrf/alloc → sim → verify → bounds → persist/io`.  Recording is off by default; a
 //! [`span!`] at a disabled call site costs one relaxed atomic load and a
 //! branch, which is what lets the instrumented hot paths ship enabled-by-code
 //! in release builds.
@@ -64,13 +64,16 @@ pub enum Stage {
     Sim = 6,
     /// Static schedule verification.
     Verify = 7,
+    /// Static admissibility analysis (`vliw-bounds`): certified lower bounds
+    /// that prune the design-space sweep without compiling.
+    Bounds = 8,
     /// Persistent-store reads and writes.
-    Persist = 8,
+    Persist = 9,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Corpusgen,
         Stage::Ddg,
         Stage::Unroll,
@@ -79,6 +82,7 @@ impl Stage {
         Stage::Qrf,
         Stage::Sim,
         Stage::Verify,
+        Stage::Bounds,
         Stage::Persist,
     ];
 
@@ -93,6 +97,7 @@ impl Stage {
             Stage::Qrf => "qrf/alloc",
             Stage::Sim => "sim",
             Stage::Verify => "verify",
+            Stage::Bounds => "bounds",
             Stage::Persist => "persist/io",
         }
     }
@@ -275,6 +280,9 @@ macro_rules! span {
     };
     ("verify" $(, $arg:expr)?) => {
         $crate::span($crate::Stage::Verify, $crate::__span_arg!($($arg)?))
+    };
+    ("bounds" $(, $arg:expr)?) => {
+        $crate::span($crate::Stage::Bounds, $crate::__span_arg!($($arg)?))
     };
     ("persist/io" $(, $arg:expr)?) => {
         $crate::span($crate::Stage::Persist, $crate::__span_arg!($($arg)?))

@@ -75,7 +75,7 @@ fn tcp_daemon_reports_are_byte_identical_to_in_process_runs() {
 
     let run = RunConfig { corpus_size, seed, threads: Some(2), ..RunConfig::default() };
     let responses = client
-        .run(requests_for(Selection::All, SweepGrid::default(), Classify::default()))
+        .run(requests_for(Selection::All, SweepGrid::default(), Classify::default(), false, 0))
         .unwrap();
     let remote = assemble_report(corpus_size, seed, responses).expect("responses assemble");
     let local = run_experiments_in(&Session::new(run.experiment_config()), Selection::All)
@@ -91,7 +91,7 @@ fn tcp_daemon_reports_are_byte_identical_to_in_process_runs() {
     // The daemon also answers static-verification requests, clean on the
     // warm session it just compiled for the figure run.
     let verify = client
-        .run(requests_for(Selection::Verify, SweepGrid::default(), Classify::default()))
+        .run(requests_for(Selection::Verify, SweepGrid::default(), Classify::default(), false, 0))
         .unwrap();
     assert_eq!(verify.len(), 1);
     match &verify[0] {

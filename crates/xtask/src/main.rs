@@ -8,9 +8,12 @@
 //!   (`crates/core/src/session/executor.rs`, the work-stealing executor).
 //! * `.unwrap()` / `.expect(` are denied in the *non-test* code of the
 //!   verification-critical hot paths (`crates/verify`, `crates/sim`,
-//!   `crates/qrf`) — a verifier that can panic mid-verdict is not a verifier.
+//!   `crates/qrf`, `crates/bounds`) — a verifier that can panic mid-verdict is
+//!   not a verifier, and the same holds for a bounds certifier.
 //! * every `#[allow(clippy::...)]` must carry a justification comment on the
 //!   same or the preceding line, so suppressions stay deliberate.
+//! * doc-sync: every stable code the verifier (`V001-…`) and the bounds
+//!   analyzer (`B001-…`) define must have a row in README.md's code tables.
 //!
 //! The rules are textual by design (no syn, no rustc internals): they run on
 //! the exact bytes committed, cannot drift with compiler versions, and their
@@ -24,7 +27,13 @@ use std::process::ExitCode;
 const UNSAFE_ALLOWLIST: &[&str] = &["crates/core/src/session/executor.rs"];
 
 /// Crates whose non-test code must be panic-free.
-const NO_PANIC_CRATES: &[&str] = &["crates/verify", "crates/sim", "crates/qrf"];
+const NO_PANIC_CRATES: &[&str] = &["crates/verify", "crates/sim", "crates/qrf", "crates/bounds"];
+
+/// Sources that define stable lint/certificate codes, and the code prefix each
+/// contributes.  Every code found here must have a row in README.md's code
+/// tables (doc-sync: shipping a code without documenting it is a lint error).
+const CODE_SOURCES: &[(&str, char)] =
+    &[("crates/verify/src/violation.rs", 'V'), ("crates/bounds/src/certificate.rs", 'B')];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -57,6 +66,8 @@ fn lint() -> ExitCode {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         check_file(&rel_str, &text, &mut findings);
     }
+
+    check_code_docs(&root, &mut findings);
 
     if findings.is_empty() {
         println!("xtask lint: {} files clean", files.len());
@@ -108,6 +119,73 @@ fn check_file(rel: &str, text: &str, findings: &mut Vec<String>) {
         }
         prev_line = line;
     }
+}
+
+/// Doc-sync: every stable code a [`CODE_SOURCES`] file defines (`V001-…`,
+/// `B001-…`) must appear in a README.md table row (a line starting with `|`),
+/// so the user-facing code tables can never fall behind the source.
+fn check_code_docs(root: &Path, findings: &mut Vec<String>) {
+    let readme = match fs::read_to_string(root.join("README.md")) {
+        Ok(text) => text,
+        Err(e) => {
+            findings.push(format!("README.md: unreadable for the code-table doc-sync check: {e}"));
+            return;
+        }
+    };
+    let documented: Vec<&str> =
+        readme.lines().filter(|l| l.trim_start().starts_with('|')).collect();
+    for (rel, prefix) in CODE_SOURCES {
+        let path = root.join(rel);
+        let Ok(text) = fs::read_to_string(&path) else {
+            findings.push(format!("{rel}: unreadable for the code-table doc-sync check"));
+            continue;
+        };
+        let mut codes = extract_codes(&text, *prefix);
+        codes.sort();
+        codes.dedup();
+        if codes.is_empty() {
+            findings.push(format!("{rel}: defines no `{prefix}NNN-` codes; doc-sync list stale?"));
+        }
+        for code in codes {
+            if !documented.iter().any(|row| row.contains(&code)) {
+                findings.push(format!(
+                    "README.md: code `{code}` ({rel}) has no row in a README code table"
+                ));
+            }
+        }
+    }
+}
+
+/// All `"{prefix}NNN-SUFFIX"` string literals in the non-test part of `text`
+/// (e.g. `V001-DEP-DISTANCE`).  Test modules may fabricate codes (`V099-…`)
+/// to exercise error paths; those are not shipped and need no documentation.
+fn extract_codes(text: &str, prefix: char) -> Vec<String> {
+    let text = text.split("#[cfg(test)]").next().unwrap_or(text);
+    let mut codes = Vec::new();
+    let bytes = text.as_bytes();
+    for (pos, _) in text.match_indices(prefix) {
+        // Match: prefix, three digits, a dash, then [A-Z-]+ — inside a string
+        // literal, so a quote directly precedes the prefix.
+        if pos == 0 || bytes[pos - 1] != b'"' {
+            continue;
+        }
+        let rest = &text[pos + 1..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.len() != 3 {
+            continue;
+        }
+        let after = &rest[3..];
+        if !after.starts_with('-') {
+            continue;
+        }
+        let suffix: String =
+            after[1..].chars().take_while(|c| c.is_ascii_uppercase() || *c == '-').collect();
+        if suffix.is_empty() {
+            continue;
+        }
+        codes.push(format!("{prefix}{digits}-{suffix}"));
+    }
+    codes
 }
 
 /// The code part of a line: everything before a `//` comment (string literals
@@ -223,6 +301,52 @@ mod tests {
     }
 
     #[test]
+    fn code_literals_are_extracted_from_source() {
+        let text = r#"
+            Violation::DepDistance { .. } => "V001-DEP-DISTANCE",
+            // prose mentioning V9-SHORT and B001 without a dash is skipped
+            "B004-STORAGE" => Ok(..),
+            let not_a_literal = V002_FU_CONFLICT;
+        "#;
+        assert_eq!(extract_codes(text, 'V'), vec!["V001-DEP-DISTANCE"]);
+        assert_eq!(extract_codes(text, 'B'), vec!["B004-STORAGE"]);
+    }
+
+    #[test]
+    fn undocumented_codes_are_flagged() {
+        let dir = std::env::temp_dir().join(format!("xtask_docsync_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/verify/src")).unwrap();
+        fs::create_dir_all(dir.join("crates/bounds/src")).unwrap();
+        fs::write(
+            dir.join("crates/verify/src/violation.rs"),
+            "fn c() -> &'static str { \"V001-DEP-DISTANCE\" }\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("crates/bounds/src/certificate.rs"),
+            "fn c() -> &'static str { \"B001-RESMII\" }\n",
+        )
+        .unwrap();
+        fs::write(dir.join("README.md"), "| `V001-DEP-DISTANCE` | dependency distance |\n")
+            .unwrap();
+        let mut findings = Vec::new();
+        check_code_docs(&dir, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("B001-RESMII"), "{findings:?}");
+        // Documenting the code clears the finding.
+        fs::write(
+            dir.join("README.md"),
+            "| `V001-DEP-DISTANCE` | dep |\n| `B001-RESMII` | res MII |\n",
+        )
+        .unwrap();
+        findings.clear();
+        check_code_docs(&dir, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn the_repo_is_currently_clean() {
         // The gate must hold on the tree it ships in.
         let root = repo_root();
@@ -235,6 +359,7 @@ mod tests {
             let rel = file.strip_prefix(&root).unwrap_or(file);
             check_file(&rel.to_string_lossy().replace('\\', "/"), &text, &mut findings);
         }
+        check_code_docs(&root, &mut findings);
         assert!(findings.is_empty(), "{findings:#?}");
     }
 }

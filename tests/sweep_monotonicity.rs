@@ -21,7 +21,7 @@ use vliw_repro::vliw_core::loopgen::CorpusConfig;
 use vliw_repro::vliw_core::pipeline::{Compiler, CompilerConfig};
 use vliw_repro::vliw_core::sim::simulate;
 use vliw_repro::vliw_core::SimSummary;
-use vliw_repro::vliw_core::{FuMix, LatencyModel, MachineConfig};
+use vliw_repro::vliw_core::{FuMix, LatencyModel, MachineConfig, Topology};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -45,6 +45,7 @@ proptest! {
             queue_capacity: capacity,
             link_depth,
             fu_mix: FuMix::Basic,
+            topology: Topology::Ring,
         };
         let mut grown = base;
         match dimension {
